@@ -1,0 +1,132 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printed as ASCII tables), then runs one Bechamel
+   micro-benchmark per experiment measuring the cost of the machinery
+   that produces it.
+
+   Scale: set ROLOAD_SCALE (default 1 = quick; 3 = the "reference"
+   setting used in EXPERIMENTS.md).  All simulations are deterministic,
+   so each experiment is a single exact run. *)
+
+let scale =
+  match Sys.getenv_opt "ROLOAD_SCALE" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 1)
+  | None -> 1
+
+let section title = Printf.printf "\n################ %s ################\n%!" title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ---------- the paper's tables and figures ---------- *)
+
+let run_experiments () =
+  section "Table I — modification footprint";
+  Roload_util.Table.print (Core.Experiments.table1 ());
+
+  section "Table II — prototype configuration";
+  Roload_util.Table.print (Core.Experiments.table2 ());
+
+  section "Table III — hardware resource cost";
+  let t3 = timed "table3" (fun () -> Core.Experiments.table3 ()) in
+  Roload_util.Table.print t3.Core.Experiments.table;
+
+  section "Section V-B — system-level overhead (3 systems, unmodified binaries)";
+  let vb = timed "section5b" (fun () -> Core.Experiments.section5b ~scale ()) in
+  Roload_util.Table.print vb.Core.Experiments.table;
+
+  section "Figure 3 — VCall vs VTint (C++ benchmarks)";
+  let f3 = timed "figure3" (fun () -> Core.Experiments.figure3 ~scale ()) in
+  Roload_util.Table.print f3.Core.Experiments.runtime_table;
+  Roload_util.Table.print f3.Core.Experiments.memory_table;
+
+  section "Figures 4 & 5 — ICall vs CFI (all benchmarks)";
+  let f45 = timed "figure45" (fun () -> Core.Experiments.figure45 ~scale ()) in
+  Roload_util.Table.print f45.Core.Experiments.runtime_table;
+  Roload_util.Table.print f45.Core.Experiments.memory_table;
+  Roload_util.Table.print f45.Core.Experiments.memory_pages_table;
+
+  section "Section V-C2 — security matrix";
+  let sec = timed "security" (fun () -> Core.Experiments.security ()) in
+  Roload_util.Table.print sec.Core.Experiments.table;
+  Roload_util.Table.print (Core.Experiments.related_work_table ());
+
+  section "Ablations";
+  Roload_util.Table.print
+    (timed "ablation_compressed" (fun () -> Core.Experiments.ablation_compressed ()));
+  Roload_util.Table.print (timed "ablation_keys" (fun () -> Core.Experiments.ablation_keys ()));
+  Roload_util.Table.print
+    (timed "ablation_separate_code" (fun () -> Core.Experiments.ablation_separate_code ()));
+  Roload_util.Table.print
+    (timed "ablation_retcall" (fun () -> Core.Experiments.ablation_retcall ()));
+  Roload_util.Table.print (timed "ablation_tlb" (fun () -> Core.Experiments.ablation_tlb ()))
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let quick_source = {|
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { print_int(fib(12)); return 0; }
+|}
+
+let victim_exe scheme =
+  Core.Toolchain.compile_exe
+    ~options:{ Core.Toolchain.default_options with scheme }
+    ~name:"victim" Roload_security.Victim.source
+
+let bechamel_tests () =
+  let open Bechamel in
+  let icall_victim = victim_exe Roload_passes.Pass.Icall in
+  let quick_exe = Core.Toolchain.compile_exe ~name:"fib" quick_source in
+  [
+    (* Table III: cost of one full synthesis run (elaborate + map + STA) *)
+    Test.make ~name:"table3: tlb synthesis"
+      (Staged.stage (fun () -> ignore (Roload_hw.Synth.run ())));
+    (* §V-B / Figs 3–5 building block: compile + harden a program *)
+    Test.make ~name:"figs: compile+harden (icall)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Toolchain.compile_exe
+                ~options:{ Core.Toolchain.default_options with
+                           scheme = Roload_passes.Pass.Icall }
+                ~name:"fib" quick_source)));
+    (* §V-B building block: simulate a small program end to end *)
+    Test.make ~name:"figs: simulate fib(12)"
+      (Staged.stage (fun () ->
+           ignore (Core.System.run ~variant:Core.System.Processor_kernel_modified quick_exe)));
+    (* §V-C2 building block: one attack run *)
+    Test.make ~name:"security: one attack run"
+      (Staged.stage (fun () ->
+           ignore
+             (Roload_security.Eval.run ~exe:icall_victim
+                Roload_security.Attack.Fptr_type_confusion)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Bechamel micro-benchmarks (machinery cost per experiment)";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name result ->
+          let analysis =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Instance.monotonic_clock result
+          in
+          match Analyze.OLS.estimates analysis with
+          | Some [ est ] -> Printf.printf "  %-36s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        results)
+    (bechamel_tests ())
+
+let () =
+  Printf.printf "ROLoad reproduction bench harness (scale %d)\n" scale;
+  run_experiments ();
+  run_bechamel ();
+  print_endline "\ndone."

@@ -1,0 +1,69 @@
+(* roload_experiments — regenerate any table or figure of the paper.
+
+   Usage: roload_experiments [table1|table2|table3|section5b|figure3|
+                              figure4|figure5|security|ablations|all]
+                             [--scale N] *)
+
+open Cmdliner
+
+let print_table t = Roload_util.Table.print t
+
+let run_one ~scale name =
+  match name with
+  | "table1" -> print_table (Core.Experiments.table1 ())
+  | "table2" -> print_table (Core.Experiments.table2 ())
+  | "table3" -> print_table (Core.Experiments.table3 ()).Core.Experiments.table
+  | "section5b" ->
+    print_table (Core.Experiments.section5b ~scale ()).Core.Experiments.table
+  | "figure3" ->
+    let f = Core.Experiments.figure3 ~scale () in
+    print_table f.Core.Experiments.runtime_table;
+    print_table f.Core.Experiments.memory_table
+  | "figure4" | "figure5" | "figure45" ->
+    let f = Core.Experiments.figure45 ~scale () in
+    print_table f.Core.Experiments.runtime_table;
+    print_table f.Core.Experiments.memory_table
+  | "security" ->
+    print_table (Core.Experiments.security ()).Core.Experiments.table;
+    print_table (Core.Experiments.related_work_table ())
+  | "ablations" ->
+    print_table (Core.Experiments.ablation_compressed ());
+    print_table (Core.Experiments.ablation_keys ());
+    print_table (Core.Experiments.ablation_separate_code ());
+    print_table (Core.Experiments.ablation_retcall ());
+    print_table (Core.Experiments.ablation_tlb ())
+  | other ->
+    Printf.eprintf "unknown experiment %s\n" other;
+    exit 2
+
+let run names scale =
+  let names =
+    match names with
+    | [] | [ "all" ] ->
+      [ "table1"; "table2"; "table3"; "section5b"; "figure3"; "figure45"; "security";
+        "ablations" ]
+    | names -> names
+  in
+  List.iter
+    (fun n ->
+      (try run_one ~scale n with
+      | Core.Experiments.Experiment_failure m ->
+        Printf.eprintf "EXPERIMENT FAILURE in %s: %s\n" n m;
+        exit 1);
+      print_newline ())
+    names
+
+let names_arg = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+
+let scale_arg =
+  Arg.(value
+       & opt int Roload_workloads.Spec_suite.reference_scale
+       & info [ "scale" ] ~doc:"Workload scale factor (1 = quick, 3 = reference).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "roload_experiments"
+       ~doc:"Regenerate the tables and figures of the ROLoad paper (DAC 2021)")
+    Term.(const run $ names_arg $ scale_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,66 @@
+(* roload_run — load an .rxe image and run it on the simulated system.
+
+   Usage: roload_run prog.rxe [--system baseline|processor|full] *)
+
+open Cmdliner
+
+let run path system_name verbose trace_count =
+  let variant =
+    match system_name with
+    | "baseline" -> Core.System.Baseline
+    | "processor" -> Core.System.Processor_modified
+    | "full" | "processor+kernel" -> Core.System.Processor_kernel_modified
+    | other ->
+      Printf.eprintf "unknown system %s (expected baseline|processor|full)\n" other;
+      exit 2
+  in
+  let exe = Roload_obj.Exe.load path in
+  let trace =
+    if trace_count <= 0 then None
+    else begin
+      let remaining = ref trace_count in
+      Some
+        (fun ~pc inst ->
+          if !remaining > 0 then begin
+            decr remaining;
+            Printf.eprintf "%8x:  %s\n" pc (Roload_isa.Inst.to_string inst)
+          end)
+    end
+  in
+  let m = Core.System.run ?trace ~variant exe in
+  print_string m.Core.System.output;
+  if verbose then begin
+    Printf.eprintf "status:       %s\n" (Core.System.status_string m);
+    Printf.eprintf "instructions: %Ld\n" m.Core.System.instructions;
+    Printf.eprintf "cycles:       %Ld\n" m.Core.System.cycles;
+    Printf.eprintf "peak memory:  %d KiB (footprint %d bytes)\n" m.Core.System.peak_kib
+      m.Core.System.footprint_bytes;
+    Printf.eprintf "ld.ro executed: %d\n" m.Core.System.roloads_executed
+  end;
+  match m.Core.System.status with
+  | Roload_kernel.Process.Exited n -> exit n
+  | Roload_kernel.Process.Killed sg ->
+    Printf.eprintf "%s\n" (Roload_kernel.Signal.to_string sg);
+    exit 128
+  | Roload_kernel.Process.Running ->
+    Printf.eprintf "instruction limit exhausted\n";
+    exit 124
+
+let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.rxe")
+
+let system_arg =
+  Arg.(value & opt string "full"
+       & info [ "system" ] ~doc:"System variant: baseline, processor, or full.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print run statistics.")
+
+let trace_arg =
+  Arg.(value & opt int 0
+       & info [ "trace" ] ~docv:"N" ~doc:"Disassemble the first N retired instructions to stderr.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "roload_run" ~doc:"Run an RXE image on the simulated ROLoad system")
+    Term.(const run $ path_arg $ system_arg $ verbose_arg $ trace_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,73 @@
+(* roloadc — the MiniC compiler driver.
+
+   Usage:
+     roloadc input.mc -o prog.rxe --scheme vcall
+     roloadc input.mc -S                     # print assembly
+     roloadc input.mc --map                  # print the link map *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile input output scheme_name asm_only map compress separate_code optimize =
+  match Roload_passes.Pass.scheme_of_string scheme_name with
+  | None ->
+    Printf.eprintf "unknown scheme %s (expected none|vcall|icall|vtint|cfi)\n" scheme_name;
+    exit 2
+  | Some scheme -> (
+    let source = read_file input in
+    let options = { Core.Toolchain.scheme; compress; separate_code; optimize } in
+    let name = Filename.remove_extension (Filename.basename input) in
+    try
+      let artifacts = Core.Toolchain.compile ~options ~name source in
+      if asm_only then print_string (Core.Toolchain.asm_text artifacts)
+      else begin
+        if map then print_string (Roload_link.Linker.map_string artifacts.Core.Toolchain.exe);
+        let out = match output with Some o -> o | None -> name ^ ".rxe" in
+        Roload_obj.Exe.save artifacts.Core.Toolchain.exe out;
+        let report = artifacts.Core.Toolchain.pass_report in
+        List.iter
+          (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+          report.Roload_passes.Pass.annotations;
+        Printf.printf "wrote %s (%d segments, entry 0x%x)\n" out
+          (List.length artifacts.Core.Toolchain.exe.Roload_obj.Exe.segments)
+          artifacts.Core.Toolchain.exe.Roload_obj.Exe.entry
+      end
+    with Core.Toolchain.Compile_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1)
+
+let input_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.mc")
+let output_arg = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.rxe")
+
+let scheme_arg =
+  Arg.(value & opt string "none"
+       & info [ "scheme" ] ~doc:"Hardening scheme: none, vcall, icall, vtint, cfi.")
+
+let asm_arg = Arg.(value & flag & info [ "S" ] ~doc:"Print generated assembly and stop.")
+let map_arg = Arg.(value & flag & info [ "map" ] ~doc:"Print the link map.")
+
+let compress_arg =
+  Arg.(value & opt bool true & info [ "compress" ] ~doc:"RVC compression (incl. c.ld.ro).")
+
+let separate_arg =
+  Arg.(value & opt bool true
+       & info [ "separate-code" ] ~doc:"Keep read-only data off executable pages.")
+
+let optimize_arg =
+  Arg.(value & opt bool true
+       & info [ "optimize" ] ~doc:"IR constant folding and dead-code elimination.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "roloadc" ~doc:"MiniC compiler targeting the simulated ROLoad RV64 system")
+    Term.(
+      const compile $ input_arg $ output_arg $ scheme_arg $ asm_arg $ map_arg
+      $ compress_arg $ separate_arg $ optimize_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,51 @@
+(* Virtual-call protection (paper §IV-A): run a VTable-hijacking attack
+   against the same program unprotected and VCall-hardened.
+
+   Run with:  dune exec examples/vcall_protection.exe *)
+
+module Pass = Roload_passes.Pass
+module Attack = Roload_security.Attack
+
+let banner s = Printf.printf "\n=== %s ===\n" s
+
+let demo scheme =
+  banner (Printf.sprintf "scheme: %s" (Pass.scheme_name scheme));
+  let options = { Core.Toolchain.default_options with scheme } in
+  let exe =
+    Core.Toolchain.compile_exe ~options ~name:"victim" Roload_security.Victim.source
+  in
+  (* benign run first *)
+  let benign = Core.System.run ~variant:Core.System.Processor_kernel_modified exe in
+  Printf.printf "benign run: %s, output %S\n"
+    (Core.System.status_string benign)
+    (String.trim benign.Core.System.output);
+  (* now the two vtable attacks *)
+  List.iter
+    (fun kind ->
+      let outcome = Roload_security.Eval.run ~exe kind in
+      Printf.printf "%-42s -> %s\n" (Attack.kind_name kind) (Attack.outcome_name outcome))
+    [ Attack.Vtable_injection; Attack.Vtable_corruption_reuse ]
+
+let () =
+  print_endline "VTable hijacking: attacker overwrites an object's vptr through";
+  print_endline "a memory-corruption primitive, then the program makes a vcall.";
+  demo Pass.Unprotected;
+  demo Pass.Vtint_baseline;
+  demo Pass.Vcall;
+  print_endline "";
+  print_endline "Summary: the unprotected binary is hijacked; VTint stops the";
+  print_endline "injected (writable) vtable but accepts any read-only data as a";
+  print_endline "vtable; VCall's per-hierarchy page keys also stop the reuse of";
+  print_endline "another type's vtable — the stronger guarantee of paper §V-C2,";
+  print_endline "at a fraction of VTint's runtime cost (Figure 3).";
+  (* exercise the paper's residual-risk honesty too *)
+  banner "the residual pointee-reuse attack (paper §V-D)";
+  let options = { Core.Toolchain.default_options with scheme = Pass.Vcall } in
+  let exe =
+    Core.Toolchain.compile_exe ~options ~name:"victim" Roload_security.Victim.source
+  in
+  let outcome = Roload_security.Eval.run ~exe Attack.Pointee_reuse_same_key in
+  Printf.printf "%-42s -> %s\n"
+    (Attack.kind_name Attack.Pointee_reuse_same_key)
+    (Attack.outcome_name outcome);
+  print_endline "(values already inside a matching-key allowlist remain reachable)"

@@ -1,0 +1,1 @@
+lib/asm/asm_ir.ml: Char Int64 List Printf Roload_isa Roload_obj Roload_util String

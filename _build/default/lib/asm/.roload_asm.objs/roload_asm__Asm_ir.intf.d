@@ -1,0 +1,1 @@
+lib/asm/asm_ir.mli: Roload_isa

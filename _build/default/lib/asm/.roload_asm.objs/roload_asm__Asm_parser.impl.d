@@ -1,0 +1,1 @@
+lib/asm/asm_parser.ml: Asm_ir Buffer Int64 List Printf Roload_isa String

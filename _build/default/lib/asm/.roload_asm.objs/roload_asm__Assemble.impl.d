@@ -1,0 +1,1 @@
+lib/asm/assemble.ml: Array Asm_ir Buffer Bytes Char Hashtbl Int64 List Printf Roload_isa Roload_mem Roload_obj Roload_util String

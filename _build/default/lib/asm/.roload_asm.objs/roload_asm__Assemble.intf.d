@@ -1,0 +1,1 @@
+lib/asm/assemble.mli: Asm_ir Roload_obj

@@ -1,0 +1,78 @@
+(* Assembler input items.  The code generator produces these directly; the
+   text parser produces the same items from `.s` files, so both paths share
+   one assembler. *)
+
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+
+type item =
+  | Label of string
+  | Global of string
+  | Section of string (* switch current section, attributes from its name *)
+  | Align of int
+  | Inst of Inst.t (* concrete instruction, label-free *)
+  | Li of Reg.t * int64 (* load 64-bit constant; expands as needed *)
+  | La of Reg.t * string (* load symbol address (lui+addi, relocated) *)
+  | Call of string (* jal ra, sym *)
+  | Tail of string (* jal zero, sym *)
+  | Jump of string (* jal zero, local label *)
+  | Branch_to of Inst.branch_cond * Reg.t * Reg.t * string (* local label *)
+  | Quad_int of int64
+  | Quad_sym of string (* 8-byte absolute address of a symbol *)
+  | Word_int of int64
+  | Byte_int of int
+  | Asciz of string
+  | Bytes_raw of string (* raw bytes, no terminator appended *)
+  | Zero of int
+
+let item_to_string = function
+  | Label l -> l ^ ":"
+  | Global s -> ".global " ^ s
+  | Section s -> ".section " ^ s
+  | Align n -> Printf.sprintf ".align %d" n
+  | Inst i -> "    " ^ Inst.to_string i
+  | Li (rd, v) -> Printf.sprintf "    li %s, %Ld" (Reg.name rd) v
+  | La (rd, s) -> Printf.sprintf "    la %s, %s" (Reg.name rd) s
+  | Call s -> "    call " ^ s
+  | Tail s -> "    tail " ^ s
+  | Jump l -> "    j " ^ l
+  | Branch_to (c, r1, r2, l) ->
+    Printf.sprintf "    %s %s, %s, %s" (Inst.branch_cond_name c) (Reg.name r1)
+      (Reg.name r2) l
+  | Quad_int v -> Printf.sprintf "    .quad %Ld" v
+  | Quad_sym s -> "    .quad " ^ s
+  | Word_int v -> Printf.sprintf "    .word %Ld" v
+  | Byte_int v -> Printf.sprintf "    .byte %d" v
+  | Asciz s -> Printf.sprintf "    .asciz %S" s
+  | Bytes_raw s ->
+    "    .byte "
+    ^ String.concat ", " (List.map (fun c -> string_of_int (Char.code c))
+                            (List.init (String.length s) (String.get s)))
+  | Zero n -> Printf.sprintf "    .zero %d" n
+
+let program_to_string items = String.concat "\n" (List.map item_to_string items) ^ "\n"
+
+(* Expansion of `li rd, imm` into concrete instructions (the GNU-style
+   materialization: small → addi; 32-bit → lui+addiw; otherwise build the
+   upper part recursively, shift, and add 12-bit chunks). *)
+let rec expand_li rd v =
+  let open Roload_util.Bits in
+  if fits_signed v ~width:12 then [ Inst.Op_imm (Inst.Add, rd, Reg.zero, v) ]
+  else if fits_signed v ~width:32 then begin
+    let hi = Int64.of_int (Roload_obj.Reloc.hi20 (Int64.to_int v)) in
+    let lo = Roload_obj.Reloc.lo12 (Int64.to_int v) in
+    Inst.Lui (rd, hi) :: (if lo = 0L then [] else [ Inst.Op_imm_w (Inst.Addw, rd, rd, lo) ])
+  end
+  else begin
+    let lo = sign_extend (Int64.logand v 0xFFFL) ~width:12 in
+    let rest = Int64.sub v lo in
+    (* rest has its low 12 bits clear and is non-zero *)
+    let rec trailing_zeros n i =
+      if Int64.logand n 1L = 1L then i else trailing_zeros (Int64.shift_right_logical n 1) (i + 1)
+    in
+    let shift = trailing_zeros rest 0 in
+    let upper = Int64.shift_right rest shift in
+    expand_li rd upper
+    @ [ Inst.Op_imm (Inst.Sll, rd, rd, Int64.of_int shift) ]
+    @ if lo = 0L then [] else [ Inst.Op_imm (Inst.Add, rd, rd, lo) ]
+  end

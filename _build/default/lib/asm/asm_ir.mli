@@ -1,0 +1,29 @@
+(** Assembler input items.  The code generator produces these directly;
+    {!Asm_parser} produces the same items from `.s` text. *)
+
+type item =
+  | Label of string
+  | Global of string
+  | Section of string
+  | Align of int
+  | Inst of Roload_isa.Inst.t
+  | Li of Roload_isa.Reg.t * int64
+  | La of Roload_isa.Reg.t * string
+  | Call of string
+  | Tail of string
+  | Jump of string
+  | Branch_to of Roload_isa.Inst.branch_cond * Roload_isa.Reg.t * Roload_isa.Reg.t * string
+  | Quad_int of int64
+  | Quad_sym of string
+  | Word_int of int64
+  | Byte_int of int
+  | Asciz of string
+  | Bytes_raw of string  (** raw bytes, no terminator appended *)
+  | Zero of int
+
+val item_to_string : item -> string
+val program_to_string : item list -> string
+
+val expand_li : Roload_isa.Reg.t -> int64 -> Roload_isa.Inst.t list
+(** GNU-style constant materialization: addi / lui+addiw / recursive
+    shift-and-add for full 64-bit constants. *)

@@ -1,0 +1,275 @@
+(* Parser for textual assembly into [Asm_ir.item] lists.  Accepts the
+   syntax produced by [Asm_ir.item_to_string] / the code generator,
+   including the ROLoad forms of Listing 2/3:
+
+       ld.ro  a0, (a1), 111
+       .section .rodata.key.111
+       gfpt_foo: .quad foo
+*)
+
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ---------- tokenizing ---------- *)
+
+type token = Word of string | Int of int64 | LParen | RParen | Comma | Str of string
+
+let tokenize lineno s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '$' || c = ':' || c = '-' || c = '+'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n (* comment *)
+    else if c = '(' then begin toks := LParen :: !toks; incr i end
+    else if c = ')' then begin toks := RParen :: !toks; incr i end
+    else if c = ',' then begin toks := Comma :: !toks; incr i end
+    else if c = '"' then begin
+      let b = Buffer.create 16 in
+      incr i;
+      let rec go () =
+        if !i >= n then fail lineno "unterminated string"
+        else if s.[!i] = '"' then incr i
+        else if s.[!i] = '\\' && !i + 1 < n then begin
+          (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | '0' -> Buffer.add_char b '\000'
+          | '\\' -> Buffer.add_char b '\\'
+          | '"' -> Buffer.add_char b '"'
+          | c -> Buffer.add_char b c);
+          i := !i + 2;
+          go ()
+        end
+        else begin
+          Buffer.add_char b s.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      toks := Str (Buffer.contents b) :: !toks
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char s.[!i] do incr i done;
+      let w = String.sub s start (!i - start) in
+      (* numeric? *)
+      match Int64.of_string_opt w with
+      | Some v -> toks := Int v :: !toks
+      | None -> toks := Word w :: !toks
+    end
+    else fail lineno "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* ---------- parsing helpers ---------- *)
+
+let reg_of_word lineno w =
+  match Reg.of_name w with
+  | Some r -> r
+  | None -> fail lineno "unknown register %s" w
+
+let width_of_suffix lineno = function
+  | "b" -> (Inst.Byte, false)
+  | "h" -> (Inst.Half, false)
+  | "w" -> (Inst.Word, false)
+  | "d" -> (Inst.Double, false)
+  | "bu" -> (Inst.Byte, true)
+  | "hu" -> (Inst.Half, true)
+  | "wu" -> (Inst.Word, true)
+  | s -> fail lineno "unknown load/store width %s" s
+
+let branch_conds =
+  [ ("beq", Inst.Beq); ("bne", Inst.Bne); ("blt", Inst.Blt); ("bge", Inst.Bge);
+    ("bltu", Inst.Bltu); ("bgeu", Inst.Bgeu) ]
+
+let alu_imm_ops =
+  [ ("addi", Inst.Add); ("slti", Inst.Slt); ("sltiu", Inst.Sltu); ("xori", Inst.Xor);
+    ("ori", Inst.Or); ("andi", Inst.And); ("slli", Inst.Sll); ("srli", Inst.Srl);
+    ("srai", Inst.Sra) ]
+
+let alu_reg_ops =
+  [ ("add", Inst.Add); ("sub", Inst.Sub); ("sll", Inst.Sll); ("slt", Inst.Slt);
+    ("sltu", Inst.Sltu); ("xor", Inst.Xor); ("srl", Inst.Srl); ("sra", Inst.Sra);
+    ("or", Inst.Or); ("and", Inst.And) ]
+
+let alu_w_imm_ops =
+  [ ("addiw", Inst.Addw); ("slliw", Inst.Sllw); ("srliw", Inst.Srlw); ("sraiw", Inst.Sraw) ]
+
+let alu_w_reg_ops =
+  [ ("addw", Inst.Addw); ("subw", Inst.Subw); ("sllw", Inst.Sllw); ("srlw", Inst.Srlw);
+    ("sraw", Inst.Sraw) ]
+
+let mul_ops =
+  [ ("mul", Inst.Mul); ("mulh", Inst.Mulh); ("mulhsu", Inst.Mulhsu); ("mulhu", Inst.Mulhu);
+    ("div", Inst.Div); ("divu", Inst.Divu); ("rem", Inst.Rem); ("remu", Inst.Remu) ]
+
+let mul_w_ops =
+  [ ("mulw", Inst.Mulw); ("divw", Inst.Divw); ("divuw", Inst.Divuw); ("remw", Inst.Remw);
+    ("remuw", Inst.Remuw) ]
+
+(* ---------- statement parsing ---------- *)
+
+let rec parse_line lineno toks =
+  let reg w = reg_of_word lineno w in
+  match toks with
+  | [] -> []
+  | [ Word w ] when String.length w > 1 && w.[String.length w - 1] = ':' ->
+    [ Asm_ir.Label (String.sub w 0 (String.length w - 1)) ]
+  | Word w :: rest when String.length w > 1 && w.[String.length w - 1] = ':' ->
+    Asm_ir.Label (String.sub w 0 (String.length w - 1)) :: parse_line lineno rest
+  | [ Word ".section"; Word name ] -> [ Asm_ir.Section name ]
+  | [ Word ".text" ] -> [ Asm_ir.Section ".text" ]
+  | [ Word ".data" ] -> [ Asm_ir.Section ".data" ]
+  | [ Word ".bss" ] -> [ Asm_ir.Section ".bss" ]
+  | [ Word ".rodata" ] -> [ Asm_ir.Section ".rodata" ]
+  | [ Word (".global" | ".globl"); Word s ] -> [ Asm_ir.Global s ]
+  | [ Word ".align"; Int n ] -> [ Asm_ir.Align (Int64.to_int n) ]
+  | [ Word ".quad"; Int v ] -> [ Asm_ir.Quad_int v ]
+  | [ Word ".quad"; Word s ] -> [ Asm_ir.Quad_sym s ]
+  | [ Word ".word"; Int v ] -> [ Asm_ir.Word_int v ]
+  | [ Word ".byte"; Int v ] -> [ Asm_ir.Byte_int (Int64.to_int v) ]
+  | [ Word ".asciz"; Str s ] -> [ Asm_ir.Asciz s ]
+  | [ Word ".zero"; Int n ] -> [ Asm_ir.Zero (Int64.to_int n) ]
+  | Word mnemonic :: operands -> parse_inst lineno mnemonic operands reg
+  | (Int _ | LParen | RParen | Comma | Str _) :: _ -> fail lineno "unexpected token"
+
+and parse_inst lineno m operands reg =
+  let one = function
+    | [ x ] -> x
+    | _ -> fail lineno "%s: expected 1 operand" m
+  in
+  let i inst = [ Asm_ir.Inst inst ] in
+  match (m, operands) with
+  (* pseudos *)
+  | "nop", [] -> i Inst.nop
+  | "ret", [] -> i Inst.ret
+  | "ecall", [] -> i Inst.Ecall
+  | "ebreak", [] -> i Inst.Ebreak
+  | "fence", [] -> i Inst.Fence
+  | "li", [ Word rd; Comma; Int v ] -> [ Asm_ir.Li (reg rd, v) ]
+  | "la", [ Word rd; Comma; Word sym ] -> [ Asm_ir.La (reg rd, sym) ]
+  | "call", [ Word sym ] -> [ Asm_ir.Call sym ]
+  | "tail", [ Word sym ] -> [ Asm_ir.Tail sym ]
+  | "mv", [ Word rd; Comma; Word rs ] -> i (Inst.mv (reg rd) (reg rs))
+  | "j", [ x ] -> (
+    match one [ x ] with
+    | Word l -> [ Asm_ir.Jump l ]
+    | Int off -> i (Inst.Jal (Reg.zero, off))
+    | LParen | RParen | Comma | Str _ -> fail lineno "j: bad operand")
+  | "jr", [ Word rs ] -> i (Inst.Jalr (Reg.zero, reg rs, 0L))
+  | "jal", [ Word rd; Comma; Int off ] -> i (Inst.Jal (reg rd, off))
+  | "jal", [ Word rd; Comma; Word sym ] when Reg.of_name rd <> None && Reg.of_name sym = None ->
+    if Reg.to_int (reg rd) = 1 then [ Asm_ir.Call sym ]
+    else if Reg.to_int (reg rd) = 0 then [ Asm_ir.Jump sym ]
+    else fail lineno "jal to symbol only supported with rd = ra or zero"
+  | "jal", [ Word sym ] -> [ Asm_ir.Call sym ]
+  | "jalr", [ Word rs ] -> i (Inst.Jalr (Reg.ra, reg rs, 0L))
+  | "jalr", [ Word rd; Comma; Int imm; LParen; Word rs1; RParen ] ->
+    i (Inst.Jalr (reg rd, reg rs1, imm))
+  | "jalr", [ Word rd; Comma; LParen; Word rs1; RParen ] ->
+    i (Inst.Jalr (reg rd, reg rs1, 0L))
+  | "beqz", [ Word rs; Comma; Word l ] ->
+    [ Asm_ir.Branch_to (Inst.Beq, reg rs, Reg.zero, l) ]
+  | "bnez", [ Word rs; Comma; Word l ] ->
+    [ Asm_ir.Branch_to (Inst.Bne, reg rs, Reg.zero, l) ]
+  | _, _ -> parse_inst2 lineno m operands reg
+
+and parse_inst2 lineno m operands reg =
+  let i inst = [ Asm_ir.Inst inst ] in
+  (* branches *)
+  match List.assoc_opt m branch_conds with
+  | Some cond -> (
+    match operands with
+    | [ Word r1; Comma; Word r2; Comma; Word l ] ->
+      [ Asm_ir.Branch_to (cond, reg r1, reg r2, l) ]
+    | [ Word r1; Comma; Word r2; Comma; Int off ] ->
+      i (Inst.Branch (cond, reg r1, reg r2, off))
+    | _ -> fail lineno "%s: bad operands" m)
+  | None -> (
+    (* loads/stores (incl. .ro forms) *)
+    let is_ro = String.length m > 3 && String.sub m (String.length m - 3) 3 = ".ro" in
+    let base = if is_ro then String.sub m 0 (String.length m - 3) else m in
+    match base.[0] with
+    | 'l' when List.mem_assoc base
+                 [ ("lb", ()); ("lh", ()); ("lw", ()); ("ld", ()); ("lbu", ());
+                   ("lhu", ()); ("lwu", ()) ] -> (
+      let width, unsigned = width_of_suffix lineno (String.sub base 1 (String.length base - 1)) in
+      if is_ro then
+        match operands with
+        | [ Word rd; Comma; LParen; Word rs1; RParen; Comma; Int key ] ->
+          i (Inst.Load_ro { width; unsigned; rd = reg rd; rs1 = reg rs1;
+                            key = Int64.to_int key })
+        | _ -> fail lineno "%s: expected 'rd, (rs1), key'" m
+      else
+        match operands with
+        | [ Word rd; Comma; Int imm; LParen; Word rs1; RParen ] ->
+          i (Inst.Load { width; unsigned; rd = reg rd; rs1 = reg rs1; imm })
+        | [ Word rd; Comma; LParen; Word rs1; RParen ] ->
+          i (Inst.Load { width; unsigned; rd = reg rd; rs1 = reg rs1; imm = 0L })
+        | _ -> fail lineno "%s: expected 'rd, imm(rs1)'" m)
+    | 's' when List.mem_assoc base [ ("sb", ()); ("sh", ()); ("sw", ()); ("sd", ()) ] -> (
+      let width, _ = width_of_suffix lineno (String.sub base 1 (String.length base - 1)) in
+      match operands with
+      | [ Word rs2; Comma; Int imm; LParen; Word rs1; RParen ] ->
+        i (Inst.Store { width; rs2 = reg rs2; rs1 = reg rs1; imm })
+      | [ Word rs2; Comma; LParen; Word rs1; RParen ] ->
+        i (Inst.Store { width; rs2 = reg rs2; rs1 = reg rs1; imm = 0L })
+      | _ -> fail lineno "%s: expected 'rs2, imm(rs1)'" m)
+    | 'l' | 's' | 'a' | 'b' | 'c' | 'd' | 'e' | 'f' | 'g' | 'h' | 'i' | 'j' | 'k'
+    | 'm' | 'n' | 'o' | 'p' | 'q' | 'r' | 't' | 'u' | 'v' | 'w' | 'x' | 'y' | 'z'
+    | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '$' | '-' | '+' | ':' ->
+      parse_inst3 lineno m operands reg
+    | _ -> fail lineno "unknown mnemonic %s" m)
+
+and parse_inst3 lineno m operands reg =
+  let i inst = [ Asm_ir.Inst inst ] in
+  let rrr mk =
+    match operands with
+    | [ Word rd; Comma; Word rs1; Comma; Word rs2 ] -> i (mk (reg rd) (reg rs1) (reg rs2))
+    | _ -> fail lineno "%s: expected 'rd, rs1, rs2'" m
+  in
+  let rri mk =
+    match operands with
+    | [ Word rd; Comma; Word rs1; Comma; Int imm ] -> i (mk (reg rd) (reg rs1) imm)
+    | _ -> fail lineno "%s: expected 'rd, rs1, imm'" m
+  in
+  match List.assoc_opt m alu_imm_ops with
+  | Some op -> rri (fun rd rs1 imm -> Inst.Op_imm (op, rd, rs1, imm))
+  | None -> (
+    match List.assoc_opt m alu_w_imm_ops with
+    | Some op -> rri (fun rd rs1 imm -> Inst.Op_imm_w (op, rd, rs1, imm))
+    | None -> (
+      match List.assoc_opt m alu_reg_ops with
+      | Some op -> rrr (fun rd rs1 rs2 -> Inst.Op (op, rd, rs1, rs2))
+      | None -> (
+        match List.assoc_opt m alu_w_reg_ops with
+        | Some op -> rrr (fun rd rs1 rs2 -> Inst.Op_w (op, rd, rs1, rs2))
+        | None -> (
+          match List.assoc_opt m mul_ops with
+          | Some op -> rrr (fun rd rs1 rs2 -> Inst.Mulop (op, rd, rs1, rs2))
+          | None -> (
+            match List.assoc_opt m mul_w_ops with
+            | Some op -> rrr (fun rd rs1 rs2 -> Inst.Mulop_w (op, rd, rs1, rs2))
+            | None -> (
+              match (m, operands) with
+              | "lui", [ Word rd; Comma; Int imm ] ->
+                i (Inst.Lui (reg rd, Int64.logand imm 0xFFFFFL))
+              | "auipc", [ Word rd; Comma; Int imm ] ->
+                i (Inst.Auipc (reg rd, Int64.logand imm 0xFFFFFL))
+              | _ -> fail lineno "unknown mnemonic %s" m))))))
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  List.concat (List.mapi (fun idx line -> parse_line (idx + 1) (tokenize (idx + 1) line)) lines)

@@ -1,0 +1,7 @@
+(** Parser for textual assembly into {!Asm_ir.item} lists, accepting the
+    syntax the code generator prints (including [ld.ro rd, (rs1), key] and
+    [.rodata.key.N] sections). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Asm_ir.item list

@@ -1,0 +1,270 @@
+(* The assembler: turns [Asm_ir.item] lists into a relocatable object file.
+
+   Pipeline per section:
+   1. expand pseudo-instructions (li) into concrete instructions;
+   2. optionally compress layout-independent instructions to RVC forms
+      (including c.ld.ro);
+   3. iterate branch relaxation to a fixed point: local conditional
+      branches start short (4 bytes) and grow to an inverted-branch+jal
+      pair (8 bytes) when their target is out of the ±4 KiB B-type range;
+   4. emit bytes, record label symbols and relocations (Hi20/Lo12 pairs
+      for la, Jal for call/tail, Abs64 for .quad sym). *)
+
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+module Encode = Roload_isa.Encode
+module Compressed = Roload_isa.Compressed
+module Section = Roload_obj.Section
+module Symbol = Roload_obj.Symbol
+module Reloc = Roload_obj.Reloc
+module Objfile = Roload_obj.Objfile
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* An atom is a layout unit whose size is known up to branch relaxation. *)
+type atom =
+  | A_label of string
+  | A_inst of Inst.t * bool (* instruction, compressed? *)
+  | A_la of Reg.t * string
+  | A_calljal of Reg.t * string (* jal <rd>, sym — call (ra) or tail (zero) *)
+  | A_jump of string (* local jal zero, or cross-section via reloc *)
+  | A_branch of Inst.branch_cond * Reg.t * Reg.t * string * bool ref (* long? *)
+  | A_quad_sym of string (* 8 bytes + Abs64 reloc *)
+  | A_bytes of string
+  | A_align of int
+
+type options = { compress : bool }
+
+let default_options = { compress = true }
+
+let atom_size = function
+  | A_label _ -> 0
+  | A_inst (_, compressed) -> if compressed then 2 else 4
+  | A_la _ -> 8
+  | A_calljal _ -> 4
+  | A_jump _ -> 4
+  | A_branch (_, _, _, _, long) -> if !long then 8 else 4
+  | A_quad_sym _ -> 8
+  | A_bytes s -> String.length s
+  | A_align _ -> 0 (* padding is computed during layout *)
+
+let layout atoms =
+  let n = Array.length atoms in
+  let offsets = Array.make n 0 in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    (match atoms.(i) with
+    | A_align a -> pos := Roload_util.Bits.align_up !pos a
+    | A_label _ | A_inst _ | A_la _ | A_calljal _ | A_jump _ | A_branch _
+    | A_quad_sym _ | A_bytes _ ->
+      ());
+    offsets.(i) <- !pos;
+    pos := !pos + atom_size atoms.(i)
+  done;
+  (offsets, !pos)
+
+let label_offsets atoms offsets =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun i atom ->
+      match atom with
+      | A_label l ->
+        if Hashtbl.mem tbl l then error "duplicate label %s" l;
+        Hashtbl.add tbl l offsets.(i)
+      | A_inst _ | A_la _ | A_calljal _ | A_jump _ | A_branch _ | A_quad_sym _
+      | A_bytes _ | A_align _ ->
+        ())
+    atoms;
+  tbl
+
+let branch_fits off = off >= -4096 && off <= 4094
+
+let relax atoms =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let offsets, _ = layout atoms in
+    let labels = label_offsets atoms offsets in
+    Array.iteri
+      (fun i atom ->
+        match atom with
+        | A_branch (_, _, _, target, long) when not !long -> (
+          match Hashtbl.find_opt labels target with
+          | None -> error "undefined local branch target %s" target
+          | Some toff ->
+            if not (branch_fits (toff - offsets.(i))) then begin
+              long := true;
+              changed := true
+            end)
+        | A_branch _ | A_label _ | A_inst _ | A_la _ | A_calljal _ | A_jump _
+        | A_quad_sym _ | A_bytes _ | A_align _ ->
+          ())
+      atoms
+  done
+
+let invert_cond = function
+  | Inst.Beq -> Inst.Bne
+  | Inst.Bne -> Inst.Beq
+  | Inst.Blt -> Inst.Bge
+  | Inst.Bge -> Inst.Blt
+  | Inst.Bltu -> Inst.Bgeu
+  | Inst.Bgeu -> Inst.Bltu
+
+let emit_section ~sec_name atoms =
+  relax atoms;
+  let offsets, total = layout atoms in
+  let labels = label_offsets atoms offsets in
+  let buf = Buffer.create (total + 16) in
+  let relocs = ref [] in
+  let add_reloc ~offset ~kind ~symbol ~addend =
+    relocs := { Reloc.section = sec_name; offset; kind; symbol; addend } :: !relocs
+  in
+  let is_text =
+    let perms, _ = Section.attrs_of_name sec_name in
+    perms.Roload_mem.Perm.x
+  in
+  let pad upto =
+    (* c.nop (0x0001) in text, zero bytes elsewhere *)
+    while Buffer.length buf < upto do
+      if is_text && upto - Buffer.length buf >= 2 then
+        Buffer.add_string buf (Compressed.encode_bytes 0x0001)
+      else Buffer.add_char buf '\000'
+    done
+  in
+  Array.iteri
+    (fun i atom ->
+      pad offsets.(i);
+      let here = offsets.(i) in
+      match atom with
+      | A_label _ | A_align _ -> ()
+      | A_bytes s -> Buffer.add_string buf s
+      | A_quad_sym sym ->
+        add_reloc ~offset:here ~kind:Reloc.Abs64 ~symbol:sym ~addend:0;
+        Buffer.add_string buf (String.make 8 '\000')
+      | A_inst (inst, compressed) ->
+        if compressed then
+          match Compressed.try_compress inst with
+          | Some hw -> Buffer.add_string buf (Compressed.encode_bytes hw)
+          | None -> error "internal: instruction marked compressed but not compressible"
+        else Buffer.add_string buf (Encode.encode_bytes inst)
+      | A_la (rd, sym) ->
+        add_reloc ~offset:here ~kind:Reloc.Hi20 ~symbol:sym ~addend:0;
+        add_reloc ~offset:(here + 4) ~kind:Reloc.Lo12_i ~symbol:sym ~addend:0;
+        Buffer.add_string buf (Encode.encode_bytes (Inst.Lui (rd, 0L)));
+        Buffer.add_string buf (Encode.encode_bytes (Inst.Op_imm (Inst.Add, rd, rd, 0L)))
+      | A_calljal (rd, sym) ->
+        add_reloc ~offset:here ~kind:Reloc.Jal ~symbol:sym ~addend:0;
+        Buffer.add_string buf (Encode.encode_bytes (Inst.Jal (rd, 0L)))
+      | A_jump target -> (
+        match Hashtbl.find_opt labels target with
+        | Some toff ->
+          Buffer.add_string buf
+            (Encode.encode_bytes (Inst.Jal (Reg.zero, Int64.of_int (toff - here))))
+        | None ->
+          add_reloc ~offset:here ~kind:Reloc.Jal ~symbol:target ~addend:0;
+          Buffer.add_string buf (Encode.encode_bytes (Inst.Jal (Reg.zero, 0L))))
+      | A_branch (cond, r1, r2, target, long) -> (
+        match Hashtbl.find_opt labels target with
+        | None -> error "undefined local branch target %s" target
+        | Some toff ->
+          if !long then begin
+            Buffer.add_string buf
+              (Encode.encode_bytes (Inst.Branch (invert_cond cond, r1, r2, 8L)));
+            Buffer.add_string buf
+              (Encode.encode_bytes (Inst.Jal (Reg.zero, Int64.of_int (toff - (here + 4)))))
+          end
+          else
+            Buffer.add_string buf
+              (Encode.encode_bytes (Inst.Branch (cond, r1, r2, Int64.of_int (toff - here))))))
+    atoms;
+  pad total;
+  (Buffer.contents buf, labels, List.rev !relocs)
+
+type section_acc = { mutable atoms : atom list (* reversed *) }
+
+let assemble ?(options = default_options) items =
+  let sections : (string, section_acc) Hashtbl.t = Hashtbl.create 8 in
+  let section_order = ref [] in
+  let globals = ref [] in
+  let current = ref None in
+  let get_section name =
+    match Hashtbl.find_opt sections name with
+    | Some s -> s
+    | None ->
+      let s = { atoms = [] } in
+      Hashtbl.add sections name s;
+      section_order := name :: !section_order;
+      s
+  in
+  let push atom =
+    match !current with
+    | None -> error "item before any .section directive"
+    | Some sec -> sec.atoms <- atom :: sec.atoms
+  in
+  let push_inst inst =
+    if not (Inst.valid inst) then error "invalid instruction: %s" (Inst.to_string inst);
+    let compressed = options.compress && Compressed.try_compress inst <> None in
+    push (A_inst (inst, compressed))
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Asm_ir.Section name -> current := Some (get_section name)
+      | Asm_ir.Label l -> push (A_label l)
+      | Asm_ir.Global s -> globals := s :: !globals
+      | Asm_ir.Align n -> push (A_align n)
+      | Asm_ir.Inst inst -> push_inst inst
+      | Asm_ir.Li (rd, v) -> List.iter push_inst (Asm_ir.expand_li rd v)
+      | Asm_ir.La (rd, sym) -> push (A_la (rd, sym))
+      | Asm_ir.Call sym -> push (A_calljal (Reg.ra, sym))
+      | Asm_ir.Tail sym -> push (A_calljal (Reg.zero, sym))
+      | Asm_ir.Jump l -> push (A_jump l)
+      | Asm_ir.Branch_to (c, r1, r2, l) -> push (A_branch (c, r1, r2, l, ref false))
+      | Asm_ir.Quad_int v ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        push (A_bytes (Bytes.to_string b))
+      | Asm_ir.Quad_sym sym -> push (A_quad_sym sym)
+      | Asm_ir.Word_int v ->
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (Int64.to_int32 v);
+        push (A_bytes (Bytes.to_string b))
+      | Asm_ir.Byte_int v -> push (A_bytes (String.make 1 (Char.chr (v land 0xFF))))
+      | Asm_ir.Asciz s -> push (A_bytes (s ^ "\000"))
+      | Asm_ir.Bytes_raw s -> push (A_bytes s)
+      | Asm_ir.Zero n -> push (A_bytes (String.make n '\000')))
+    items;
+  let globals = !globals in
+  let out_sections = ref [] in
+  let out_symbols = ref [] in
+  let out_relocs = ref [] in
+  List.iter
+    (fun sec_name ->
+      let acc = Hashtbl.find sections sec_name in
+      let atoms = Array.of_list (List.rev acc.atoms) in
+      let data, labels, relocs = emit_section ~sec_name atoms in
+      let perms, key = Section.attrs_of_name sec_name in
+      let section =
+        if Section.is_bss_name sec_name then
+          Section.make ~key ~bss_size:(String.length data) ~name:sec_name ~perms ""
+        else Section.make ~key ~name:sec_name ~perms data
+      in
+      out_sections := section :: !out_sections;
+      Hashtbl.iter
+        (fun name offset ->
+          out_symbols :=
+            Symbol.make ~global:(List.mem name globals) ~name ~section:sec_name ~offset ()
+            :: !out_symbols)
+        labels;
+      out_relocs := !out_relocs @ relocs)
+    (List.rev !section_order);
+  Objfile.make ~sections:(List.rev !out_sections) ~symbols:!out_symbols
+    ~relocs:!out_relocs
+
+(* Static instrumentation statistics used by the memory-overhead analysis:
+   code bytes per section before/after hardening are compared by the
+   experiment drivers. *)
+let section_sizes obj =
+  List.map (fun (s : Section.t) -> (s.Section.name, Section.size s)) obj.Objfile.sections

@@ -1,0 +1,15 @@
+(** The assembler: [Asm_ir.item] lists → relocatable object files, with
+    li expansion, optional RVC compression (including [c.ld.ro]) and
+    branch relaxation. *)
+
+exception Error of string
+
+type options = { compress : bool }
+
+val default_options : options
+
+val assemble : ?options:options -> Asm_ir.item list -> Roload_obj.Objfile.t
+(** Raises {!Error} on invalid input (undefined local labels, invalid
+    instructions, items before the first [.section]). *)
+
+val section_sizes : Roload_obj.Objfile.t -> (string * int) list

@@ -1,0 +1,107 @@
+(* A set-associative write-back cache timing model (tags only — data flows
+   through the flat physical memory; the cache decides how many cycles an
+   access costs).  True-LRU within each set. *)
+
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+let kib n = n * 1024
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable last_use : int }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+type t = {
+  config : config;
+  sets : line array array; (* sets.(index).(way) *)
+  num_sets : int;
+  index_bits : int;
+  offset_bits : int;
+  mutable clock : int;
+  stats : stats;
+  name : string;
+}
+
+let create ~name config =
+  let { size_bytes; ways; line_bytes } = config in
+  if size_bytes <= 0 || ways <= 0 || line_bytes <= 0 then invalid_arg "Cache.create";
+  if not (Roload_util.Bits.is_power_of_two line_bytes) then
+    invalid_arg "Cache.create: line size must be a power of two";
+  let num_sets = size_bytes / (ways * line_bytes) in
+  if num_sets * ways * line_bytes <> size_bytes then
+    invalid_arg "Cache.create: size must be ways * lines * line_bytes";
+  if not (Roload_util.Bits.is_power_of_two num_sets) then
+    invalid_arg "Cache.create: number of sets must be a power of two";
+  {
+    config;
+    sets =
+      Array.init num_sets (fun _ ->
+          Array.init ways (fun _ -> { tag = 0; valid = false; dirty = false; last_use = 0 }));
+    num_sets;
+    index_bits = Roload_util.Bits.log2_exact num_sets;
+    offset_bits = Roload_util.Bits.log2_exact line_bytes;
+    clock = 0;
+    stats = { hits = 0; misses = 0; writebacks = 0 };
+    name;
+  }
+
+let name t = t.name
+let config t = t.config
+let stats t = t.stats
+
+type outcome = Hit | Miss of { writeback : bool }
+
+let access t ~addr ~write =
+  t.clock <- t.clock + 1;
+  let line_addr = addr lsr t.offset_bits in
+  let index = line_addr land (t.num_sets - 1) in
+  let tag = line_addr lsr t.index_bits in
+  let set = t.sets.(index) in
+  let ways = Array.length set in
+  let rec find i = if i >= ways then None else if set.(i).valid && set.(i).tag = tag then Some set.(i) else find (i + 1) in
+  match find 0 with
+  | Some line ->
+    line.last_use <- t.clock;
+    if write then line.dirty <- true;
+    t.stats.hits <- t.stats.hits + 1;
+    Hit
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    (* choose victim: first invalid way, else LRU *)
+    let victim = ref set.(0) in
+    (try
+       for i = 0 to ways - 1 do
+         if not set.(i).valid then begin
+           victim := set.(i);
+           raise Exit
+         end;
+         if set.(i).last_use < !victim.last_use then victim := set.(i)
+       done
+     with Exit -> ());
+    let v = !victim in
+    let writeback = v.valid && v.dirty in
+    if writeback then t.stats.writebacks <- t.stats.writebacks + 1;
+    v.tag <- tag;
+    v.valid <- true;
+    v.dirty <- write;
+    v.last_use <- t.clock;
+    Miss { writeback }
+
+let flush t =
+  Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.sets
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.writebacks <- 0
+
+let miss_rate t =
+  let total = t.stats.hits + t.stats.misses in
+  if total = 0 then 0.0 else float_of_int t.stats.misses /. float_of_int total

@@ -1,0 +1,24 @@
+(** Set-associative write-back cache timing model (tags only), true-LRU
+    replacement within each set. *)
+
+type config = { size_bytes : int; ways : int; line_bytes : int }
+
+val kib : int -> int
+
+type stats = { mutable hits : int; mutable misses : int; mutable writebacks : int }
+
+type t
+
+val create : name:string -> config -> t
+(** Raises [Invalid_argument] on non-power-of-two geometry. *)
+
+val name : t -> string
+val config : t -> config
+val stats : t -> stats
+
+type outcome = Hit | Miss of { writeback : bool }
+
+val access : t -> addr:int -> write:bool -> outcome
+val flush : t -> unit
+val reset_stats : t -> unit
+val miss_rate : t -> float

@@ -1,0 +1,30 @@
+(** The prototype's memory hierarchy (Table II): 32 KiB 8-way L1I/L1D
+    backed by DRAM, exposed as cycle costs per physical access. *)
+
+type latencies = { l1_hit : int; miss_penalty : int; writeback_penalty : int }
+
+val default_latencies : latencies
+
+type t
+
+val default_l1_config : Cache.config
+
+val create :
+  ?icache_config:Cache.config ->
+  ?dcache_config:Cache.config ->
+  ?latencies:latencies ->
+  unit ->
+  t
+
+val icache : t -> Cache.t
+val dcache : t -> Cache.t
+
+val access_ifetch : t -> pa:int -> int
+(** Cycle cost of fetching at physical address [pa] (0 on a hit). *)
+
+val access_data : t -> pa:int -> write:bool -> int
+val access_ptw : t -> pa:int -> int
+(** Page-table-walker access (through the D-cache, as in Rocket). *)
+
+val flush : t -> unit
+val reset_stats : t -> unit

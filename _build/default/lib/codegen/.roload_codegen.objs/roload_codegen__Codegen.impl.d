@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Int64 List Liveness Printf Regalloc Roload_asm Roload_ir Roload_isa Roload_util

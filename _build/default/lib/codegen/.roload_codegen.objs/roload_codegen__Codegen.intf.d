@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Roload_asm Roload_ir

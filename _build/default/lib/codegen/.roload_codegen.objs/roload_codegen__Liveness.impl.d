@@ -1,0 +1,1 @@
+lib/codegen/liveness.ml: Array Hashtbl Int List Roload_ir Set

@@ -1,0 +1,1 @@
+lib/codegen/liveness.mli: Roload_ir Set

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.mli: Hashtbl Liveness Roload_ir Roload_isa

@@ -1,0 +1,27 @@
+(** Code generation: IR modules → assembler items.
+
+    Hardening metadata lowers here: roload keys become ld.ro (plus an
+    addi when an address offset is needed — paper §III-C); vtint becomes
+    a read-only-range check against [__ro_start]/[__ro_end]; CFI labels
+    become a [lui x0, id] word before the function entry and an id-word
+    comparison before the indirect jump. *)
+
+exception Error of string
+
+val ro_start_symbol : string
+val ro_end_symbol : string
+
+type ret_protection = {
+  rp_key : int;
+  rp_local_funcs : string list;
+  rp_counter : int ref;
+}
+(** Backward-edge protection (paper §IV-C), driven by [m_ret_key]:
+    module-local calls pass a keyed return-site-cell address in ra and
+    epilogues return through ld.ro. *)
+
+val emit_function :
+  ?ret_protection:ret_protection -> Roload_ir.Ir.func -> Roload_asm.Asm_ir.item list
+
+val emit_global : Roload_ir.Ir.global -> Roload_asm.Asm_ir.item list
+val emit_module : Roload_ir.Ir.modul -> Roload_asm.Asm_ir.item list

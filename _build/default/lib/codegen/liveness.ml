@@ -1,0 +1,151 @@
+(* Backward liveness dataflow over the IR CFG, producing per-temp live
+   intervals on the linearized instruction order (for linear-scan
+   allocation) plus the set of positions that are calls. *)
+
+module Ir = Roload_ir.Ir
+module IntSet = Set.Make (Int)
+
+type interval = {
+  temp : Ir.temp;
+  start_pos : int;
+  end_pos : int;
+  crosses_call : bool;
+}
+
+type t = {
+  intervals : interval list; (* sorted by start_pos *)
+  call_positions : IntSet.t;
+  num_positions : int;
+}
+
+(* Linearized positions: blocks in order; each instruction one position;
+   the terminator takes one more. *)
+let analyze (f : Ir.func) =
+  let blocks = Array.of_list f.Ir.f_blocks in
+  let nblocks = Array.length blocks in
+  let label_index = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.add label_index b.Ir.b_label i) blocks;
+  (* positions — starting at 1 so that parameter definitions (position 0)
+     precede the first instruction; otherwise a call that happens to be
+     the first instruction would share position 0 with the parameter defs
+     and parameters live across it would not count as call-crossing *)
+  let block_start = Array.make nblocks 0 in
+  let pos = ref 1 in
+  Array.iteri
+    (fun i b ->
+      block_start.(i) <- !pos;
+      pos := !pos + List.length b.Ir.b_instrs + 1)
+    blocks;
+  let num_positions = !pos in
+  (* block-level use/def *)
+  let use = Array.make nblocks IntSet.empty in
+  let def = Array.make nblocks IntSet.empty in
+  Array.iteri
+    (fun i b ->
+      let u = ref IntSet.empty and d = ref IntSet.empty in
+      List.iter
+        (fun ins ->
+          List.iter (fun t -> if not (IntSet.mem t !d) then u := IntSet.add t !u)
+            (Ir.instr_uses ins);
+          List.iter (fun t -> d := IntSet.add t !d) (Ir.instr_defs ins))
+        b.Ir.b_instrs;
+      List.iter (fun t -> if not (IntSet.mem t !d) then u := IntSet.add t !u)
+        (Ir.term_uses b.Ir.b_term);
+      use.(i) <- !u;
+      def.(i) <- !d)
+    blocks;
+  (* fixpoint for live_out *)
+  let live_in = Array.make nblocks IntSet.empty in
+  let live_out = Array.make nblocks IntSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nblocks - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l ->
+            match Hashtbl.find_opt label_index l with
+            | Some j -> IntSet.union acc live_in.(j)
+            | None -> acc)
+          IntSet.empty
+          (Ir.successors blocks.(i).Ir.b_term)
+      in
+      let inn = IntSet.union use.(i) (IntSet.diff out def.(i)) in
+      if not (IntSet.equal out live_out.(i)) || not (IntSet.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (* per-position live ranges: walk each block backward *)
+  let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
+  let call_positions = ref IntSet.empty in
+  let touch t p =
+    (match Hashtbl.find_opt first t with
+    | Some q when q <= p -> ()
+    | Some _ | None -> Hashtbl.replace first t p);
+    match Hashtbl.find_opt last t with
+    | Some q when q >= p -> ()
+    | Some _ | None -> Hashtbl.replace last t p
+  in
+  Array.iteri
+    (fun i b ->
+      let instrs = Array.of_list b.Ir.b_instrs in
+      let n = Array.length instrs in
+      let term_pos = block_start.(i) + n in
+      (* live set just after each position *)
+      let live = ref live_out.(i) in
+      (* terminator *)
+      IntSet.iter (fun t -> touch t term_pos) !live;
+      List.iter
+        (fun t ->
+          live := IntSet.add t !live;
+          touch t term_pos)
+        (Ir.term_uses b.Ir.b_term);
+      for k = n - 1 downto 0 do
+        let p = block_start.(i) + k in
+        let ins = instrs.(k) in
+        if Ir.is_call ins then call_positions := IntSet.add p !call_positions;
+        (* defs end liveness (looking backward) but the def position itself
+           is part of the interval *)
+        List.iter
+          (fun t ->
+            touch t p;
+            live := IntSet.remove t !live)
+          (Ir.instr_defs ins);
+        List.iter
+          (fun t ->
+            live := IntSet.add t !live;
+            touch t p)
+          (Ir.instr_uses ins);
+        IntSet.iter (fun t -> touch t p) !live
+      done;
+      (* anything live-in is live at the block start *)
+      IntSet.iter (fun t -> touch t block_start.(i)) live_in.(i))
+    blocks;
+  (* parameters are defined at position 0 *)
+  List.iter (fun t -> touch t 0) f.Ir.f_params;
+  let intervals =
+    Hashtbl.fold
+      (fun t s acc ->
+        let e = Hashtbl.find last t in
+        acc
+        @ [ { temp = t; start_pos = s; end_pos = e; crosses_call = false } ])
+      first []
+  in
+  (* mark call crossings: interval strictly containing a call position
+     (a call's own def/uses do not need to survive it) *)
+  let calls = !call_positions in
+  (* A temp crosses a call iff a call position lies strictly inside its
+     interval: a call's own arguments die at the call, and its result is
+     defined after it returns. *)
+  let intervals =
+    List.map
+      (fun iv ->
+        let crosses = IntSet.exists (fun c -> iv.start_pos < c && c < iv.end_pos) calls in
+        { iv with crosses_call = crosses })
+      intervals
+  in
+  let intervals = List.sort (fun a b -> compare a.start_pos b.start_pos) intervals in
+  { intervals; call_positions = calls; num_positions }

@@ -1,0 +1,23 @@
+(** Backward liveness dataflow over the IR CFG, producing per-temp live
+    intervals on the linearized instruction order (positions start at 1;
+    parameter definitions occupy position 0) plus the set of call
+    positions. *)
+
+module IntSet : Set.S with type elt = int
+
+type interval = {
+  temp : Roload_ir.Ir.temp;
+  start_pos : int;
+  end_pos : int;
+  crosses_call : bool;
+      (** a call position lies strictly inside the interval — the temp
+          must survive a call and needs a callee-saved register *)
+}
+
+type t = {
+  intervals : interval list;  (** sorted by start position *)
+  call_positions : IntSet.t;
+  num_positions : int;
+}
+
+val analyze : Roload_ir.Ir.func -> t

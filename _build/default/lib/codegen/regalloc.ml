@@ -1,0 +1,90 @@
+(* Linear-scan register allocation over the liveness intervals.
+
+   Pools: callee-saved s1..s11 (usable by any interval; required for
+   intervals that cross a call) and caller-saved t3..t6 (only for
+   call-free intervals).  t0/t1/t2 are reserved as emission scratch;
+   a-registers carry arguments/results and are never allocated.
+   Intervals that do not fit are spilled to frame slots. *)
+
+module Ir = Roload_ir.Ir
+module Reg = Roload_isa.Reg
+
+type location =
+  | In_reg of Reg.t
+  | Spilled of int (* spill slot index *)
+
+type allocation = {
+  locations : (Ir.temp, location) Hashtbl.t;
+  used_callee_saved : Reg.t list; (* to save/restore in the prologue *)
+  spill_count : int;
+}
+
+let callee_pool = [ Reg.s1; Reg.s2; Reg.s3; Reg.s4; Reg.s5; Reg.s6; Reg.s7; Reg.s8;
+                    Reg.s9; Reg.s10; Reg.s11 ]
+
+let caller_pool = [ Reg.t3; Reg.t4; Reg.t5; Reg.t6 ]
+
+let allocate (live : Liveness.t) =
+  let locations = Hashtbl.create 64 in
+  let free_callee = ref callee_pool in
+  let free_caller = ref caller_pool in
+  let used_callee = ref [] in
+  let spill_count = ref 0 in
+  (* active: (end_pos, temp, reg, from_callee_pool) *)
+  let active = ref [] in
+  let expire pos =
+    let still, done_ = List.partition (fun (e, _, _, _) -> e >= pos) !active in
+    active := still;
+    List.iter
+      (fun (_, _, r, from_callee) ->
+        if from_callee then free_callee := r :: !free_callee
+        else free_caller := r :: !free_caller)
+      done_
+  in
+  List.iter
+    (fun (iv : Liveness.interval) ->
+      expire iv.Liveness.start_pos;
+      let take_callee () =
+        match !free_callee with
+        | r :: rest ->
+          free_callee := rest;
+          if not (List.mem r !used_callee) then used_callee := r :: !used_callee;
+          Some (r, true)
+        | [] -> None
+      in
+      let take_caller () =
+        match !free_caller with
+        | r :: rest ->
+          free_caller := rest;
+          Some (r, false)
+        | [] -> None
+      in
+      let choice =
+        if iv.Liveness.crosses_call then take_callee ()
+        else
+          match take_caller () with
+          | Some c -> Some c
+          | None -> take_callee ()
+      in
+      match choice with
+      | Some (r, from_callee) ->
+        Hashtbl.replace locations iv.Liveness.temp (In_reg r);
+        active := (iv.Liveness.end_pos, iv.Liveness.temp, r, from_callee) :: !active
+      | None ->
+        let slot = !spill_count in
+        incr spill_count;
+        Hashtbl.replace locations iv.Liveness.temp (Spilled slot))
+    live.Liveness.intervals;
+  {
+    locations;
+    used_callee_saved = List.rev !used_callee;
+    spill_count = !spill_count;
+  }
+
+let location alloc t =
+  match Hashtbl.find_opt alloc.locations t with
+  | Some l -> l
+  | None ->
+    (* a temp that is never live (dead definition): give it a throwaway
+       scratch location; Spilled slots are bounds-checked by the emitter *)
+    In_reg Reg.t0

@@ -1,0 +1,18 @@
+(** Linear-scan register allocation.  Pools: callee-saved s1..s11 (the
+    only option for call-crossing intervals) and caller-saved t3..t6.
+    t0/t1/t2 stay reserved as emission scratch; a-registers carry
+    arguments and are never allocated.  Unplaceable intervals spill to
+    frame slots. *)
+
+type location = In_reg of Roload_isa.Reg.t | Spilled of int
+
+type allocation = {
+  locations : (Roload_ir.Ir.temp, location) Hashtbl.t;
+  used_callee_saved : Roload_isa.Reg.t list;
+  spill_count : int;
+}
+
+val callee_pool : Roload_isa.Reg.t list
+val caller_pool : Roload_isa.Reg.t list
+val allocate : Liveness.t -> allocation
+val location : allocation -> Roload_ir.Ir.temp -> location

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Roload_hw Roload_obj Roload_passes Roload_security Roload_util Roload_workloads System Toolchain

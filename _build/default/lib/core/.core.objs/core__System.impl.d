@@ -1,0 +1,1 @@
+lib/core/system.ml: List Printf Roload_cache Roload_kernel Roload_machine Roload_mem Roload_obj

@@ -1,0 +1,1 @@
+lib/core/system.mli: Roload_isa Roload_kernel Roload_machine Roload_obj

@@ -1,0 +1,1 @@
+lib/core/toolchain.ml: Printf Roload_asm Roload_codegen Roload_front Roload_ir Roload_link Roload_obj Roload_passes Runtime

@@ -1,0 +1,1 @@
+lib/core/toolchain.mli: Roload_asm Roload_ir Roload_obj Roload_passes

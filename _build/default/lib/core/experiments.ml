@@ -1,0 +1,504 @@
+(* One driver per table/figure of the paper's evaluation (Section V),
+   plus the ablations DESIGN.md calls out.  Every driver returns both the
+   raw measurements and a rendered ASCII table so the bench harness, the
+   CLI and EXPERIMENTS.md all consume the same numbers.
+
+   All simulation is deterministic, so a single run per configuration is
+   an exact measurement (no repetitions needed). *)
+
+module Pass = Roload_passes.Pass
+module Suite = Roload_workloads.Spec_suite
+module Table = Roload_util.Table
+module Stats = Roload_util.Stats
+
+let default_scale = Suite.reference_scale
+
+(* ---------- shared measurement helpers ---------- *)
+
+type run = {
+  benchmark : string;
+  scheme : Pass.scheme;
+  variant : System.variant;
+  measurement : System.measurement;
+}
+
+let compile_cache : (string, Roload_obj.Exe.t) Hashtbl.t = Hashtbl.create 64
+
+let compile_benchmark ?(options = Toolchain.default_options) ~scale
+    (b : Suite.benchmark) =
+  let key =
+    Printf.sprintf "%s/%d/%s/%b/%b" b.Suite.name scale
+      (Pass.scheme_name options.Toolchain.scheme)
+      options.Toolchain.compress options.Toolchain.separate_code
+  in
+  match Hashtbl.find_opt compile_cache key with
+  | Some exe -> exe
+  | None ->
+    let exe = Toolchain.compile_exe ~options ~name:b.Suite.name (b.Suite.source ~scale) in
+    Hashtbl.add compile_cache key exe;
+    exe
+
+let run_benchmark ?(scheme = Pass.Unprotected)
+    ?(variant = System.Processor_kernel_modified) ~scale b =
+  let options = { Toolchain.default_options with scheme } in
+  let exe = compile_benchmark ~options ~scale b in
+  let measurement = System.run ~variant exe in
+  { benchmark = b.Suite.name; scheme; variant; measurement }
+
+exception Experiment_failure of string
+
+let require_clean r =
+  if not (System.exited_cleanly r.measurement) then
+    raise
+      (Experiment_failure
+         (Printf.sprintf "%s under %s on %s did not exit cleanly: %s" r.benchmark
+            (Pass.scheme_name r.scheme)
+            (System.variant_name r.variant)
+            (System.status_string r.measurement)))
+
+let require_same_output a b =
+  if a.measurement.System.output <> b.measurement.System.output then
+    raise
+      (Experiment_failure
+         (Printf.sprintf "%s: output diverges between %s/%s and %s/%s" a.benchmark
+            (Pass.scheme_name a.scheme) (System.variant_name a.variant)
+            (Pass.scheme_name b.scheme) (System.variant_name b.variant)))
+
+let cyc r = Int64.to_float r.measurement.System.cycles
+let mem_kib r = float_of_int r.measurement.System.footprint_bytes /. 1024.0
+
+(* ---------- Table I: modification footprint ---------- *)
+
+let table1 () =
+  let t =
+    Table.create ~title:"Table I analogue: ROLoad modification footprint"
+      ~header:[ "Component"; "Modification surface (this reproduction)"; "Paper (LoC)" ]
+      ()
+  in
+  Table.add_row t
+    [ "RISC-V processor";
+      "7 ld.ro-family decodes + c.ld.ro; TLB key field (10b) + parallel ro/key check";
+      "59" ];
+  Table.add_row t
+    [ "Kernel";
+      "loader key setup; mmap/mprotect key arguments; 1 new fault class triaged to SIGSEGV";
+      "121" ];
+  Table.add_row t
+    [ "Compiler back-end";
+      "ROLoad-md load metadata; VCall/ICall passes; ld.ro emission (+addi when offset needed)";
+      "270" ];
+  t
+
+(* ---------- Table II: prototype configuration ---------- *)
+
+let table2 () =
+  let t =
+    Table.create ~title:"Table II: simulated prototype configuration"
+      ~header:[ "Component"; "Configuration" ] ()
+  in
+  List.iter
+    (fun (k, v) -> Table.add_row t [ k; v ])
+    (Roload_machine.Config.rows Roload_machine.Config.default);
+  t
+
+(* ---------- Table III: hardware cost ---------- *)
+
+type table3_result = { synth : Roload_hw.Synth.result; table : Table.t }
+
+let table3 () =
+  let synth = Roload_hw.Synth.run () in
+  let c = synth.Roload_hw.Synth.comparison in
+  let t0 = synth.Roload_hw.Synth.timing_without in
+  let t1 = synth.Roload_hw.Synth.timing_with in
+  let t =
+    Table.create ~title:"Table III: hardware resource cost (FPGA synthesis model)"
+      ~header:
+        [ ""; "core #LUT"; "%"; "core #FF"; "%"; "sys #LUT"; "%"; "sys #FF"; "%";
+          "slack(ns)"; "Fmax(MHz)" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let open Roload_hw.Area in
+  Table.add_row t
+    [ "without ld.ro";
+      string_of_int c.core_without.luts; "-";
+      string_of_int c.core_without.ffs; "-";
+      string_of_int c.system_without.luts; "-";
+      string_of_int c.system_without.ffs; "-";
+      Printf.sprintf "%.3f" t0.Roload_hw.Timing_sta.worst_slack_ns;
+      Printf.sprintf "%.2f" t0.Roload_hw.Timing_sta.fmax_mhz ];
+  Table.add_row t
+    [ "with ld.ro";
+      string_of_int c.core_with.luts; Printf.sprintf "+%.5f" c.lut_increase_core_pct;
+      string_of_int c.core_with.ffs; Printf.sprintf "+%.5f" c.ff_increase_core_pct;
+      string_of_int c.system_with.luts; Printf.sprintf "+%.5f" c.lut_increase_system_pct;
+      string_of_int c.system_with.ffs; Printf.sprintf "+%.5f" c.ff_increase_system_pct;
+      Printf.sprintf "%.3f" t1.Roload_hw.Timing_sta.worst_slack_ns;
+      Printf.sprintf "%.2f" t1.Roload_hw.Timing_sta.fmax_mhz ];
+  { synth; table = t }
+
+(* ---------- §V-B: system-level overhead (3 systems) ---------- *)
+
+type section5b_result = {
+  runs : run list;
+  table : Table.t;
+  avg_runtime_overhead_processor : float;
+  avg_runtime_overhead_kernel : float;
+}
+
+let section5b ?(scale = default_scale) ?(benchmarks = Suite.all) () =
+  let table =
+    Table.create
+      ~title:"Section V-B: unmodified SPEC-like benchmarks on the three systems"
+      ~header:
+        [ "benchmark"; "baseline cyc"; "+proc cyc"; "+proc ovh"; "+proc+kern cyc";
+          "+proc+kern ovh"; "mem ovh" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let all_runs = ref [] in
+  let ovh_p = ref [] and ovh_k = ref [] in
+  List.iter
+    (fun b ->
+      let base = run_benchmark ~variant:System.Baseline ~scale b in
+      let proc = run_benchmark ~variant:System.Processor_modified ~scale b in
+      let kern = run_benchmark ~variant:System.Processor_kernel_modified ~scale b in
+      require_clean base;
+      require_clean proc;
+      require_clean kern;
+      require_same_output base proc;
+      require_same_output base kern;
+      all_runs := !all_runs @ [ base; proc; kern ];
+      let op = Stats.overhead_pct ~base:(cyc base) ~measured:(cyc proc) in
+      let ok = Stats.overhead_pct ~base:(cyc base) ~measured:(cyc kern) in
+      let om = Stats.overhead_pct ~base:(mem_kib base) ~measured:(mem_kib kern) in
+      ovh_p := op :: !ovh_p;
+      ovh_k := ok :: !ovh_k;
+      Table.add_row table
+        [ b.Suite.name;
+          Int64.to_string base.measurement.System.cycles;
+          Int64.to_string proc.measurement.System.cycles;
+          Stats.pct_string op;
+          Int64.to_string kern.measurement.System.cycles;
+          Stats.pct_string ok;
+          Stats.pct_string om ])
+    benchmarks;
+  let avg_p = Stats.mean !ovh_p and avg_k = Stats.mean !ovh_k in
+  Table.add_row table
+    [ "average"; "-"; "-"; Stats.pct_string avg_p; "-"; Stats.pct_string avg_k; "-" ];
+  {
+    runs = !all_runs;
+    table;
+    avg_runtime_overhead_processor = avg_p;
+    avg_runtime_overhead_kernel = avg_k;
+  }
+
+(* ---------- shared scheme-comparison machinery for Figs 3–5 ---------- *)
+
+type scheme_comparison = {
+  benchmark : string;
+  base : run;
+  hardened : (Pass.scheme * run) list;
+}
+
+let compare_schemes ~scale ~schemes b =
+  let base = run_benchmark ~scheme:Pass.Unprotected ~scale b in
+  require_clean base;
+  let hardened =
+    List.map
+      (fun scheme ->
+        let r = run_benchmark ~scheme ~scale b in
+        require_clean r;
+        require_same_output base r;
+        (scheme, r))
+      schemes
+  in
+  { benchmark = b.Suite.name; base; hardened }
+
+let overhead_table ~title ~schemes ~value ~comparisons =
+  let header =
+    "benchmark" :: List.concat_map (fun s -> [ Pass.scheme_name s ^ " ovh" ]) schemes
+  in
+  let table =
+    Table.create ~title ~header
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) schemes)
+      ()
+  in
+  let per_scheme = Hashtbl.create 8 in
+  List.iter
+    (fun cmp ->
+      let cells =
+        List.map
+          (fun scheme ->
+            let r = List.assoc scheme cmp.hardened in
+            let ovh = Stats.overhead_pct ~base:(value cmp.base) ~measured:(value r) in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt per_scheme scheme) in
+            Hashtbl.replace per_scheme scheme (ovh :: prev);
+            Stats.pct_string ovh)
+          schemes
+      in
+      Table.add_row table (cmp.benchmark :: cells))
+    comparisons;
+  let averages =
+    List.map (fun s -> (s, Stats.mean (Hashtbl.find per_scheme s))) schemes
+  in
+  Table.add_row table
+    ("average" :: List.map (fun (_, v) -> Stats.pct_string v) averages);
+  (table, averages)
+
+(* ---------- Figure 3: VCall vs VTint (3 C++ benchmarks) ---------- *)
+
+type figure_result = {
+  comparisons : scheme_comparison list;
+  runtime_table : Table.t;
+  memory_table : Table.t; (* byte-granular footprint *)
+  memory_pages_table : Table.t;
+      (* page-granular resident set: this is where the keyed-page
+         fragmentation of ICall's GFPTs shows up (the paper's explanation
+         for ICall's memory overhead exceeding CFI's, §V-C1b) *)
+  runtime_averages : (Pass.scheme * float) list;
+  memory_averages : (Pass.scheme * float) list;
+}
+
+let mem_pages r = float_of_int r.measurement.System.peak_kib
+
+let figure_generic ~scale ~benchmarks ~schemes ~runtime_title ~memory_title =
+  let comparisons = List.map (compare_schemes ~scale ~schemes) benchmarks in
+  let runtime_table, runtime_averages =
+    overhead_table ~title:runtime_title ~schemes ~value:cyc ~comparisons
+  in
+  let memory_table, memory_averages =
+    overhead_table ~title:memory_title ~schemes ~value:mem_kib ~comparisons
+  in
+  let memory_pages_table, _ =
+    overhead_table ~title:(memory_title ^ " [page-granular RSS]") ~schemes
+      ~value:mem_pages ~comparisons
+  in
+  { comparisons; runtime_table; memory_table; memory_pages_table; runtime_averages;
+    memory_averages }
+
+let figure3 ?(scale = default_scale) () =
+  figure_generic ~scale ~benchmarks:Suite.cxx_benchmarks
+    ~schemes:[ Pass.Vcall; Pass.Vtint_baseline ]
+    ~runtime_title:"Figure 3 (runtime): VCall vs VTint, C++ benchmarks"
+    ~memory_title:"Figure 3 (memory): VCall vs VTint, C++ benchmarks"
+
+(* ---------- Figures 4 & 5: ICall vs CFI (all benchmarks) ---------- *)
+
+let figure45 ?(scale = default_scale) ?(benchmarks = Suite.all) () =
+  figure_generic ~scale ~benchmarks
+    ~schemes:[ Pass.Icall; Pass.Cfi_baseline ]
+    ~runtime_title:"Figure 4: runtime overhead, ICall vs CFI"
+    ~memory_title:"Figure 5: memory overhead, ICall vs CFI"
+
+(* ---------- §V-C2 security matrix ---------- *)
+
+type security_result = {
+  matrix : (Pass.scheme * (Roload_security.Attack.kind * Roload_security.Attack.outcome) list) list;
+  table : Table.t;
+}
+
+let security () =
+  let matrix =
+    List.map
+      (fun scheme ->
+        let options = { Toolchain.default_options with scheme } in
+        let exe =
+          Toolchain.compile_exe ~options ~name:"victim" Roload_security.Victim.source
+        in
+        (scheme, Roload_security.Eval.run_corpus ~exe ()))
+      Pass.all_schemes
+  in
+  let table =
+    Table.create ~title:"Section V-C2: attack outcomes per hardening scheme"
+      ~header:
+        ("attack"
+        :: List.map (fun s -> Pass.scheme_name s) Pass.all_schemes)
+      ()
+  in
+  List.iter
+    (fun kind ->
+      let cells =
+        List.map
+          (fun (_, results) ->
+            Roload_security.Attack.outcome_name (List.assoc kind results))
+          matrix
+      in
+      Table.add_row table (Roload_security.Attack.kind_name kind :: cells))
+    Roload_security.Attack.all_kinds;
+  { matrix; table }
+
+let related_work_table () =
+  let t =
+    Table.create ~title:"Section VI: mechanism comparison"
+      ~header:[ "mechanism"; "acts"; "granularity"; "extra arch state"; "overhead" ]
+      ()
+  in
+  List.iter
+    (fun (m : Roload_security.Compare.mechanism) ->
+      Table.add_row t
+        [ m.Roload_security.Compare.name;
+          Roload_security.Compare.act_point_name m.Roload_security.Compare.acts;
+          m.Roload_security.Compare.granularity;
+          (if m.Roload_security.Compare.extra_arch_state then "yes" else "no");
+          m.Roload_security.Compare.runtime_overhead ])
+    Roload_security.Compare.mechanisms;
+  t
+
+(* ---------- ablations ---------- *)
+
+(* RVC compression (incl. c.ld.ro): code-size effect the paper motivates
+   the compressed encoding with. *)
+let ablation_compressed ?(scale = 1) ?(benchmarks = Suite.cxx_benchmarks) () =
+  let table =
+    Table.create ~title:"Ablation: RVC compression (code bytes, ICall-hardened)"
+      ~header:[ "benchmark"; "uncompressed"; "compressed"; "saving" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let text_bytes exe =
+    List.fold_left
+      (fun acc (s : Roload_obj.Exe.segment) ->
+        if s.Roload_obj.Exe.perms.Roload_mem.Perm.x then
+          acc + String.length s.Roload_obj.Exe.data
+        else acc)
+      0 exe.Roload_obj.Exe.segments
+  in
+  List.iter
+    (fun b ->
+      let mk compress =
+        compile_benchmark
+          ~options:{ Toolchain.default_options with scheme = Pass.Icall; compress }
+          ~scale b
+      in
+      let unc = text_bytes (mk false) and com = text_bytes (mk true) in
+      Table.add_row table
+        [ b.Suite.name; string_of_int unc; string_of_int com;
+          Printf.sprintf "-%.1f%%" (float_of_int (unc - com) /. float_of_int unc *. 100.0) ])
+    benchmarks;
+  table
+
+(* Key granularity: per-hierarchy keys (VCall) vs the unified vtable key
+   (ICall) — the paper credits the unified key with better TLB/cache
+   locality (§V-C1b). *)
+let ablation_keys ?(scale = 1) () =
+  let table =
+    Table.create
+      ~title:"Ablation: vtable key granularity (per-hierarchy vs unified)"
+      ~header:[ "benchmark"; "scheme"; "cycles"; "D-TLB misses"; "runtime ovh" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun b ->
+      let base = run_benchmark ~scheme:Pass.Unprotected ~scale b in
+      List.iter
+        (fun scheme ->
+          let r = run_benchmark ~scheme ~scale b in
+          require_same_output base r;
+          Table.add_row table
+            [ b.Suite.name; Pass.scheme_name scheme;
+              Int64.to_string r.measurement.System.cycles;
+              string_of_int r.measurement.System.dtlb.System.misses;
+              Stats.pct_string
+                (Stats.overhead_pct ~base:(cyc base) ~measured:(cyc r)) ])
+        [ Pass.Vcall; Pass.Icall ])
+    Suite.cxx_benchmarks;
+  table
+
+(* separate-code layout: without it every ld.ro faults (§V-B). *)
+let ablation_separate_code () =
+  let b = List.hd Suite.cxx_benchmarks in
+  let mk separate_code =
+    Toolchain.compile_exe
+      ~options:{ Toolchain.default_options with scheme = Pass.Vcall; separate_code }
+      ~name:b.Suite.name (b.Suite.source ~scale:1)
+  in
+  let with_sc = System.run ~variant:System.Processor_kernel_modified (mk true) in
+  let without_sc = System.run ~variant:System.Processor_kernel_modified (mk false) in
+  let table =
+    Table.create ~title:"Ablation: -z separate-code requirement (VCall-hardened omnetpp)"
+      ~header:[ "layout"; "outcome" ] ()
+  in
+  Table.add_row table [ "separate-code"; System.status_string with_sc ];
+  Table.add_row table [ "merged ro+text"; System.status_string without_sc ];
+  table
+
+(* The §IV-C backward-edge extension: runtime cost of the return-site
+   allowlist (protected calls + ld.ro returns) across the suite. *)
+let ablation_retcall ?(scale = 1) ?(benchmarks = Suite.all) () =
+  let table =
+    Table.create
+      ~title:"Ablation: backward-edge protection (Retcall, §IV-C extension)"
+      ~header:[ "benchmark"; "runtime ovh"; "memory ovh"; "ld.ro/1k insts" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  let ovhs = ref [] in
+  List.iter
+    (fun b ->
+      let base = run_benchmark ~scheme:Pass.Unprotected ~scale b in
+      let r = run_benchmark ~scheme:Pass.Retcall ~scale b in
+      require_clean base;
+      require_clean r;
+      require_same_output base r;
+      let ovh = Stats.overhead_pct ~base:(cyc base) ~measured:(cyc r) in
+      ovhs := ovh :: !ovhs;
+      let density =
+        1000.0
+        *. float_of_int r.measurement.System.roloads_executed
+        /. Int64.to_float r.measurement.System.instructions
+      in
+      Table.add_row table
+        [ b.Suite.name; Stats.pct_string ovh;
+          Stats.pct_string
+            (Stats.overhead_pct ~base:(mem_kib base) ~measured:(mem_kib r));
+          Printf.sprintf "%.2f" density ])
+    benchmarks;
+  Table.add_row table [ "average"; Stats.pct_string (Stats.mean !ovhs); "-"; "-" ];
+  table
+
+(* D-TLB reach sensitivity for the key-granularity argument. *)
+let ablation_tlb ?(scale = 1) ?(entries = [ 8; 16; 32; 64 ]) () =
+  let b =
+    match Suite.find "xalancbmk" with Some b -> b | None -> List.hd Suite.cxx_benchmarks
+  in
+  let table =
+    Table.create ~title:"Ablation: D-TLB entries vs vcall hardening (xalancbmk)"
+      ~header:[ "entries"; "scheme"; "cycles"; "D-TLB miss rate" ]
+      ~aligns:[ Table.Right; Table.Left; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun scheme ->
+          let options = { Toolchain.default_options with scheme } in
+          let exe = compile_benchmark ~options ~scale b in
+          let machine_config =
+            { Roload_machine.Config.default with dtlb_entries = n }
+          in
+          let machine = Roload_machine.Machine.create machine_config in
+          let kernel =
+            Roload_kernel.Kernel.create ~machine
+              ~config:Roload_kernel.Kernel.default_config
+          in
+          let _p, outcome = Roload_kernel.Kernel.exec kernel exe in
+          let mmu = Roload_kernel.Process.mmu _p in
+          let st = Roload_mem.Tlb.stats (Roload_mem.Mmu.dtlb mmu) in
+          let rate =
+            float_of_int st.Roload_mem.Tlb.misses
+            /. float_of_int (max 1 (st.Roload_mem.Tlb.hits + st.Roload_mem.Tlb.misses))
+            *. 100.0
+          in
+          Table.add_row table
+            [ string_of_int n; Pass.scheme_name scheme;
+              Int64.to_string outcome.Roload_kernel.Kernel.cycles;
+              Printf.sprintf "%.4f%%" rate ])
+        [ Pass.Unprotected; Pass.Vcall; Pass.Icall ])
+    entries;
+  table

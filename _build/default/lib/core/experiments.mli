@@ -1,0 +1,84 @@
+(** One driver per table/figure of the paper's evaluation (Section V),
+    plus the ablations DESIGN.md calls out.  Drivers return both raw
+    measurements and rendered ASCII tables; all simulation is
+    deterministic, so one run per configuration is an exact
+    measurement. *)
+
+module Pass = Roload_passes.Pass
+module Suite = Roload_workloads.Spec_suite
+module Table = Roload_util.Table
+
+val default_scale : int
+
+type run = {
+  benchmark : string;
+  scheme : Pass.scheme;
+  variant : System.variant;
+  measurement : System.measurement;
+}
+
+val compile_benchmark :
+  ?options:Toolchain.options -> scale:int -> Suite.benchmark -> Roload_obj.Exe.t
+(** Memoized across experiments. *)
+
+val run_benchmark :
+  ?scheme:Pass.scheme -> ?variant:System.variant -> scale:int -> Suite.benchmark -> run
+
+exception Experiment_failure of string
+(** Raised when a benchmark crashes or hardened output diverges from the
+    unprotected baseline — experiments never silently report numbers from
+    broken runs. *)
+
+val table1 : unit -> Table.t
+val table2 : unit -> Table.t
+
+type table3_result = { synth : Roload_hw.Synth.result; table : Table.t }
+
+val table3 : unit -> table3_result
+
+type section5b_result = {
+  runs : run list;
+  table : Table.t;
+  avg_runtime_overhead_processor : float;
+  avg_runtime_overhead_kernel : float;
+}
+
+val section5b :
+  ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> section5b_result
+
+type scheme_comparison = {
+  benchmark : string;
+  base : run;
+  hardened : (Pass.scheme * run) list;
+}
+
+type figure_result = {
+  comparisons : scheme_comparison list;
+  runtime_table : Table.t;
+  memory_table : Table.t;  (** byte-granular footprint *)
+  memory_pages_table : Table.t;
+      (** page-granular RSS — where ICall's keyed-page fragmentation
+          appears (paper §V-C1b) *)
+  runtime_averages : (Pass.scheme * float) list;
+  memory_averages : (Pass.scheme * float) list;
+}
+
+val figure3 : ?scale:int -> unit -> figure_result
+val figure45 : ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> figure_result
+
+type security_result = {
+  matrix :
+    (Pass.scheme
+    * (Roload_security.Attack.kind * Roload_security.Attack.outcome) list)
+    list;
+  table : Table.t;
+}
+
+val security : unit -> security_result
+val related_work_table : unit -> Table.t
+
+val ablation_compressed : ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> Table.t
+val ablation_keys : ?scale:int -> unit -> Table.t
+val ablation_separate_code : unit -> Table.t
+val ablation_retcall : ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> Table.t
+val ablation_tlb : ?scale:int -> ?entries:int list -> unit -> Table.t

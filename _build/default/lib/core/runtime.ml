@@ -1,0 +1,113 @@
+(* The MiniC runtime, written in assembly (the musl-libc analogue of the
+   evaluation setup): program startup, console output helpers, and a
+   brk-backed bump allocator.  It is assembled as a separate object and
+   linked with every program. *)
+
+let source = {|
+# MiniC runtime: _start, print helpers, allocator.
+
+.section .text
+
+.global _start
+_start:
+    call main
+    # exit(main's return value)
+    li a7, 93
+    ecall
+
+.global exit
+exit:
+    li a7, 93
+    ecall
+
+.global print_char
+print_char:
+    addi sp, sp, -16
+    sb a0, 0(sp)
+    li a0, 1
+    mv a1, sp
+    li a2, 1
+    li a7, 64
+    ecall
+    addi sp, sp, 16
+    ret
+
+.global print_str
+print_str:
+    mv a1, a0
+    mv t0, a0
+__rt$strlen_loop:
+    lbu t1, 0(t0)
+    beqz t1, __rt$strlen_done
+    addi t0, t0, 1
+    j __rt$strlen_loop
+__rt$strlen_done:
+    sub a2, t0, a1
+    li a0, 1
+    li a7, 64
+    ecall
+    ret
+
+.global print_int
+print_int:
+    addi sp, sp, -64
+    sd ra, 56(sp)
+    addi t0, sp, 31
+    li t1, 10
+    mv t2, a0
+    li t3, 0
+    bge t2, zero, __rt$pi_loop
+    li t3, 1
+    sub t2, zero, t2
+__rt$pi_loop:
+    rem t4, t2, t1
+    addi t4, t4, 48
+    sb t4, 0(t0)
+    addi t0, t0, -1
+    div t2, t2, t1
+    bnez t2, __rt$pi_loop
+    beqz t3, __rt$pi_nosign
+    li t4, 45
+    sb t4, 0(t0)
+    addi t0, t0, -1
+__rt$pi_nosign:
+    addi a1, t0, 1
+    addi t5, sp, 32
+    sub a2, t5, a1
+    li a0, 1
+    li a7, 64
+    ecall
+    ld ra, 56(sp)
+    addi sp, sp, 64
+    ret
+
+# alloc(n): brk-backed bump allocator returning 8-byte-aligned chunks
+.global alloc
+alloc:
+    addi a0, a0, 7
+    andi a0, a0, -8
+    la t0, __rt$heap_ptr
+    ld t1, 0(t0)
+    bnez t1, __rt$alloc_have
+    # first call: discover the current brk
+    mv t2, a0
+    li a0, 0
+    li a7, 214
+    ecall
+    mv t1, a0
+    mv a0, t2
+__rt$alloc_have:
+    add t2, t1, a0
+    mv t3, t1
+    mv a0, t2
+    li a7, 214
+    ecall
+    la t0, __rt$heap_ptr
+    sd t2, 0(t0)
+    mv a0, t3
+    ret
+
+.section .data
+__rt$heap_ptr:
+    .quad 0
+|}

@@ -1,0 +1,5 @@
+(** The MiniC runtime, written in assembly (the musl analogue of the
+    evaluation setup): [_start], [exit], [print_char], [print_str],
+    [print_int], and a brk-backed bump [alloc]. *)
+
+val source : string

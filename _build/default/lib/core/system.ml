@@ -1,0 +1,103 @@
+(* The evaluation's system matrix (paper §V-B): the baseline system, the
+   processor-modified system, and the processor-and-kernel-modified
+   system — plus a one-call runner that loads an executable and measures
+   it on a fresh machine instance (deterministic, so a single run is an
+   exact measurement). *)
+
+module Machine = Roload_machine.Machine
+module Config = Roload_machine.Config
+module Kernel = Roload_kernel.Kernel
+module Process = Roload_kernel.Process
+module Cache = Roload_cache.Cache
+module Tlb = Roload_mem.Tlb
+module Mmu = Roload_mem.Mmu
+
+type variant =
+  | Baseline (* unmodified processor, stock kernel *)
+  | Processor_modified (* ld.ro-capable processor, stock kernel *)
+  | Processor_kernel_modified (* the full ROLoad system *)
+
+let variant_name = function
+  | Baseline -> "baseline"
+  | Processor_modified -> "processor-modified"
+  | Processor_kernel_modified -> "processor+kernel-modified"
+
+let all_variants = [ Baseline; Processor_modified; Processor_kernel_modified ]
+
+let machine_config = function
+  | Baseline -> Config.baseline
+  | Processor_modified | Processor_kernel_modified -> Config.default
+
+let kernel_config = function
+  | Baseline | Processor_modified -> Kernel.stock_kernel_config
+  | Processor_kernel_modified -> Kernel.default_config
+
+type cache_stats = { accesses : int; misses : int }
+
+type measurement = {
+  status : Process.status;
+  cycles : int64;
+  instructions : int64;
+  peak_kib : int;
+  footprint_bytes : int;
+      (* byte-granular memory footprint: static image + heap growth +
+         stack — used for the paper's sub-percent memory overheads, which
+         page-granular accounting cannot resolve *)
+  output : string;
+  icache : cache_stats;
+  dcache : cache_stats;
+  itlb : cache_stats;
+  dtlb : cache_stats;
+  roloads_executed : int;
+}
+
+let stats_of_cache c =
+  let s = Cache.stats c in
+  { accesses = s.Cache.hits + s.Cache.misses; misses = s.Cache.misses }
+
+let stats_of_tlb t =
+  let s = Tlb.stats t in
+  { accesses = s.Tlb.hits + s.Tlb.misses; misses = s.Tlb.misses }
+
+let run ?(max_instructions = 500_000_000L) ?trace ~variant exe =
+  let machine = Machine.create (machine_config variant) in
+  Machine.set_trace machine trace;
+  let kernel = Kernel.create ~machine ~config:(kernel_config variant) in
+  let process, outcome =
+    Kernel.exec ~limit:{ Kernel.max_instructions } kernel exe
+  in
+  let h = Machine.hierarchy machine in
+  let mmu = Process.mmu process in
+  let image_bytes =
+    List.fold_left
+      (fun acc (s : Roload_obj.Exe.segment) -> acc + s.Roload_obj.Exe.mem_size)
+      0 exe.Roload_obj.Exe.segments
+  in
+  let footprint_bytes =
+    image_bytes + Process.heap_bytes process
+    + (Process.stack_pages * Roload_mem.Page_table.page_size)
+  in
+  {
+    status = outcome.Kernel.status;
+    cycles = outcome.Kernel.cycles;
+    instructions = outcome.Kernel.instructions;
+    peak_kib = outcome.Kernel.peak_kib;
+    footprint_bytes;
+    output = outcome.Kernel.output;
+    icache = stats_of_cache (Roload_cache.Hierarchy.icache h);
+    dcache = stats_of_cache (Roload_cache.Hierarchy.dcache h);
+    itlb = stats_of_tlb (Mmu.itlb mmu);
+    dtlb = stats_of_tlb (Mmu.dtlb mmu);
+    roloads_executed = (Machine.counts machine).Machine.roloads;
+  }
+
+let exited_cleanly m =
+  match m.status with
+  | Process.Exited 0 -> true
+  | Process.Exited _ | Process.Killed _ | Process.Running -> false
+
+let status_string m =
+  match m.status with
+  | Process.Exited n -> Printf.sprintf "exit %d" n
+  | Process.Killed sg -> Roload_kernel.Signal.to_string sg
+  | Process.Running -> "running (instruction limit hit)"

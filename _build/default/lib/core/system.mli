@@ -1,0 +1,39 @@
+(** The evaluation's system matrix (paper §V-B) and the one-call
+    measurement runner.  All simulation is deterministic, so a single run
+    is an exact measurement. *)
+
+type variant =
+  | Baseline  (** unmodified processor, stock kernel *)
+  | Processor_modified  (** ld.ro-capable processor, stock kernel *)
+  | Processor_kernel_modified  (** the full ROLoad system *)
+
+val variant_name : variant -> string
+val all_variants : variant list
+val machine_config : variant -> Roload_machine.Config.t
+val kernel_config : variant -> Roload_kernel.Kernel.config
+
+type cache_stats = { accesses : int; misses : int }
+
+type measurement = {
+  status : Roload_kernel.Process.status;
+  cycles : int64;
+  instructions : int64;
+  peak_kib : int;  (** page-granular resident set *)
+  footprint_bytes : int;
+      (** byte-granular footprint: static image + heap growth + stack *)
+  output : string;
+  icache : cache_stats;
+  dcache : cache_stats;
+  itlb : cache_stats;
+  dtlb : cache_stats;
+  roloads_executed : int;
+}
+
+val run :
+  ?max_instructions:int64 ->
+  ?trace:(pc:int -> Roload_isa.Inst.t -> unit) ->
+  variant:variant ->
+  Roload_obj.Exe.t ->
+  measurement
+val exited_cleanly : measurement -> bool
+val status_string : measurement -> string

@@ -1,0 +1,78 @@
+(* The toolchain driver: MiniC source → hardened executable image.
+
+   Pipeline (mirroring the paper's Clang/LLVM + binutils flow):
+     parse → lower to IR → hardening pass (ROLoad-md annotation & friends)
+     → code generation → assemble (with RVC compression) → link with the
+     runtime (with separate-code layout). *)
+
+module Ir = Roload_ir.Ir
+module Pass = Roload_passes.Pass
+
+type options = {
+  scheme : Pass.scheme;
+  compress : bool; (* RVC compression, incl. c.ld.ro *)
+  separate_code : bool; (* the `-z separate-code` analogue *)
+  optimize : bool; (* constant folding + dead-code elimination *)
+}
+
+let default_options =
+  { scheme = Pass.Unprotected; compress = true; separate_code = true; optimize = true }
+
+type artifacts = {
+  ir_module : Ir.modul;
+  pass_report : Pass.report;
+  asm_items : Roload_asm.Asm_ir.item list;
+  program_object : Roload_obj.Objfile.t;
+  exe : Roload_obj.Exe.t;
+}
+
+exception Compile_error of string
+
+let wrap_errors f =
+  try f () with
+  | Roload_front.Lexer.Lex_error { line; message } ->
+    raise (Compile_error (Printf.sprintf "lex error (line %d): %s" line message))
+  | Roload_front.Parser.Parse_error { line; message } ->
+    raise (Compile_error (Printf.sprintf "parse error (line %d): %s" line message))
+  | Roload_front.Lower.Sema_error { line; message } ->
+    raise (Compile_error (Printf.sprintf "semantic error (line %d): %s" line message))
+  | Roload_asm.Assemble.Error m -> raise (Compile_error ("assembler: " ^ m))
+  | Roload_link.Linker.Error m -> raise (Compile_error ("linker: " ^ m))
+  | Roload_codegen.Codegen.Error m -> raise (Compile_error ("codegen: " ^ m))
+  | Failure m -> raise (Compile_error m)
+
+let runtime_object ~compress =
+  let items = Roload_asm.Asm_parser.parse Runtime.source in
+  Roload_asm.Assemble.assemble ~options:{ Roload_asm.Assemble.compress } items
+
+let compile ?(options = default_options) ~name source =
+  wrap_errors (fun () ->
+      let ast = Roload_front.Parser.parse source in
+      let m = Roload_front.Lower.lower ast ~module_name:name in
+      Roload_ir.Verify.check_module_exn m;
+      if options.optimize then begin
+        ignore (Roload_passes.Constfold.run m);
+        ignore (Roload_passes.Dce.run m);
+        Roload_ir.Verify.check_module_exn m
+      end;
+      let pass_report = Pass.apply options.scheme m in
+      Roload_ir.Verify.check_module_exn m;
+      let asm_items = Roload_codegen.Codegen.emit_module m in
+      let program_object =
+        Roload_asm.Assemble.assemble
+          ~options:{ Roload_asm.Assemble.compress = options.compress }
+          asm_items
+      in
+      let exe =
+        Roload_link.Linker.link
+          ~options:
+            { Roload_link.Linker.default_options with
+              separate_code = options.separate_code }
+          [ program_object; runtime_object ~compress:options.compress ]
+      in
+      { ir_module = m; pass_report; asm_items; program_object; exe })
+
+let compile_exe ?options ~name source = (compile ?options ~name source).exe
+
+(* assembly text of the generated program (inspection / -S output) *)
+let asm_text artifacts = Roload_asm.Asm_ir.program_to_string artifacts.asm_items

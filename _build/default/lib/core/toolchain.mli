@@ -1,0 +1,33 @@
+(** The toolchain driver: MiniC source → hardened executable image
+    (parse → lower → hardening pass → codegen → assemble → link with the
+    runtime), mirroring the paper's Clang/LLVM + binutils flow. *)
+
+type options = {
+  scheme : Roload_passes.Pass.scheme;
+  compress : bool;  (** RVC compression, including c.ld.ro *)
+  separate_code : bool;  (** the `-z separate-code` analogue (paper §V-B) *)
+  optimize : bool;  (** IR constant folding + dead-code elimination *)
+}
+
+val default_options : options
+(** Unprotected, compression on, separate-code on, optimization on. *)
+
+type artifacts = {
+  ir_module : Roload_ir.Ir.modul;
+  pass_report : Roload_passes.Pass.report;
+  asm_items : Roload_asm.Asm_ir.item list;
+  program_object : Roload_obj.Objfile.t;
+  exe : Roload_obj.Exe.t;
+}
+
+exception Compile_error of string
+
+val runtime_object : compress:bool -> Roload_obj.Objfile.t
+(** The assembled runtime (startup, print helpers, allocator). *)
+
+val compile : ?options:options -> name:string -> string -> artifacts
+(** Raises {!Compile_error} with a located message on any front-end,
+    assembler or linker failure. *)
+
+val compile_exe : ?options:options -> name:string -> string -> Roload_obj.Exe.t
+val asm_text : artifacts -> string

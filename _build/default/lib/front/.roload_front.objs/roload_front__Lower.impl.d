@@ -1,0 +1,1 @@
+lib/front/lower.ml: Ast Char Int64 List Printf Roload_ir String

@@ -1,0 +1,75 @@
+(* Abstract syntax of MiniC. *)
+
+type ty =
+  | T_int
+  | T_char
+  | T_void
+  | T_named of string (* struct/class/typedef name, resolved in lowering *)
+  | T_ptr of ty
+
+let rec ty_to_string = function
+  | T_int -> "int"
+  | T_char -> "char"
+  | T_void -> "void"
+  | T_named n -> n
+  | T_ptr t -> ty_to_string t ^ "*"
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor (* short-circuit *)
+
+type unop = Neg | Not | Bnot | Deref | Addr_of
+
+type expr = { e : expr_kind; line : int }
+
+and expr_kind =
+  | Int_lit of int64
+  | Char_lit of char
+  | String_lit of string
+  | Null
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr (* a[i] *)
+  | Member of expr * string (* p->f for pointers (also used for '.') *)
+  | Call of expr * expr list (* callee expression: Ident or fptr-valued *)
+  | Method_call of expr * string * expr list (* p->m(args) *)
+  | New of string (* new C *)
+  | Sizeof of ty
+  | Cast of ty * expr
+
+type stmt =
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of stmt option * expr option * stmt option * stmt
+  | Return of expr option * int (* line *)
+  | Break of int
+  | Continue of int
+  | Decl of ty * string * int option * expr option * int (* array size, init, line *)
+  | Assign of expr * expr * int (* lvalue = rvalue *)
+  | Expr_stmt of expr
+
+type param = ty * string
+
+type member =
+  | Field of ty * string
+  | Method of { virtual_ : bool; ret : ty; name : string; params : param list; body : stmt list }
+
+type ginit =
+  | Gi_int of int64
+  | Gi_string of string
+  | Gi_list of gconst list
+
+and gconst = Gc_int of int64 | Gc_func of string
+
+type topdecl =
+  | Func_def of { ret : ty; name : string; params : param list; body : stmt list }
+  | Global_def of { ty : ty; name : string; array : int option; init : ginit option }
+  | Struct_def of { name : string; fields : (ty * string) list }
+  | Class_def of { name : string; parent : string option; members : member list }
+  | Typedef_fptr of { name : string; ret : ty; params : ty list }
+
+type program = topdecl list

@@ -1,0 +1,146 @@
+(* Lexer for MiniC, the C subset (plus classes with virtual methods and
+   function-pointer typedefs) the workloads and examples are written in. *)
+
+type token =
+  | INT_LIT of int64
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  | KW of string (* int char void if else while for return break continue
+                    typedef struct class virtual new sizeof *)
+  | PUNCT of string (* operators and delimiters *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+let keywords =
+  [ "int"; "char"; "void"; "if"; "else"; "while"; "for"; "return"; "break";
+    "continue"; "typedef"; "struct"; "class"; "virtual"; "new"; "sizeof"; "null" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail fmt = Printf.ksprintf (fun message -> raise (Lex_error { line = !line; message })) fmt in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let escape c =
+    match c with
+    | 'n' -> '\n'
+    | 't' -> '\t'
+    | 'r' -> '\r'
+    | '0' -> '\000'
+    | '\\' -> '\\'
+    | '\'' -> '\''
+    | '"' -> '"'
+    | c -> fail "bad escape \\%c" c
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') then begin
+        i := !i + 2;
+        while !i < n && (is_digit src.[!i] || (Char.lowercase_ascii src.[!i] >= 'a' && Char.lowercase_ascii src.[!i] <= 'f')) do incr i done
+      end
+      else while !i < n && is_digit src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      match Int64.of_string_opt s with
+      | Some v -> push (INT_LIT v)
+      | None -> fail "bad integer literal %s" s
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (KW s) else push (IDENT s)
+    end
+    else if c = '\'' then begin
+      incr i;
+      if !i >= n then fail "unterminated char literal";
+      let ch =
+        if src.[!i] = '\\' then begin
+          incr i;
+          if !i >= n then fail "unterminated char literal";
+          let e = escape src.[!i] in
+          incr i;
+          e
+        end
+        else begin
+          let ch = src.[!i] in
+          incr i;
+          ch
+        end
+      in
+      if !i >= n || src.[!i] <> '\'' then fail "unterminated char literal";
+      incr i;
+      push (CHAR_LIT ch)
+    end
+    else if c = '"' then begin
+      incr i;
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then fail "unterminated string literal"
+        else if src.[!i] = '"' then incr i
+        else if src.[!i] = '\\' then begin
+          if !i + 1 >= n then fail "unterminated string literal";
+          Buffer.add_char b (escape src.[!i + 1]);
+          i := !i + 2;
+          go ()
+        end
+        else begin
+          Buffer.add_char b src.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      push (STRING_LIT (Buffer.contents b))
+    end
+    else begin
+      (* punctuation: longest match first *)
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let matched =
+        match two with
+        | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>" | "->" | "+=" | "-=" -> Some two
+        | _ -> None
+      in
+      match matched with
+      | Some p ->
+        push (PUNCT p);
+        i := !i + 2
+      | None -> (
+        match c with
+        | '+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' | '!' | '&' | '|' | '^' | '~'
+        | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '.' | ':' ->
+          push (PUNCT (String.make 1 c));
+          incr i
+        | c -> fail "unexpected character %C" c)
+    end
+  done;
+  push EOF;
+  List.rev !toks

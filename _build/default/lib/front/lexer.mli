@@ -1,0 +1,18 @@
+(** Lexer for MiniC (the C subset + classes with virtual methods and
+    function-pointer typedefs the workloads are written in). *)
+
+type token =
+  | INT_LIT of int64
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+val keywords : string list
+val tokenize : string -> lexed list

@@ -1,0 +1,916 @@
+(* Semantic analysis + lowering of MiniC to the IR.
+
+   Typing is deliberately word-oriented: every value is a 64-bit word; the
+   type information drives load/store widths (i8 vs i64), pointer-
+   arithmetic scaling, virtual-method slot resolution, and indirect-call
+   signature identity (the type classes of the ICall defense).  Classes
+   have a vptr in their first word; vtables become read-only globals and
+   are recorded in [m_vtables] so hardening passes can re-key them. *)
+
+module Ir = Roload_ir.Ir
+
+exception Sema_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Sema_error { line; message })) fmt
+
+(* ---------- program-level environment ---------- *)
+
+type method_info = {
+  mi_virtual : bool;
+  mi_impl : string; (* mangled function name *)
+  mi_sig : Ir.signature; (* including the leading this *)
+  mi_decl_class : string;
+}
+
+type class_info = {
+  ci_name : string;
+  ci_parent : string option;
+  ci_fields : (string * Ir.ty) list; (* layout order, inherited first *)
+  ci_vslots : string list; (* virtual method names, slot order *)
+  ci_methods : (string * method_info) list; (* declared here *)
+}
+
+type struct_info = { si_fields : (string * Ir.ty) list }
+
+type genv = {
+  mutable classes : (string * class_info) list;
+  mutable structs : (string * struct_info) list;
+  mutable typedefs : (string * Ir.signature) list;
+  mutable functions : (string * Ir.signature) list;
+  mutable globals : (string * (Ir.ty * bool)) list; (* ty, is_array *)
+  mutable strings : (string * string) list; (* symbol -> contents *)
+  mutable string_count : int;
+}
+
+let builtin_functions =
+  [
+    ("print_int", { Ir.params = [ Ir.I64 ]; ret = Ir.Void });
+    ("print_char", { Ir.params = [ Ir.I64 ]; ret = Ir.Void });
+    ("print_str", { Ir.params = [ Ir.Ptr Ir.I8 ]; ret = Ir.Void });
+    ("exit", { Ir.params = [ Ir.I64 ]; ret = Ir.Void });
+    ("alloc", { Ir.params = [ Ir.I64 ]; ret = Ir.Ptr Ir.I8 });
+  ]
+
+let find_class genv name = List.assoc_opt name genv.classes
+let find_struct genv name = List.assoc_opt name genv.structs
+
+let rec conv_ty genv line (t : Ast.ty) : Ir.ty =
+  match t with
+  | Ast.T_int -> Ir.I64
+  | Ast.T_char -> Ir.I8
+  | Ast.T_void -> Ir.Void
+  | Ast.T_ptr t -> Ir.Ptr (conv_ty genv line t)
+  | Ast.T_named n -> (
+    match List.assoc_opt n genv.typedefs with
+    | Some s -> Ir.Fun_ptr s
+    | None ->
+      if find_class genv n <> None then Ir.Class_ref n
+      else if find_struct genv n <> None then Ir.Struct_ref n
+      else fail line "unknown type %s" n)
+
+let mangle cls m = cls ^ "$" ^ m
+
+let vtable_symbol cls = "__vt$" ^ cls
+
+(* byte size of a value of this type when stored in an array/field *)
+let elem_size = function
+  | Ir.I8 -> 1
+  | Ir.I64 | Ir.Ptr _ | Ir.Fun_ptr _ -> 8
+  | Ir.Struct_ref _ | Ir.Class_ref _ | Ir.Void -> 8 (* pointers to these only *)
+
+let sizeof genv line (t : Ir.ty) =
+  match t with
+  | Ir.I8 -> 1
+  | Ir.I64 | Ir.Ptr _ | Ir.Fun_ptr _ -> 8
+  | Ir.Void -> fail line "sizeof(void)"
+  | Ir.Struct_ref n -> (
+    match find_struct genv n with
+    | Some si -> 8 * List.length si.si_fields
+    | None -> fail line "unknown struct %s" n)
+  | Ir.Class_ref n -> (
+    match find_class genv n with
+    | Some ci -> 8 + (8 * List.length ci.ci_fields)
+    | None -> fail line "unknown class %s" n)
+
+let width_of = function
+  | Ir.I8 -> Ir.W8
+  | Ir.I64 | Ir.Ptr _ | Ir.Fun_ptr _ | Ir.Struct_ref _ | Ir.Class_ref _ | Ir.Void ->
+    Ir.W64
+
+(* field lookup: returns byte offset and type *)
+let class_field genv line cls fname =
+  match find_class genv cls with
+  | None -> fail line "unknown class %s" cls
+  | Some ci -> (
+    let rec idx i = function
+      | [] -> None
+      | (n, t) :: _ when n = fname -> Some (i, t)
+      | _ :: rest -> idx (i + 1) rest
+    in
+    match idx 0 ci.ci_fields with
+    | Some (i, t) -> (8 + (8 * i), t) (* vptr occupies offset 0 *)
+    | None -> fail line "class %s has no field %s" cls fname)
+
+let struct_field genv line sname fname =
+  match find_struct genv sname with
+  | None -> fail line "unknown struct %s" sname
+  | Some si -> (
+    let rec idx i = function
+      | [] -> None
+      | (n, t) :: _ when n = fname -> Some (i, t)
+      | _ :: rest -> idx (i + 1) rest
+    in
+    match idx 0 si.si_fields with
+    | Some (i, t) -> (8 * i, t)
+    | None -> fail line "struct %s has no field %s" sname fname)
+
+(* method lookup walking up the hierarchy *)
+let rec lookup_method genv line cls m =
+  match find_class genv cls with
+  | None -> fail line "unknown class %s" cls
+  | Some ci -> (
+    match List.assoc_opt m ci.ci_methods with
+    | Some mi -> mi
+    | None -> (
+      match ci.ci_parent with
+      | Some p -> lookup_method genv line p m
+      | None -> fail line "class %s has no method %s" cls m))
+
+let vslot_of genv line cls m =
+  match find_class genv cls with
+  | None -> fail line "unknown class %s" cls
+  | Some ci -> (
+    let rec idx i = function
+      | [] -> fail line "class %s has no virtual slot for %s" cls m
+      | n :: _ when n = m -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 ci.ci_vslots)
+
+let rec hierarchy_root genv cls =
+  match find_class genv cls with
+  | Some { ci_parent = Some p; _ } -> hierarchy_root genv p
+  | Some _ | None -> cls
+
+(* ---------- function-lowering context ---------- *)
+
+type storage =
+  | S_temp of Ir.temp * Ir.ty
+  | S_frame of int * Ir.ty (* frame slot holding an array of elem type *)
+
+type ctx = {
+  genv : genv;
+  func : Ir.func;
+  mutable cur_label : string;
+  mutable cur_instrs : Ir.instr list; (* reversed *)
+  mutable done_blocks : Ir.block list; (* reversed *)
+  mutable locals : (string * storage) list list; (* scope stack *)
+  mutable label_count : int;
+  mutable loop_stack : (string * string) list; (* (break target, continue target) *)
+  this_class : string option;
+}
+
+let new_label ctx prefix =
+  let n = ctx.label_count in
+  ctx.label_count <- n + 1;
+  Printf.sprintf ".L%s%d" prefix n
+
+let emit ctx i = ctx.cur_instrs <- i :: ctx.cur_instrs
+
+let seal ctx term =
+  let blk =
+    { Ir.b_label = ctx.cur_label; b_instrs = List.rev ctx.cur_instrs; b_term = term }
+  in
+  ctx.done_blocks <- blk :: ctx.done_blocks;
+  ctx.cur_instrs <- []
+
+let start ctx label = ctx.cur_label <- label
+
+let fresh ctx = Ir.new_temp ctx.func
+
+let push_scope ctx = ctx.locals <- [] :: ctx.locals
+
+let pop_scope ctx =
+  match ctx.locals with
+  | _ :: rest -> ctx.locals <- rest
+  | [] -> ()
+
+let bind ctx name storage =
+  match ctx.locals with
+  | scope :: rest -> ctx.locals <- ((name, storage) :: scope) :: rest
+  | [] -> ctx.locals <- [ [ (name, storage) ] ]
+
+let lookup_local ctx name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> ( match List.assoc_opt name scope with Some s -> Some s | None -> go rest)
+  in
+  go ctx.locals
+
+let intern_string genv s =
+  match List.find_opt (fun (_, v) -> v = s) genv.strings with
+  | Some (sym, _) -> sym
+  | None ->
+    let sym = Printf.sprintf "__str$%d" genv.string_count in
+    genv.string_count <- genv.string_count + 1;
+    genv.strings <- (sym, s) :: genv.strings;
+    sym
+
+(* ---------- expressions ---------- *)
+
+let rec lower_expr ctx (e : Ast.expr) : Ir.value * Ir.ty =
+  let line = e.Ast.line in
+  match e.Ast.e with
+  | Ast.Int_lit v -> (Ir.Const v, Ir.I64)
+  | Ast.Char_lit c -> (Ir.Const (Int64.of_int (Char.code c)), Ir.I64)
+  | Ast.Null -> (Ir.Const 0L, Ir.Ptr Ir.I8)
+  | Ast.String_lit s ->
+    let sym = intern_string ctx.genv s in
+    (Ir.Global sym, Ir.Ptr Ir.I8)
+  | Ast.Sizeof t ->
+    let ty = conv_ty ctx.genv line t in
+    (Ir.Const (Int64.of_int (sizeof ctx.genv line ty)), Ir.I64)
+  | Ast.Cast (t, inner) ->
+    let v, _ = lower_expr ctx inner in
+    (v, conv_ty ctx.genv line t)
+  | Ast.Ident name -> lower_ident ctx line name
+  | Ast.Binop (op, a, b) -> lower_binop ctx line op a b
+  | Ast.Unop (op, a) -> lower_unop ctx line op a
+  | Ast.Index (arr, idx) ->
+    let base, off, ty = lower_mem_location ctx (Ast.Index (arr, idx)) line in
+    let dst = fresh ctx in
+    emit ctx (Ir.Load { dst; addr = base; offset = off; width = width_of ty; md = Ir.no_md () });
+    (Ir.Temp dst, ty)
+  | Ast.Member (p, f) ->
+    let base, off, ty = lower_mem_location ctx (Ast.Member (p, f)) line in
+    let dst = fresh ctx in
+    emit ctx (Ir.Load { dst; addr = base; offset = off; width = width_of ty; md = Ir.no_md () });
+    (Ir.Temp dst, ty)
+  | Ast.Call (callee, args) -> lower_call ctx line callee args
+  | Ast.Method_call (obj, m, args) -> lower_method_call ctx line obj m args
+  | Ast.New cls ->
+    if find_class ctx.genv cls = None then fail line "unknown class %s" cls;
+    let size = sizeof ctx.genv line (Ir.Class_ref cls) in
+    let dst = fresh ctx in
+    emit ctx (Ir.Call { dst = Some dst; callee = "alloc"; args = [ Ir.Const (Int64.of_int size) ] });
+    emit ctx
+      (Ir.Store { src = Ir.Global (vtable_symbol cls); addr = Ir.Temp dst; offset = 0; width = Ir.W64 });
+    (Ir.Temp dst, Ir.Ptr (Ir.Class_ref cls))
+
+and lower_ident ctx line name =
+  match lookup_local ctx name with
+  | Some (S_temp (t, ty)) -> (Ir.Temp t, ty)
+  | Some (S_frame (slot, elem_ty)) ->
+    let t = fresh ctx in
+    emit ctx (Ir.Lea_frame (t, slot));
+    (Ir.Temp t, Ir.Ptr elem_ty)
+  | None -> (
+    (* implicit this->field inside methods *)
+    match ctx.this_class with
+    | Some cls when (try ignore (class_field ctx.genv line cls name); true with Sema_error _ -> false) ->
+      let off, fty = class_field ctx.genv line cls name in
+      let this_v, _ = lower_ident ctx line "this" in
+      let dst = fresh ctx in
+      emit ctx (Ir.Load { dst; addr = this_v; offset = off; width = width_of fty; md = Ir.no_md () });
+      (Ir.Temp dst, fty)
+    | Some _ | None -> (
+      match List.assoc_opt name ctx.genv.globals with
+      | Some (ty, true) -> (Ir.Global name, Ir.Ptr ty) (* arrays decay *)
+      | Some (ty, false) ->
+        let dst = fresh ctx in
+        emit ctx
+          (Ir.Load { dst; addr = Ir.Global name; offset = 0; width = width_of ty; md = Ir.no_md () });
+        (Ir.Temp dst, ty)
+      | None -> (
+        match List.assoc_opt name ctx.genv.functions with
+        | Some s -> (Ir.Func_addr name, Ir.Fun_ptr s)
+        | None -> fail line "unknown identifier %s" name)))
+
+and lower_binop ctx line op a b =
+  match op with
+  | Ast.Land ->
+    (* a && b: short circuit producing 0/1 *)
+    let result = fresh ctx in
+    let l_rhs = new_label ctx "and_rhs" in
+    let l_false = new_label ctx "and_false" in
+    let l_end = new_label ctx "and_end" in
+    let va, _ = lower_expr ctx a in
+    seal ctx (Ir.Cbr (va, l_rhs, l_false));
+    start ctx l_rhs;
+    let vb, _ = lower_expr ctx b in
+    emit ctx (Ir.Bin (Ir.Ne, result, vb, Ir.Const 0L));
+    seal ctx (Ir.Br l_end);
+    start ctx l_false;
+    emit ctx (Ir.Bin (Ir.Add, result, Ir.Const 0L, Ir.Const 0L));
+    seal ctx (Ir.Br l_end);
+    start ctx l_end;
+    (Ir.Temp result, Ir.I64)
+  | Ast.Lor ->
+    let result = fresh ctx in
+    let l_rhs = new_label ctx "or_rhs" in
+    let l_true = new_label ctx "or_true" in
+    let l_end = new_label ctx "or_end" in
+    let va, _ = lower_expr ctx a in
+    seal ctx (Ir.Cbr (va, l_true, l_rhs));
+    start ctx l_rhs;
+    let vb, _ = lower_expr ctx b in
+    emit ctx (Ir.Bin (Ir.Ne, result, vb, Ir.Const 0L));
+    seal ctx (Ir.Br l_end);
+    start ctx l_true;
+    emit ctx (Ir.Bin (Ir.Add, result, Ir.Const 1L, Ir.Const 0L));
+    seal ctx (Ir.Br l_end);
+    start ctx l_end;
+    (Ir.Temp result, Ir.I64)
+  | _ ->
+    let va, ta = lower_expr ctx a in
+    let vb, tb = lower_expr ctx b in
+    let irop =
+      match op with
+      | Ast.Add -> Ir.Add
+      | Ast.Sub -> Ir.Sub
+      | Ast.Mul -> Ir.Mul
+      | Ast.Div -> Ir.Div
+      | Ast.Rem -> Ir.Rem
+      | Ast.Band -> Ir.And
+      | Ast.Bor -> Ir.Or
+      | Ast.Bxor -> Ir.Xor
+      | Ast.Shl -> Ir.Shl
+      | Ast.Shr -> Ir.Shr
+      | Ast.Eq -> Ir.Eq
+      | Ast.Ne -> Ir.Ne
+      | Ast.Lt -> Ir.Lt
+      | Ast.Le -> Ir.Le
+      | Ast.Gt -> Ir.Gt
+      | Ast.Ge -> Ir.Ge
+      | Ast.Land | Ast.Lor -> assert false
+    in
+    (* pointer arithmetic scaling: ptr ± int scales by element size *)
+    let scale v ty_elem =
+      let sz = elem_size ty_elem in
+      if sz = 1 then v
+      else begin
+        let t = fresh ctx in
+        emit ctx (Ir.Bin (Ir.Mul, t, v, Ir.Const (Int64.of_int sz)));
+        Ir.Temp t
+      end
+    in
+    let dst = fresh ctx in
+    (match (irop, ta, tb) with
+    | Ir.Add, Ir.Ptr te, _ -> emit ctx (Ir.Bin (Ir.Add, dst, va, scale vb te))
+    | Ir.Add, _, Ir.Ptr te -> emit ctx (Ir.Bin (Ir.Add, dst, scale va te, vb))
+    | Ir.Sub, Ir.Ptr te, (Ir.I64 | Ir.I8) -> emit ctx (Ir.Bin (Ir.Sub, dst, va, scale vb te))
+    | _ -> emit ctx (Ir.Bin (irop, dst, va, vb)));
+    let result_ty =
+      match (irop, ta, tb) with
+      | (Ir.Add | Ir.Sub), Ir.Ptr te, (Ir.I64 | Ir.I8) -> Ir.Ptr te
+      | Ir.Add, (Ir.I64 | Ir.I8), Ir.Ptr te -> Ir.Ptr te
+      | _ -> Ir.I64
+    in
+    ignore line;
+    (Ir.Temp dst, result_ty)
+
+and lower_unop ctx line op a =
+  match op with
+  | Ast.Neg ->
+    let v, _ = lower_expr ctx a in
+    let dst = fresh ctx in
+    emit ctx (Ir.Bin (Ir.Sub, dst, Ir.Const 0L, v));
+    (Ir.Temp dst, Ir.I64)
+  | Ast.Not ->
+    let v, _ = lower_expr ctx a in
+    let dst = fresh ctx in
+    emit ctx (Ir.Bin (Ir.Eq, dst, v, Ir.Const 0L));
+    (Ir.Temp dst, Ir.I64)
+  | Ast.Bnot ->
+    let v, _ = lower_expr ctx a in
+    let dst = fresh ctx in
+    emit ctx (Ir.Bin (Ir.Xor, dst, v, Ir.Const (-1L)));
+    (Ir.Temp dst, Ir.I64)
+  | Ast.Deref -> (
+    let v, ty = lower_expr ctx a in
+    match ty with
+    | Ir.Ptr elem ->
+      let dst = fresh ctx in
+      emit ctx (Ir.Load { dst; addr = v; offset = 0; width = width_of elem; md = Ir.no_md () });
+      (Ir.Temp dst, elem)
+    | Ir.Fun_ptr _ -> (v, ty) (* *fp is fp, as in C *)
+    | _ -> fail line "cannot dereference non-pointer")
+  | Ast.Addr_of -> (
+    match a.Ast.e with
+    | Ast.Ident name -> (
+      match lookup_local ctx name with
+      | Some (S_frame (slot, elem_ty)) ->
+        let t = fresh ctx in
+        emit ctx (Ir.Lea_frame (t, slot));
+        (Ir.Temp t, Ir.Ptr elem_ty)
+      | Some (S_temp _) -> fail line "cannot take the address of register variable %s" name
+      | None -> (
+        match List.assoc_opt name ctx.genv.globals with
+        | Some (ty, _) -> (Ir.Global name, Ir.Ptr ty)
+        | None -> (
+          match List.assoc_opt name ctx.genv.functions with
+          | Some s -> (Ir.Func_addr name, Ir.Fun_ptr s)
+          | None -> fail line "unknown identifier %s" name)))
+    | Ast.Index _ | Ast.Member _ ->
+      let base, off, ty = lower_mem_location ctx a.Ast.e line in
+      if off = 0 then (base, Ir.Ptr ty)
+      else begin
+        let t = fresh ctx in
+        emit ctx (Ir.Bin (Ir.Add, t, base, Ir.Const (Int64.of_int off)));
+        (Ir.Temp t, Ir.Ptr ty)
+      end
+    | _ -> fail line "cannot take the address of this expression")
+
+(* memory locations for Index/Member *)
+and lower_mem_location ctx ek line : Ir.value * int * Ir.ty =
+  match ek with
+  | Ast.Index (arr, idx) -> (
+    let va, ta = lower_expr ctx arr in
+    let vi, _ = lower_expr ctx idx in
+    match ta with
+    | Ir.Ptr elem ->
+      let sz = elem_size elem in
+      let addr =
+        match vi with
+        | Ir.Const c ->
+          let off = Int64.to_int c * sz in
+          if off = 0 then va
+          else begin
+            let t = fresh ctx in
+            emit ctx (Ir.Bin (Ir.Add, t, va, Ir.Const (Int64.of_int off)));
+            Ir.Temp t
+          end
+        | _ ->
+          let scaled =
+            if sz = 1 then vi
+            else begin
+              let t = fresh ctx in
+              emit ctx (Ir.Bin (Ir.Mul, t, vi, Ir.Const (Int64.of_int sz)));
+              Ir.Temp t
+            end
+          in
+          let t = fresh ctx in
+          emit ctx (Ir.Bin (Ir.Add, t, va, scaled));
+          Ir.Temp t
+      in
+      (addr, 0, elem)
+    | _ -> fail line "indexing a non-pointer")
+  | Ast.Member (p, f) -> (
+    let vp, tp = lower_expr ctx p in
+    match tp with
+    | Ir.Ptr (Ir.Class_ref c) | Ir.Class_ref c ->
+      let off, fty = class_field ctx.genv line c f in
+      (vp, off, fty)
+    | Ir.Ptr (Ir.Struct_ref s) | Ir.Struct_ref s ->
+      let off, fty = struct_field ctx.genv line s f in
+      (vp, off, fty)
+    | _ -> fail line "member access on non-struct/class pointer")
+  | _ -> fail line "not a memory location"
+
+and lower_call ctx line callee args =
+  match callee.Ast.e with
+  (* inside a method body, a bare call to a sibling method is an implicit
+     this->m(...) *)
+  | Ast.Ident name
+    when (match ctx.this_class with
+         | Some cls ->
+           lookup_local ctx name = None
+           && (try ignore (lookup_method ctx.genv line cls name); true
+               with Sema_error _ -> false)
+         | None -> false) ->
+    let this = { Ast.e = Ast.Ident "this"; line } in
+    lower_method_call ctx line this name args
+  | Ast.Ident name when lookup_local ctx name = None && List.assoc_opt name ctx.genv.globals = None -> (
+    (* direct call to a known function or builtin *)
+    match List.assoc_opt name ctx.genv.functions with
+    | Some s ->
+      let vargs = List.map (fun a -> fst (lower_expr ctx a)) args in
+      if List.length vargs <> List.length s.Ir.params then
+        fail line "%s expects %d arguments" name (List.length s.Ir.params);
+      let dst = if s.Ir.ret = Ir.Void then None else Some (fresh ctx) in
+      emit ctx (Ir.Call { dst; callee = name; args = vargs });
+      ((match dst with Some d -> Ir.Temp d | None -> Ir.Const 0L), s.Ir.ret)
+    | None -> fail line "unknown function %s" name)
+  | _ -> (
+    (* indirect call through a function-pointer value *)
+    let vf, tf = lower_expr ctx callee in
+    match tf with
+    | Ir.Fun_ptr s ->
+      let vargs = List.map (fun a -> fst (lower_expr ctx a)) args in
+      if List.length vargs <> List.length s.Ir.params then
+        fail line "indirect call arity mismatch";
+      let dst = if s.Ir.ret = Ir.Void then None else Some (fresh ctx) in
+      emit ctx
+        (Ir.Call_indirect
+           { dst; callee = vf; args = vargs; sig_id = Ir.signature_id s;
+             md = { Ir.ic_roload_key = None; ic_cfi_label = None } });
+      ((match dst with Some d -> Ir.Temp d | None -> Ir.Const 0L), s.Ir.ret)
+    | _ -> fail line "calling a non-function value")
+
+and lower_method_call ctx line obj m args =
+  let vobj, tobj = lower_expr ctx obj in
+  let cls =
+    match tobj with
+    | Ir.Ptr (Ir.Class_ref c) | Ir.Class_ref c -> c
+    | _ -> fail line "method call on non-class pointer"
+  in
+  let mi = lookup_method ctx.genv line cls m in
+  let vargs = List.map (fun a -> fst (lower_expr ctx a)) args in
+  if List.length vargs + 1 <> List.length mi.mi_sig.Ir.params then
+    fail line "method %s::%s arity mismatch" cls m;
+  let dst = if mi.mi_sig.Ir.ret = Ir.Void then None else Some (fresh ctx) in
+  if mi.mi_virtual then begin
+    let slot = vslot_of ctx.genv line cls m in
+    emit ctx
+      (Ir.Vcall
+         { dst; obj = vobj; slot; class_name = cls; args = vargs;
+           md = { Ir.vc_roload_key = None; vc_vtint = false; vc_cfi_label = None } })
+  end
+  else emit ctx (Ir.Call { dst; callee = mi.mi_impl; args = vobj :: vargs });
+  ((match dst with Some d -> Ir.Temp d | None -> Ir.Const 0L), mi.mi_sig.Ir.ret)
+
+(* ---------- statements ---------- *)
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Block stmts ->
+    push_scope ctx;
+    List.iter (lower_stmt ctx) stmts;
+    pop_scope ctx
+  | Ast.Expr_stmt e -> ignore (lower_expr ctx e)
+  | Ast.If (cond, then_, else_) -> (
+    let vc, _ = lower_expr ctx cond in
+    let l_then = new_label ctx "then" in
+    let l_end = new_label ctx "endif" in
+    match else_ with
+    | None ->
+      seal ctx (Ir.Cbr (vc, l_then, l_end));
+      start ctx l_then;
+      lower_stmt ctx then_;
+      seal ctx (Ir.Br l_end);
+      start ctx l_end
+    | Some e ->
+      let l_else = new_label ctx "else" in
+      seal ctx (Ir.Cbr (vc, l_then, l_else));
+      start ctx l_then;
+      lower_stmt ctx then_;
+      seal ctx (Ir.Br l_end);
+      start ctx l_else;
+      lower_stmt ctx e;
+      seal ctx (Ir.Br l_end);
+      start ctx l_end)
+  | Ast.While (cond, body) ->
+    let l_head = new_label ctx "while" in
+    let l_body = new_label ctx "body" in
+    let l_end = new_label ctx "endwhile" in
+    seal ctx (Ir.Br l_head);
+    start ctx l_head;
+    let vc, _ = lower_expr ctx cond in
+    seal ctx (Ir.Cbr (vc, l_body, l_end));
+    start ctx l_body;
+    ctx.loop_stack <- (l_end, l_head) :: ctx.loop_stack;
+    lower_stmt ctx body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    seal ctx (Ir.Br l_head);
+    start ctx l_end
+  | Ast.For (init, cond, step, body) ->
+    push_scope ctx;
+    (match init with Some s -> lower_stmt ctx s | None -> ());
+    let l_head = new_label ctx "for" in
+    let l_body = new_label ctx "forbody" in
+    let l_step = new_label ctx "forstep" in
+    let l_end = new_label ctx "endfor" in
+    seal ctx (Ir.Br l_head);
+    start ctx l_head;
+    (match cond with
+    | Some c ->
+      let vc, _ = lower_expr ctx c in
+      seal ctx (Ir.Cbr (vc, l_body, l_end))
+    | None -> seal ctx (Ir.Br l_body));
+    start ctx l_body;
+    ctx.loop_stack <- (l_end, l_step) :: ctx.loop_stack;
+    lower_stmt ctx body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    seal ctx (Ir.Br l_step);
+    start ctx l_step;
+    (match step with Some s -> lower_stmt ctx s | None -> ());
+    seal ctx (Ir.Br l_head);
+    start ctx l_end;
+    pop_scope ctx
+  | Ast.Return (e, _line) ->
+    let v = match e with Some e -> Some (fst (lower_expr ctx e)) | None -> None in
+    seal ctx (Ir.Ret v);
+    start ctx (new_label ctx "dead")
+  | Ast.Break line -> (
+    match ctx.loop_stack with
+    | (b, _) :: _ ->
+      seal ctx (Ir.Br b);
+      start ctx (new_label ctx "dead")
+    | [] -> fail line "break outside loop")
+  | Ast.Continue line -> (
+    match ctx.loop_stack with
+    | (_, c) :: _ ->
+      seal ctx (Ir.Br c);
+      start ctx (new_label ctx "dead")
+    | [] -> fail line "continue outside loop")
+  | Ast.Decl (t, name, array, init, line) -> (
+    let ty = conv_ty ctx.genv line t in
+    match array with
+    | Some n ->
+      let slot = Ir.new_frame_slot ctx.func ~size:(n * elem_size ty) in
+      bind ctx name (S_frame (slot, ty));
+      if init <> None then fail line "array initializers are not supported for locals"
+    | None ->
+      let tmp = fresh ctx in
+      bind ctx name (S_temp (tmp, ty));
+      let v = match init with Some e -> fst (lower_expr ctx e) | None -> Ir.Const 0L in
+      emit ctx (Ir.Bin (Ir.Add, tmp, v, Ir.Const 0L)))
+  | Ast.Assign (lhs, rhs, line) -> (
+    let vr, _ = lower_expr ctx rhs in
+    match lhs.Ast.e with
+    | Ast.Ident name -> (
+      match lookup_local ctx name with
+      | Some (S_temp (t, _)) -> emit ctx (Ir.Bin (Ir.Add, t, vr, Ir.Const 0L))
+      | Some (S_frame _) -> fail line "cannot assign to an array"
+      | None -> (
+        match ctx.this_class with
+        | Some cls
+          when (try ignore (class_field ctx.genv line cls name); true
+                with Sema_error _ -> false) ->
+          let off, fty = class_field ctx.genv line cls name in
+          let this_v, _ = lower_ident ctx line "this" in
+          emit ctx (Ir.Store { src = vr; addr = this_v; offset = off; width = width_of fty })
+        | Some _ | None -> (
+          match List.assoc_opt name ctx.genv.globals with
+          | Some (ty, false) ->
+            emit ctx (Ir.Store { src = vr; addr = Ir.Global name; offset = 0; width = width_of ty })
+          | Some (_, true) -> fail line "cannot assign to an array"
+          | None -> fail line "unknown identifier %s" name)))
+    | Ast.Unop (Ast.Deref, p) -> (
+      let vp, tp = lower_expr ctx p in
+      match tp with
+      | Ir.Ptr elem ->
+        emit ctx (Ir.Store { src = vr; addr = vp; offset = 0; width = width_of elem })
+      | _ -> fail line "storing through non-pointer")
+    | Ast.Index _ | Ast.Member _ ->
+      let base, off, ty = lower_mem_location ctx lhs.Ast.e line in
+      emit ctx (Ir.Store { src = vr; addr = base; offset = off; width = width_of ty })
+    | _ -> fail line "invalid assignment target")
+
+(* ---------- top-level ---------- *)
+
+let collect_genv (prog : Ast.program) =
+  let genv =
+    {
+      classes = [];
+      structs = [];
+      typedefs = [];
+      functions = builtin_functions;
+      globals = [];
+      strings = [];
+      string_count = 0;
+    }
+  in
+  (* Declarations are processed in program order, registering names as
+     they appear — types must be declared before use, as in C. *)
+  List.iter
+    (function
+      | Ast.Typedef_fptr { name; ret; params } ->
+        let s =
+          { Ir.params = List.map (conv_ty genv 0) params; ret = conv_ty genv 0 ret }
+        in
+        genv.typedefs <- (name, s) :: genv.typedefs
+      | Ast.Struct_def { name; fields } ->
+        (* register the name first so fields can be self-referential
+           (e.g. linked-list nodes) *)
+        genv.structs <- (name, { si_fields = [] }) :: genv.structs;
+        let si = { si_fields = List.map (fun (t, n) -> (n, conv_ty genv 0 t)) fields } in
+        genv.structs <- (name, si) :: genv.structs
+      | Ast.Class_def { name; parent; members } ->
+        (* pre-register for self-referential fields and method types *)
+        genv.classes <-
+          (name, { ci_name = name; ci_parent = parent; ci_fields = []; ci_vslots = [];
+                   ci_methods = [] })
+          :: genv.classes;
+        let parent_info =
+          match parent with
+          | Some p -> (
+            match find_class genv p with
+            | Some ci -> Some ci
+            | None -> fail 0 "class %s: unknown parent %s" name p)
+          | None -> None
+        in
+        let inherited_fields = match parent_info with Some ci -> ci.ci_fields | None -> [] in
+        let inherited_vslots = match parent_info with Some ci -> ci.ci_vslots | None -> [] in
+        let fields = ref inherited_fields in
+        let vslots = ref inherited_vslots in
+        let methods = ref [] in
+        List.iter
+          (function
+            | Ast.Field (t, n) -> fields := !fields @ [ (n, conv_ty genv 0 t) ]
+            | Ast.Method { virtual_; ret; name = mname; params; body = _ } ->
+              let sig_ =
+                {
+                  Ir.params =
+                    Ir.Ptr (Ir.Class_ref name)
+                    :: List.map (fun (t, _) -> conv_ty genv 0 t) params;
+                  ret = conv_ty genv 0 ret;
+                }
+              in
+              let mi =
+                { mi_virtual = virtual_; mi_impl = mangle name mname; mi_sig = sig_;
+                  mi_decl_class = name }
+              in
+              methods := (mname, mi) :: !methods;
+              if virtual_ && not (List.mem mname !vslots) then vslots := !vslots @ [ mname ])
+          members;
+        let ci =
+          { ci_name = name; ci_parent = parent; ci_fields = !fields; ci_vslots = !vslots;
+            ci_methods = List.rev !methods }
+        in
+        genv.classes <- (name, ci) :: genv.classes
+      | Ast.Func_def { ret; name; params; _ } ->
+        let s =
+          { Ir.params = List.map (fun (t, _) -> conv_ty genv 0 t) params;
+            ret = conv_ty genv 0 ret }
+        in
+        genv.functions <- (name, s) :: genv.functions
+      | Ast.Global_def { ty; name; array; _ } ->
+        let t = conv_ty genv 0 ty in
+        genv.globals <- (name, (t, array <> None)) :: genv.globals)
+    prog;
+  genv
+
+(* resolve the implementation of each vslot for a concrete class *)
+let vtable_impls genv cls =
+  match find_class genv cls with
+  | None -> []
+  | Some ci ->
+    List.map (fun m -> (lookup_method genv 0 cls m).mi_impl) ci.ci_vslots
+
+let lower_function genv ~name ~sig_ ~param_names ~this_class body =
+  let func =
+    {
+      Ir.f_name = name;
+      f_sig = sig_;
+      f_params = [];
+      f_blocks = [];
+      f_ntemps = 0;
+      f_frame_slots = [];
+      f_cfi_id = None;
+    }
+  in
+  let ctx =
+    {
+      genv;
+      func;
+      cur_label = "entry";
+      cur_instrs = [];
+      done_blocks = [];
+      locals = [ [] ];
+      label_count = 0;
+      loop_stack = [];
+      this_class;
+    }
+  in
+  (* parameter temps *)
+  let param_temps =
+    List.map2
+      (fun pname pty ->
+        let t = Ir.new_temp func in
+        bind ctx pname (S_temp (t, pty));
+        t)
+      param_names sig_.Ir.params
+  in
+  func.Ir.f_params <- param_temps;
+  List.iter (lower_stmt ctx) body;
+  (* implicit return *)
+  seal ctx (match sig_.Ir.ret with Ir.Void -> Ir.Ret None | _ -> Ir.Ret (Some (Ir.Const 0L)));
+  func.Ir.f_blocks <- List.rev ctx.done_blocks;
+  func
+
+let lower_globals genv prog =
+  let globals = ref [] in
+  List.iter
+    (function
+      | Ast.Global_def { ty; name; array; init } -> (
+        let t = conv_ty genv 0 ty in
+        match (array, init) with
+        | None, None ->
+          globals :=
+            { Ir.g_name = name; g_section = ".data"; g_init = [ Ir.G_int 0L ];
+              g_bytes = None; g_zero = 0 }
+            :: !globals
+        | None, Some (Ast.Gi_int v) ->
+          globals :=
+            { Ir.g_name = name; g_section = ".data"; g_init = [ Ir.G_int v ];
+              g_bytes = None; g_zero = 0 }
+            :: !globals
+        | None, Some (Ast.Gi_string s) ->
+          (* char* global initialized to a string: emit the string and a
+             pointer word *)
+          let sym = intern_string genv s in
+          globals :=
+            { Ir.g_name = name; g_section = ".data"; g_init = [ Ir.G_global sym ];
+              g_bytes = None; g_zero = 0 }
+            :: !globals
+        | Some n, None ->
+          let sz = n * elem_size t in
+          globals :=
+            { Ir.g_name = name; g_section = ".bss"; g_init = []; g_bytes = None; g_zero = sz }
+            :: !globals
+        | Some n, Some (Ast.Gi_list consts) ->
+          let words =
+            List.map
+              (function
+                | Ast.Gc_int v -> Ir.G_int v
+                | Ast.Gc_func f -> Ir.G_func f)
+              consts
+          in
+          if List.length words > n then fail 0 "initializer longer than array %s" name;
+          let pad = n - List.length words in
+          globals :=
+            { Ir.g_name = name; g_section = ".data"; g_init = words; g_bytes = None;
+              g_zero = pad * elem_size t }
+            :: !globals
+        | Some n, Some (Ast.Gi_string s) ->
+          let bytes = s ^ "\000" in
+          let pad = max 0 (n - String.length bytes) in
+          globals :=
+            { Ir.g_name = name; g_section = ".data"; g_init = []; g_bytes = Some bytes;
+              g_zero = pad }
+            :: !globals
+        | None, Some (Ast.Gi_list _) -> fail 0 "list initializer on scalar %s" name
+        | Some _, Some (Ast.Gi_int _) -> fail 0 "scalar initializer on array %s" name)
+      | Ast.Func_def _ | Ast.Struct_def _ | Ast.Class_def _ | Ast.Typedef_fptr _ -> ())
+    prog;
+  List.rev !globals
+
+let lower (prog : Ast.program) ~module_name =
+  let genv = collect_genv prog in
+  let funcs = ref [] in
+  (* plain functions *)
+  List.iter
+    (function
+      | Ast.Func_def { ret = _; name; params; body } ->
+        let sig_ = List.assoc name genv.functions in
+        let f =
+          lower_function genv ~name ~sig_ ~param_names:(List.map snd params)
+            ~this_class:None body
+        in
+        funcs := f :: !funcs
+      | Ast.Class_def { name = cls; members; _ } ->
+        List.iter
+          (function
+            | Ast.Method { ret = _; name = mname; params; body; _ } ->
+              let mi = List.assoc mname (List.assoc cls genv.classes).ci_methods in
+              let f =
+                lower_function genv ~name:mi.mi_impl ~sig_:mi.mi_sig
+                  ~param_names:("this" :: List.map snd params)
+                  ~this_class:(Some cls) body
+              in
+              funcs := f :: !funcs
+            | Ast.Field _ -> ())
+          members
+      | Ast.Global_def _ | Ast.Struct_def _ | Ast.Typedef_fptr _ -> ())
+    prog;
+  (* vtables — genv.classes may hold pre-registration placeholders, so
+     keep only the most recent (complete) entry per name *)
+  let unique_classes =
+    List.rev
+      (List.fold_left
+         (fun acc (n, ci) -> if List.mem_assoc n acc then acc else (n, ci) :: acc)
+         [] genv.classes)
+  in
+  let vtables = ref [] in
+  let vt_globals = ref [] in
+  List.iter
+    (fun (cls, _ci) ->
+      let impls = vtable_impls genv cls in
+      let sym = vtable_symbol cls in
+      vt_globals :=
+        { Ir.g_name = sym; g_section = ".rodata";
+          g_init = List.map (fun f -> Ir.G_func f) impls; g_bytes = None; g_zero = 0 }
+        :: !vt_globals;
+      vtables :=
+        { Ir.vt_class = cls; vt_symbol = sym; vt_root = hierarchy_root genv cls;
+          vt_methods = impls }
+        :: !vtables)
+    unique_classes;
+  (* global initializers may intern further strings, so lower them before
+     collecting the string table *)
+  let data_globals = lower_globals genv prog in
+  let string_globals =
+    List.rev_map
+      (fun (sym, s) ->
+        { Ir.g_name = sym; g_section = ".rodata"; g_init = []; g_bytes = Some (s ^ "\000");
+          g_zero = 0 })
+      genv.strings
+  in
+  {
+    Ir.m_name = module_name;
+    m_funcs = List.rev !funcs;
+    m_globals = data_globals @ !vt_globals @ string_globals;
+    m_vtables = !vtables;
+    m_ret_key = None;
+  }

@@ -1,0 +1,11 @@
+(** Semantic analysis + lowering of MiniC to the IR.  Classes get a vptr
+    in their first word; vtables become read-only globals recorded in
+    [m_vtables] so hardening passes can re-key them. *)
+
+exception Sema_error of { line : int; message : string }
+
+val vtable_symbol : string -> string
+(** ["__vt$<class>"]. *)
+
+val lower : Ast.program -> module_name:string -> Roload_ir.Ir.modul
+(** Raises {!Sema_error} with a source line on any semantic violation. *)

@@ -1,0 +1,5 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ast.program

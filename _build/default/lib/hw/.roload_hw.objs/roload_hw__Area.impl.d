@@ -1,0 +1,1 @@
+lib/hw/area.ml: Map_lut

@@ -1,0 +1,1 @@
+lib/hw/area.mli: Map_lut

@@ -1,0 +1,1 @@
+lib/hw/map_lut.ml: Array Int List Netlist Set

@@ -1,0 +1,1 @@
+lib/hw/map_lut.mli: Netlist

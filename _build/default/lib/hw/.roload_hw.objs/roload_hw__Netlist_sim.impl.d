@@ -1,0 +1,1 @@
+lib/hw/netlist_sim.ml: Array Hashtbl Int64 List Netlist

@@ -1,0 +1,1 @@
+lib/hw/netlist_sim.mli: Netlist

@@ -1,0 +1,1 @@
+lib/hw/synth.ml: Area Map_lut Netlist Timing_sta Tlb_rtl

@@ -1,0 +1,1 @@
+lib/hw/synth.mli: Area Timing_sta

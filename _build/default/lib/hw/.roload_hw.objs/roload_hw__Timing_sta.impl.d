@@ -1,0 +1,1 @@
+lib/hw/timing_sta.ml: Map_lut

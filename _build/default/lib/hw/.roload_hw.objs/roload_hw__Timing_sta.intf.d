@@ -1,0 +1,1 @@
+lib/hw/timing_sta.mli: Map_lut

@@ -1,0 +1,1 @@
+lib/hw/tlb_rtl.ml: Array Netlist Printf

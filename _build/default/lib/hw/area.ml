@@ -1,0 +1,70 @@
+(* Core- and system-level area accounting for Table III.
+
+   The TLB datapath is elaborated and technology-mapped for real (see
+   [Tlb_rtl], [Map_lut]); a full Rocket core is out of scope, so the
+   surrounding core/system context is a *calibrated constant* taken from
+   the paper's baseline synthesis (20,722 LUT / 11,855 FF core; 37,428
+   LUT / 29,913 FF system).  The ROLoad deltas are our own measured
+   numbers from the mapped netlists — i.e. the experiment reproduces the
+   *increase*, which is what Table III evaluates. *)
+
+type context = {
+  core_base_luts : int;
+  core_base_ffs : int;
+  system_base_luts : int;
+  system_base_ffs : int;
+}
+
+let paper_calibrated =
+  { core_base_luts = 20722; core_base_ffs = 11855;
+    system_base_luts = 37428; system_base_ffs = 29913 }
+
+type cost = {
+  luts : int;
+  ffs : int;
+}
+
+type comparison = {
+  baseline_tlb : cost;
+  roload_tlb : cost;
+  core_without : cost;
+  core_with : cost;
+  system_without : cost;
+  system_with : cost;
+  lut_increase_core_pct : float;
+  ff_increase_core_pct : float;
+  lut_increase_system_pct : float;
+  ff_increase_system_pct : float;
+}
+
+let pct ~base ~extra = float_of_int extra /. float_of_int base *. 100.0
+
+let compare_designs ?(context = paper_calibrated) ~baseline_mapping ~roload_mapping () =
+  let baseline_tlb =
+    { luts = baseline_mapping.Map_lut.luts; ffs = baseline_mapping.Map_lut.ffs }
+  in
+  let roload_tlb =
+    { luts = roload_mapping.Map_lut.luts; ffs = roload_mapping.Map_lut.ffs }
+  in
+  let dl = roload_tlb.luts - baseline_tlb.luts in
+  let df = roload_tlb.ffs - baseline_tlb.ffs in
+  let core_without = { luts = context.core_base_luts; ffs = context.core_base_ffs } in
+  let core_with = { luts = context.core_base_luts + dl; ffs = context.core_base_ffs + df } in
+  let system_without =
+    { luts = context.system_base_luts; ffs = context.system_base_ffs }
+  in
+  let system_with =
+    { luts = context.system_base_luts + dl; ffs = context.system_base_ffs + df }
+  in
+  {
+    baseline_tlb;
+    roload_tlb;
+    core_without;
+    core_with;
+    system_without;
+    system_with;
+    lut_increase_core_pct = pct ~base:core_without.luts ~extra:dl;
+    ff_increase_core_pct = pct ~base:core_without.ffs ~extra:df;
+    lut_increase_system_pct = pct ~base:system_without.luts ~extra:dl;
+    ff_increase_system_pct = pct ~base:system_without.ffs ~extra:df;
+  }

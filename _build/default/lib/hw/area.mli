@@ -1,0 +1,36 @@
+(** Core- and system-level area accounting for Table III.  The TLB
+    datapath is mapped for real; the surrounding core/system context is a
+    calibrated constant from the paper's baseline synthesis, so the
+    experiment reproduces the *increase* Table III evaluates. *)
+
+type context = {
+  core_base_luts : int;
+  core_base_ffs : int;
+  system_base_luts : int;
+  system_base_ffs : int;
+}
+
+val paper_calibrated : context
+(** 20,722/11,855 core and 37,428/29,913 system LUT/FF. *)
+
+type cost = { luts : int; ffs : int }
+
+type comparison = {
+  baseline_tlb : cost;
+  roload_tlb : cost;
+  core_without : cost;
+  core_with : cost;
+  system_without : cost;
+  system_with : cost;
+  lut_increase_core_pct : float;
+  ff_increase_core_pct : float;
+  lut_increase_system_pct : float;
+  ff_increase_system_pct : float;
+}
+
+val compare_designs :
+  ?context:context ->
+  baseline_mapping:Map_lut.mapping ->
+  roload_mapping:Map_lut.mapping ->
+  unit ->
+  comparison

@@ -1,0 +1,82 @@
+(* Greedy LUT6 technology mapping.
+
+   Combinational nodes are processed in topological order (the netlist is
+   already topologically ordered by construction).  Each node forms a LUT
+   whose leaves are its fanins' mapped outputs; a node greedily absorbs a
+   fanin's cone when that fanin is combinational, has fanout 1, and the
+   merged leaf support stays within 6 inputs.  DFFs map to flip-flops. *)
+
+module IntSet = Set.Make (Int)
+
+type mapping = {
+  luts : int;
+  ffs : int;
+  (* for timing: the LUT level of each node's mapped output *)
+  levels : int array;
+  (* critical (deepest) LUT level across outputs *)
+  depth : int;
+}
+
+let fanout_counts net =
+  let n = Netlist.size net in
+  let counts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter (fun f -> counts.(f) <- counts.(f) + 1) (Netlist.fanins (Netlist.gate net i))
+  done;
+  List.iter (fun (_, o) -> counts.(o) <- counts.(o) + 1) net.Netlist.outputs;
+  counts
+
+let map net =
+  let n = Netlist.size net in
+  let fanout = fanout_counts net in
+  (* support.(i): the set of LUT-boundary leaves feeding node i's cone;
+     absorbed.(i): node i was merged into its (single) consumer's LUT *)
+  let support = Array.make n IntSet.empty in
+  let absorbed = Array.make n false in
+  let levels = Array.make n 0 in
+  let is_comb i =
+    match Netlist.gate net i with
+    | Netlist.Not _ | Netlist.And2 _ | Netlist.Or2 _ | Netlist.Xor2 _ | Netlist.Mux _ ->
+      true
+    | Netlist.Input _ | Netlist.Const _ | Netlist.Dff _ -> false
+  in
+  for i = 0 to n - 1 do
+    match Netlist.gate net i with
+    | Netlist.Input _ | Netlist.Const _ ->
+      support.(i) <- IntSet.singleton i;
+      levels.(i) <- 0
+    | Netlist.Dff _ ->
+      support.(i) <- IntSet.singleton i;
+      levels.(i) <- 0
+    | Netlist.Not _ | Netlist.And2 _ | Netlist.Or2 _ | Netlist.Xor2 _ | Netlist.Mux _ ->
+      let fs = Netlist.fanins (Netlist.gate net i) in
+      (* candidate leaves: try to absorb each combinational single-fanout
+         fanin's cone; otherwise the fanin itself is a leaf *)
+      let merged =
+        List.fold_left
+          (fun acc f ->
+            if is_comb f && fanout.(f) = 1 then IntSet.union acc support.(f)
+            else IntSet.add f acc)
+          IntSet.empty fs
+      in
+      if IntSet.cardinal merged <= 6 then begin
+        support.(i) <- merged;
+        List.iter (fun f -> if is_comb f && fanout.(f) = 1 then absorbed.(f) <- true) fs;
+        let leaf_level l = levels.(l) in
+        levels.(i) <-
+          1 + IntSet.fold (fun l acc -> max acc (leaf_level l)) merged 0
+      end
+      else begin
+        (* keep fanins as leaves *)
+        support.(i) <- List.fold_left (fun acc f -> IntSet.add f acc) IntSet.empty fs;
+        levels.(i) <- 1 + List.fold_left (fun acc f -> max acc levels.(f)) 0 fs
+      end
+  done;
+  let luts = ref 0 in
+  for i = 0 to n - 1 do
+    if is_comb i && not absorbed.(i) then incr luts
+  done;
+  let depth =
+    List.fold_left (fun acc (_, o) -> max acc levels.(o)) 0 net.Netlist.outputs
+  in
+  { luts = !luts; ffs = Netlist.count_ffs net; levels; depth }

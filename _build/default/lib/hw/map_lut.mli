@@ -1,0 +1,12 @@
+(** Greedy LUT6 technology mapping: topological traversal with cone
+    absorption of single-fanout combinational fanins while the merged
+    leaf support stays within 6 inputs. *)
+
+type mapping = {
+  luts : int;
+  ffs : int;
+  levels : int array;  (** LUT level of each node's mapped output *)
+  depth : int;  (** deepest LUT level across marked outputs *)
+}
+
+val map : Netlist.t -> mapping

@@ -1,0 +1,115 @@
+(* A small structural netlist IR: combinational gates + D flip-flops.
+   Used to elaborate the TLB-lookup datapath (with and without the ROLoad
+   key check) for the Table III hardware-cost experiment. *)
+
+type node_id = int
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Not of node_id
+  | And2 of node_id * node_id
+  | Or2 of node_id * node_id
+  | Xor2 of node_id * node_id
+  | Mux of { sel : node_id; a : node_id; b : node_id } (* sel=1 -> a *)
+  | Dff of { d : node_id; name : string }
+
+type t = {
+  mutable gates : gate array;
+  mutable count : int;
+  mutable outputs : (string * node_id) list;
+}
+
+let create () = { gates = Array.make 1024 (Const false); count = 0; outputs = [] }
+
+let add t g =
+  if t.count = Array.length t.gates then begin
+    let bigger = Array.make (2 * t.count) (Const false) in
+    Array.blit t.gates 0 bigger 0 t.count;
+    t.gates <- bigger
+  end;
+  t.gates.(t.count) <- g;
+  t.count <- t.count + 1;
+  t.count - 1
+
+let gate t id = t.gates.(id)
+let size t = t.count
+
+let input t name = add t (Input name)
+let const_ t b = add t (Const b)
+let not_ t a = add t (Not a)
+let and2 t a b = add t (And2 (a, b))
+let or2 t a b = add t (Or2 (a, b))
+let xor2 t a b = add t (Xor2 (a, b))
+let mux t ~sel ~a ~b = add t (Mux { sel; a; b })
+let dff t ?(name = "ff") d = add t (Dff { d; name })
+
+let mark_output t name id = t.outputs <- (name, id) :: t.outputs
+
+(* ---------- bus helpers ---------- *)
+
+let inputs t name width = Array.init width (fun i -> input t (Printf.sprintf "%s[%d]" name i))
+
+let dffs t name width =
+  Array.init width (fun i ->
+      let d = input t (Printf.sprintf "%s_d[%d]" name i) in
+      dff t ~name:(Printf.sprintf "%s[%d]" name i) d)
+
+(* balanced reduction tree *)
+let rec reduce t op = function
+  | [] -> invalid_arg "Netlist.reduce: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | a :: b :: rest -> op t a b :: pair rest
+    in
+    reduce t op (pair xs)
+
+let and_reduce t xs = reduce t and2 xs
+let or_reduce t xs = reduce t or2 xs
+
+(* equality comparator over two buses: AND of XNORs *)
+let equal_bus t a b =
+  if Array.length a <> Array.length b then invalid_arg "Netlist.equal_bus";
+  let bits =
+    Array.to_list (Array.mapi (fun i ai -> not_ t (xor2 t ai b.(i))) a)
+  in
+  and_reduce t bits
+
+(* one-hot bus selection: out_bit = OR_i (sel_i AND field_i_bit) *)
+let onehot_mux t ~selects ~fields =
+  let width = Array.length fields.(0) in
+  Array.init width (fun bit ->
+      let terms =
+        List.mapi (fun i sel -> and2 t sel fields.(i).(bit)) (Array.to_list selects)
+      in
+      or_reduce t terms)
+
+(* ---------- statistics ---------- *)
+
+let count_ffs t =
+  let n = ref 0 in
+  for i = 0 to t.count - 1 do
+    match t.gates.(i) with
+    | Dff _ -> incr n
+    | Input _ | Const _ | Not _ | And2 _ | Or2 _ | Xor2 _ | Mux _ -> ()
+  done;
+  !n
+
+let count_combinational t =
+  let n = ref 0 in
+  for i = 0 to t.count - 1 do
+    match t.gates.(i) with
+    | Not _ | And2 _ | Or2 _ | Xor2 _ | Mux _ -> incr n
+    | Input _ | Const _ | Dff _ -> ()
+  done;
+  !n
+
+let fanins = function
+  | Input _ | Const _ -> []
+  | Not a -> [ a ]
+  | And2 (a, b) | Or2 (a, b) | Xor2 (a, b) -> [ a; b ]
+  | Mux { sel; a; b } -> [ sel; a; b ]
+  | Dff { d; _ } -> [ d ]

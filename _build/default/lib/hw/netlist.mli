@@ -1,0 +1,49 @@
+(** A small structural netlist IR (combinational gates + D flip-flops),
+    used to elaborate the TLB-lookup datapath for the Table III
+    hardware-cost experiment. *)
+
+type node_id = int
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Not of node_id
+  | And2 of node_id * node_id
+  | Or2 of node_id * node_id
+  | Xor2 of node_id * node_id
+  | Mux of { sel : node_id; a : node_id; b : node_id }
+  | Dff of { d : node_id; name : string }
+
+type t = {
+  mutable gates : gate array;
+  mutable count : int;
+  mutable outputs : (string * node_id) list;
+}
+
+val create : unit -> t
+val add : t -> gate -> node_id
+val gate : t -> node_id -> gate
+val size : t -> int
+val input : t -> string -> node_id
+val const_ : t -> bool -> node_id
+val not_ : t -> node_id -> node_id
+val and2 : t -> node_id -> node_id -> node_id
+val or2 : t -> node_id -> node_id -> node_id
+val xor2 : t -> node_id -> node_id -> node_id
+val mux : t -> sel:node_id -> a:node_id -> b:node_id -> node_id
+val dff : t -> ?name:string -> node_id -> node_id
+val mark_output : t -> string -> node_id -> unit
+
+val inputs : t -> string -> int -> node_id array
+(** A bus of fresh inputs, LSB first. *)
+
+val dffs : t -> string -> int -> node_id array
+(** A bus of state bits (each a DFF fed by a fresh input). *)
+
+val and_reduce : t -> node_id list -> node_id
+val or_reduce : t -> node_id list -> node_id
+val equal_bus : t -> node_id array -> node_id array -> node_id
+val onehot_mux : t -> selects:node_id array -> fields:node_id array array -> node_id array
+val count_ffs : t -> int
+val count_combinational : t -> int
+val fanins : gate -> node_id list

@@ -1,0 +1,51 @@
+(* Gate-level simulation of a netlist: evaluate combinational outputs
+   given an assignment of the inputs and the current DFF states.  Used to
+   verify the elaborated TLB datapath against the behavioural MMU. *)
+
+type assignment = (Netlist.node_id, bool) Hashtbl.t
+
+let create_assignment () : assignment = Hashtbl.create 64
+
+let set (a : assignment) id v = Hashtbl.replace a id v
+
+exception Unassigned of string
+
+let evaluate net (a : assignment) =
+  let n = Netlist.size net in
+  let values = Array.make n None in
+  let rec eval id =
+    match values.(id) with
+    | Some v -> v
+    | None ->
+      let v =
+        match Netlist.gate net id with
+        | Netlist.Input name -> (
+          match Hashtbl.find_opt a id with
+          | Some v -> v
+          | None -> raise (Unassigned name))
+        | Netlist.Const b -> b
+        | Netlist.Not x -> not (eval x)
+        | Netlist.And2 (x, y) -> eval x && eval y
+        | Netlist.Or2 (x, y) -> eval x || eval y
+        | Netlist.Xor2 (x, y) -> eval x <> eval y
+        | Netlist.Mux { sel; a = x; b = y } -> if eval sel then eval x else eval y
+        | Netlist.Dff { d; name } -> (
+          (* current state: supplied by the assignment; fall back to the
+             D input if driven (useful for purely combinational tests) *)
+          match Hashtbl.find_opt a id with
+          | Some v -> v
+          | None -> ( try eval d with Unassigned _ -> raise (Unassigned name)))
+      in
+      values.(id) <- Some v;
+      v
+  in
+  eval
+
+(* helpers for buses *)
+let set_bus a bus value =
+  Array.iteri (fun i id -> set a id (Int64.logand (Int64.shift_right_logical value i) 1L = 1L)) bus
+
+let read_output net a name =
+  match List.assoc_opt name net.Netlist.outputs with
+  | Some id -> evaluate net a id
+  | None -> invalid_arg ("Netlist_sim.read_output: " ^ name)

@@ -1,0 +1,14 @@
+(** Gate-level simulation: evaluate combinational outputs given an
+    assignment of inputs and DFF states.  Used to verify the elaborated
+    TLB datapath against the behavioural MMU. *)
+
+type assignment
+
+val create_assignment : unit -> assignment
+val set : assignment -> Netlist.node_id -> bool -> unit
+val set_bus : assignment -> Netlist.node_id array -> int64 -> unit
+
+exception Unassigned of string
+
+val evaluate : Netlist.t -> assignment -> Netlist.node_id -> bool
+val read_output : Netlist.t -> assignment -> string -> bool

@@ -1,0 +1,26 @@
+(* The "synthesis run" for Table III: elaborate both TLB datapaths, map
+   them to LUT6s, run timing, and assemble the comparison. *)
+
+type result = {
+  comparison : Area.comparison;
+  timing_without : Timing_sta.report;
+  timing_with : Timing_sta.report;
+  baseline_netlist_gates : int;
+  roload_netlist_gates : int;
+}
+
+let run ?(entries = 32) ?context ?constraints () =
+  let base_cfg = { (Tlb_rtl.default_config ~with_roload:false) with entries } in
+  let ro_cfg = { (Tlb_rtl.default_config ~with_roload:true) with entries } in
+  let base = Tlb_rtl.elaborate base_cfg in
+  let ro = Tlb_rtl.elaborate ro_cfg in
+  let base_map = Map_lut.map base.Tlb_rtl.netlist in
+  let ro_map = Map_lut.map ro.Tlb_rtl.netlist in
+  let comparison = Area.compare_designs ?context ~baseline_mapping:base_map ~roload_mapping:ro_map () in
+  {
+    comparison;
+    timing_without = Timing_sta.analyze ?constraints base_map;
+    timing_with = Timing_sta.analyze ?constraints ro_map;
+    baseline_netlist_gates = Netlist.size base.Tlb_rtl.netlist;
+    roload_netlist_gates = Netlist.size ro.Tlb_rtl.netlist;
+  }

@@ -1,0 +1,17 @@
+(** The "synthesis run" behind Table III: elaborate both TLB datapaths,
+    map to LUT6s, run timing, assemble the area comparison. *)
+
+type result = {
+  comparison : Area.comparison;
+  timing_without : Timing_sta.report;
+  timing_with : Timing_sta.report;
+  baseline_netlist_gates : int;
+  roload_netlist_gates : int;
+}
+
+val run :
+  ?entries:int ->
+  ?context:Area.context ->
+  ?constraints:Timing_sta.constraints ->
+  unit ->
+  result

@@ -1,0 +1,52 @@
+(* Static timing on the mapped netlist: a fixed LUT6 cell delay plus a
+   per-level routing allowance and a utilization-dependent congestion
+   term (more mapped LUTs → worse routing on the same fabric), evaluated
+   against the 125 MHz target of the prototype (paper §V-A).  Constants
+   are calibrated so the baseline design sits just inside timing closure,
+   as on the paper's Kintex-7 board. *)
+
+type constraints = {
+  target_mhz : float;
+  lut_delay_ns : float;
+  net_delay_ns : float;
+  clock_to_q_ns : float;
+  setup_ns : float;
+  congestion_ns_per_lut : float;
+}
+
+let kintex7_default =
+  {
+    target_mhz = 125.0;
+    lut_delay_ns = 0.35;
+    net_delay_ns = 0.46;
+    clock_to_q_ns = 0.35;
+    setup_ns = 0.06;
+    congestion_ns_per_lut = 0.0001;
+  }
+
+type report = {
+  critical_path_ns : float;
+  period_ns : float;
+  worst_slack_ns : float;
+  fmax_mhz : float;
+  lut_levels : int;
+}
+
+let analyze ?(constraints = kintex7_default) (mapping : Map_lut.mapping) =
+  let period_ns = 1000.0 /. constraints.target_mhz in
+  let levels = float_of_int mapping.Map_lut.depth in
+  let critical_path_ns =
+    constraints.clock_to_q_ns
+    +. (levels *. (constraints.lut_delay_ns +. constraints.net_delay_ns))
+    +. constraints.setup_ns
+    +. (float_of_int mapping.Map_lut.luts *. constraints.congestion_ns_per_lut)
+  in
+  let worst_slack_ns = period_ns -. critical_path_ns in
+  let fmax_mhz = 1000.0 /. critical_path_ns in
+  {
+    critical_path_ns;
+    period_ns;
+    worst_slack_ns;
+    fmax_mhz;
+    lut_levels = mapping.Map_lut.depth;
+  }

@@ -1,0 +1,26 @@
+(** Static timing on the mapped netlist: LUT6 cell delay + per-level
+    routing + a utilization-dependent congestion term, against the
+    prototype's 125 MHz target (paper §V-A). *)
+
+type constraints = {
+  target_mhz : float;
+  lut_delay_ns : float;
+  net_delay_ns : float;
+  clock_to_q_ns : float;
+  setup_ns : float;
+  congestion_ns_per_lut : float;
+}
+
+val kintex7_default : constraints
+(** Calibrated so the baseline design sits just inside timing closure, as
+    on the paper's Kintex-7 board. *)
+
+type report = {
+  critical_path_ns : float;
+  period_ns : float;
+  worst_slack_ns : float;
+  fmax_mhz : float;
+  lut_levels : int;
+}
+
+val analyze : ?constraints:constraints -> Map_lut.mapping -> report

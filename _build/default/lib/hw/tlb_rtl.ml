@@ -1,0 +1,122 @@
+(* RTL elaboration of the TLB lookup datapath — the hardware surface the
+   ROLoad extension modifies (paper §III-A).
+
+   Baseline datapath: 32 fully-associative entries; each holds a valid
+   bit, a 27-bit VPN tag (Sv39), R/W/X/U permission bits and a 44-bit
+   PPN.  Lookup compares the request VPN against every tag, one-hot-
+   selects the hit entry's fields, and checks permissions against the
+   request type.
+
+   ROLoad datapath: adds a 10-bit key field per entry (the reserved top
+   PTE bits), a key comparator on the selected entry, and the read-only
+   condition (R ∧ ¬W ∧ ¬X); their conjunction gates the final allow
+   signal in parallel with the conventional permission check.  Keys are
+   only added to the D-TLB — instruction fetches never carry a key. *)
+
+type config = {
+  entries : int;
+  vpn_bits : int;
+  ppn_bits : int;
+  key_bits : int;
+  with_roload : bool;
+}
+
+let default_config ~with_roload =
+  { entries = 32; vpn_bits = 27; ppn_bits = 44; key_bits = 10; with_roload }
+
+type elaborated = {
+  netlist : Netlist.t;
+  config : config;
+  allow : Netlist.node_id;
+  hit : Netlist.node_id;
+  (* handles for simulation/verification *)
+  in_vpn : Netlist.node_id array;
+  in_fetch : Netlist.node_id;
+  in_load : Netlist.node_id;
+  in_store : Netlist.node_id;
+  in_is_roload : Netlist.node_id option;
+  in_key : Netlist.node_id array option;
+  st_valids : Netlist.node_id array array;
+  st_tags : Netlist.node_id array array;
+  st_perms : Netlist.node_id array array; (* [r; w; x; u] *)
+  st_keys : Netlist.node_id array array option;
+}
+
+let elaborate config =
+  let n = Netlist.create () in
+  let vpn = Netlist.inputs n "req_vpn" config.vpn_bits in
+  (* request type: one-hot fetch/load/store + an is_roload qualifier *)
+  let req_fetch = Netlist.input n "req_fetch" in
+  let req_load = Netlist.input n "req_load" in
+  let req_store = Netlist.input n "req_store" in
+  let req_is_roload =
+    if config.with_roload then Some (Netlist.input n "req_is_roload") else None
+  in
+  let req_key =
+    if config.with_roload then Some (Netlist.inputs n "req_key" config.key_bits) else None
+  in
+  (* per-entry state *)
+  let valids = Array.init config.entries (fun i -> Netlist.dffs n (Printf.sprintf "e%d_valid" i) 1) in
+  let tags = Array.init config.entries (fun i -> Netlist.dffs n (Printf.sprintf "e%d_tag" i) config.vpn_bits) in
+  let perms = Array.init config.entries (fun i -> Netlist.dffs n (Printf.sprintf "e%d_perm" i) 4) in
+  let ppns = Array.init config.entries (fun i -> Netlist.dffs n (Printf.sprintf "e%d_ppn" i) config.ppn_bits) in
+  let keys =
+    if config.with_roload then
+      Some (Array.init config.entries (fun i -> Netlist.dffs n (Printf.sprintf "e%d_key" i) config.key_bits))
+    else None
+  in
+  (* match logic *)
+  let matches =
+    Array.init config.entries (fun i ->
+        Netlist.and2 n valids.(i).(0) (Netlist.equal_bus n tags.(i) vpn))
+  in
+  let hit = Netlist.or_reduce n (Array.to_list matches) in
+  (* one-hot selection of the hit entry's fields *)
+  let sel_perm = Netlist.onehot_mux n ~selects:matches ~fields:perms in
+  let sel_ppn = Netlist.onehot_mux n ~selects:matches ~fields:ppns in
+  Array.iteri (fun i b -> Netlist.mark_output n (Printf.sprintf "resp_ppn[%d]" i) b) sel_ppn;
+  let r = sel_perm.(0) and w = sel_perm.(1) and x = sel_perm.(2) and u = sel_perm.(3) in
+  (* conventional permission check *)
+  let conv_ok =
+    let fetch_ok = Netlist.and2 n req_fetch x in
+    let load_ok = Netlist.and2 n req_load r in
+    let store_ok = Netlist.and2 n req_store w in
+    let any = Netlist.or_reduce n [ fetch_ok; load_ok; store_ok ] in
+    Netlist.and2 n any u
+  in
+  (* the ROLoad extra logic, ANDed in parallel with the conventional
+     check (paper: "The output of this logic is then ANDed with the
+     original output of the page permission control logic") *)
+  let allow =
+    match (req_is_roload, req_key, keys) with
+    | Some is_ro, Some rkey, Some entry_keys ->
+      let sel_key = Netlist.onehot_mux n ~selects:matches ~fields:entry_keys in
+      let key_eq = Netlist.equal_bus n sel_key rkey in
+      let read_only =
+        Netlist.and2 n r (Netlist.and2 n (Netlist.not_ n w) (Netlist.not_ n x))
+      in
+      let ro_ok = Netlist.and2 n read_only key_eq in
+      (* roload_pass = ¬is_roload ∨ ro_ok *)
+      let roload_pass = Netlist.or2 n (Netlist.not_ n is_ro) ro_ok in
+      Netlist.and2 n conv_ok roload_pass
+    | _ -> conv_ok
+  in
+  let allow = Netlist.and2 n allow hit in
+  Netlist.mark_output n "resp_allow" allow;
+  Netlist.mark_output n "resp_hit" hit;
+  {
+    netlist = n;
+    config;
+    allow;
+    hit;
+    in_vpn = vpn;
+    in_fetch = req_fetch;
+    in_load = req_load;
+    in_store = req_store;
+    in_is_roload = req_is_roload;
+    in_key = req_key;
+    st_valids = valids;
+    st_tags = tags;
+    st_perms = perms;
+    st_keys = keys;
+  }

@@ -1,0 +1,33 @@
+(** RTL elaboration of the TLB-lookup datapath, with and without the
+    ROLoad key check (paper §III-A).  Keys are only added to the D-TLB
+    variant — instruction fetches never carry a key. *)
+
+type config = {
+  entries : int;
+  vpn_bits : int;
+  ppn_bits : int;
+  key_bits : int;
+  with_roload : bool;
+}
+
+val default_config : with_roload:bool -> config
+(** 32 entries, Sv39 geometry (27-bit VPN, 44-bit PPN), 10-bit keys. *)
+
+type elaborated = {
+  netlist : Netlist.t;
+  config : config;
+  allow : Netlist.node_id;
+  hit : Netlist.node_id;
+  in_vpn : Netlist.node_id array;
+  in_fetch : Netlist.node_id;
+  in_load : Netlist.node_id;
+  in_store : Netlist.node_id;
+  in_is_roload : Netlist.node_id option;
+  in_key : Netlist.node_id array option;
+  st_valids : Netlist.node_id array array;
+  st_tags : Netlist.node_id array array;
+  st_perms : Netlist.node_id array array;  (** bit order: r, w, x, u *)
+  st_keys : Netlist.node_id array array option;
+}
+
+val elaborate : config -> elaborated

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Buffer Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Ir List Printf String

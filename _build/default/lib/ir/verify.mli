@@ -1,0 +1,10 @@
+(** IR well-formedness checks, run after lowering and after each pass:
+    branch targets exist, temps are in range, frame slots are declared,
+    vtable symbols and methods resolve. *)
+
+val check_func : Ir.func -> string list
+(** Error descriptions; empty when well-formed. *)
+
+val check_module : Ir.modul -> string list
+val check_module_exn : Ir.modul -> unit
+(** Raises [Failure] listing all errors. *)

@@ -1,0 +1,1 @@
+lib/isa/compressed.ml: Bytes Inst Int64 Printf Reg Roload_ext Roload_util

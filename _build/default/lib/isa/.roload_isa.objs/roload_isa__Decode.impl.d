@@ -1,0 +1,1 @@
+lib/isa/decode.ml: Inst Int64 Printf Reg Result

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Char Compressed Decode Inst List Printf String

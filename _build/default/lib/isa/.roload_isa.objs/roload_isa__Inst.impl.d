@@ -1,0 +1,1 @@
+lib/isa/inst.ml: Format Int64 Printf Reg Roload_util

@@ -1,0 +1,1 @@
+lib/isa/roload_ext.mli:

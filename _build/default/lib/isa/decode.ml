@@ -1,0 +1,168 @@
+(* 32-bit instruction decoding.  Inverse of [Encode] on the supported
+   subset; anything else is [Error _], which the machine raises as an
+   illegal-instruction trap. *)
+
+let bits w ~lo ~width = (w lsr lo) land ((1 lsl width) - 1)
+
+let sign_extend_int v width =
+  let shift = 64 - width in
+  Int64.shift_right (Int64.shift_left (Int64.of_int v) shift) shift
+
+let reg_of i = Reg.of_int i
+
+let i_imm w = sign_extend_int (bits w ~lo:20 ~width:12) 12
+
+let s_imm w =
+  sign_extend_int ((bits w ~lo:25 ~width:7 lsl 5) lor bits w ~lo:7 ~width:5) 12
+
+let b_imm w =
+  let v =
+    (bits w ~lo:31 ~width:1 lsl 12)
+    lor (bits w ~lo:7 ~width:1 lsl 11)
+    lor (bits w ~lo:25 ~width:6 lsl 5)
+    lor (bits w ~lo:8 ~width:4 lsl 1)
+  in
+  sign_extend_int v 13
+
+let u_imm w = Int64.of_int (bits w ~lo:12 ~width:20)
+
+let j_imm w =
+  let v =
+    (bits w ~lo:31 ~width:1 lsl 20)
+    lor (bits w ~lo:12 ~width:8 lsl 12)
+    lor (bits w ~lo:20 ~width:1 lsl 11)
+    lor (bits w ~lo:21 ~width:10 lsl 1)
+  in
+  sign_extend_int v 21
+
+let load_width_of_funct3 = function
+  | 0 -> Ok (Inst.Byte, false)
+  | 1 -> Ok (Inst.Half, false)
+  | 2 -> Ok (Inst.Word, false)
+  | 3 -> Ok (Inst.Double, false)
+  | 4 -> Ok (Inst.Byte, true)
+  | 5 -> Ok (Inst.Half, true)
+  | 6 -> Ok (Inst.Word, true)
+  | f -> Error (Printf.sprintf "load: bad funct3 %d" f)
+
+let branch_cond_of_funct3 = function
+  | 0 -> Ok Inst.Beq
+  | 1 -> Ok Inst.Bne
+  | 4 -> Ok Inst.Blt
+  | 5 -> Ok Inst.Bge
+  | 6 -> Ok Inst.Bltu
+  | 7 -> Ok Inst.Bgeu
+  | f -> Error (Printf.sprintf "branch: bad funct3 %d" f)
+
+let ( let* ) r f = Result.bind r f
+
+let decode w =
+  let opcode = bits w ~lo:0 ~width:7 in
+  let rd = reg_of (bits w ~lo:7 ~width:5) in
+  let funct3 = bits w ~lo:12 ~width:3 in
+  let rs1 = reg_of (bits w ~lo:15 ~width:5) in
+  let rs2 = reg_of (bits w ~lo:20 ~width:5) in
+  let funct7 = bits w ~lo:25 ~width:7 in
+  match opcode with
+  | 0x37 -> Ok (Inst.Lui (rd, u_imm w))
+  | 0x17 -> Ok (Inst.Auipc (rd, u_imm w))
+  | 0x6F -> Ok (Inst.Jal (rd, j_imm w))
+  | 0x67 ->
+    if funct3 <> 0 then Error "jalr: bad funct3"
+    else Ok (Inst.Jalr (rd, rs1, i_imm w))
+  | 0x63 ->
+    let* c = branch_cond_of_funct3 funct3 in
+    Ok (Inst.Branch (c, rs1, rs2, b_imm w))
+  | 0x03 ->
+    let* width, unsigned = load_width_of_funct3 funct3 in
+    Ok (Inst.Load { width; unsigned; rd; rs1; imm = i_imm w })
+  | 0x0B ->
+    (* ROLoad family: custom-0; imm[9:0] is the key, imm[11:10] must be 0. *)
+    let* width, unsigned = load_width_of_funct3 funct3 in
+    let raw = bits w ~lo:20 ~width:12 in
+    if raw land 0xC00 <> 0 then Error "ld.ro: reserved key bits set"
+    else Ok (Inst.Load_ro { width; unsigned; rd; rs1; key = raw land 0x3FF })
+  | 0x23 -> (
+    let imm = s_imm w in
+    match funct3 with
+    | 0 -> Ok (Inst.Store { width = Inst.Byte; rs2; rs1; imm })
+    | 1 -> Ok (Inst.Store { width = Inst.Half; rs2; rs1; imm })
+    | 2 -> Ok (Inst.Store { width = Inst.Word; rs2; rs1; imm })
+    | 3 -> Ok (Inst.Store { width = Inst.Double; rs2; rs1; imm })
+    | f -> Error (Printf.sprintf "store: bad funct3 %d" f))
+  | 0x13 -> (
+    match funct3 with
+    | 0 -> Ok (Inst.Op_imm (Inst.Add, rd, rs1, i_imm w))
+    | 2 -> Ok (Inst.Op_imm (Inst.Slt, rd, rs1, i_imm w))
+    | 3 -> Ok (Inst.Op_imm (Inst.Sltu, rd, rs1, i_imm w))
+    | 4 -> Ok (Inst.Op_imm (Inst.Xor, rd, rs1, i_imm w))
+    | 6 -> Ok (Inst.Op_imm (Inst.Or, rd, rs1, i_imm w))
+    | 7 -> Ok (Inst.Op_imm (Inst.And, rd, rs1, i_imm w))
+    | 1 ->
+      let top = bits w ~lo:26 ~width:6 in
+      if top <> 0 then Error "slli: bad funct6"
+      else Ok (Inst.Op_imm (Inst.Sll, rd, rs1, Int64.of_int (bits w ~lo:20 ~width:6)))
+    | 5 -> (
+      let top = bits w ~lo:26 ~width:6 in
+      let shamt = Int64.of_int (bits w ~lo:20 ~width:6) in
+      match top with
+      | 0x00 -> Ok (Inst.Op_imm (Inst.Srl, rd, rs1, shamt))
+      | 0x10 -> Ok (Inst.Op_imm (Inst.Sra, rd, rs1, shamt))
+      | _ -> Error "srli/srai: bad funct6")
+    | _ -> Error "op-imm: bad funct3")
+  | 0x1B -> (
+    match funct3 with
+    | 0 -> Ok (Inst.Op_imm_w (Inst.Addw, rd, rs1, i_imm w))
+    | 1 ->
+      if funct7 <> 0 then Error "slliw: bad funct7"
+      else Ok (Inst.Op_imm_w (Inst.Sllw, rd, rs1, Int64.of_int (bits w ~lo:20 ~width:5)))
+    | 5 -> (
+      let shamt = Int64.of_int (bits w ~lo:20 ~width:5) in
+      match funct7 with
+      | 0x00 -> Ok (Inst.Op_imm_w (Inst.Srlw, rd, rs1, shamt))
+      | 0x20 -> Ok (Inst.Op_imm_w (Inst.Sraw, rd, rs1, shamt))
+      | _ -> Error "srliw/sraiw: bad funct7")
+    | _ -> Error "op-imm-32: bad funct3")
+  | 0x33 -> (
+    match (funct7, funct3) with
+    | 0x00, 0 -> Ok (Inst.Op (Inst.Add, rd, rs1, rs2))
+    | 0x20, 0 -> Ok (Inst.Op (Inst.Sub, rd, rs1, rs2))
+    | 0x00, 1 -> Ok (Inst.Op (Inst.Sll, rd, rs1, rs2))
+    | 0x00, 2 -> Ok (Inst.Op (Inst.Slt, rd, rs1, rs2))
+    | 0x00, 3 -> Ok (Inst.Op (Inst.Sltu, rd, rs1, rs2))
+    | 0x00, 4 -> Ok (Inst.Op (Inst.Xor, rd, rs1, rs2))
+    | 0x00, 5 -> Ok (Inst.Op (Inst.Srl, rd, rs1, rs2))
+    | 0x20, 5 -> Ok (Inst.Op (Inst.Sra, rd, rs1, rs2))
+    | 0x00, 6 -> Ok (Inst.Op (Inst.Or, rd, rs1, rs2))
+    | 0x00, 7 -> Ok (Inst.Op (Inst.And, rd, rs1, rs2))
+    | 0x01, 0 -> Ok (Inst.Mulop (Inst.Mul, rd, rs1, rs2))
+    | 0x01, 1 -> Ok (Inst.Mulop (Inst.Mulh, rd, rs1, rs2))
+    | 0x01, 2 -> Ok (Inst.Mulop (Inst.Mulhsu, rd, rs1, rs2))
+    | 0x01, 3 -> Ok (Inst.Mulop (Inst.Mulhu, rd, rs1, rs2))
+    | 0x01, 4 -> Ok (Inst.Mulop (Inst.Div, rd, rs1, rs2))
+    | 0x01, 5 -> Ok (Inst.Mulop (Inst.Divu, rd, rs1, rs2))
+    | 0x01, 6 -> Ok (Inst.Mulop (Inst.Rem, rd, rs1, rs2))
+    | 0x01, 7 -> Ok (Inst.Mulop (Inst.Remu, rd, rs1, rs2))
+    | _ -> Error "op: bad funct7/funct3")
+  | 0x3B -> (
+    match (funct7, funct3) with
+    | 0x00, 0 -> Ok (Inst.Op_w (Inst.Addw, rd, rs1, rs2))
+    | 0x20, 0 -> Ok (Inst.Op_w (Inst.Subw, rd, rs1, rs2))
+    | 0x00, 1 -> Ok (Inst.Op_w (Inst.Sllw, rd, rs1, rs2))
+    | 0x00, 5 -> Ok (Inst.Op_w (Inst.Srlw, rd, rs1, rs2))
+    | 0x20, 5 -> Ok (Inst.Op_w (Inst.Sraw, rd, rs1, rs2))
+    | 0x01, 0 -> Ok (Inst.Mulop_w (Inst.Mulw, rd, rs1, rs2))
+    | 0x01, 4 -> Ok (Inst.Mulop_w (Inst.Divw, rd, rs1, rs2))
+    | 0x01, 5 -> Ok (Inst.Mulop_w (Inst.Divuw, rd, rs1, rs2))
+    | 0x01, 6 -> Ok (Inst.Mulop_w (Inst.Remw, rd, rs1, rs2))
+    | 0x01, 7 -> Ok (Inst.Mulop_w (Inst.Remuw, rd, rs1, rs2))
+    | _ -> Error "op-32: bad funct7/funct3")
+  | 0x73 -> (
+    match bits w ~lo:7 ~width:25 with
+    | 0 -> Ok Inst.Ecall
+    | v when v = 1 lsl 13 -> Ok Inst.Ebreak
+    | _ -> Error "system: unsupported")
+  | 0x0F -> Ok Inst.Fence
+  | op -> Error (Printf.sprintf "unknown opcode 0x%02x" op)
+
+let is_compressed_halfword hw = hw land 0x3 <> 0x3

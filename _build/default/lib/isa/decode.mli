@@ -1,0 +1,9 @@
+(** 32-bit instruction decoding — inverse of {!Encode} on the supported
+    subset. Undecodable words are [Error _] and surface as
+    illegal-instruction traps in the machine. *)
+
+val decode : int -> (Inst.t, string) result
+
+val is_compressed_halfword : int -> bool
+(** Whether a 16-bit fetch parcel starts a compressed instruction (its low
+    two bits differ from [0b11]). *)

@@ -1,0 +1,46 @@
+(* Disassembly of raw instruction streams, used by the linker's map files
+   and by debugging output. *)
+
+type item = {
+  addr : int;
+  size : int; (* 2 or 4 bytes *)
+  text : string;
+}
+
+let u16_le s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let decode_at s off =
+  if off + 2 > String.length s then Error "truncated instruction"
+  else
+    let hw = u16_le s off in
+    if Decode.is_compressed_halfword hw then
+      match Compressed.decode hw with
+      | Ok inst -> Ok (inst, 2)
+      | Error e -> Error e
+    else if off + 4 > String.length s then Error "truncated 32-bit instruction"
+    else
+      let w = hw lor (u16_le s (off + 2) lsl 16) in
+      match Decode.decode w with
+      | Ok inst -> Ok (inst, 4)
+      | Error e -> Error e
+
+let disassemble ?(base = 0) code =
+  let n = String.length code in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      match decode_at code off with
+      | Ok (inst, size) ->
+        let item = { addr = base + off; size; text = Inst.to_string inst } in
+        go (off + size) (item :: acc)
+      | Error e ->
+        let item = { addr = base + off; size = 2; text = "<invalid: " ^ e ^ ">" } in
+        go (off + 2) (item :: acc)
+  in
+  go 0 []
+
+let to_string ?base code =
+  disassemble ?base code
+  |> List.map (fun { addr; size; text } ->
+         Printf.sprintf "%8x:  %s%s" addr (if size = 2 then "(c) " else "    ") text)
+  |> String.concat "\n"

@@ -1,0 +1,15 @@
+(** Disassembly of raw little-endian instruction streams (mixed 16/32-bit
+    parcels). *)
+
+type item = { addr : int; size : int; text : string }
+
+val decode_at : string -> int -> (Inst.t * int, string) result
+(** [decode_at code off] decodes the instruction starting at byte [off],
+    returning it with its size in bytes (2 or 4). *)
+
+val disassemble : ?base:int -> string -> item list
+(** Linear sweep from offset 0; undecodable parcels become
+    [<invalid: …>] items of size 2. [base] offsets the printed
+    addresses. *)
+
+val to_string : ?base:int -> string -> string

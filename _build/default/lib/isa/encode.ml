@@ -1,0 +1,205 @@
+(* 32-bit instruction encoding (RV64IM + ROLoad custom-0).  Words are
+   represented as native [int]s holding the 32-bit pattern in the low bits. *)
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let opcode_load = 0x03
+let opcode_misc_mem = 0x0F
+let opcode_op_imm = 0x13
+let opcode_auipc = 0x17
+let opcode_op_imm_32 = 0x1B
+let opcode_store = 0x23
+let opcode_op = 0x33
+let opcode_lui = 0x37
+let opcode_op_32 = 0x3B
+let opcode_branch = 0x63
+let opcode_jalr = 0x67
+let opcode_jal = 0x6F
+let opcode_system = 0x73
+
+let reg r = Reg.to_int r
+
+let check_simm name imm width =
+  if not (Roload_util.Bits.fits_signed imm ~width) then
+    invalid "%s: immediate %Ld out of %d-bit signed range" name imm width
+
+let imm12_of imm = Int64.to_int (Int64.logand imm 0xFFFL)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (reg rs2 lsl 20) lor (reg rs1 lsl 15) lor (funct3 lsl 12)
+  lor (reg rd lsl 7) lor opcode
+
+let i_type ~imm12 ~rs1 ~funct3 ~rd ~opcode =
+  ((imm12 land 0xFFF) lsl 20) lor (reg rs1 lsl 15) lor (funct3 lsl 12)
+  lor (reg rd lsl 7) lor opcode
+
+let s_type ~imm12 ~rs2 ~rs1 ~funct3 ~opcode =
+  let imm = imm12 land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (reg rs2 lsl 20) lor (reg rs1 lsl 15)
+  lor (funct3 lsl 12) lor ((imm land 0x1F) lsl 7) lor opcode
+
+let b_type ~offset ~rs2 ~rs1 ~funct3 ~opcode =
+  let imm = Int64.to_int (Int64.logand offset 0x1FFEL) in
+  let bit12 = (imm lsr 12) land 1 in
+  let bits10_5 = (imm lsr 5) land 0x3F in
+  let bits4_1 = (imm lsr 1) land 0xF in
+  let bit11 = (imm lsr 11) land 1 in
+  (bit12 lsl 31) lor (bits10_5 lsl 25) lor (reg rs2 lsl 20) lor (reg rs1 lsl 15)
+  lor (funct3 lsl 12) lor (bits4_1 lsl 8) lor (bit11 lsl 7) lor opcode
+
+let u_type ~imm20 ~rd ~opcode =
+  ((Int64.to_int imm20 land 0xFFFFF) lsl 12) lor (reg rd lsl 7) lor opcode
+
+let j_type ~offset ~rd ~opcode =
+  let imm = Int64.to_int (Int64.logand offset 0x1FFFFEL) in
+  let bit20 = (imm lsr 20) land 1 in
+  let bits10_1 = (imm lsr 1) land 0x3FF in
+  let bit11 = (imm lsr 11) land 1 in
+  let bits19_12 = (imm lsr 12) land 0xFF in
+  (bit20 lsl 31) lor (bits10_1 lsl 21) lor (bit11 lsl 20) lor (bits19_12 lsl 12)
+  lor (reg rd lsl 7) lor opcode
+
+let load_funct3 ~width ~unsigned =
+  match (width, unsigned) with
+  | Inst.Byte, false -> 0
+  | Inst.Half, false -> 1
+  | Inst.Word, false -> 2
+  | Inst.Double, false -> 3
+  | Inst.Byte, true -> 4
+  | Inst.Half, true -> 5
+  | Inst.Word, true -> 6
+  | Inst.Double, true -> invalid "no unsigned 64-bit load"
+
+let store_funct3 = function
+  | Inst.Byte -> 0
+  | Inst.Half -> 1
+  | Inst.Word -> 2
+  | Inst.Double -> 3
+
+let branch_funct3 = function
+  | Inst.Beq -> 0
+  | Inst.Bne -> 1
+  | Inst.Blt -> 4
+  | Inst.Bge -> 5
+  | Inst.Bltu -> 6
+  | Inst.Bgeu -> 7
+
+let alu_funct = function
+  | Inst.Add -> (0, 0x00)
+  | Inst.Sub -> (0, 0x20)
+  | Inst.Sll -> (1, 0x00)
+  | Inst.Slt -> (2, 0x00)
+  | Inst.Sltu -> (3, 0x00)
+  | Inst.Xor -> (4, 0x00)
+  | Inst.Srl -> (5, 0x00)
+  | Inst.Sra -> (5, 0x20)
+  | Inst.Or -> (6, 0x00)
+  | Inst.And -> (7, 0x00)
+
+let alu_w_funct = function
+  | Inst.Addw -> (0, 0x00)
+  | Inst.Subw -> (0, 0x20)
+  | Inst.Sllw -> (1, 0x00)
+  | Inst.Srlw -> (5, 0x00)
+  | Inst.Sraw -> (5, 0x20)
+
+let mul_funct3 = function
+  | Inst.Mul -> 0
+  | Inst.Mulh -> 1
+  | Inst.Mulhsu -> 2
+  | Inst.Mulhu -> 3
+  | Inst.Div -> 4
+  | Inst.Divu -> 5
+  | Inst.Rem -> 6
+  | Inst.Remu -> 7
+
+let mul_w_funct3 = function
+  | Inst.Mulw -> 0
+  | Inst.Divw -> 4
+  | Inst.Divuw -> 5
+  | Inst.Remw -> 6
+  | Inst.Remuw -> 7
+
+let encode inst =
+  match inst with
+  | Inst.Lui (rd, imm) ->
+    if not (Roload_util.Bits.fits_unsigned imm ~width:20) then
+      invalid "lui: immediate %Ld out of 20-bit range" imm;
+    u_type ~imm20:imm ~rd ~opcode:opcode_lui
+  | Inst.Auipc (rd, imm) ->
+    if not (Roload_util.Bits.fits_unsigned imm ~width:20) then
+      invalid "auipc: immediate %Ld out of 20-bit range" imm;
+    u_type ~imm20:imm ~rd ~opcode:opcode_auipc
+  | Inst.Jal (rd, off) ->
+    check_simm "jal" off 21;
+    if Int64.rem off 2L <> 0L then invalid "jal: odd offset %Ld" off;
+    j_type ~offset:off ~rd ~opcode:opcode_jal
+  | Inst.Jalr (rd, rs1, imm) ->
+    check_simm "jalr" imm 12;
+    i_type ~imm12:(imm12_of imm) ~rs1 ~funct3:0 ~rd ~opcode:opcode_jalr
+  | Inst.Branch (c, rs1, rs2, off) ->
+    check_simm "branch" off 13;
+    if Int64.rem off 2L <> 0L then invalid "branch: odd offset %Ld" off;
+    b_type ~offset:off ~rs2 ~rs1 ~funct3:(branch_funct3 c) ~opcode:opcode_branch
+  | Inst.Load { width; unsigned; rd; rs1; imm } ->
+    check_simm "load" imm 12;
+    i_type ~imm12:(imm12_of imm) ~rs1 ~funct3:(load_funct3 ~width ~unsigned) ~rd
+      ~opcode:opcode_load
+  | Inst.Store { width; rs2; rs1; imm } ->
+    check_simm "store" imm 12;
+    s_type ~imm12:(imm12_of imm) ~rs2 ~rs1 ~funct3:(store_funct3 width)
+      ~opcode:opcode_store
+  | Inst.Op_imm (op, rd, rs1, imm) -> (
+    match op with
+    | Inst.Sub -> invalid "no subi instruction"
+    | Inst.Sll | Inst.Srl | Inst.Sra ->
+      if imm < 0L || imm > 63L then invalid "shift amount %Ld out of range" imm;
+      let funct3, funct7 = alu_funct op in
+      let shamt = Int64.to_int imm in
+      i_type
+        ~imm12:(((funct7 lsr 1) lsl 6 lor shamt) land 0xFFF)
+        ~rs1 ~funct3 ~rd ~opcode:opcode_op_imm
+    | Inst.Add | Inst.Slt | Inst.Sltu | Inst.Xor | Inst.Or | Inst.And ->
+      check_simm "op-imm" imm 12;
+      let funct3, _ = alu_funct op in
+      i_type ~imm12:(imm12_of imm) ~rs1 ~funct3 ~rd ~opcode:opcode_op_imm)
+  | Inst.Op_imm_w (op, rd, rs1, imm) -> (
+    match op with
+    | Inst.Subw -> invalid "no subiw instruction"
+    | Inst.Sllw | Inst.Srlw | Inst.Sraw ->
+      if imm < 0L || imm > 31L then invalid "shift amount %Ld out of range" imm;
+      let funct3, funct7 = alu_w_funct op in
+      let shamt = Int64.to_int imm in
+      i_type ~imm12:((funct7 lsl 5 lor shamt) land 0xFFF) ~rs1 ~funct3 ~rd
+        ~opcode:opcode_op_imm_32
+    | Inst.Addw ->
+      check_simm "addiw" imm 12;
+      i_type ~imm12:(imm12_of imm) ~rs1 ~funct3:0 ~rd ~opcode:opcode_op_imm_32)
+  | Inst.Op (op, rd, rs1, rs2) ->
+    let funct3, funct7 = alu_funct op in
+    r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode:opcode_op
+  | Inst.Op_w (op, rd, rs1, rs2) ->
+    let funct3, funct7 = alu_w_funct op in
+    r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode:opcode_op_32
+  | Inst.Mulop (op, rd, rs1, rs2) ->
+    r_type ~funct7:1 ~rs2 ~rs1 ~funct3:(mul_funct3 op) ~rd ~opcode:opcode_op
+  | Inst.Mulop_w (op, rd, rs1, rs2) ->
+    r_type ~funct7:1 ~rs2 ~rs1 ~funct3:(mul_w_funct3 op) ~rd ~opcode:opcode_op_32
+  | Inst.Load_ro { width; unsigned; rd; rs1; key } ->
+    if not (Roload_ext.key_in_range key) then invalid "ld.ro: key %d out of range" key;
+    i_type ~imm12:key ~rs1 ~funct3:(load_funct3 ~width ~unsigned) ~rd
+      ~opcode:Roload_ext.opcode
+  | Inst.Ecall -> i_type ~imm12:0 ~rs1:Reg.zero ~funct3:0 ~rd:Reg.zero ~opcode:opcode_system
+  | Inst.Ebreak -> i_type ~imm12:1 ~rs1:Reg.zero ~funct3:0 ~rd:Reg.zero ~opcode:opcode_system
+  | Inst.Fence -> i_type ~imm12:0 ~rs1:Reg.zero ~funct3:0 ~rd:Reg.zero ~opcode:opcode_misc_mem
+
+let encode_bytes inst =
+  let w = encode inst in
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 (w land 0xFF);
+  Bytes.set_uint8 b 1 ((w lsr 8) land 0xFF);
+  Bytes.set_uint8 b 2 ((w lsr 16) land 0xFF);
+  Bytes.set_uint8 b 3 ((w lsr 24) land 0xFF);
+  Bytes.to_string b

@@ -1,0 +1,10 @@
+(** 32-bit instruction encoding (RV64IM + the ROLoad custom-0 opcode).
+    Encoded words are native [int]s holding the 32-bit pattern. *)
+
+exception Invalid of string
+(** Raised when an instruction violates its encoding constraints (immediate
+    range, odd branch offset, key range, …). *)
+
+val encode : Inst.t -> int
+val encode_bytes : Inst.t -> string
+(** Little-endian 4-byte rendering of {!encode}. *)

@@ -1,0 +1,175 @@
+(* Instruction AST for the RV64IM subset used by this project, extended with
+   the ROLoad family (ld.ro & friends).  One value of type [t] denotes one
+   (uncompressed) instruction; the compressed forms of [Compressed] expand to
+   these, so the executor only ever sees this type. *)
+
+type width = Byte | Half | Word | Double
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type alu_op = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+
+type alu_w_op = Addw | Subw | Sllw | Srlw | Sraw
+
+type mul_op = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+
+type mul_w_op = Mulw | Divw | Divuw | Remw | Remuw
+
+type t =
+  | Lui of Reg.t * int64 (* rd, 20-bit field value *)
+  | Auipc of Reg.t * int64
+  | Jal of Reg.t * int64 (* rd, signed byte offset (21-bit, even) *)
+  | Jalr of Reg.t * Reg.t * int64 (* rd, rs1, signed 12-bit *)
+  | Branch of branch_cond * Reg.t * Reg.t * int64 (* rs1, rs2, offset *)
+  | Load of { width : width; unsigned : bool; rd : Reg.t; rs1 : Reg.t; imm : int64 }
+  | Store of { width : width; rs2 : Reg.t; rs1 : Reg.t; imm : int64 }
+  | Op_imm of alu_op * Reg.t * Reg.t * int64 (* op, rd, rs1, imm/shamt *)
+  | Op_imm_w of alu_w_op * Reg.t * Reg.t * int64
+  | Op of alu_op * Reg.t * Reg.t * Reg.t (* op, rd, rs1, rs2 *)
+  | Op_w of alu_w_op * Reg.t * Reg.t * Reg.t
+  | Mulop of mul_op * Reg.t * Reg.t * Reg.t
+  | Mulop_w of mul_w_op * Reg.t * Reg.t * Reg.t
+  | Load_ro of { width : width; unsigned : bool; rd : Reg.t; rs1 : Reg.t; key : int }
+    (* ROLoad family: load through [rs1] (no offset immediate); the accessed
+       page must be read-only and tagged with [key]. *)
+  | Ecall
+  | Ebreak
+  | Fence
+
+let width_bytes = function Byte -> 1 | Half -> 2 | Word -> 4 | Double -> 8
+
+let width_name = function Byte -> "b" | Half -> "h" | Word -> "w" | Double -> "d"
+
+let load_mnemonic ~width ~unsigned =
+  "l" ^ width_name width ^ if unsigned then "u" else ""
+
+let store_mnemonic ~width = "s" ^ width_name width
+
+let branch_cond_name = function
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blt -> "blt"
+  | Bge -> "bge"
+  | Bltu -> "bltu"
+  | Bgeu -> "bgeu"
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Sll -> "sll"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Xor -> "xor"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Or -> "or"
+  | And -> "and"
+
+let alu_w_op_name = function
+  | Addw -> "addw"
+  | Subw -> "subw"
+  | Sllw -> "sllw"
+  | Srlw -> "srlw"
+  | Sraw -> "sraw"
+
+let mul_op_name = function
+  | Mul -> "mul"
+  | Mulh -> "mulh"
+  | Mulhsu -> "mulhsu"
+  | Mulhu -> "mulhu"
+  | Div -> "div"
+  | Divu -> "divu"
+  | Rem -> "rem"
+  | Remu -> "remu"
+
+let mul_w_op_name = function
+  | Mulw -> "mulw"
+  | Divw -> "divw"
+  | Divuw -> "divuw"
+  | Remw -> "remw"
+  | Remuw -> "remuw"
+
+let r2 = Reg.name
+
+let to_string = function
+  | Lui (rd, imm) -> Printf.sprintf "lui %s, 0x%Lx" (r2 rd) imm
+  | Auipc (rd, imm) -> Printf.sprintf "auipc %s, 0x%Lx" (r2 rd) imm
+  | Jal (rd, off) ->
+    if Reg.to_int rd = 0 then Printf.sprintf "j %Ld" off
+    else Printf.sprintf "jal %s, %Ld" (r2 rd) off
+  | Jalr (rd, rs1, imm) ->
+    if Reg.to_int rd = 0 && imm = 0L then Printf.sprintf "jr %s" (r2 rs1)
+    else Printf.sprintf "jalr %s, %Ld(%s)" (r2 rd) imm (r2 rs1)
+  | Branch (c, rs1, rs2, off) ->
+    Printf.sprintf "%s %s, %s, %Ld" (branch_cond_name c) (r2 rs1) (r2 rs2) off
+  | Load { width; unsigned; rd; rs1; imm } ->
+    Printf.sprintf "%s %s, %Ld(%s)" (load_mnemonic ~width ~unsigned) (r2 rd) imm (r2 rs1)
+  | Store { width; rs2; rs1; imm } ->
+    Printf.sprintf "%s %s, %Ld(%s)" (store_mnemonic ~width) (r2 rs2) imm (r2 rs1)
+  | Op_imm (Add, rd, rs1, imm) when Reg.to_int rs1 = 0 ->
+    Printf.sprintf "li %s, %Ld" (r2 rd) imm
+  | Op_imm (op, rd, rs1, imm) ->
+    Printf.sprintf "%si %s, %s, %Ld" (alu_op_name op) (r2 rd) (r2 rs1) imm
+  | Op_imm_w (op, rd, rs1, imm) ->
+    Printf.sprintf "%si %s, %s, %Ld" (alu_w_op_name op) (r2 rd) (r2 rs1) imm
+  | Op (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (alu_op_name op) (r2 rd) (r2 rs1) (r2 rs2)
+  | Op_w (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (alu_w_op_name op) (r2 rd) (r2 rs1) (r2 rs2)
+  | Mulop (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (mul_op_name op) (r2 rd) (r2 rs1) (r2 rs2)
+  | Mulop_w (op, rd, rs1, rs2) ->
+    Printf.sprintf "%s %s, %s, %s" (mul_w_op_name op) (r2 rd) (r2 rs1) (r2 rs2)
+  | Load_ro { width; unsigned; rd; rs1; key } ->
+    Printf.sprintf "%s.ro %s, (%s), %d" (load_mnemonic ~width ~unsigned) (r2 rd) (r2 rs1) key
+  | Ecall -> "ecall"
+  | Ebreak -> "ebreak"
+  | Fence -> "fence"
+
+let pp fmt i = Format.pp_print_string fmt (to_string i)
+
+let equal (a : t) (b : t) = a = b
+
+(* Structural validity: immediates in range, shift amounts legal, keys
+   within the PTE key width.  [Encode] refuses invalid instructions; this
+   predicate lets tests and generators state the contract. *)
+let valid = function
+  | Lui (_, imm) | Auipc (_, imm) -> Roload_util.Bits.fits_unsigned imm ~width:20
+  | Jal (_, off) ->
+    Roload_util.Bits.fits_signed off ~width:21 && Int64.rem off 2L = 0L
+  | Jalr (_, _, imm) -> Roload_util.Bits.fits_signed imm ~width:12
+  | Branch (_, _, _, off) ->
+    Roload_util.Bits.fits_signed off ~width:13 && Int64.rem off 2L = 0L
+  | Load { width = Double; unsigned = true; _ } -> false (* no ldu *)
+  | Load { imm; _ } | Store { imm; _ } -> Roload_util.Bits.fits_signed imm ~width:12
+  | Op_imm ((Sll | Srl | Sra), _, _, imm) -> imm >= 0L && imm < 64L
+  | Op_imm (Sub, _, _, _) -> false (* no subi; use addi with negated imm *)
+  | Op_imm (_, _, _, imm) -> Roload_util.Bits.fits_signed imm ~width:12
+  | Op_imm_w ((Sllw | Srlw | Sraw), _, _, imm) -> imm >= 0L && imm < 32L
+  | Op_imm_w (Subw, _, _, _) -> false
+  | Op_imm_w (Addw, _, _, imm) -> Roload_util.Bits.fits_signed imm ~width:12
+  | Op _ | Op_w _ | Mulop _ | Mulop_w _ -> true
+  | Load_ro { width = Double; unsigned = true; _ } -> false
+  | Load_ro { key; _ } -> key >= 0 && key < 1024
+  | Ecall | Ebreak | Fence -> true
+
+let is_roload = function
+  | Load_ro _ -> true
+  | Lui _ | Auipc _ | Jal _ | Jalr _ | Branch _ | Load _ | Store _ | Op_imm _
+  | Op_imm_w _ | Op _ | Op_w _ | Mulop _ | Mulop_w _ | Ecall | Ebreak | Fence ->
+    false
+
+let is_control_flow = function
+  | Jal _ | Jalr _ | Branch _ -> true
+  | Lui _ | Auipc _ | Load _ | Store _ | Op_imm _ | Op_imm_w _ | Op _ | Op_w _
+  | Mulop _ | Mulop_w _ | Load_ro _ | Ecall | Ebreak | Fence ->
+    false
+
+(* Convenience constructors used throughout codegen and tests. *)
+let nop = Op_imm (Add, Reg.zero, Reg.zero, 0L)
+let li rd imm = Op_imm (Add, rd, Reg.zero, imm)
+let mv rd rs = Op_imm (Add, rd, rs, 0L)
+let ret = Jalr (Reg.zero, Reg.ra, 0L)
+let ld rd rs1 imm = Load { width = Double; unsigned = false; rd; rs1; imm }
+let sd rs2 rs1 imm = Store { width = Double; rs2; rs1; imm }
+let ld_ro rd rs1 key = Load_ro { width = Double; unsigned = false; rd; rs1; key }

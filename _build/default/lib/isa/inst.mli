@@ -1,0 +1,69 @@
+(** Instruction AST for the RV64IM subset used by this project, extended
+    with the ROLoad family ([ld.ro] & friends, Section III-A of the paper).
+    Compressed (RVC) encodings expand to these, so the executor only ever
+    sees values of type {!t}. *)
+
+type width = Byte | Half | Word | Double
+
+type branch_cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type alu_op = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+
+type alu_w_op = Addw | Subw | Sllw | Srlw | Sraw
+
+type mul_op = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+
+type mul_w_op = Mulw | Divw | Divuw | Remw | Remuw
+
+type t =
+  | Lui of Reg.t * int64  (** rd, 20-bit field value (not pre-shifted) *)
+  | Auipc of Reg.t * int64
+  | Jal of Reg.t * int64  (** rd, signed even byte offset (21-bit) *)
+  | Jalr of Reg.t * Reg.t * int64  (** rd, rs1, signed 12-bit offset *)
+  | Branch of branch_cond * Reg.t * Reg.t * int64
+  | Load of { width : width; unsigned : bool; rd : Reg.t; rs1 : Reg.t; imm : int64 }
+  | Store of { width : width; rs2 : Reg.t; rs1 : Reg.t; imm : int64 }
+  | Op_imm of alu_op * Reg.t * Reg.t * int64
+  | Op_imm_w of alu_w_op * Reg.t * Reg.t * int64
+  | Op of alu_op * Reg.t * Reg.t * Reg.t
+  | Op_w of alu_w_op * Reg.t * Reg.t * Reg.t
+  | Mulop of mul_op * Reg.t * Reg.t * Reg.t
+  | Mulop_w of mul_w_op * Reg.t * Reg.t * Reg.t
+  | Load_ro of { width : width; unsigned : bool; rd : Reg.t; rs1 : Reg.t; key : int }
+      (** ROLoad-family load: loads through [rs1] with no offset immediate;
+          the accessed page must be read-only and tagged with [key]
+          (0..1023), otherwise the MMU raises a ROLoad page fault. *)
+  | Ecall
+  | Ebreak
+  | Fence
+
+val width_bytes : width -> int
+val width_name : width -> string
+val load_mnemonic : width:width -> unsigned:bool -> string
+val store_mnemonic : width:width -> string
+val branch_cond_name : branch_cond -> string
+val alu_op_name : alu_op -> string
+val alu_w_op_name : alu_w_op -> string
+val mul_op_name : mul_op -> string
+val mul_w_op_name : mul_w_op -> string
+
+val to_string : t -> string
+(** Assembly rendering, e.g. ["ld.ro a0, (a1), 111"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val valid : t -> bool
+(** Structural validity: immediates within their encoded ranges, shift
+    amounts legal, ROLoad keys within the 10-bit PTE key field. *)
+
+val is_roload : t -> bool
+val is_control_flow : t -> bool
+
+val nop : t
+val li : Reg.t -> int64 -> t
+val mv : Reg.t -> Reg.t -> t
+val ret : t
+val ld : Reg.t -> Reg.t -> int64 -> t
+val sd : Reg.t -> Reg.t -> int64 -> t
+val ld_ro : Reg.t -> Reg.t -> int -> t

@@ -1,0 +1,87 @@
+(* Integer register file names for RV64.  A register is its index 0..31;
+   the smart constructor enforces the range. *)
+
+type t = int
+
+let of_int i =
+  if i < 0 || i > 31 then invalid_arg "Reg.of_int";
+  i
+
+let to_int r = r
+
+let zero = 0
+let ra = 1
+let sp = 2
+let gp = 3
+let tp = 4
+let t0 = 5
+let t1 = 6
+let t2 = 7
+let s0 = 8
+let fp = 8
+let s1 = 9
+let a0 = 10
+let a1 = 11
+let a2 = 12
+let a3 = 13
+let a4 = 14
+let a5 = 15
+let a6 = 16
+let a7 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let s8 = 24
+let s9 = 25
+let s10 = 26
+let s11 = 27
+let t3 = 28
+let t4 = 29
+let t5 = 30
+let t6 = 31
+
+let abi_names =
+  [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0"; "a1";
+     "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7";
+     "s8"; "s9"; "s10"; "s11"; "t3"; "t4"; "t5"; "t6" |]
+
+let name r = abi_names.(r)
+
+let of_name s =
+  let rec find i =
+    if i >= 32 then None
+    else if abi_names.(i) = s then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some r -> Some r
+  | None ->
+    if s = "fp" then Some fp
+    else if String.length s >= 2 && s.[0] = 'x' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some i when i >= 0 && i <= 31 -> Some i
+      | Some _ | None -> None
+    else None
+
+(* Registers usable by compressed (RVC) instructions: x8..x15. *)
+let is_compressible r = r >= 8 && r <= 15
+
+let compressed_index r =
+  if not (is_compressible r) then invalid_arg "Reg.compressed_index";
+  r - 8
+
+let of_compressed_index i =
+  if i < 0 || i > 7 then invalid_arg "Reg.of_compressed_index";
+  i + 8
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+(* Calling-convention classification used by the register allocator. *)
+let caller_saved = [ ra; t0; t1; t2; a0; a1; a2; a3; a4; a5; a6; a7; t3; t4; t5; t6 ]
+let callee_saved = [ s0; s1; s2; s3; s4; s5; s6; s7; s8; s9; s10; s11 ]
+let argument_regs = [ a0; a1; a2; a3; a4; a5; a6; a7 ]

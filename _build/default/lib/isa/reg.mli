@@ -1,0 +1,63 @@
+(** RV64 integer registers, identified by index 0..31. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside 0..31. *)
+
+val to_int : t -> int
+
+val zero : t
+val ra : t
+val sp : t
+val gp : t
+val tp : t
+val t0 : t
+val t1 : t
+val t2 : t
+val s0 : t
+val fp : t
+val s1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val s8 : t
+val s9 : t
+val s10 : t
+val s11 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+
+val name : t -> string
+(** ABI name, e.g. ["a0"]. *)
+
+val of_name : string -> t option
+(** Accepts ABI names ("a0", "fp") and numeric names ("x10"). *)
+
+val is_compressible : t -> bool
+(** Whether the register is addressable by 3-bit RVC register fields
+    (x8..x15). *)
+
+val compressed_index : t -> int
+val of_compressed_index : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val caller_saved : t list
+val callee_saved : t list
+val argument_regs : t list

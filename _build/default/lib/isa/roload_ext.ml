@@ -1,0 +1,28 @@
+(* Encoding-level definition of the ROLoad ISA extension (paper §III-A).
+
+   The ld.ro family reuses the LOAD funct3 space under the RISC-V custom-0
+   opcode.  The 12-bit I-type immediate no longer carries an address offset;
+   its low 10 bits carry the page key compared against the PTE/TLB key field
+   (the reserved top 10 bits of an Sv39 PTE).  c.ld.ro lives in the reserved
+   funct3=100 slot of RVC quadrant 0 and can express keys 0..31. *)
+
+let opcode = 0x0B (* custom-0 *)
+
+let key_bits = 10
+let max_key = (1 lsl key_bits) - 1
+
+let compressed_key_bits = 5
+let max_compressed_key = (1 lsl compressed_key_bits) - 1
+
+let key_in_range key = key >= 0 && key <= max_key
+let key_compressible key = key >= 0 && key <= max_compressed_key
+
+(* Key conventions used by the defense applications built on top.  Keys are
+   plain integers; the meanings below are a software contract, not hardware
+   behaviour (the paper: "the actual meanings of the keys are defined by
+   security applications"). *)
+
+let key_default = 0 (* ordinary read-only data, no specific class *)
+let key_vtable_unified = 1 (* ICall's single key for all vtables *)
+let first_type_key = 2 (* per-type keys are allocated upwards from here *)
+let key_return_sites = max_key (* the backward-edge allowlist (§IV-C) *)

@@ -1,0 +1,31 @@
+(** Encoding-level definition of the ROLoad ISA extension (paper §III-A):
+    opcode assignment, key-field widths and the software key conventions
+    used by the defense applications. *)
+
+val opcode : int
+(** Major opcode of the ld.ro family (RISC-V custom-0, 0x0B). *)
+
+val key_bits : int
+(** Width of the page-key field (10, the reserved top bits of an Sv39
+    PTE). *)
+
+val max_key : int
+val compressed_key_bits : int
+(** Key width expressible by [c.ld.ro] (5 bits). *)
+
+val max_compressed_key : int
+val key_in_range : int -> bool
+val key_compressible : int -> bool
+
+val key_default : int
+(** Key of ordinary read-only data pages. *)
+
+val key_vtable_unified : int
+(** The single key the ICall application uses for all vtables. *)
+
+val first_type_key : int
+(** First key available for per-type allocation by hardening passes. *)
+
+val key_return_sites : int
+(** The key of return-site allowlist pages (the backward-edge extension
+    of paper §IV-C). *)

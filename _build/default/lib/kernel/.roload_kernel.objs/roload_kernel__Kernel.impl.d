@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Int64 List Process Roload_isa Roload_machine Roload_mem Roload_obj Roload_util Signal String Syscall

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Process Roload_machine Roload_obj

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Buffer Bytes Char Printf Roload_mem Roload_obj Signal String

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Roload_mem Roload_obj Signal

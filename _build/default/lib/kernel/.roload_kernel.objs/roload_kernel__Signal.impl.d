@@ -1,0 +1,1 @@
+lib/kernel/signal.ml: Printf Roload_mem

@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Printf Roload_mem

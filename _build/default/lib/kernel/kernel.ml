@@ -1,0 +1,312 @@
+(* The kernel: frame allocation, the program loader (which applies the
+   executable's section keys to page-table entries), syscall servicing —
+   including the key-aware mmap/mprotect — and trap triage.
+
+   Two kernel variants exist, mirroring the paper's system matrix:
+   [roload_kernel = false] is the stock kernel (no key plumbing, no ROLoad
+   fault triage); [roload_kernel = true] is the modified kernel of §III-B.
+   Kernel work is charged to the machine's cycle counter through a small
+   cost model so the "processor+kernel modified" system of §V-B shows its
+   (tiny) load-time key-setup overhead as a measurement, not an
+   assumption. *)
+
+module Perm = Roload_mem.Perm
+module Page_table = Roload_mem.Page_table
+module Mmu = Roload_mem.Mmu
+module Phys_mem = Roload_mem.Phys_mem
+module Machine = Roload_machine.Machine
+module Cpu = Roload_machine.Cpu
+module Trap = Roload_machine.Trap
+module Config = Roload_machine.Config
+module Exe = Roload_obj.Exe
+module Reg = Roload_isa.Reg
+
+type config = {
+  roload_kernel : bool;
+  syscall_cycles : int; (* trap entry/exit + dispatch *)
+  page_map_cycles : int; (* per page mapped by the loader/mmap *)
+  page_key_cycles : int; (* extra per page whose key is set (modified kernel) *)
+  fault_cycles : int; (* page-fault handling before the process dies *)
+}
+
+let default_config =
+  {
+    roload_kernel = true;
+    syscall_cycles = 80;
+    page_map_cycles = 25;
+    page_key_cycles = 2;
+    fault_cycles = 400;
+  }
+
+let stock_kernel_config = { default_config with roload_kernel = false }
+
+type t = {
+  machine : Machine.t;
+  config : config;
+  mutable next_frame : int;
+  mutable current : Process.t option;
+}
+
+exception Out_of_frames
+
+let create ~machine ~config =
+  (* frame 0 stays unused so a PPN of 0 is never valid *)
+  { machine; config; next_frame = 1; current = None }
+
+let machine t = t.machine
+let config t = t.config
+
+let charge t cycles = Cpu.add_cycles (Machine.cpu t.machine) cycles
+
+let alloc_frame t =
+  let mem = Machine.mem t.machine in
+  let frames = Phys_mem.size mem / Page_table.page_size in
+  if t.next_frame >= frames then raise Out_of_frames;
+  let f = t.next_frame in
+  t.next_frame <- t.next_frame + 1;
+  Phys_mem.fill mem ~addr:(f * Page_table.page_size) ~len:Page_table.page_size '\000';
+  f
+
+(* ---------- loader ---------- *)
+
+let effective_key t key = if t.config.roload_kernel then key else 0
+
+let map_fresh_page t process ~va ~perms ~key =
+  let ppn = alloc_frame t in
+  Page_table.map_page (Process.page_table process) ~va ~ppn ~perms ~user:true
+    ~key:(effective_key t key);
+  Process.account_mapped process 1;
+  charge t t.config.page_map_cycles;
+  if t.config.roload_kernel && key <> 0 then charge t t.config.page_key_cycles;
+  ppn
+
+let load t exe =
+  let mem = Machine.mem t.machine in
+  let page_table = Page_table.create ~mem ~alloc_frame:(fun () -> alloc_frame t) in
+  let machine_config = Machine.config t.machine in
+  let mmu =
+    Mmu.create ~page_table ~itlb_entries:machine_config.Config.itlb_entries
+      ~dtlb_entries:machine_config.Config.dtlb_entries
+      ~roload_check_enabled:machine_config.Config.roload_processor
+  in
+  let brk_start = ref 0 in
+  let process = Process.create ~exe ~page_table ~mmu ~phys:mem ~brk:0 in
+  (* map segments page by page, copying data *)
+  List.iter
+    (fun (seg : Exe.segment) ->
+      let npages = Exe.segment_pages seg in
+      for i = 0 to npages - 1 do
+        let va = seg.Exe.vaddr + (i * Page_table.page_size) in
+        let ppn = map_fresh_page t process ~va ~perms:seg.Exe.perms ~key:seg.Exe.key in
+        let data_off = i * Page_table.page_size in
+        let remaining = String.length seg.Exe.data - data_off in
+        if remaining > 0 then begin
+          let chunk = min remaining Page_table.page_size in
+          Phys_mem.write_string mem ~addr:(ppn * Page_table.page_size)
+            (String.sub seg.Exe.data data_off chunk)
+        end
+      done;
+      brk_start := max !brk_start (seg.Exe.vaddr + (npages * Page_table.page_size)))
+    exe.Exe.segments;
+  Process.init_brk process !brk_start;
+  (* map the stack *)
+  let stack_base = Process.stack_top - (Process.stack_pages * Page_table.page_size) in
+  for i = 0 to Process.stack_pages - 1 do
+    ignore
+      (map_fresh_page t process ~va:(stack_base + (i * Page_table.page_size)) ~perms:Perm.rw
+         ~key:0)
+  done;
+  process
+
+(* Install the process on the machine and initialize its CPU state. *)
+let schedule t process =
+  t.current <- Some process;
+  Machine.set_mmu t.machine (Some (Process.mmu process));
+  let cpu = Machine.cpu t.machine in
+  Cpu.set_pc cpu (Process.exe process).Exe.entry;
+  Cpu.set cpu Reg.sp (Int64.of_int (Process.stack_top - 64))
+
+(* ---------- syscalls ---------- *)
+
+let handle_brk t process new_brk =
+  let old_brk = Process.brk process in
+  if new_brk <= old_brk then old_brk
+  else begin
+    let first = Roload_util.Bits.align_up old_brk Page_table.page_size in
+    let last = Roload_util.Bits.align_up new_brk Page_table.page_size in
+    let n = (last - first) / Page_table.page_size in
+    (try
+       for i = 0 to n - 1 do
+         ignore
+           (map_fresh_page t process ~va:(first + (i * Page_table.page_size)) ~perms:Perm.rw
+              ~key:0)
+       done;
+       Process.set_brk process new_brk
+     with Out_of_frames -> ());
+    Process.brk process
+  end
+
+let handle_mmap t process ~len ~prot ~key =
+  if len <= 0 then Syscall.einval
+  else if key <> 0 && not t.config.roload_kernel then Syscall.enosys
+  else begin
+    let npages = (len + Page_table.page_size - 1) / Page_table.page_size in
+    let addr = Process.alloc_mmap_region process npages in
+    try
+      for i = 0 to npages - 1 do
+        ignore
+          (map_fresh_page t process ~va:(addr + (i * Page_table.page_size))
+             ~perms:(Syscall.perms_of_prot prot) ~key)
+      done;
+      addr
+    with Out_of_frames -> Syscall.enomem
+  end
+
+let handle_mprotect t process ~addr ~len ~prot ~key =
+  if addr land (Page_table.page_size - 1) <> 0 || len < 0 then Syscall.einval
+  else if key <> 0 && not t.config.roload_kernel then Syscall.enosys
+  else begin
+    let npages = (len + Page_table.page_size - 1) / Page_table.page_size in
+    let ok = ref true in
+    for i = 0 to npages - 1 do
+      let va = addr + (i * Page_table.page_size) in
+      let page_table = Process.page_table process in
+      (match Page_table.set_perms page_table ~va ~perms:(Syscall.perms_of_prot prot) with
+      | Ok () -> ()
+      | Error (Page_table.Not_mapped | Page_table.Bad_alignment) -> ok := false);
+      if t.config.roload_kernel then begin
+        match Page_table.set_key page_table ~va ~key with
+        | Ok () -> charge t t.config.page_key_cycles
+        | Error (Page_table.Not_mapped | Page_table.Bad_alignment) -> ok := false
+      end;
+      Mmu.invalidate (Process.mmu process) ~va
+    done;
+    if !ok then 0 else Syscall.einval
+  end
+
+let handle_write t process ~buf ~len =
+  if len < 0 then Syscall.einval
+  else begin
+    (match
+       (* copy out through the page table; faults here kill the process in
+          a real kernel, we clamp to the mapped region *)
+       try Some (Process.read_bytes process ~va:buf ~len) with Not_found -> None
+     with
+    | Some s -> Process.append_output process s
+    | None -> ());
+    charge t (len / 16);
+    len
+  end
+
+let handle_syscall t process =
+  let cpu = Machine.cpu t.machine in
+  let arg r = Int64.to_int (Cpu.get cpu r) in
+  charge t t.config.syscall_cycles;
+  let num = arg Reg.a7 in
+  let ret =
+    if num = Syscall.sys_exit then begin
+      Process.set_status process (Process.Exited (arg Reg.a0));
+      0
+    end
+    else if num = Syscall.sys_write then handle_write t process ~buf:(arg Reg.a1) ~len:(arg Reg.a2)
+    else if num = Syscall.sys_brk then handle_brk t process (arg Reg.a0)
+    else if num = Syscall.sys_mmap then
+      handle_mmap t process ~len:(arg Reg.a1) ~prot:(arg Reg.a2) ~key:(arg Reg.a4)
+    else if num = Syscall.sys_mprotect then
+      handle_mprotect t process ~addr:(arg Reg.a0) ~len:(arg Reg.a1) ~prot:(arg Reg.a2)
+        ~key:(arg Reg.a3)
+    else Syscall.enosys
+  in
+  Cpu.set cpu Reg.a0 (Int64.of_int ret);
+  (* resume after the ecall (ecall is never compressed) *)
+  Cpu.set_pc cpu (Cpu.pc cpu + 4)
+
+(* ---------- trap triage ---------- *)
+
+(* The fault path of the modified kernel (§III-B): ROLoad faults are
+   distinguished from benign load faults and the process is killed with a
+   SIGSEGV carrying the triage detail.  The stock kernel cannot decode the
+   new fault class; it reports a plain access violation. *)
+let signal_of_trap t (trap : Trap.t) : Signal.t option =
+  match trap with
+  | Trap.Ecall -> None
+  | Trap.Breakpoint -> None
+  | Trap.Illegal_instruction { pc; info } -> Some (Signal.Sigill { pc; info })
+  | Trap.Misaligned_access { va; _ } -> Some (Signal.Sigbus { va })
+  | Trap.Fetch_page_fault { va; _ } ->
+    Some (Signal.Sigsegv (Signal.Access_violation { va; access = Perm.Fetch }))
+  | Trap.Load_page_fault { va; _ } ->
+    Some (Signal.Sigsegv (Signal.Access_violation { va; access = Perm.Load }))
+  | Trap.Store_page_fault { va; _ } ->
+    Some (Signal.Sigsegv (Signal.Access_violation { va; access = Perm.Store }))
+  | Trap.Roload_page_fault { pc; va; key_requested; page_key; page_perms } ->
+    if t.config.roload_kernel then
+      Some
+        (Signal.Sigsegv
+           (Signal.Roload_violation { va; pc; key_requested; page_key; page_perms }))
+    else
+      (* stock kernel: same mechanical outcome (the access did fault), but
+         without the dedicated triage *)
+      Some (Signal.Sigsegv (Signal.Access_violation { va; access = Perm.Load }))
+
+(* ---------- run loop ---------- *)
+
+type run_limit = { max_instructions : int64 }
+
+let no_limit = { max_instructions = Int64.max_int }
+
+type run_outcome = {
+  status : Process.status;
+  instructions : int64;
+  cycles : int64;
+  peak_kib : int;
+  output : string;
+}
+
+let outcome_of t process =
+  let cpu = Machine.cpu t.machine in
+  {
+    status = Process.status process;
+    instructions = Cpu.instret cpu;
+    cycles = Cpu.cycles cpu;
+    peak_kib = Process.peak_kib process;
+    output = Process.output process;
+  }
+
+(* Run the scheduled process until it exits, is killed, or hits a
+   caller-supplied stop condition (used by the attack tooling to pause at
+   a chosen pc). *)
+let run ?(limit = no_limit) ?stop_at_pc t process =
+  let cpu = Machine.cpu t.machine in
+  let rec loop () =
+    if Process.status process <> Process.Running then outcome_of t process
+    else if Int64.compare (Cpu.instret cpu) limit.max_instructions >= 0 then
+      outcome_of t process
+    else if stop_at_pc = Some (Cpu.pc cpu) then outcome_of t process
+    else
+      match Machine.step t.machine with
+      | Machine.Continue -> loop ()
+      | Machine.Trapped Trap.Ecall ->
+        handle_syscall t process;
+        loop ()
+      | Machine.Trapped Trap.Breakpoint ->
+        (* treat ebreak as an abort: kill the process *)
+        Process.set_status process
+          (Process.Killed (Signal.Sigill { pc = Cpu.pc cpu; info = "ebreak" }));
+        outcome_of t process
+      | Machine.Trapped trap -> (
+        charge t t.config.fault_cycles;
+        match signal_of_trap t trap with
+        | Some signal ->
+          Process.set_status process (Process.Killed signal);
+          outcome_of t process
+        | None -> loop ())
+  in
+  loop ()
+
+(* Convenience: load, schedule, run. *)
+let exec ?(limit = no_limit) t exe =
+  let process = load t exe in
+  schedule t process;
+  let outcome = run ~limit t process in
+  (process, outcome)

@@ -1,0 +1,53 @@
+(** The kernel: frame allocation, the loader (applies section keys to
+    PTEs), syscalls including key-aware mmap/mprotect, and trap triage.
+    Kernel work is charged to the machine cycle counter through a small
+    cost model, so the "+kernel" system's overhead is measured rather than
+    assumed (paper §V-B). *)
+
+type config = {
+  roload_kernel : bool;
+      (** false = stock kernel (no key plumbing, no ROLoad triage);
+          true = the modified kernel of paper §III-B *)
+  syscall_cycles : int;
+  page_map_cycles : int;
+  page_key_cycles : int;
+  fault_cycles : int;
+}
+
+val default_config : config
+val stock_kernel_config : config
+
+type t
+
+exception Out_of_frames
+
+val create : machine:Roload_machine.Machine.t -> config:config -> t
+val machine : t -> Roload_machine.Machine.t
+val config : t -> config
+val alloc_frame : t -> int
+
+val load : t -> Roload_obj.Exe.t -> Process.t
+(** Map all segments (with keys when the kernel supports them), map the
+    stack, set the initial brk. *)
+
+val schedule : t -> Process.t -> unit
+(** Install the process's MMU and initialize pc/sp. *)
+
+type run_limit = { max_instructions : int64 }
+
+val no_limit : run_limit
+
+type run_outcome = {
+  status : Process.status;
+  instructions : int64;
+  cycles : int64;
+  peak_kib : int;
+  output : string;
+}
+
+val run : ?limit:run_limit -> ?stop_at_pc:int -> t -> Process.t -> run_outcome
+(** Run the scheduled process until exit, a fatal signal, the instruction
+    limit, or [stop_at_pc] (used by attack tooling to pause and corrupt
+    memory). *)
+
+val exec : ?limit:run_limit -> t -> Roload_obj.Exe.t -> Process.t * run_outcome

@@ -1,0 +1,60 @@
+(** A user-mode process: address space, memory accounting, status and
+    console output. *)
+
+type status = Running | Exited of int | Killed of Signal.t
+
+type t
+
+val page : int
+val stack_top : int
+val stack_pages : int
+val mmap_base : int
+
+val create :
+  exe:Roload_obj.Exe.t ->
+  page_table:Roload_mem.Page_table.t ->
+  mmu:Roload_mem.Mmu.t ->
+  phys:Roload_mem.Phys_mem.t ->
+  brk:int ->
+  t
+
+val status : t -> status
+val output : t -> string
+val append_output : t -> string -> unit
+val exe : t -> Roload_obj.Exe.t
+val mmu : t -> Roload_mem.Mmu.t
+val page_table : t -> Roload_mem.Page_table.t
+val set_status : t -> status -> unit
+(** First status transition wins; later ones are ignored. *)
+
+val account_mapped : t -> int -> unit
+val peak_pages : t -> int
+val peak_kib : t -> int
+val brk : t -> int
+val set_brk : t -> int -> unit
+
+val init_brk : t -> int -> unit
+(** Set the post-load break (also records it as the heap origin). *)
+
+val heap_bytes : t -> int
+(** Bytes the heap has grown past the post-load break, [brk - brk_start]. *)
+
+val alloc_mmap_region : t -> int -> int
+
+val translate : t -> int -> int
+(** Kernel-privileged translation (raises [Not_found] when unmapped). *)
+
+val read_bytes : t -> va:int -> len:int -> string
+val read_u64 : t -> va:int -> int64
+val kernel_write_bytes : t -> va:int -> string -> unit
+
+exception Attack_blocked of string
+
+val page_writable : t -> int -> bool
+
+val attacker_write : t -> va:int -> string -> unit
+(** The attacker's primitive under the paper's threat model: arbitrary
+    writes restricted to actually-writable pages.  Raises
+    {!Attack_blocked} otherwise. *)
+
+val attacker_write_u64 : t -> va:int -> int64 -> unit

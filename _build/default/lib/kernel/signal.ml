@@ -1,0 +1,33 @@
+(* Signals delivered by the kernel to faulting processes.  A SIGSEGV
+   caused by a ROLoad check failure carries the triage detail the
+   modified fault handler extracts (paper §III-B). *)
+
+type segv_reason =
+  | Access_violation of { va : int; access : Roload_mem.Perm.access }
+  | Roload_violation of {
+      va : int;
+      pc : int;
+      key_requested : int;
+      page_key : int;
+      page_perms : Roload_mem.Perm.t;
+    }
+
+type t =
+  | Sigsegv of segv_reason
+  | Sigill of { pc : int; info : string }
+  | Sigbus of { va : int }
+
+let to_string = function
+  | Sigsegv (Access_violation { va; access }) ->
+    Printf.sprintf "SIGSEGV (access violation: %s at 0x%x)"
+      (Roload_mem.Perm.access_to_string access) va
+  | Sigsegv (Roload_violation { va; pc; key_requested; page_key; page_perms }) ->
+    Printf.sprintf
+      "SIGSEGV (ROLoad violation at 0x%x, pc 0x%x: key %d requested, page key %d, perms %s)"
+      va pc key_requested page_key (Roload_mem.Perm.to_string page_perms)
+  | Sigill { pc; info } -> Printf.sprintf "SIGILL (at 0x%x: %s)" pc info
+  | Sigbus { va } -> Printf.sprintf "SIGBUS (misaligned access at 0x%x)" va
+
+let is_roload_violation = function
+  | Sigsegv (Roload_violation _) -> true
+  | Sigsegv (Access_violation _) | Sigill _ | Sigbus _ -> false

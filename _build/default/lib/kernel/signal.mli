@@ -1,0 +1,19 @@
+(** Signals delivered by the kernel to faulting processes. *)
+
+type segv_reason =
+  | Access_violation of { va : int; access : Roload_mem.Perm.access }
+  | Roload_violation of {
+      va : int;
+      pc : int;
+      key_requested : int;
+      page_key : int;
+      page_perms : Roload_mem.Perm.t;
+    }  (** The triage detail of the modified fault handler (paper §III-B). *)
+
+type t =
+  | Sigsegv of segv_reason
+  | Sigill of { pc : int; info : string }
+  | Sigbus of { va : int }
+
+val to_string : t -> string
+val is_roload_violation : t -> bool

@@ -1,0 +1,36 @@
+(* Syscall ABI: numbers follow the RISC-V Linux convention where one
+   exists.  mmap gains a key argument (a4) and mprotect a key argument
+   (a3) — the interfaces the modified kernel exposes so user-mode
+   processes can set up page keys (paper §III-B). *)
+
+let sys_exit = 93
+let sys_write = 64
+let sys_brk = 214
+let sys_mmap = 222
+let sys_mprotect = 226
+
+(* prot bits, as in POSIX *)
+let prot_read = 1
+let prot_write = 2
+let prot_exec = 4
+
+let perms_of_prot prot =
+  {
+    Roload_mem.Perm.r = prot land prot_read <> 0;
+    w = prot land prot_write <> 0;
+    x = prot land prot_exec <> 0;
+  }
+
+(* errno-style return values (negated, as the kernel ABI returns them) *)
+let enosys = -38
+let einval = -22
+let enomem = -12
+let ebadf = -9
+
+let name = function
+  | 93 -> "exit"
+  | 64 -> "write"
+  | 214 -> "brk"
+  | 222 -> "mmap"
+  | 226 -> "mprotect"
+  | n -> Printf.sprintf "unknown(%d)" n

@@ -1,0 +1,21 @@
+(** Syscall ABI constants.  [mmap] gains a key argument (a4) and
+    [mprotect] a key argument (a3) — the modified kernel's page-key
+    interfaces (paper §III-B). *)
+
+val sys_exit : int
+val sys_write : int
+val sys_brk : int
+val sys_mmap : int
+val sys_mprotect : int
+
+val prot_read : int
+val prot_write : int
+val prot_exec : int
+val perms_of_prot : int -> Roload_mem.Perm.t
+
+val enosys : int
+val einval : int
+val enomem : int
+val ebadf : int
+
+val name : int -> string

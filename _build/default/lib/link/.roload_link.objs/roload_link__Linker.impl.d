@@ -1,0 +1,1 @@
+lib/link/linker.ml: Buffer Bytes Char Hashtbl Int64 List Printf Roload_mem Roload_obj Roload_util

@@ -1,0 +1,337 @@
+(* The linker: merges object files, lays sections out into page-aligned
+   segments grouped by (permissions, key), applies relocations, and emits
+   an executable image.
+
+   The [separate_code] option mirrors the `-z separate-code` linker flag
+   the paper requires (§V-B): with it, read-only data lives on its own
+   non-executable pages; without it, *all* read-only sections are folded
+   into the executable (r-x) segment — which violates the ROLoad
+   read-only page condition and makes every ld.ro fault.  The ablation
+   bench demonstrates exactly that failure. *)
+
+module Perm = Roload_mem.Perm
+module Section = Roload_obj.Section
+module Symbol = Roload_obj.Symbol
+module Reloc = Roload_obj.Reloc
+module Objfile = Roload_obj.Objfile
+module Exe = Roload_obj.Exe
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type options = {
+  base_vaddr : int;
+  separate_code : bool;
+  entry_symbol : string;
+}
+
+let default_options = { base_vaddr = 0x10000; separate_code = true; entry_symbol = "_start" }
+
+let page = Exe.page
+
+(* ---------- section merging ---------- *)
+
+type merged_section = {
+  m_name : string;
+  m_perms : Perm.t;
+  m_key : int;
+  m_align : int;
+  m_data : Buffer.t;
+  mutable m_bss : int;
+  mutable m_vaddr : int; (* assigned during layout *)
+}
+
+type input_piece = {
+  obj_index : int;
+  sec_name : string;
+  piece_offset : int; (* offset of this object's section inside the merged one *)
+}
+
+let merge_objects objs =
+  let merged : (string, merged_section) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let pieces = ref [] in
+  List.iteri
+    (fun obj_index (obj : Objfile.t) ->
+      List.iter
+        (fun (s : Section.t) ->
+          let m =
+            match Hashtbl.find_opt merged s.Section.name with
+            | Some m ->
+              if not (Perm.equal m.m_perms s.Section.perms) || m.m_key <> s.Section.key
+              then error "section %s: conflicting attributes across objects" s.Section.name;
+              m
+            | None ->
+              let m =
+                {
+                  m_name = s.Section.name;
+                  m_perms = s.Section.perms;
+                  m_key = s.Section.key;
+                  m_align = s.Section.align;
+                  m_data = Buffer.create 256;
+                  m_bss = 0;
+                  m_vaddr = 0;
+                }
+              in
+              Hashtbl.add merged s.Section.name m;
+              order := s.Section.name :: !order;
+              m
+          in
+          (* align this piece within the merged section *)
+          let aligned = Roload_util.Bits.align_up (Buffer.length m.m_data) s.Section.align in
+          while Buffer.length m.m_data < aligned do
+            Buffer.add_char m.m_data '\000'
+          done;
+          let piece_offset = Buffer.length m.m_data + m.m_bss in
+          if s.Section.data <> "" && m.m_bss > 0 then
+            error "section %s: data after bss" s.Section.name;
+          Buffer.add_string m.m_data s.Section.data;
+          m.m_bss <- m.m_bss + s.Section.bss_size;
+          pieces := { obj_index; sec_name = s.Section.name; piece_offset } :: !pieces)
+        obj.Objfile.sections)
+    objs;
+  (merged, List.rev !order, !pieces)
+
+let piece_offset pieces ~obj_index ~sec_name =
+  match
+    List.find_opt (fun p -> p.obj_index = obj_index && p.sec_name = sec_name) pieces
+  with
+  | Some p -> p.piece_offset
+  | None -> error "internal: missing piece %s (object %d)" sec_name obj_index
+
+(* ---------- layout ---------- *)
+
+let section_class (m : merged_section) =
+  (* ordering class: text, rodata (by key), data, bss *)
+  if m.m_perms.Perm.x then 0
+  else if not m.m_perms.Perm.w then 1
+  else if Buffer.length m.m_data > 0 then 2
+  else 3
+
+let layout ~options merged order =
+  let ms = List.map (Hashtbl.find merged) order in
+  let cls_of m = section_class m in
+  let text = List.filter (fun m -> cls_of m = 0) ms in
+  let ro = List.filter (fun m -> cls_of m = 1) ms in
+  let ro_sorted = List.stable_sort (fun a b -> compare a.m_key b.m_key) ro in
+  let data = List.filter (fun m -> cls_of m = 2) ms in
+  let bss = List.filter (fun m -> cls_of m = 3) ms in
+  (* groups: each group becomes one segment and starts on a page boundary *)
+  let groups =
+    if options.separate_code then begin
+      (* one group per distinct ro key so distinct keys land on distinct
+         pages, then data and bss *)
+      let keys = List.sort_uniq compare (List.map (fun m -> m.m_key) ro_sorted) in
+      let ro_groups =
+        List.map
+          (fun k ->
+            let secs = List.filter (fun m -> m.m_key = k) ro_sorted in
+            (Printf.sprintf "rodata.key.%d" k, Perm.ro, k, secs))
+          keys
+      in
+      (("text", Perm.rx, 0, text) :: ro_groups)
+      @ [ ("data", Perm.rw, 0, data); ("bss", Perm.rw, 0, bss) ]
+    end
+    else
+      (* no separate-code: read-only data shares the executable segment *)
+      [ ("text+rodata", Perm.rx, 0, text @ ro_sorted);
+        ("data", Perm.rw, 0, data);
+        ("bss", Perm.rw, 0, bss) ]
+  in
+  let groups = List.filter (fun (_, _, _, secs) -> secs <> []) groups in
+  (* assign addresses *)
+  let pos = ref options.base_vaddr in
+  let placed =
+    List.map
+      (fun (gname, perms, key, secs) ->
+        pos := Roload_util.Bits.align_up !pos page;
+        let seg_vaddr = !pos in
+        List.iter
+          (fun m ->
+            pos := Roload_util.Bits.align_up !pos m.m_align;
+            m.m_vaddr <- !pos;
+            pos := !pos + Buffer.length m.m_data + m.m_bss)
+          secs;
+        let seg_end = !pos in
+        (gname, perms, key, secs, seg_vaddr, seg_end))
+      groups
+  in
+  placed
+
+(* ---------- symbol resolution ---------- *)
+
+let resolve_symbols objs merged pieces =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iteri
+    (fun obj_index (obj : Objfile.t) ->
+      List.iter
+        (fun (sym : Symbol.t) ->
+          let m =
+            match Hashtbl.find_opt merged sym.Symbol.section with
+            | Some m -> m
+            | None -> error "symbol %s: unknown section %s" sym.Symbol.name sym.Symbol.section
+          in
+          let base = piece_offset pieces ~obj_index ~sec_name:sym.Symbol.section in
+          let addr = m.m_vaddr + base + sym.Symbol.offset in
+          match Hashtbl.find_opt table sym.Symbol.name with
+          | Some other when other <> addr ->
+            error "duplicate symbol %s" sym.Symbol.name
+          | Some _ | None -> Hashtbl.replace table sym.Symbol.name addr)
+        obj.Objfile.symbols)
+    objs;
+  table
+
+(* ---------- relocation application ---------- *)
+
+let read_u32 bytes off =
+  Char.code (Bytes.get bytes off)
+  lor (Char.code (Bytes.get bytes (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get bytes (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get bytes (off + 3)) lsl 24)
+
+let write_u32 bytes off v =
+  Bytes.set bytes off (Char.chr (v land 0xFF));
+  Bytes.set bytes (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set bytes (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set bytes (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let patch_u_type word value20 = word land 0xFFF lor (value20 lsl 12)
+
+let patch_i_type word imm12 =
+  (word land 0xFFFFF) lor ((imm12 land 0xFFF) lsl 20)
+
+let patch_s_type word imm12 =
+  let keep = word land 0x01FFF07F in
+  keep lor ((imm12 land 0x1F) lsl 7) lor (((imm12 lsr 5) land 0x7F) lsl 25)
+
+let patch_j_type word offset =
+  if offset < -1048576 || offset > 1048574 then error "jal relocation out of range (%d)" offset;
+  if offset land 1 <> 0 then error "odd jal offset";
+  let imm = offset land 0x1FFFFF in
+  let keep = word land 0xFFF in
+  keep
+  lor (((imm lsr 20) land 1) lsl 31)
+  lor (((imm lsr 1) land 0x3FF) lsl 21)
+  lor (((imm lsr 11) land 1) lsl 20)
+  lor (((imm lsr 12) land 0xFF) lsl 12)
+
+let patch_b_type word offset =
+  if offset < -4096 || offset > 4094 then error "branch relocation out of range (%d)" offset;
+  let imm = offset land 0x1FFF in
+  let keep = word land 0x01FFF07F in
+  keep
+  lor (((imm lsr 12) land 1) lsl 31)
+  lor (((imm lsr 5) land 0x3F) lsl 25)
+  lor (((imm lsr 1) land 0xF) lsl 8)
+  lor (((imm lsr 11) land 1) lsl 7)
+
+let apply_relocs objs merged pieces symbols =
+  let buffers : (string, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name (m : merged_section) ->
+      Hashtbl.add buffers name (Buffer.to_bytes m.m_data))
+    merged;
+  List.iteri
+    (fun obj_index (obj : Objfile.t) ->
+      List.iter
+        (fun (r : Reloc.t) ->
+          let m =
+            match Hashtbl.find_opt merged r.Reloc.section with
+            | Some m -> m
+            | None -> error "relocation in unknown section %s" r.Reloc.section
+          in
+          let bytes = Hashtbl.find buffers r.Reloc.section in
+          let base = piece_offset pieces ~obj_index ~sec_name:r.Reloc.section in
+          let off = base + r.Reloc.offset in
+          let sym_addr =
+            match Hashtbl.find_opt symbols r.Reloc.symbol with
+            | Some a -> a + r.Reloc.addend
+            | None -> error "undefined symbol %s" r.Reloc.symbol
+          in
+          let place = m.m_vaddr + off in
+          match r.Reloc.kind with
+          | Reloc.Abs64 -> Bytes.set_int64_le bytes off (Int64.of_int sym_addr)
+          | Reloc.Hi20 -> write_u32 bytes off (patch_u_type (read_u32 bytes off) (Reloc.hi20 sym_addr))
+          | Reloc.Lo12_i ->
+            write_u32 bytes off
+              (patch_i_type (read_u32 bytes off) (Int64.to_int (Reloc.lo12 sym_addr) land 0xFFF))
+          | Reloc.Lo12_s ->
+            write_u32 bytes off
+              (patch_s_type (read_u32 bytes off) (Int64.to_int (Reloc.lo12 sym_addr) land 0xFFF))
+          | Reloc.Jal -> write_u32 bytes off (patch_j_type (read_u32 bytes off) (sym_addr - place))
+          | Reloc.Branch ->
+            write_u32 bytes off (patch_b_type (read_u32 bytes off) (sym_addr - place)))
+        obj.Objfile.relocs)
+    objs;
+  buffers
+
+(* ---------- driver ---------- *)
+
+let link ?(options = default_options) objs =
+  if objs = [] then error "no input objects";
+  let merged, order, pieces = merge_objects objs in
+  let placed = layout ~options merged order in
+  let symbols = resolve_symbols objs merged pieces in
+  (* synthetic region symbols (used by the VTint baseline's range check):
+     the read-only, non-executable region is contiguous because all ro
+     groups are laid out together *)
+  let ro_segs =
+    List.filter
+      (fun (_, perms, _, _, _, _) -> perms.Perm.r && (not perms.Perm.w) && not perms.Perm.x)
+      placed
+  in
+  let ro_start =
+    List.fold_left (fun acc (_, _, _, _, s, _) -> min acc s) max_int ro_segs
+  in
+  let ro_end = List.fold_left (fun acc (_, _, _, _, _, e) -> max acc e) 0 ro_segs in
+  Hashtbl.replace symbols "__ro_start" (if ro_segs = [] then 0 else ro_start);
+  Hashtbl.replace symbols "__ro_end" ro_end;
+  let buffers = apply_relocs objs merged pieces symbols in
+  let segments =
+    List.map
+      (fun (gname, perms, key, secs, seg_vaddr, seg_end) ->
+        (* concatenate section bytes with padding; bss contributes only to
+           mem_size *)
+        let data_end =
+          List.fold_left
+            (fun acc (m : merged_section) ->
+              let dlen = Bytes.length (Hashtbl.find buffers m.m_name) in
+              if dlen > 0 then max acc (m.m_vaddr + dlen) else acc)
+            seg_vaddr secs
+        in
+        let buf = Bytes.make (data_end - seg_vaddr) '\000' in
+        List.iter
+          (fun (m : merged_section) ->
+            let src = Hashtbl.find buffers m.m_name in
+            Bytes.blit src 0 buf (m.m_vaddr - seg_vaddr) (Bytes.length src))
+          secs;
+        {
+          Exe.name = gname;
+          vaddr = seg_vaddr;
+          data = Bytes.to_string buf;
+          mem_size = seg_end - seg_vaddr;
+          perms;
+          key;
+        })
+      placed
+  in
+  let entry =
+    match Hashtbl.find_opt symbols options.entry_symbol with
+    | Some a -> a
+    | None -> error "entry symbol %s not defined" options.entry_symbol
+  in
+  let symbol_list =
+    Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) symbols []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  Exe.make ~entry ~segments ~symbols:symbol_list
+
+let map_string exe =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Exe.summary exe);
+  Buffer.add_string b "symbols:\n";
+  List.iter
+    (fun (name, addr) -> Buffer.add_string b (Printf.sprintf "  0x%08x %s\n" addr name))
+    exe.Exe.symbols;
+  Buffer.contents b

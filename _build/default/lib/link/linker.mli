@@ -1,0 +1,17 @@
+(** The linker: merges objects, lays out page-aligned segments grouped by
+    (permissions, key), applies relocations and emits an executable.
+
+    [separate_code] mirrors the `-z separate-code` flag the paper requires
+    (§V-B): without it, read-only sections are folded into the executable
+    r-x segment, violating the ROLoad read-only page condition (every
+    ld.ro then faults). *)
+
+exception Error of string
+
+type options = { base_vaddr : int; separate_code : bool; entry_symbol : string }
+
+val default_options : options
+(** 0x10000 base, separate-code on, entry [_start]. *)
+
+val link : ?options:options -> Roload_obj.Objfile.t list -> Roload_obj.Exe.t
+val map_string : Roload_obj.Exe.t -> string

@@ -1,0 +1,1 @@
+lib/machine/alu.ml: Int32 Int64 Roload_isa Roload_util

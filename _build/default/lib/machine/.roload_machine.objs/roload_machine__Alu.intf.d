@@ -1,0 +1,1 @@
+lib/machine/alu.mli: Roload_isa

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Buffer Int64 Printf Roload_isa

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Alu Config Cpu Hashtbl Int64 Option Roload_cache Roload_isa Roload_mem Roload_util Trap

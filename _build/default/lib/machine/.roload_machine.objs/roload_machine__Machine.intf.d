@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Config Cpu Roload_cache Roload_isa Roload_mem Trap

@@ -1,0 +1,1 @@
+lib/machine/trap.ml: Printf Roload_mem

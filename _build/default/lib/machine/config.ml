@@ -1,0 +1,45 @@
+(* Machine configuration, mirroring Table II of the paper. *)
+
+type t = {
+  isa : string;
+  phys_mem_bytes : int;
+  icache : Roload_cache.Cache.config;
+  dcache : Roload_cache.Cache.config;
+  itlb_entries : int;
+  dtlb_entries : int;
+  latencies : Roload_cache.Hierarchy.latencies;
+  roload_processor : bool;
+      (* true = the processor decodes the ld.ro family and the MMU performs
+         the key check (the paper's "processor-modified" system); false =
+         baseline Rocket, where ld.ro is an illegal instruction *)
+}
+
+(* The paper's prototype: RV64IMAC, 32 KiB 8-way L1I$/L1D$, 32-entry I-TLB
+   and D-TLB, 4 GiB DDR3.  We scale physical memory down to 64 MiB — the
+   workloads are scaled accordingly — and omit A (atomics) since the
+   simulated system is single-core. *)
+let default =
+  {
+    isa = "RV64IMC (+ld.ro family)";
+    phys_mem_bytes = 64 * 1024 * 1024;
+    icache = Roload_cache.Hierarchy.default_l1_config;
+    dcache = Roload_cache.Hierarchy.default_l1_config;
+    itlb_entries = 32;
+    dtlb_entries = 32;
+    latencies = Roload_cache.Hierarchy.default_latencies;
+    roload_processor = true;
+  }
+
+let baseline = { default with isa = "RV64IMC"; roload_processor = false }
+
+let rows t =
+  [
+    ("ISA", t.isa);
+    ("Caches",
+     Printf.sprintf "%dKiB %d-way L1I$, %dKiB %d-way L1D$"
+       (t.icache.Roload_cache.Cache.size_bytes / 1024) t.icache.Roload_cache.Cache.ways
+       (t.dcache.Roload_cache.Cache.size_bytes / 1024) t.dcache.Roload_cache.Cache.ways);
+    ("TLBs", Printf.sprintf "%d-entry I-TLB, %d-entry D-TLB" t.itlb_entries t.dtlb_entries);
+    ("Memory", Printf.sprintf "%d MiB simulated DRAM" (t.phys_mem_bytes / 1024 / 1024));
+    ("ROLoad processor support", string_of_bool t.roload_processor);
+  ]

@@ -1,0 +1,23 @@
+(** Machine configuration, mirroring Table II of the paper. *)
+
+type t = {
+  isa : string;
+  phys_mem_bytes : int;
+  icache : Roload_cache.Cache.config;
+  dcache : Roload_cache.Cache.config;
+  itlb_entries : int;
+  dtlb_entries : int;
+  latencies : Roload_cache.Hierarchy.latencies;
+  roload_processor : bool;
+      (** Whether the processor decodes the ld.ro family and the MMU
+          performs the key check. *)
+}
+
+val default : t
+(** The prototype configuration (ROLoad-capable processor). *)
+
+val baseline : t
+(** The unmodified processor: ld.ro is an illegal instruction. *)
+
+val rows : t -> (string * string) list
+(** Human-readable key/value rows (Table II). *)

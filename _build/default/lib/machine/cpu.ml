@@ -1,0 +1,44 @@
+(* Architectural CPU state: 32 integer registers, the program counter, and
+   retirement/cycle counters. *)
+
+type t = {
+  regs : int64 array;
+  mutable pc : int;
+  mutable instret : int64;
+  mutable cycles : int64;
+}
+
+let create () = { regs = Array.make 32 0L; pc = 0; instret = 0L; cycles = 0L }
+
+let get t r =
+  let i = Roload_isa.Reg.to_int r in
+  if i = 0 then 0L else t.regs.(i)
+
+let set t r v =
+  let i = Roload_isa.Reg.to_int r in
+  if i <> 0 then t.regs.(i) <- v
+
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let instret t = t.instret
+let cycles t = t.cycles
+let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+let retire t = t.instret <- Int64.add t.instret 1L
+
+let reset t =
+  Array.fill t.regs 0 32 0L;
+  t.pc <- 0;
+  t.instret <- 0L;
+  t.cycles <- 0L
+
+let dump t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "pc=0x%x instret=%Ld cycles=%Ld\n" t.pc t.instret t.cycles);
+  for i = 0 to 31 do
+    Buffer.add_string b
+      (Printf.sprintf "%-5s=%016Lx%s"
+         (Roload_isa.Reg.name (Roload_isa.Reg.of_int i))
+         t.regs.(i)
+         (if i mod 4 = 3 then "\n" else "  "))
+  done;
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Architectural CPU state: integer register file, program counter, and
+    retirement/cycle counters. Register x0 reads as zero and ignores
+    writes. *)
+
+type t
+
+val create : unit -> t
+val get : t -> Roload_isa.Reg.t -> int64
+val set : t -> Roload_isa.Reg.t -> int64 -> unit
+val pc : t -> int
+val set_pc : t -> int -> unit
+val instret : t -> int64
+val cycles : t -> int64
+val add_cycles : t -> int -> unit
+val retire : t -> unit
+val reset : t -> unit
+val dump : t -> string

@@ -1,0 +1,317 @@
+(* The machine top: fetch/decode/execute with a deterministic cycle model.
+
+   Timing is intentionally simple but shape-preserving:
+   - every instruction costs 1 base cycle;
+   - instruction fetch and data accesses are charged through the L1
+     caches; TLB misses charge the page-table walk;
+   - branches use a static predictor (backward taken / forward not-taken)
+     with a mispredict penalty; jalr pays an indirect-jump penalty unless
+     it is a return (modelled return-address stack);
+   - mul/div pay multi-cycle latencies.
+   A ld.ro costs exactly as much as the equivalent ld: the read-only+key
+   check runs in parallel inside the MMU (the paper's central performance
+   claim). *)
+
+module Perm = Roload_mem.Perm
+module Mmu = Roload_mem.Mmu
+module Phys_mem = Roload_mem.Phys_mem
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+
+type costs = {
+  base : int;
+  branch_mispredict : int;
+  jalr_indirect : int;
+  mul : int;
+  div : int;
+  ptw_step : int; (* cycles per page-table-walk level on a TLB miss *)
+}
+
+let default_costs =
+  { base = 1; branch_mispredict = 3; jalr_indirect = 2; mul = 3; div = 32; ptw_step = 8 }
+
+type exec_counts = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable roloads : int;
+  mutable branches : int;
+  mutable jumps : int;
+  mutable indirect_jumps : int;
+}
+
+type t = {
+  config : Config.t;
+  cpu : Cpu.t;
+  mem : Phys_mem.t;
+  hierarchy : Roload_cache.Hierarchy.t;
+  costs : costs;
+  mutable mmu : Mmu.t option;
+  decode_cache : (int, Inst.t * int) Hashtbl.t;
+  counts : exec_counts;
+  mutable trace : (pc:int -> Inst.t -> unit) option;
+}
+
+type step_result =
+  | Continue
+  | Trapped of Trap.t
+
+let create ?(costs = default_costs) (config : Config.t) =
+  {
+    config;
+    cpu = Cpu.create ();
+    mem = Phys_mem.create ~size:config.Config.phys_mem_bytes;
+    hierarchy =
+      Roload_cache.Hierarchy.create ~icache_config:config.Config.icache
+        ~dcache_config:config.Config.dcache ~latencies:config.Config.latencies ();
+    costs;
+    mmu = None;
+    decode_cache = Hashtbl.create 4096;
+    counts =
+      { loads = 0; stores = 0; roloads = 0; branches = 0; jumps = 0; indirect_jumps = 0 };
+    trace = None;
+  }
+
+let cpu t = t.cpu
+let mem t = t.mem
+let config t = t.config
+let hierarchy t = t.hierarchy
+let counts t = t.counts
+
+let set_mmu t mmu =
+  t.mmu <- mmu;
+  Hashtbl.reset t.decode_cache
+
+let set_trace t f = t.trace <- f
+
+let mmu_exn t =
+  match t.mmu with
+  | Some m -> m
+  | None -> failwith "Machine: no address space installed"
+
+let charge_walk t steps = Cpu.add_cycles t.cpu (steps * t.costs.ptw_step)
+
+(* ---- fetch ---- *)
+
+let fetch_halfword t va =
+  let mmu = mmu_exn t in
+  match Mmu.translate mmu ~access:Perm.Fetch va with
+  | Error f -> Error (Trap.of_mmu_fault ~pc:(Cpu.pc t.cpu) f)
+  | Ok { pa; walk_steps; _ } ->
+    charge_walk t walk_steps;
+    Cpu.add_cycles t.cpu (Roload_cache.Hierarchy.access_ifetch t.hierarchy ~pa);
+    Ok (pa, Phys_mem.read_u16 t.mem pa)
+
+let fetch_decode t =
+  let pc = Cpu.pc t.cpu in
+  if pc land 1 <> 0 then
+    Error (Trap.Misaligned_access { pc; va = pc; access = Perm.Fetch })
+  else
+    match fetch_halfword t pc with
+    | Error tr -> Error tr
+    | Ok (pa, hw) -> (
+      match Hashtbl.find_opt t.decode_cache pa with
+      | Some (inst, size) -> Ok (inst, size)
+      | None ->
+        let decoded =
+          if Roload_isa.Decode.is_compressed_halfword hw then
+            match Roload_isa.Compressed.decode hw with
+            | Ok inst -> Ok (inst, 2)
+            | Error info -> Error (Trap.Illegal_instruction { pc; info })
+          else
+            match fetch_halfword t (pc + 2) with
+            | Error tr -> Error tr
+            | Ok (_, hw2) -> (
+              let word = hw lor (hw2 lsl 16) in
+              match Roload_isa.Decode.decode word with
+              | Ok inst -> Ok (inst, 4)
+              | Error info -> Error (Trap.Illegal_instruction { pc; info }))
+        in
+        match decoded with
+        | Ok (inst, size) ->
+          Hashtbl.replace t.decode_cache pa (inst, size);
+          Ok (inst, size)
+        | Error tr -> Error tr)
+
+(* ---- data access ---- *)
+
+let check_alignment ~pc ~va ~width ~access =
+  let bytes = Inst.width_bytes width in
+  if va land (bytes - 1) <> 0 then Error (Trap.Misaligned_access { pc; va; access })
+  else Ok ()
+
+let read_phys t pa (width : Inst.width) ~unsigned =
+  match width with
+  | Inst.Byte ->
+    let v = Int64.of_int (Phys_mem.read_u8 t.mem pa) in
+    if unsigned then v else Roload_util.Bits.sign_extend v ~width:8
+  | Inst.Half ->
+    let v = Int64.of_int (Phys_mem.read_u16 t.mem pa) in
+    if unsigned then v else Roload_util.Bits.sign_extend v ~width:16
+  | Inst.Word ->
+    let v = Int64.of_int (Phys_mem.read_u32 t.mem pa) in
+    if unsigned then v else Roload_util.Bits.sign_extend v ~width:32
+  | Inst.Double -> Phys_mem.read_u64 t.mem pa
+
+let write_phys t pa (width : Inst.width) v =
+  match width with
+  | Inst.Byte -> Phys_mem.write_u8 t.mem pa (Int64.to_int (Int64.logand v 0xFFL))
+  | Inst.Half -> Phys_mem.write_u16 t.mem pa (Int64.to_int (Int64.logand v 0xFFFFL))
+  | Inst.Word -> Phys_mem.write_u32 t.mem pa (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+  | Inst.Double -> Phys_mem.write_u64 t.mem pa v
+
+let data_access t ~pc ~va ~access ~width ~unsigned ~store_value =
+  let write = match access with Perm.Store -> true | Perm.Fetch | Perm.Load | Perm.Roload _ -> false in
+  match check_alignment ~pc ~va ~width ~access with
+  | Error tr -> Error tr
+  | Ok () -> (
+    match Mmu.translate (mmu_exn t) ~access va with
+    | Error f -> Error (Trap.of_mmu_fault ~pc f)
+    | Ok { pa; walk_steps; _ } ->
+      charge_walk t walk_steps;
+      Cpu.add_cycles t.cpu (Roload_cache.Hierarchy.access_data t.hierarchy ~pa ~write);
+      if write then begin
+        write_phys t pa width (Option.get store_value);
+        Ok 0L
+      end
+      else Ok (read_phys t pa width ~unsigned))
+
+(* ---- execute ---- *)
+
+let to_addr v = Int64.to_int v
+(* Addresses in this simulation live well below 2^62; negative or huge
+   int64 values map to negative ints and fault in the MMU's range check. *)
+
+let branch_taken (c : Inst.branch_cond) a b =
+  match c with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> Int64.compare a b < 0
+  | Bge -> Int64.compare a b >= 0
+  | Bltu -> Roload_util.Bits.ult a b
+  | Bgeu -> Roload_util.Bits.uge a b
+
+let step t =
+  match fetch_decode t with
+  | Error tr -> Trapped tr
+  | Ok (inst, size) -> (
+    let cpu = t.cpu in
+    let pc = Cpu.pc cpu in
+    (match t.trace with Some f -> f ~pc inst | None -> ());
+    let next = pc + size in
+    Cpu.add_cycles cpu t.costs.base;
+    let continue_at pc' =
+      Cpu.set_pc cpu pc';
+      Cpu.retire cpu;
+      Continue
+    in
+    match inst with
+    | Inst.Lui (rd, imm) ->
+      Cpu.set cpu rd (Roload_util.Bits.sign_extend (Int64.shift_left imm 12) ~width:32);
+      continue_at next
+    | Inst.Auipc (rd, imm) ->
+      let v =
+        Int64.add (Int64.of_int pc)
+          (Roload_util.Bits.sign_extend (Int64.shift_left imm 12) ~width:32)
+      in
+      Cpu.set cpu rd v;
+      continue_at next
+    | Inst.Jal (rd, off) ->
+      t.counts.jumps <- t.counts.jumps + 1;
+      Cpu.set cpu rd (Int64.of_int next);
+      continue_at (pc + Int64.to_int off)
+    | Inst.Jalr (rd, rs1, imm) ->
+      t.counts.jumps <- t.counts.jumps + 1;
+      let target = Int64.logand (Int64.add (Cpu.get cpu rs1) imm) (-2L) in
+      let is_return = Reg.to_int rd = 0 && Reg.to_int rs1 = 1 in
+      if not is_return then begin
+        t.counts.indirect_jumps <- t.counts.indirect_jumps + 1;
+        Cpu.add_cycles cpu t.costs.jalr_indirect
+      end;
+      Cpu.set cpu rd (Int64.of_int next);
+      continue_at (to_addr target)
+    | Inst.Branch (c, rs1, rs2, off) ->
+      t.counts.branches <- t.counts.branches + 1;
+      let taken = branch_taken c (Cpu.get cpu rs1) (Cpu.get cpu rs2) in
+      let backward = Int64.compare off 0L < 0 in
+      let predicted_taken = backward in
+      if taken <> predicted_taken then Cpu.add_cycles cpu t.costs.branch_mispredict;
+      continue_at (if taken then pc + Int64.to_int off else next)
+    | Inst.Load { width; unsigned; rd; rs1; imm } -> (
+      t.counts.loads <- t.counts.loads + 1;
+      let va = to_addr (Int64.add (Cpu.get cpu rs1) imm) in
+      match
+        data_access t ~pc ~va ~access:Perm.Load ~width ~unsigned ~store_value:None
+      with
+      | Error tr -> Trapped tr
+      | Ok v ->
+        Cpu.set cpu rd v;
+        continue_at next)
+    | Inst.Load_ro { width; unsigned; rd; rs1; key } -> (
+      if not t.config.Config.roload_processor then
+        (* Baseline Rocket: the custom-0 opcode is not implemented. *)
+        Trapped (Trap.Illegal_instruction { pc; info = "ld.ro: no ROLoad support" })
+      else begin
+        t.counts.roloads <- t.counts.roloads + 1;
+        let va = to_addr (Cpu.get cpu rs1) in
+        match
+          data_access t ~pc ~va ~access:(Perm.Roload key) ~width ~unsigned
+            ~store_value:None
+        with
+        | Error tr -> Trapped tr
+        | Ok v ->
+          Cpu.set cpu rd v;
+          continue_at next
+      end)
+    | Inst.Store { width; rs2; rs1; imm } -> (
+      t.counts.stores <- t.counts.stores + 1;
+      let va = to_addr (Int64.add (Cpu.get cpu rs1) imm) in
+      match
+        data_access t ~pc ~va ~access:Perm.Store ~width ~unsigned:false
+          ~store_value:(Some (Cpu.get cpu rs2))
+      with
+      | Error tr -> Trapped tr
+      | Ok _ -> continue_at next)
+    | Inst.Op_imm (op, rd, rs1, imm) ->
+      Cpu.set cpu rd (Alu.op op (Cpu.get cpu rs1) imm);
+      continue_at next
+    | Inst.Op_imm_w (op, rd, rs1, imm) ->
+      Cpu.set cpu rd (Alu.op_w op (Cpu.get cpu rs1) imm);
+      continue_at next
+    | Inst.Op (op, rd, rs1, rs2) ->
+      Cpu.set cpu rd (Alu.op op (Cpu.get cpu rs1) (Cpu.get cpu rs2));
+      continue_at next
+    | Inst.Op_w (op, rd, rs1, rs2) ->
+      Cpu.set cpu rd (Alu.op_w op (Cpu.get cpu rs1) (Cpu.get cpu rs2));
+      continue_at next
+    | Inst.Mulop (op, rd, rs1, rs2) ->
+      (match op with
+      | Inst.Mul | Inst.Mulh | Inst.Mulhsu | Inst.Mulhu -> Cpu.add_cycles cpu t.costs.mul
+      | Inst.Div | Inst.Divu | Inst.Rem | Inst.Remu -> Cpu.add_cycles cpu t.costs.div);
+      Cpu.set cpu rd (Alu.mulop op (Cpu.get cpu rs1) (Cpu.get cpu rs2));
+      continue_at next
+    | Inst.Mulop_w (op, rd, rs1, rs2) ->
+      (match op with
+      | Inst.Mulw -> Cpu.add_cycles cpu t.costs.mul
+      | Inst.Divw | Inst.Divuw | Inst.Remw | Inst.Remuw ->
+        Cpu.add_cycles cpu (t.costs.div / 2));
+      Cpu.set cpu rd (Alu.mulop_w op (Cpu.get cpu rs1) (Cpu.get cpu rs2));
+      continue_at next
+    | Inst.Ecall ->
+      (* pc stays at the ecall; the kernel advances it after servicing. *)
+      Cpu.retire cpu;
+      Trapped Trap.Ecall
+    | Inst.Ebreak ->
+      Cpu.retire cpu;
+      Trapped Trap.Breakpoint
+    | Inst.Fence -> continue_at next)
+
+(* Run until a trap; the caller (kernel) decides whether to resume. *)
+let run_until_trap ?(max_steps = max_int) t =
+  let rec go n =
+    if n >= max_steps then None
+    else
+      match step t with
+      | Continue -> go (n + 1)
+      | Trapped tr -> Some tr
+  in
+  go 0

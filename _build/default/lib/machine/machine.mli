@@ -1,0 +1,50 @@
+(** The machine top: fetch/decode/execute with a deterministic cycle
+    model.  A [ld.ro] costs exactly as much as the equivalent [ld] — the
+    read-only + key check runs in parallel inside the MMU, which is the
+    paper's central performance claim. *)
+
+type costs = {
+  base : int;
+  branch_mispredict : int;
+  jalr_indirect : int;
+  mul : int;
+  div : int;
+  ptw_step : int;
+}
+
+val default_costs : costs
+
+type exec_counts = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable roloads : int;
+  mutable branches : int;
+  mutable jumps : int;
+  mutable indirect_jumps : int;
+}
+
+type t
+
+type step_result = Continue | Trapped of Trap.t
+
+val create : ?costs:costs -> Config.t -> t
+val cpu : t -> Cpu.t
+val mem : t -> Roload_mem.Phys_mem.t
+val config : t -> Config.t
+val hierarchy : t -> Roload_cache.Hierarchy.t
+val counts : t -> exec_counts
+
+val set_mmu : t -> Roload_mem.Mmu.t option -> unit
+(** Install the scheduled process's address space (clears the decode
+    cache). *)
+
+val set_trace : t -> (pc:int -> Roload_isa.Inst.t -> unit) option -> unit
+(** Install an instruction-retirement hook (debugging/tracing). *)
+
+val step : t -> step_result
+(** Execute one instruction. On [Trapped Ecall] the pc still points at the
+    ecall; the kernel advances it after servicing. *)
+
+val run_until_trap : ?max_steps:int -> t -> Trap.t option
+(** Run until a trap occurs; [None] when [max_steps] was exhausted
+    first. *)

@@ -1,0 +1,46 @@
+(* Trap causes delivered from the simulated processor to the kernel.  The
+   ROLoad check failure is a distinct cause so the kernel can triage it
+   (paper §III-B: the kernel "first distinguishes load page faults raised
+   by ROLoad-family instructions from benign load page faults"). *)
+
+type t =
+  | Ecall (* environment call; the kernel reads the syscall ABI registers *)
+  | Breakpoint
+  | Illegal_instruction of { pc : int; info : string }
+  | Misaligned_access of { pc : int; va : int; access : Roload_mem.Perm.access }
+  | Fetch_page_fault of { pc : int; va : int }
+  | Load_page_fault of { pc : int; va : int }
+  | Store_page_fault of { pc : int; va : int }
+  | Roload_page_fault of {
+      pc : int;
+      va : int;
+      key_requested : int;
+      page_key : int;
+      page_perms : Roload_mem.Perm.t;
+    }
+
+let to_string = function
+  | Ecall -> "ecall"
+  | Breakpoint -> "breakpoint"
+  | Illegal_instruction { pc; info } ->
+    Printf.sprintf "illegal instruction at 0x%x (%s)" pc info
+  | Misaligned_access { pc; va; access } ->
+    Printf.sprintf "misaligned %s at 0x%x (pc 0x%x)"
+      (Roload_mem.Perm.access_to_string access) va pc
+  | Fetch_page_fault { pc; va } -> Printf.sprintf "fetch page fault at 0x%x (pc 0x%x)" va pc
+  | Load_page_fault { pc; va } -> Printf.sprintf "load page fault at 0x%x (pc 0x%x)" va pc
+  | Store_page_fault { pc; va } -> Printf.sprintf "store page fault at 0x%x (pc 0x%x)" va pc
+  | Roload_page_fault { pc; va; key_requested; page_key; page_perms } ->
+    Printf.sprintf
+      "ROLoad page fault at 0x%x (pc 0x%x): key %d requested, page key %d, perms %s"
+      va pc key_requested page_key (Roload_mem.Perm.to_string page_perms)
+
+let of_mmu_fault ~pc (fault : Roload_mem.Mmu.fault) =
+  match fault with
+  | Roload_mem.Mmu.Roload_fault { va; key_requested; page_key; page_perms } ->
+    Roload_page_fault { pc; va; key_requested; page_key; page_perms }
+  | Roload_mem.Mmu.Page_fault { va; access } -> (
+    match access with
+    | Roload_mem.Perm.Fetch -> Fetch_page_fault { pc; va }
+    | Roload_mem.Perm.Load | Roload_mem.Perm.Roload _ -> Load_page_fault { pc; va }
+    | Roload_mem.Perm.Store -> Store_page_fault { pc; va })

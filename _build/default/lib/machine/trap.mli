@@ -1,0 +1,21 @@
+(** Trap causes delivered from the simulated processor to the kernel.
+    ROLoad check failures are a distinct cause (paper §III-B). *)
+
+type t =
+  | Ecall
+  | Breakpoint
+  | Illegal_instruction of { pc : int; info : string }
+  | Misaligned_access of { pc : int; va : int; access : Roload_mem.Perm.access }
+  | Fetch_page_fault of { pc : int; va : int }
+  | Load_page_fault of { pc : int; va : int }
+  | Store_page_fault of { pc : int; va : int }
+  | Roload_page_fault of {
+      pc : int;
+      va : int;
+      key_requested : int;
+      page_key : int;
+      page_perms : Roload_mem.Perm.t;
+    }
+
+val to_string : t -> string
+val of_mmu_fault : pc:int -> Roload_mem.Mmu.fault -> t

@@ -1,0 +1,1 @@
+lib/mem/mmu.ml: Page_table Perm Printf Pte Tlb

@@ -1,0 +1,1 @@
+lib/mem/mmu.mli: Page_table Perm Tlb

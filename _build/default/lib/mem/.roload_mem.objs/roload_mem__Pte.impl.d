@@ -1,0 +1,1 @@
+lib/mem/pte.ml: Int64 Perm Printf Roload_util

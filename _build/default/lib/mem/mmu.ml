@@ -1,0 +1,110 @@
+(* The MMU front-end: TLB lookup, page-table walk on miss, and the access
+   check.  The ROLoad extension adds one extra condition, evaluated in
+   parallel with the conventional permission check and ANDed with it
+   (paper §II-E1): for a [Perm.Roload key] access the page must be
+   read-only (R, ¬W, ¬X) and its PTE key must equal the instruction key. *)
+
+type fault =
+  | Page_fault of { va : int; access : Perm.access }
+      (* conventional fault: unmapped page or permission violation *)
+  | Roload_fault of { va : int; key_requested : int; page_key : int; page_perms : Perm.t }
+      (* the new fault class: the page is mapped and loadable, but fails
+         the ROLoad read-only/key condition *)
+
+let fault_to_string = function
+  | Page_fault { va; access } ->
+    Printf.sprintf "page fault at 0x%x (%s)" va (Perm.access_to_string access)
+  | Roload_fault { va; key_requested; page_key; page_perms } ->
+    Printf.sprintf "ROLoad fault at 0x%x (key %d requested, page key %d, perms %s)"
+      va key_requested page_key (Perm.to_string page_perms)
+
+type translation = {
+  pa : int;
+  tlb_hit : bool;
+  walk_steps : int; (* PTE fetches performed on a TLB miss *)
+}
+
+type t = {
+  page_table : Page_table.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  roload_check_enabled : bool;
+      (* false on the baseline processor, which has no key-check logic.
+         The baseline also refuses to *decode* ld.ro; this flag exists so
+         the MMU model is meaningful on its own. *)
+}
+
+let create ~page_table ~itlb_entries ~dtlb_entries ~roload_check_enabled =
+  {
+    page_table;
+    itlb = Tlb.create ~name:"I-TLB" ~entries:itlb_entries;
+    dtlb = Tlb.create ~name:"D-TLB" ~entries:dtlb_entries;
+    roload_check_enabled;
+  }
+
+let itlb t = t.itlb
+let dtlb t = t.dtlb
+let page_table t = t.page_table
+
+let tlb_for t (access : Perm.access) =
+  match access with
+  | Perm.Fetch -> t.itlb
+  | Perm.Load | Perm.Store | Perm.Roload _ -> t.dtlb
+
+(* The extra ROLoad condition.  [true] means "allowed". *)
+let roload_check t ~access ~pte =
+  match access with
+  | Perm.Fetch | Perm.Load | Perm.Store -> true
+  | Perm.Roload key ->
+    (not t.roload_check_enabled)
+    || (Perm.read_only (Pte.perms pte) && Pte.key pte = key)
+
+let check t ~va ~access pte =
+  let perms = Pte.perms pte in
+  (* Conventional check: user bit (all simulated execution is user-mode)
+     and R/W/X permission. *)
+  if not (Pte.user pte && Perm.allows perms access) then
+    Error (Page_fault { va; access })
+  else if not (roload_check t ~access ~pte) then
+    match access with
+    | Perm.Roload key ->
+      Error (Roload_fault { va; key_requested = key; page_key = Pte.key pte; page_perms = perms })
+    | Perm.Fetch | Perm.Load | Perm.Store -> assert false
+  else Ok ()
+
+let page_mask = Page_table.page_size - 1
+
+let translate t ~access va =
+  if va < 0 then Error (Page_fault { va; access })
+  else
+    let vpn = va lsr Page_table.page_shift in
+    let tlb = tlb_for t access in
+    match Tlb.lookup tlb vpn with
+    | Some pte -> (
+      match check t ~va ~access pte with
+      | Ok () ->
+        Ok { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
+             tlb_hit = true; walk_steps = 0 }
+      | Error f -> Error f)
+    | None -> (
+      match Page_table.walk t.page_table va with
+      | Error (Page_table.Not_mapped | Page_table.Bad_alignment) ->
+        Error (Page_fault { va; access })
+      | Ok { pte; steps; _ } -> (
+        Tlb.insert tlb ~vpn ~pte;
+        match check t ~va ~access pte with
+        | Ok () ->
+          Ok { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
+               tlb_hit = false; walk_steps = steps }
+        | Error f -> Error f))
+
+(* Invalidate cached translations for [va] in both TLBs (sfence.vma
+   analogue, used after mprotect/mprotect_key). *)
+let invalidate t ~va =
+  let vpn = va lsr Page_table.page_shift in
+  Tlb.invalidate t.itlb ~vpn;
+  Tlb.invalidate t.dtlb ~vpn
+
+let flush t =
+  Tlb.flush t.itlb;
+  Tlb.flush t.dtlb

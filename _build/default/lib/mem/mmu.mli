@@ -1,0 +1,39 @@
+(** The MMU front-end: TLBs, page-table walks, and the access check with
+    the ROLoad extension — the read-only + key condition evaluated in
+    parallel with (and ANDed into) the conventional permission check
+    (paper §II-E1, §III-A). *)
+
+type fault =
+  | Page_fault of { va : int; access : Perm.access }
+      (** Conventional fault: unmapped page or permission violation. *)
+  | Roload_fault of { va : int; key_requested : int; page_key : int; page_perms : Perm.t }
+      (** The page is mapped and loadable but fails the ROLoad read-only or
+          key condition — the new fault class the kernel turns into
+          SIGSEGV. *)
+
+val fault_to_string : fault -> string
+
+type translation = { pa : int; tlb_hit : bool; walk_steps : int }
+
+type t
+
+val create :
+  page_table:Page_table.t ->
+  itlb_entries:int ->
+  dtlb_entries:int ->
+  roload_check_enabled:bool ->
+  t
+
+val itlb : t -> Tlb.t
+val dtlb : t -> Tlb.t
+val page_table : t -> Page_table.t
+
+val translate : t -> access:Perm.access -> int -> (translation, fault) result
+(** Translate a user-mode virtual address. Fetches consult the I-TLB; data
+    accesses the D-TLB. On a miss the Sv39 walk runs and the result is
+    cached. *)
+
+val invalidate : t -> va:int -> unit
+(** Drop cached translations of [va]'s page from both TLBs. *)
+
+val flush : t -> unit

@@ -1,0 +1,140 @@
+(* Sv39 three-level page tables living in simulated physical memory.
+
+   A page table is identified by the physical page number of its root
+   (the satp PPN).  Mapping operations allocate intermediate table pages
+   through the caller-supplied frame allocator (the kernel owns physical
+   frames). *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let levels = 3
+let index_bits = 9
+let entries_per_table = 1 lsl index_bits
+
+type t = {
+  mem : Phys_mem.t;
+  root_ppn : int;
+  alloc_frame : unit -> int; (* returns a zeroed frame's PPN *)
+}
+
+type walk_result = {
+  pte : Pte.t;
+  pte_addr : int; (* physical address of the leaf PTE *)
+  level : int; (* 0 = 4KiB leaf *)
+  steps : int; (* memory accesses performed by the walker *)
+}
+
+type walk_error = Not_mapped | Bad_alignment
+
+let create ~mem ~alloc_frame =
+  let root_ppn = alloc_frame () in
+  { mem; root_ppn; alloc_frame }
+
+let root_ppn t = t.root_ppn
+
+let vpn_index va level =
+  (* level 2 is the root index, level 0 the leaf index *)
+  (va lsr (page_shift + (index_bits * level))) land (entries_per_table - 1)
+
+let pte_addr ~table_ppn ~index = (table_ppn lsl page_shift) + (index * 8)
+
+let read_pte t ~table_ppn ~index =
+  Pte.of_int64 (Phys_mem.read_u64 t.mem (pte_addr ~table_ppn ~index))
+
+let write_pte t ~table_ppn ~index pte =
+  Phys_mem.write_u64 t.mem (pte_addr ~table_ppn ~index) (Pte.to_int64 pte)
+
+(* Walk to the leaf PTE for [va].  Counts each PTE fetch in [steps] so the
+   timing model can charge the page-table walk on TLB misses. *)
+let walk t va =
+  let rec go table_ppn level steps =
+    let index = vpn_index va level in
+    let addr = pte_addr ~table_ppn ~index in
+    let pte = read_pte t ~table_ppn ~index in
+    let steps = steps + 1 in
+    if not (Pte.valid pte) then Error Not_mapped
+    else if Pte.is_leaf pte then
+      if level > 0 then Error Bad_alignment (* no superpages in this design *)
+      else Ok { pte; pte_addr = addr; level; steps }
+    else if level = 0 then Error Not_mapped
+    else go (Pte.ppn pte) (level - 1) steps
+  in
+  go t.root_ppn (levels - 1) 0
+
+(* Ensure intermediate tables exist down to level 0 and return the leaf
+   table's PPN. *)
+let ensure_leaf_table t va =
+  let rec go table_ppn level =
+    if level = 0 then table_ppn
+    else
+      let index = vpn_index va level in
+      let pte = read_pte t ~table_ppn ~index in
+      let next_ppn =
+        if Pte.valid pte then begin
+          if Pte.is_leaf pte then invalid_arg "Page_table: leaf where table expected";
+          Pte.ppn pte
+        end
+        else begin
+          let ppn = t.alloc_frame () in
+          write_pte t ~table_ppn ~index (Pte.make_table ~ppn);
+          ppn
+        end
+      in
+      go next_ppn (level - 1)
+  in
+  go t.root_ppn (levels - 1)
+
+let map_page t ~va ~ppn ~perms ~user ~key =
+  if va land (page_size - 1) <> 0 then invalid_arg "Page_table.map_page: unaligned va";
+  let table_ppn = ensure_leaf_table t va in
+  write_pte t ~table_ppn ~index:(vpn_index va 0) (Pte.make ~ppn ~perms ~user ~key)
+
+let unmap_page t ~va =
+  match walk t va with
+  | Error (Not_mapped | Bad_alignment) -> ()
+  | Ok { pte_addr; _ } -> Phys_mem.write_u64 t.mem pte_addr (Pte.to_int64 Pte.invalid_pte)
+
+(* Kernel-side helpers used by mprotect/mprotect_key: rewrite the leaf PTE
+   in place. *)
+let update_page t ~va ~f =
+  match walk t va with
+  | Error e -> Error e
+  | Ok { pte; pte_addr; _ } ->
+    Phys_mem.write_u64 t.mem pte_addr (Pte.to_int64 (f pte));
+    Ok ()
+
+let set_perms t ~va ~perms = update_page t ~va ~f:(fun pte -> Pte.with_perms pte perms)
+let set_key t ~va ~key = update_page t ~va ~f:(fun pte -> Pte.with_key pte key)
+
+let translate_exn t va =
+  match walk t va with
+  | Ok { pte; _ } -> (Pte.ppn pte lsl page_shift) lor (va land (page_size - 1))
+  | Error Not_mapped -> raise Not_found
+  | Error Bad_alignment -> raise Not_found
+
+(* Enumerate mapped pages (for memory-usage accounting and debugging). *)
+let iter_mappings t ~f =
+  let root = t.root_ppn in
+  for i2 = 0 to entries_per_table - 1 do
+    let pte2 = read_pte t ~table_ppn:root ~index:i2 in
+    if Pte.valid pte2 && not (Pte.is_leaf pte2) then
+      for i1 = 0 to entries_per_table - 1 do
+        let pte1 = read_pte t ~table_ppn:(Pte.ppn pte2) ~index:i1 in
+        if Pte.valid pte1 && not (Pte.is_leaf pte1) then
+          for i0 = 0 to entries_per_table - 1 do
+            let pte0 = read_pte t ~table_ppn:(Pte.ppn pte1) ~index:i0 in
+            if Pte.valid pte0 && Pte.is_leaf pte0 then
+              let va =
+                (i2 lsl (page_shift + (2 * index_bits)))
+                lor (i1 lsl (page_shift + index_bits))
+                lor (i0 lsl page_shift)
+              in
+              f ~va ~pte:pte0
+          done
+      done
+  done
+
+let mapped_pages t =
+  let n = ref 0 in
+  iter_mappings t ~f:(fun ~va:_ ~pte:_ -> incr n);
+  !n

@@ -1,0 +1,38 @@
+(** Sv39 three-level page tables living in simulated physical memory.
+    4 KiB pages only (no superpages). *)
+
+val page_shift : int
+val page_size : int
+
+type t
+
+type walk_result = {
+  pte : Pte.t;
+  pte_addr : int;  (** physical address of the leaf PTE *)
+  level : int;
+  steps : int;  (** PTE fetches performed — charged by the timing model *)
+}
+
+type walk_error = Not_mapped | Bad_alignment
+
+val create : mem:Phys_mem.t -> alloc_frame:(unit -> int) -> t
+(** Allocates the root table from [alloc_frame] (which must return zeroed
+    frames). *)
+
+val root_ppn : t -> int
+val walk : t -> int -> (walk_result, walk_error) result
+
+val map_page : t -> va:int -> ppn:int -> perms:Perm.t -> user:bool -> key:int -> unit
+(** Map one 4 KiB page; [va] must be page-aligned. Intermediate tables are
+    allocated on demand. *)
+
+val unmap_page : t -> va:int -> unit
+val set_perms : t -> va:int -> perms:Perm.t -> (unit, walk_error) result
+val set_key : t -> va:int -> key:int -> (unit, walk_error) result
+
+val translate_exn : t -> int -> int
+(** Physical address for [va]; raises [Not_found] when unmapped. For
+    kernel-side (non-checked) access. *)
+
+val iter_mappings : t -> f:(va:int -> pte:Pte.t -> unit) -> unit
+val mapped_pages : t -> int

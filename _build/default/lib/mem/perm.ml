@@ -1,0 +1,38 @@
+(* Page permissions and memory access kinds. *)
+
+type t = { r : bool; w : bool; x : bool }
+
+let none = { r = false; w = false; x = false }
+let ro = { r = true; w = false; x = false }
+let rw = { r = true; w = true; x = false }
+let rx = { r = true; w = false; x = true }
+let rwx = { r = true; w = true; x = true }
+
+let to_string p =
+  Printf.sprintf "%c%c%c" (if p.r then 'r' else '-') (if p.w then 'w' else '-')
+    (if p.x then 'x' else '-')
+
+let equal (a : t) (b : t) = a = b
+
+(* [Roload key] is a data load issued by a ld.ro-family instruction: it
+   additionally requires the page to be read-only (R, not W, not X — code
+   pages do not qualify, which is why the linker needs separate-code
+   layout) and tagged with [key]. *)
+type access = Fetch | Load | Store | Roload of int
+
+let access_to_string = function
+  | Fetch -> "fetch"
+  | Load -> "load"
+  | Store -> "store"
+  | Roload key -> Printf.sprintf "roload(key=%d)" key
+
+(* The conventional permission check, exactly as an unmodified MMU would
+   perform it (the ROLoad key check is layered on top, in [Mmu]). *)
+let allows p = function
+  | Fetch -> p.x
+  | Load | Roload _ -> p.r
+  | Store -> p.w
+
+(* The extra ROLoad condition (paper §II-E1): accessed page must be
+   read-only.  Evaluated in parallel with [allows] and ANDed by the MMU. *)
+let read_only p = p.r && (not p.w) && not p.x

@@ -1,0 +1,27 @@
+(** Page permissions and memory-access kinds. *)
+
+type t = { r : bool; w : bool; x : bool }
+
+val none : t
+val ro : t
+val rw : t
+val rx : t
+val rwx : t
+val to_string : t -> string
+val equal : t -> t -> bool
+
+type access =
+  | Fetch
+  | Load
+  | Store
+  | Roload of int
+      (** A load issued by a ld.ro-family instruction carrying its key. *)
+
+val access_to_string : access -> string
+
+val allows : t -> access -> bool
+(** The conventional permission check (treats [Roload _] like [Load]); the
+    extra ROLoad conditions live in {!Mmu}. *)
+
+val read_only : t -> bool
+(** The ROLoad page condition: readable, not writable, not executable. *)

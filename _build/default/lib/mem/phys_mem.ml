@@ -1,0 +1,61 @@
+(* Flat physical memory.  All accesses are little-endian.  Out-of-range
+   accesses raise [Out_of_range]; virtual-address permission enforcement
+   happens above this layer, in the MMU. *)
+
+exception Out_of_range of int
+
+type t = { data : Bytes.t; size : int }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Phys_mem.create";
+  { data = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > t.size then raise (Out_of_range addr)
+
+let read_u8 t addr =
+  check t addr 1;
+  Bytes.get_uint8 t.data addr
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.set_uint8 t.data addr (v land 0xFF)
+
+let read_u16 t addr =
+  check t addr 2;
+  Bytes.get_uint16_le t.data addr
+
+let write_u16 t addr v =
+  check t addr 2;
+  Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+
+let read_u32 t addr =
+  check t addr 4;
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
+
+let write_u32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let read_u64 t addr =
+  check t addr 8;
+  Bytes.get_int64_le t.data addr
+
+let write_u64 t addr v =
+  check t addr 8;
+  Bytes.set_int64_le t.data addr v
+
+let read_string t ~addr ~len =
+  check t addr len;
+  Bytes.sub_string t.data addr len
+
+let write_string t ~addr s =
+  let len = String.length s in
+  check t addr len;
+  Bytes.blit_string s 0 t.data addr len
+
+let fill t ~addr ~len byte =
+  check t addr len;
+  Bytes.fill t.data addr len byte

@@ -1,0 +1,21 @@
+(** Flat little-endian physical memory.  Permission enforcement lives in
+    the MMU, above this layer. *)
+
+exception Out_of_range of int
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_u64 : t -> int -> int64
+val write_u64 : t -> int -> int64 -> unit
+val read_string : t -> addr:int -> len:int -> string
+val write_string : t -> addr:int -> string -> unit
+val fill : t -> addr:int -> len:int -> char -> unit

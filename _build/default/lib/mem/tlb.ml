@@ -1,0 +1,88 @@
+(* A fully-associative TLB with true-LRU replacement.  Each entry caches a
+   leaf PTE — including the ROLoad key field, mirroring the hardware change
+   of paper §III-A ("we also add the newly introduced key field … to each
+   TLB entry"). *)
+
+type entry = { mutable vpn : int; mutable pte : Pte.t; mutable last_use : int; mutable valid : bool }
+
+type stats = { mutable hits : int; mutable misses : int; mutable flushes : int }
+
+type t = {
+  entries : entry array;
+  mutable clock : int;
+  stats : stats;
+  name : string;
+}
+
+let create ~name ~entries:n =
+  if n <= 0 then invalid_arg "Tlb.create";
+  {
+    entries =
+      Array.init n (fun _ -> { vpn = -1; pte = Pte.invalid_pte; last_use = 0; valid = false });
+    clock = 0;
+    stats = { hits = 0; misses = 0; flushes = 0 };
+    name;
+  }
+
+let name t = t.name
+let size t = Array.length t.entries
+let stats t = t.stats
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let lookup t vpn =
+  let n = Array.length t.entries in
+  let rec go i =
+    if i >= n then None
+    else
+      let e = t.entries.(i) in
+      if e.valid && e.vpn = vpn then begin
+        e.last_use <- tick t;
+        Some e.pte
+      end
+      else go (i + 1)
+  in
+  let r = go 0 in
+  (match r with
+  | Some _ -> t.stats.hits <- t.stats.hits + 1
+  | None -> t.stats.misses <- t.stats.misses + 1);
+  r
+
+let insert t ~vpn ~pte =
+  let n = Array.length t.entries in
+  (* Prefer an invalid slot; otherwise evict the least recently used. *)
+  let victim = ref t.entries.(0) in
+  (try
+     for i = 0 to n - 1 do
+       let e = t.entries.(i) in
+       if not e.valid then begin
+         victim := e;
+         raise Exit
+       end;
+       if e.last_use < !victim.last_use then victim := e
+     done
+   with Exit -> ());
+  let e = !victim in
+  e.vpn <- vpn;
+  e.pte <- pte;
+  e.valid <- true;
+  e.last_use <- tick t
+
+(* Invalidate a single translation (used by mprotect/mprotect_key — an
+   sfence.vma analogue). *)
+let invalidate t ~vpn =
+  Array.iter (fun e -> if e.valid && e.vpn = vpn then e.valid <- false) t.entries
+
+let flush t =
+  Array.iter (fun e -> e.valid <- false) t.entries;
+  t.stats.flushes <- t.stats.flushes + 1
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.flushes <- 0
+
+let occupancy t =
+  Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.entries

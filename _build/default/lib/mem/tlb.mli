@@ -1,0 +1,19 @@
+(** Fully-associative TLB with true-LRU replacement.  Entries cache whole
+    leaf PTEs, including the ROLoad key field. *)
+
+type t
+
+type stats = { mutable hits : int; mutable misses : int; mutable flushes : int }
+
+val create : name:string -> entries:int -> t
+val name : t -> string
+val size : t -> int
+val stats : t -> stats
+val lookup : t -> int -> Pte.t option
+(** [lookup t vpn] returns the cached leaf PTE and updates LRU/stats. *)
+
+val insert : t -> vpn:int -> pte:Pte.t -> unit
+val invalidate : t -> vpn:int -> unit
+val flush : t -> unit
+val reset_stats : t -> unit
+val occupancy : t -> int

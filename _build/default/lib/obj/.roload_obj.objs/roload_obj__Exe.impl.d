@@ -1,0 +1,1 @@
+lib/obj/exe.ml: Buffer Char List Printf Roload_mem String

@@ -1,0 +1,1 @@
+lib/obj/exe.mli: Roload_mem

@@ -1,0 +1,1 @@
+lib/obj/objfile.ml: Buffer List Printf Reloc Roload_mem Section String Symbol

@@ -1,0 +1,1 @@
+lib/obj/section.ml: Roload_mem Roload_util String

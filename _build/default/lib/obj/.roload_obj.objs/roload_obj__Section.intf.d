@@ -1,0 +1,1 @@
+lib/obj/section.mli: Roload_mem

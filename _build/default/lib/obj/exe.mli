@@ -1,0 +1,39 @@
+(** Executable images ("RXE" format): page-aligned segments with
+    permissions and ROLoad page keys, an entry point, and a symbol table
+    (kept for attack tooling and debugging). *)
+
+type segment = {
+  name : string;
+  vaddr : int;
+  data : string;
+  mem_size : int;  (** >= data length; the excess is zero-filled (bss) *)
+  perms : Roload_mem.Perm.t;
+  key : int;
+}
+
+type t = {
+  entry : int;
+  segments : segment list;
+  symbols : (string * int) list;
+}
+
+val page : int
+
+val make : entry:int -> segments:segment list -> symbols:(string * int) list -> t
+(** Validates page alignment and sizes. *)
+
+val find_symbol : t -> string -> int option
+val find_symbol_exn : t -> string -> int
+val segment_pages : segment -> int
+val total_pages : t -> int
+val segment_containing : t -> int -> segment option
+
+exception Bad_image of string
+
+val to_bytes : t -> string
+val of_bytes : string -> t
+(** Raises {!Bad_image} on malformed input. *)
+
+val save : t -> string -> unit
+val load : string -> t
+val summary : t -> string

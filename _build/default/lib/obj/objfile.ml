@@ -1,0 +1,39 @@
+(* Relocatable object files: sections + symbols + relocations. *)
+
+type t = {
+  sections : Section.t list;
+  symbols : Symbol.t list;
+  relocs : Reloc.t list;
+}
+
+let make ~sections ~symbols ~relocs = { sections; symbols; relocs }
+
+let find_section t name = List.find_opt (fun (s : Section.t) -> s.name = name) t.sections
+
+let find_symbol t name = List.find_opt (fun (s : Symbol.t) -> s.name = name) t.symbols
+
+let defined_symbols t = List.map (fun (s : Symbol.t) -> s.name) t.symbols
+
+let undefined_symbols t =
+  let defined = defined_symbols t in
+  t.relocs
+  |> List.filter_map (fun (r : Reloc.t) ->
+         if List.mem r.symbol defined then None else Some r.symbol)
+  |> List.sort_uniq String.compare
+
+let total_size t =
+  List.fold_left (fun acc s -> acc + Section.size s) 0 t.sections
+
+let summary t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "sections:\n";
+  List.iter
+    (fun (s : Section.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-24s %s key=%-4d size=%d\n" s.name
+           (Roload_mem.Perm.to_string s.perms) s.key (Section.size s)))
+    t.sections;
+  Buffer.add_string b
+    (Printf.sprintf "symbols: %d, relocations: %d\n" (List.length t.symbols)
+       (List.length t.relocs));
+  Buffer.contents b

@@ -1,0 +1,15 @@
+(** Relocatable object files: sections + symbols + relocations. *)
+
+type t = {
+  sections : Section.t list;
+  symbols : Symbol.t list;
+  relocs : Reloc.t list;
+}
+
+val make : sections:Section.t list -> symbols:Symbol.t list -> relocs:Reloc.t list -> t
+val find_section : t -> string -> Section.t option
+val find_symbol : t -> string -> Symbol.t option
+val defined_symbols : t -> string list
+val undefined_symbols : t -> string list
+val total_size : t -> int
+val summary : t -> string

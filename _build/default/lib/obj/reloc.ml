@@ -1,0 +1,29 @@
+(* Relocations.  The target address space is far below 2^31, so symbol
+   materialization uses absolute lui+addi pairs (Hi20/Lo12). *)
+
+type kind =
+  | Abs64 (* 8-byte absolute address (e.g. `.quad sym`, GFPT/vtable slots) *)
+  | Hi20 (* U-type %hi(sym+addend), with the +0x800 rounding *)
+  | Lo12_i (* I-type %lo *)
+  | Lo12_s (* S-type %lo *)
+  | Jal (* J-type pc-relative (calls and tail jumps) *)
+  | Branch (* B-type pc-relative (rare cross-section branches) *)
+
+let kind_to_string = function
+  | Abs64 -> "ABS64"
+  | Hi20 -> "HI20"
+  | Lo12_i -> "LO12_I"
+  | Lo12_s -> "LO12_S"
+  | Jal -> "JAL"
+  | Branch -> "BRANCH"
+
+type t = {
+  section : string; (* section containing the relocated bytes *)
+  offset : int; (* byte offset within that section *)
+  kind : kind;
+  symbol : string;
+  addend : int;
+}
+
+let hi20 addr = (addr + 0x800) asr 12 land 0xFFFFF
+let lo12 addr = Roload_util.Bits.sign_extend (Int64.of_int (addr land 0xFFF)) ~width:12

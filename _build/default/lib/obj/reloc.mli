@@ -1,0 +1,21 @@
+(** Relocations.  Symbol materialization uses absolute lui+addi pairs; the
+    address space is far below 2^31. *)
+
+type kind = Abs64 | Hi20 | Lo12_i | Lo12_s | Jal | Branch
+
+val kind_to_string : kind -> string
+
+type t = {
+  section : string;
+  offset : int;
+  kind : kind;
+  symbol : string;
+  addend : int;
+}
+
+val hi20 : int -> int
+(** The %hi(addr) 20-bit field, with the +0x800 rounding that pairs with a
+    sign-extended %lo. *)
+
+val lo12 : int -> int64
+(** The %lo(addr) sign-extended 12-bit immediate. *)

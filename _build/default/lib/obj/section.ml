@@ -1,0 +1,42 @@
+(* Object-file sections.  A section carries its permissions and its ROLoad
+   page key; the assembler derives both from the section name, following
+   the paper's convention of `.rodata.key.<N>` sections for keyed
+   allowlists (Listing 3). *)
+
+module Perm = Roload_mem.Perm
+
+type t = {
+  name : string;
+  perms : Perm.t;
+  key : int;
+  align : int;
+  data : string; (* initialized bytes; BSS sections have data = "" *)
+  bss_size : int; (* extra zero-initialized bytes beyond [data] *)
+}
+
+let make ?(align = 8) ?(key = 0) ?(bss_size = 0) ~name ~perms data =
+  if align <= 0 || not (Roload_util.Bits.is_power_of_two align) then
+    invalid_arg "Section.make: bad alignment";
+  if key < 0 || key > 1023 then invalid_arg "Section.make: key out of range";
+  { name; perms; key; align; data; bss_size }
+
+let size t = String.length t.data + t.bss_size
+
+(* Section classification by name, mirroring common linker behaviour plus
+   the ROLoad keyed-rodata convention. *)
+let attrs_of_name name =
+  let starts_with prefix = String.length name >= String.length prefix
+                           && String.sub name 0 (String.length prefix) = prefix in
+  if starts_with ".text" then (Perm.rx, 0)
+  else if starts_with ".rodata.key." then begin
+    let suffix = String.sub name 12 (String.length name - 12) in
+    match int_of_string_opt suffix with
+    | Some key when key >= 0 && key <= 1023 -> (Perm.ro, key)
+    | Some _ | None -> invalid_arg ("Section: bad key in section name " ^ name)
+  end
+  else if starts_with ".rodata" then (Perm.ro, 0)
+  else if starts_with ".bss" || starts_with ".data" then (Perm.rw, 0)
+  else (Perm.rw, 0)
+
+let is_bss_name name =
+  String.length name >= 4 && String.sub name 0 4 = ".bss"

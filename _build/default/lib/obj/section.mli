@@ -1,0 +1,29 @@
+(** Object-file sections with permissions and ROLoad page keys.  Keyed
+    read-only sections follow the paper's [.rodata.key.<N>] naming
+    convention (Listing 3). *)
+
+type t = {
+  name : string;
+  perms : Roload_mem.Perm.t;
+  key : int;
+  align : int;
+  data : string;
+  bss_size : int;
+}
+
+val make :
+  ?align:int ->
+  ?key:int ->
+  ?bss_size:int ->
+  name:string ->
+  perms:Roload_mem.Perm.t ->
+  string ->
+  t
+
+val size : t -> int
+
+val attrs_of_name : string -> Roload_mem.Perm.t * int
+(** Permissions and key derived from a section name ([.text] → r-x,
+    [.rodata.key.N] → r-- with key N, [.rodata] → r--, else rw-). *)
+
+val is_bss_name : string -> bool

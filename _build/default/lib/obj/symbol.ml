@@ -1,0 +1,14 @@
+(* Symbols: a name bound to an offset within a section. *)
+
+type t = {
+  name : string;
+  section : string;
+  offset : int;
+  global : bool;
+}
+
+let make ?(global = false) ~name ~section ~offset () = { name; section; offset; global }
+
+let to_string s =
+  Printf.sprintf "%s%s = %s+0x%x" s.name (if s.global then " (global)" else "") s.section
+    s.offset

@@ -1,0 +1,6 @@
+(** Symbols: a name bound to an offset within a section. *)
+
+type t = { name : string; section : string; offset : int; global : bool }
+
+val make : ?global:bool -> name:string -> section:string -> offset:int -> unit -> t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Hashtbl Int64 List Roload_ir Roload_isa Roload_machine

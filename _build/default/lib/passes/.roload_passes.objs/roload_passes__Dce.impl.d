@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Hashtbl Int List Roload_ir Set

@@ -1,0 +1,1 @@
+lib/passes/icall_roload.ml: Keys List Printf Roload_ir Roload_isa

@@ -1,0 +1,1 @@
+lib/passes/icall_roload.mli: Roload_ir

@@ -1,0 +1,1 @@
+lib/passes/keys.ml: List Printf Roload_isa

@@ -1,0 +1,1 @@
+lib/passes/keys.mli:

@@ -1,0 +1,1 @@
+lib/passes/label_cfi.ml: Hashtbl List Printf Roload_ir

@@ -1,0 +1,1 @@
+lib/passes/label_cfi.mli: Roload_ir

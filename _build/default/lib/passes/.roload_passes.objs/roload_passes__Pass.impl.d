@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Icall_roload Label_cfi Ret_roload Roload_ir Vcall_roload Vtint

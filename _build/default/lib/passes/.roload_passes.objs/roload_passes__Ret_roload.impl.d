@@ -1,0 +1,1 @@
+lib/passes/ret_roload.ml: List Roload_ir Roload_isa

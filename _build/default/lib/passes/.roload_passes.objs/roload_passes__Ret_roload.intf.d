@@ -1,0 +1,1 @@
+lib/passes/ret_roload.mli: Roload_ir

@@ -1,0 +1,1 @@
+lib/passes/vcall_roload.ml: Keys List Roload_ir

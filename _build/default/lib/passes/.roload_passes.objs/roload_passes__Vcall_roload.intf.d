@@ -1,0 +1,1 @@
+lib/passes/vcall_roload.mli: Roload_ir

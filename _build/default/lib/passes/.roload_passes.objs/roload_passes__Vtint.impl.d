@@ -1,0 +1,1 @@
+lib/passes/vtint.ml: List Roload_ir

@@ -1,0 +1,1 @@
+lib/passes/vtint.mli: Roload_ir

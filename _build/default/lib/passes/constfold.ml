@@ -1,0 +1,112 @@
+(* Per-block constant propagation and folding.
+
+   Within each block, temps defined as constants are tracked forward and
+   substituted into later operands; binary operations over two constants
+   fold (with RISC-V division semantics); conditional branches over
+   constants become unconditional.  The map never crosses block
+   boundaries, so non-SSA redefinition is handled by invalidation. *)
+
+module Ir = Roload_ir.Ir
+
+type stats = { folded : int; branches_resolved : int }
+
+let eval_binop (bop : Ir.binop) a b =
+  let bool64 c = if c then 1L else 0L in
+  match bop with
+  | Ir.Add -> Some (Int64.add a b)
+  | Ir.Sub -> Some (Int64.sub a b)
+  | Ir.Mul -> Some (Int64.mul a b)
+  | Ir.Div -> Some (Roload_machine.Alu.mulop Roload_isa.Inst.Div a b)
+  | Ir.Rem -> Some (Roload_machine.Alu.mulop Roload_isa.Inst.Rem a b)
+  | Ir.And -> Some (Int64.logand a b)
+  | Ir.Or -> Some (Int64.logor a b)
+  | Ir.Xor -> Some (Int64.logxor a b)
+  | Ir.Shl -> Some (Roload_machine.Alu.op Roload_isa.Inst.Sll a b)
+  | Ir.Shr -> Some (Roload_machine.Alu.op Roload_isa.Inst.Sra a b)
+  | Ir.Shru -> Some (Roload_machine.Alu.op Roload_isa.Inst.Srl a b)
+  | Ir.Eq -> Some (bool64 (a = b))
+  | Ir.Ne -> Some (bool64 (a <> b))
+  | Ir.Lt -> Some (bool64 (Int64.compare a b < 0))
+  | Ir.Le -> Some (bool64 (Int64.compare a b <= 0))
+  | Ir.Gt -> Some (bool64 (Int64.compare a b > 0))
+  | Ir.Ge -> Some (bool64 (Int64.compare a b >= 0))
+
+let run_func (f : Ir.func) =
+  let folded = ref 0 and branches = ref 0 in
+  List.iter
+    (fun b ->
+      let consts : (Ir.temp, int64) Hashtbl.t = Hashtbl.create 16 in
+      let subst v =
+        match v with
+        | Ir.Temp t -> (
+          match Hashtbl.find_opt consts t with
+          | Some c ->
+            incr folded;
+            Ir.Const c
+          | None -> v)
+        | Ir.Const _ | Ir.Global _ | Ir.Func_addr _ -> v
+      in
+      let kill_defs i = List.iter (Hashtbl.remove consts) (Ir.instr_defs i) in
+      b.Ir.b_instrs <-
+        List.map
+          (fun i ->
+            let i' =
+              match i with
+              | Ir.Bin (op, d, a, bb) -> Ir.Bin (op, d, subst a, subst bb)
+              | Ir.Load { dst; addr; offset; width; md } ->
+                Ir.Load { dst; addr = subst addr; offset; width; md }
+              | Ir.Store { src; addr; offset; width } ->
+                Ir.Store { src = subst src; addr = subst addr; offset; width }
+              | Ir.Lea_frame _ -> i
+              | Ir.Call { dst; callee; args } ->
+                Ir.Call { dst; callee; args = List.map subst args }
+              | Ir.Call_indirect { dst; callee; args; sig_id; md } ->
+                Ir.Call_indirect
+                  { dst; callee = subst callee; args = List.map subst args; sig_id; md }
+              | Ir.Vcall { dst; obj; slot; class_name; args; md } ->
+                Ir.Vcall
+                  { dst; obj = subst obj; slot; class_name; args = List.map subst args; md }
+            in
+            kill_defs i';
+            (match i' with
+            | Ir.Bin (op, d, Ir.Const a, Ir.Const bb) -> (
+              match eval_binop op a bb with
+              | Some c -> Hashtbl.replace consts d c
+              | None -> ())
+            | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+            | Ir.Call_indirect _ | Ir.Vcall _ ->
+              ());
+            (* canonicalize fully-folded moves *)
+            match i' with
+            | Ir.Bin (op, d, Ir.Const a, Ir.Const bb) -> (
+              match eval_binop op a bb with
+              | Some c -> Ir.Bin (Ir.Add, d, Ir.Const c, Ir.Const 0L)
+              | None -> i')
+            | _ -> i')
+          b.Ir.b_instrs;
+      b.Ir.b_term <-
+        (match b.Ir.b_term with
+        | Ir.Cbr (v, l1, l2) -> (
+          let v =
+            match v with
+            | Ir.Temp t -> (
+              match Hashtbl.find_opt consts t with Some c -> Ir.Const c | None -> v)
+            | _ -> v
+          in
+          match v with
+          | Ir.Const c ->
+            incr branches;
+            Ir.Br (if c <> 0L then l1 else l2)
+          | _ -> Ir.Cbr (v, l1, l2))
+        | t -> t))
+    f.Ir.f_blocks;
+  { folded = !folded; branches_resolved = !branches }
+
+let run (m : Ir.modul) =
+  List.fold_left
+    (fun acc f ->
+      let s = run_func f in
+      { folded = acc.folded + s.folded;
+        branches_resolved = acc.branches_resolved + s.branches_resolved })
+    { folded = 0; branches_resolved = 0 }
+    m.Ir.m_funcs

@@ -1,0 +1,7 @@
+(** Per-block constant propagation and folding (RISC-V division
+    semantics); constant conditional branches become unconditional. *)
+
+type stats = { folded : int; branches_resolved : int }
+
+val eval_binop : Roload_ir.Ir.binop -> int64 -> int64 -> int64 option
+val run : Roload_ir.Ir.modul -> stats

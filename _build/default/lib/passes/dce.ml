@@ -1,0 +1,80 @@
+(* Dead-code elimination:
+   - drop unreachable blocks (lowering produces them after return/break);
+   - drop pure instructions (Bin, Lea_frame) whose results are never
+     used anywhere in the function.  Loads are kept: in this system a
+     load can fault, and hardened loads are security checks. *)
+
+module Ir = Roload_ir.Ir
+module IntSet = Set.Make (Int)
+
+type stats = { blocks_removed : int; instrs_removed : int }
+
+let reachable_blocks (f : Ir.func) =
+  match f.Ir.f_blocks with
+  | [] -> []
+  | entry :: _ ->
+    let by_label = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace by_label b.Ir.b_label b) f.Ir.f_blocks;
+    let seen = Hashtbl.create 16 in
+    let rec visit label =
+      if not (Hashtbl.mem seen label) then begin
+        Hashtbl.add seen label ();
+        match Hashtbl.find_opt by_label label with
+        | Some b -> List.iter visit (Ir.successors b.Ir.b_term)
+        | None -> ()
+      end
+    in
+    visit entry.Ir.b_label;
+    List.filter (fun b -> Hashtbl.mem seen b.Ir.b_label) f.Ir.f_blocks
+
+let used_temps (f : Ir.func) =
+  List.fold_left
+    (fun acc b ->
+      let acc =
+        List.fold_left
+          (fun acc i -> List.fold_left (fun s t -> IntSet.add t s) acc (Ir.instr_uses i))
+          acc b.Ir.b_instrs
+      in
+      List.fold_left (fun s t -> IntSet.add t s) acc (Ir.term_uses b.Ir.b_term))
+    IntSet.empty f.Ir.f_blocks
+
+let is_pure = function
+  | Ir.Bin _ | Ir.Lea_frame _ -> true
+  | Ir.Load _ | Ir.Store _ | Ir.Call _ | Ir.Call_indirect _ | Ir.Vcall _ -> false
+
+let run_func (f : Ir.func) =
+  let before_blocks = List.length f.Ir.f_blocks in
+  f.Ir.f_blocks <- reachable_blocks f;
+  let blocks_removed = before_blocks - List.length f.Ir.f_blocks in
+  (* iterate: removing one dead instr can make another dead *)
+  let instrs_removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = used_temps f in
+    List.iter
+      (fun b ->
+        let keep, drop =
+          List.partition
+            (fun i ->
+              (not (is_pure i))
+              || List.exists (fun t -> IntSet.mem t used) (Ir.instr_defs i))
+            b.Ir.b_instrs
+        in
+        if drop <> [] then begin
+          instrs_removed := !instrs_removed + List.length drop;
+          changed := true;
+          b.Ir.b_instrs <- keep
+        end)
+      f.Ir.f_blocks
+  done;
+  { blocks_removed; instrs_removed = !instrs_removed }
+
+let run (m : Ir.modul) =
+  List.fold_left
+    (fun acc f ->
+      let s = run_func f in
+      { blocks_removed = acc.blocks_removed + s.blocks_removed;
+        instrs_removed = acc.instrs_removed + s.instrs_removed })
+    { blocks_removed = 0; instrs_removed = 0 }
+    m.Ir.m_funcs

@@ -1,0 +1,7 @@
+(** Dead-code elimination: unreachable blocks and pure instructions whose
+    results are never used.  Loads are never removed — in this system a
+    load can fault, and hardened loads are security checks. *)
+
+type stats = { blocks_removed : int; instrs_removed : int }
+
+val run : Roload_ir.Ir.modul -> stats

@@ -1,0 +1,104 @@
+(* The ICall defense — type-based forward-edge CFI (paper §IV-B, Listings
+   1–3): every address-taken function gets a one-slot global function
+   pointer table (GFPT) entry placed in a read-only page keyed by the
+   function's *type*; function-pointer values are rewritten to point at
+   the GFPT entry; and indirect calls load the real target through ld.ro
+   with the matching type key.  An indirect call can therefore only reach
+   address-taken functions of the matching type.
+
+   As in the paper's evaluation (§V-C1b), vtables are protected with one
+   unified key (better TLB/cache locality), while other function pointers
+   get per-type keys. *)
+
+module Ir = Roload_ir.Ir
+module Ext = Roload_isa.Roload_ext
+
+type stats = {
+  gfpt_entries : int;
+  icalls_protected : int;
+  vcalls_protected : int;
+  type_keys_used : int;
+}
+
+let gfpt_symbol ~sig_id ~func = Printf.sprintf "__gfpt$%s$%s" sig_id func
+
+let run (m : Ir.modul) =
+  let keys = Keys.create () in
+  let func_sig name =
+    match Ir.find_func m name with
+    | Some f -> f.Ir.f_sig
+    | None -> failwith ("icall pass: unknown function " ^ name)
+  in
+  let vt_symbols = List.map (fun vt -> vt.Ir.vt_symbol) m.Ir.m_vtables in
+  (* gfpt creation is memoized per function *)
+  let gfpts = ref [] in
+  let gfpt_for fname =
+    let sig_id = Ir.signature_id (func_sig fname) in
+    let sym = gfpt_symbol ~sig_id ~func:fname in
+    if not (List.mem_assoc sym !gfpts) then begin
+      let key = Keys.key_for keys sig_id in
+      gfpts :=
+        (sym,
+         { Ir.g_name = sym; g_section = Keys.keyed_rodata_section key;
+           g_init = [ Ir.G_func fname ]; g_bytes = None; g_zero = 0 })
+        :: !gfpts
+    end;
+    sym
+  in
+  let rewrite_value v =
+    match v with
+    | Ir.Func_addr f -> Ir.Global (gfpt_for f)
+    | Ir.Temp _ | Ir.Const _ | Ir.Global _ -> v
+  in
+  let icalls = ref 0 and vcalls = ref 0 in
+  let rewrite_instr i =
+    match i with
+    | Ir.Bin (op, d, a, b) -> Ir.Bin (op, d, rewrite_value a, rewrite_value b)
+    | Ir.Load { dst; addr; offset; width; md } ->
+      Ir.Load { dst; addr = rewrite_value addr; offset; width; md }
+    | Ir.Store { src; addr; offset; width } ->
+      Ir.Store { src = rewrite_value src; addr = rewrite_value addr; offset; width }
+    | Ir.Lea_frame _ -> i
+    | Ir.Call { dst; callee; args } ->
+      Ir.Call { dst; callee; args = List.map rewrite_value args }
+    | Ir.Call_indirect { dst; callee; args; sig_id; md } ->
+      md.Ir.ic_roload_key <- Some (Keys.key_for keys sig_id);
+      incr icalls;
+      Ir.Call_indirect
+        { dst; callee = rewrite_value callee; args = List.map rewrite_value args; sig_id; md }
+    | Ir.Vcall { dst; obj; slot; class_name; args; md } ->
+      md.Ir.vc_roload_key <- Some Ext.key_vtable_unified;
+      incr vcalls;
+      Ir.Vcall
+        { dst; obj = rewrite_value obj; slot; class_name;
+          args = List.map rewrite_value args; md }
+  in
+  List.iter
+    (fun f ->
+      List.iter (fun b -> b.Ir.b_instrs <- List.map rewrite_instr b.Ir.b_instrs) f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  (* rewrite function addresses stored in non-vtable global initializers
+     (e.g. constant dispatch tables), and move vtables to the unified key *)
+  m.Ir.m_globals <-
+    List.map
+      (fun g ->
+        if List.mem g.Ir.g_name vt_symbols then
+          { g with Ir.g_section = Keys.keyed_rodata_section Ext.key_vtable_unified }
+        else
+          {
+            g with
+            Ir.g_init =
+              List.map
+                (function
+                  | Ir.G_func f -> Ir.G_global (gfpt_for f)
+                  | (Ir.G_int _ | Ir.G_global _) as w -> w)
+                g.Ir.g_init;
+          })
+      m.Ir.m_globals;
+  m.Ir.m_globals <- m.Ir.m_globals @ List.rev_map snd !gfpts;
+  {
+    gfpt_entries = List.length !gfpts;
+    icalls_protected = !icalls;
+    vcalls_protected = !vcalls;
+    type_keys_used = Keys.count keys;
+  }

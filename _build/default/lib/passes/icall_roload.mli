@@ -1,0 +1,16 @@
+(** The ICall defense — type-based forward-edge CFI (paper §IV-B,
+    Listings 1–3): address-taken functions are published in GFPT entries
+    living in pages keyed by function type; function-pointer values are
+    rewritten to GFPT-slot addresses; indirect calls load the real target
+    through ld.ro with the matching type key.  Vtables get the unified
+    key (paper §V-C1b). *)
+
+type stats = {
+  gfpt_entries : int;
+  icalls_protected : int;
+  vcalls_protected : int;
+  type_keys_used : int;
+}
+
+val gfpt_symbol : sig_id:string -> func:string -> string
+val run : Roload_ir.Ir.modul -> stats

@@ -1,0 +1,29 @@
+(* Deterministic page-key allocation for hardening passes.  Keys are
+   allocated upwards from [Roload_ext.first_type_key]; key 0 is ordinary
+   read-only data and key 1 is the ICall scheme's unified vtable key. *)
+
+module Ext = Roload_isa.Roload_ext
+
+type allocator = {
+  mutable next : int;
+  mutable assigned : (string * int) list; (* class-root or sig-id -> key *)
+}
+
+let create () = { next = Ext.first_type_key; assigned = [] }
+
+let key_for t name =
+  match List.assoc_opt name t.assigned with
+  | Some k -> k
+  | None ->
+    (* the top key is reserved for return-site pages (§IV-C extension) *)
+    if t.next >= Ext.key_return_sites then
+      failwith "Keys: out of page keys (more than 1021 type classes)";
+    let k = t.next in
+    t.next <- k + 1;
+    t.assigned <- (name, k) :: t.assigned;
+    k
+
+let assignments t = List.rev t.assigned
+let count t = List.length t.assigned
+
+let keyed_rodata_section key = Printf.sprintf ".rodata.key.%d" key

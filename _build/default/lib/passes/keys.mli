@@ -1,0 +1,15 @@
+(** Deterministic page-key allocation for hardening passes.  Keys are
+    allocated upwards from {!Roload_isa.Roload_ext.first_type_key}. *)
+
+type allocator
+
+val create : unit -> allocator
+
+val key_for : allocator -> string -> int
+(** Memoized: the same name always yields the same key.  Raises [Failure]
+    past the 10-bit key space. *)
+
+val assignments : allocator -> (string * int) list
+val count : allocator -> int
+val keyed_rodata_section : int -> string
+(** [".rodata.key.<k>"]. *)

@@ -1,0 +1,111 @@
+(* The label/ID-based CFI baseline, ported as in the paper's evaluation
+   (§V-C1b): an ID — an instruction that is a no-op at the ISA level
+   (lui x0, id) — is placed immediately before each indirect-call target,
+   and every indirect call checks that the word preceding the target
+   equals the expected ID before jumping.
+
+   IDs for plain indirect calls are derived from the function-type
+   signature (same nominal policy as ICall); IDs for virtual dispatch are
+   derived from (hierarchy root, slot) so every override of a slot shares
+   its caller's expected ID.  What the experiments show is the *cost* of
+   achieving this in software: inline checks plus an extra data load from
+   the text segment on every indirect transfer. *)
+
+module Ir = Roload_ir.Ir
+
+type stats = { functions_labelled : int; icalls_checked : int; vcalls_checked : int }
+
+(* 20-bit ID fitting the lui immediate; never 0. *)
+let label_of_string s =
+  let h = Hashtbl.hash ("cfi" ^ s) land 0xFFFFF in
+  if h = 0 then 1 else h
+
+let label_of_sig_id sig_id = label_of_string ("sig:" ^ sig_id)
+let label_of_vslot ~root ~slot = label_of_string (Printf.sprintf "vt:%s:%d" root slot)
+
+let run (m : Ir.modul) =
+  let labelled = ref 0 and icalls = ref 0 and vcalls = ref 0 in
+  let assign fname id =
+    match Ir.find_func m fname with
+    | None -> failwith ("label_cfi: unknown function " ^ fname)
+    | Some f -> (
+      match f.Ir.f_cfi_id with
+      | None ->
+        f.Ir.f_cfi_id <- Some id;
+        incr labelled
+      | Some existing ->
+        if existing <> id then
+          failwith
+            (Printf.sprintf
+               "label_cfi: function %s needs two IDs (address-taken and virtual?)" fname))
+  in
+  let root_of_class cls =
+    match List.find_opt (fun vt -> vt.Ir.vt_class = cls) m.Ir.m_vtables with
+    | Some vt -> vt.Ir.vt_root
+    | None -> failwith ("label_cfi: no vtable for class " ^ cls)
+  in
+  (* virtual-method implementations: ID per (hierarchy root, slot) *)
+  List.iter
+    (fun vt ->
+      List.iteri
+        (fun slot impl -> assign impl (label_of_vslot ~root:vt.Ir.vt_root ~slot))
+        vt.Ir.vt_methods)
+    m.Ir.m_vtables;
+  (* address-taken plain functions: ID per type signature *)
+  let label_addr_taken fname =
+    match Ir.find_func m fname with
+    | None -> failwith ("label_cfi: unknown function " ^ fname)
+    | Some f -> assign fname (label_of_sig_id (Ir.signature_id f.Ir.f_sig))
+  in
+  let scan_value = function
+    | Ir.Func_addr f -> label_addr_taken f
+    | Ir.Temp _ | Ir.Const _ | Ir.Global _ -> ()
+  in
+  let vt_symbols = List.map (fun vt -> vt.Ir.vt_symbol) m.Ir.m_vtables in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              List.iter scan_value
+                (match i with
+                | Ir.Bin (_, _, a, bb) -> [ a; bb ]
+                | Ir.Load { addr; _ } -> [ addr ]
+                | Ir.Store { src; addr; _ } -> [ src; addr ]
+                | Ir.Lea_frame _ -> []
+                | Ir.Call { args; _ } -> args
+                | Ir.Call_indirect { callee; args; _ } -> callee :: args
+                | Ir.Vcall { obj; args; _ } -> obj :: args))
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  List.iter
+    (fun g ->
+      if not (List.mem g.Ir.g_name vt_symbols) then
+        List.iter
+          (function
+            | Ir.G_func f -> label_addr_taken f
+            | Ir.G_int _ | Ir.G_global _ -> ())
+          g.Ir.g_init)
+    m.Ir.m_globals;
+  (* checks at call sites *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Call_indirect { sig_id; md; _ } ->
+                md.Ir.ic_cfi_label <- Some (label_of_sig_id sig_id);
+                incr icalls
+              | Ir.Vcall { class_name; slot; md; _ } ->
+                md.Ir.vc_cfi_label <-
+                  Some (label_of_vslot ~root:(root_of_class class_name) ~slot);
+                incr vcalls
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _ -> ())
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  { functions_labelled = !labelled; icalls_checked = !icalls; vcalls_checked = !vcalls }

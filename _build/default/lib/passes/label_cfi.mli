@@ -1,0 +1,10 @@
+(** The label/ID CFI baseline, as ported in the paper's evaluation: an ID
+    word ([lui x0, id] — a no-op) precedes every indirect-call target and
+    call sites compare it before jumping.  Indirect-call IDs are per
+    function type; virtual-dispatch IDs are per (hierarchy root, slot). *)
+
+type stats = { functions_labelled : int; icalls_checked : int; vcalls_checked : int }
+
+val label_of_sig_id : string -> int
+val label_of_vslot : root:string -> slot:int -> int
+val run : Roload_ir.Ir.modul -> stats

@@ -1,0 +1,21 @@
+(** The hardening-scheme driver: one entry point applied between lowering
+    and code generation. *)
+
+type scheme =
+  | Unprotected
+  | Vcall  (** ROLoad vtable protection, per-hierarchy keys (paper §IV-A) *)
+  | Icall  (** ROLoad type-based forward-edge CFI + unified vtable key (§IV-B) *)
+  | Retcall  (** ROLoad backward-edge return-site allowlist (§IV-C extension) *)
+  | Vtint_baseline  (** software range checks on vtable pointers *)
+  | Cfi_baseline  (** software label/ID checks on indirect transfers *)
+
+val scheme_name : scheme -> string
+val scheme_of_string : string -> scheme option
+val all_schemes : scheme list
+(** The paper's evaluation matrix (Retcall, the §IV-C extension, is extra
+    and exercised by its own tests/ablation). *)
+
+type report = { scheme : scheme; annotations : (string * int) list }
+
+val apply : scheme -> Roload_ir.Ir.modul -> report
+(** Mutates the module in place and returns pass statistics. *)

@@ -1,0 +1,66 @@
+(* Backward-edge protection — the return-site allowlist the paper
+   sketches in §IV-C ("it can be applied to backward control-flow
+   transfers too, where the allowlists are sets of legitimate return
+   sites").
+
+   Mechanism: every module-local call passes, in ra, not the raw return
+   address but the address of a *return-site cell* — an 8-byte entry in a
+   read-only page tagged with the module's return key, holding the true
+   return address.  Function epilogues return through
+
+       ld.ro ra, (ra), <ret-key>
+       jr    ra
+
+   so a corrupted saved-ra can only name existing return-site cells: the
+   set of legitimate return sites is the allowlist, checked in hardware
+   at zero extra state (no shadow stack).
+
+   The heavy lifting (site-cell creation, call rewriting, epilogue
+   rewriting) happens in the code generator, driven by [m_ret_key]; this
+   pass assigns the key and validates the module (builtins must not be
+   address-taken, since the runtime returns conventionally). *)
+
+module Ir = Roload_ir.Ir
+
+type stats = { ret_key : int; functions_protected : int }
+
+let builtin_names = [ "print_int"; "print_char"; "print_str"; "exit"; "alloc" ]
+
+let run (m : Ir.modul) =
+  let key = Roload_isa.Roload_ext.key_return_sites in
+  (* validation: a builtin whose address is taken would be entered from a
+     protected call site but return conventionally *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              let check = function
+                | Ir.Func_addr name when List.mem name builtin_names ->
+                  failwith
+                    ("ret_roload: builtin " ^ name
+                   ^ " is address-taken; runtime functions return conventionally")
+                | Ir.Func_addr _ | Ir.Temp _ | Ir.Const _ | Ir.Global _ -> ()
+              in
+              match i with
+              | Ir.Bin (_, _, a, b2) ->
+                check a;
+                check b2
+              | Ir.Load { addr; _ } -> check addr
+              | Ir.Store { src; addr; _ } ->
+                check src;
+                check addr
+              | Ir.Lea_frame _ -> ()
+              | Ir.Call { args; _ } -> List.iter check args
+              | Ir.Call_indirect { callee; args; _ } ->
+                check callee;
+                List.iter check args
+              | Ir.Vcall { obj; args; _ } ->
+                check obj;
+                List.iter check args)
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  m.Ir.m_ret_key <- Some key;
+  { ret_key = key; functions_protected = List.length m.Ir.m_funcs }

@@ -1,0 +1,12 @@
+(** Backward-edge protection — the return-site allowlist sketched in
+    paper §IV-C: module-local calls pass a pointer to a keyed read-only
+    return-site cell in ra, and epilogues return through
+    [ld.ro ra, (ra), key; jr ra], so corrupted saved return addresses can
+    only name existing return sites. *)
+
+type stats = { ret_key : int; functions_protected : int }
+
+val run : Roload_ir.Ir.modul -> stats
+(** Assigns {!Roload_isa.Roload_ext.key_return_sites} as [m_ret_key];
+    raises [Failure] if a runtime builtin is address-taken (builtins
+    return conventionally). *)

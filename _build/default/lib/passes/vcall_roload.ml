@@ -1,0 +1,54 @@
+(* The VCall defense (paper §IV-A): classify vtables by class hierarchy,
+   move each hierarchy's vtables into read-only pages tagged with a
+   per-hierarchy key, and annotate the vtable-entry load of every virtual
+   call with that key.  The code generator then emits ld.ro for exactly
+   that load, so a corrupted vptr can only point into genuine vtable pages
+   of the same hierarchy. *)
+
+module Ir = Roload_ir.Ir
+
+type stats = {
+  vtables_rekeyed : int;
+  vcalls_protected : int;
+  keys_used : int;
+}
+
+let run (m : Ir.modul) =
+  let keys = Keys.create () in
+  (* root lookup for a class: via its vtable record *)
+  let root_of_class cls =
+    match List.find_opt (fun vt -> vt.Ir.vt_class = cls) m.Ir.m_vtables with
+    | Some vt -> vt.Ir.vt_root
+    | None -> cls
+  in
+  (* move vtable globals into keyed sections *)
+  let rekeyed = ref 0 in
+  let vt_symbols = List.map (fun vt -> (vt.Ir.vt_symbol, vt.Ir.vt_root)) m.Ir.m_vtables in
+  m.Ir.m_globals <-
+    List.map
+      (fun g ->
+        match List.assoc_opt g.Ir.g_name vt_symbols with
+        | Some root ->
+          incr rekeyed;
+          { g with Ir.g_section = Keys.keyed_rodata_section (Keys.key_for keys root) }
+        | None -> g)
+      m.Ir.m_globals;
+  (* annotate vcalls *)
+  let protected_ = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Vcall { class_name; md; _ } ->
+                md.Ir.vc_roload_key <- Some (Keys.key_for keys (root_of_class class_name));
+                incr protected_
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+              | Ir.Call_indirect _ ->
+                ())
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  { vtables_rekeyed = !rekeyed; vcalls_protected = !protected_; keys_used = Keys.count keys }

@@ -1,0 +1,7 @@
+(** The VCall defense (paper §IV-A): vtables move into read-only pages
+    keyed per class hierarchy, and every virtual call's vtable-entry load
+    is annotated with the hierarchy key so codegen emits ld.ro. *)
+
+type stats = { vtables_rekeyed : int; vcalls_protected : int; keys_used : int }
+
+val run : Roload_ir.Ir.modul -> stats

@@ -1,0 +1,29 @@
+(* The VTint baseline (Zhang et al., NDSS'15), ported as in the paper's
+   evaluation (§V-C1a): vtables stay in ordinary read-only memory and each
+   virtual call is instrumented with a software range check that the
+   vtable pointer falls inside the read-only region, before the function
+   pointer is loaded.  No ROLoad instructions are used. *)
+
+module Ir = Roload_ir.Ir
+
+type stats = { vcalls_checked : int }
+
+let run (m : Ir.modul) =
+  let checked = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Vcall { md; _ } ->
+                md.Ir.vc_vtint <- true;
+                incr checked
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+              | Ir.Call_indirect _ ->
+                ())
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  { vcalls_checked = !checked }

@@ -1,0 +1,7 @@
+(** The VTint baseline (NDSS'15), as ported in the paper's evaluation:
+    every virtual call gains a software range check that the vtable
+    pointer falls inside the read-only region. *)
+
+type stats = { vcalls_checked : int }
+
+val run : Roload_ir.Ir.modul -> stats

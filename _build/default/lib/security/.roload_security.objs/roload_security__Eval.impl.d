@@ -1,0 +1,1 @@
+lib/security/eval.ml: Attack Int64 List Roload_kernel Roload_machine Roload_obj String Victim

@@ -1,0 +1,1 @@
+lib/security/eval.mli: Attack Roload_kernel Roload_machine Roload_obj

@@ -1,0 +1,1 @@
+lib/security/victim.ml: Printf

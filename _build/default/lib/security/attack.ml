@@ -1,0 +1,54 @@
+(* The attack corpus for RQ3 (paper §V-C2 and §V-D).
+
+   Each attack follows the paper's threat model: the program contains a
+   memory-corruption primitive giving the adversary repeated arbitrary
+   reads/writes to *writable* memory (DEP on, code immutable, kernel and
+   hardware trusted).  The attack runner pauses the victim at a chosen
+   pc, applies the corruption through that primitive, resumes, and
+   classifies the outcome. *)
+
+type kind =
+  | Vtable_injection
+      (* point an object's vptr at a fake vtable forged in writable
+         memory (classic VTable hijacking) *)
+  | Vtable_corruption_reuse
+      (* point the vptr at *other* legitimate read-only data that is not
+         a vtable of the expected type (e.g. a string constant or a
+         different hierarchy's vtable) *)
+  | Fptr_overwrite
+      (* overwrite a function-pointer slot in writable memory with an
+         arbitrary code address (e.g. the attacker's gadget function) *)
+  | Fptr_type_confusion
+      (* overwrite a function pointer with the (legitimate) entry of a
+         function of the *wrong type* *)
+  | Pointee_reuse_same_key
+      (* the paper's residual attack (§V-D): redirect a pointer to a
+         *different* entry in read-only memory carrying the matching key
+         — stays inside the allowlist, so ROLoad admits it *)
+
+let kind_name = function
+  | Vtable_injection -> "vtable injection"
+  | Vtable_corruption_reuse -> "vptr reuse (wrong type / non-vtable)"
+  | Fptr_overwrite -> "function-pointer overwrite"
+  | Fptr_type_confusion -> "fptr type confusion"
+  | Pointee_reuse_same_key -> "pointee reuse (same key)"
+
+let all_kinds =
+  [ Vtable_injection; Vtable_corruption_reuse; Fptr_overwrite; Fptr_type_confusion;
+    Pointee_reuse_same_key ]
+
+type outcome =
+  | Hijacked (* control reached the attacker's gadget *)
+  | Blocked_roload (* SIGSEGV with ROLoad triage — the new fault class *)
+  | Blocked_other of string (* any other crash/abort before the gadget ran *)
+  | No_effect (* program finished normally; corruption had no effect *)
+
+let outcome_name = function
+  | Hijacked -> "HIJACKED"
+  | Blocked_roload -> "blocked (ROLoad fault)"
+  | Blocked_other s -> "blocked (" ^ s ^ ")"
+  | No_effect -> "no effect"
+
+let is_blocked = function
+  | Blocked_roload | Blocked_other _ -> true
+  | Hijacked | No_effect -> false

@@ -1,0 +1,23 @@
+(** The attack corpus for RQ3 (paper §V-C2 and §V-D), under the paper's
+    threat model: repeated arbitrary reads/writes to writable memory, DEP
+    on, kernel and hardware trusted. *)
+
+type kind =
+  | Vtable_injection  (** vptr → fake vtable forged in writable memory *)
+  | Vtable_corruption_reuse  (** vptr → another type's legitimate read-only data *)
+  | Fptr_overwrite  (** function-pointer slot → arbitrary code address *)
+  | Fptr_type_confusion  (** function-pointer slot → legitimate function of the wrong type *)
+  | Pointee_reuse_same_key
+      (** §V-D's residual attack: another allowlist entry under the matching key *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type outcome =
+  | Hijacked
+  | Blocked_roload  (** SIGSEGV with the ROLoad triage — the new fault class *)
+  | Blocked_other of string
+  | No_effect
+
+val outcome_name : outcome -> string
+val is_blocked : outcome -> bool

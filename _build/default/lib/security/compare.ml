@@ -1,0 +1,116 @@
+(* The related-work comparison of paper §VI, as structured data: what
+   each mechanism defends, where it acts, and its deployment cost class.
+   Rendered by the experiments driver next to the *measured* attack
+   matrix, so the qualitative claims sit beside quantitative evidence. *)
+
+type act_point = At_source | Isolation | At_sink | At_transfer
+
+type mechanism = {
+  name : string;
+  acts : act_point;
+  granularity : string;
+  extra_arch_state : bool; (* needs new architectural state kept across context switches *)
+  hardware_cost : string;
+  runtime_overhead : string;
+  notes : string;
+}
+
+let mechanisms =
+  [
+    {
+      name = "ROLoad (this work)";
+      acts = At_sink;
+      granularity = "per-page 10-bit keys, type-grained";
+      extra_arch_state = false;
+      hardware_cost = "< 3.32% LUT/FF (Table III)";
+      runtime_overhead = "~0% system; <= 0.31% hardened apps";
+      notes = "pointee integrity: sensitive operands only load from keyed read-only pages";
+    };
+    {
+      name = "Intel CET";
+      acts = At_transfer;
+      granularity = "coarse (any ENDBR target)";
+      extra_arch_state = true;
+      hardware_cost = "shadow stack + tracker state";
+      runtime_overhead = "low";
+      notes = "forward edges only constrained to a single large allowlist";
+    };
+    {
+      name = "ARM BTI";
+      acts = At_transfer;
+      granularity = "coarse (any BTI-marked target)";
+      extra_arch_state = true;
+      hardware_cost = "modest";
+      runtime_overhead = "low";
+      notes = "same coarse-grained policy class as CET";
+    };
+    {
+      name = "ARM PA (PARTS)";
+      acts = At_sink;
+      granularity = "pointer-grained (MAC)";
+      extra_arch_state = false;
+      hardware_cost = "crypto blocks";
+      runtime_overhead = "moderate";
+      notes = "relies on the kernel to guard keys; unsuitable without user/kernel split";
+    };
+    {
+      name = "Intel MPX";
+      acts = At_source;
+      granularity = "object bounds";
+      extra_arch_state = true;
+      hardware_cost = "bounds registers + tables";
+      runtime_overhead = "high (practice)";
+      notes = "prevents corruption at loads/stores; abandoned in practice";
+    };
+    {
+      name = "ARM MTE";
+      acts = At_source;
+      granularity = "16-byte/4-bit tags";
+      extra_arch_state = false;
+      hardware_cost = "tag storage/checks";
+      runtime_overhead = "moderate";
+      notes = "probabilistic memory safety via tag matching";
+    };
+    {
+      name = "HDFI";
+      acts = Isolation;
+      granularity = "word-grained 1-bit tags";
+      extra_arch_state = false;
+      hardware_cost = "considerable (per-word tags)";
+      runtime_overhead = "low-moderate";
+      notes = "strong data-flow isolation, complex to implement";
+    };
+    {
+      name = "IMIX";
+      acts = Isolation;
+      granularity = "page-grained 1-bit";
+      extra_arch_state = false;
+      hardware_cost = "small";
+      runtime_overhead = "low";
+      notes = "coarse one-domain isolation; manual boundary placement";
+    };
+    {
+      name = "VTint (software)";
+      acts = At_sink;
+      granularity = "all-read-only vtables";
+      extra_arch_state = false;
+      hardware_cost = "none";
+      runtime_overhead = "~2.75% (measured here)";
+      notes = "range checks before vtable loads; no type separation";
+    };
+    {
+      name = "label CFI (software)";
+      acts = At_transfer;
+      granularity = "type-grained labels";
+      extra_arch_state = false;
+      hardware_cost = "none";
+      runtime_overhead = "~9% (measured here)";
+      notes = "inline ID checks; extra text-segment data load per transfer";
+    };
+  ]
+
+let act_point_name = function
+  | At_source -> "at sources"
+  | Isolation -> "isolation"
+  | At_sink -> "at sinks"
+  | At_transfer -> "at transfers"

@@ -1,0 +1,17 @@
+(** The related-work comparison of paper §VI as structured data, rendered
+    next to the measured attack matrix. *)
+
+type act_point = At_source | Isolation | At_sink | At_transfer
+
+type mechanism = {
+  name : string;
+  acts : act_point;
+  granularity : string;
+  extra_arch_state : bool;
+  hardware_cost : string;
+  runtime_overhead : string;
+  notes : string;
+}
+
+val mechanisms : mechanism list
+val act_point_name : act_point -> string

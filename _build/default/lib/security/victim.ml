@@ -1,0 +1,104 @@
+(* The canonical victim program for the attack evaluation.
+
+   It contains every sensitive-operation shape the paper discusses — a
+   virtual call, a typed indirect call — plus the attacker's foothold
+   (a writable buffer standing in for memory the adversary controls) and
+   the functions an attacker would want to reach:
+
+     gadget      — not address-taken, wrong everything (classic hijack)
+     logger      — legitimate but of a *different* function type
+     evil_twin   — legitimate and of the *same* type (pointee reuse)
+     Logger::log — legitimate virtual method of a different hierarchy
+
+   [attack_point] is an empty marker function: the attack runner pauses
+   the victim there (after setup, before the sinks) and applies the
+   corruption through the writable-memory primitive. *)
+
+let marker_gadget = "GADGET-REACHED"
+let marker_logger = "LOGGER-REACHED"
+let marker_twin = "TWIN-REACHED"
+let marker_typeconf = "TYPECONF-REACHED"
+
+let exit_gadget = 42
+let exit_logger = 43
+let exit_twin = 44
+let exit_typeconf = 45
+
+let source =
+  Printf.sprintf {|
+typedef int (*cb_t)(int);
+typedef int (*log_t)(int, int);
+
+class Greeter {
+  int pad;
+  virtual int greet() { return 1; }
+};
+
+class Logger {
+  int level;
+  virtual int log() {
+    print_str("%s\n");
+    exit(%d);
+    return 0;
+  }
+};
+
+int gadget(int x) {
+  print_str("%s\n");
+  exit(%d);
+  return 0;
+}
+
+int benign_cb(int x) { return x + 1; }
+
+int evil_twin(int x) {
+  print_str("%s\n");
+  exit(%d);
+  return 0;
+}
+
+int logger(int a, int b) {
+  print_str("%s\n");
+  exit(%d);
+  return 0;
+}
+
+// attacker-controlled writable memory (the corruption primitive's target)
+int fake_vtable[8];
+
+// the sensitive operands the attacks corrupt
+Greeter *g;
+cb_t callback;
+
+// keep the legitimate targets address-taken, as they would be in a real
+// program (otherwise the hardening passes would not publish them)
+cb_t twin_holder;
+log_t log_holder;
+Logger *decoy;
+
+void attack_point() {
+  // the attack runner pauses the victim here
+}
+
+int main() {
+  g = new Greeter;
+  decoy = new Logger;
+  callback = benign_cb;
+  twin_holder = evil_twin;
+  log_holder = logger;
+  attack_point();
+  int r = g->greet();
+  cb_t cb = callback;
+  int s = cb(5);
+  print_int(r + s);
+  print_char('\n');
+  return 0;
+}
+|}
+    marker_logger exit_logger
+    marker_gadget exit_gadget
+    marker_twin exit_twin
+    marker_typeconf exit_typeconf
+
+(* Expected benign output: greet() = 1, benign_cb(5) = 6 → "7". *)
+let benign_output = "7\n"

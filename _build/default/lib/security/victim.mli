@@ -1,0 +1,17 @@
+(** The canonical victim program: one virtual call, one typed indirect
+    call, a writable attacker foothold, and the reachable targets each
+    attack kind aims at.  The attack runner pauses it at [attack_point]. *)
+
+val marker_gadget : string
+val marker_logger : string
+val marker_twin : string
+val marker_typeconf : string
+val exit_gadget : int
+val exit_logger : int
+val exit_twin : int
+val exit_typeconf : int
+
+val source : string
+(** MiniC source; compile under any scheme. *)
+
+val benign_output : string

@@ -1,0 +1,76 @@
+(* 64-bit bit manipulation helpers shared by the ISA, MMU and hardware
+   models.  Values are OCaml [int64]; bit indices are 0-based from the LSB. *)
+
+let mask_bits n =
+  if n <= 0 then 0L
+  else if n >= 64 then -1L
+  else Int64.sub (Int64.shift_left 1L n) 1L
+
+let extract value ~lo ~width =
+  Int64.logand (Int64.shift_right_logical value lo) (mask_bits width)
+
+let extract_int value ~lo ~width = Int64.to_int (extract value ~lo ~width)
+
+let insert value ~lo ~width ~field =
+  let m = Int64.shift_left (mask_bits width) lo in
+  let cleared = Int64.logand value (Int64.lognot m) in
+  let placed = Int64.logand (Int64.shift_left field lo) m in
+  Int64.logor cleared placed
+
+let bit value i = Int64.logand (Int64.shift_right_logical value i) 1L <> 0L
+
+let set_bit value i b =
+  let m = Int64.shift_left 1L i in
+  if b then Int64.logor value m else Int64.logand value (Int64.lognot m)
+
+(* Sign-extend the low [width] bits of [value] to a full 64-bit value. *)
+let sign_extend value ~width =
+  if width >= 64 then value
+  else
+    let shift = 64 - width in
+    Int64.shift_right (Int64.shift_left value shift) shift
+
+let zero_extend value ~width = Int64.logand value (mask_bits width)
+
+let fits_signed value ~width =
+  sign_extend value ~width = value
+
+let fits_unsigned value ~width =
+  zero_extend value ~width = value
+
+(* Interpret an int64 as an unsigned quantity for comparison. *)
+let ucompare a b =
+  let flip x = Int64.add x Int64.min_int in
+  Int64.compare (flip a) (flip b)
+
+let ult a b = ucompare a b < 0
+let uge a b = ucompare a b >= 0
+
+(* Unsigned division/remainder on int64, with RISC-V semantics for the
+   degenerate cases handled by callers. *)
+let udiv = Int64.unsigned_div
+let urem = Int64.unsigned_rem
+
+let popcount64 v =
+  let rec go acc v = if v = 0L then acc else go (acc + 1) (Int64.logand v (Int64.sub v 1L)) in
+  go 0 v
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_power_of_two n) then invalid_arg "Bits.log2_exact";
+  let rec go i n = if n = 1 then i else go (i + 1) (n lsr 1) in
+  go 0 n
+
+let align_up x alignment =
+  if not (is_power_of_two alignment) then invalid_arg "Bits.align_up";
+  (x + alignment - 1) land lnot (alignment - 1)
+
+let align_down x alignment =
+  if not (is_power_of_two alignment) then invalid_arg "Bits.align_down";
+  x land lnot (alignment - 1)
+
+let is_aligned x alignment = align_down x alignment = x
+
+let to_hex v = Printf.sprintf "0x%Lx" v
+let to_hex_int v = Printf.sprintf "0x%x" v

@@ -1,0 +1,55 @@
+(** 64-bit bit-manipulation helpers shared by the ISA, MMU and hardware
+    models.  Values are [int64]; bit indices count from the LSB (bit 0). *)
+
+val mask_bits : int -> int64
+(** [mask_bits n] is a value with the low [n] bits set ([n] clamped to
+    [0..64]). *)
+
+val extract : int64 -> lo:int -> width:int -> int64
+(** [extract v ~lo ~width] reads the bit field [v[lo+width-1 : lo]],
+    zero-extended. *)
+
+val extract_int : int64 -> lo:int -> width:int -> int
+(** Like {!extract} but returns a native [int]; the field must fit. *)
+
+val insert : int64 -> lo:int -> width:int -> field:int64 -> int64
+(** [insert v ~lo ~width ~field] overwrites the bit field with [field]
+    (truncated to [width] bits). *)
+
+val bit : int64 -> int -> bool
+(** [bit v i] is bit [i] of [v]. *)
+
+val set_bit : int64 -> int -> bool -> int64
+
+val sign_extend : int64 -> width:int -> int64
+(** Sign-extend the low [width] bits to 64 bits. *)
+
+val zero_extend : int64 -> width:int -> int64
+
+val fits_signed : int64 -> width:int -> bool
+(** Whether the value is representable as a [width]-bit two's-complement
+    immediate. *)
+
+val fits_unsigned : int64 -> width:int -> bool
+
+val ucompare : int64 -> int64 -> int
+(** Compare two [int64]s as unsigned quantities. *)
+
+val ult : int64 -> int64 -> bool
+val uge : int64 -> int64 -> bool
+val udiv : int64 -> int64 -> int64
+val urem : int64 -> int64 -> int64
+
+val popcount64 : int64 -> int
+
+val is_power_of_two : int -> bool
+val log2_exact : int -> int
+(** Base-2 logarithm of an exact power of two; raises [Invalid_argument]
+    otherwise. *)
+
+val align_up : int -> int -> int
+val align_down : int -> int -> int
+val is_aligned : int -> int -> bool
+
+val to_hex : int64 -> string
+val to_hex_int : int -> string

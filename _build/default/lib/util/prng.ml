@@ -1,0 +1,41 @@
+(* Deterministic splitmix64 PRNG.  All randomized workloads and the qcheck
+   seeds derive from this so every experiment is bit-for-bit reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Prng.next_int";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let next_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.next_in_range";
+  lo + next_int t (hi - lo + 1)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = next_int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose";
+  arr.(next_int t (Array.length arr))
+
+let split t = create (next_int64 t)

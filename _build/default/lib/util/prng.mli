@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 PRNG used by workload generators so that every
+    experiment run is bit-for-bit reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val next_int64 : t -> int64
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val next_bool : t -> bool
+val next_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. *)
+
+val shuffle : t -> 'a array -> unit
+val choose : t -> 'a array -> 'a
+val split : t -> t
+(** Derive an independent generator. *)

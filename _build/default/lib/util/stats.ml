@@ -1,0 +1,42 @@
+(* Small numeric summaries used by the measurement harness. *)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Geometric mean; items must be positive.  Used for SPEC-style overhead
+   aggregation (the paper reports arithmetic averages of relative overheads;
+   we expose both). *)
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum"
+  | x :: xs -> List.fold_left max x xs
+
+(* Relative overhead of [measured] against [base], as a percentage. *)
+let overhead_pct ~base ~measured =
+  if base = 0.0 then 0.0 else (measured -. base) /. base *. 100.0
+
+let overhead_pct_i ~base ~measured =
+  overhead_pct ~base:(float_of_int base) ~measured:(float_of_int measured)
+
+let pct_string p = Printf.sprintf "%+.3f%%" p

@@ -1,0 +1,18 @@
+(** Numeric summaries for the measurement harness. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+(** Geometric mean; elements must be positive. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (Bessel-corrected); 0 for fewer than 2
+    elements. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val overhead_pct : base:float -> measured:float -> float
+(** Relative overhead of [measured] w.r.t. [base], in percent. *)
+
+val overhead_pct_i : base:int -> measured:int -> float
+val pct_string : float -> string

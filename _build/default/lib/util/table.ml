@@ -1,0 +1,64 @@
+(* Minimal ASCII table rendering for experiment reports.  Kept dependency
+   free so the bench binary prints the paper's tables/figures as text. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length header then invalid_arg "Table.create";
+      a
+    | None -> List.map (fun _ -> Left) header
+  in
+  { title; header; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then invalid_arg "Table.add_row";
+  t.rows <- row :: t.rows
+
+let rows t = List.rev t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let all = t.header :: rows t in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let record row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter record all;
+  let sep =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let line row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let align = List.nth t.aligns i in
+          " " ^ pad align widths.(i) cell ^ " ")
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let body = List.map line (rows t) in
+  String.concat "\n"
+    (("== " ^ t.title ^ " ==") :: sep :: line t.header :: sep :: (body @ [ sep ]))
+
+let print t = print_endline (render t)

@@ -1,0 +1,18 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> header:string list -> ?aligns:align list -> unit -> t
+(** [aligns] defaults to all-[Left] and must match the header width when
+    given. *)
+
+val add_row : t -> string list -> unit
+(** Rows must have the same arity as the header. *)
+
+val rows : t -> string list list
+(** Rows in insertion order. *)
+
+val render : t -> string
+val print : t -> unit

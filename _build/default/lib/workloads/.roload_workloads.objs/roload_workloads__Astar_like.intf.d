@@ -1,0 +1,1 @@
+lib/workloads/astar_like.mli:

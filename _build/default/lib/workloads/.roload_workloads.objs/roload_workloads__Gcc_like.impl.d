@@ -1,0 +1,1 @@
+lib/workloads/gcc_like.ml: Printf

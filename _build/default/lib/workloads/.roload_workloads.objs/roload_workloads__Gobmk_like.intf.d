@@ -1,0 +1,1 @@
+lib/workloads/gobmk_like.mli:

@@ -1,0 +1,1 @@
+lib/workloads/h264_like.ml: Printf

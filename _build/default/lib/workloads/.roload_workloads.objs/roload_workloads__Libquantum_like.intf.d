@@ -1,0 +1,1 @@
+lib/workloads/libquantum_like.mli:

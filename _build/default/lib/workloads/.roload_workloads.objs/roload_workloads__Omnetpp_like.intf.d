@@ -1,0 +1,1 @@
+lib/workloads/omnetpp_like.mli:

@@ -1,0 +1,1 @@
+lib/workloads/sjeng_like.ml: Printf

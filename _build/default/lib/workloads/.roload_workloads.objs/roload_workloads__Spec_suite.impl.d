@@ -1,0 +1,1 @@
+lib/workloads/spec_suite.ml: Astar_like Bzip2_like Gcc_like Gobmk_like H264_like Hmmer_like Libquantum_like List Mcf_like Omnetpp_like Sjeng_like Xalancbmk_like

@@ -1,0 +1,1 @@
+lib/workloads/xalancbmk_like.mli:

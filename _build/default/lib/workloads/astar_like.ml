@@ -1,0 +1,127 @@
+(* 473.astar analogue: grid path-finding in the C++ style — a search
+   driver dispatching to virtual heuristic/terrain classes, with an open
+   list and cost relaxation (moderate vcall density). *)
+
+let name = "astar"
+let cxx = true
+
+let source ~scale =
+  Printf.sprintf {|
+// A*-style grid search with pluggable (virtual) heuristics and terrain
+class Heuristic {
+  int goal_x;
+  int goal_y;
+  virtual int estimate(int x, int y) { return 0; }
+};
+
+class Manhattan : Heuristic {
+  virtual int estimate(int x, int y) {
+    int dx = x - goal_x;
+    int dy = y - goal_y;
+    if (dx < 0) { dx = 0 - dx; }
+    if (dy < 0) { dy = 0 - dy; }
+    return dx + dy;
+  }
+};
+
+class Chebyshev : Heuristic {
+  virtual int estimate(int x, int y) {
+    int dx = x - goal_x;
+    int dy = y - goal_y;
+    if (dx < 0) { dx = 0 - dx; }
+    if (dy < 0) { dy = 0 - dy; }
+    if (dx > dy) { return dx; }
+    return dy;
+  }
+};
+
+class Terrain {
+  int roughness;
+  virtual int cost(int x, int y) { return 1; }
+};
+
+class Hills : Terrain {
+  virtual int cost(int x, int y) {
+    return 1 + ((x * 31 + y * 17) %% roughness);
+  }
+};
+
+int grid_dist[4096];   // 64x64
+int grid_seen[4096];
+int queue_x[16384];
+int queue_y[16384];
+int queue_d[16384];
+
+int search(Heuristic *h, Terrain *t, int sx, int sy) {
+  int i;
+  for (i = 0; i < 4096; i = i + 1) { grid_dist[i] = 1000000; grid_seen[i] = 0; }
+  int head = 0;
+  int tail = 0;
+  queue_x[0] = sx; queue_y[0] = sy; queue_d[0] = 0;
+  tail = 1;
+  grid_dist[sy * 64 + sx] = 0;
+  int best = 1000000;
+  while (head < tail && head < 16000) {
+    int x = queue_x[head];
+    int y = queue_y[head];
+    int d = queue_d[head];
+    head = head + 1;
+    int idx = y * 64 + x;
+    if (grid_seen[idx]) { continue; }
+    grid_seen[idx] = 1;
+    int est = d + h->estimate(x, y);
+    if (x == h->goal_x && y == h->goal_y) {
+      if (est < best) { best = est; }
+      break;
+    }
+    int dir;
+    for (dir = 0; dir < 4; dir = dir + 1) {
+      int nx = x;
+      int ny = y;
+      if (dir == 0) { nx = x + 1; }
+      if (dir == 1) { nx = x - 1; }
+      if (dir == 2) { ny = y + 1; }
+      if (dir == 3) { ny = y - 1; }
+      if (nx < 0 || nx >= 64 || ny < 0 || ny >= 64) { continue; }
+      int nd = d + t->cost(nx, ny);
+      int nidx = ny * 64 + nx;
+      if (nd < grid_dist[nidx] && tail < 16000) {
+        grid_dist[nidx] = nd;
+        queue_x[tail] = nx; queue_y[tail] = ny; queue_d[tail] = nd;
+        tail = tail + 1;
+      }
+    }
+  }
+  return best + tail;
+}
+
+int main() {
+  Heuristic *hs[2];
+  Manhattan *m = new Manhattan;
+  Chebyshev *c = new Chebyshev;
+  hs[0] = (Heuristic*)m;
+  hs[1] = (Heuristic*)c;
+  Terrain *ts[2];
+  Terrain *flat = new Terrain;
+  Hills *hills = new Hills;
+  hills->roughness = 5;
+  ts[0] = flat;
+  ts[1] = (Terrain*)hills;
+  int rounds = %d;
+  int r;
+  int checksum = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    Heuristic *h = hs[r %% 2];
+    h->goal_x = (r * 13) %% 64;
+    h->goal_y = (r * 29) %% 64;
+    Terrain *t = ts[(r / 2) %% 2];
+    int sx = (r * 7) %% 64;
+    int sy = (r * 11) %% 64;
+    checksum = (checksum + search(h, t, sx, sy)) %% 1000003;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 12)

@@ -1,0 +1,6 @@
+(** 473.astar analogue: grid path-finding in the C++ style — a search *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

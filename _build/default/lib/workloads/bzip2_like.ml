@@ -1,0 +1,100 @@
+(* 401.bzip2 analogue: block compression — run-length encoding,
+   move-to-front, and a frequency-model pass over generated data.
+   Byte-array heavy, few indirect calls (as in the original). *)
+
+let name = "bzip2"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// block compression: RLE + move-to-front + frequency model
+char input[65536];
+char rle[131072];
+char mtf[65536];
+int freq[256];
+int mtf_table[256];
+
+int generate(int n, int seed) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int v = (seed >> 16) & 255;
+    // skew the distribution so runs appear
+    if (v < 128) { v = v & 15; }
+    input[i] = v;
+    if (v == 0 && i > 0) { input[i] = input[i - 1]; }
+  }
+  return seed;
+}
+
+int run_length_encode(int n) {
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    char c = input[i];
+    int run = 1;
+    while (i + run < n && input[i + run] == c && run < 255) { run = run + 1; }
+    if (run >= 4) {
+      rle[out] = c; rle[out + 1] = c; rle[out + 2] = c; rle[out + 3] = c;
+      rle[out + 4] = run - 4;
+      out = out + 5;
+    } else {
+      int k;
+      for (k = 0; k < run; k = k + 1) { rle[out] = c; out = out + 1; }
+    }
+    i = i + run;
+  }
+  return out;
+}
+
+int move_to_front(int n) {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { mtf_table[i] = i; }
+  int checksum = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int c = rle[i] & 255;
+    int j = 0;
+    while (mtf_table[j] != c) { j = j + 1; }
+    mtf[i] = j;
+    checksum = (checksum + j) %% 1000003;
+    while (j > 0) { mtf_table[j] = mtf_table[j - 1]; j = j - 1; }
+    mtf_table[0] = c;
+  }
+  return checksum;
+}
+
+int model(int n) {
+  int i;
+  for (i = 0; i < 256; i = i + 1) { freq[i] = 1; }
+  int bits = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int c = mtf[i] & 255;
+    freq[c] = freq[c] + 1;
+    // approximate -log2(p) in fixed point by counting halvings
+    int p = freq[c];
+    int total = 256 + i + 1;
+    int cost = 0;
+    while (p < total) { p = p * 2; cost = cost + 1; }
+    bits = bits + cost;
+  }
+  return bits;
+}
+
+int main() {
+  int block = %d;
+  int blocks = %d;
+  int seed = 424242;
+  int checksum = 0;
+  int b;
+  for (b = 0; b < blocks; b = b + 1) {
+    seed = generate(block, seed);
+    int rle_len = run_length_encode(block);
+    checksum = (checksum + move_to_front(rle_len)) %% 1000003;
+    checksum = (checksum + model(rle_len)) %% 1000003;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    4096 (scale * 2)

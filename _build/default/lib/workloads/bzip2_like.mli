@@ -1,0 +1,6 @@
+(** 401.bzip2 analogue: block compression — run-length encoding, *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

@@ -1,0 +1,155 @@
+(* 403.gcc analogue: a small compiler pipeline — tokenize arithmetic
+   expressions, build trees, constant-fold, and "emit" through an
+   indirect dispatch table over node kinds (gcc is icall-heavy). *)
+
+let name = "gcc"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// expression compiler: parse -> fold -> emit via dispatch table
+struct tree {
+  int kind;     // 0 = const, 1 = add, 2 = mul, 3 = sub, 4 = var
+  int value;
+  tree *left;
+  tree *right;
+};
+
+typedef int (*eval_fn)(tree*);
+
+char src[8192];
+int src_len = 0;
+int pos = 0;
+int vars[26];
+
+int gen_expr(int depth, int seed) {
+  // write a random expression into src, returns new seed
+  if (depth <= 0 || src_len > 8000) {
+    seed = seed * 1103515245 + 12345;
+    int v = (seed >> 16) & 1023;
+    if (v %% 5 == 0) {
+      src[src_len] = 97 + (v %% 26);
+      src_len = src_len + 1;
+    } else {
+      // small integer literal
+      int d = v %% 100;
+      if (d >= 10) { src[src_len] = 48 + d / 10; src_len = src_len + 1; }
+      src[src_len] = 48 + d %% 10;
+      src_len = src_len + 1;
+    }
+    return seed;
+  }
+  src[src_len] = 40; src_len = src_len + 1;
+  seed = gen_expr(depth - 1, seed * 6364136223846793005 + 1442695040888963407);
+  seed = seed * 1103515245 + 12345;
+  int op = (seed >> 20) & 3;
+  if (op == 0) { src[src_len] = 43; }
+  if (op == 1) { src[src_len] = 42; }
+  if (op == 2) { src[src_len] = 45; }
+  if (op == 3) { src[src_len] = 43; }
+  src_len = src_len + 1;
+  seed = gen_expr(depth - 1, seed);
+  src[src_len] = 41; src_len = src_len + 1;
+  return seed;
+}
+
+tree *mknode(int kind, int value, tree *l, tree *r) {
+  tree *t = (tree*)alloc(sizeof(tree));
+  t->kind = kind;
+  t->value = value;
+  t->left = l;
+  t->right = r;
+  return t;
+}
+
+tree *parse() {
+  char c = src[pos];
+  if (c == 40) {
+    pos = pos + 1;
+    tree *l = parse();
+    char op = src[pos];
+    pos = pos + 1;
+    tree *r = parse();
+    pos = pos + 1; // closing paren
+    int kind = 1;
+    if (op == 42) { kind = 2; }
+    if (op == 45) { kind = 3; }
+    return mknode(kind, 0, l, r);
+  }
+  if (c >= 97) {
+    pos = pos + 1;
+    return mknode(4, c - 97, null, null);
+  }
+  int v = 0;
+  while (src[pos] >= 48 && src[pos] <= 57) {
+    v = v * 10 + (src[pos] - 48);
+    pos = pos + 1;
+  }
+  return mknode(0, v, null, null);
+}
+
+tree *fold(tree *t) {
+  if (t->kind == 0 || t->kind == 4) { return t; }
+  tree *l = fold(t->left);
+  tree *r = fold(t->right);
+  t->left = l;
+  t->right = r;
+  if (l->kind == 0 && r->kind == 0) {
+    int v = 0;
+    if (t->kind == 1) { v = l->value + r->value; }
+    if (t->kind == 2) { v = l->value * r->value; }
+    if (t->kind == 3) { v = l->value - r->value; }
+    return mknode(0, v, null, null);
+  }
+  return t;
+}
+
+eval_fn dispatch[5];
+
+// fully table-dispatched evaluation, as in a compiler's per-node hooks:
+// every node evaluation is an indirect call
+int eval(tree *t) {
+  eval_fn f = dispatch[t->kind];
+  return f(t);
+}
+
+int eval_const(tree *t) { return t->value; }
+int eval_var(tree *t) { return vars[t->value]; }
+int eval_add(tree *t) { return eval(t->left) + eval(t->right); }
+int eval_mul(tree *t) { return eval(t->left) * eval(t->right); }
+int eval_sub(tree *t) { return eval(t->left) - eval(t->right); }
+
+int main() {
+  dispatch[0] = eval_const;
+  dispatch[1] = eval_add;
+  dispatch[2] = eval_mul;
+  dispatch[3] = eval_sub;
+  dispatch[4] = eval_var;
+  int i;
+  for (i = 0; i < 26; i = i + 1) { vars[i] = i * i - 3; }
+  int rounds = %d;
+  int seed = 987654321;
+  int checksum = 0;
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    src_len = 0;
+    pos = 0;
+    seed = gen_expr(7, seed + r);
+    src[src_len] = 0;
+    tree *t = parse();
+    tree *folded = fold(t);
+    // evaluate under several variable environments (a compiler running
+    // its constant-propagation lattice over multiple contexts)
+    int pass;
+    for (pass = 0; pass < 6; pass = pass + 1) {
+      vars[pass %% 26] = vars[pass %% 26] + pass;
+      checksum = (checksum + eval(folded)) %% 1000003;
+      checksum = (checksum + eval(t)) %% 1000003;
+    }
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 60)

@@ -1,0 +1,6 @@
+(** 403.gcc analogue: a small compiler pipeline — tokenize arithmetic *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

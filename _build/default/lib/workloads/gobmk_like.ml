@@ -1,0 +1,143 @@
+(* 445.gobmk analogue: Go-board position evaluation — flood-fill group
+   analysis, liberty counting, and a table of indirect move evaluators
+   (gobmk mixes heavy board loops with function-pointer dispatch). *)
+
+let name = "gobmk"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// go-ish board evaluation with indirect move evaluators
+int board[512];   // 19x19 embedded in 19*26 for padding
+int marks[512];
+int stack_arr[512];
+
+typedef int (*move_eval_t)(int, int);
+
+int liberties(int p0) {
+  int i;
+  for (i = 0; i < 512; i = i + 1) { marks[i] = 0; }
+  int color = board[p0];
+  int top = 0;
+  stack_arr[0] = p0;
+  top = 1;
+  marks[p0] = 1;
+  int libs = 0;
+  while (top > 0) {
+    top = top - 1;
+    int p = stack_arr[top];
+    int d;
+    for (d = 0; d < 4; d = d + 1) {
+      int q = p;
+      if (d == 0) { q = p + 1; }
+      if (d == 1) { q = p - 1; }
+      if (d == 2) { q = p + 26; }
+      if (d == 3) { q = p - 26; }
+      if (q < 0 || q >= 494) { continue; }
+      if (marks[q]) { continue; }
+      marks[q] = 1;
+      if (board[q] == 0) { libs = libs + 1; }
+      else {
+        if (board[q] == color && top < 500) { stack_arr[top] = q; top = top + 1; }
+      }
+    }
+  }
+  return libs;
+}
+
+int eval_capture(int p, int color) {
+  if (board[p] != 0) { return 0 - 100; }
+  int score = 0;
+  int d;
+  for (d = 0; d < 4; d = d + 1) {
+    int q = p;
+    if (d == 0) { q = p + 1; }
+    if (d == 1) { q = p - 1; }
+    if (d == 2) { q = p + 26; }
+    if (d == 3) { q = p - 26; }
+    if (q < 0 || q >= 494) { continue; }
+    if (board[q] != 0 && board[q] != color) {
+      if (liberties(q) == 1) { score = score + 50; }
+    }
+  }
+  return score;
+}
+
+int eval_extend(int p, int color) {
+  if (board[p] != 0) { return 0 - 100; }
+  int score = 0;
+  int d;
+  for (d = 0; d < 4; d = d + 1) {
+    int q = p;
+    if (d == 0) { q = p + 1; }
+    if (d == 1) { q = p - 1; }
+    if (d == 2) { q = p + 26; }
+    if (d == 3) { q = p - 26; }
+    if (q < 0 || q >= 494) { continue; }
+    if (board[q] == color) { score = score + 5 + liberties(q); }
+  }
+  return score;
+}
+
+int eval_territory(int p, int color) {
+  if (board[p] != 0) { return 0 - 100; }
+  int score = 0;
+  int dx;
+  for (dx = 0 - 2; dx <= 2; dx = dx + 1) {
+    int dy;
+    for (dy = 0 - 2; dy <= 2; dy = dy + 1) {
+      int q = p + dx + dy * 26;
+      if (q < 0 || q >= 494) { continue; }
+      if (board[q] == color) { score = score + 2; }
+      if (board[q] != 0 && board[q] != color) { score = score - 1; }
+    }
+  }
+  return score;
+}
+
+move_eval_t evaluators[3];
+
+int main() {
+  evaluators[0] = eval_capture;
+  evaluators[1] = eval_extend;
+  evaluators[2] = eval_territory;
+  int moves = %d;
+  int seed = 314159;
+  int color = 1;
+  int checksum = 0;
+  int m;
+  for (m = 0; m < moves; m = m + 1) {
+    // pick the best of a few random candidate points
+    int best = 0 - 1000000;
+    int best_p = 0;
+    int c;
+    for (c = 0; c < 6; c = c + 1) {
+      seed = seed * 1103515245 + 12345;
+      int x = (seed >> 16) %% 19;
+      if (x < 0) { x = 0 - x; }
+      seed = seed * 1103515245 + 12345;
+      int y = (seed >> 16) %% 19;
+      if (y < 0) { y = 0 - y; }
+      int p = y * 26 + x;
+      int e;
+      int total = 0;
+      for (e = 0; e < 3; e = e + 1) {
+        move_eval_t f = evaluators[e];
+        total = total + f(p, color);
+      }
+      if (total > best) { best = total; best_p = p; }
+    }
+    if (board[best_p] == 0) { board[best_p] = color; }
+    checksum = (checksum + best) %% 1000003;
+    color = 3 - color;
+    if (m %% 300 == 299) {
+      int i;
+      for (i = 0; i < 512; i = i + 1) { board[i] = 0; }
+    }
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 300)

@@ -1,0 +1,6 @@
+(** 445.gobmk analogue: Go-board position evaluation — flood-fill group *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

@@ -1,0 +1,131 @@
+(* 464.h264ref analogue: video encoding kernels — block motion search
+   (SAD over 2D windows) plus a 4x4 integer transform/quantization pass
+   (the dominant loops of the reference encoder). *)
+
+let name = "h264ref"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// motion search + integer transform over synthetic frames
+// (distortion is computed through a function pointer, as h264ref's
+// configurable distortion metrics are)
+typedef int (*distortion_fn)(int, int, int, int);
+
+char frame_cur[16384];   // 128x128
+char frame_ref[16384];
+int block[16];
+int coeff[16];
+
+int sad16(int cx, int cy, int rx, int ry) {
+  int total = 0;
+  int y;
+  for (y = 0; y < 4; y = y + 1) {
+    int x;
+    for (x = 0; x < 4; x = x + 1) {
+      int a = frame_cur[(cy + y) * 128 + cx + x] & 255;
+      int b = frame_ref[(ry + y) * 128 + rx + x] & 255;
+      int d = a - b;
+      if (d < 0) { d = 0 - d; }
+      total = total + d;
+    }
+  }
+  return total;
+}
+
+int ssd16(int cx, int cy, int rx, int ry) {
+  int total = 0;
+  int y;
+  for (y = 0; y < 4; y = y + 1) {
+    int x;
+    for (x = 0; x < 4; x = x + 1) {
+      int a = frame_cur[(cy + y) * 128 + cx + x] & 255;
+      int b = frame_ref[(ry + y) * 128 + rx + x] & 255;
+      int d = a - b;
+      total = total + d * d;
+    }
+  }
+  return total;
+}
+
+distortion_fn metrics[2];
+
+int motion_search(int cx, int cy, distortion_fn metric) {
+  int best = 1000000000;
+  int best_mv = 0;
+  int dy;
+  for (dy = 0 - 4; dy <= 4; dy = dy + 1) {
+    int dx;
+    for (dx = 0 - 4; dx <= 4; dx = dx + 1) {
+      int rx = cx + dx;
+      int ry = cy + dy;
+      if (rx < 0 || ry < 0 || rx > 124 || ry > 124) { continue; }
+      int s = metric(cx, cy, rx, ry);
+      if (s < best) { best = s; best_mv = (dx + 4) * 16 + dy + 4; }
+    }
+  }
+  return best %% 100000 * 256 + best_mv;
+}
+
+int transform_quant(int cx, int cy, int q) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    block[i] = frame_cur[(cy + i / 4) * 128 + cx + i %% 4] & 255;
+  }
+  // butterfly rows
+  for (i = 0; i < 4; i = i + 1) {
+    int a = block[i * 4] + block[i * 4 + 3];
+    int b = block[i * 4 + 1] + block[i * 4 + 2];
+    int c = block[i * 4 + 1] - block[i * 4 + 2];
+    int d = block[i * 4] - block[i * 4 + 3];
+    coeff[i * 4] = a + b;
+    coeff[i * 4 + 1] = 2 * d + c;
+    coeff[i * 4 + 2] = a - b;
+    coeff[i * 4 + 3] = d - 2 * c;
+  }
+  int total = 0;
+  for (i = 0; i < 16; i = i + 1) {
+    int v = coeff[i] / (q + 1);
+    total = total + v * v;
+  }
+  return total;
+}
+
+int main() {
+  metrics[0] = sad16;
+  metrics[1] = ssd16;
+  int seed = 99991;
+  int i;
+  for (i = 0; i < 16384; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    frame_ref[i] = (seed >> 16) & 255;
+    // current frame = shifted reference + noise (so search finds matches)
+    int j = i + 128 * 2 + 1;
+    if (j >= 16384) { j = j - 16384; }
+    frame_cur[j] = ((seed >> 16) + (seed >> 24)) & 255;
+  }
+  int frames = %d;
+  int checksum = 0;
+  int f;
+  for (f = 0; f < frames; f = f + 1) {
+    int by;
+    for (by = 0; by < 120; by = by + 8) {
+      int bx;
+      for (bx = 0; bx < 120; bx = bx + 8) {
+        checksum = (checksum + motion_search(bx, by, metrics[f & 1])) %% 1000003;
+        checksum = (checksum + transform_quant(bx, by, f %% 8)) %% 1000003;
+      }
+    }
+    // scroll the frame between iterations
+    for (i = 0; i < 16384; i = i + 1) {
+      int j = i + 131;
+      if (j >= 16384) { j = j - 16384; }
+      frame_cur[i] = frame_ref[j];
+    }
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 2)

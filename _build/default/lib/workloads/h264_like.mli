@@ -1,0 +1,6 @@
+(** 464.h264ref analogue: video encoding kernels — block motion search *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

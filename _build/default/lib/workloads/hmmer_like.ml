@@ -1,0 +1,86 @@
+(* 456.hmmer analogue: profile HMM sequence search — Viterbi-style
+   dynamic programming over integer score matrices (pure compute-bound
+   C, the hottest loop shape in hmmer). *)
+
+let name = "hmmer"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// Viterbi-flavoured dynamic programming over a profile
+int match_score[2048];   // model: 128 states x 16 symbols
+int insert_score[128];
+int delete_score[128];
+int vit_m[129];
+int vit_i[129];
+int vit_d[129];
+int prev_m[129];
+int prev_i[129];
+int prev_d[129];
+char seq[4096];
+
+int max2(int a, int b) { if (a > b) { return a; } return b; }
+
+int viterbi(int seq_len, int model_len) {
+  int j;
+  for (j = 0; j <= model_len; j = j + 1) {
+    prev_m[j] = 0 - 100000;
+    prev_i[j] = 0 - 100000;
+    prev_d[j] = 0 - 100000;
+  }
+  prev_m[0] = 0;
+  int i;
+  for (i = 1; i <= seq_len; i = i + 1) {
+    int sym = seq[i - 1] & 15;
+    vit_m[0] = 0 - 100000;
+    vit_i[0] = max2(prev_m[0] - 2, prev_i[0] - 1);
+    vit_d[0] = 0 - 100000;
+    for (j = 1; j <= model_len; j = j + 1) {
+      int emit = match_score[(j - 1) * 16 + sym];
+      int best = max2(prev_m[j - 1], prev_i[j - 1]);
+      best = max2(best, prev_d[j - 1]);
+      vit_m[j] = best + emit;
+      vit_i[j] = max2(prev_m[j] - 3, prev_i[j] - 1) + insert_score[j - 1];
+      vit_d[j] = max2(vit_m[j - 1] - 4, vit_d[j - 1] - 1) + delete_score[j - 1];
+    }
+    for (j = 0; j <= model_len; j = j + 1) {
+      prev_m[j] = vit_m[j];
+      prev_i[j] = vit_i[j];
+      prev_d[j] = vit_d[j];
+    }
+  }
+  int best = 0 - 100000;
+  for (j = 0; j <= model_len; j = j + 1) { best = max2(best, prev_m[j]); }
+  return best;
+}
+
+int main() {
+  int model_len = 128;
+  int seqs = %d;
+  int seed = 777;
+  int i;
+  for (i = 0; i < model_len * 16; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    match_score[i] = ((seed >> 16) & 15) - 6;
+  }
+  for (i = 0; i < model_len; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    insert_score[i] = 0 - (1 + ((seed >> 16) & 3));
+    delete_score[i] = 0 - (1 + ((seed >> 18) & 3));
+  }
+  int checksum = 0;
+  int s;
+  for (s = 0; s < seqs; s = s + 1) {
+    int len = 200 + (s * 37) %% 120;
+    for (i = 0; i < len; i = i + 1) {
+      seed = seed * 1103515245 + 12345;
+      seq[i] = (seed >> 16) & 15;
+    }
+    checksum = (checksum + viterbi(len, model_len)) %% 1000003;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 4)

@@ -1,0 +1,6 @@
+(** 456.hmmer analogue: profile HMM sequence search — Viterbi-style *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

@@ -1,0 +1,84 @@
+(* 462.libquantum analogue: quantum register simulation — gate
+   applications as streaming passes over a large amplitude array
+   (regular, memory-streaming C with XOR index toggles). *)
+
+let name = "libquantum"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// quantum register simulation over fixed-point amplitudes
+int amp_re[65536];
+int amp_im[65536];
+
+void hadamard(int target, int n) {
+  int mask = 1 << target;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if ((i & mask) == 0) {
+      int j = i ^ mask;
+      int are = amp_re[i];
+      int aim = amp_im[i];
+      int bre = amp_re[j];
+      int bim = amp_im[j];
+      // fixed-point (x+y)/sqrt2 ~ (x+y)*46341 >> 16
+      amp_re[i] = ((are + bre) * 46341) >> 16;
+      amp_im[i] = ((aim + bim) * 46341) >> 16;
+      amp_re[j] = ((are - bre) * 46341) >> 16;
+      amp_im[j] = ((aim - bim) * 46341) >> 16;
+    }
+  }
+}
+
+void cnot(int control, int target, int n) {
+  int cmask = 1 << control;
+  int tmask = 1 << target;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if ((i & cmask) != 0 && (i & tmask) == 0) {
+      int j = i ^ tmask;
+      int t = amp_re[i]; amp_re[i] = amp_re[j]; amp_re[j] = t;
+      t = amp_im[i]; amp_im[i] = amp_im[j]; amp_im[j] = t;
+    }
+  }
+}
+
+void phase_flip(int target, int n) {
+  int mask = 1 << target;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    if ((i & mask) != 0) {
+      amp_re[i] = 0 - amp_re[i];
+      amp_im[i] = 0 - amp_im[i];
+    }
+  }
+}
+
+int main() {
+  int qubits = 16;
+  int n = 1 << qubits;
+  int i;
+  amp_re[0] = 65536;
+  int gates = %d;
+  int seed = 31337;
+  int g;
+  for (g = 0; g < gates; g = g + 1) {
+    seed = seed * 1103515245 + 12345;
+    int kind = (seed >> 16) %% 3;
+    if (kind < 0) { kind = 0 - kind; }
+    seed = seed * 1103515245 + 12345;
+    int t = (seed >> 16) & 15;
+    if (kind == 0) { hadamard(t, n); }
+    if (kind == 1) { cnot((t + 3) & 15, t, n); }
+    if (kind == 2) { phase_flip(t, n); }
+  }
+  int checksum = 0;
+  for (i = 0; i < n; i = i + 1) {
+    checksum = (checksum + amp_re[i] * 3 + amp_im[i]) %% 1000003;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 10)

@@ -1,0 +1,6 @@
+(** 462.libquantum analogue: quantum register simulation — gate *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

@@ -1,0 +1,77 @@
+(* 429.mcf analogue: network flow on a sparse graph — Bellman-Ford-style
+   relaxation with augmentation, pointer-free array-of-arcs layout as in
+   the original (pure memory-bound C). *)
+
+let name = "mcf"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// min-cost-flow flavoured relaxation over a random sparse graph
+int arc_from[16384];
+int arc_to[16384];
+int arc_cost[16384];
+int arc_cap[16384];
+int dist[2048];
+int pred[2048];
+
+int main() {
+  int nodes = 1024;
+  int arcs = 8192;
+  int rounds = %d;
+  int seed = 20240101;
+  int i;
+  for (i = 0; i < arcs; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int u = (seed >> 16) & 1023;
+    seed = seed * 1103515245 + 12345;
+    int v = (seed >> 16) & 1023;
+    if (u == v) { v = (v + 1) & 1023; }
+    arc_from[i] = u;
+    arc_to[i] = v;
+    arc_cost[i] = 1 + ((seed >> 8) & 63);
+    arc_cap[i] = 1 + ((seed >> 4) & 7);
+  }
+  int checksum = 0;
+  int r;
+  for (r = 0; r < rounds; r = r + 1) {
+    int source = r %% nodes;
+    for (i = 0; i < nodes; i = i + 1) { dist[i] = 1000000000; pred[i] = 0 - 1; }
+    dist[source] = 0;
+    // bounded Bellman-Ford sweeps
+    int sweep;
+    for (sweep = 0; sweep < 12; sweep = sweep + 1) {
+      int changed = 0;
+      for (i = 0; i < arcs; i = i + 1) {
+        if (arc_cap[i] > 0) {
+          int u = arc_from[i];
+          int v = arc_to[i];
+          int nd = dist[u] + arc_cost[i];
+          if (nd < dist[v]) {
+            dist[v] = nd;
+            pred[v] = i;
+            changed = changed + 1;
+          }
+        }
+      }
+      if (changed == 0) { break; }
+    }
+    // augment along the path to a pseudo-sink, draining capacity
+    int sink = (source + 517) %% nodes;
+    int steps = 0;
+    int node = sink;
+    while (pred[node] >= 0 && steps < 64) {
+      int a = pred[node];
+      arc_cap[a] = arc_cap[a] - 1;
+      if (arc_cap[a] <= 0) { arc_cap[a] = 3; }
+      node = arc_from[a];
+      steps = steps + 1;
+    }
+    checksum = (checksum + dist[sink] + steps) %% 1000003;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 7)

@@ -1,0 +1,6 @@
+(** 429.mcf analogue: network flow on a sparse graph — Bellman-Ford-style *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

@@ -1,0 +1,139 @@
+(* 471.omnetpp analogue: a discrete-event network simulator in the C++
+   style — modules with virtual message handlers dispatched from a
+   central event loop, so virtual-call density is high (omnetpp is the
+   paper's vcall-heavy benchmark). *)
+
+let name = "omnetpp"
+let cxx = true
+
+let source ~scale =
+  Printf.sprintf {|
+// discrete-event simulation: ring of modules exchanging messages
+class Module {
+  int id;
+  int state;
+  int sent;
+  virtual int handle(int payload) { return payload; }
+  virtual int route(int payload) { return id; }
+};
+
+class Source : Module {
+  int seq;
+  virtual int handle(int payload) {
+    seq = seq + 1;
+    state = state + payload;
+    return payload + 1;
+  }
+  virtual int route(int payload) { return (id + 1) %% 16; }
+};
+
+class Queue : Module {
+  int depth;
+  int dropped;
+  virtual int handle(int payload) {
+    depth = depth + 1;
+    if (depth > 8) { dropped = dropped + 1; depth = 0; return 0; }
+    state = state + payload;
+    return payload;
+  }
+  virtual int route(int payload) { return (id + payload) %% 16; }
+};
+
+class Sink : Module {
+  int received;
+  virtual int handle(int payload) {
+    received = received + 1;
+    state = state + payload;
+    return payload - 1;
+  }
+};
+
+int heap_time[4096];
+int heap_target[4096];
+int heap_payload[4096];
+int heap_size = 0;
+
+void push_event(int time, int target, int payload) {
+  int i = heap_size;
+  heap_size = heap_size + 1;
+  heap_time[i] = time;
+  heap_target[i] = target;
+  heap_payload[i] = payload;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (heap_time[parent] <= heap_time[i]) { break; }
+    int t = heap_time[parent]; heap_time[parent] = heap_time[i]; heap_time[i] = t;
+    t = heap_target[parent]; heap_target[parent] = heap_target[i]; heap_target[i] = t;
+    t = heap_payload[parent]; heap_payload[parent] = heap_payload[i]; heap_payload[i] = t;
+    i = parent;
+  }
+}
+
+int pop_min() {
+  int last = heap_size - 1;
+  heap_size = last;
+  int t0 = heap_time[0]; heap_time[0] = heap_time[last]; heap_time[last] = t0;
+  t0 = heap_target[0]; heap_target[0] = heap_target[last]; heap_target[last] = t0;
+  t0 = heap_payload[0]; heap_payload[0] = heap_payload[last]; heap_payload[last] = t0;
+  int i = 0;
+  while (1) {
+    int l = 2 * i + 1;
+    int r = 2 * i + 2;
+    int smallest = i;
+    if (l < heap_size && heap_time[l] < heap_time[smallest]) { smallest = l; }
+    if (r < heap_size && heap_time[r] < heap_time[smallest]) { smallest = r; }
+    if (smallest == i) { break; }
+    int t = heap_time[smallest]; heap_time[smallest] = heap_time[i]; heap_time[i] = t;
+    t = heap_target[smallest]; heap_target[smallest] = heap_target[i]; heap_target[i] = t;
+    t = heap_payload[smallest]; heap_payload[smallest] = heap_payload[i]; heap_payload[i] = t;
+    i = smallest;
+  }
+  return last;
+}
+
+int main() {
+  Module *modules[16];
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    Module *m;
+    if (i %% 4 == 0) { m = (Module*)(new Source); }
+    else { if (i %% 4 == 3) { m = (Module*)(new Sink); } else { m = (Module*)(new Queue); } }
+    m->id = i;
+    modules[i] = m;
+  }
+  int events = %d;
+  int seed = 12345;
+  for (i = 0; i < 64; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) %% 1000000;
+    push_event(seed, i %% 16, i);
+  }
+  int processed = 0;
+  int checksum = 0;
+  while (processed < events && heap_size > 0) {
+    int slot = pop_min();
+    int time = heap_time[slot];
+    int target = heap_target[slot];
+    int payload = heap_payload[slot];
+    Module *m = modules[target];
+    int out = m->handle(payload);
+    int next = m->route(out);
+    checksum = (checksum + out + next) %% 1000003;
+    if (out > 0) {
+      seed = (seed * 1103515245 + 12345) %% 1000000;
+      push_event(time + 1 + seed %% 97, next, out);
+    }
+    if (heap_size < 32) {
+      // keep the event population alive (new arrivals)
+      push_event(time + 5, processed %% 16, 7 + processed %% 13);
+    }
+    processed = processed + 1;
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    checksum = (checksum + modules[i]->state) %% 1000003;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 8000)

@@ -1,0 +1,6 @@
+(** 471.omnetpp analogue: a discrete-event network simulator in the C++ *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

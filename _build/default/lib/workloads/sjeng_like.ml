@@ -1,0 +1,89 @@
+(* 458.sjeng analogue: game-tree search — alpha-beta minimax over a
+   small abstract game with an incremental evaluation function (deep
+   recursion, branchy integer code). *)
+
+let name = "sjeng"
+let cxx = false
+
+let source ~scale =
+  Printf.sprintf {|
+// alpha-beta search over an abstract 8x8 piece game
+int board[64];
+int history[64];
+int nodes_visited = 0;
+
+int evaluate(int side) {
+  int score = 0;
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    int p = board[i];
+    if (p != 0) {
+      int v = p * p * 3 + (i & 7) - ((i >> 3) & 7);
+      if (p %% 2 == side) { score = score + v; }
+      else { score = score - v; }
+    }
+  }
+  return score + history[side * 7] - history[side * 3 + 1];
+}
+
+int gen_move(int seed, int k) {
+  // deterministic pseudo-move: (from, to) packed
+  int h = seed * 2654435761 + k * 40503;
+  int from = (h >> 8) & 63;
+  int to = (h >> 16) & 63;
+  return from * 64 + to;
+}
+
+int search(int depth, int alpha, int beta, int side, int seed) {
+  nodes_visited = nodes_visited + 1;
+  if (depth == 0) { return evaluate(side); }
+  int best = 0 - 1000000;
+  int k;
+  for (k = 0; k < 6; k = k + 1) {
+    int mv = gen_move(seed, k);
+    int from = mv / 64;
+    int to = mv %% 64;
+    // make
+    int captured = board[to];
+    int piece = board[from];
+    board[to] = piece;
+    board[from] = 0;
+    history[to & 63] = history[to & 63] + 1;
+    int score = 0 - search(depth - 1, 0 - beta, 0 - alpha, 1 - side, seed * 31 + k + 1);
+    // unmake
+    history[to & 63] = history[to & 63] - 1;
+    board[from] = piece;
+    board[to] = captured;
+    if (score > best) { best = score; }
+    if (best > alpha) { alpha = best; }
+    if (alpha >= beta) { break; }
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  int seed = 20111;
+  for (i = 0; i < 64; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    int v = (seed >> 16) & 7;
+    if (v > 4) { v = 0; }
+    board[i] = v;
+  }
+  int games = %d;
+  int checksum = 0;
+  int g;
+  for (g = 0; g < games; g = g + 1) {
+    nodes_visited = 0;
+    int score = search(6, 0 - 1000000, 1000000, g & 1, seed + g * 17);
+    checksum = (checksum + score + nodes_visited) %% 1000003;
+    // perturb the position between games
+    seed = seed * 1103515245 + 12345;
+    board[(seed >> 16) & 63] = (seed >> 24) & 3;
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 5)

@@ -1,0 +1,6 @@
+(** 458.sjeng analogue: game-tree search — alpha-beta minimax over a *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

@@ -1,0 +1,49 @@
+(* The benchmark suite of the paper's evaluation: SPEC CINT2006 minus
+   400.perlbench (excluded there for compilation failure; §V-B), rebuilt
+   as synthetic workloads that reproduce each benchmark's *kind* —
+   compression, compilation, graph, game search, DP, streaming, video —
+   and, crucially, its indirect-call / virtual-call profile, which is
+   what determines the hardening overhead shape of Figures 3–5. *)
+
+type benchmark = {
+  name : string;
+  cxx : bool; (* the three C++ benchmarks carry the vcall workloads *)
+  source : scale:int -> string;
+}
+
+let all =
+  [
+    { name = Bzip2_like.name; cxx = Bzip2_like.cxx; source = Bzip2_like.source };
+    { name = Gcc_like.name; cxx = Gcc_like.cxx; source = Gcc_like.source };
+    { name = Mcf_like.name; cxx = Mcf_like.cxx; source = Mcf_like.source };
+    { name = Gobmk_like.name; cxx = Gobmk_like.cxx; source = Gobmk_like.source };
+    { name = Hmmer_like.name; cxx = Hmmer_like.cxx; source = Hmmer_like.source };
+    { name = Sjeng_like.name; cxx = Sjeng_like.cxx; source = Sjeng_like.source };
+    {
+      name = Libquantum_like.name;
+      cxx = Libquantum_like.cxx;
+      source = Libquantum_like.source;
+    };
+    { name = H264_like.name; cxx = H264_like.cxx; source = H264_like.source };
+    { name = Omnetpp_like.name; cxx = Omnetpp_like.cxx; source = Omnetpp_like.source };
+    { name = Astar_like.name; cxx = Astar_like.cxx; source = Astar_like.source };
+    {
+      name = Xalancbmk_like.name;
+      cxx = Xalancbmk_like.cxx;
+      source = Xalancbmk_like.source;
+    };
+  ]
+
+let cxx_benchmarks = List.filter (fun b -> b.cxx) all
+let c_benchmarks = List.filter (fun b -> not b.cxx) all
+
+let find name = List.find_opt (fun b -> b.name = name) all
+
+let names = List.map (fun b -> b.name) all
+
+(* Scales: [test_scale] keeps each benchmark around 10^5..10^6 simulated
+   instructions (suitable for `dune runtest`); [reference_scale] is the
+   bench harness's default, mirroring the paper's use of the SPEC
+   `reference` inputs. *)
+let test_scale = 1
+let reference_scale = 3

@@ -1,0 +1,22 @@
+(** The benchmark suite of the paper's evaluation: SPEC CINT2006 minus
+    400.perlbench, rebuilt as synthetic workloads that reproduce each
+    benchmark's kind and its indirect-/virtual-call profile — the
+    determinant of the hardening-overhead shape in Figures 3–5. *)
+
+type benchmark = {
+  name : string;
+  cxx : bool;  (** the three C++ benchmarks carry the vcall workloads *)
+  source : scale:int -> string;  (** deterministic MiniC source *)
+}
+
+val all : benchmark list
+(** 11 benchmarks, paper order. *)
+
+val cxx_benchmarks : benchmark list
+val c_benchmarks : benchmark list
+val find : string -> benchmark option
+val names : string list
+
+val test_scale : int
+val reference_scale : int
+(** The bench harness's analogue of the SPEC reference inputs. *)

@@ -1,0 +1,103 @@
+(* 483.xalancbmk analogue: document-tree transformation in the C++
+   style — a node hierarchy walked by virtual visitors (xalancbmk is the
+   densest vcall benchmark in CINT2006). *)
+
+let name = "xalancbmk"
+let cxx = true
+
+let source ~scale =
+  Printf.sprintf {|
+// document tree transformation with virtual visitors
+class Node {
+  int kind;
+  int value;
+  Node *first;
+  Node *next;
+  virtual int eval() { return value; }
+  virtual int tag() { return 0; }
+};
+
+class Element : Node {
+  virtual int eval() {
+    int total = value;
+    Node *c = first;
+    while (c != null) {
+      total = total + c->eval();
+      c = c->next;
+    }
+    return total;
+  }
+  virtual int tag() { return 1; }
+};
+
+class Text : Node {
+  virtual int eval() { return value * 2 + 1; }
+  virtual int tag() { return 2; }
+};
+
+class Attr : Node {
+  virtual int eval() { return value ^ 255; }
+  virtual int tag() { return 3; }
+};
+
+int node_budget = 0;
+
+Node *build(int depth, int seed) {
+  node_budget = node_budget - 1;
+  int s = seed;
+  if (s < 0) { s = 0 - s; }
+  if (depth <= 0 || node_budget <= 0) {
+    Text *t = new Text;
+    t->value = s %% 997;
+    return (Node*)t;
+  }
+  int kind = s %% 7;
+  if (kind == 6) {
+    Attr *a = new Attr;
+    a->value = s %% 4093;
+    return (Node*)a;
+  }
+  Element *e = new Element;
+  e->value = s %% 31;
+  int children = 2 + s %% 2;
+  int i;
+  Node *prev = null;
+  for (i = 0; i < children; i = i + 1) {
+    Node *c = build(depth - 1, seed * 1103515245 + 12345 + i * 7919);
+    c->next = prev;
+    prev = c;
+  }
+  e->first = prev;
+  return (Node*)e;
+}
+
+int count_tags(Node *n) {
+  int total = n->tag();
+  Node *c = n->first;
+  while (c != null) {
+    total = total + count_tags(c);
+    c = c->next;
+  }
+  return total;
+}
+
+int main() {
+  int rounds = %d;
+  int r;
+  int checksum = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    node_budget = 400;
+    Node *doc = build(6, r * 2654435761 + 17);
+    int passes = 4;
+    int p;
+    for (p = 0; p < passes; p = p + 1) {
+      checksum = (checksum + doc->eval()) %% 1000003;
+      checksum = (checksum + count_tags(doc)) %% 1000003;
+    }
+  }
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}
+    (scale * 60)

@@ -1,0 +1,6 @@
+(** 483.xalancbmk analogue: document-tree transformation in the C++ *)
+
+val name : string
+val cxx : bool
+val source : scale:int -> string
+(** Deterministic MiniC source; [scale] multiplies the workload size. *)

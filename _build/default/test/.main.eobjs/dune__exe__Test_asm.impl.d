@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Buffer Int64 List Printf QCheck QCheck_alcotest Roload_asm Roload_isa Roload_kernel Roload_link Roload_machine Roload_mem Roload_obj Roload_util String

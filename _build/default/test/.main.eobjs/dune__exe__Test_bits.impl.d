@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Int64 QCheck QCheck_alcotest Roload_util

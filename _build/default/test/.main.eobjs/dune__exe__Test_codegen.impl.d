@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Core List Roload_codegen Roload_ir Roload_isa Roload_kernel Roload_passes String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Core List Option Roload_hw Roload_passes Roload_util Roload_workloads String

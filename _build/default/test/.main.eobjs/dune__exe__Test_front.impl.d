@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Array Core Int64 Printf QCheck QCheck_alcotest Roload_front Roload_kernel String

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Hashtbl Int64 List Printf QCheck QCheck_alcotest Roload_hw

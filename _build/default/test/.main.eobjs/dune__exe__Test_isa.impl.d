@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Int64 List Printf QCheck QCheck_alcotest Roload_isa String

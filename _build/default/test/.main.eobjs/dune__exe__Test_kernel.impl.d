@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Roload_asm Roload_kernel Roload_link Roload_machine Roload_mem Roload_obj Str

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Bytes Core List Printf QCheck QCheck_alcotest Roload_asm Roload_kernel Roload_link Roload_machine Roload_mem Roload_obj Roload_passes Roload_workloads String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Int64 List QCheck QCheck_alcotest Roload_isa Roload_machine

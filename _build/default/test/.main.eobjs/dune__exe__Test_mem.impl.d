@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Hashtbl Int64 List QCheck QCheck_alcotest Roload_mem

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Core Int64 List Option Roload_front Roload_ir Roload_isa Roload_passes String

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Core Hashtbl List Roload_obj Roload_passes Roload_security

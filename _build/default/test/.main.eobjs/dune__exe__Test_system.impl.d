@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Int64 Printf Roload_asm Roload_kernel Roload_link Roload_machine Roload_mem

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Core List Printf QCheck QCheck_alcotest Roload_kernel Roload_passes

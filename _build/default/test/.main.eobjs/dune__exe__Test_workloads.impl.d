@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Int64 List Option Roload_kernel Roload_passes Roload_workloads

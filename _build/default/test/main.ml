@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "roload"
+    [
+      ("bits", Test_bits.suite);
+      ("isa", Test_isa.suite);
+      ("mem", Test_mem.suite);
+      ("ir", Test_ir.suite);
+      ("cache", Test_cache.suite);
+      ("machine", Test_machine.suite);
+      ("asm", Test_asm.suite);
+      ("link", Test_link.suite);
+      ("kernel", Test_kernel.suite);
+      ("system", Test_system.suite);
+      ("front", Test_front.suite);
+      ("passes", Test_passes.suite);
+      ("codegen", Test_codegen.suite);
+      ("toolchain", Test_toolchain.suite);
+      ("hw", Test_hw.suite);
+      ("security", Test_security.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,197 @@
+(* Assembler tests: parsing, li expansion, branch relaxation, RVC
+   compression, sections/relocations. *)
+
+module A = Roload_asm.Asm_ir
+module Parser = Roload_asm.Asm_parser
+module Assemble = Roload_asm.Assemble
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+module Section = Roload_obj.Section
+module Objfile = Roload_obj.Objfile
+module Reloc = Roload_obj.Reloc
+
+let test_parse_basic () =
+  let items = Parser.parse "  addi a0, a1, -8   # comment\n  ret\n" in
+  match items with
+  | [ A.Inst (Inst.Op_imm (Inst.Add, rd, rs1, -8L)); A.Inst i2 ] ->
+    Alcotest.(check string) "rd" "a0" (Reg.name rd);
+    Alcotest.(check string) "rs1" "a1" (Reg.name rs1);
+    Alcotest.(check bool) "ret" true (Inst.equal i2 Inst.ret)
+  | _ -> Alcotest.failf "unexpected parse (%d items)" (List.length items)
+
+let test_parse_roload () =
+  match Parser.parse "ld.ro a0, (a1), 111\nlwu.ro t0, (t1), 5\n" with
+  | [ A.Inst (Inst.Load_ro { key = 111; width = Inst.Double; _ });
+      A.Inst (Inst.Load_ro { key = 5; width = Inst.Word; unsigned = true; _ }) ] ->
+    ()
+  | _ -> Alcotest.fail "roload parse"
+
+let test_parse_directives () =
+  match
+    Parser.parse
+      ".section .rodata.key.42\nlabel:\n.quad foo\n.quad 7\n.asciz \"hi\"\n.zero 3\n"
+  with
+  | [ A.Section ".rodata.key.42"; A.Label "label"; A.Quad_sym "foo"; A.Quad_int 7L;
+      A.Asciz "hi"; A.Zero 3 ] ->
+    ()
+  | _ -> Alcotest.fail "directive parse"
+
+let test_parse_error_line () =
+  match Parser.parse "nop\nbogus_mnemonic a0\n" with
+  | exception Parser.Parse_error { line = 2; _ } -> ()
+  | exception Parser.Parse_error { line; _ } -> Alcotest.failf "wrong line %d" line
+  | _ -> Alcotest.fail "expected parse error"
+
+(* printing then re-parsing an item list gives the same items *)
+let test_print_parse_roundtrip () =
+  let items =
+    [ A.Section ".text"; A.Global "f"; A.Label "f"; A.Inst (Inst.li Reg.a0 42L);
+      A.Inst (Inst.ld_ro Reg.a0 Reg.a1 7); A.Branch_to (Inst.Bne, Reg.a0, Reg.zero, "f");
+      A.Inst Inst.ret; A.Section ".rodata.key.7"; A.Label "g"; A.Quad_sym "f" ]
+  in
+  let text = A.program_to_string items in
+  let reparsed = Parser.parse text in
+  Alcotest.(check int) "item count" (List.length items) (List.length reparsed)
+
+(* li expansion: evaluate the expansion with a tiny interpreter and check
+   it produces exactly the constant *)
+let eval_li_seq insts =
+  let regs = Array.make 32 0L in
+  List.iter
+    (fun i ->
+      match i with
+      | Inst.Op_imm (op, rd, rs1, imm) ->
+        regs.(Reg.to_int rd) <- Roload_machine.Alu.op op regs.(Reg.to_int rs1) imm
+      | Inst.Op_imm_w (op, rd, rs1, imm) ->
+        regs.(Reg.to_int rd) <- Roload_machine.Alu.op_w op regs.(Reg.to_int rs1) imm
+      | Inst.Lui (rd, imm) ->
+        regs.(Reg.to_int rd) <-
+          Roload_util.Bits.sign_extend (Int64.shift_left imm 12) ~width:32
+      | _ -> failwith "unexpected instruction in li expansion")
+    insts;
+  regs.(Reg.to_int Reg.a0)
+
+let prop_li_expansion =
+  QCheck.Test.make ~count:2000 ~name:"li expansion materializes the constant"
+    QCheck.int64
+    (fun v -> eval_li_seq (A.expand_li Reg.a0 v) = v)
+
+let test_li_expansion_golden () =
+  Alcotest.(check int) "small constant is one addi" 1 (List.length (A.expand_li Reg.a0 42L));
+  Alcotest.(check int64) "42" 42L (eval_li_seq (A.expand_li Reg.a0 42L));
+  Alcotest.(check int64) "1 << 40" (Int64.shift_left 1L 40)
+    (eval_li_seq (A.expand_li Reg.a0 (Int64.shift_left 1L 40)));
+  Alcotest.(check int64) "min_int" Int64.min_int (eval_li_seq (A.expand_li Reg.a0 Int64.min_int))
+
+let assemble_text ?(compress = true) text =
+  Assemble.assemble ~options:{ Assemble.compress } (Parser.parse text)
+
+let text_section obj =
+  match Objfile.find_section obj ".text" with
+  | Some s -> s
+  | None -> Alcotest.fail "no .text"
+
+let test_compression_shrinks () =
+  let src = ".text\nf:\n  li a0, 3\n  mv a1, a0\n  add a0, a0, a1\n  ret\n" in
+  let big = text_section (assemble_text ~compress:false src) in
+  let small = text_section (assemble_text ~compress:true src) in
+  Alcotest.(check int) "uncompressed" 16 (String.length big.Section.data);
+  Alcotest.(check bool) "compressed smaller" true
+    (String.length small.Section.data < String.length big.Section.data)
+
+let test_branch_relaxation () =
+  (* a conditional branch across > 4 KiB of code must relax to an
+     inverted branch + jal pair, and still assemble *)
+  let b = Buffer.create 20000 in
+  Buffer.add_string b ".text\nstart:\n  beq a0, a1, far\n";
+  for _ = 1 to 2000 do
+    Buffer.add_string b "  add a0, a0, a1\n"
+  done;
+  Buffer.add_string b "far:\n  ret\n";
+  let obj = assemble_text ~compress:false (Buffer.contents b) in
+  let sec = text_section obj in
+  (* 2000 adds + relaxed pair (8) + ret *)
+  Alcotest.(check int) "relaxed size" ((2000 * 4) + 8 + 4) (String.length sec.Section.data);
+  (* decode the first instruction: must be the inverted short branch *)
+  match Roload_isa.Disasm.decode_at sec.Section.data 0 with
+  | Ok (Inst.Branch (Inst.Bne, _, _, 8L), 4) -> ()
+  | Ok (i, _) -> Alcotest.failf "expected inverted bne, got %s" (Inst.to_string i)
+  | Error e -> Alcotest.fail e
+
+let test_section_attrs () =
+  let obj =
+    assemble_text ".section .rodata.key.99\nx:\n.quad 1\n.section .text\nf:\n  ret\n"
+  in
+  (match Objfile.find_section obj ".rodata.key.99" with
+  | Some s ->
+    Alcotest.(check int) "key" 99 s.Section.key;
+    Alcotest.(check bool) "read-only" true (Roload_mem.Perm.equal s.Section.perms Roload_mem.Perm.ro)
+  | None -> Alcotest.fail "keyed section missing");
+  match Objfile.find_section obj ".text" with
+  | Some s -> Alcotest.(check bool) "text is rx" true (Roload_mem.Perm.equal s.Section.perms Roload_mem.Perm.rx)
+  | None -> Alcotest.fail ".text missing"
+
+let test_relocations_recorded () =
+  let obj = assemble_text ".text\nf:\n  la a0, some_sym\n  call g\n.rodata\nt:\n.quad h\n" in
+  let kinds = List.map (fun (r : Reloc.t) -> r.Reloc.kind) obj.Objfile.relocs in
+  Alcotest.(check bool) "hi20" true (List.mem Reloc.Hi20 kinds);
+  Alcotest.(check bool) "lo12" true (List.mem Reloc.Lo12_i kinds);
+  Alcotest.(check bool) "jal" true (List.mem Reloc.Jal kinds);
+  Alcotest.(check bool) "abs64" true (List.mem Reloc.Abs64 kinds);
+  let undef = Objfile.undefined_symbols obj in
+  Alcotest.(check bool) "undef includes g" true (List.mem "g" undef)
+
+let test_duplicate_label_rejected () =
+  match assemble_text ".text\nf:\nf:\n  ret\n" with
+  | exception Assemble.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate label must be rejected"
+
+let test_undefined_branch_target () =
+  match assemble_text ".text\nf:\n  beq a0, a1, nowhere\n" with
+  | exception Assemble.Error _ -> ()
+  | _ -> Alcotest.fail "undefined local target must be rejected"
+
+(* compression must never change program behaviour *)
+let prop_compression_preserves_behaviour =
+  QCheck.Test.make ~count:30 ~name:"compressed and uncompressed programs agree"
+    QCheck.(small_list (int_range (-100) 100))
+    (fun values ->
+      let body =
+        values
+        |> List.map (fun v -> Printf.sprintf "  li t0, %d\n  add a0, a0, t0\n" v)
+        |> String.concat ""
+      in
+      let src =
+        ".text\n_start:\n  li a0, 0\n" ^ body ^ "  andi a0, a0, 255\n  li a7, 93\n  ecall\n"
+      in
+      let run compress =
+        let obj = assemble_text ~compress src in
+        let exe = Roload_link.Linker.link [ obj ] in
+        let machine = Roload_machine.Machine.create Roload_machine.Config.default in
+        let kernel =
+          Roload_kernel.Kernel.create ~machine ~config:Roload_kernel.Kernel.default_config
+        in
+        let _p, outcome = Roload_kernel.Kernel.exec kernel exe in
+        match outcome.Roload_kernel.Kernel.status with
+        | Roload_kernel.Process.Exited n -> n
+        | _ -> -1
+      in
+      run true = run false)
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse roload forms" `Quick test_parse_roload;
+    Alcotest.test_case "parse directives" `Quick test_parse_directives;
+    Alcotest.test_case "parse error carries line" `Quick test_parse_error_line;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    Alcotest.test_case "li expansion golden" `Quick test_li_expansion_golden;
+    Alcotest.test_case "compression shrinks code" `Quick test_compression_shrinks;
+    Alcotest.test_case "branch relaxation" `Quick test_branch_relaxation;
+    Alcotest.test_case "section attributes" `Quick test_section_attrs;
+    Alcotest.test_case "relocations recorded" `Quick test_relocations_recorded;
+    Alcotest.test_case "duplicate label rejected" `Quick test_duplicate_label_rejected;
+    Alcotest.test_case "undefined branch target" `Quick test_undefined_branch_target;
+    QCheck_alcotest.to_alcotest prop_li_expansion;
+    QCheck_alcotest.to_alcotest prop_compression_preserves_behaviour;
+  ]

@@ -1,0 +1,116 @@
+(* Unit and property tests for Roload_util.Bits and friends. *)
+
+module Bits = Roload_util.Bits
+module Prng = Roload_util.Prng
+module Stats = Roload_util.Stats
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_masks () =
+  check_i64 "mask 0" 0L (Bits.mask_bits 0);
+  check_i64 "mask 1" 1L (Bits.mask_bits 1);
+  check_i64 "mask 12" 0xFFFL (Bits.mask_bits 12);
+  check_i64 "mask 64" (-1L) (Bits.mask_bits 64)
+
+let test_extract_insert () =
+  let v = 0xDEADBEEF12345678L in
+  check_i64 "extract low nibble" 0x8L (Bits.extract v ~lo:0 ~width:4);
+  check_i64 "extract middle" 0xBEEFL (Bits.extract v ~lo:32 ~width:16);
+  let v2 = Bits.insert v ~lo:32 ~width:16 ~field:0xCAFEL in
+  check_i64 "insert" 0xCAFEL (Bits.extract v2 ~lo:32 ~width:16);
+  check_i64 "insert preserves low" (Bits.extract v ~lo:0 ~width:32)
+    (Bits.extract v2 ~lo:0 ~width:32)
+
+let test_sign_extend () =
+  check_i64 "sext 0xFFF/12" (-1L) (Bits.sign_extend 0xFFFL ~width:12);
+  check_i64 "sext 0x7FF/12" 0x7FFL (Bits.sign_extend 0x7FFL ~width:12);
+  check_i64 "sext full width" 5L (Bits.sign_extend 5L ~width:64)
+
+let test_fits () =
+  check_bool "2047 fits s12" true (Bits.fits_signed 2047L ~width:12);
+  check_bool "2048 not s12" false (Bits.fits_signed 2048L ~width:12);
+  check_bool "-2048 fits s12" true (Bits.fits_signed (-2048L) ~width:12);
+  check_bool "-2049 not s12" false (Bits.fits_signed (-2049L) ~width:12)
+
+let test_unsigned_compare () =
+  check_bool "ult simple" true (Bits.ult 1L 2L);
+  check_bool "ult negative is big" false (Bits.ult (-1L) 2L);
+  check_bool "uge negative" true (Bits.uge (-1L) 2L)
+
+let test_align () =
+  check_int "align up" 4096 (Bits.align_up 1 4096);
+  check_int "align up already" 4096 (Bits.align_up 4096 4096);
+  check_int "align down" 0 (Bits.align_down 4095 4096);
+  check_bool "is_aligned" true (Bits.is_aligned 8192 4096)
+
+let test_popcount () =
+  check_int "popcount 0" 0 (Bits.popcount64 0L);
+  check_int "popcount -1" 64 (Bits.popcount64 (-1L));
+  check_int "popcount 0xF0" 4 (Bits.popcount64 0xF0L)
+
+let test_log2 () =
+  check_int "log2 1" 0 (Bits.log2_exact 1);
+  check_int "log2 4096" 12 (Bits.log2_exact 4096);
+  Alcotest.check_raises "log2 of 3" (Invalid_argument "Bits.log2_exact") (fun () ->
+      ignore (Bits.log2_exact 3))
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    check_i64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done;
+  let c = Prng.create 43L in
+  check_bool "different seed differs" true (Prng.next_int64 a <> Prng.next_int64 c)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "overhead" 10.0 (Stats.overhead_pct ~base:100.0 ~measured:110.0);
+  Alcotest.(check (float 1e-6)) "geomean" 2.0 (Stats.geomean [ 1.0; 4.0 ])
+
+(* property tests *)
+let prop_insert_extract =
+  QCheck.Test.make ~count:500 ~name:"insert then extract returns field"
+    QCheck.(triple int64 (int_bound 57) (int_range 1 6))
+    (fun (v, lo, width) ->
+      let field = Int64.logand 0x2AL (Bits.mask_bits width) in
+      Bits.extract (Bits.insert v ~lo ~width ~field) ~lo ~width = field)
+
+let prop_sign_extend_idempotent =
+  QCheck.Test.make ~count:500 ~name:"sign_extend is idempotent"
+    QCheck.(pair int64 (int_range 1 63))
+    (fun (v, w) ->
+      let s = Bits.sign_extend v ~width:w in
+      Bits.sign_extend s ~width:w = s)
+
+let prop_ucompare_antisym =
+  QCheck.Test.make ~count:500 ~name:"ucompare is antisymmetric"
+    QCheck.(pair int64 int64)
+    (fun (a, b) -> compare (Bits.ucompare a b) 0 = -compare (Bits.ucompare b a) 0)
+
+let prop_align_up_bounds =
+  QCheck.Test.make ~count:500 ~name:"align_up lands on a multiple >= x"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 12))
+    (fun (x, sh) ->
+      let a = 1 lsl sh in
+      let r = Bits.align_up x a in
+      r >= x && r mod a = 0 && r - x < a)
+
+let suite =
+  [
+    Alcotest.test_case "masks" `Quick test_masks;
+    Alcotest.test_case "extract/insert" `Quick test_extract_insert;
+    Alcotest.test_case "sign extension" `Quick test_sign_extend;
+    Alcotest.test_case "immediate ranges" `Quick test_fits;
+    Alcotest.test_case "unsigned comparison" `Quick test_unsigned_compare;
+    Alcotest.test_case "alignment" `Quick test_align;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "log2_exact" `Quick test_log2;
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "stats" `Quick test_stats;
+    QCheck_alcotest.to_alcotest prop_insert_extract;
+    QCheck_alcotest.to_alcotest prop_sign_extend_idempotent;
+    QCheck_alcotest.to_alcotest prop_ucompare_antisym;
+    QCheck_alcotest.to_alcotest prop_align_up_bounds;
+  ]

@@ -1,0 +1,120 @@
+(* Cache-model tests: geometry, hit/miss behaviour, LRU, write-backs. *)
+
+module Cache = Roload_cache.Cache
+module Hierarchy = Roload_cache.Hierarchy
+
+let mk ?(size = 1024) ?(ways = 2) ?(line = 64) () =
+  Cache.create ~name:"t" { Cache.size_bytes = size; ways; line_bytes = line }
+
+let test_geometry_validation () =
+  Alcotest.check_raises "non-pow2 line"
+    (Invalid_argument "Cache.create: line size must be a power of two") (fun () ->
+      ignore (Cache.create ~name:"x" { Cache.size_bytes = 1024; ways = 2; line_bytes = 48 }))
+
+let test_hit_miss () =
+  let c = mk () in
+  (match Cache.access c ~addr:0 ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "cold access must miss");
+  (match Cache.access c ~addr:32 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "same line must hit");
+  match Cache.access c ~addr:64 ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "next line must miss"
+
+let test_lru_within_set () =
+  (* 1024 B, 2-way, 64 B lines -> 8 sets; addresses with the same index
+     bits land in the same set every 512 bytes *)
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:512 ~write:false);
+  (* touch 0 so 512 is the LRU way *)
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:1024 ~write:false);
+  (* now 0 must still hit, 512 must miss *)
+  (match Cache.access c ~addr:0 ~write:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "MRU way evicted");
+  match Cache.access c ~addr:512 ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "LRU way survived"
+
+let test_writeback () =
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:true);
+  ignore (Cache.access c ~addr:512 ~write:false);
+  (* evicting the dirty line must report a write-back *)
+  match Cache.access c ~addr:1024 ~write:false with
+  | Cache.Miss { writeback = true } -> ()
+  | Cache.Miss { writeback = false } -> Alcotest.fail "dirty eviction must write back"
+  | Cache.Hit -> Alcotest.fail "expected miss"
+
+let test_stats_and_flush () =
+  let c = mk () in
+  ignore (Cache.access c ~addr:0 ~write:false);
+  ignore (Cache.access c ~addr:0 ~write:false);
+  let st = Cache.stats c in
+  Alcotest.(check int) "hits" 1 st.Cache.hits;
+  Alcotest.(check int) "misses" 1 st.Cache.misses;
+  Alcotest.(check (float 0.001)) "miss rate" 0.5 (Cache.miss_rate c);
+  Cache.flush c;
+  match Cache.access c ~addr:0 ~write:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "flush must empty the cache"
+
+let test_hierarchy_costs () =
+  let h = Hierarchy.create () in
+  let miss_cost = Hierarchy.access_data h ~pa:0 ~write:false in
+  let hit_cost = Hierarchy.access_data h ~pa:0 ~write:false in
+  Alcotest.(check bool) "miss costs more" true (miss_cost > hit_cost);
+  Alcotest.(check int) "hit = l1 latency" Hierarchy.default_latencies.Hierarchy.l1_hit hit_cost;
+  let f1 = Hierarchy.access_ifetch h ~pa:4096 in
+  let f2 = Hierarchy.access_ifetch h ~pa:4096 in
+  Alcotest.(check bool) "ifetch miss positive" true (f1 > 0);
+  Alcotest.(check int) "ifetch hit free" 0 f2
+
+(* properties *)
+let prop_counters_consistent =
+  QCheck.Test.make ~count:200 ~name:"hits + misses = accesses"
+    QCheck.(small_list (pair (int_bound 8191) bool))
+    (fun accesses ->
+      let c = mk () in
+      List.iter (fun (addr, write) -> ignore (Cache.access c ~addr ~write)) accesses;
+      let st = Cache.stats c in
+      st.Cache.hits + st.Cache.misses = List.length accesses)
+
+let prop_repeat_hits =
+  QCheck.Test.make ~count:200 ~name:"immediate re-access of any address hits"
+    QCheck.(int_bound 100_000)
+    (fun addr ->
+      let c = mk () in
+      ignore (Cache.access c ~addr ~write:false);
+      match Cache.access c ~addr ~write:false with
+      | Cache.Hit -> true
+      | Cache.Miss _ -> false)
+
+let prop_deterministic =
+  QCheck.Test.make ~count:100 ~name:"replaying a trace gives identical stats"
+    QCheck.(small_list (pair (int_bound 65535) bool))
+    (fun trace ->
+      let run () =
+        let c = mk () in
+        List.iter (fun (addr, write) -> ignore (Cache.access c ~addr ~write)) trace;
+        let st = Cache.stats c in
+        (st.Cache.hits, st.Cache.misses, st.Cache.writebacks)
+      in
+      run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+    Alcotest.test_case "hit/miss" `Quick test_hit_miss;
+    Alcotest.test_case "lru within a set" `Quick test_lru_within_set;
+    Alcotest.test_case "write-back on dirty eviction" `Quick test_writeback;
+    Alcotest.test_case "stats and flush" `Quick test_stats_and_flush;
+    Alcotest.test_case "hierarchy costs" `Quick test_hierarchy_costs;
+    QCheck_alcotest.to_alcotest prop_counters_consistent;
+    QCheck_alcotest.to_alcotest prop_repeat_hits;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+  ]

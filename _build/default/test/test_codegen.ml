@@ -1,0 +1,223 @@
+(* Code-generation tests: register pressure and spilling, values live
+   across calls (a past bug class), deep call chains, argument limits,
+   and liveness/allocator unit behaviour. *)
+
+module Ir = Roload_ir.Ir
+module Liveness = Roload_codegen.Liveness
+module Regalloc = Roload_codegen.Regalloc
+
+let compile_run src =
+  let exe = Core.Toolchain.compile_exe ~name:"t" src in
+  Core.System.run ~variant:Core.System.Processor_kernel_modified exe
+
+let expect_output src expected =
+  let m = compile_run src in
+  (match m.Core.System.status with
+  | Roload_kernel.Process.Exited 0 -> ()
+  | _ -> Alcotest.failf "did not exit cleanly: %s" (Core.System.status_string m));
+  Alcotest.(check string) "output" expected m.Core.System.output
+
+(* more live values than available registers: forces spilling *)
+let test_register_pressure () =
+  expect_output
+    {|
+int main() {
+  int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+  int g = 7; int h = 8; int i = 9; int j = 10; int k = 11; int l = 12;
+  int m = 13; int n = 14; int o = 15; int p = 16; int q = 17; int r = 18;
+  int s = 19; int t = 20; int u = 21; int v = 22;
+  // use everything twice so all stay live to the end
+  int x = a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+t+u+v;
+  int y = a*2+b*2+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+t+u+v;
+  print_int(x); print_char(' '); print_int(y); print_char('\n');
+  return 0;
+}
+|}
+    "253 256\n"
+
+(* values live across calls must survive (the call-crossing allocation
+   rule; regression test for the position-0 parameter bug) *)
+let test_live_across_calls () =
+  expect_output
+    {|
+int id(int x) { return x; }
+int combine(int a, int b, int c, int d) {
+  // a..d are parameters consumed only after further calls
+  int p = id(a);
+  int q = id(b);
+  int r = id(c);
+  int s = id(d);
+  return p * 1000 + q * 100 + r * 10 + s;
+}
+int main() {
+  print_int(combine(1, 2, 3, 4));
+  print_char('\n');
+  return 0;
+}
+|}
+    "1234\n"
+
+(* the very first instruction of a function is a call (historic bug) *)
+let test_call_first_instruction () =
+  expect_output
+    {|
+int seven() { return 7; }
+int wrap(int a, int b) {
+  int base = seven();
+  return base + a * 10 + b;
+}
+int main() { print_int(wrap(2, 3)); print_char('\n'); return 0; }
+|}
+    "30\n"
+
+let test_many_args () =
+  expect_output
+    {|
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+  return a + b + c + d + e + f + g + h;
+}
+int main() { print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); print_char('\n'); return 0; }
+|}
+    "36\n"
+
+let test_too_many_args_rejected () =
+  let src =
+    "int f(int a,int b,int c,int d,int e,int f2,int g,int h,int i) { return a; }\n\
+     int main() { return f(1,2,3,4,5,6,7,8,9); }"
+  in
+  match Core.Toolchain.compile_exe ~name:"t" src with
+  | exception Core.Toolchain.Compile_error _ -> ()
+  | _ -> Alcotest.fail "9 parameters must be rejected"
+
+let test_large_frame () =
+  expect_output
+    {|
+int main() {
+  int big[600];    // 4800-byte frame: offsets exceed 12-bit immediates
+  int i;
+  for (i = 0; i < 600; i = i + 1) { big[i] = i; }
+  int total = 0;
+  for (i = 0; i < 600; i = i + 1) { total = total + big[i]; }
+  print_int(total); print_char('\n');
+  return 0;
+}
+|}
+    "179700\n"
+
+let test_mutual_recursion () =
+  expect_output
+    {|
+// no prototypes needed: all signatures are collected before lowering
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() {
+  print_int(is_even(10)); print_int(is_odd(10)); print_char('\n');
+  return 0;
+}
+|}
+    "10\n"
+
+(* liveness/allocator unit checks on a hand-built function *)
+let build_func () =
+  let f =
+    { Ir.f_name = "f"; f_sig = { Ir.params = [ Ir.I64 ]; ret = Ir.I64 };
+      f_params = []; f_blocks = []; f_ntemps = 0; f_frame_slots = []; f_cfi_id = None }
+  in
+  let p = Ir.new_temp f in
+  f.Ir.f_params <- [ p ];
+  let t1 = Ir.new_temp f in
+  let t2 = Ir.new_temp f in
+  f.Ir.f_blocks <-
+    [ { Ir.b_label = "entry";
+        b_instrs =
+          [ Ir.Call { dst = Some t1; callee = "g"; args = [] };
+            Ir.Bin (Ir.Add, t2, Ir.Temp p, Ir.Temp t1) ];
+        b_term = Ir.Ret (Some (Ir.Temp t2)) } ];
+  (f, p, t1, t2)
+
+let test_liveness_call_crossing () =
+  let f, p, t1, t2 = build_func () in
+  let live = Liveness.analyze f in
+  let interval t = List.find (fun iv -> iv.Liveness.temp = t) live.Liveness.intervals in
+  (* the parameter is live across the call; the call's own result and the
+     sum are not *)
+  Alcotest.(check bool) "param crosses" true (interval p).Liveness.crosses_call;
+  Alcotest.(check bool) "result does not cross" false (interval t1).Liveness.crosses_call;
+  Alcotest.(check bool) "sum does not cross" false (interval t2).Liveness.crosses_call
+
+let test_regalloc_callee_saved_for_crossing () =
+  let f, p, _, _ = build_func () in
+  let live = Liveness.analyze f in
+  let alloc = Regalloc.allocate live in
+  match Regalloc.location alloc p with
+  | Regalloc.In_reg r ->
+    Alcotest.(check bool) "param in callee-saved" true
+      (List.mem r Roload_isa.Reg.callee_saved)
+  | Regalloc.Spilled _ -> () (* spilling is always safe *)
+
+(* the whole pipeline under register-starvation plus indirect calls *)
+let test_spill_with_icalls () =
+  expect_output
+    {|
+typedef int (*fn_t)(int);
+int inc(int x) { return x + 1; }
+int main() {
+  fn_t f = inc;
+  int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+  int g = 6; int h = 7; int i = 8; int j = 9; int k = 10;
+  int l = 11; int m = 12; int n = 13;
+  int r = f(a) + f(b) + f(c) + f(d) + f(e) + f(g) + f(h);
+  print_int(r + a + b + c + d + e + g + h + i + j + k + l + m + n);
+  print_char('\n');
+  return 0;
+}
+|}
+    "126\n"
+
+(* the paper's §III-C artifact: ld.ro has no offset immediate, so a
+   non-zero vtable slot needs an extra addi before the keyed load *)
+let test_ldro_offset_addi () =
+  let src =
+    {|
+class C {
+  virtual int a() { return 1; }
+  virtual int b() { return 2; }
+};
+int main() {
+  C *c = new C;
+  return c->b();   // slot 1 -> vtable offset 8
+}
+|}
+  in
+  let options = { Core.Toolchain.default_options with scheme = Roload_passes.Pass.Vcall } in
+  let artifacts = Core.Toolchain.compile ~options ~name:"t" src in
+  let lines = String.split_on_char '\n' (Core.Toolchain.asm_text artifacts) in
+  let rec find_pair = function
+    | a :: b :: rest ->
+      let contains hay needle =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      if contains a "addi t2, t2, 8" && contains b "ld.ro t2, (t2)" then true
+      else find_pair (b :: rest)
+    | _ -> false
+  in
+  Alcotest.(check bool) "addi precedes the keyed slot-1 load" true (find_pair lines)
+
+let suite =
+  [
+    Alcotest.test_case "register pressure / spilling" `Quick test_register_pressure;
+    Alcotest.test_case "ld.ro offset needs addi (§III-C)" `Quick test_ldro_offset_addi;
+    Alcotest.test_case "live across calls" `Quick test_live_across_calls;
+    Alcotest.test_case "call as first instruction" `Quick test_call_first_instruction;
+    Alcotest.test_case "8 arguments" `Quick test_many_args;
+    Alcotest.test_case "9 arguments rejected" `Quick test_too_many_args_rejected;
+    Alcotest.test_case "large frame offsets" `Quick test_large_frame;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "liveness call crossing" `Quick test_liveness_call_crossing;
+    Alcotest.test_case "regalloc callee-saved rule" `Quick test_regalloc_callee_saved_for_crossing;
+    Alcotest.test_case "spills with indirect calls" `Quick test_spill_with_icalls;
+  ]

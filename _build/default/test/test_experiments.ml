@@ -1,0 +1,74 @@
+(* Experiment-driver tests: each table/figure driver produces the paper's
+   qualitative shape on a reduced workload set. *)
+
+module Suite = Roload_workloads.Spec_suite
+module Pass = Roload_passes.Pass
+module Exp = Core.Experiments
+
+let small = [ Option.get (Suite.find "xalancbmk"); Option.get (Suite.find "gobmk") ]
+
+let test_table1_table2 () =
+  Alcotest.(check int) "table1 rows" 3 (List.length (Roload_util.Table.rows (Exp.table1 ())));
+  Alcotest.(check bool) "table2 nonempty" true
+    (Roload_util.Table.rows (Exp.table2 ()) <> [])
+
+let test_table3 () =
+  let r = Exp.table3 () in
+  Alcotest.(check int) "two rows" 2 (List.length (Roload_util.Table.rows r.Exp.table));
+  let c = r.Exp.synth.Roload_hw.Synth.comparison in
+  Alcotest.(check bool) "core LUT growth within paper bound" true
+    (c.Roload_hw.Area.lut_increase_core_pct > 0.0
+    && c.Roload_hw.Area.lut_increase_core_pct < 3.32)
+
+(* §V-B: the ROLoad system runs unmodified binaries at ~0% overhead *)
+let test_section5b_zero_overhead () =
+  let r = Exp.section5b ~scale:1 ~benchmarks:small () in
+  Alcotest.(check bool) "processor overhead < 0.1%" true
+    (abs_float r.Exp.avg_runtime_overhead_processor < 0.1);
+  Alcotest.(check bool) "kernel overhead < 0.1%" true
+    (abs_float r.Exp.avg_runtime_overhead_kernel < 0.1)
+
+(* Figure 3 shape: VCall cheap, VTint substantially more expensive *)
+let test_figure3_shape () =
+  let r = Exp.figure3 ~scale:1 () in
+  let vcall = List.assoc Pass.Vcall r.Exp.runtime_averages in
+  let vtint = List.assoc Pass.Vtint_baseline r.Exp.runtime_averages in
+  Alcotest.(check bool) "VCall below 1%" true (vcall < 1.0);
+  Alcotest.(check bool) "VTint > 3x VCall" true (vtint > 3.0 *. vcall);
+  (* memory: VTint's code growth shows up, as in the paper *)
+  let vtint_mem = List.assoc Pass.Vtint_baseline r.Exp.memory_averages in
+  Alcotest.(check bool) "VTint memory overhead positive" true (vtint_mem > 0.0)
+
+(* Figures 4/5 shape: ICall ~free, CFI clearly more expensive *)
+let test_figure45_shape () =
+  let r = Exp.figure45 ~scale:1 ~benchmarks:small () in
+  let icall = List.assoc Pass.Icall r.Exp.runtime_averages in
+  let cfi = List.assoc Pass.Cfi_baseline r.Exp.runtime_averages in
+  Alcotest.(check bool) "ICall below 1%" true (icall < 1.0);
+  Alcotest.(check bool) "CFI above ICall" true (cfi > icall)
+
+let test_ablation_tables () =
+  Alcotest.(check bool) "compressed saves bytes" true
+    (List.for_all
+       (fun row ->
+         match row with
+         | [ _; unc; com; _ ] -> int_of_string com < int_of_string unc
+         | _ -> true)
+       (Roload_util.Table.rows (Exp.ablation_compressed ~benchmarks:small ())));
+  let sc = Exp.ablation_separate_code () in
+  match Roload_util.Table.rows sc with
+  | [ [ _; with_sc ]; [ _; without_sc ] ] ->
+    Alcotest.(check string) "separate-code runs" "exit 0" with_sc;
+    Alcotest.(check bool) "merged layout faults" true
+      (String.length without_sc > 7 && String.sub without_sc 0 7 = "SIGSEGV")
+  | _ -> Alcotest.fail "unexpected ablation table shape"
+
+let suite =
+  [
+    Alcotest.test_case "tables 1 & 2" `Quick test_table1_table2;
+    Alcotest.test_case "table 3" `Quick test_table3;
+    Alcotest.test_case "section V-B ~0% overhead" `Slow test_section5b_zero_overhead;
+    Alcotest.test_case "figure 3 shape" `Slow test_figure3_shape;
+    Alcotest.test_case "figures 4/5 shape" `Slow test_figure45_shape;
+    Alcotest.test_case "ablations" `Slow test_ablation_tables;
+  ]

@@ -1,0 +1,195 @@
+(* Hardware-model tests: netlist simulation, the TLB datapath verified
+   against a behavioural reference (the central RTL property), LUT
+   mapping sanity, timing, and the Table III deltas. *)
+
+module N = Roload_hw.Netlist
+module Sim = Roload_hw.Netlist_sim
+module Tlb_rtl = Roload_hw.Tlb_rtl
+module Map_lut = Roload_hw.Map_lut
+module Timing = Roload_hw.Timing_sta
+module Synth = Roload_hw.Synth
+module Area = Roload_hw.Area
+
+let test_netlist_gates () =
+  let n = N.create () in
+  let a = N.input n "a" and b = N.input n "b" in
+  let x = N.xor2 n a b in
+  let m = N.mux n ~sel:a ~a:b ~b:(N.const_ n false) in
+  let asn = Sim.create_assignment () in
+  Sim.set asn a true;
+  Sim.set asn b false;
+  let eval = Sim.evaluate n asn in
+  Alcotest.(check bool) "xor" true (eval x);
+  Alcotest.(check bool) "mux sel=1 picks a" false (eval m)
+
+let test_equal_bus () =
+  let n = N.create () in
+  let a = N.inputs n "a" 8 and b = N.inputs n "b" 8 in
+  let eq = N.equal_bus n a b in
+  let check x y expected =
+    let asn = Sim.create_assignment () in
+    Sim.set_bus asn a (Int64.of_int x);
+    Sim.set_bus asn b (Int64.of_int y);
+    Alcotest.(check bool) (Printf.sprintf "%d=%d" x y) expected (Sim.evaluate n asn eq)
+  in
+  check 0 0 true;
+  check 255 255 true;
+  check 170 85 false;
+  check 1 0 false
+
+(* behavioural reference for the TLB datapath *)
+type entry = { valid : bool; tag : int; r : bool; w : bool; x : bool; u : bool; key : int }
+
+let behavioural ~entries ~vpn ~(kind : [ `Fetch | `Load | `Store ]) ~is_roload ~req_key =
+  let hit_entry = List.find_opt (fun e -> e.valid && e.tag = vpn) entries in
+  match hit_entry with
+  | None -> (false, false)
+  | Some e ->
+    let conv =
+      (match kind with `Fetch -> e.x | `Load -> e.r | `Store -> e.w) && e.u
+    in
+    let roload_ok =
+      (not is_roload) || (e.r && (not e.w) && (not e.x) && e.key = req_key)
+    in
+    (true, conv && roload_ok)
+
+let drive (elab : Tlb_rtl.elaborated) ~entries ~vpn ~kind ~is_roload ~req_key =
+  let asn = Sim.create_assignment () in
+  Sim.set_bus asn elab.Tlb_rtl.in_vpn (Int64.of_int vpn);
+  Sim.set asn elab.Tlb_rtl.in_fetch (kind = `Fetch);
+  Sim.set asn elab.Tlb_rtl.in_load (kind = `Load);
+  Sim.set asn elab.Tlb_rtl.in_store (kind = `Store);
+  (match elab.Tlb_rtl.in_is_roload with Some id -> Sim.set asn id is_roload | None -> ());
+  (match elab.Tlb_rtl.in_key with
+  | Some bus -> Sim.set_bus asn bus (Int64.of_int req_key)
+  | None -> ());
+  List.iteri
+    (fun i e ->
+      Sim.set_bus asn elab.Tlb_rtl.st_valids.(i) (if e.valid then 1L else 0L);
+      Sim.set_bus asn elab.Tlb_rtl.st_tags.(i) (Int64.of_int e.tag);
+      let perm_word =
+        (if e.r then 1 else 0) lor (if e.w then 2 else 0) lor (if e.x then 4 else 0)
+        lor if e.u then 8 else 0
+      in
+      Sim.set_bus asn elab.Tlb_rtl.st_perms.(i) (Int64.of_int perm_word);
+      match elab.Tlb_rtl.st_keys with
+      | Some keys -> Sim.set_bus asn keys.(i) (Int64.of_int e.key)
+      | None -> ())
+    entries;
+  let eval = Sim.evaluate elab.Tlb_rtl.netlist asn in
+  (eval elab.Tlb_rtl.hit, eval elab.Tlb_rtl.allow)
+
+let gen_entry =
+  QCheck.Gen.(
+    map
+      (fun (valid, tag, perms, key) ->
+        { valid; tag; r = perms land 1 <> 0; w = perms land 2 <> 0;
+          x = perms land 4 <> 0; u = perms land 8 <> 0; key })
+      (quad bool (int_bound 15) (int_bound 15) (int_bound 7)))
+
+let gen_case =
+  QCheck.Gen.(
+    let* entries = list_repeat 4 gen_entry in
+    let* vpn = int_bound 15 in
+    let* kind = oneofl [ `Fetch; `Load; `Store ] in
+    let* is_roload = bool in
+    let* req_key = int_bound 7 in
+    (* roload only qualifies loads *)
+    let is_roload = is_roload && kind = `Load in
+    return (entries, vpn, kind, is_roload, req_key))
+
+(* THE property: the elaborated ROLoad TLB datapath implements exactly the
+   behavioural check of paper §II-E1 *)
+let prop_rtl_matches_behavioural =
+  let elab =
+    Tlb_rtl.elaborate
+      { (Tlb_rtl.default_config ~with_roload:true) with entries = 4; vpn_bits = 4;
+        key_bits = 3; ppn_bits = 4 }
+  in
+  QCheck.Test.make ~count:500 ~name:"TLB RTL = behavioural reference (with roload)"
+    (QCheck.make gen_case)
+    (fun (entries, vpn, kind, is_roload, req_key) ->
+      (* the one-hot mux needs at most one match: dedupe tags *)
+      let seen = Hashtbl.create 8 in
+      let entries =
+        List.map
+          (fun e ->
+            if e.valid && Hashtbl.mem seen e.tag then { e with valid = false }
+            else begin
+              if e.valid then Hashtbl.add seen e.tag ();
+              e
+            end)
+          entries
+      in
+      let expected = behavioural ~entries ~vpn ~kind ~is_roload ~req_key in
+      drive elab ~entries ~vpn ~kind ~is_roload ~req_key = expected)
+
+let prop_rtl_baseline_matches =
+  let elab =
+    Tlb_rtl.elaborate
+      { (Tlb_rtl.default_config ~with_roload:false) with entries = 4; vpn_bits = 4;
+        key_bits = 3; ppn_bits = 4 }
+  in
+  QCheck.Test.make ~count:300 ~name:"TLB RTL = behavioural reference (baseline)"
+    (QCheck.make gen_case)
+    (fun (entries, vpn, kind, _is_roload, req_key) ->
+      let seen = Hashtbl.create 8 in
+      let entries =
+        List.map
+          (fun e ->
+            if e.valid && Hashtbl.mem seen e.tag then { e with valid = false }
+            else begin
+              if e.valid then Hashtbl.add seen e.tag ();
+              e
+            end)
+          entries
+      in
+      let expected = behavioural ~entries ~vpn ~kind ~is_roload:false ~req_key in
+      drive elab ~entries ~vpn ~kind ~is_roload:false ~req_key = expected)
+
+let test_mapping_sane () =
+  let elab = Tlb_rtl.elaborate (Tlb_rtl.default_config ~with_roload:true) in
+  let m = Map_lut.map elab.Tlb_rtl.netlist in
+  Alcotest.(check bool) "luts positive" true (m.Map_lut.luts > 0);
+  Alcotest.(check bool) "luts below gate count" true
+    (m.Map_lut.luts <= N.count_combinational elab.Tlb_rtl.netlist);
+  Alcotest.(check int) "ffs counted" (N.count_ffs elab.Tlb_rtl.netlist) m.Map_lut.ffs;
+  Alcotest.(check bool) "depth positive" true (m.Map_lut.depth > 0)
+
+(* Table III shape: small positive LUT/FF increases, slack shrinks but
+   stays positive, Fmax barely moves *)
+let test_table3_shape () =
+  let r = Synth.run () in
+  let c = r.Synth.comparison in
+  Alcotest.(check bool) "lut delta positive" true
+    (c.Area.roload_tlb.Area.luts > c.Area.baseline_tlb.Area.luts);
+  Alcotest.(check bool) "ff delta positive" true
+    (c.Area.roload_tlb.Area.ffs > c.Area.baseline_tlb.Area.ffs);
+  Alcotest.(check bool) "core lut increase < 3.32%" true (c.Area.lut_increase_core_pct < 3.32);
+  Alcotest.(check bool) "core ff increase < 3.32%" true (c.Area.ff_increase_core_pct < 3.32);
+  Alcotest.(check bool) "system increases below core" true
+    (c.Area.lut_increase_system_pct < c.Area.lut_increase_core_pct);
+  let t0 = r.Synth.timing_without and t1 = r.Synth.timing_with in
+  Alcotest.(check bool) "baseline meets timing" true (t0.Timing.worst_slack_ns > 0.0);
+  Alcotest.(check bool) "roload meets timing" true (t1.Timing.worst_slack_ns > 0.0);
+  Alcotest.(check bool) "slack shrinks" true
+    (t1.Timing.worst_slack_ns <= t0.Timing.worst_slack_ns);
+  Alcotest.(check bool) "fmax above target" true (t1.Timing.fmax_mhz > 125.0)
+
+(* the extra key FFs are exactly entries * key_bits (D-TLB only design) *)
+let test_ff_delta_is_key_storage () =
+  let base = Tlb_rtl.elaborate (Tlb_rtl.default_config ~with_roload:false) in
+  let ro = Tlb_rtl.elaborate (Tlb_rtl.default_config ~with_roload:true) in
+  let d = N.count_ffs ro.Tlb_rtl.netlist - N.count_ffs base.Tlb_rtl.netlist in
+  Alcotest.(check int) "delta = 32 entries x 10 bits" 320 d
+
+let suite =
+  [
+    Alcotest.test_case "netlist gates" `Quick test_netlist_gates;
+    Alcotest.test_case "equal_bus" `Quick test_equal_bus;
+    Alcotest.test_case "lut mapping sanity" `Quick test_mapping_sane;
+    Alcotest.test_case "table3 shape" `Quick test_table3_shape;
+    Alcotest.test_case "ff delta = key storage" `Quick test_ff_delta_is_key_storage;
+    QCheck_alcotest.to_alcotest prop_rtl_matches_behavioural;
+    QCheck_alcotest.to_alcotest prop_rtl_baseline_matches;
+  ]

@@ -1,0 +1,253 @@
+(* ISA tests: golden encodings (cross-checked against the RISC-V spec),
+   encode∘decode round-trips as properties, compressed forms, and the
+   ROLoad-family encodings. *)
+
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+module Encode = Roload_isa.Encode
+module Decode = Roload_isa.Decode
+module Compressed = Roload_isa.Compressed
+module Ext = Roload_isa.Roload_ext
+
+let check_hex name expected got =
+  Alcotest.(check string) name (Printf.sprintf "%08x" expected) (Printf.sprintf "%08x" got)
+
+(* golden values computed from the RISC-V ISA manual encodings *)
+let test_golden_encodings () =
+  check_hex "addi a0, a0, 1" 0x00150513 (Encode.encode (Inst.Op_imm (Inst.Add, Reg.a0, Reg.a0, 1L)));
+  check_hex "add a0, a1, a2" 0x00c58533 (Encode.encode (Inst.Op (Inst.Add, Reg.a0, Reg.a1, Reg.a2)));
+  check_hex "sub a0, a1, a2" 0x40c58533 (Encode.encode (Inst.Op (Inst.Sub, Reg.a0, Reg.a1, Reg.a2)));
+  check_hex "lui a0, 0x12345" 0x12345537 (Encode.encode (Inst.Lui (Reg.a0, 0x12345L)));
+  check_hex "ld a0, 8(sp)" 0x00813503
+    (Encode.encode (Inst.Load { width = Inst.Double; unsigned = false; rd = Reg.a0; rs1 = Reg.sp; imm = 8L }));
+  check_hex "sd a0, 8(sp)" 0x00a13423
+    (Encode.encode (Inst.Store { width = Inst.Double; rs2 = Reg.a0; rs1 = Reg.sp; imm = 8L }));
+  check_hex "jalr ra, 0(a0)" 0x000500e7 (Encode.encode (Inst.Jalr (Reg.ra, Reg.a0, 0L)));
+  check_hex "ecall" 0x00000073 (Encode.encode Inst.Ecall);
+  check_hex "ebreak" 0x00100073 (Encode.encode Inst.Ebreak);
+  check_hex "mul a0, a1, a2" 0x02c58533 (Encode.encode (Inst.Mulop (Inst.Mul, Reg.a0, Reg.a1, Reg.a2)));
+  check_hex "srai a0, a0, 3" 0x40355513 (Encode.encode (Inst.Op_imm (Inst.Sra, Reg.a0, Reg.a0, 3L)));
+  check_hex "beq a0, a1, 8" 0x00b50463 (Encode.encode (Inst.Branch (Inst.Beq, Reg.a0, Reg.a1, 8L)));
+  check_hex "jal ra, 16" 0x010000ef (Encode.encode (Inst.Jal (Reg.ra, 16L)))
+
+(* the ROLoad family uses custom-0 (0x0B) with the key in imm[9:0] *)
+let test_roload_encoding () =
+  let w = Encode.encode (Inst.Load_ro { width = Inst.Double; unsigned = false; rd = Reg.a0; rs1 = Reg.a1; key = 111 }) in
+  Alcotest.(check int) "opcode is custom-0" 0x0B (w land 0x7F);
+  Alcotest.(check int) "funct3 is ld's" 3 ((w lsr 12) land 7);
+  Alcotest.(check int) "key in imm[9:0]" 111 ((w lsr 20) land 0x3FF);
+  match Decode.decode w with
+  | Ok (Inst.Load_ro { key = 111; _ }) -> ()
+  | Ok i -> Alcotest.failf "decoded to %s" (Inst.to_string i)
+  | Error e -> Alcotest.fail e
+
+let test_roload_reserved_bits () =
+  (* imm[11:10] set -> reserved, must not decode *)
+  let w = 0x0B lor (3 lsl 12) lor (10 lsl 7) lor (11 lsl 15) lor (0xC00 lsl 20) in
+  match Decode.decode w with
+  | Error _ -> ()
+  | Ok i -> Alcotest.failf "reserved key bits decoded as %s" (Inst.to_string i)
+
+let test_key_range () =
+  Alcotest.check_raises "key 1024 rejected" (Encode.Invalid "ld.ro: key 1024 out of range")
+    (fun () ->
+      ignore
+        (Encode.encode
+           (Inst.Load_ro { width = Inst.Double; unsigned = false; rd = Reg.a0; rs1 = Reg.a1; key = 1024 })))
+
+let test_compressed_ldro () =
+  (* c.ld.ro lives in quadrant 0, funct3=100, key <= 31 *)
+  let i = Inst.Load_ro { width = Inst.Double; unsigned = false; rd = Reg.a0; rs1 = Reg.a1; key = 21 } in
+  match Compressed.try_compress i with
+  | None -> Alcotest.fail "c.ld.ro should compress"
+  | Some hw ->
+    Alcotest.(check int) "quadrant 0" 0 (hw land 3);
+    Alcotest.(check int) "funct3 = 100" 4 ((hw lsr 13) land 7);
+    (match Compressed.decode hw with
+    | Ok i2 -> Alcotest.(check bool) "round trip" true (Inst.equal i i2)
+    | Error e -> Alcotest.fail e)
+
+let test_compressed_key_limit () =
+  let i = Inst.Load_ro { width = Inst.Double; unsigned = false; rd = Reg.a0; rs1 = Reg.a1; key = 32 } in
+  Alcotest.(check bool) "key 32 not compressible" true (Compressed.try_compress i = None)
+
+let test_compressed_not_for_bad_regs () =
+  (* rd outside x8..x15 cannot use the CL format *)
+  let i = Inst.Load_ro { width = Inst.Double; unsigned = false; rd = Reg.t3; rs1 = Reg.a1; key = 1 } in
+  Alcotest.(check bool) "t3 not compressible" true (Compressed.try_compress i = None)
+
+let test_compressed_goldens () =
+  (* c.nop is 0x0001 *)
+  (match Compressed.decode 0x0001 with
+  | Ok i -> Alcotest.(check string) "c.nop" "li zero, 0" (Inst.to_string i)
+  | Error e -> Alcotest.fail e);
+  (* c.add a0, a1 = 0x952e *)
+  (match Compressed.decode 0x952e with
+  | Ok (Inst.Op (Inst.Add, rd, rs1, rs2)) ->
+    Alcotest.(check string) "c.add regs" "a0 a0 a1"
+      (Printf.sprintf "%s %s %s" (Reg.name rd) (Reg.name rs1) (Reg.name rs2))
+  | Ok i -> Alcotest.failf "c.add decoded to %s" (Inst.to_string i)
+  | Error e -> Alcotest.fail e);
+  (* the all-zero parcel is illegal *)
+  match Compressed.decode 0x0000 with
+  | Error _ -> ()
+  | Ok i -> Alcotest.failf "zero parcel decoded as %s" (Inst.to_string i)
+
+(* ---------- generators for round-trip properties ---------- *)
+
+let gen_reg = QCheck.Gen.map Reg.of_int (QCheck.Gen.int_bound 31)
+let gen_imm12 = QCheck.Gen.map Int64.of_int (QCheck.Gen.int_range (-2048) 2047)
+let gen_imm20 = QCheck.Gen.map Int64.of_int (QCheck.Gen.int_bound 0xFFFFF)
+let gen_shamt = QCheck.Gen.map Int64.of_int (QCheck.Gen.int_bound 63)
+let gen_key = QCheck.Gen.int_bound 1023
+let gen_width = QCheck.Gen.oneofl [ Inst.Byte; Inst.Half; Inst.Word; Inst.Double ]
+
+let gen_inst =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map2 (fun r i -> Inst.Lui (r, i)) gen_reg gen_imm20);
+        (2, map2 (fun r i -> Inst.Auipc (r, i)) gen_reg gen_imm20);
+        (2, map2 (fun r i -> Inst.Jal (r, Int64.of_int (2 * Int64.to_int i)))
+             gen_reg (map Int64.of_int (int_range (-524288) 524287)));
+        (2, map3 (fun rd rs1 i -> Inst.Jalr (rd, rs1, i)) gen_reg gen_reg gen_imm12);
+        (3, map3 (fun c (r1, r2) off -> Inst.Branch (c, r1, r2, Int64.of_int (2 * off)))
+             (oneofl [ Inst.Beq; Inst.Bne; Inst.Blt; Inst.Bge; Inst.Bltu; Inst.Bgeu ])
+             (pair gen_reg gen_reg) (int_range (-2048) 2047));
+        (3, gen_width >>= fun width ->
+            gen_reg >>= fun rd ->
+            gen_reg >>= fun rs1 ->
+            gen_imm12 >>= fun imm ->
+            map (fun unsigned ->
+                let unsigned = unsigned && width <> Inst.Double in
+                Inst.Load { width; unsigned; rd; rs1; imm })
+              bool);
+        (3, map3 (fun width (rs2, rs1) imm -> Inst.Store { width; rs2; rs1; imm })
+             gen_width (pair gen_reg gen_reg) gen_imm12);
+        (3, oneofl [ Inst.Add; Inst.Slt; Inst.Sltu; Inst.Xor; Inst.Or; Inst.And ]
+            >>= fun op -> map2 (fun rd rs1 -> Inst.Op_imm (op, rd, rs1, 42L)) gen_reg gen_reg);
+        (2, oneofl [ Inst.Sll; Inst.Srl; Inst.Sra ]
+            >>= fun op ->
+            map3 (fun rd rs1 sh -> Inst.Op_imm (op, rd, rs1, sh)) gen_reg gen_reg gen_shamt);
+        (3, oneofl [ Inst.Add; Inst.Sub; Inst.Sll; Inst.Slt; Inst.Sltu; Inst.Xor;
+                     Inst.Srl; Inst.Sra; Inst.Or; Inst.And ]
+            >>= fun op ->
+            map3 (fun rd rs1 rs2 -> Inst.Op (op, rd, rs1, rs2)) gen_reg gen_reg gen_reg);
+        (2, oneofl [ Inst.Mul; Inst.Mulh; Inst.Mulhsu; Inst.Mulhu; Inst.Div; Inst.Divu;
+                     Inst.Rem; Inst.Remu ]
+            >>= fun op ->
+            map3 (fun rd rs1 rs2 -> Inst.Mulop (op, rd, rs1, rs2)) gen_reg gen_reg gen_reg);
+        (2, gen_key >>= fun key ->
+            map3 (fun width rd rs1 ->
+                let width = if width = Inst.Double then Inst.Word else width in
+                Inst.Load_ro { width; unsigned = false; rd; rs1; key })
+              gen_width gen_reg gen_reg);
+        (2, map2 (fun rd rs1 -> Inst.ld_ro rd rs1 7) gen_reg gen_reg);
+        (1, return Inst.Ecall);
+        (1, return Inst.Ebreak);
+        (1, return Inst.Fence);
+      ])
+
+let arb_inst = QCheck.make ~print:Inst.to_string gen_inst
+
+let prop_encode_decode =
+  QCheck.Test.make ~count:2000 ~name:"decode (encode i) = i for valid i" arb_inst
+    (fun i ->
+      QCheck.assume (Inst.valid i);
+      match Decode.decode (Encode.encode i) with
+      | Ok i2 -> Inst.equal i i2
+      | Error _ -> false)
+
+let prop_encoded_is_32bit =
+  QCheck.Test.make ~count:1000 ~name:"encodings are 32-bit with low bits 11" arb_inst
+    (fun i ->
+      QCheck.assume (Inst.valid i);
+      let w = Encode.encode i in
+      w land 3 = 3 && w lsr 32 = 0)
+
+(* compressed instructions must round-trip to semantically identical
+   expansions — checked by comparing the expansion with the original *)
+let prop_compress_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"compressed forms expand to the original" arb_inst
+    (fun i ->
+      QCheck.assume (Inst.valid i);
+      match Compressed.try_compress i with
+      | None -> true
+      | Some hw -> (
+        match Compressed.decode hw with
+        | Ok i2 -> Inst.equal i i2
+        | Error _ -> false))
+
+let prop_compressed_is_16bit =
+  QCheck.Test.make ~count:1000 ~name:"compressed encodings fit 16 bits, low bits <> 11"
+    arb_inst
+    (fun i ->
+      QCheck.assume (Inst.valid i);
+      match Compressed.try_compress i with
+      | None -> true
+      | Some hw -> hw land 3 <> 3 && hw lsr 16 = 0 && hw <> 0)
+
+(* decoder totality: any 32-bit word either decodes or errors — never
+   raises — and accepted words re-encode to themselves when canonical *)
+let prop_decoder_total =
+  QCheck.Test.make ~count:3000 ~name:"decoder is total on random words"
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (lo, hi) ->
+      let w = lo lor (hi lsl 16) in
+      match Decode.decode w with
+      | Ok _ | Error _ -> true)
+
+let prop_compressed_decoder_total =
+  QCheck.Test.make ~count:3000 ~name:"compressed decoder is total on random parcels"
+    QCheck.(int_bound 0xFFFF)
+    (fun hw ->
+      match Compressed.decode hw with
+      | Ok _ | Error _ -> true)
+
+let test_disasm_roundtrip () =
+  let insts =
+    [ Inst.li Reg.a0 42L; Inst.ld_ro Reg.a0 Reg.a1 111;
+      Inst.Op (Inst.Add, Reg.a0, Reg.a0, Reg.a1); Inst.ret ]
+  in
+  let code = String.concat "" (List.map Roload_isa.Encode.encode_bytes insts) in
+  let items = Roload_isa.Disasm.disassemble code in
+  Alcotest.(check int) "count" 4 (List.length items);
+  Alcotest.(check string) "first" "li a0, 42" (List.nth items 0).Roload_isa.Disasm.text;
+  Alcotest.(check string) "roload" "ld.ro a0, (a1), 111"
+    (List.nth items 1).Roload_isa.Disasm.text
+
+let test_ext_constants () =
+  Alcotest.(check int) "key bits" 10 Ext.key_bits;
+  Alcotest.(check bool) "1023 in range" true (Ext.key_in_range 1023);
+  Alcotest.(check bool) "31 compressible" true (Ext.key_compressible 31);
+  Alcotest.(check bool) "32 not compressible" false (Ext.key_compressible 32)
+
+let test_reg_names () =
+  Alcotest.(check string) "a0" "a0" (Reg.name Reg.a0);
+  Alcotest.(check bool) "of_name a0" true (Reg.of_name "a0" = Some Reg.a0);
+  Alcotest.(check bool) "of_name x10" true (Reg.of_name "x10" = Some Reg.a0);
+  Alcotest.(check bool) "of_name fp" true (Reg.of_name "fp" = Some Reg.s0);
+  Alcotest.(check bool) "of_name bogus" true (Reg.of_name "q7" = None);
+  Alcotest.(check bool) "a0 compressible" true (Reg.is_compressible Reg.a0);
+  Alcotest.(check bool) "t3 not compressible" false (Reg.is_compressible Reg.t3)
+
+let suite =
+  [
+    Alcotest.test_case "golden encodings" `Quick test_golden_encodings;
+    Alcotest.test_case "roload encoding" `Quick test_roload_encoding;
+    Alcotest.test_case "roload reserved bits" `Quick test_roload_reserved_bits;
+    Alcotest.test_case "key range enforcement" `Quick test_key_range;
+    Alcotest.test_case "c.ld.ro" `Quick test_compressed_ldro;
+    Alcotest.test_case "c.ld.ro key limit" `Quick test_compressed_key_limit;
+    Alcotest.test_case "compression register limits" `Quick test_compressed_not_for_bad_regs;
+    Alcotest.test_case "compressed goldens" `Quick test_compressed_goldens;
+    Alcotest.test_case "disassembler" `Quick test_disasm_roundtrip;
+    Alcotest.test_case "extension constants" `Quick test_ext_constants;
+    Alcotest.test_case "register names" `Quick test_reg_names;
+    QCheck_alcotest.to_alcotest prop_decoder_total;
+    QCheck_alcotest.to_alcotest prop_compressed_decoder_total;
+    QCheck_alcotest.to_alcotest prop_encode_decode;
+    QCheck_alcotest.to_alcotest prop_encoded_is_32bit;
+    QCheck_alcotest.to_alcotest prop_compress_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compressed_is_16bit;
+  ]

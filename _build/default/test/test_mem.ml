@@ -1,0 +1,239 @@
+(* Memory-subsystem tests: physical memory, PTEs (key field), the Sv39
+   walker, the TLB, and the MMU's ROLoad condition. *)
+
+module Phys_mem = Roload_mem.Phys_mem
+module Perm = Roload_mem.Perm
+module Pte = Roload_mem.Pte
+module Page_table = Roload_mem.Page_table
+module Tlb = Roload_mem.Tlb
+module Mmu = Roload_mem.Mmu
+
+let page = Page_table.page_size
+
+let make_env () =
+  let mem = Phys_mem.create ~size:(4 * 1024 * 1024) in
+  let next = ref 1 in
+  let alloc_frame () =
+    let f = !next in
+    incr next;
+    Phys_mem.fill mem ~addr:(f * page) ~len:page '\000';
+    f
+  in
+  let pt = Page_table.create ~mem ~alloc_frame in
+  (mem, pt)
+
+let test_phys_mem () =
+  let mem = Phys_mem.create ~size:65536 in
+  Phys_mem.write_u64 mem 128 0x1122334455667788L;
+  Alcotest.(check int64) "u64 rt" 0x1122334455667788L (Phys_mem.read_u64 mem 128);
+  Alcotest.(check int) "byte LE" 0x88 (Phys_mem.read_u8 mem 128);
+  Alcotest.(check int) "u16 LE" 0x7788 (Phys_mem.read_u16 mem 128);
+  Phys_mem.write_string mem ~addr:1000 "hello";
+  Alcotest.(check string) "string rt" "hello" (Phys_mem.read_string mem ~addr:1000 ~len:5);
+  Alcotest.check_raises "oob" (Phys_mem.Out_of_range 65536) (fun () ->
+      ignore (Phys_mem.read_u8 mem 65536))
+
+let test_pte_fields () =
+  let pte = Pte.make ~ppn:0x1234 ~perms:Perm.ro ~user:true ~key:777 in
+  Alcotest.(check bool) "valid" true (Pte.valid pte);
+  Alcotest.(check bool) "leaf" true (Pte.is_leaf pte);
+  Alcotest.(check bool) "readable" true (Pte.readable pte);
+  Alcotest.(check bool) "not writable" false (Pte.writable pte);
+  Alcotest.(check int) "ppn" 0x1234 (Pte.ppn pte);
+  Alcotest.(check int) "key" 777 (Pte.key pte);
+  let pte2 = Pte.with_key pte 42 in
+  Alcotest.(check int) "with_key" 42 (Pte.key pte2);
+  Alcotest.(check int) "ppn preserved" 0x1234 (Pte.ppn pte2);
+  let table = Pte.make_table ~ppn:9 in
+  Alcotest.(check bool) "table not leaf" false (Pte.is_leaf table)
+
+(* the key lives in the reserved top-10 PTE bits (paper §III-A) *)
+let test_pte_key_position () =
+  let pte = Pte.make ~ppn:1 ~perms:Perm.ro ~user:true ~key:0x3FF in
+  let raw = Pte.to_int64 pte in
+  Alcotest.(check int64) "top 10 bits" 0x3FFL (Int64.shift_right_logical raw 54)
+
+let test_walk_and_map () =
+  let _mem, pt = make_env () in
+  let va = 0x40000000 in
+  Page_table.map_page pt ~va ~ppn:0x55 ~perms:Perm.rw ~user:true ~key:3;
+  (match Page_table.walk pt va with
+  | Ok { pte; steps; level; _ } ->
+    Alcotest.(check int) "ppn" 0x55 (Pte.ppn pte);
+    Alcotest.(check int) "key" 3 (Pte.key pte);
+    Alcotest.(check int) "leaf level" 0 level;
+    Alcotest.(check int) "3-level walk" 3 steps
+  | Error _ -> Alcotest.fail "expected mapping");
+  (match Page_table.walk pt (va + page) with
+  | Error Page_table.Not_mapped -> ()
+  | Error Page_table.Bad_alignment | Ok _ -> Alcotest.fail "next page must be unmapped");
+  Alcotest.(check int) "translate" ((0x55 * page) lor 0x123)
+    (Page_table.translate_exn pt (va lor 0x123));
+  Alcotest.(check int) "mapped pages" 1 (Page_table.mapped_pages pt);
+  Page_table.unmap_page pt ~va;
+  match Page_table.walk pt va with
+  | Error Page_table.Not_mapped -> ()
+  | Error Page_table.Bad_alignment | Ok _ -> Alcotest.fail "unmap failed"
+
+let test_set_key_and_perms () =
+  let _mem, pt = make_env () in
+  let va = 0x10000 in
+  Page_table.map_page pt ~va ~ppn:2 ~perms:Perm.rw ~user:true ~key:0;
+  (match Page_table.set_key pt ~va ~key:99 with Ok () -> () | Error _ -> Alcotest.fail "set_key");
+  (match Page_table.set_perms pt ~va ~perms:Perm.ro with Ok () -> () | Error _ -> Alcotest.fail "set_perms");
+  match Page_table.walk pt va with
+  | Ok { pte; _ } ->
+    Alcotest.(check int) "new key" 99 (Pte.key pte);
+    Alcotest.(check bool) "now read-only" false (Pte.writable pte)
+  | Error _ -> Alcotest.fail "walk"
+
+let test_tlb_lru () =
+  let tlb = Tlb.create ~name:"test" ~entries:2 in
+  let p n = Pte.make ~ppn:n ~perms:Perm.rw ~user:true ~key:0 in
+  Tlb.insert tlb ~vpn:1 ~pte:(p 1);
+  Tlb.insert tlb ~vpn:2 ~pte:(p 2);
+  Alcotest.(check bool) "hit 1" true (Tlb.lookup tlb 1 <> None);
+  (* inserting a third entry must evict vpn 2 (least recently used) *)
+  Tlb.insert tlb ~vpn:3 ~pte:(p 3);
+  Alcotest.(check bool) "1 survives" true (Tlb.lookup tlb 1 <> None);
+  Alcotest.(check bool) "2 evicted" true (Tlb.lookup tlb 2 = None);
+  Alcotest.(check bool) "3 present" true (Tlb.lookup tlb 3 <> None);
+  let st = Tlb.stats tlb in
+  Alcotest.(check int) "misses counted" 1 st.Tlb.misses;
+  Tlb.invalidate tlb ~vpn:3;
+  Alcotest.(check bool) "3 invalidated" true (Tlb.lookup tlb 3 = None);
+  Tlb.flush tlb;
+  Alcotest.(check int) "flushed empty" 0 (Tlb.occupancy tlb)
+
+let make_mmu ?(roload = true) pt =
+  Mmu.create ~page_table:pt ~itlb_entries:4 ~dtlb_entries:4 ~roload_check_enabled:roload
+
+let test_mmu_basic () =
+  let _mem, pt = make_env () in
+  let va = 0x20000 in
+  Page_table.map_page pt ~va ~ppn:7 ~perms:Perm.rw ~user:true ~key:0;
+  let mmu = make_mmu pt in
+  (match Mmu.translate mmu ~access:Perm.Load va with
+  | Ok { pa; tlb_hit; walk_steps } ->
+    Alcotest.(check int) "pa" (7 * page) pa;
+    Alcotest.(check bool) "first is miss" false tlb_hit;
+    Alcotest.(check int) "walk steps" 3 walk_steps
+  | Error f -> Alcotest.fail (Mmu.fault_to_string f));
+  (match Mmu.translate mmu ~access:Perm.Load va with
+  | Ok { tlb_hit; walk_steps; _ } ->
+    Alcotest.(check bool) "second is hit" true tlb_hit;
+    Alcotest.(check int) "no walk" 0 walk_steps
+  | Error f -> Alcotest.fail (Mmu.fault_to_string f));
+  (* store allowed on rw, fetch denied *)
+  (match Mmu.translate mmu ~access:Perm.Store va with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Mmu.fault_to_string f));
+  match Mmu.translate mmu ~access:Perm.Fetch va with
+  | Error (Mmu.Page_fault _) -> ()
+  | Error (Mmu.Roload_fault _) | Ok _ -> Alcotest.fail "fetch of rw page must fault"
+
+let test_mmu_roload_conditions () =
+  let _mem, pt = make_env () in
+  let ro_keyed = 0x30000 and ro_plain = 0x31000 and rw = 0x32000 and rx = 0x33000 in
+  Page_table.map_page pt ~va:ro_keyed ~ppn:3 ~perms:Perm.ro ~user:true ~key:7;
+  Page_table.map_page pt ~va:ro_plain ~ppn:4 ~perms:Perm.ro ~user:true ~key:0;
+  Page_table.map_page pt ~va:rw ~ppn:5 ~perms:Perm.rw ~user:true ~key:7;
+  Page_table.map_page pt ~va:rx ~ppn:6 ~perms:Perm.rx ~user:true ~key:7;
+  let mmu = make_mmu pt in
+  let roload key va = Mmu.translate mmu ~access:(Perm.Roload key) va in
+  (* matching key on a read-only page: allowed *)
+  (match roload 7 ro_keyed with Ok _ -> () | Error f -> Alcotest.fail (Mmu.fault_to_string f));
+  (* wrong key: the new fault class, carrying triage detail *)
+  (match roload 9 ro_keyed with
+  | Error (Mmu.Roload_fault { key_requested = 9; page_key = 7; _ }) -> ()
+  | _ -> Alcotest.fail "wrong key must raise a ROLoad fault");
+  (* key 0 page with key-0 request: allowed (default rodata) *)
+  (match roload 0 ro_plain with Ok _ -> () | Error f -> Alcotest.fail (Mmu.fault_to_string f));
+  (* writable page: denied even with a matching key *)
+  (match roload 7 rw with
+  | Error (Mmu.Roload_fault { page_perms; _ }) ->
+    Alcotest.(check bool) "writable" true page_perms.Perm.w
+  | _ -> Alcotest.fail "writable pointee must fault");
+  (* executable page: denied (the separate-code motivation) *)
+  (match roload 7 rx with
+  | Error (Mmu.Roload_fault _) -> ()
+  | _ -> Alcotest.fail "executable page must fault");
+  (* an ordinary load of the same pages is fine *)
+  match Mmu.translate mmu ~access:Perm.Load rw with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Mmu.fault_to_string f)
+
+let test_mmu_roload_disabled () =
+  let _mem, pt = make_env () in
+  let rw = 0x40000 in
+  Page_table.map_page pt ~va:rw ~ppn:3 ~perms:Perm.rw ~user:true ~key:0;
+  let mmu = make_mmu ~roload:false pt in
+  (* without the check logic, Roload degrades to Load *)
+  match Mmu.translate mmu ~access:(Perm.Roload 5) rw with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Mmu.fault_to_string f)
+
+let test_mmu_invalidate () =
+  let _mem, pt = make_env () in
+  let va = 0x50000 in
+  Page_table.map_page pt ~va ~ppn:3 ~perms:Perm.rw ~user:true ~key:0;
+  let mmu = make_mmu pt in
+  (match Mmu.translate mmu ~access:Perm.Load va with Ok _ -> () | Error _ -> Alcotest.fail "t");
+  (* change the mapping under the TLB's feet, then invalidate *)
+  (match Page_table.set_perms pt ~va ~perms:Perm.ro with Ok () -> () | Error _ -> ());
+  Mmu.invalidate mmu ~va;
+  match Mmu.translate mmu ~access:Perm.Store va with
+  | Error (Mmu.Page_fault _) -> ()
+  | _ -> Alcotest.fail "store after downgrade must fault"
+
+(* property: the PTE field encoding round-trips *)
+let prop_pte_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"PTE fields round-trip"
+    QCheck.(triple (int_bound 0xFFFFF) (int_bound 1023) bool)
+    (fun (ppn, key, writable) ->
+      let perms = if writable then Perm.rw else Perm.ro in
+      let pte = Pte.make ~ppn ~perms ~user:true ~key in
+      Pte.ppn pte = ppn && Pte.key pte = key && Pte.writable pte = writable
+      && Pte.valid pte && Pte.user pte)
+
+(* property: TLB-cached translation agrees with a direct walk *)
+let prop_tlb_walk_agree =
+  QCheck.Test.make ~count:100 ~name:"MMU translation = direct walk"
+    QCheck.(small_list (pair (int_bound 255) (int_bound 3)))
+    (fun pages ->
+      let _mem, pt = make_env () in
+      let mmu = make_mmu pt in
+      let mapped = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, k) ->
+          let va = 0x100000 + (slot * page) in
+          if not (Hashtbl.mem mapped va) then begin
+            Page_table.map_page pt ~va ~ppn:(100 + slot) ~perms:Perm.rw ~user:true ~key:k;
+            Hashtbl.add mapped va (100 + slot)
+          end)
+        pages;
+      Hashtbl.fold
+        (fun va ppn acc ->
+          acc
+          &&
+          (* translate twice: miss path then hit path must agree *)
+          match (Mmu.translate mmu ~access:Perm.Load va, Mmu.translate mmu ~access:Perm.Load va) with
+          | Ok a, Ok b -> a.Mmu.pa = ppn * page && b.Mmu.pa = a.Mmu.pa
+          | _ -> false)
+        mapped true)
+
+let suite =
+  [
+    Alcotest.test_case "physical memory" `Quick test_phys_mem;
+    Alcotest.test_case "pte fields" `Quick test_pte_fields;
+    Alcotest.test_case "pte key position (top 10 bits)" `Quick test_pte_key_position;
+    Alcotest.test_case "sv39 walk/map/unmap" `Quick test_walk_and_map;
+    Alcotest.test_case "set key and perms" `Quick test_set_key_and_perms;
+    Alcotest.test_case "tlb lru" `Quick test_tlb_lru;
+    Alcotest.test_case "mmu basic + tlb fill" `Quick test_mmu_basic;
+    Alcotest.test_case "mmu roload conditions" `Quick test_mmu_roload_conditions;
+    Alcotest.test_case "mmu roload disabled" `Quick test_mmu_roload_disabled;
+    Alcotest.test_case "mmu invalidate" `Quick test_mmu_invalidate;
+    QCheck_alcotest.to_alcotest prop_pte_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tlb_walk_agree;
+  ]

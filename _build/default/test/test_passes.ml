@@ -1,0 +1,293 @@
+(* Hardening-pass tests on the IR level: key assignment, section moves,
+   GFPT construction, metadata annotation, CFI label consistency. *)
+
+module Ir = Roload_ir.Ir
+module Pass = Roload_passes.Pass
+module Keys = Roload_passes.Keys
+module Parser = Roload_front.Parser
+module Lower = Roload_front.Lower
+
+let lower src = Lower.lower (Parser.parse src) ~module_name:"t"
+
+let class_src = {|
+class Animal {
+  int weight;
+  virtual int noise() { return 1; }
+};
+class Dog : Animal {
+  virtual int noise() { return 2; }
+};
+class Tool {
+  int size;
+  virtual int use() { return 3; }
+};
+int main() {
+  Animal *a = (Animal*)(new Dog);
+  Tool *t = new Tool;
+  return a->noise() + t->use();
+}
+|}
+
+let fptr_src = {|
+typedef int (*cb_t)(int);
+int f(int x) { return x; }
+int g(int x) { return x + 1; }
+cb_t table[2] = { f, g };
+int main() {
+  cb_t h = f;
+  return h(1) + table[1](2);
+}
+|}
+
+(* projections that survive the inline records *)
+let vcall_mds m =
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun b ->
+          List.filter_map
+            (function
+              | Ir.Vcall { md; _ } -> Some md
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+              | Ir.Call_indirect _ ->
+                None)
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs
+
+let icall_mds m =
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun b ->
+          List.filter_map
+            (function
+              | Ir.Call_indirect { md; _ } -> Some md
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+              | Ir.Vcall _ ->
+                None)
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs
+
+let vt_section m cls = (Option.get (Ir.find_global m ("__vt$" ^ cls))).Ir.g_section
+
+let test_vcall_pass () =
+  let m = lower class_src in
+  let report = Pass.apply Pass.Vcall m in
+  Alcotest.(check int) "3 vtables rekeyed" 3
+    (List.assoc "vtables rekeyed" report.Pass.annotations);
+  Alcotest.(check int) "2 hierarchy keys" 2
+    (List.assoc "hierarchy keys" report.Pass.annotations);
+  Roload_ir.Verify.check_module_exn m;
+  Alcotest.(check string) "Dog shares Animal's key" (vt_section m "Animal") (vt_section m "Dog");
+  Alcotest.(check bool) "Tool gets its own key" true
+    (vt_section m "Tool" <> vt_section m "Animal");
+  List.iter
+    (fun (md : Ir.vcall_md) ->
+      Alcotest.(check bool) "vcall annotated" true (md.Ir.vc_roload_key <> None);
+      Alcotest.(check bool) "no vtint mixed in" false md.Ir.vc_vtint)
+    (vcall_mds m);
+  Alcotest.(check bool) "some vcalls present" true (vcall_mds m <> [])
+
+let test_icall_pass () =
+  let m = lower fptr_src in
+  let report = Pass.apply Pass.Icall m in
+  Roload_ir.Verify.check_module_exn m;
+  Alcotest.(check int) "2 gfpt entries" 2 (List.assoc "gfpt entries" report.Pass.annotations);
+  Alcotest.(check int) "1 type key" 1 (List.assoc "type keys" report.Pass.annotations);
+  (* no Func_addr values survive in instruction operands: the printed IR
+     renders them as "&name" *)
+  let func_addr_left =
+    List.exists
+      (fun f ->
+        List.exists
+          (fun b ->
+            List.exists
+              (fun i ->
+                let s = Ir.instr_to_string i in
+                let rec has i0 =
+                  i0 + 1 < String.length s
+                  && ((s.[i0] = '&' && s.[i0 + 1] <> '&') || has (i0 + 1))
+                in
+                has 0)
+              b.Ir.b_instrs)
+          f.Ir.f_blocks)
+      m.Ir.m_funcs
+  in
+  Alcotest.(check bool) "func addrs rewritten" false func_addr_left;
+  (* the global fptr table now references GFPT slots, not functions *)
+  (match Ir.find_global m "table" with
+  | Some g ->
+    List.iter
+      (function
+        | Ir.G_global gg ->
+          Alcotest.(check bool) "points at gfpt" true
+            (String.length gg > 7 && String.sub gg 0 7 = "__gfpt$")
+        | Ir.G_func _ -> Alcotest.fail "raw function address left in table"
+        | Ir.G_int _ -> ())
+      g.Ir.g_init
+  | None -> Alcotest.fail "table missing");
+  (* icall metadata set *)
+  List.iter
+    (fun (md : Ir.icall_md) ->
+      Alcotest.(check bool) "icall annotated" true (md.Ir.ic_roload_key <> None))
+    (icall_mds m);
+  Alcotest.(check int) "two icalls" 2 (List.length (icall_mds m))
+
+let test_icall_unified_vtable_key () =
+  let m = lower class_src in
+  let _ = Pass.apply Pass.Icall m in
+  let expected = Keys.keyed_rodata_section Roload_isa.Roload_ext.key_vtable_unified in
+  List.iter
+    (fun cls -> Alcotest.(check string) (cls ^ " unified") expected (vt_section m cls))
+    [ "Animal"; "Dog"; "Tool" ];
+  List.iter
+    (fun (md : Ir.vcall_md) ->
+      Alcotest.(check bool) "unified key" true
+        (md.Ir.vc_roload_key = Some Roload_isa.Roload_ext.key_vtable_unified))
+    (vcall_mds m)
+
+let test_vtint_pass () =
+  let m = lower class_src in
+  let report = Pass.apply Pass.Vtint_baseline m in
+  Alcotest.(check int) "2 vcalls checked" 2
+    (List.assoc "vcalls range-checked" report.Pass.annotations);
+  List.iter
+    (fun (md : Ir.vcall_md) ->
+      Alcotest.(check bool) "vtint set" true md.Ir.vc_vtint;
+      Alcotest.(check bool) "no roload key" true (md.Ir.vc_roload_key = None))
+    (vcall_mds m);
+  (* vtables stay in plain .rodata *)
+  Alcotest.(check string) "rodata" ".rodata" (vt_section m "Animal")
+
+let test_cfi_pass_labels () =
+  let m = lower class_src in
+  let report = Pass.apply Pass.Cfi_baseline m in
+  Alcotest.(check int) "2 vcalls checked" 2
+    (List.assoc "vcalls checked" report.Pass.annotations);
+  (* overriding methods share the slot label with the base *)
+  let id name = (Option.get (Ir.find_func m name)).Ir.f_cfi_id in
+  Alcotest.(check bool) "Animal$noise labelled" true (id "Animal$noise" <> None);
+  Alcotest.(check bool) "override shares label" true (id "Animal$noise" = id "Dog$noise");
+  Alcotest.(check bool) "other hierarchy differs" true (id "Tool$use" <> id "Animal$noise");
+  (* non-address-taken plain functions stay unlabelled *)
+  Alcotest.(check bool) "main unlabelled" true (id "main" = None)
+
+let test_cfi_icall_labels_by_type () =
+  let m = lower fptr_src in
+  let _ = Pass.apply Pass.Cfi_baseline m in
+  let id name = (Option.get (Ir.find_func m name)).Ir.f_cfi_id in
+  Alcotest.(check bool) "f labelled" true (id "f" <> None);
+  Alcotest.(check bool) "same type same label" true (id "f" = id "g");
+  List.iter
+    (fun (md : Ir.icall_md) ->
+      Alcotest.(check bool) "check label = target label" true
+        (md.Ir.ic_cfi_label = id "f"))
+    (icall_mds m)
+
+let test_unprotected_is_identity () =
+  let m = lower class_src in
+  let before = Ir.modul_to_string m in
+  let _ = Pass.apply Pass.Unprotected m in
+  Alcotest.(check string) "unchanged" before (Ir.modul_to_string m)
+
+let test_key_allocator () =
+  let a = Keys.create () in
+  let k1 = Keys.key_for a "alpha" in
+  let k2 = Keys.key_for a "beta" in
+  Alcotest.(check bool) "distinct" true (k1 <> k2);
+  Alcotest.(check int) "memoized" k1 (Keys.key_for a "alpha");
+  Alcotest.(check bool) "starts past reserved keys" true
+    (k1 >= Roload_isa.Roload_ext.first_type_key);
+  Alcotest.(check int) "count" 2 (Keys.count a)
+
+(* ---------- optimizer ---------- *)
+
+let test_constfold () =
+  let m = lower "int main() { int a = 2 + 3 * 4; if (1) { return a; } return 0; }" in
+  let s = Roload_passes.Constfold.run m in
+  Alcotest.(check bool) "folded something" true (s.Roload_passes.Constfold.folded > 0);
+  Alcotest.(check bool) "resolved the constant branch" true
+    (s.Roload_passes.Constfold.branches_resolved > 0);
+  Roload_ir.Verify.check_module_exn m
+
+let test_dce_removes_dead () =
+  let m =
+    lower
+      {|
+int main() {
+  int dead = 12345 * 99;   // never used
+  int live = 7;
+  return live;
+}
+|}
+  in
+  let _ = Roload_passes.Constfold.run m in
+  let s = Roload_passes.Dce.run m in
+  Alcotest.(check bool) "instructions removed" true (s.Roload_passes.Dce.instrs_removed > 0);
+  Roload_ir.Verify.check_module_exn m
+
+let test_dce_removes_unreachable_blocks () =
+  (* lowering after `return` produces a dead block *)
+  let m = lower "int main() { return 1; }" in
+  let s = Roload_passes.Dce.run m in
+  Alcotest.(check bool) "dead block removed" true (s.Roload_passes.Dce.blocks_removed > 0)
+
+let test_optimizer_preserves_semantics () =
+  let src =
+    {|
+int work(int n) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int tmp = (3 * 4 + i) % 7;
+    int unused = i * i + 42;
+    acc = acc + tmp;
+  }
+  return acc;
+}
+int main() { print_int(work(50)); print_char('\n'); return 0; }
+|}
+  in
+  let run optimize =
+    let options = { Core.Toolchain.default_options with optimize } in
+    let exe = Core.Toolchain.compile_exe ~options ~name:"t" src in
+    (Core.System.run ~variant:Core.System.Processor_kernel_modified exe).Core.System.output
+  in
+  Alcotest.(check string) "same output" (run false) (run true)
+
+let test_optimizer_shrinks_work () =
+  let src = "int main() { int a = 1 + 2 + 3 + 4 + 5; return a * 0; }" in
+  let run optimize =
+    let options = { Core.Toolchain.default_options with optimize } in
+    let exe = Core.Toolchain.compile_exe ~options ~name:"t" src in
+    (Core.System.run ~variant:Core.System.Processor_kernel_modified exe).Core.System.instructions
+  in
+  Alcotest.(check bool) "fewer instructions" true (Int64.compare (run true) (run false) < 0)
+
+let test_scheme_names () =
+  List.iter
+    (fun s ->
+      match Pass.scheme_of_string (Pass.scheme_name s) with
+      | Some s2 -> Alcotest.(check bool) "roundtrip" true (s = s2)
+      | None -> Alcotest.fail "scheme name roundtrip")
+    Pass.all_schemes
+
+let suite =
+  [
+    Alcotest.test_case "vcall pass (per-hierarchy keys)" `Quick test_vcall_pass;
+    Alcotest.test_case "icall pass (gfpt + rewriting)" `Quick test_icall_pass;
+    Alcotest.test_case "icall unified vtable key" `Quick test_icall_unified_vtable_key;
+    Alcotest.test_case "vtint pass" `Quick test_vtint_pass;
+    Alcotest.test_case "cfi labels per hierarchy slot" `Quick test_cfi_pass_labels;
+    Alcotest.test_case "cfi labels per type" `Quick test_cfi_icall_labels_by_type;
+    Alcotest.test_case "unprotected is identity" `Quick test_unprotected_is_identity;
+    Alcotest.test_case "constant folding" `Quick test_constfold;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead;
+    Alcotest.test_case "dce removes unreachable blocks" `Quick test_dce_removes_unreachable_blocks;
+    Alcotest.test_case "optimizer preserves semantics" `Quick test_optimizer_preserves_semantics;
+    Alcotest.test_case "optimizer shrinks work" `Quick test_optimizer_shrinks_work;
+    Alcotest.test_case "key allocator" `Quick test_key_allocator;
+    Alcotest.test_case "scheme names roundtrip" `Quick test_scheme_names;
+  ]

@@ -1,0 +1,114 @@
+(* Security-evaluation tests: the attack corpus outcomes per scheme —
+   the machine-checked version of paper §V-C2 and §V-D. *)
+
+module Pass = Roload_passes.Pass
+module Attack = Roload_security.Attack
+module Eval = Roload_security.Eval
+
+let exe_cache : (Pass.scheme, Roload_obj.Exe.t) Hashtbl.t = Hashtbl.create 8
+
+let victim scheme =
+  match Hashtbl.find_opt exe_cache scheme with
+  | Some exe -> exe
+  | None ->
+    let exe =
+      Core.Toolchain.compile_exe
+        ~options:{ Core.Toolchain.default_options with scheme }
+        ~name:"victim" Roload_security.Victim.source
+    in
+    Hashtbl.add exe_cache scheme exe;
+    exe
+
+let outcome scheme kind = Eval.run ~exe:(victim scheme) kind
+
+let check_hijacked name o =
+  match o with
+  | Attack.Hijacked -> ()
+  | _ -> Alcotest.failf "%s: expected hijack, got %s" name (Attack.outcome_name o)
+
+let check_blocked name o =
+  if not (Attack.is_blocked o) then
+    Alcotest.failf "%s: expected blocked, got %s" name (Attack.outcome_name o)
+
+let check_blocked_roload name o =
+  match o with
+  | Attack.Blocked_roload -> ()
+  | _ -> Alcotest.failf "%s: expected a ROLoad fault, got %s" name (Attack.outcome_name o)
+
+let test_victim_benign () =
+  List.iter
+    (fun scheme ->
+      let m = Core.System.run ~variant:Core.System.Processor_kernel_modified (victim scheme) in
+      Alcotest.(check string)
+        (Pass.scheme_name scheme ^ " benign output")
+        Roload_security.Victim.benign_output m.Core.System.output)
+    Pass.all_schemes
+
+let test_unprotected_all_hijacked () =
+  List.iter
+    (fun kind ->
+      check_hijacked (Attack.kind_name kind) (outcome Pass.Unprotected kind))
+    Attack.all_kinds
+
+let test_vcall_blocks_vtable_attacks () =
+  check_blocked_roload "injection" (outcome Pass.Vcall Attack.Vtable_injection);
+  check_blocked_roload "reuse" (outcome Pass.Vcall Attack.Vtable_corruption_reuse);
+  (* out of scope: function pointers *)
+  check_hijacked "fptr out of scope" (outcome Pass.Vcall Attack.Fptr_overwrite)
+
+let test_vtint_weaker_than_vcall () =
+  (* VTint stops the injected writable vtable... *)
+  check_blocked "injection" (outcome Pass.Vtint_baseline Attack.Vtable_injection);
+  (* ...but accepts any read-only data as a vtable (paper: VCall is
+     strictly stronger) *)
+  check_hijacked "reuse passes range check"
+    (outcome Pass.Vtint_baseline Attack.Vtable_corruption_reuse)
+
+let test_icall_type_policy () =
+  check_blocked "overwrite with code address" (outcome Pass.Icall Attack.Fptr_overwrite);
+  check_blocked_roload "wrong type" (outcome Pass.Icall Attack.Fptr_type_confusion);
+  check_blocked_roload "vtable injection" (outcome Pass.Icall Attack.Vtable_injection)
+
+let test_icall_unified_key_tradeoff () =
+  (* the unified vtable key cannot distinguish hierarchies — the locality
+     trade-off of paper §V-C1b *)
+  check_hijacked "cross-hierarchy vtable reuse"
+    (outcome Pass.Icall Attack.Vtable_corruption_reuse)
+
+let test_cfi_blocks_labelled () =
+  check_blocked "injection" (outcome Pass.Cfi_baseline Attack.Vtable_injection);
+  check_blocked "reuse" (outcome Pass.Cfi_baseline Attack.Vtable_corruption_reuse);
+  check_blocked "overwrite" (outcome Pass.Cfi_baseline Attack.Fptr_overwrite);
+  check_blocked "type confusion" (outcome Pass.Cfi_baseline Attack.Fptr_type_confusion)
+
+(* the paper's §V-D residual risk: same-key pointee reuse survives every
+   scheme (allowlist members stay mutually reachable) *)
+let test_pointee_reuse_residual () =
+  List.iter
+    (fun scheme ->
+      check_hijacked
+        (Pass.scheme_name scheme ^ " pointee reuse")
+        (outcome scheme Attack.Pointee_reuse_same_key))
+    Pass.all_schemes
+
+let test_matrix_driver () =
+  let r = Core.Experiments.security () in
+  Alcotest.(check int) "5 schemes" (List.length Pass.all_schemes)
+    (List.length r.Core.Experiments.matrix);
+  List.iter
+    (fun (_, results) ->
+      Alcotest.(check int) "5 attacks" (List.length Attack.all_kinds) (List.length results))
+    r.Core.Experiments.matrix
+
+let suite =
+  [
+    Alcotest.test_case "victim benign under all schemes" `Quick test_victim_benign;
+    Alcotest.test_case "unprotected: all hijacked" `Quick test_unprotected_all_hijacked;
+    Alcotest.test_case "vcall blocks vtable attacks" `Quick test_vcall_blocks_vtable_attacks;
+    Alcotest.test_case "vtint weaker than vcall" `Quick test_vtint_weaker_than_vcall;
+    Alcotest.test_case "icall type-based policy" `Quick test_icall_type_policy;
+    Alcotest.test_case "icall unified-key tradeoff" `Quick test_icall_unified_key_tradeoff;
+    Alcotest.test_case "cfi blocks labelled attacks" `Quick test_cfi_blocks_labelled;
+    Alcotest.test_case "pointee reuse residual (V-D)" `Quick test_pointee_reuse_residual;
+    Alcotest.test_case "matrix driver" `Quick test_matrix_driver;
+  ]

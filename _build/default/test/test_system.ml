@@ -1,0 +1,270 @@
+(* End-to-end tests: assemble → link → load → run on the simulated
+   system, including the ROLoad happy path and both fault paths. *)
+
+module Machine = Roload_machine.Machine
+module Config = Roload_machine.Config
+module Kernel = Roload_kernel.Kernel
+module Process = Roload_kernel.Process
+module Signal = Roload_kernel.Signal
+module Linker = Roload_link.Linker
+
+let build_exe ?(separate_code = true) src =
+  let items = Roload_asm.Asm_parser.parse src in
+  let obj = Roload_asm.Assemble.assemble items in
+  let options = { Linker.default_options with separate_code } in
+  Linker.link ~options [ obj ]
+
+let run_exe ?(machine_config = Config.default) ?(kernel_config = Kernel.default_config) exe =
+  let machine = Machine.create machine_config in
+  let kernel = Kernel.create ~machine ~config:kernel_config in
+  let _process, outcome = Kernel.exec kernel exe in
+  outcome
+
+(* exit(42) *)
+let exit42 = {|
+.section .text
+_start:
+    li a0, 42
+    li a7, 93
+    ecall
+|}
+
+let test_exit () =
+  let outcome = run_exe (build_exe exit42) in
+  match outcome.Kernel.status with
+  | Process.Exited 42 -> ()
+  | s ->
+    Alcotest.failf "expected Exited 42, got %s"
+      (match s with
+      | Process.Exited n -> Printf.sprintf "Exited %d" n
+      | Process.Killed sg -> Signal.to_string sg
+      | Process.Running -> "Running")
+
+(* write(1, "hi\n", 3); exit(0) *)
+let hello = {|
+.section .text
+_start:
+    li a0, 1
+    la a1, msg
+    li a2, 3
+    li a7, 64
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.section .rodata
+msg:
+    .asciz "hi\n"
+|}
+
+let test_hello () =
+  let outcome = run_exe (build_exe hello) in
+  Alcotest.(check string) "output" "hi\n" outcome.Kernel.output;
+  (match outcome.Kernel.status with
+  | Process.Exited 0 -> ()
+  | _ -> Alcotest.fail "expected clean exit")
+
+(* The Listing-3 pattern: a keyed GFPT and an ld.ro-guarded indirect call. *)
+let listing3 = {|
+.section .text
+_start:
+    la a0, gfpt_foo
+    ld.ro a0, (a0), 111
+    jalr a0
+    li a7, 93
+    ecall
+foo:
+    li a0, 7
+    ret
+.section .rodata.key.111
+gfpt_foo:
+    .quad foo
+|}
+
+let test_roload_happy_path () =
+  let outcome = run_exe (build_exe listing3) in
+  match outcome.Kernel.status with
+  | Process.Exited 7 -> ()
+  | Process.Killed sg -> Alcotest.failf "killed: %s" (Signal.to_string sg)
+  | Process.Exited n -> Alcotest.failf "exited %d" n
+  | Process.Running -> Alcotest.fail "still running"
+
+(* ld.ro with a mismatched key must raise the ROLoad fault → SIGSEGV with
+   triage detail. *)
+let wrong_key = {|
+.section .text
+_start:
+    la a0, gfpt_foo
+    ld.ro a0, (a0), 222
+    jalr a0
+    li a7, 93
+    ecall
+foo:
+    li a0, 7
+    ret
+.section .rodata.key.111
+gfpt_foo:
+    .quad foo
+|}
+
+let test_roload_wrong_key () =
+  let outcome = run_exe (build_exe wrong_key) in
+  match outcome.Kernel.status with
+  | Process.Killed (Signal.Sigsegv (Signal.Roload_violation { key_requested; page_key; _ })) ->
+    Alcotest.(check int) "requested key" 222 key_requested;
+    Alcotest.(check int) "page key" 111 page_key
+  | _ -> Alcotest.fail "expected a ROLoad violation"
+
+(* ld.ro from a writable page must fault even with a matching key of 0. *)
+let writable_pointee = {|
+.section .text
+_start:
+    la a0, slot
+    ld.ro a0, (a0), 0
+    jalr a0
+    li a7, 93
+    ecall
+foo:
+    li a0, 7
+    ret
+.section .data
+slot:
+    .quad foo
+|}
+
+let test_roload_writable_pointee () =
+  let outcome = run_exe (build_exe writable_pointee) in
+  match outcome.Kernel.status with
+  | Process.Killed (Signal.Sigsegv (Signal.Roload_violation { page_perms; _ })) ->
+    Alcotest.(check bool) "page is writable" true page_perms.Roload_mem.Perm.w
+  | _ -> Alcotest.fail "expected a ROLoad violation"
+
+(* On the baseline processor, ld.ro is an illegal instruction. *)
+let test_baseline_rejects_ldro () =
+  let outcome = run_exe ~machine_config:Config.baseline (build_exe listing3) in
+  match outcome.Kernel.status with
+  | Process.Killed (Signal.Sigill _) -> ()
+  | _ -> Alcotest.fail "expected SIGILL on the baseline processor"
+
+(* Without separate-code layout, the keyed rodata lands in the r-x
+   segment and ld.ro faults (paper §V-B's -z separate-code requirement). *)
+let test_no_separate_code_faults () =
+  let outcome = run_exe (build_exe ~separate_code:false listing3) in
+  match outcome.Kernel.status with
+  | Process.Killed (Signal.Sigsegv (Signal.Roload_violation { page_perms; _ })) ->
+    Alcotest.(check bool) "page is executable" true page_perms.Roload_mem.Perm.x
+  | _ -> Alcotest.fail "expected a ROLoad violation without separate-code"
+
+(* The stock kernel reports a plain SIGSEGV for the same fault (no
+   triage), and refuses key arguments on mmap. *)
+let test_stock_kernel_no_triage () =
+  let outcome =
+    run_exe ~kernel_config:Kernel.stock_kernel_config (build_exe wrong_key)
+  in
+  match outcome.Kernel.status with
+  | Process.Killed (Signal.Sigsegv (Signal.Access_violation _)) -> ()
+  | Process.Killed (Signal.Sigsegv (Signal.Roload_violation _)) ->
+    Alcotest.fail "stock kernel must not triage ROLoad faults"
+  | _ -> Alcotest.fail "expected SIGSEGV"
+
+(* A loop summing 1..100, to exercise branches and the cycle model. *)
+let loop_sum = {|
+.section .text
+_start:
+    li a0, 0
+    li a1, 1
+    li a2, 101
+1loop:
+    add a0, a0, a1
+    addi a1, a1, 1
+    bne a1, a2, 1loop
+    li a7, 93
+    ecall
+|}
+
+let test_loop_sum () =
+  let outcome = run_exe (build_exe loop_sum) in
+  (match outcome.Kernel.status with
+  | Process.Exited n -> Alcotest.(check int) "sum" (5050 land 0xFF) (n land 0xFF)
+  | _ -> Alcotest.fail "expected exit");
+  Alcotest.(check bool) "cycles counted" true (Int64.compare outcome.Kernel.cycles 0L > 0)
+
+(* Backward-edge pointee integrity (paper §IV-C): the caller passes the
+   address of a keyed return-site cell in ra; the epilogue dereferences
+   it with ld.ro.  A smashed saved-ra pointing at raw code must fault;
+   pointing at another legitimate cell is the documented residual. *)
+let retcall_asm ~smash_with = Printf.sprintf {|
+.section .text
+_start:
+    la ra, cell0
+    j victim
+site0:
+    li a0, 0
+    li a7, 93
+    ecall
+victim:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    # the attacker overwrites the saved return slot
+    la t0, %s
+    sd t0, 8(sp)
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ld.ro ra, (ra), 1023
+    jr ra
+.align 8
+gadget:
+    li a0, 42
+    li a7, 93
+    ecall
+.section .rodata.key.1023
+cell0:
+    .quad site0
+cell1:
+    .quad gadget2_site
+.section .text
+gadget2_site:
+    li a0, 7
+    li a7, 93
+    ecall
+|} smash_with
+
+let test_retcall_smash_blocked () =
+  let outcome = run_exe (build_exe (retcall_asm ~smash_with:"gadget")) in
+  match outcome.Kernel.status with
+  | Process.Killed (Signal.Sigsegv (Signal.Roload_violation { key_requested = 1023; _ })) -> ()
+  | _ -> Alcotest.failf "expected ROLoad fault, got %s"
+           (match outcome.Kernel.status with
+           | Process.Killed sg -> Signal.to_string sg
+           | Process.Exited n -> Printf.sprintf "exit %d" n
+           | Process.Running -> "running")
+
+let test_retcall_benign_path () =
+  let outcome = run_exe (build_exe (retcall_asm ~smash_with:"cell0")) in
+  match outcome.Kernel.status with
+  | Process.Exited 0 -> ()
+  | _ -> Alcotest.fail "legitimate cell must return normally"
+
+let test_retcall_cell_reuse_residual () =
+  (* pointing the saved slot at another legitimate cell survives — the
+     same-key reuse surface of paper §V-D, now on the backward edge *)
+  let outcome = run_exe (build_exe (retcall_asm ~smash_with:"cell1")) in
+  match outcome.Kernel.status with
+  | Process.Exited 7 -> ()
+  | _ -> Alcotest.fail "expected the reuse path to reach gadget2_site"
+
+let suite =
+  [
+    Alcotest.test_case "exit status" `Quick test_exit;
+    Alcotest.test_case "retcall: smashed ra faults" `Quick test_retcall_smash_blocked;
+    Alcotest.test_case "retcall: benign path" `Quick test_retcall_benign_path;
+    Alcotest.test_case "retcall: cell reuse residual" `Quick test_retcall_cell_reuse_residual;
+    Alcotest.test_case "write output" `Quick test_hello;
+    Alcotest.test_case "roload happy path (Listing 3)" `Quick test_roload_happy_path;
+    Alcotest.test_case "roload wrong key faults" `Quick test_roload_wrong_key;
+    Alcotest.test_case "roload writable pointee faults" `Quick test_roload_writable_pointee;
+    Alcotest.test_case "baseline processor rejects ld.ro" `Quick test_baseline_rejects_ldro;
+    Alcotest.test_case "no separate-code layout faults" `Quick test_no_separate_code_faults;
+    Alcotest.test_case "stock kernel lacks triage" `Quick test_stock_kernel_no_triage;
+    Alcotest.test_case "loop sum + cycle model" `Quick test_loop_sum;
+  ]

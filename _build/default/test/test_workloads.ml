@@ -1,0 +1,87 @@
+(* Workload-suite tests: every benchmark compiles under every scheme; a
+   sample runs to completion with scheme-independent output; suite
+   composition matches the paper (11 benchmarks, 3 C++). *)
+
+module Suite = Roload_workloads.Spec_suite
+module Pass = Roload_passes.Pass
+
+let test_composition () =
+  Alcotest.(check int) "11 benchmarks (perlbench excluded)" 11 (List.length Suite.all);
+  Alcotest.(check int) "3 C++ benchmarks" 3 (List.length Suite.cxx_benchmarks);
+  Alcotest.(check (list string)) "C++ set"
+    [ "omnetpp"; "astar"; "xalancbmk" ]
+    (List.map (fun b -> b.Suite.name) Suite.cxx_benchmarks);
+  Alcotest.(check bool) "names unique" true
+    (List.sort_uniq compare Suite.names = List.sort compare Suite.names)
+
+(* compilation under every scheme (no execution — fast) *)
+let test_all_compile_all_schemes () =
+  List.iter
+    (fun b ->
+      List.iter
+        (fun scheme ->
+          let options = { Core.Toolchain.default_options with scheme } in
+          match
+            Core.Toolchain.compile_exe ~options ~name:b.Suite.name (b.Suite.source ~scale:1)
+          with
+          | _ -> ()
+          | exception Core.Toolchain.Compile_error e ->
+            Alcotest.failf "%s under %s: %s" b.Suite.name (Pass.scheme_name scheme) e)
+        Pass.all_schemes)
+    Suite.all
+
+(* the vcall-heavy benchmark runs correctly and identically under all
+   schemes (full observational equivalence, executed) *)
+let test_xalancbmk_equivalence () =
+  let b = Option.get (Suite.find "xalancbmk") in
+  let outputs =
+    List.map
+      (fun scheme ->
+        let options = { Core.Toolchain.default_options with scheme } in
+        let exe = Core.Toolchain.compile_exe ~options ~name:b.Suite.name (b.Suite.source ~scale:1) in
+        let m = Core.System.run ~variant:Core.System.Processor_kernel_modified exe in
+        (match m.Core.System.status with
+        | Roload_kernel.Process.Exited 0 -> ()
+        | _ ->
+          Alcotest.failf "xalancbmk under %s: %s" (Pass.scheme_name scheme)
+            (Core.System.status_string m));
+        m.Core.System.output)
+      Pass.all_schemes
+  in
+  match outputs with
+  | first :: rest -> List.iter (Alcotest.(check string) "same output" first) rest
+  | [] -> assert false
+
+(* hardened C++ benchmarks actually execute ld.ro *)
+let test_cxx_roload_density () =
+  List.iter
+    (fun b ->
+      let options = { Core.Toolchain.default_options with scheme = Pass.Vcall } in
+      let exe = Core.Toolchain.compile_exe ~options ~name:b.Suite.name (b.Suite.source ~scale:1) in
+      let m =
+        Core.System.run ~variant:Core.System.Processor_kernel_modified
+          ~max_instructions:2_000_000L exe
+      in
+      Alcotest.(check bool)
+        (b.Suite.name ^ " executes ld.ro")
+        true
+        (m.Core.System.roloads_executed > 100))
+    Suite.cxx_benchmarks
+
+(* scale grows the work monotonically *)
+let test_scale_monotone () =
+  let b = Option.get (Suite.find "gobmk") in
+  let insts scale =
+    let exe = Core.Toolchain.compile_exe ~name:b.Suite.name (b.Suite.source ~scale) in
+    (Core.System.run ~variant:Core.System.Processor_kernel_modified exe).Core.System.instructions
+  in
+  Alcotest.(check bool) "scale 2 > scale 1" true (Int64.compare (insts 2) (insts 1) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "suite composition" `Quick test_composition;
+    Alcotest.test_case "all compile under all schemes" `Slow test_all_compile_all_schemes;
+    Alcotest.test_case "xalancbmk equivalence (executed)" `Slow test_xalancbmk_equivalence;
+    Alcotest.test_case "c++ benchmarks execute ld.ro" `Slow test_cxx_roload_density;
+    Alcotest.test_case "scale monotone" `Slow test_scale_monotone;
+  ]
