@@ -3,7 +3,8 @@
    Usage:
      roloadc input.mc -o prog.rxe --scheme vcall
      roloadc input.mc -S                     # print assembly
-     roloadc input.mc --map                  # print the link map *)
+     roloadc input.mc --map                  # print the link map
+     roloadc input.mc --lint --scheme icall  # static verification *)
 
 open Cmdliner
 
@@ -14,18 +15,32 @@ let read_file path =
   close_in ic;
   s
 
-let compile input output scheme_name asm_only map compress separate_code optimize =
+let scheme_list = "none|vcall|icall|retcall|vtint|cfi"
+
+let compile input output scheme_name asm_only map lint lint_format compress
+    separate_code optimize =
   match Roload_passes.Pass.scheme_of_string scheme_name with
   | None ->
-    Printf.eprintf "unknown scheme %s (expected none|vcall|icall|vtint|cfi)\n" scheme_name;
+    Printf.eprintf "unknown scheme %s (expected %s)\n" scheme_name scheme_list;
     exit 2
   | Some scheme -> (
+    if lint_format <> "human" && lint_format <> "json" then begin
+      Printf.eprintf "unknown lint format %s (expected human|json)\n" lint_format;
+      exit 2
+    end;
     let source = read_file input in
     let options = { Core.Toolchain.scheme; compress; separate_code; optimize } in
     let name = Filename.remove_extension (Filename.basename input) in
     try
       let artifacts = Core.Toolchain.compile ~options ~name source in
       if asm_only then print_string (Core.Toolchain.asm_text artifacts)
+      else if lint then begin
+        let findings = Core.Toolchain.lint artifacts in
+        (match lint_format with
+        | "json" -> print_string (Roload_analysis.Diagnostic.report_to_json findings)
+        | _ -> print_string (Roload_analysis.Diagnostic.report_to_string findings));
+        exit (Roload_analysis.Lint.exit_code findings)
+      end
       else begin
         if map then print_string (Roload_link.Linker.map_string artifacts.Core.Toolchain.exe);
         let out = match output with Some o -> o | None -> name ^ ".rxe" in
@@ -47,10 +62,21 @@ let output_arg = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~d
 
 let scheme_arg =
   Arg.(value & opt string "none"
-       & info [ "scheme" ] ~doc:"Hardening scheme: none, vcall, icall, vtint, cfi.")
+       & info [ "scheme" ]
+           ~doc:"Hardening scheme: none, vcall, icall, retcall, vtint, cfi.")
 
 let asm_arg = Arg.(value & flag & info [ "S" ] ~doc:"Print generated assembly and stop.")
 let map_arg = Arg.(value & flag & info [ "map" ] ~doc:"Print the link map.")
+
+let lint_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Run the roload-lint static verifier over the compiled program instead \
+                 of writing an executable; exits 3 if any invariant is violated.")
+
+let lint_format_arg =
+  Arg.(value & opt string "human"
+       & info [ "lint-format" ] ~docv:"FMT" ~doc:"Lint report format: human or json.")
 
 let compress_arg =
   Arg.(value & opt bool true & info [ "compress" ] ~doc:"RVC compression (incl. c.ld.ro).")
@@ -67,7 +93,7 @@ let cmd =
   Cmd.v
     (Cmd.info "roloadc" ~doc:"MiniC compiler targeting the simulated ROLoad RV64 system")
     Term.(
-      const compile $ input_arg $ output_arg $ scheme_arg $ asm_arg $ map_arg
-      $ compress_arg $ separate_arg $ optimize_arg)
+      const compile $ input_arg $ output_arg $ scheme_arg $ asm_arg $ map_arg $ lint_arg
+      $ lint_format_arg $ compress_arg $ separate_arg $ optimize_arg)
 
 let () = exit (Cmd.eval cmd)

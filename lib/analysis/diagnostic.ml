@@ -1,0 +1,70 @@
+(* Structured diagnostics for roload-lint.
+
+   A finding names the verification layer that produced it (the three
+   layers of the static verifier: IR protection-completeness, the
+   key-consistency dataflow, and the machine-level cross-check), a stable
+   machine-readable code, the site it anchors to, and a human message.
+   Reports render either as text (one finding per line plus a summary) or
+   as JSON for tooling. *)
+
+type layer = Ir_completeness | Key_dataflow | Machine_check
+
+let layer_name = function
+  | Ir_completeness -> "ir"
+  | Key_dataflow -> "dataflow"
+  | Machine_check -> "machine"
+
+type t = {
+  layer : layer;
+  code : string; (* stable slug, e.g. "unannotated-icall" *)
+  site : string; (* e.g. "main/entry" or "segment rodata.key.2" *)
+  message : string;
+}
+
+let make layer ~code ~site fmt =
+  Printf.ksprintf (fun message -> { layer; code; site; message }) fmt
+
+let to_string d =
+  Printf.sprintf "[%s] %s at %s: %s" (layer_name d.layer) d.code d.site d.message
+
+(* ---------- report rendering ---------- *)
+
+let report_to_string ds =
+  match ds with
+  | [] -> "lint: 0 findings\n"
+  | _ ->
+    let b = Buffer.create 256 in
+    List.iter (fun d -> Buffer.add_string b (to_string d ^ "\n")) ds;
+    let count l = List.length (List.filter (fun d -> d.layer = l) ds) in
+    Buffer.add_string b
+      (Printf.sprintf "lint: %d finding%s (ir: %d, dataflow: %d, machine: %d)\n"
+         (List.length ds)
+         (if List.length ds = 1 then "" else "s")
+         (count Ir_completeness) (count Key_dataflow) (count Machine_check));
+    Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf {|{"layer":"%s","code":"%s","site":"%s","message":"%s"}|}
+    (layer_name d.layer) (json_escape d.code) (json_escape d.site)
+    (json_escape d.message)
+
+let report_to_json ds =
+  Printf.sprintf {|{"findings":[%s],"count":%d}|}
+    (String.concat "," (List.map to_json ds))
+    (List.length ds)
+  ^ "\n"

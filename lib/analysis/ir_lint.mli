@@ -1,0 +1,8 @@
+(** Lint layer 1: IR protection-completeness.  After [Pass.apply] the
+    module must be fully hardened for the active scheme: no
+    indirect-transfer site left unannotated, every allowlist global
+    (vtable, GFPT entry) in a keyed read-only section, and every
+    annotated key backed by a keyed section in the module. *)
+
+val run :
+  scheme:Roload_passes.Pass.scheme -> Roload_ir.Ir.modul -> Diagnostic.t list

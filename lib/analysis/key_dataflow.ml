@@ -1,0 +1,154 @@
+(* Lint layer 2: key-consistency dataflow.
+
+   An intraprocedural forward dataflow over [Ir.func] tracks, per temp,
+   the set of objects its value can point to (see [Pointee]).  Two lints
+   consume the result:
+
+   - *key mismatch*: a load (or indirect call) annotated with roload key
+     [k] whose address provably resolves to pointees none of which live
+     in a read-only section keyed [k] — that ld.ro can only fault.
+   - *ro-store*: a store whose address provably resolves to a global in a
+     read-only (in particular keyed) section — the write either faults or,
+     worse, indicates an allowlist the program expects to mutate.
+
+   The analysis is deliberately conservative: [Top] (unknown) suppresses
+   diagnostics, so every report is a definite inconsistency, never a
+   may-alias guess. *)
+
+module Ir = Roload_ir.Ir
+module D = Diagnostic
+module P = Pointee
+
+type state = P.t array (* indexed by temp *)
+
+let eval (st : state) = function
+  | Ir.Temp t -> st.(t)
+  | Ir.Const _ -> P.bottom
+  | Ir.Global g -> P.of_target (P.Global g)
+  | Ir.Func_addr f -> P.of_target (P.Func f)
+
+(* pointer part of an operand: constants contribute no pointees *)
+let ptr_part (st : state) = function
+  | Ir.Const _ -> P.bottom
+  | v -> eval st v
+
+let transfer (st : state) i =
+  match i with
+  | Ir.Bin (op, d, a, b) ->
+    (* pointer arithmetic preserves the pointee; everything else yields a
+       plain integer *)
+    let pv =
+      match op with
+      | Ir.Add | Ir.Sub -> P.join (ptr_part st a) (ptr_part st b)
+      | Ir.Mul | Ir.Div | Ir.Rem | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr
+      | Ir.Shru | Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge ->
+        P.bottom
+    in
+    st.(d) <- pv
+  | Ir.Load { dst; _ } -> st.(dst) <- P.Top
+  | Ir.Lea_frame (d, _) -> st.(d) <- P.of_target P.Frame
+  | Ir.Store _ -> ()
+  | Ir.Call { dst; _ } | Ir.Call_indirect { dst; _ } | Ir.Vcall { dst; _ } ->
+    Option.iter (fun d -> st.(d) <- P.Top) dst
+
+let states_equal (a : state) (b : state) =
+  let n = Array.length a in
+  let rec go i = i >= n || (P.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+(* Block-entry states by fixpoint iteration; blocks unreachable from the
+   entry keep no state and are skipped by the check pass. *)
+let block_entry_states (f : Ir.func) =
+  let states : (string, state) Hashtbl.t = Hashtbl.create 8 in
+  (match f.Ir.f_blocks with
+  | [] -> ()
+  | entry :: _ ->
+    let init = Array.make (max f.Ir.f_ntemps 1) P.bottom in
+    List.iter (fun t -> init.(t) <- P.Top) f.Ir.f_params;
+    Hashtbl.replace states entry.Ir.b_label init;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt states b.Ir.b_label with
+          | None -> ()
+          | Some entry_st ->
+            let st = Array.copy entry_st in
+            List.iter (transfer st) b.Ir.b_instrs;
+            List.iter
+              (fun succ ->
+                match Hashtbl.find_opt states succ with
+                | None ->
+                  Hashtbl.replace states succ (Array.copy st);
+                  changed := true
+                | Some old ->
+                  let merged = Array.mapi (fun i v -> P.join v st.(i)) old in
+                  if not (states_equal merged old) then begin
+                    Hashtbl.replace states succ merged;
+                    changed := true
+                  end)
+              (Ir.successors b.Ir.b_term))
+        f.Ir.f_blocks
+    done);
+  states
+
+let check_func (m : Ir.modul) (f : Ir.func) ~add =
+  let states = block_entry_states f in
+  let check_keyed ~site ~what st addr k =
+    match P.targets (eval st addr) with
+    | None | Some [] -> () (* unknown or non-pointer: nothing provable *)
+    | Some ts ->
+      let matches = function
+        | P.Global g -> P.global_roload_key m g = Some k
+        | P.Frame | P.Func _ -> false
+      in
+      if not (List.exists matches ts) then
+        add
+          (D.make D.Key_dataflow ~code:"key-mismatch" ~site
+             "%s annotated with key %d but its address points to %s — no pointee lives in a read-only section with that key"
+             what k (P.to_string (eval st addr)))
+  in
+  let check_store ~site st addr =
+    match P.targets (eval st addr) with
+    | None | Some [] -> ()
+    | Some ts ->
+      List.iter
+        (function
+          | P.Global g -> (
+            match P.global_ro_attrs m g with
+            | Some (section, key) ->
+              add
+                (D.make D.Key_dataflow ~code:"store-to-rodata" ~site
+                   "store into read-only global @%s (section %s, key %d)" g section key)
+            | None -> ())
+          | P.Frame | P.Func _ -> ())
+        ts
+  in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt states b.Ir.b_label with
+      | None -> () (* unreachable *)
+      | Some entry_st ->
+        let st = Array.copy entry_st in
+        let site = Printf.sprintf "%s/%s" f.Ir.f_name b.Ir.b_label in
+        List.iter
+          (fun i ->
+            (match i with
+            | Ir.Load { addr; md = { Ir.roload_key = Some k }; _ } ->
+              check_keyed ~site ~what:"load" st addr k
+            | Ir.Call_indirect { callee; md = { Ir.ic_roload_key = Some k; _ }; _ } ->
+              check_keyed ~site ~what:"indirect call" st callee k
+            | Ir.Store { addr; _ } -> check_store ~site st addr
+            | Ir.Bin _ | Ir.Load _ | Ir.Lea_frame _ | Ir.Call _ | Ir.Call_indirect _
+            | Ir.Vcall _ ->
+              ());
+            transfer st i)
+          b.Ir.b_instrs)
+    f.Ir.f_blocks
+
+let run (m : Ir.modul) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  List.iter (fun f -> check_func m f ~add) m.Ir.m_funcs;
+  List.rev !ds

@@ -1,0 +1,8 @@
+(** Lint layer 2: key-consistency dataflow.  An intraprocedural forward
+    points-to analysis over each function flags (a) keyed loads and
+    indirect calls whose address provably cannot reach a pointee in a
+    read-only section with the annotated key, and (b) stores whose
+    address provably resolves to a read-only (in particular keyed)
+    global. *)
+
+val run : Roload_ir.Ir.modul -> Diagnostic.t list

@@ -1,0 +1,14 @@
+(** roload-lint: the static verifier for the ROLoad pointee-integrity
+    invariants.  Runs all three layers over a compiled module and its
+    linked executable; a clean run returns []. *)
+
+val run :
+  scheme:Roload_passes.Pass.scheme ->
+  ir:Roload_ir.Ir.modul ->
+  exe:Roload_obj.Exe.t ->
+  Diagnostic.t list
+
+val ok : Diagnostic.t list -> bool
+
+val exit_code : Diagnostic.t list -> int
+(** 0 on a clean run, 3 when findings exist. *)

@@ -1,0 +1,181 @@
+(* Lint layer 3: machine-level cross-check.
+
+   The lowest layer verifies that the hardening the IR *claims* is what
+   the linked executable *carries*:
+
+   - disassemble the executable segments and compare, per key, the number
+     of ld.ro-family instructions against the number of IR-annotated
+     sites (each annotated load/icall/vcall lowers to exactly one ld.ro,
+     plus one per protected epilogue under Retcall);
+   - every ld.ro key must be backed by a read-only, non-executable
+     segment carrying that key — otherwise the instruction can only fault;
+   - segment attributes must satisfy the ROLoad page conditions (keyed
+     segments are read-only, executable/writable segments are unkeyed);
+   - load the image through the ROLoad kernel and check that the page
+     keys and permissions the loader installs in the page table match the
+     section keys the linker assigned. *)
+
+module Ir = Roload_ir.Ir
+module D = Diagnostic
+module Inst = Roload_isa.Inst
+module Disasm = Roload_isa.Disasm
+module Ext = Roload_isa.Roload_ext
+module Exe = Roload_obj.Exe
+module Perm = Roload_mem.Perm
+module Page_table = Roload_mem.Page_table
+module Pte = Roload_mem.Pte
+
+(* ---------- instruction-stream scan ---------- *)
+
+(* Walk one segment's code, collecting the key of every ld.ro-family
+   instruction (compressed c.ld.ro decodes to the same [Load_ro]). *)
+let roload_keys_in_segment (s : Exe.segment) =
+  let n = String.length s.Exe.data in
+  let rec go off acc =
+    if off >= n then acc
+    else
+      match Disasm.decode_at s.Exe.data off with
+      | Ok (Inst.Load_ro { key; _ }, size) -> go (off + size) (key :: acc)
+      | Ok (_, size) -> go (off + size) acc
+      | Error _ -> go (off + 2) acc (* alignment padding *)
+  in
+  go 0 []
+
+let bump tbl k = Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+
+let actual_key_counts (exe : Exe.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Exe.segment) ->
+      if s.Exe.perms.Perm.x then List.iter (bump tbl) (roload_keys_in_segment s))
+    exe.Exe.segments;
+  tbl
+
+(* Per-key ld.ro counts the IR commits the code generator to. *)
+let expected_key_counts (m : Ir.modul) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Load { md = { Ir.roload_key = Some k }; _ } -> bump tbl k
+              | Ir.Call_indirect { md = { Ir.ic_roload_key = Some k; _ }; _ } -> bump tbl k
+              | Ir.Vcall { md = { Ir.vc_roload_key = Some k; _ }; _ } -> bump tbl k
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+              | Ir.Call_indirect _ | Ir.Vcall _ ->
+                ())
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  (* Retcall: one protected epilogue per module function except main *)
+  (match m.Ir.m_ret_key with
+  | Some k ->
+    List.iter (fun f -> if f.Ir.f_name <> "main" then bump tbl k) m.Ir.m_funcs
+  | None -> ());
+  tbl
+
+(* ---------- kernel page-table cross-check ---------- *)
+
+let page_table_check ~add (exe : Exe.t) =
+  let machine = Roload_machine.Machine.create Roload_machine.Config.default in
+  let kernel =
+    Roload_kernel.Kernel.create ~machine ~config:Roload_kernel.Kernel.default_config
+  in
+  match Roload_kernel.Kernel.load kernel exe with
+  | exception e ->
+    add
+      (D.make D.Machine_check ~code:"kernel-load-failed" ~site:"loader"
+         "kernel refused the image: %s" (Printexc.to_string e))
+  | process ->
+    let pt = Roload_kernel.Process.page_table process in
+    List.iter
+      (fun (s : Exe.segment) ->
+        let site = "segment " ^ s.Exe.name in
+        for i = 0 to Exe.segment_pages s - 1 do
+          let va = s.Exe.vaddr + (i * Page_table.page_size) in
+          match Page_table.walk pt va with
+          | Error (Page_table.Not_mapped | Page_table.Bad_alignment) ->
+            add
+              (D.make D.Machine_check ~code:"page-unmapped" ~site
+                 "page 0x%x of the segment is not mapped by the loader" va)
+          | Ok { Page_table.pte; _ } ->
+            if Pte.key pte <> s.Exe.key then
+              add
+                (D.make D.Machine_check ~code:"page-key-mismatch" ~site
+                   "page 0x%x carries PTE key %d, segment declares key %d" va (Pte.key pte)
+                   s.Exe.key);
+            if not (Perm.equal (Pte.perms pte) s.Exe.perms) then
+              add
+                (D.make D.Machine_check ~code:"page-perm-mismatch" ~site
+                   "page 0x%x carries PTE perms %s, segment declares %s" va
+                   (Perm.to_string (Pte.perms pte))
+                   (Perm.to_string s.Exe.perms))
+        done)
+      exe.Exe.segments
+
+(* ---------- driver ---------- *)
+
+let run ~(ir : Ir.modul) ~(exe : Exe.t) =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  (* segment attribute sanity *)
+  List.iter
+    (fun (s : Exe.segment) ->
+      let site = "segment " ^ s.Exe.name in
+      if s.Exe.key < 0 || s.Exe.key > Ext.max_key then
+        add
+          (D.make D.Machine_check ~code:"segment-key-out-of-range" ~site
+             "segment key %d outside the %d-bit key space" s.Exe.key Ext.key_bits);
+      if s.Exe.key <> 0 && not (Perm.read_only s.Exe.perms) then
+        add
+          (D.make D.Machine_check ~code:"keyed-segment-not-read-only" ~site
+             "segment carries key %d but permissions %s are not read-only" s.Exe.key
+             (Perm.to_string s.Exe.perms)))
+    exe.Exe.segments;
+  (* annotated sites vs. emitted ld.ro, per key *)
+  let expected = expected_key_counts ir in
+  let actual = actual_key_counts exe in
+  let all_keys =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) expected
+         (Hashtbl.fold (fun k _ acc -> k :: acc) actual []))
+  in
+  List.iter
+    (fun k ->
+      let e = Option.value (Hashtbl.find_opt expected k) ~default:0 in
+      let a = Option.value (Hashtbl.find_opt actual k) ~default:0 in
+      if e > a then
+        add
+          (D.make D.Machine_check ~code:"missing-roload" ~site:"text"
+             "key %d: %d IR-annotated site%s but only %d ld.ro instruction%s emitted" k e
+             (if e = 1 then "" else "s")
+             a
+             (if a = 1 then "" else "s"))
+      else if a > e then
+        add
+          (D.make D.Machine_check ~code:"unexpected-roload" ~site:"text"
+             "key %d: %d ld.ro instruction%s emitted but only %d IR-annotated site%s" k a
+             (if a = 1 then "" else "s")
+             e
+             (if e = 1 then "" else "s")))
+    all_keys;
+  (* every executed ld.ro key needs a read-only segment carrying it *)
+  Hashtbl.iter
+    (fun k _ ->
+      if
+        not
+          (List.exists
+             (fun (s : Exe.segment) -> s.Exe.key = k && Perm.read_only s.Exe.perms)
+             exe.Exe.segments)
+      then
+        add
+          (D.make D.Machine_check ~code:"roload-key-without-segment" ~site:"text"
+             "ld.ro with key %d but no read-only segment carries that key — the load can only fault"
+             k))
+    actual;
+  (* loader cross-check *)
+  page_table_check ~add exe;
+  List.rev !ds

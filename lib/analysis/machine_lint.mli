@@ -1,0 +1,9 @@
+(** Lint layer 3: machine-level cross-check.  Disassembles the linked
+    executable and verifies that every IR-annotated site became an
+    ld.ro-family instruction with the right key (per-key counts), that
+    every ld.ro key is backed by a read-only segment carrying it, that
+    segment attributes satisfy the ROLoad page conditions, and that the
+    kernel loader installs matching page keys and permissions. *)
+
+val run :
+  ir:Roload_ir.Ir.modul -> exe:Roload_obj.Exe.t -> Diagnostic.t list

@@ -1,0 +1,75 @@
+(* The abstract pointee domain shared by the lint layers.
+
+   A pointee set approximates, per IR value, which objects an address can
+   refer to: named globals, the current frame, or functions.  [Top] is
+   "anything" — it suppresses diagnostics, so the dataflow layer only
+   reports when the address provably resolves to known pointees.  Section
+   attributes come from the assembler's naming convention
+   (`.rodata.key.<N>` etc.), so the same classification the object layer
+   uses also drives the lint. *)
+
+module Ir = Roload_ir.Ir
+module Perm = Roload_mem.Perm
+
+type target = Global of string | Frame | Func of string
+
+let target_to_string = function
+  | Global g -> "@" ^ g
+  | Frame -> "<frame>"
+  | Func f -> "&" ^ f
+
+type t = Top | Targets of target list (* sorted, deduplicated *)
+
+(* Sets are clamped to keep joins cheap; precision past this many targets
+   buys no diagnostics anyway. *)
+let max_targets = 16
+
+let bottom = Targets []
+let of_target tg = Targets [ tg ]
+
+let normalize l =
+  let l = List.sort_uniq compare l in
+  if List.length l > max_targets then Top else Targets l
+
+let join a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Targets x, Targets y -> normalize (x @ y)
+
+let equal (a : t) (b : t) = a = b
+
+(* [None] for Top (unknown); [Some l] when the pointee set is known. *)
+let targets = function Top -> None | Targets l -> Some l
+
+let to_string = function
+  | Top -> "<unknown>"
+  | Targets [] -> "<none>"
+  | Targets l -> String.concat "|" (List.map target_to_string l)
+
+(* ---------- section classification ---------- *)
+
+(* Permissions and ROLoad key a global's section will receive, or [None]
+   when the section name does not parse (bad `.rodata.key.<N>` suffix). *)
+let section_attrs section =
+  try Some (Roload_obj.Section.attrs_of_name section)
+  with Invalid_argument _ -> None
+
+(* The ROLoad key of a global's section when that section is eligible for
+   ld.ro (read-only, non-executable); [None] otherwise. *)
+let global_roload_key (m : Ir.modul) name =
+  match Ir.find_global m name with
+  | None -> None
+  | Some g -> (
+    match section_attrs g.Ir.g_section with
+    | Some (perms, key) when Perm.read_only perms -> Some key
+    | Some _ | None -> None)
+
+(* Read-only pointee check for the store lint: the section's permissions
+   and key when the named global lives in read-only data. *)
+let global_ro_attrs (m : Ir.modul) name =
+  match Ir.find_global m name with
+  | None -> None
+  | Some g -> (
+    match section_attrs g.Ir.g_section with
+    | Some (perms, key) when Perm.read_only perms -> Some (g.Ir.g_section, key)
+    | Some _ | None -> None)

@@ -1,0 +1,33 @@
+(** The abstract pointee domain shared by the lint layers: per-value sets
+    of objects an address can refer to, with [Top] meaning "unknown"
+    (which suppresses diagnostics — reports are definite, never
+    may-alias guesses). *)
+
+type target = Global of string | Frame | Func of string
+
+val target_to_string : target -> string
+
+type t = Top | Targets of target list  (** sorted, deduplicated *)
+
+val bottom : t
+(** The empty set: a value that is definitely not a tracked pointer. *)
+
+val of_target : target -> t
+val join : t -> t -> t
+val equal : t -> t -> bool
+
+val targets : t -> target list option
+(** [None] for [Top]; [Some l] when the pointee set is known. *)
+
+val to_string : t -> string
+
+val section_attrs : string -> (Roload_mem.Perm.t * int) option
+(** Permissions and ROLoad key a section name implies, or [None] when the
+    name does not parse (bad [.rodata.key.<N>] suffix). *)
+
+val global_roload_key : Roload_ir.Ir.modul -> string -> int option
+(** The key of the named global's section when that section is eligible
+    for ld.ro (read-only, non-executable); [None] otherwise. *)
+
+val global_ro_attrs : Roload_ir.Ir.modul -> string -> (string * int) option
+(** [(section, key)] when the named global lives in read-only data. *)

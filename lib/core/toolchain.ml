@@ -76,3 +76,12 @@ let compile_exe ?options ~name source = (compile ?options ~name source).exe
 
 (* assembly text of the generated program (inspection / -S output) *)
 let asm_text artifacts = Roload_asm.Asm_ir.program_to_string artifacts.asm_items
+
+(* Static verification (roload-lint): check the ROLoad invariants over the
+   compiled artifacts at all three layers — IR protection-completeness,
+   key-consistency dataflow, and the machine-level cross-check of the
+   linked image.  Returns [] when every invariant holds. *)
+let lint artifacts =
+  Roload_analysis.Lint.run
+    ~scheme:artifacts.pass_report.Pass.scheme
+    ~ir:artifacts.ir_module ~exe:artifacts.exe

@@ -31,3 +31,9 @@ val compile : ?options:options -> name:string -> string -> artifacts
 
 val compile_exe : ?options:options -> name:string -> string -> Roload_obj.Exe.t
 val asm_text : artifacts -> string
+
+val lint : artifacts -> Roload_analysis.Diagnostic.t list
+(** Static verification (roload-lint) of the compiled artifacts at all
+    three layers: IR protection-completeness, key-consistency dataflow,
+    and the machine-level cross-check of the linked image.  [] when every
+    ROLoad invariant holds. *)

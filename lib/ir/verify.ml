@@ -45,6 +45,12 @@ let check_module (m : Ir.modul) =
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   let fnames = List.map (fun f -> f.Ir.f_name) m.Ir.m_funcs in
   let gnames = List.map (fun g -> g.Ir.g_name) m.Ir.m_globals in
+  let dups names =
+    List.sort_uniq compare
+      (List.filter (fun n -> List.length (List.filter (( = ) n) names) > 1) names)
+  in
+  List.iter (fun n -> err "duplicate function name %s" n) (dups fnames);
+  List.iter (fun n -> err "duplicate global name %s" n) (dups gnames);
   List.iter
     (fun (g : Ir.global) ->
       List.iter

@@ -15,6 +15,7 @@ let () =
       ("passes", Test_passes.suite);
       ("codegen", Test_codegen.suite);
       ("toolchain", Test_toolchain.suite);
+      ("analysis", Test_analysis.suite);
       ("hw", Test_hw.suite);
       ("security", Test_security.suite);
       ("workloads", Test_workloads.suite);

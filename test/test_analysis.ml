@@ -1,0 +1,204 @@
+(* roload-lint tests: the verifier must be silent on everything the
+   toolchain produces (all schemes, all toolchain sources, the workload
+   suite) and must catch a planted violation at each of its three
+   layers. *)
+
+module Ir = Roload_ir.Ir
+module Pass = Roload_passes.Pass
+module Spec_suite = Roload_workloads.Spec_suite
+module Toolchain = Core.Toolchain
+module Diagnostic = Roload_analysis.Diagnostic
+module Lint = Roload_analysis.Lint
+
+let compile ~scheme ~name src =
+  let options = { Toolchain.default_options with Toolchain.scheme } in
+  Toolchain.compile ~options ~name src
+
+let check_clean label artifacts =
+  match Toolchain.lint artifacts with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "%s: expected a clean lint, got:\n%s" label
+      (Diagnostic.report_to_string findings)
+
+let relint ?scheme artifacts =
+  let scheme =
+    match scheme with
+    | Some s -> s
+    | None -> artifacts.Toolchain.pass_report.Pass.scheme
+  in
+  Lint.run ~scheme ~ir:artifacts.Toolchain.ir_module ~exe:artifacts.Toolchain.exe
+
+let has ~layer ~code findings =
+  List.exists
+    (fun d -> d.Diagnostic.layer = layer && d.Diagnostic.code = code)
+    findings
+
+let check_caught label ~layer ~code findings =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: [%s] %s reported" label (Diagnostic.layer_name layer) code)
+    true (has ~layer ~code findings);
+  Alcotest.(check int) (label ^ ": nonzero exit") 3 (Lint.exit_code findings);
+  Alcotest.(check bool) (label ^ ": not ok") false (Lint.ok findings)
+
+(* ---------- positive: every scheme, every toolchain source ---------- *)
+
+let toolchain_sources =
+  [
+    ("fib", Test_toolchain.fib_src);
+    ("fptr", Test_toolchain.fptr_src);
+    ("vcall", Test_toolchain.vcall_src);
+    ("methods", Test_toolchain.methods_src);
+  ]
+
+let test_clean_all_schemes () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (name, src) ->
+          let label = Printf.sprintf "%s/%s" (Pass.scheme_name scheme) name in
+          check_clean label (compile ~scheme ~name src))
+        toolchain_sources)
+    Pass.all_schemes
+
+let test_clean_workloads () =
+  let scale = Spec_suite.test_scale in
+  List.iter
+    (fun (b : Spec_suite.benchmark) ->
+      List.iter
+        (fun scheme ->
+          let label =
+            Printf.sprintf "%s/%s" (Pass.scheme_name scheme) b.Spec_suite.name
+          in
+          check_clean label
+            (compile ~scheme ~name:b.Spec_suite.name (b.Spec_suite.source ~scale)))
+        [ Pass.Vcall; Pass.Icall ])
+    Spec_suite.all
+
+(* ---------- negative: layer 1 (IR completeness) ---------- *)
+
+let first_icall_md m =
+  let found = ref None in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (function
+              | Ir.Call_indirect { md; _ } when !found = None -> found := Some md
+              | _ -> ())
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  match !found with
+  | Some md -> md
+  | None -> Alcotest.fail "expected an indirect call in the module"
+
+let test_catches_deannotated_icall () =
+  let a = compile ~scheme:Pass.Icall ~name:"fptr" Test_toolchain.fptr_src in
+  let md = first_icall_md a.Toolchain.ir_module in
+  md.Ir.ic_roload_key <- None;
+  check_caught "stripped icall annotation" ~layer:Diagnostic.Ir_completeness
+    ~code:"unannotated-icall" (relint a)
+
+(* ---------- negative: layer 2 (key dataflow / ro-store lint) ---------- *)
+
+let test_catches_store_to_keyed_global () =
+  let a = compile ~scheme:Pass.Icall ~name:"fptr" Test_toolchain.fptr_src in
+  let m = a.Toolchain.ir_module in
+  let victim =
+    try
+      List.find
+        (fun g -> String.starts_with ~prefix:".rodata.key." g.Ir.g_section)
+        m.Ir.m_globals
+    with Not_found -> Alcotest.fail "expected a keyed read-only global"
+  in
+  let f = List.find (fun f -> f.Ir.f_name = "main") m.Ir.m_funcs in
+  (match f.Ir.f_blocks with
+  | [] -> Alcotest.fail "main has no blocks"
+  | b :: rest ->
+    let store =
+      Ir.Store
+        { src = Ir.Const 0L; addr = Ir.Global victim.Ir.g_name; offset = 0;
+          width = Ir.W64 }
+    in
+    f.Ir.f_blocks <- { b with Ir.b_instrs = store :: b.Ir.b_instrs } :: rest);
+  check_caught "store into keyed rodata" ~layer:Diagnostic.Key_dataflow
+    ~code:"store-to-rodata" (relint a)
+
+(* ---------- negative: layer 3 (machine cross-check) ---------- *)
+
+let tamper_keyed_segment a f =
+  let exe = a.Toolchain.exe in
+  let tampered = ref false in
+  let segments =
+    List.map
+      (fun (s : Roload_obj.Exe.segment) ->
+        if s.Roload_obj.Exe.key > 0 && not !tampered then (
+          tampered := true;
+          f s)
+        else s)
+      exe.Roload_obj.Exe.segments
+  in
+  if not !tampered then Alcotest.fail "expected a keyed segment in the image";
+  { exe with Roload_obj.Exe.segments }
+
+let test_catches_segment_key_tamper () =
+  let a = compile ~scheme:Pass.Icall ~name:"fptr" Test_toolchain.fptr_src in
+  (* retarget the first keyed segment to an unrelated key: every ld.ro
+     that named the original key now has no backing segment *)
+  let exe =
+    tamper_keyed_segment a (fun s -> { s with Roload_obj.Exe.key = 999 })
+  in
+  let findings =
+    Lint.run ~scheme:Pass.Icall ~ir:a.Toolchain.ir_module ~exe
+  in
+  check_caught "retargeted segment key" ~layer:Diagnostic.Machine_check
+    ~code:"roload-key-without-segment" findings
+
+let test_catches_writable_keyed_segment () =
+  let a = compile ~scheme:Pass.Icall ~name:"fptr" Test_toolchain.fptr_src in
+  let exe =
+    tamper_keyed_segment a (fun s ->
+        { s with Roload_obj.Exe.perms = Roload_mem.Perm.rw })
+  in
+  let findings =
+    Lint.run ~scheme:Pass.Icall ~ir:a.Toolchain.ir_module ~exe
+  in
+  check_caught "writable keyed segment" ~layer:Diagnostic.Machine_check
+    ~code:"keyed-segment-not-read-only" findings
+
+(* ---------- diagnostics rendering ---------- *)
+
+let test_report_rendering () =
+  Alcotest.(check string) "clean text report" "lint: 0 findings\n"
+    (Diagnostic.report_to_string []);
+  Alcotest.(check string) "clean json report" "{\"findings\":[],\"count\":0}\n"
+    (Diagnostic.report_to_json []);
+  let d =
+    Diagnostic.make Diagnostic.Ir_completeness ~code:"unannotated-icall"
+      ~site:"main/entry" "say \"%s\"" "hi"
+  in
+  Alcotest.(check string) "finding line"
+    "[ir] unannotated-icall at main/entry: say \"hi\"" (Diagnostic.to_string d);
+  let json = Diagnostic.report_to_json [ d ] in
+  Alcotest.(check bool) "json escapes quotes" true
+    (let re = Str.regexp_string "say \\\"hi\\\"" in
+     try ignore (Str.search_forward re json 0); true with Not_found -> false);
+  Alcotest.(check int) "clean exit code" 0 (Lint.exit_code []);
+  Alcotest.(check bool) "clean ok" true (Lint.ok [])
+
+let suite =
+  [
+    Alcotest.test_case "clean on all schemes x sources" `Quick test_clean_all_schemes;
+    Alcotest.test_case "clean on the workload suite" `Quick test_clean_workloads;
+    Alcotest.test_case "catches de-annotated icall (layer 1)" `Quick
+      test_catches_deannotated_icall;
+    Alcotest.test_case "catches store to keyed rodata (layer 2)" `Quick
+      test_catches_store_to_keyed_global;
+    Alcotest.test_case "catches segment key tamper (layer 3)" `Quick
+      test_catches_segment_key_tamper;
+    Alcotest.test_case "catches writable keyed segment (layer 3)" `Quick
+      test_catches_writable_keyed_segment;
+    Alcotest.test_case "report rendering" `Quick test_report_rendering;
+  ]

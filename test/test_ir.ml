@@ -82,6 +82,37 @@ let test_verify_rejects_duplicate_labels () =
   m.Ir.m_funcs <- [ f ];
   Alcotest.(check bool) "error reported" true (Verify.check_module m <> [])
 
+let has_error_mentioning needle errors =
+  List.exists
+    (fun e ->
+      let re = Str.regexp_string needle in
+      try ignore (Str.search_forward re e 0); true with Not_found -> false)
+    errors
+
+let test_verify_rejects_duplicate_functions () =
+  let m = empty_module () in
+  let mk () =
+    let f = empty_func "twin" in
+    f.Ir.f_blocks <- [ ret_block (Ir.Const 0L) ];
+    f
+  in
+  m.Ir.m_funcs <- [ mk (); mk () ];
+  Alcotest.(check bool) "error reported" true
+    (has_error_mentioning "duplicate function name twin" (Verify.check_module m))
+
+let test_verify_rejects_duplicate_globals () =
+  let m = empty_module () in
+  let g name =
+    { Ir.g_name = name; g_section = ".data"; g_init = [ Ir.G_int 0L ];
+      g_bytes = None; g_zero = 0 }
+  in
+  m.Ir.m_globals <- [ g "dup"; g "dup"; g "other" ];
+  let errors = Verify.check_module m in
+  Alcotest.(check bool) "error reported" true
+    (has_error_mentioning "duplicate global name dup" errors);
+  Alcotest.(check bool) "unique global not flagged" false
+    (has_error_mentioning "other" errors)
+
 let test_printing () =
   let i =
     Ir.Load { dst = 0; addr = Ir.Global "tbl"; offset = 8; width = Ir.W64;
@@ -111,6 +142,8 @@ let suite =
     Alcotest.test_case "verify rejects bad slot" `Quick test_verify_rejects_bad_slot;
     Alcotest.test_case "verify rejects dangling refs" `Quick test_verify_rejects_dangling_global_ref;
     Alcotest.test_case "verify rejects duplicate labels" `Quick test_verify_rejects_duplicate_labels;
+    Alcotest.test_case "verify rejects duplicate functions" `Quick test_verify_rejects_duplicate_functions;
+    Alcotest.test_case "verify rejects duplicate globals" `Quick test_verify_rejects_duplicate_globals;
     Alcotest.test_case "printing" `Quick test_printing;
     Alcotest.test_case "uses/defs" `Quick test_uses_defs;
   ]

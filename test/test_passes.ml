@@ -202,6 +202,29 @@ let test_key_allocator () =
     (k1 >= Roload_isa.Roload_ext.first_type_key);
   Alcotest.(check int) "count" 2 (Keys.count a)
 
+let test_key_allocator_exhaustion () =
+  let a = Keys.create () in
+  let first = Roload_isa.Roload_ext.first_type_key in
+  let last = Roload_isa.Roload_ext.key_return_sites - 1 in
+  for i = first to last do
+    let k = Keys.key_for a (Printf.sprintf "type%d" i) in
+    Alcotest.(check int) "keys are dense" i k
+  done;
+  let n = last - first + 1 in
+  Alcotest.(check int) "count at capacity" n (Keys.count a);
+  (* memoized lookups at capacity must still succeed, not raise *)
+  Alcotest.(check int) "memoized at capacity" first (Keys.key_for a "type2");
+  Alcotest.(check int) "count unchanged by lookups" n (Keys.count a);
+  Alcotest.(check int) "assignments match count" n
+    (List.length (Keys.assignments a));
+  (match Keys.key_for a "one-too-many" with
+  | _ -> Alcotest.fail "expected Failure past the 10-bit key space"
+  | exception Failure msg ->
+    Alcotest.(check bool) "message names the allocator" true
+      (String.length msg >= 5 && String.sub msg 0 5 = "Keys:"));
+  (* the failed request must not have corrupted the allocator *)
+  Alcotest.(check int) "count unchanged by failure" n (Keys.count a)
+
 (* ---------- optimizer ---------- *)
 
 let test_constfold () =
@@ -289,5 +312,6 @@ let suite =
     Alcotest.test_case "optimizer preserves semantics" `Quick test_optimizer_preserves_semantics;
     Alcotest.test_case "optimizer shrinks work" `Quick test_optimizer_shrinks_work;
     Alcotest.test_case "key allocator" `Quick test_key_allocator;
+    Alcotest.test_case "key allocator exhaustion" `Quick test_key_allocator_exhaustion;
     Alcotest.test_case "scheme names roundtrip" `Quick test_scheme_names;
   ]
