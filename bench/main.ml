@@ -12,12 +12,28 @@ let scale =
   | Some s -> (try max 1 (int_of_string s) with Failure _ -> 1)
   | None -> 1
 
+(* --json PATH: record the per-experiment bench trajectory (wall-clock,
+   simulated instructions, simulated MIPS) alongside the printed tables. *)
+let json_path =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let entries : Core.Bench_log.entry list ref = ref []
+
 let section title = Printf.printf "\n################ %s ################\n%!" title
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
+  let i0 = Core.System.total_instructions_simulated () in
   let r = f () in
-  Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let instructions = Core.System.total_instructions_simulated () - i0 in
+  entries := Core.Bench_log.entry ~name ~wall_s ~instructions :: !entries;
+  Printf.printf "[%s: %.1fs]\n%!" name wall_s;
   r
 
 (* ---------- the paper's tables and figures ---------- *)
@@ -128,5 +144,11 @@ let run_bechamel () =
 let () =
   Printf.printf "ROLoad reproduction bench harness (scale %d)\n" scale;
   run_experiments ();
+  (match json_path with
+  | Some path ->
+    Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ())
+      (List.rev !entries);
+    Printf.printf "\nbench trajectory written to %s\n%!" path
+  | None -> ());
   run_bechamel ();
   print_endline "\ndone."

@@ -2,7 +2,13 @@
 
    Usage: roload_experiments [table1|table2|table3|section5b|figure3|
                               figure4|figure5|security|ablations|all]
-                             [--scale N] *)
+                             [--scale N] [-j N] [--json PATH]
+                             [--baseline PATH]
+
+   With [--json] each experiment's wall-clock, simulated instruction
+   count and simulated MIPS are appended to a bench-trajectory file;
+   [--baseline] compares the aggregate simulated MIPS against a
+   previously written file and fails (exit 1) on a >30% regression. *)
 
 open Cmdliner
 
@@ -36,7 +42,8 @@ let run_one ~scale name =
     Printf.eprintf "unknown experiment %s\n" other;
     exit 2
 
-let run names scale =
+let run names scale jobs json baseline =
+  (match jobs with Some j -> Core.Parallel.set_jobs j | None -> ());
   let names =
     match names with
     | [] | [ "all" ] ->
@@ -44,14 +51,44 @@ let run names scale =
         "ablations" ]
     | names -> names
   in
+  let entries = ref [] in
   List.iter
     (fun n ->
+      let t0 = Unix.gettimeofday () in
+      let i0 = Core.System.total_instructions_simulated () in
       (try run_one ~scale n with
       | Core.Experiments.Experiment_failure m ->
         Printf.eprintf "EXPERIMENT FAILURE in %s: %s\n" n m;
         exit 1);
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let instructions = Core.System.total_instructions_simulated () - i0 in
+      entries := Core.Bench_log.entry ~name:n ~wall_s ~instructions :: !entries;
       print_newline ())
-    names
+    names;
+  let entries = List.rev !entries in
+  (match json with
+  | Some path ->
+    Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ()) entries;
+    Printf.printf "bench trajectory written to %s\n" path
+  | None -> ());
+  match baseline with
+  | None -> ()
+  | Some path -> (
+    let _, _, mips = Core.Bench_log.totals entries in
+    match Core.Bench_log.read_total_mips path with
+    | None ->
+      Printf.eprintf "warning: no readable total_mips in baseline %s; skipping gate\n" path
+    | Some base ->
+      let floor = 0.7 *. base in
+      if mips < floor then begin
+        Printf.eprintf
+          "PERF REGRESSION: %.3f simulated MIPS < 70%% of baseline %.3f (floor %.3f)\n" mips
+          base floor;
+        exit 1
+      end
+      else
+        Printf.printf "perf gate: %.3f simulated MIPS vs baseline %.3f (floor %.3f) — ok\n"
+          mips base floor)
 
 let names_arg = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
 
@@ -60,10 +97,32 @@ let scale_arg =
        & opt int Roload_workloads.Spec_suite.reference_scale
        & info [ "scale" ] ~doc:"Workload scale factor (1 = quick, 3 = reference).")
 
+let jobs_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "j"; "jobs" ]
+           ~doc:
+             "Simulation cells run in parallel (default: \\$ROLOAD_JOBS, else the \
+              recommended domain count). Results are bit-identical at any job count.")
+
+let json_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write per-experiment wall-clock/instructions/simulated-MIPS to PATH.")
+
+let baseline_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "baseline" ] ~docv:"PATH"
+           ~doc:
+             "Compare aggregate simulated MIPS against a previously written bench file; \
+              exit 1 if it regressed more than 30%.")
+
 let cmd =
   Cmd.v
     (Cmd.info "roload_experiments"
        ~doc:"Regenerate the tables and figures of the ROLoad paper (DAC 2021)")
-    Term.(const run $ names_arg $ scale_arg)
+    Term.(const run $ names_arg $ scale_arg $ jobs_arg $ json_arg $ baseline_arg)
 
 let () = exit (Cmd.eval cmd)

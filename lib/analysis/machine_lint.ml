@@ -18,7 +18,6 @@
 module Ir = Roload_ir.Ir
 module D = Diagnostic
 module Inst = Roload_isa.Inst
-module Disasm = Roload_isa.Disasm
 module Ext = Roload_isa.Roload_ext
 module Exe = Roload_obj.Exe
 module Perm = Roload_mem.Perm
@@ -27,19 +26,19 @@ module Pte = Roload_mem.Pte
 
 (* ---------- instruction-stream scan ---------- *)
 
-(* Walk one segment's code, collecting the key of every ld.ro-family
+(* Walk one segment's code through the engine's pre-decoded block
+   representation ([Block.predecode] — the same decode the simulator
+   caches at run time), collecting the key of every ld.ro-family
    instruction (compressed c.ld.ro decodes to the same [Load_ro]). *)
 let roload_keys_in_segment (s : Exe.segment) =
-  let n = String.length s.Exe.data in
-  let rec go off acc =
-    if off >= n then acc
-    else
-      match Disasm.decode_at s.Exe.data off with
-      | Ok (Inst.Load_ro { key; _ }, size) -> go (off + size) (key :: acc)
-      | Ok (_, size) -> go (off + size) acc
-      | Error _ -> go (off + 2) acc (* alignment padding *)
-  in
-  go 0 []
+  let acc = ref [] in
+  Roload_machine.Block.iter_insts
+    (Roload_machine.Block.predecode ~base:s.Exe.vaddr s.Exe.data)
+    ~f:(fun ~pa:_ inst ~size:_ ->
+      match inst with
+      | Inst.Load_ro { key; _ } -> acc := key :: !acc
+      | _ -> ());
+  !acc
 
 let bump tbl k = Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0)
 

@@ -94,6 +94,38 @@ let access t ~addr ~write =
     v.last_use <- t.clock;
     Miss { writeback }
 
+(* Handle-based variants for the fetch fast path.  A handle names the line
+   that serviced an access; [rehit] replays a read hit on it with the exact
+   accounting [access] would have performed (clock tick, recency, hit
+   counter) provided the line still holds the same tag.  Otherwise it does
+   no accounting and the caller falls back to [access], so observable cache
+   state is identical to always calling [access]. *)
+
+type handle = { h_line : line; h_tag : int }
+
+let access_handle t ~addr ~write =
+  let line_addr = addr lsr t.offset_bits in
+  let index = line_addr land (t.num_sets - 1) in
+  let tag = line_addr lsr t.index_bits in
+  let outcome = access t ~addr ~write in
+  let set = t.sets.(index) in
+  let ways = Array.length set in
+  let rec find i =
+    if i >= ways then assert false
+    else if set.(i).valid && set.(i).tag = tag then set.(i)
+    else find (i + 1)
+  in
+  (outcome, { h_line = find 0; h_tag = tag })
+
+let rehit t { h_line; h_tag } =
+  if h_line.valid && h_line.tag = h_tag then begin
+    t.clock <- t.clock + 1;
+    h_line.last_use <- t.clock;
+    t.stats.hits <- t.stats.hits + 1;
+    true
+  end
+  else false
+
 let flush t =
   Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.sets
 

@@ -19,6 +19,20 @@ val stats : t -> stats
 type outcome = Hit | Miss of { writeback : bool }
 
 val access : t -> addr:int -> write:bool -> outcome
+
+type handle
+(** Names the line that serviced an access, for the fetch fast path. *)
+
+val access_handle : t -> addr:int -> write:bool -> outcome * handle
+(** Exactly [access], additionally returning the handle of the line that now
+    holds the address. *)
+
+val rehit : t -> handle -> bool
+(** Replay a read hit on the handled line with the exact accounting [access]
+    performs (clock tick, recency, hit counter) — provided the line still
+    holds the same tag.  Returns [false] with {i no} accounting otherwise;
+    the caller must then fall back to [access]. *)
+
 val flush : t -> unit
 val reset_stats : t -> unit
 val miss_rate : t -> float

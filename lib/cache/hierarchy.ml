@@ -38,6 +38,15 @@ let cost_of t outcome ~hit_cost =
 (* Instruction fetch: hits are pipelined (no extra cost). *)
 let access_ifetch t ~pa = cost_of t (Cache.access t.icache ~addr:pa ~write:false) ~hit_cost:0
 
+(* Fetch fast path: [access_ifetch_handle] additionally returns the handle of
+   the I-cache line now holding [pa]; [rehit_ifetch] replays a same-line hit
+   (0 cycles, exact hit accounting) or reports [false] with no accounting. *)
+let access_ifetch_handle t ~pa =
+  let outcome, h = Cache.access_handle t.icache ~addr:pa ~write:false in
+  (cost_of t outcome ~hit_cost:0, h)
+
+let rehit_ifetch t h = Cache.rehit t.icache h
+
 (* Data access: L1 hits cost the load-use latency. *)
 let access_data t ~pa ~write =
   cost_of t (Cache.access t.dcache ~addr:pa ~write) ~hit_cost:t.lat.l1_hit

@@ -22,6 +22,15 @@ val dcache : t -> Cache.t
 val access_ifetch : t -> pa:int -> int
 (** Cycle cost of fetching at physical address [pa] (0 on a hit). *)
 
+val access_ifetch_handle : t -> pa:int -> int * Cache.handle
+(** [access_ifetch] additionally returning the handle of the I-cache line
+    now holding [pa], for the same-line fetch fast path. *)
+
+val rehit_ifetch : t -> Cache.handle -> bool
+(** Replay a same-line fetch hit with exact accounting ([true], hit cost is
+    always 0 cycles), or report [false] with no accounting — the caller then
+    falls back to [access_ifetch]. *)
+
 val access_data : t -> pa:int -> write:bool -> int
 val access_ptw : t -> pa:int -> int
 (** Page-table-walker access (through the D-cache, as in Rocket). *)

@@ -1,0 +1,104 @@
+(* PR-over-PR performance trajectory: per-experiment wall-clock, simulated
+   instruction counts and simulated MIPS, written as a small hand-rolled
+   JSON document (the container has no JSON library; the format is flat
+   enough that a scanner suffices for the CI baseline check). *)
+
+type entry = {
+  name : string;
+  wall_s : float;
+  instructions : int; (* simulated instructions retired during this entry *)
+  sim_mips : float; (* instructions / wall_s / 1e6 *)
+}
+
+let entry ~name ~wall_s ~instructions =
+  {
+    name;
+    wall_s;
+    instructions;
+    sim_mips = (if wall_s > 0.0 then float_of_int instructions /. wall_s /. 1e6 else 0.0);
+  }
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let totals entries =
+  let wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
+  let insts = List.fold_left (fun a e -> a + e.instructions) 0 entries in
+  let mips = if wall > 0.0 then float_of_int insts /. wall /. 1e6 else 0.0 in
+  (wall, insts, mips)
+
+let to_json ?(scale = 1) ?(jobs = 1) entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"roload-bench-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"scale\": %d,\n" scale);
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"wall_s\": %.3f, \"instructions\": %d, \"sim_mips\": %.3f }%s\n"
+           (escape e.name) e.wall_s e.instructions e.sim_mips
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string b "  ],\n";
+  let wall, insts, mips = totals entries in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"total\": { \"wall_s\": %.3f, \"instructions\": %d, \"total_mips\": %.3f }\n" wall
+       insts mips);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write ~path ?scale ?jobs entries =
+  let oc = open_out path in
+  output_string oc (to_json ?scale ?jobs entries);
+  close_out oc
+
+(* Minimal scanner for the CI baseline check: find the first
+   ["total_mips":] key and parse the number after it. *)
+let read_total_mips path =
+  match
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    with Sys_error _ -> None
+  with
+  | None -> None
+  | Some s ->
+    let key = "\"total_mips\":" in
+    let klen = String.length key and len = String.length s in
+    let rec find i =
+      if i + klen > len then None
+      else if String.sub s i klen = key then Some (i + klen)
+      else find (i + 1)
+    in
+    (match find 0 with
+    | None -> None
+    | Some j ->
+      let k = ref j in
+      while !k < len && s.[!k] = ' ' do
+        incr k
+      done;
+      let e = ref !k in
+      while
+        !e < len
+        && match s.[!e] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+      do
+        incr e
+      done;
+      if !e > !k then float_of_string_opt (String.sub s !k (!e - !k)) else None)

@@ -1,0 +1,22 @@
+(** PR-over-PR performance trajectory: per-experiment wall-clock,
+    simulated instruction counts and simulated MIPS, serialized as a
+    small JSON document ([results/bench.json]). *)
+
+type entry = {
+  name : string;
+  wall_s : float;
+  instructions : int;  (** simulated instructions retired in this entry *)
+  sim_mips : float;  (** instructions / wall_s / 1e6 *)
+}
+
+val entry : name:string -> wall_s:float -> instructions:int -> entry
+
+val totals : entry list -> float * int * float
+(** [(wall_s, instructions, mips)] aggregated over the entries. *)
+
+val to_json : ?scale:int -> ?jobs:int -> entry list -> string
+val write : path:string -> ?scale:int -> ?jobs:int -> entry list -> unit
+
+val read_total_mips : string -> float option
+(** Scan a written file for its aggregate [total_mips] figure (used by
+    the CI regression gate); [None] if unreadable or absent. *)

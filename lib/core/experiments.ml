@@ -45,6 +45,21 @@ let run_benchmark ?(scheme = Pass.Unprotected)
   let measurement = System.run ~variant exe in
   { benchmark = b.Suite.name; scheme; variant; measurement }
 
+(* Domain-parallel measurement fan-out.  The toolchain (key allocator,
+   fresh-name counters) is global mutable state, so every distinct cell is
+   compiled serially up front — after which [compile_cache] is only read —
+   and then the independent simulations run on the {!Parallel} pool.  Each
+   cell owns a fresh machine/kernel/address space, so the measurements are
+   bit-identical to a serial run, and [Parallel.map] returns them in input
+   order. *)
+let run_cells ~scale cells =
+  List.iter
+    (fun (b, scheme, _variant) ->
+      ignore
+        (compile_benchmark ~options:{ Toolchain.default_options with scheme } ~scale b))
+    cells;
+  Parallel.map (fun (b, scheme, variant) -> run_benchmark ~scheme ~variant ~scale b) cells
+
 exception Experiment_failure of string
 
 let require_clean r =
@@ -162,11 +177,22 @@ let section5b ?(scale = default_scale) ?(benchmarks = Suite.all) () =
   in
   let all_runs = ref [] in
   let ovh_p = ref [] and ovh_k = ref [] in
+  (* three system variants per benchmark, fanned out across domains *)
+  let cells =
+    List.concat_map
+      (fun b ->
+        List.map (fun v -> (b, Pass.Unprotected, v)) System.all_variants)
+      benchmarks
+  in
+  let results = run_cells ~scale cells in
+  let rec regroup bs rs =
+    match (bs, rs) with
+    | [], [] -> []
+    | b :: bs', base :: proc :: kern :: rs' -> (b, base, proc, kern) :: regroup bs' rs'
+    | _ -> assert false
+  in
   List.iter
-    (fun b ->
-      let base = run_benchmark ~variant:System.Baseline ~scale b in
-      let proc = run_benchmark ~variant:System.Processor_modified ~scale b in
-      let kern = run_benchmark ~variant:System.Processor_kernel_modified ~scale b in
+    (fun ((b : Suite.benchmark), base, proc, kern) ->
       require_clean base;
       require_clean proc;
       require_clean kern;
@@ -186,7 +212,7 @@ let section5b ?(scale = default_scale) ?(benchmarks = Suite.all) () =
           Int64.to_string kern.measurement.System.cycles;
           Stats.pct_string ok;
           Stats.pct_string om ])
-    benchmarks;
+    (regroup benchmarks results);
   let avg_p = Stats.mean !ovh_p and avg_k = Stats.mean !ovh_k in
   Table.add_row table
     [ "average"; "-"; "-"; Stats.pct_string avg_p; "-"; Stats.pct_string avg_k; "-" ];
@@ -205,19 +231,45 @@ type scheme_comparison = {
   hardened : (Pass.scheme * run) list;
 }
 
-let compare_schemes ~scale ~schemes b =
-  let base = run_benchmark ~scheme:Pass.Unprotected ~scale b in
-  require_clean base;
-  let hardened =
-    List.map
-      (fun scheme ->
-        let r = run_benchmark ~scheme ~scale b in
-        require_clean r;
-        require_same_output base r;
-        (scheme, r))
-      schemes
+(* Batched over all benchmarks so the whole (benchmark × scheme) grid
+   fans out across domains at once. *)
+let compare_schemes_all ~scale ~schemes benchmarks =
+  let variant = System.Processor_kernel_modified in
+  let cells =
+    List.concat_map
+      (fun b ->
+        (b, Pass.Unprotected, variant) :: List.map (fun s -> (b, s, variant)) schemes)
+      benchmarks
   in
-  { benchmark = b.Suite.name; base; hardened }
+  let results = run_cells ~scale cells in
+  let per = 1 + List.length schemes in
+  let rec take n rs = if n = 0 then ([], rs) else
+    match rs with
+    | r :: rs' ->
+      let taken, rest = take (n - 1) rs' in
+      (r :: taken, rest)
+    | [] -> assert false
+  in
+  let rec regroup bs rs =
+    match bs with
+    | [] ->
+      assert (rs = []);
+      []
+    | (b : Suite.benchmark) :: bs' ->
+      let group, rest = take per rs in
+      let base = List.hd group in
+      require_clean base;
+      let hardened =
+        List.map2
+          (fun scheme r ->
+            require_clean r;
+            require_same_output base r;
+            (scheme, r))
+          schemes (List.tl group)
+      in
+      { benchmark = b.Suite.name; base; hardened } :: regroup bs' rest
+  in
+  regroup benchmarks results
 
 let overhead_table ~title ~schemes ~value ~comparisons =
   let header =
@@ -267,7 +319,7 @@ type figure_result = {
 let mem_pages r = float_of_int r.measurement.System.peak_kib
 
 let figure_generic ~scale ~benchmarks ~schemes ~runtime_title ~memory_title =
-  let comparisons = List.map (compare_schemes ~scale ~schemes) benchmarks in
+  let comparisons = compare_schemes_all ~scale ~schemes benchmarks in
   let runtime_table, runtime_averages =
     overhead_table ~title:runtime_title ~schemes ~value:cyc ~comparisons
   in
@@ -303,15 +355,19 @@ type security_result = {
 }
 
 let security () =
-  let matrix =
+  (* compile serially (global toolchain state), attack in parallel *)
+  let exes =
     List.map
       (fun scheme ->
         let options = { Toolchain.default_options with scheme } in
-        let exe =
-          Toolchain.compile_exe ~options ~name:"victim" Roload_security.Victim.source
-        in
-        (scheme, Roload_security.Eval.run_corpus ~exe ()))
+        ( scheme,
+          Toolchain.compile_exe ~options ~name:"victim" Roload_security.Victim.source ))
       Pass.all_schemes
+  in
+  let matrix =
+    Parallel.map
+      (fun (scheme, exe) -> (scheme, Roload_security.Eval.run_corpus ~exe ()))
+      exes
   in
   let table =
     Table.create ~title:"Section V-C2: attack outcomes per hardening scheme"
@@ -393,21 +449,21 @@ let ablation_keys ?(scale = 1) () =
       ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
       ()
   in
+  let schemes = [ Pass.Vcall; Pass.Icall ] in
+  let comparisons = compare_schemes_all ~scale ~schemes Suite.cxx_benchmarks in
   List.iter
-    (fun b ->
-      let base = run_benchmark ~scheme:Pass.Unprotected ~scale b in
+    (fun cmp ->
       List.iter
         (fun scheme ->
-          let r = run_benchmark ~scheme ~scale b in
-          require_same_output base r;
+          let r = List.assoc scheme cmp.hardened in
           Table.add_row table
-            [ b.Suite.name; Pass.scheme_name scheme;
+            [ cmp.benchmark; Pass.scheme_name scheme;
               Int64.to_string r.measurement.System.cycles;
               string_of_int r.measurement.System.dtlb.System.misses;
               Stats.pct_string
-                (Stats.overhead_pct ~base:(cyc base) ~measured:(cyc r)) ])
-        [ Pass.Vcall; Pass.Icall ])
-    Suite.cxx_benchmarks;
+                (Stats.overhead_pct ~base:(cyc cmp.base) ~measured:(cyc r)) ])
+        schemes)
+    comparisons;
   table
 
 (* separate-code layout: without it every ld.ro faults (§V-B). *)
@@ -439,13 +495,11 @@ let ablation_retcall ?(scale = 1) ?(benchmarks = Suite.all) () =
       ()
   in
   let ovhs = ref [] in
+  let comparisons = compare_schemes_all ~scale ~schemes:[ Pass.Retcall ] benchmarks in
   List.iter
-    (fun b ->
-      let base = run_benchmark ~scheme:Pass.Unprotected ~scale b in
-      let r = run_benchmark ~scheme:Pass.Retcall ~scale b in
-      require_clean base;
-      require_clean r;
-      require_same_output base r;
+    (fun cmp ->
+      let base = cmp.base in
+      let r = List.assoc Pass.Retcall cmp.hardened in
       let ovh = Stats.overhead_pct ~base:(cyc base) ~measured:(cyc r) in
       ovhs := ovh :: !ovhs;
       let density =
@@ -454,11 +508,11 @@ let ablation_retcall ?(scale = 1) ?(benchmarks = Suite.all) () =
         /. Int64.to_float r.measurement.System.instructions
       in
       Table.add_row table
-        [ b.Suite.name; Stats.pct_string ovh;
+        [ cmp.benchmark; Stats.pct_string ovh;
           Stats.pct_string
             (Stats.overhead_pct ~base:(mem_kib base) ~measured:(mem_kib r));
           Printf.sprintf "%.2f" density ])
-    benchmarks;
+    comparisons;
   Table.add_row table [ "average"; Stats.pct_string (Stats.mean !ovhs); "-"; "-" ];
   table
 
@@ -473,32 +527,38 @@ let ablation_tlb ?(scale = 1) ?(entries = [ 8; 16; 32; 64 ]) () =
       ~aligns:[ Table.Right; Table.Left; Table.Right; Table.Right ]
       ()
   in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun scheme ->
-          let options = { Toolchain.default_options with scheme } in
-          let exe = compile_benchmark ~options ~scale b in
-          let machine_config =
-            { Roload_machine.Config.default with dtlb_entries = n }
-          in
-          let machine = Roload_machine.Machine.create machine_config in
-          let kernel =
-            Roload_kernel.Kernel.create ~machine
-              ~config:Roload_kernel.Kernel.default_config
-          in
-          let _p, outcome = Roload_kernel.Kernel.exec kernel exe in
-          let mmu = Roload_kernel.Process.mmu _p in
-          let st = Roload_mem.Tlb.stats (Roload_mem.Mmu.dtlb mmu) in
-          let rate =
-            float_of_int st.Roload_mem.Tlb.misses
-            /. float_of_int (max 1 (st.Roload_mem.Tlb.hits + st.Roload_mem.Tlb.misses))
-            *. 100.0
-          in
-          Table.add_row table
-            [ string_of_int n; Pass.scheme_name scheme;
-              Int64.to_string outcome.Roload_kernel.Kernel.cycles;
-              Printf.sprintf "%.4f%%" rate ])
-        [ Pass.Unprotected; Pass.Vcall; Pass.Icall ])
-    entries;
+  let schemes = [ Pass.Unprotected; Pass.Vcall; Pass.Icall ] in
+  (* compile serially, then fan the (entries × scheme) sweep out *)
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun scheme ->
+            let options = { Toolchain.default_options with scheme } in
+            (n, scheme, compile_benchmark ~options ~scale b))
+          schemes)
+      entries
+  in
+  let rows =
+    Parallel.map
+      (fun (n, scheme, exe) ->
+        let machine_config = { Roload_machine.Config.default with dtlb_entries = n } in
+        let machine = Roload_machine.Machine.create machine_config in
+        let kernel =
+          Roload_kernel.Kernel.create ~machine ~config:Roload_kernel.Kernel.default_config
+        in
+        let _p, outcome = Roload_kernel.Kernel.exec kernel exe in
+        let mmu = Roload_kernel.Process.mmu _p in
+        let st = Roload_mem.Tlb.stats (Roload_mem.Mmu.dtlb mmu) in
+        let rate =
+          float_of_int st.Roload_mem.Tlb.misses
+          /. float_of_int (max 1 (st.Roload_mem.Tlb.hits + st.Roload_mem.Tlb.misses))
+          *. 100.0
+        in
+        [ string_of_int n; Pass.scheme_name scheme;
+          Int64.to_string outcome.Roload_kernel.Kernel.cycles;
+          Printf.sprintf "%.4f%%" rate ])
+      cells
+  in
+  List.iter (Table.add_row table) rows;
   table

@@ -1,0 +1,64 @@
+(* A Domainslib-free domain pool for the experiment fan-out.
+
+   Independent simulation cells — each owns a fresh machine, kernel and
+   address space — are drained from a shared work queue by
+   [Domain.spawn]ed workers.  Results land in a per-index slot, so the
+   output order is the input order regardless of which domain finished
+   first, and a run with [jobs = 1] is bit-identical to a run with
+   [jobs = n].  Exceptions are captured per cell and re-raised in input
+   order (the first failing cell wins deterministically). *)
+
+let jobs_override = ref None
+
+let set_jobs n = jobs_override := if n >= 1 then Some n else None
+
+(* Priority: explicit [set_jobs] (the [-j] flag) > [ROLOAD_JOBS] >
+   [Domain.recommended_domain_count]. *)
+let default_jobs () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "ROLOAD_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ())
+
+let map ?jobs f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    let items = Array.of_list items in
+    let n = Array.length items in
+    let jobs =
+      let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+      min j n
+    in
+    if jobs <= 1 then Array.to_list (Array.map f items)
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (results.(i) <-
+               (match f items.(i) with
+               | v -> Some (Ok v)
+               | exception e -> Some (Error e)));
+            go ()
+          end
+        in
+        go ()
+      in
+      let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join helpers;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+    end

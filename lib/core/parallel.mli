@@ -1,0 +1,18 @@
+(** A Domainslib-free domain pool for the experiment fan-out: a work
+    queue drained by spawned domains, with results returned in input
+    order so parallel runs are bit-identical to serial ones. *)
+
+val set_jobs : int -> unit
+(** Fix the worker count (the [-j] CLI flag); values < 1 clear the
+    override. *)
+
+val default_jobs : unit -> int
+(** Worker count: [set_jobs] override, else the [ROLOAD_JOBS]
+    environment variable, else [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] applies [f] to every item, running up to [jobs]
+    (default {!default_jobs}) domains concurrently.  Results are in input
+    order; if any application raised, the exception of the
+    lowest-indexed failing item is re-raised after all workers finish.
+    Each [f] call must be self-contained (no shared mutable state). *)

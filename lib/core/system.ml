@@ -59,8 +59,14 @@ let stats_of_tlb t =
   let s = Tlb.stats t in
   { accesses = s.Tlb.hits + s.Tlb.misses; misses = s.Tlb.misses }
 
-let run ?(max_instructions = 500_000_000L) ?trace ~variant exe =
-  let machine = Machine.create (machine_config variant) in
+(* Total instructions simulated across every [run] in this process (all
+   domains) — the numerator of the bench harness's simulated-MIPS figure. *)
+let instructions_simulated = Atomic.make 0
+
+let total_instructions_simulated () = Atomic.get instructions_simulated
+
+let run ?(max_instructions = 500_000_000L) ?trace ?engine ~variant exe =
+  let machine = Machine.create ?engine (machine_config variant) in
   Machine.set_trace machine trace;
   let kernel = Kernel.create ~machine ~config:(kernel_config variant) in
   let process, outcome =
@@ -77,6 +83,9 @@ let run ?(max_instructions = 500_000_000L) ?trace ~variant exe =
     image_bytes + Process.heap_bytes process
     + (Process.stack_pages * Roload_mem.Page_table.page_size)
   in
+  ignore
+    (Atomic.fetch_and_add instructions_simulated
+       (Int64.to_int outcome.Kernel.instructions));
   {
     status = outcome.Kernel.status;
     cycles = outcome.Kernel.cycles;

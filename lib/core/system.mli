@@ -32,8 +32,16 @@ type measurement = {
 val run :
   ?max_instructions:int64 ->
   ?trace:(pc:int -> Roload_isa.Inst.t -> unit) ->
+  ?engine:Roload_machine.Machine.engine ->
   variant:variant ->
   Roload_obj.Exe.t ->
   measurement
+(** [engine] selects the execution engine for this run (defaults to the
+    machine's default, i.e. block-cached unless [ROLOAD_ENGINE=single]). *)
+
+val total_instructions_simulated : unit -> int
+(** Instructions simulated by every [run] so far in this process, across
+    all domains — the numerator of the bench harness's simulated-MIPS. *)
+
 val exited_cleanly : measurement -> bool
 val status_string : measurement -> string

@@ -280,27 +280,34 @@ let run ?(limit = no_limit) ?stop_at_pc t process =
   let cpu = Machine.cpu t.machine in
   let rec loop () =
     if Process.status process <> Process.Running then outcome_of t process
-    else if Int64.compare (Cpu.instret cpu) limit.max_instructions >= 0 then
-      outcome_of t process
-    else if stop_at_pc = Some (Cpu.pc cpu) then outcome_of t process
     else
-      match Machine.step t.machine with
-      | Machine.Continue -> loop ()
-      | Machine.Trapped Trap.Ecall ->
-        handle_syscall t process;
-        loop ()
-      | Machine.Trapped Trap.Breakpoint ->
-        (* treat ebreak as an abort: kill the process *)
-        Process.set_status process
-          (Process.Killed (Signal.Sigill { pc = Cpu.pc cpu; info = "ebreak" }));
-        outcome_of t process
-      | Machine.Trapped trap -> (
-        charge t t.config.fault_cycles;
-        match signal_of_trap t trap with
-        | Some signal ->
-          Process.set_status process (Process.Killed signal);
+      let remaining = Int64.sub limit.max_instructions (Cpu.instret cpu) in
+      if Int64.compare remaining 0L <= 0 then outcome_of t process
+      else
+        (* hand the machine a fuel budget so it can run whole blocks
+           between kernel checks *)
+        let fuel =
+          if Int64.compare remaining (Int64.of_int max_int) >= 0 then max_int
+          else Int64.to_int remaining
+        in
+        match Machine.run_steps ?stop_at_pc ~fuel t.machine with
+        | Machine.Exhausted -> loop () (* limit re-checked above *)
+        | Machine.Stop_pc -> outcome_of t process
+        | Machine.Trap Trap.Ecall ->
+          handle_syscall t process;
+          loop ()
+        | Machine.Trap Trap.Breakpoint ->
+          (* treat ebreak as an abort: kill the process *)
+          Process.set_status process
+            (Process.Killed (Signal.Sigill { pc = Cpu.pc cpu; info = "ebreak" }));
           outcome_of t process
-        | None -> loop ())
+        | Machine.Trap trap -> (
+          charge t t.config.fault_cycles;
+          match signal_of_trap t trap with
+          | Some signal ->
+            Process.set_status process (Process.Killed signal);
+            outcome_of t process
+          | None -> loop ())
   in
   loop ()
 

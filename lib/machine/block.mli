@@ -1,0 +1,39 @@
+(** Pre-decoded basic blocks: the execution engine's block-cache
+    representation, also reused by the static disassembly walk of the
+    analysis layer.  A block is a straight-line run of decoded
+    instructions within one page, closed at the first control-flow
+    instruction (or ecall/ebreak) or at the page boundary. *)
+
+type slot = {
+  s_inst : Roload_isa.Inst.t;
+  s_size : int;  (** 2 or 4 bytes *)
+  s_pa : int;  (** physical address of the first halfword *)
+}
+
+type t
+
+val create : start_pa:int -> t
+val start_pa : t -> int
+val length : t -> int
+
+val slot : t -> int -> slot
+(** Unchecked slot access; the index must be below [length]. *)
+
+val closed : t -> bool
+(** No further slots can be appended: the last slot is a terminator, or
+    the next instruction would start on another page. *)
+
+val close : t -> unit
+val append : t -> slot -> unit
+
+val is_terminator : Roload_isa.Inst.t -> bool
+(** Instructions after which execution does not fall through to
+    [pc + size] (control flow, ecall, ebreak). *)
+
+val predecode : ?base:int -> string -> t list
+(** Static linear sweep of a raw code string into closed blocks;
+    undecodable parcels close the current block and are skipped a
+    halfword at a time.  [base] offsets the recorded addresses. *)
+
+val iter_insts : t list -> f:(pa:int -> Roload_isa.Inst.t -> size:int -> unit) -> unit
+(** Iterate every decoded instruction of [blocks] in address order. *)

@@ -14,7 +14,9 @@
 
 module Perm = Roload_mem.Perm
 module Mmu = Roload_mem.Mmu
+module Tlb = Roload_mem.Tlb
 module Phys_mem = Roload_mem.Phys_mem
+module Page_table = Roload_mem.Page_table
 module Inst = Roload_isa.Inst
 module Reg = Roload_isa.Reg
 
@@ -39,14 +41,32 @@ type exec_counts = {
   mutable indirect_jumps : int;
 }
 
+type engine = Block_cached | Single_step
+
+(* The block-cached engine is the default; [ROLOAD_ENGINE=single] selects
+   the per-instruction reference interpreter (the original hot loop), kept
+   for differential testing. *)
+let engine_of_env () =
+  match Sys.getenv_opt "ROLOAD_ENGINE" with
+  | Some ("single" | "single-step" | "step") -> Single_step
+  | Some _ | None -> Block_cached
+
 type t = {
   config : Config.t;
   cpu : Cpu.t;
   mem : Phys_mem.t;
   hierarchy : Roload_cache.Hierarchy.t;
   costs : costs;
+  engine : engine;
   mutable mmu : Mmu.t option;
   decode_cache : (int, Inst.t * int) Hashtbl.t;
+  blocks : (int, Block.t) Hashtbl.t; (* keyed by block start PA *)
+  code_pages : Bytes.t;
+      (* bitmap over PPNs: pages holding bytes of a memoized decoded
+         instruction.  A store into such a page flushes the decode/block
+         caches, keeping both engines correct under self-modifying code. *)
+  mutable code_gen : int; (* bumped on every decode/block flush *)
+  line_shift : int; (* log2 of the I-cache line size *)
   counts : exec_counts;
   mutable trace : (pc:int -> Inst.t -> unit) option;
 }
@@ -55,7 +75,8 @@ type step_result =
   | Continue
   | Trapped of Trap.t
 
-let create ?(costs = default_costs) (config : Config.t) =
+let create ?(costs = default_costs) ?engine (config : Config.t) =
+  let engine = match engine with Some e -> e | None -> engine_of_env () in
   {
     config;
     cpu = Cpu.create ();
@@ -64,8 +85,14 @@ let create ?(costs = default_costs) (config : Config.t) =
       Roload_cache.Hierarchy.create ~icache_config:config.Config.icache
         ~dcache_config:config.Config.dcache ~latencies:config.Config.latencies ();
     costs;
+    engine;
     mmu = None;
     decode_cache = Hashtbl.create 4096;
+    blocks = Hashtbl.create 1024;
+    code_pages =
+      Bytes.make ((config.Config.phys_mem_bytes lsr Page_table.page_shift lsr 3) + 1) '\000';
+    code_gen = 0;
+    line_shift = Roload_util.Bits.log2_exact config.Config.icache.Roload_cache.Cache.line_bytes;
     counts =
       { loads = 0; stores = 0; roloads = 0; branches = 0; jumps = 0; indirect_jumps = 0 };
     trace = None;
@@ -76,10 +103,33 @@ let mem t = t.mem
 let config t = t.config
 let hierarchy t = t.hierarchy
 let counts t = t.counts
+let engine t = t.engine
+
+(* Drop every memoized decode: pre-decoded blocks, the per-pa decode memo
+   and the code-page bitmap.  [code_gen] tells an in-flight block run that
+   the block it is executing no longer exists. *)
+let flush_code_caches t =
+  Hashtbl.reset t.decode_cache;
+  Hashtbl.reset t.blocks;
+  Bytes.fill t.code_pages 0 (Bytes.length t.code_pages) '\000';
+  t.code_gen <- t.code_gen + 1
+
+let register_code_page t pa =
+  let ppn = pa lsr Page_table.page_shift in
+  let i = ppn lsr 3 in
+  Bytes.unsafe_set t.code_pages i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.code_pages i) lor (1 lsl (ppn land 7))))
+
+let page_holds_code t pa =
+  let ppn = pa lsr Page_table.page_shift in
+  Char.code (Bytes.unsafe_get t.code_pages (ppn lsr 3)) land (1 lsl (ppn land 7)) <> 0
+
+let cached_blocks t = Hashtbl.length t.blocks
+let cached_decodes t = Hashtbl.length t.decode_cache
 
 let set_mmu t mmu =
   t.mmu <- mmu;
-  Hashtbl.reset t.decode_cache
+  flush_code_caches t
 
 let set_trace t f = t.trace <- f
 
@@ -115,20 +165,22 @@ let fetch_decode t =
         let decoded =
           if Roload_isa.Decode.is_compressed_halfword hw then
             match Roload_isa.Compressed.decode hw with
-            | Ok inst -> Ok (inst, 2)
+            | Ok inst -> Ok (inst, 2, pa)
             | Error info -> Error (Trap.Illegal_instruction { pc; info })
           else
             match fetch_halfword t (pc + 2) with
             | Error tr -> Error tr
-            | Ok (_, hw2) -> (
+            | Ok (pa2, hw2) -> (
               let word = hw lor (hw2 lsl 16) in
               match Roload_isa.Decode.decode word with
-              | Ok inst -> Ok (inst, 4)
+              | Ok inst -> Ok (inst, 4, pa2)
               | Error info -> Error (Trap.Illegal_instruction { pc; info }))
         in
         match decoded with
-        | Ok (inst, size) ->
+        | Ok (inst, size, last_pa) ->
           Hashtbl.replace t.decode_cache pa (inst, size);
+          register_code_page t pa;
+          register_code_page t last_pa;
           Ok (inst, size)
         | Error tr -> Error tr)
 
@@ -171,6 +223,10 @@ let data_access t ~pc ~va ~access ~width ~unsigned ~store_value =
       Cpu.add_cycles t.cpu (Roload_cache.Hierarchy.access_data t.hierarchy ~pa ~write);
       if write then begin
         write_phys t pa width (Option.get store_value);
+        (* Self-modifying code: a store into a page holding memoized
+           decoded instructions invalidates every decode/block memo, for
+           both engines. *)
+        if page_holds_code t pa then flush_code_caches t;
         Ok 0L
       end
       else Ok (read_phys t pa width ~unsigned))
@@ -190,14 +246,13 @@ let branch_taken (c : Inst.branch_cond) a b =
   | Bltu -> Roload_util.Bits.ult a b
   | Bgeu -> Roload_util.Bits.uge a b
 
-let step t =
-  match fetch_decode t with
-  | Error tr -> Trapped tr
-  | Ok (inst, size) -> (
-    let cpu = t.cpu in
-    let pc = Cpu.pc cpu in
-    (match t.trace with Some f -> f ~pc inst | None -> ());
-    let next = pc + size in
+(* Execute one decoded instruction: everything [step] does after
+   fetch/decode.  Shared by the single-step and block-cached engines. *)
+let execute_inst t ~pc inst ~size =
+  let cpu = t.cpu in
+  (match t.trace with Some f -> f ~pc inst | None -> ());
+  let next = pc + size in
+  (
     Cpu.add_cycles cpu t.costs.base;
     let continue_at pc' =
       Cpu.set_pc cpu pc';
@@ -305,6 +360,15 @@ let step t =
       Trapped Trap.Breakpoint
     | Inst.Fence -> continue_at next)
 
+(* The per-instruction reference interpreter: fetch, decode (memoized per
+   pa), execute.  The block-cached engine must match its observable
+   behaviour — architectural state, traps, cycles, cache/TLB statistics —
+   exactly. *)
+let step t =
+  match fetch_decode t with
+  | Error tr -> Trapped tr
+  | Ok (inst, size) -> execute_inst t ~pc:(Cpu.pc t.cpu) inst ~size
+
 (* Run until a trap; the caller (kernel) decides whether to resume. *)
 let run_until_trap ?(max_steps = max_int) t =
   let rec go n =
@@ -315,3 +379,232 @@ let run_until_trap ?(max_steps = max_int) t =
       | Trapped tr -> Some tr
   in
   go 0
+
+(* ---- block-cached engine ---- *)
+
+type run_stop =
+  | Exhausted (* fuel ran out; the caller re-checks its limits *)
+  | Stop_pc (* the pc reached [stop_at_pc] (checked before executing) *)
+  | Trap of Trap.t
+
+let page_mask = Page_table.page_size - 1
+
+(* Execute starting at the current pc until a trap, the fuel runs out, or
+   the pc hits [stop_at_pc].  Cycle accounting is identical to running
+   [step] in a loop:
+
+   - the block-entry [Mmu.translate] accounts the first slot's I-TLB
+     access; every further slot replays a guaranteed I-TLB hit on the
+     page's entry through [Tlb.rehit] (same clock tick, recency update and
+     hit count as the full lookup — a straight-line run cannot evict its
+     own page's entry, and if it somehow is evicted, [rehit] refuses with
+     no accounting and we fall back to a full re-entry);
+   - every slot's I-cache access goes through [Cache.access] when it
+     touches a new line, and through the equivalent-accounting
+     [Cache.rehit] when it stays on the line the previous slot fetched
+     (within a block nothing can evict that line between slots: a page's
+     64 lines map to 64 distinct sets, and a cross-page pc+2 decode fetch
+     cannot victimise the just-used line in an 8-way set);
+   - decode charges (the pc+2 fetch of an uncompressed instruction) are
+     paid lazily, the first time a slot is appended, in execution order —
+     exactly when the reference engine pays them — and are memoized per pa
+     across blocks, so jumping into already-decoded code never re-charges.
+*)
+let run_blocks t ~stop_at_pc ~fuel =
+  let cpu = t.cpu in
+  let mmu = mmu_exn t in
+  let itlb = Mmu.itlb mmu in
+  let hier = t.hierarchy in
+  let fuel = ref fuel in
+  let finished = ref None in
+  while !finished = None do
+    if !fuel <= 0 then finished := Some Exhausted
+    else begin
+      let pc0 = Cpu.pc cpu in
+      match stop_at_pc with
+      | Some s when s = pc0 -> finished := Some Stop_pc
+      | _ ->
+        if pc0 land 1 <> 0 then
+          finished := Some (Trap (Trap.Misaligned_access { pc = pc0; va = pc0; access = Perm.Fetch }))
+        else begin
+          match Mmu.translate mmu ~access:Perm.Fetch pc0 with
+          | Error f -> finished := Some (Trap (Trap.of_mmu_fault ~pc:pc0 f))
+          | Ok { pa; walk_steps; _ } ->
+            charge_walk t walk_steps;
+            let page_pbase = pa land lnot page_mask in
+            let vpn = pc0 lsr Page_table.page_shift in
+            let tlb_handle = Tlb.peek itlb ~vpn in
+            let block =
+              match Hashtbl.find_opt t.blocks pa with
+              | Some b -> b
+              | None ->
+                let b = Block.create ~start_pa:pa in
+                Hashtbl.add t.blocks pa b;
+                b
+            in
+            let gen0 = t.code_gen in
+            let icache_line = ref (-1) in
+            let icache_handle = ref None in
+            (* [run i ~pc]: execute slot [i]; pc is the slot's VA.  Returns
+               [None] to hand control back to the outer loop (block over,
+               fall through or jump elsewhere), [Some r] to finish. *)
+            let rec run i ~pc =
+              (* stop/fuel checks happen before any accounting; slot 0's
+                 were done by the outer loop *)
+              let stop_here =
+                i > 0
+                && (match stop_at_pc with Some s -> s = pc | None -> false)
+              in
+              if stop_here then Some Stop_pc
+              else if i > 0 && !fuel <= 0 then Some Exhausted
+              else if
+                (* I-TLB accounting for this slot's fetch (slot 0: done by
+                   the entry translate).  On rehit failure nothing was
+                   accounted; re-enter through the outer loop, whose full
+                   translate performs whatever accounting is due. *)
+                i > 0
+                &&
+                match tlb_handle with
+                | Some h -> Tlb.rehit itlb ~vpn h = None
+                | None -> true
+              then None
+              else if i < Block.length block then begin
+                let s = Block.slot block i in
+                let line = s.Block.s_pa lsr t.line_shift in
+                (if line <> !icache_line then begin
+                   let cost, h = Roload_cache.Hierarchy.access_ifetch_handle hier ~pa:s.Block.s_pa in
+                   Cpu.add_cycles cpu cost;
+                   icache_line := line;
+                   icache_handle := Some h
+                 end
+                 else
+                   match !icache_handle with
+                   | Some h when Roload_cache.Hierarchy.rehit_ifetch hier h -> ()
+                   | Some _ | None ->
+                     let cost, h = Roload_cache.Hierarchy.access_ifetch_handle hier ~pa:s.Block.s_pa in
+                     Cpu.add_cycles cpu cost;
+                     icache_handle := Some h);
+                match execute_inst t ~pc s.Block.s_inst ~size:s.Block.s_size with
+                | Trapped tr -> Some (Trap tr)
+                | Continue ->
+                  decr fuel;
+                  if t.code_gen <> gen0 then None (* block flushed under us *)
+                  else if Block.is_terminator s.Block.s_inst then None
+                  else if i + 1 >= Block.length block && Block.closed block then None
+                  else run (i + 1) ~pc:(pc + s.Block.s_size)
+              end
+              else if Block.closed block then None
+              else begin
+                (* Lazy extension: decode slot [i] at [pc], charging the
+                   fetches exactly as the reference engine would. *)
+                let off = pc land page_mask in
+                let spa = page_pbase lor off in
+                let line = spa lsr t.line_shift in
+                (if line <> !icache_line then begin
+                   let cost, h = Roload_cache.Hierarchy.access_ifetch_handle hier ~pa:spa in
+                   Cpu.add_cycles cpu cost;
+                   icache_line := line;
+                   icache_handle := Some h
+                 end
+                 else
+                   match !icache_handle with
+                   | Some h when Roload_cache.Hierarchy.rehit_ifetch hier h -> ()
+                   | Some _ | None ->
+                     let cost, h = Roload_cache.Hierarchy.access_ifetch_handle hier ~pa:spa in
+                     Cpu.add_cycles cpu cost;
+                     icache_handle := Some h);
+                let decoded =
+                  match Hashtbl.find_opt t.decode_cache spa with
+                  | Some (inst, size) -> Ok (inst, size)
+                  | None -> (
+                    let hw = Phys_mem.read_u16 t.mem spa in
+                    if Roload_isa.Decode.is_compressed_halfword hw then (
+                      match Roload_isa.Compressed.decode hw with
+                      | Ok inst ->
+                        Hashtbl.replace t.decode_cache spa (inst, 2);
+                        register_code_page t spa;
+                        Ok (inst, 2)
+                      | Error info -> Error (Trap.Illegal_instruction { pc; info }))
+                    else
+                      (* uncompressed: charge the pc+2 halfword fetch *)
+                      let fetch2 =
+                        let va2 = pc + 2 in
+                        if va2 lsr Page_table.page_shift = vpn then (
+                          (* same page: a guaranteed I-TLB hit, replayed
+                             with exact accounting *)
+                          match tlb_handle with
+                          | Some h when Tlb.rehit itlb ~vpn h <> None ->
+                            Ok (page_pbase lor (off + 2))
+                          | Some _ | None -> (
+                            match Mmu.translate mmu ~access:Perm.Fetch va2 with
+                            | Error f -> Error (Trap.of_mmu_fault ~pc f)
+                            | Ok { pa = pa2; walk_steps; _ } ->
+                              charge_walk t walk_steps;
+                              Ok pa2))
+                        else
+                          match Mmu.translate mmu ~access:Perm.Fetch va2 with
+                          | Error f -> Error (Trap.of_mmu_fault ~pc f)
+                          | Ok { pa = pa2; walk_steps; _ } ->
+                            charge_walk t walk_steps;
+                            Ok pa2
+                      in
+                      match fetch2 with
+                      | Error tr -> Error tr
+                      | Ok pa2 -> (
+                        Cpu.add_cycles cpu (Roload_cache.Hierarchy.access_ifetch hier ~pa:pa2);
+                        let hw2 = Phys_mem.read_u16 t.mem pa2 in
+                        let word = hw lor (hw2 lsl 16) in
+                        match Roload_isa.Decode.decode word with
+                        | Ok inst ->
+                          Hashtbl.replace t.decode_cache spa (inst, 4);
+                          register_code_page t spa;
+                          register_code_page t pa2;
+                          Ok (inst, 4)
+                        | Error info -> Error (Trap.Illegal_instruction { pc; info })))
+                in
+                match decoded with
+                | Error tr -> Some (Trap tr) (* not memoized, like the reference *)
+                | Ok (inst, size) ->
+                  Block.append block { Block.s_inst = inst; s_size = size; s_pa = spa };
+                  if Block.is_terminator inst || off + size >= Page_table.page_size then
+                    Block.close block;
+                  match execute_inst t ~pc inst ~size with
+                  | Trapped tr -> Some (Trap tr)
+                  | Continue ->
+                    decr fuel;
+                    if t.code_gen <> gen0 then None
+                    else if Block.is_terminator inst then None
+                    else if i + 1 >= Block.length block && Block.closed block then None
+                    else run (i + 1) ~pc:(pc + size)
+              end
+            in
+            (match run 0 ~pc:pc0 with
+            | Some r -> finished := Some r
+            | None -> ())
+        end
+    end
+  done;
+  match !finished with Some r -> r | None -> assert false
+
+let run_single t ~stop_at_pc ~fuel =
+  let cpu = t.cpu in
+  let rec go fuel =
+    if fuel <= 0 then Exhausted
+    else
+      let pc = Cpu.pc cpu in
+      match stop_at_pc with
+      | Some s when s = pc -> Stop_pc
+      | _ -> (
+        match step t with
+        | Trapped tr -> Trap tr
+        | Continue -> go (fuel - 1))
+  in
+  go fuel
+
+(* The kernel-facing run loop entry point.  [stop_at_pc] pauses {i before}
+   executing the instruction at that pc; [fuel] bounds the number of
+   retired instructions. *)
+let run_steps ?stop_at_pc ~fuel t =
+  match t.engine with
+  | Block_cached -> run_blocks t ~stop_at_pc ~fuel
+  | Single_step -> run_single t ~stop_at_pc ~fuel

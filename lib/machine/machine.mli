@@ -25,14 +25,36 @@ type exec_counts = {
 
 type t
 
+type engine =
+  | Block_cached  (** pre-decoded basic blocks + fetch fast paths (default) *)
+  | Single_step  (** the per-instruction reference interpreter *)
+
 type step_result = Continue | Trapped of Trap.t
 
-val create : ?costs:costs -> Config.t -> t
+val create : ?costs:costs -> ?engine:engine -> Config.t -> t
+(** [engine] defaults to [Block_cached], or to the value of the
+    [ROLOAD_ENGINE] environment variable ([single] selects
+    [Single_step]).  Both engines are cycle-exact to each other. *)
+
 val cpu : t -> Cpu.t
 val mem : t -> Roload_mem.Phys_mem.t
 val config : t -> Config.t
 val hierarchy : t -> Roload_cache.Hierarchy.t
 val counts : t -> exec_counts
+val engine : t -> engine
+
+val cached_blocks : t -> int
+(** Number of pre-decoded blocks currently cached (introspection). *)
+
+val cached_decodes : t -> int
+(** Number of per-pa memoized decodes currently cached (introspection). *)
+
+val flush_code_caches : t -> unit
+(** Drop every pre-decoded block and decode memo.  Both engines share the
+    decode memo, so a flush affects their cycle accounting identically
+    (decode-time fetches are re-charged on next execution).  Called
+    automatically on [set_mmu] and on stores into pages holding decoded
+    instructions. *)
 
 val set_mmu : t -> Roload_mem.Mmu.t option -> unit
 (** Install the scheduled process's address space (clears the decode
@@ -48,3 +70,13 @@ val step : t -> step_result
 val run_until_trap : ?max_steps:int -> t -> Trap.t option
 (** Run until a trap occurs; [None] when [max_steps] was exhausted
     first. *)
+
+type run_stop =
+  | Exhausted  (** the fuel ran out; the caller re-checks its limits *)
+  | Stop_pc  (** the pc reached [stop_at_pc], checked before executing *)
+  | Trap of Trap.t
+
+val run_steps : ?stop_at_pc:int -> fuel:int -> t -> run_stop
+(** Run on the configured engine until a trap, until [fuel] instructions
+    have retired, or until the pc is about to execute [stop_at_pc].
+    Cycle accounting is identical across engines. *)

@@ -32,6 +32,15 @@ type t = {
       (* false on the baseline processor, which has no key-check logic.
          The baseline also refuses to *decode* ld.ro; this flag exists so
          the MMU model is meaningful on its own. *)
+  mutable i_memo : (int * Tlb.handle) option;
+  mutable d_memo : (int * Tlb.handle) option;
+      (* Same-page fast path: the (vpn, entry) of the last successful I-side
+         and D-side translation.  A repeated access to the memoized page
+         replays the TLB hit through [Tlb.rehit] — whose accounting (clock,
+         recency, hit counter) is exactly what the full lookup would have
+         done — and skips the associative scan.  The memos never change what
+         is simulated, only how fast; they are dropped on invalidate/flush
+         and self-check against entry recycling via [rehit]'s vpn guard. *)
 }
 
 let create ~page_table ~itlb_entries ~dtlb_entries ~roload_check_enabled =
@@ -40,6 +49,8 @@ let create ~page_table ~itlb_entries ~dtlb_entries ~roload_check_enabled =
     itlb = Tlb.create ~name:"I-TLB" ~entries:itlb_entries;
     dtlb = Tlb.create ~name:"D-TLB" ~entries:dtlb_entries;
     roload_check_enabled;
+    i_memo = None;
+    d_memo = None;
   }
 
 let itlb t = t.itlb
@@ -74,37 +85,74 @@ let check t ~va ~access pte =
 
 let page_mask = Page_table.page_size - 1
 
+let set_memo t (access : Perm.access) memo =
+  match access with
+  | Perm.Fetch -> t.i_memo <- memo
+  | Perm.Load | Perm.Store | Perm.Roload _ -> t.d_memo <- memo
+
+let memo_for t (access : Perm.access) =
+  match access with
+  | Perm.Fetch -> t.i_memo
+  | Perm.Load | Perm.Store | Perm.Roload _ -> t.d_memo
+
+(* The slow path: full TLB lookup, walk on miss.  Factored out of
+   [translate] so the same-page memo fast path stays small. *)
+let translate_slow t ~access ~vpn va =
+  let tlb = tlb_for t access in
+  match Tlb.lookup_handle tlb vpn with
+  | Some (pte, handle) -> (
+    set_memo t access (Some (vpn, handle));
+    match check t ~va ~access pte with
+    | Ok () ->
+      Ok { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
+           tlb_hit = true; walk_steps = 0 }
+    | Error f -> Error f)
+  | None -> (
+    match Page_table.walk t.page_table va with
+    | Error (Page_table.Not_mapped | Page_table.Bad_alignment) ->
+      Error (Page_fault { va; access })
+    | Ok { pte; steps; _ } -> (
+      let handle = Tlb.insert_handle tlb ~vpn ~pte in
+      set_memo t access (Some (vpn, handle));
+      match check t ~va ~access pte with
+      | Ok () ->
+        Ok { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
+             tlb_hit = false; walk_steps = steps }
+      | Error f -> Error f))
+
 let translate t ~access va =
   if va < 0 then Error (Page_fault { va; access })
   else
     let vpn = va lsr Page_table.page_shift in
-    let tlb = tlb_for t access in
-    match Tlb.lookup tlb vpn with
-    | Some pte -> (
-      match check t ~va ~access pte with
-      | Ok () ->
-        Ok { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
-             tlb_hit = true; walk_steps = 0 }
-      | Error f -> Error f)
-    | None -> (
-      match Page_table.walk t.page_table va with
-      | Error (Page_table.Not_mapped | Page_table.Bad_alignment) ->
-        Error (Page_fault { va; access })
-      | Ok { pte; steps; _ } -> (
-        Tlb.insert tlb ~vpn ~pte;
+    match memo_for t access with
+    | Some (mvpn, handle) when mvpn = vpn -> (
+      match Tlb.rehit (tlb_for t access) ~vpn handle with
+      | Some pte -> (
+        (* the entry still caches this page: rehit performed the exact hit
+           accounting the full lookup would have *)
         match check t ~va ~access pte with
         | Ok () ->
           Ok { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
-               tlb_hit = false; walk_steps = steps }
-        | Error f -> Error f))
+               tlb_hit = true; walk_steps = 0 }
+        | Error f -> Error f)
+      | None ->
+        (* entry invalidated or recycled since: no accounting happened, so
+           the full path below observes a pristine TLB *)
+        set_memo t access None;
+        translate_slow t ~access ~vpn va)
+    | Some _ | None -> translate_slow t ~access ~vpn va
 
 (* Invalidate cached translations for [va] in both TLBs (sfence.vma
    analogue, used after mprotect/mprotect_key). *)
 let invalidate t ~va =
   let vpn = va lsr Page_table.page_shift in
   Tlb.invalidate t.itlb ~vpn;
-  Tlb.invalidate t.dtlb ~vpn
+  Tlb.invalidate t.dtlb ~vpn;
+  t.i_memo <- None;
+  t.d_memo <- None
 
 let flush t =
   Tlb.flush t.itlb;
-  Tlb.flush t.dtlb
+  Tlb.flush t.dtlb;
+  t.i_memo <- None;
+  t.d_memo <- None

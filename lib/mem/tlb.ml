@@ -50,6 +50,55 @@ let lookup t vpn =
   | None -> t.stats.misses <- t.stats.misses + 1);
   r
 
+(* Handle-based variants for the fetch/data fast paths.  A handle names the
+   entry that produced a hit; [rehit] replays a hit on it with the exact
+   accounting [lookup] would have performed (clock tick, recency update, hit
+   counter), provided the entry still caches [vpn].  If it does not — the
+   entry was invalidated or recycled — [rehit] performs no accounting at all
+   and the caller falls back to the full [lookup], so the observable TLB
+   state is identical to always calling [lookup]. *)
+
+type handle = entry
+
+let lookup_handle t vpn =
+  let n = Array.length t.entries in
+  let rec go i =
+    if i >= n then None
+    else
+      let e = t.entries.(i) in
+      if e.valid && e.vpn = vpn then begin
+        e.last_use <- tick t;
+        Some (e.pte, e)
+      end
+      else go (i + 1)
+  in
+  let r = go 0 in
+  (match r with
+  | Some _ -> t.stats.hits <- t.stats.hits + 1
+  | None -> t.stats.misses <- t.stats.misses + 1);
+  r
+
+(* Locate the entry caching [vpn] without touching stats, clock or recency —
+   used to capture a handle right after a translation already accounted for
+   the access. *)
+let peek t ~vpn =
+  let n = Array.length t.entries in
+  let rec go i =
+    if i >= n then None
+    else
+      let e = t.entries.(i) in
+      if e.valid && e.vpn = vpn then Some e else go (i + 1)
+  in
+  go 0
+
+let rehit t ~vpn (e : handle) =
+  if e.valid && e.vpn = vpn then begin
+    e.last_use <- tick t;
+    t.stats.hits <- t.stats.hits + 1;
+    Some e.pte
+  end
+  else None
+
 let insert t ~vpn ~pte =
   let n = Array.length t.entries in
   (* Prefer an invalid slot; otherwise evict the least recently used. *)
@@ -69,6 +118,12 @@ let insert t ~vpn ~pte =
   e.pte <- pte;
   e.valid <- true;
   e.last_use <- tick t
+
+(* [insert] that also returns the handle of the entry written, so callers
+   maintaining a same-page memo can capture it without a separate scan. *)
+let insert_handle t ~vpn ~pte =
+  insert t ~vpn ~pte;
+  match peek t ~vpn with Some e -> e | None -> assert false
 
 (* Invalidate a single translation (used by mprotect/mprotect_key — an
    sfence.vma analogue). *)

@@ -12,7 +12,29 @@ val stats : t -> stats
 val lookup : t -> int -> Pte.t option
 (** [lookup t vpn] returns the cached leaf PTE and updates LRU/stats. *)
 
+type handle
+(** Names the entry that produced a hit, for the same-page fast paths. *)
+
+val lookup_handle : t -> int -> (Pte.t * handle) option
+(** Exactly [lookup], additionally returning the hit entry's handle. *)
+
+val peek : t -> vpn:int -> handle option
+(** Locate the entry caching [vpn] with no accounting whatsoever (no clock
+    tick, no recency update, no stats) — for capturing a handle after a
+    translation that already accounted for the access. *)
+
+val rehit : t -> vpn:int -> handle -> Pte.t option
+(** Replay a hit on [handle] with the exact accounting [lookup] performs
+    (clock tick, recency, hit counter) — provided the entry still caches
+    [vpn].  Returns [None] with {i no} accounting otherwise; the caller must
+    then fall back to [lookup], keeping observable TLB state identical to a
+    plain [lookup] sequence. *)
+
 val insert : t -> vpn:int -> pte:Pte.t -> unit
+
+val insert_handle : t -> vpn:int -> pte:Pte.t -> handle
+(** [insert] returning the handle of the entry written. *)
+
 val invalidate : t -> vpn:int -> unit
 val flush : t -> unit
 val reset_stats : t -> unit

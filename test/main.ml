@@ -11,6 +11,7 @@ let () =
       ("link", Test_link.suite);
       ("kernel", Test_kernel.suite);
       ("system", Test_system.suite);
+      ("engine", Test_engine.suite);
       ("front", Test_front.suite);
       ("passes", Test_passes.suite);
       ("codegen", Test_codegen.suite);

@@ -1,0 +1,276 @@
+(* Execution-engine equivalence tests: the block-cached engine must be
+   observably indistinguishable — architectural state, traps, output,
+   and every cycle/cache/TLB counter — from the retained single-step
+   reference interpreter, on random programs, on every hardening
+   scheme, and across self-modifying code. *)
+
+module Machine = Roload_machine.Machine
+module Config = Roload_machine.Config
+module Kernel = Roload_kernel.Kernel
+module Process = Roload_kernel.Process
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+module Encode = Roload_isa.Encode
+module Pass = Roload_passes.Pass
+module Suite = Roload_workloads.Spec_suite
+module System = Core.System
+module Exp = Core.Experiments
+
+(* ---------- measurement comparison ---------- *)
+
+let stats_pair (s : System.cache_stats) = (s.System.accesses, s.System.misses)
+
+let check_same_measurement ctx (a : System.measurement) (b : System.measurement) =
+  let chk : 'a. string -> 'a Alcotest.testable -> 'a -> 'a -> unit =
+   fun name ty x y -> Alcotest.check ty (ctx ^ ": " ^ name) x y
+  in
+  chk "status" Alcotest.string (System.status_string a) (System.status_string b);
+  chk "cycles" Alcotest.int64 a.System.cycles b.System.cycles;
+  chk "instructions" Alcotest.int64 a.System.instructions b.System.instructions;
+  chk "output" Alcotest.string a.System.output b.System.output;
+  chk "peak_kib" Alcotest.int a.System.peak_kib b.System.peak_kib;
+  chk "footprint" Alcotest.int a.System.footprint_bytes b.System.footprint_bytes;
+  chk "roloads" Alcotest.int a.System.roloads_executed b.System.roloads_executed;
+  let pair = Alcotest.(pair int int) in
+  chk "icache" pair (stats_pair a.System.icache) (stats_pair b.System.icache);
+  chk "dcache" pair (stats_pair a.System.dcache) (stats_pair b.System.dcache);
+  chk "itlb" pair (stats_pair a.System.itlb) (stats_pair b.System.itlb);
+  chk "dtlb" pair (stats_pair a.System.dtlb) (stats_pair b.System.dtlb)
+
+let run_both_engines ?(variant = System.Processor_kernel_modified) ~ctx exe =
+  let blocked = System.run ~engine:Machine.Block_cached ~variant exe in
+  let stepped = System.run ~engine:Machine.Single_step ~variant exe in
+  check_same_measurement ctx blocked stepped;
+  blocked
+
+(* ---------- random MiniC programs (straight-line + branchy) ---------- *)
+
+(* A generator over a small MiniC fragment: assignments of random
+   arithmetic over four variables, nested if/else, and bounded while
+   loops (each loop gets a fresh counter, so every program terminates).
+   Division and remainder are included — RISC-V defines x/0 without
+   trapping, and both engines must agree on that too. *)
+let gen_source rs =
+  let open QCheck.Gen in
+  let vars = [| "a"; "b"; "c"; "d" |] in
+  let var () = vars.(int_bound 3 rs) in
+  let rec expr depth =
+    if depth <= 0 || bool rs then
+      if bool rs then string_of_int (int_bound 40 rs) else var ()
+    else
+      let op = [| "+"; "-"; "*"; "/"; "%" |].(int_bound 4 rs) in
+      Printf.sprintf "(%s %s %s)" (expr (depth - 1)) op (expr (depth - 1))
+  in
+  let loop_id = ref 0 in
+  let buf = Buffer.create 256 in
+  let rec stmts depth n indent =
+    for _ = 1 to n do
+      match if depth <= 0 then 0 else int_bound 3 rs with
+      | 0 | 1 ->
+        Buffer.add_string buf (Printf.sprintf "%s%s = %s;\n" indent (var ()) (expr 2))
+      | 2 ->
+        Buffer.add_string buf
+          (Printf.sprintf "%sif (%s < %s) {\n" indent (expr 1) (expr 1));
+        stmts (depth - 1) (1 + int_bound 1 rs) (indent ^ "  ");
+        Buffer.add_string buf (indent ^ "} else {\n");
+        stmts (depth - 1) (1 + int_bound 1 rs) (indent ^ "  ");
+        Buffer.add_string buf (indent ^ "}\n")
+      | _ ->
+        incr loop_id;
+        let i = Printf.sprintf "t%d" !loop_id in
+        let bound = 1 + int_bound 5 rs in
+        Buffer.add_string buf
+          (Printf.sprintf "%sint %s;\n%s%s = 0;\n%swhile (%s < %d) {\n" indent i indent
+             i indent i bound);
+        stmts (depth - 1) (1 + int_bound 1 rs) (indent ^ "  ");
+        Buffer.add_string buf (Printf.sprintf "%s  %s = %s + 1;\n%s}\n" indent i i indent)
+    done
+  in
+  stmts 2 (3 + int_bound 4 rs) "  ";
+  Printf.sprintf
+    "int main() {\n\
+    \  int a; int b; int c; int d;\n\
+    \  a = %d; b = %d; c = %d; d = %d;\n\
+     %s\
+    \  print_int(a + b + c + d);\n\
+    \  return 0;\n\
+     }\n"
+    (int_bound 9 rs) (int_bound 9 rs) (int_bound 9 rs) (int_bound 9 rs)
+    (Buffer.contents buf)
+
+let gen_case rs =
+  let open QCheck.Gen in
+  let scheme = oneofl Pass.all_schemes rs in
+  (gen_source rs, scheme)
+
+let arb_case =
+  QCheck.make gen_case ~print:(fun (src, scheme) ->
+      Printf.sprintf "// scheme %s\n%s" (Pass.scheme_name scheme) src)
+
+let prop_engines_agree =
+  QCheck.Test.make ~count:25 ~name:"block engine == single-step reference" arb_case
+    (fun (src, scheme) ->
+      let exe =
+        Core.Toolchain.compile_exe
+          ~options:{ Core.Toolchain.default_options with scheme }
+          ~name:"rand" src
+      in
+      let ctx = Pass.scheme_name scheme in
+      ignore (run_both_engines ~ctx exe);
+      ignore (run_both_engines ~variant:System.Baseline ~ctx:(ctx ^ "/baseline") exe);
+      true)
+
+(* ---------- all schemes on scheme-rich code ---------- *)
+
+(* The random programs above have no indirect calls, so the hardening
+   schemes barely fire on them.  The security victim exercises vcalls,
+   icalls and returns; every scheme must behave identically on both
+   engines, ld.ro accounting included. *)
+let test_all_schemes_victim () =
+  List.iter
+    (fun scheme ->
+      let exe =
+        Core.Toolchain.compile_exe
+          ~options:{ Core.Toolchain.default_options with scheme }
+          ~name:"victim" Roload_security.Victim.source
+      in
+      let m = run_both_engines ~ctx:(Pass.scheme_name scheme) exe in
+      Alcotest.(check bool)
+        (Pass.scheme_name scheme ^ ": victim runs")
+        true (System.exited_cleanly m))
+    Pass.all_schemes
+
+(* ---------- self-modifying code (satellite bugfix regression) ---------- *)
+
+let enc inst = Int64.of_int (Encode.encode inst)
+
+(* mmap an RWX page, write [addi a0, x0, 7; ret] into it, call it, then
+   overwrite the first word with [addi a0, x0, 35] and call again.  A
+   stale decode/block cache replays the old body and exits 14; the
+   store-invalidation fix makes both calls see fresh code and exits 42. *)
+let self_modifying_src =
+  Printf.sprintf
+    {|
+.section .text
+_start:
+    li a0, 0
+    li a1, 4096
+    li a2, 7
+    li a3, 0
+    li a4, 0
+    li a7, 222
+    ecall
+    mv s0, a0
+    li t0, %Ld
+    sw t0, 0(s0)
+    li t1, %Ld
+    sw t1, 4(s0)
+    jalr s0
+    mv s1, a0
+    li t2, %Ld
+    sw t2, 0(s0)
+    jalr s0
+    add a0, a0, s1
+    li a7, 93
+    ecall
+|}
+    (enc (Inst.Op_imm (Inst.Add, Reg.a0, Reg.zero, 7L)))
+    (enc (Inst.Jalr (Reg.zero, Reg.ra, 0L)))
+    (enc (Inst.Op_imm (Inst.Add, Reg.a0, Reg.zero, 35L)))
+
+let build_exe src =
+  let items = Roload_asm.Asm_parser.parse src in
+  let obj = Roload_asm.Assemble.assemble items in
+  Roload_link.Linker.link [ obj ]
+
+let exec_on ~engine exe =
+  let machine = Machine.create ~engine Config.default in
+  let kernel = Kernel.create ~machine ~config:Kernel.default_config in
+  let _process, outcome = Kernel.exec kernel exe in
+  (machine, outcome)
+
+let check_exit ctx expected (outcome : Kernel.run_outcome) =
+  match outcome.Kernel.status with
+  | Process.Exited n when n = expected -> ()
+  | s ->
+    Alcotest.failf "%s: expected Exited %d, got %s" ctx expected
+      (match s with
+      | Process.Exited n -> Printf.sprintf "Exited %d" n
+      | Process.Killed sg -> Roload_kernel.Signal.to_string sg
+      | Process.Running -> "Running")
+
+let test_self_modifying () =
+  let exe = build_exe self_modifying_src in
+  let _, blocked = exec_on ~engine:Machine.Block_cached exe in
+  check_exit "block engine" 42 blocked;
+  let _, stepped = exec_on ~engine:Machine.Single_step exe in
+  check_exit "single-step engine" 42 stepped;
+  Alcotest.(check int64) "cycles agree" blocked.Kernel.cycles stepped.Kernel.cycles;
+  Alcotest.(check int64) "instructions agree" blocked.Kernel.instructions
+    stepped.Kernel.instructions
+
+(* Stores to non-code pages must NOT flush the decode/block caches: run
+   a program that stores into its writable data page (which, under the
+   default layout, sits adjacent to the executable segment) and check
+   the caches built while executing it survived to the end. *)
+let adjacent_store_src = {|
+.section .text
+_start:
+    la a1, buf
+    li t0, 1234
+    sd t0, 0(a1)
+    ld a0, 0(a1)
+    sb t0, 8(a1)
+    li a0, 0
+    li a7, 93
+    ecall
+.section .data
+buf:
+    .quad 0
+    .quad 0
+|}
+
+let test_adjacent_page_store_keeps_caches () =
+  let exe = build_exe adjacent_store_src in
+  let machine, outcome = exec_on ~engine:Machine.Block_cached exe in
+  check_exit "adjacent store" 0 outcome;
+  Alcotest.(check bool) "blocks survive data-page stores" true
+    (Machine.cached_blocks machine > 0);
+  Alcotest.(check bool) "decodes survive data-page stores" true
+    (Machine.cached_decodes machine > 0)
+
+let test_code_page_store_flushes () =
+  let exe = build_exe self_modifying_src in
+  let machine, outcome = exec_on ~engine:Machine.Block_cached exe in
+  check_exit "self-modifying" 42 outcome;
+  (* the final block (the rewritten mmap page code ran last, then the
+     exit sequence re-decoded) is small: the flush really dropped the
+     pre-store decodes *)
+  Alcotest.(check bool) "flush dropped stale decodes" true
+    (Machine.cached_decodes machine < 10)
+
+(* ---------- parallel fan-out determinism (ROLOAD_JOBS) ---------- *)
+
+let small () = [ Option.get (Suite.find "xalancbmk"); Option.get (Suite.find "gobmk") ]
+
+let test_jobs_determinism () =
+  let render () =
+    Roload_util.Table.render (Exp.section5b ~scale:1 ~benchmarks:(small ()) ()).Exp.table
+  in
+  Core.Parallel.set_jobs 1;
+  let serial = render () in
+  Core.Parallel.set_jobs 4;
+  let parallel = render () in
+  Core.Parallel.set_jobs 0;
+  Alcotest.(check string) "section5b byte-identical at -j1 and -j4" serial parallel
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_engines_agree;
+    Alcotest.test_case "all schemes: victim equivalence" `Quick test_all_schemes_victim;
+    Alcotest.test_case "self-modifying code re-decodes" `Quick test_self_modifying;
+    Alcotest.test_case "data-page stores keep caches" `Quick
+      test_adjacent_page_store_keeps_caches;
+    Alcotest.test_case "code-page stores flush caches" `Quick test_code_page_store_flushes;
+    Alcotest.test_case "jobs determinism (-j1 == -j4)" `Slow test_jobs_determinism;
+  ]
