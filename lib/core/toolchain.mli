@@ -25,6 +25,11 @@ exception Compile_error of string
 val runtime_object : compress:bool -> Roload_obj.Objfile.t
 (** The assembled runtime (startup, print helpers, allocator). *)
 
+val wrap_errors : (unit -> 'a) -> 'a
+(** Run a pipeline fragment, converting front-end / assembler / linker
+    failures into {!Compile_error}.  Exposed so roload-fuzz can rebuild
+    the pipeline with a planted miscompile between pass and codegen. *)
+
 val compile : ?options:options -> name:string -> string -> artifacts
 (** Raises {!Compile_error} with a located message on any front-end,
     assembler or linker failure. *)

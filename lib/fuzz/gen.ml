@@ -1,0 +1,413 @@
+(* Random MiniC program generator for the differential fuzzer.
+
+   Programs are assembled from chunks: a fixed prelude (typedefs, sink
+   and callback functions, class hierarchies, shared globals) plus a
+   random number of optional shapes.  Shapes are biased toward the
+   transfers the hardening schemes disagree about — that's where a
+   miscompiled key, a dropped ld.ro or a wrong label shows up as a
+   divergence against the oracle.
+
+   Determinism contract with the oracle (see ir_eval.ml): no machine
+   address is ever printed or branched on (function-pointer equality is
+   the only pointer observation, and it is scheme-stable); every callee
+   reachable by a confusion consumes no more arguments than the call
+   site stages, and sink functions ignore their parameters entirely;
+   frame arrays are fully initialized before any dynamic read (stack
+   reuse makes uninitialized slots nondeterministic on the machine);
+   loop counters are never assigned inside their own loop body. *)
+
+module Prng = Roload_util.Prng
+
+type chunk = { ck_name : string; ck_text : string }
+
+type prog = {
+  pr_seed : int64;
+  pr_top : chunk list;
+  pr_main : chunk list;
+}
+
+(* ---------- expressions and statement soup ---------- *)
+
+let lit n = if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+
+let arith_ops = [| "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<<"; ">>" |]
+let cmp_ops = [| "<"; "<="; ">"; ">="; "=="; "!=" |]
+
+let rec gen_expr rng depth (atoms : string array) =
+  if depth <= 0 || Prng.next_int rng 3 = 0 then
+    if Array.length atoms > 0 && Prng.next_bool rng then Prng.choose rng atoms
+    else lit (Prng.next_in_range rng ~lo:(-99) ~hi:99)
+  else
+    let ops = if Prng.next_int rng 4 = 0 then cmp_ops else arith_ops in
+    Printf.sprintf "(%s %s %s)"
+      (gen_expr rng (depth - 1) atoms)
+      (Prng.choose rng ops)
+      (gen_expr rng (depth - 1) atoms)
+
+(* a few statements over integer locals [vars] (all assignable) *)
+let gen_stmts rng ~indent ~prefix vars buf =
+  let atoms = Array.of_list vars in
+  let pad = String.make indent ' ' in
+  let n = Prng.next_in_range rng ~lo:2 ~hi:5 in
+  let loop_count = ref 0 in
+  for j = 0 to n - 1 do
+    match Prng.next_int rng 5 with
+    | 0 -> Buffer.add_string buf (Printf.sprintf "%sprint_int(%s);\n" pad (gen_expr rng 2 atoms))
+    | 1 ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sif (%s %s %s) { %s = %s; } else { %s = %s; }\n" pad
+           (gen_expr rng 1 atoms) (Prng.choose rng cmp_ops) (gen_expr rng 1 atoms)
+           (Prng.choose rng atoms) (gen_expr rng 2 atoms)
+           (Prng.choose rng atoms) (gen_expr rng 2 atoms))
+    | 2 when !loop_count = 0 ->
+      incr loop_count;
+      let i = Printf.sprintf "i%s_%d" prefix j in
+      let body_var = Prng.choose rng atoms in
+      Buffer.add_string buf
+        (Printf.sprintf "%sint %s = 0;\n%swhile (%s < %d) { %s = %s + %s; %s = %s + 1; }\n"
+           pad i pad i
+           (Prng.next_in_range rng ~lo:1 ~hi:12)
+           body_var
+           (gen_expr rng 1 atoms) i i i)
+    | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s = %s;\n" pad (Prng.choose rng atoms) (gen_expr rng 2 atoms))
+  done
+
+(* ---------- the fixed prelude ---------- *)
+
+(* Sinks ignore their parameters and print a fixed marker: a hijacked
+   transfer that reaches one behaves identically no matter what garbage
+   (including addresses) was staged in the argument registers. *)
+(* Each declaration group is its own chunk so the shrinker can delete the
+   ones a reproducer doesn't reference; only the typedefs and the shared
+   globals are required (nearly every shape's expressions read g0/g1). *)
+let prelude rng =
+  let e atoms = gen_expr rng 2 (Array.of_list atoms) in
+  [
+    {
+      ck_name = "prelude";
+      ck_text =
+        String.concat ""
+          [
+            "typedef int (*cb0_t)(int);\n";
+            "typedef int (*cb1_t)(int, int);\n";
+            (* parse_ginit accepts only plain (possibly negated) literals *)
+            Printf.sprintf "int g0 = %d;\n" (Prng.next_in_range rng ~lo:(-99) ~hi:99);
+            Printf.sprintf "int g1 = %d;\n" (Prng.next_in_range rng ~lo:(-99) ~hi:99);
+          ];
+    };
+    {
+      ck_name = "p-sinks";
+      ck_text =
+        String.concat ""
+          [
+            "int sink0(int x) { print_str(\"[s0]\"); return 70; }\n";
+            "int sink2() { print_str(\"[s2]\"); return 74; }\n";
+            "int twin0(int x) { print_str(\"[t0]\"); return 72; }\n";
+          ];
+    };
+    {
+      ck_name = "p-cbs";
+      ck_text =
+        String.concat ""
+          [
+            Printf.sprintf "int cbA(int x) { return %s; }\n" (e [ "x" ]);
+            Printf.sprintf "int cbB(int a, int b) { return %s; }\n" (e [ "a"; "b" ]);
+          ];
+    };
+    {
+      ck_name = "p-classes";
+      ck_text =
+        String.concat ""
+          [
+            Printf.sprintf
+              "class A { int pad; virtual int m(int x) { return %s; } };\n"
+              (e [ "x" ]);
+            Printf.sprintf "class B : A { virtual int m(int x) { return %s; } };\n"
+              (e [ "x"; "pad" ]);
+            "class D { virtual int m(int x) { print_str(\"[d]\"); return 73; } };\n";
+          ];
+    };
+    { ck_name = "p-slots"; ck_text = "cb0_t gslot0;\ncb1_t gslot1;\n" };
+  ]
+
+(* ---------- optional shapes ---------- *)
+
+type emit = { top : string option; main : string }
+
+let shape_soup rng k =
+  let a = Printf.sprintf "a%d" k and b = Printf.sprintf "b%d" k in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "  int %s = %s;\n  int %s = %s;\n" a
+       (lit (Prng.next_in_range rng ~lo:(-99) ~hi:99))
+       b
+       (lit (Prng.next_in_range rng ~lo:(-99) ~hi:99)));
+  gen_stmts rng ~indent:2 ~prefix:(string_of_int k) [ a; b; "g0"; "g1" ] buf;
+  Buffer.add_string buf (Printf.sprintf "  print_int(%s ^ %s);\n" a b);
+  { top = None; main = Buffer.contents buf }
+
+let shape_benign_icall rng k =
+  let c = Printf.sprintf "c%d" k in
+  let arg () = gen_expr rng 1 [| "g0"; "g1" |] in
+  let main =
+    match Prng.next_int rng 3 with
+    | 0 ->
+      Printf.sprintf "  cb0_t %s = cbA;\n  print_int(%s(%s));\n" c c (arg ())
+    | 1 ->
+      Printf.sprintf
+        "  gslot1 = cbB;\n  cb1_t %s = gslot1;\n  print_int(%s(%s, %s));\n" c c
+        (arg ()) (arg ())
+    | _ ->
+      (* the same-signature twin: a genuine pointee-reuse residual, it
+         executes (and marks) under every scheme *)
+      Printf.sprintf "  cb0_t %s = twin0;\n  print_int(%s(%s));\n" c c (arg ())
+  in
+  { top = None; main }
+
+let shape_table_icall rng k =
+  let tab = Printf.sprintf "tab%d" k and i = Printf.sprintf "ti%d" k in
+  (* sink2's signature differs: whether this chunk traps under ICall/CFI
+     depends on which entry the runtime index selects *)
+  let entries =
+    Array.init 4 (fun _ -> Prng.choose rng [| "cbA"; "sink0"; "twin0"; "sink2" |])
+  in
+  let top =
+    Printf.sprintf "cb0_t %s[4] = { %s, %s, %s, %s };\n" tab entries.(0)
+      entries.(1) entries.(2) entries.(3)
+  in
+  let main =
+    Printf.sprintf "  int %s = %s;\n  print_int(%s[%s & 3](%s));\n" i
+      (gen_expr rng 2 [| "g0"; "g1" |])
+      tab i
+      (gen_expr rng 1 [| "g0"; "g1" |])
+  in
+  { top = Some top; main }
+
+let shape_wrongtype_icall rng k =
+  let w = Printf.sprintf "w%d" k in
+  let arg () = gen_expr rng 1 [| "g0"; "g1" |] in
+  let main =
+    match Prng.next_int rng 3 with
+    | 0 ->
+      Printf.sprintf "  cb1_t %s = (cb1_t)sink0;\n  print_int(%s(%s, %s));\n" w w
+        (arg ()) (arg ())
+    | 1 ->
+      Printf.sprintf
+        "  gslot1 = (cb1_t)twin0;\n  cb1_t %s = gslot1;\n  print_int(%s(%s, %s));\n"
+        w w (arg ()) (arg ())
+    | _ ->
+      Printf.sprintf "  cb0_t %s = (cb0_t)sink2;\n  print_int(%s(%s));\n" w w
+        (arg ())
+  in
+  { top = None; main }
+
+let shape_mem_fptr rng k =
+  let mem = Printf.sprintf "mem%d" k and m = Printf.sprintf "m%d" k in
+  let target, site_ty =
+    (* the round-trip through integer memory keeps the function's own
+       GFPT address; conformance hinges on the call-site key *)
+    match Prng.next_int rng 3 with
+    | 0 -> ("cbA", "cb0_t")
+    | 1 -> ("twin0", "cb0_t")
+    | _ -> ("sink2", "cb0_t")
+  in
+  let main =
+    Printf.sprintf
+      "  int %s[2];\n  %s[0] = (int)%s;\n  %s[1] = 0;\n  %s %s = (%s)%s[0];\n  print_int(%s(%s));\n"
+      mem mem target mem site_ty m site_ty mem m
+      (gen_expr rng 1 [| "g0"; "g1" |])
+  in
+  { top = None; main }
+
+let shape_benign_vcall rng k =
+  let o = Printf.sprintf "o%d" k in
+  let arg () = gen_expr rng 1 [| "g0"; "g1" |] in
+  let main =
+    match Prng.next_int rng 4 with
+    | 0 -> Printf.sprintf "  A *%s = new A;\n  print_int(%s->m(%s));\n" o o (arg ())
+    | 1 ->
+      Printf.sprintf
+        "  A *%s = (A *)(new B);\n  %s->pad = %s;\n  print_int(%s->m(%s));\n" o o
+        (lit (Prng.next_in_range rng ~lo:(-9) ~hi:9))
+        o (arg ())
+    | 2 -> Printf.sprintf "  B *%s = new B;\n  print_int(%s->m(%s));\n" o o (arg ())
+    | _ -> Printf.sprintf "  D *%s = new D;\n  print_int(%s->m(%s));\n" o o (arg ())
+  in
+  { top = None; main }
+
+let shape_vptr_inject rng k =
+  let fake = Printf.sprintf "fake%d" k and v = Printf.sprintf "v%d" k in
+  let global_fake = Prng.next_bool rng in
+  let top = if global_fake then Some (Printf.sprintf "int %s[2];\n" fake) else None in
+  let buf = Buffer.create 128 in
+  if not global_fake then Buffer.add_string buf (Printf.sprintf "  int %s[2];\n" fake);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  %s[0] = (int)sink0;\n  %s[1] = 0;\n  A *%s = new A;\n  *((int *)%s) = (int)%s;\n  print_int(%s->m(%s));\n"
+       fake fake v v fake v
+       (gen_expr rng 1 [| "g0"; "g1" |]));
+  { top; main = Buffer.contents buf }
+
+let shape_cross_reuse rng k =
+  let x = Printf.sprintf "x%d" k and d = Printf.sprintf "d%d" k in
+  let main =
+    Printf.sprintf
+      "  A *%s = new A;\n  D *%s = new D;\n  *((int *)%s) = *((int *)%s);\n  print_int(%s->m(%s));\n"
+      x d x d x
+      (gen_expr rng 1 [| "g0"; "g1" |])
+  in
+  { top = None; main }
+
+let shape_inhier_swap rng k =
+  let p = Printf.sprintf "p%d" k and q = Printf.sprintf "q%d" k in
+  let main =
+    Printf.sprintf
+      "  A *%s = new A;\n  %s->pad = %s;\n  A *%s = (A *)(new B);\n  *((int *)%s) = *((int *)%s);\n  print_int(%s->m(%s));\n"
+      p p
+      (lit (Prng.next_in_range rng ~lo:(-9) ~hi:9))
+      q p q p
+      (gen_expr rng 1 [| "g0"; "g1" |])
+  in
+  { top = None; main }
+
+let shape_chars rng k =
+  let buf = Printf.sprintf "buf%d" k in
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "  char %s[4];\n" buf);
+  for i = 0 to 3 do
+    Buffer.add_string b
+      (Printf.sprintf "  %s[%d] = %d;\n" buf i (Prng.next_int rng 256))
+  done;
+  Buffer.add_string b
+    (Printf.sprintf "  print_int(%s[%s & 3]);\n" buf (gen_expr rng 1 [| "g0" |]));
+  Buffer.add_string b
+    (Printf.sprintf "  print_char((%s[0] & 63) + 32);\n" buf);
+  { top = None; main = Buffer.contents b }
+
+let shape_helper rng k =
+  let h = Printf.sprintf "h%d" k in
+  if Prng.next_bool rng then begin
+    let body = Buffer.create 128 in
+    gen_stmts rng ~indent:2 ~prefix:(Printf.sprintf "h%d" k) [ "a"; "b" ] body;
+    let top =
+      Printf.sprintf "int %s(int a, int b) {\n%s  return %s;\n}\n" h
+        (Buffer.contents body)
+        (gen_expr rng 2 [| "a"; "b" |])
+    in
+    let main =
+      Printf.sprintf "  print_int(%s(%s, %s));\n" h
+        (gen_expr rng 1 [| "g0"; "g1" |])
+        (gen_expr rng 1 [| "g0"; "g1" |])
+    in
+    { top = Some top; main }
+  end
+  else begin
+    let top =
+      Printf.sprintf
+        "int %s(int n) {\n  if (n <= 0) { return 1; }\n  return %s + %s(n - 1);\n}\n"
+        h (gen_expr rng 1 [| "n" |]) h
+    in
+    let main =
+      Printf.sprintf "  print_int(%s(%d));\n" h (Prng.next_in_range rng ~lo:1 ~hi:24)
+    in
+    { top = Some top; main }
+  end
+
+let shape_fptr_eq rng k =
+  let c = Printf.sprintf "e%d" k in
+  let t1 = Prng.choose rng [| "cbA"; "twin0"; "sink0" |] in
+  let t2 = Prng.choose rng [| "cbA"; "twin0"; "sink0" |] in
+  let main =
+    Printf.sprintf "  cb0_t %s = %s;\n  print_int(%s == %s);\n  print_int(%s != %s);\n"
+      c t1 c t2 c t1
+  in
+  { top = None; main }
+
+(* a deterministic plain fault, identical under every scheme: a store
+   into read-only data, or a null-page access (the machine's null page is
+   unmapped by construction, link base 0x10000) *)
+let shape_ro_store rng k =
+  let s = Printf.sprintf "ro%d" k in
+  let main =
+    match Prng.next_int rng 3 with
+    | 0 -> Printf.sprintf "  char *%s = \"rodata\";\n  %s[1] = 65;\n" s s
+    | 1 -> Printf.sprintf "  int *%s = (int *)0;\n  %s[0] = 1;\n" s s
+    | _ -> Printf.sprintf "  int *%s = (int *)0;\n  print_int(%s[0]);\n" s s
+  in
+  { top = None; main }
+
+let shapes =
+  [
+    (3, ("soup", shape_soup));
+    (2, ("benign-icall", shape_benign_icall));
+    (2, ("table-icall", shape_table_icall));
+    (2, ("wrongtype-icall", shape_wrongtype_icall));
+    (1, ("mem-fptr", shape_mem_fptr));
+    (2, ("benign-vcall", shape_benign_vcall));
+    (2, ("vptr-inject", shape_vptr_inject));
+    (2, ("cross-reuse", shape_cross_reuse));
+    (1, ("inhier-swap", shape_inhier_swap));
+    (1, ("chars", shape_chars));
+    (1, ("helper", shape_helper));
+    (1, ("fptr-eq", shape_fptr_eq));
+    (1, ("ro-store", shape_ro_store));
+  ]
+
+let pick_shape rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 shapes in
+  let r = ref (Prng.next_int rng total) in
+  let rec go = function
+    | [] -> assert false
+    | (w, s) :: rest -> if !r < w then s else (r := !r - w; go rest)
+  in
+  go shapes
+
+(* ---------- assembly ---------- *)
+
+let generate ~seed ~size =
+  let rng = Prng.create seed in
+  let main = ref [] in
+  let top = ref (List.rev (prelude rng)) in
+  let n = max 1 (3 + size) in
+  for k = 1 to n do
+    let shape_name, emitter = pick_shape rng in
+    let name = Printf.sprintf "c%d-%s" k shape_name in
+    let { top = t; main = m } = emitter rng k in
+    (match t with
+    | Some text -> top := { ck_name = name; ck_text = text } :: !top
+    | None -> ());
+    main := { ck_name = name; ck_text = m } :: !main
+  done;
+  main :=
+    { ck_name = "ret"; ck_text = Printf.sprintf "  return %d;\n" (Prng.next_int rng 100) }
+    :: !main;
+  { pr_seed = seed; pr_top = List.rev !top; pr_main = List.rev !main }
+
+let to_source p =
+  let b = Buffer.create 1024 in
+  List.iter (fun c -> Buffer.add_string b c.ck_text; Buffer.add_char b '\n') p.pr_top;
+  Buffer.add_string b "int main() {\n";
+  List.iter (fun c -> Buffer.add_string b c.ck_text) p.pr_main;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let optional_chunks p =
+  let names = List.map (fun c -> c.ck_name) (p.pr_top @ p.pr_main) in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if n = "prelude" || n = "ret" || Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let drop_chunk p name =
+  {
+    p with
+    pr_top = List.filter (fun c -> c.ck_name <> name) p.pr_top;
+    pr_main = List.filter (fun c -> c.ck_name <> name) p.pr_main;
+  }

@@ -1,0 +1,37 @@
+(** Sized, seeded random MiniC program generator, biased toward the
+    protection-relevant shapes the ROLoad schemes disagree about:
+    indirect calls through typed function-pointer variables, tables and
+    memory slots; virtual dispatch through class hierarchies; wrong-type
+    function-pointer writes; vtable-pointer injection and reuse; and
+    stores into read-only data.
+
+    Programs are assembled from named chunks so the shrinker can delete
+    them one at a time and re-render.  Every chunk is self-contained (its
+    locals are suffixed with the chunk id); cross-chunk references only
+    target the fixed prelude, so most deletions keep the program
+    compiling.
+
+    The generator's contract with the oracle: generated programs never
+    print or branch on machine addresses (function-pointer equality is
+    the one allowed pointer observation), never stage fewer arguments
+    than a callee consumes, and only forge vtable pointers from vtable
+    bases or writable arrays — so {!Ir_eval} never has to guess about
+    layout. *)
+
+type chunk = { ck_name : string; ck_text : string }
+
+type prog = {
+  pr_seed : int64;
+  pr_top : chunk list;  (** top-level declarations, in order *)
+  pr_main : chunk list;  (** statement groups forming [main]'s body *)
+}
+
+val generate : seed:int64 -> size:int -> prog
+(** [size] scales the number of optional chunks (roughly [3 + size]). *)
+
+val to_source : prog -> string
+
+val optional_chunks : prog -> string list
+(** Names the shrinker may try to delete, in program order. *)
+
+val drop_chunk : prog -> string -> prog

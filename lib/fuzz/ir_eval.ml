@@ -1,0 +1,559 @@
+(* The reference oracle: a big-step interpreter for the unhardened IR.
+
+   The interpreter executes programs in a synthetic address space (its
+   function/global/frame/heap addresses are unrelated to the linker's),
+   so it can only predict behavior that does not depend on layout.  Two
+   things make the prediction exact anyway:
+
+   - arithmetic reuses [Roload_machine.Alu], the pure RV64 semantics
+     module (division by zero, signed-overflow, 6-bit shift masking are
+     the machine's, not OCaml's), and [print_int] mirrors the runtime's
+     assembly digit loop byte for byte;
+
+   - scheme policy is evaluated *structurally* at each indirect transfer
+     using the same identities the passes bake into keys and labels:
+     signature-id equality for ICall's per-type GFPT keys, hierarchy
+     roots for VCall's per-hierarchy vtable keys, membership in any
+     genuine vtable for ICall's unified vtable key, read-only-region
+     membership for VTint, and the passes' own 20-bit label hashes for
+     the CFI baseline (so even hash collisions are predicted faithfully).
+
+   Anything layout-dependent (wild addresses, calls through non-function
+   words, arity-extending confusion) raises [Unsupported]; the generator
+   is designed never to produce it, and the differential runner skips
+   such cases rather than guessing. *)
+
+module Ir = Roload_ir.Ir
+module Pass = Roload_passes.Pass
+module Label_cfi = Roload_passes.Label_cfi
+module Trapclass = Roload_security.Trapclass
+module Alu = Roload_machine.Alu
+module Inst = Roload_isa.Inst
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type behavior = { stop : Trapclass.stop; output : string }
+
+let behavior_to_string b =
+  Printf.sprintf "%s output=%S" (Trapclass.stop_name b.stop) b.output
+
+let behavior_equal a b =
+  Trapclass.stop_equal a.stop b.stop && String.equal a.output b.output
+
+(* raised to unwind when the program reaches a final status *)
+exception Stopped of Trapclass.stop
+
+type region = { r_base : int64; r_size : int; r_writable : bool; r_name : string }
+
+type state = {
+  m : Ir.modul;
+  scheme : Pass.scheme;
+  mem : (int64, int) Hashtbl.t; (* byte-granular; absent = 0 within a region *)
+  mutable regions : region list;
+  funcs_by_addr : (int64, Ir.func) Hashtbl.t;
+  func_addr : (string, int64) Hashtbl.t;
+  global_addr : (string, int64) Hashtbl.t;
+  mutable vtables : (int64 * int * Ir.vtable_info) list;
+  cfi_label : (string, int) Hashtbl.t;
+  out : Buffer.t;
+  mutable fuel : int;
+  mutable stack_ptr : int64; (* bump pointer inside the frame region *)
+  mutable heap_ptr : int64;
+  mutable depth : int;
+}
+
+(* ---------- synthetic address space ---------- *)
+
+let text_base = 0x0100_0000L
+let global_base = 0x0200_0000L
+let frame_base = 0x0300_0000L
+let frame_size = 1 lsl 20
+let heap_base = 0x0400_0000L
+let heap_size = 1 lsl 20
+
+let region_of st va =
+  List.find_opt
+    (fun r ->
+      Int64.unsigned_compare va r.r_base >= 0
+      && Int64.unsigned_compare va (Int64.add r.r_base (Int64.of_int r.r_size)) < 0)
+    st.regions
+
+(* The machine's null page is guaranteed unmapped (link base 0x10000), so
+   a near-null access is the one layout-independent plain segfault. *)
+let null_page va = Int64.unsigned_compare va 4096L < 0
+
+let check_mapped st va ~write =
+  match region_of st va with
+  | Some r when (not write) || r.r_writable -> ()
+  | Some r -> (
+    ignore r;
+    (* mapped but read-only: the machine faults the store deterministically *)
+    raise (Stopped (Trapclass.Trap Trapclass.Segfault)))
+  | None ->
+    if null_page va then raise (Stopped (Trapclass.Trap Trapclass.Segfault))
+    else unsupported "access to unmapped synthetic address 0x%Lx" va
+
+let read_byte st va =
+  check_mapped st va ~write:false;
+  match Hashtbl.find_opt st.mem va with Some b -> b | None -> 0
+
+let write_byte st va b =
+  check_mapped st va ~write:true;
+  Hashtbl.replace st.mem va (b land 0xff)
+
+let read_u64 st va =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (read_byte st (Int64.add va (Int64.of_int i))))
+  done;
+  !v
+
+let write_u64 st va x =
+  for i = 0 to 7 do
+    write_byte st (Int64.add va (Int64.of_int i))
+      (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff)
+  done
+
+(* unchecked pokes: image construction writes read-only sections too *)
+let poke_byte st va b = Hashtbl.replace st.mem va (b land 0xff)
+
+let poke_u64 st va x =
+  for i = 0 to 7 do
+    poke_byte st (Int64.add va (Int64.of_int i))
+      (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xff)
+  done
+
+let add_region st r = st.regions <- r :: st.regions
+
+(* ---------- setup ---------- *)
+
+let global_size g =
+  (8 * List.length g.Ir.g_init)
+  + (match g.Ir.g_bytes with Some b -> String.length b | None -> 0)
+  + g.Ir.g_zero
+
+let align16 n = (n + 15) land lnot 15
+
+let build_cfi_labels (m : Ir.modul) =
+  (* mirrors Label_cfi.run's assignment: vtable impls first (per root and
+     slot), then address-taken plain functions (per signature id); a
+     function needing two different IDs is a compile failure there and
+     Unsupported here *)
+  let tbl = Hashtbl.create 16 in
+  let assign fname id =
+    match Hashtbl.find_opt tbl fname with
+    | None -> Hashtbl.replace tbl fname id
+    | Some existing ->
+      if existing <> id then unsupported "cfi: %s needs two labels" fname
+  in
+  List.iter
+    (fun vt ->
+      List.iteri
+        (fun slot impl ->
+          assign impl (Label_cfi.label_of_vslot ~root:vt.Ir.vt_root ~slot))
+        vt.Ir.vt_methods)
+    m.Ir.m_vtables;
+  let label_addr_taken fname =
+    match Ir.find_func m fname with
+    | None -> unsupported "cfi: address of unknown function %s" fname
+    | Some f -> assign fname (Label_cfi.label_of_sig_id (Ir.signature_id f.Ir.f_sig))
+  in
+  let scan_value = function
+    | Ir.Func_addr f -> label_addr_taken f
+    | Ir.Temp _ | Ir.Const _ | Ir.Global _ -> ()
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              List.iter scan_value
+                (match i with
+                | Ir.Bin (_, _, a, bb) -> [ a; bb ]
+                | Ir.Load { addr; _ } -> [ addr ]
+                | Ir.Store { src; addr; _ } -> [ src; addr ]
+                | Ir.Lea_frame _ -> []
+                | Ir.Call { args; _ } -> args
+                | Ir.Call_indirect { callee; args; _ } -> callee :: args
+                | Ir.Vcall { obj; args; _ } -> obj :: args))
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  let vt_symbols = List.map (fun vt -> vt.Ir.vt_symbol) m.Ir.m_vtables in
+  List.iter
+    (fun g ->
+      if not (List.mem g.Ir.g_name vt_symbols) then
+        List.iter
+          (function
+            | Ir.G_func f -> label_addr_taken f
+            | Ir.G_int _ | Ir.G_global _ -> ())
+          g.Ir.g_init)
+    m.Ir.m_globals;
+  tbl
+
+let create ~scheme (m : Ir.modul) =
+  let st =
+    {
+      m;
+      scheme;
+      mem = Hashtbl.create 1024;
+      regions = [];
+      funcs_by_addr = Hashtbl.create 16;
+      func_addr = Hashtbl.create 16;
+      global_addr = Hashtbl.create 16;
+      vtables = [];
+      cfi_label = build_cfi_labels m;
+      out = Buffer.create 64;
+      fuel = 0;
+      stack_ptr = frame_base;
+      heap_ptr = heap_base;
+      depth = 0;
+    }
+  in
+  (* function addresses: synthetic, spaced, never dereferencable as data *)
+  List.iteri
+    (fun i f ->
+      let addr = Int64.add text_base (Int64.of_int (64 * (i + 1))) in
+      Hashtbl.replace st.func_addr f.Ir.f_name addr;
+      Hashtbl.replace st.funcs_by_addr addr f)
+    m.Ir.m_funcs;
+  (* globals: addresses first (initializers may forward-reference) *)
+  let cursor = ref global_base in
+  List.iter
+    (fun g ->
+      Hashtbl.replace st.global_addr g.Ir.g_name !cursor;
+      let size = max 8 (align16 (global_size g)) in
+      add_region st
+        {
+          r_base = !cursor;
+          r_size = size;
+          r_writable = g.Ir.g_section <> ".rodata";
+          r_name = g.Ir.g_name;
+        };
+      cursor := Int64.add !cursor (Int64.of_int size))
+    m.Ir.m_globals;
+  add_region st
+    { r_base = frame_base; r_size = frame_size; r_writable = true; r_name = "stack" };
+  (* initializer contents *)
+  List.iter
+    (fun g ->
+      let base = Hashtbl.find st.global_addr g.Ir.g_name in
+      List.iteri
+        (fun i w ->
+          let va = Int64.add base (Int64.of_int (8 * i)) in
+          match w with
+          | Ir.G_int v -> poke_u64 st va v
+          | Ir.G_func f -> (
+            match Hashtbl.find_opt st.func_addr f with
+            | Some a -> poke_u64 st va a
+            | None -> unsupported "initializer references unknown function %s" f)
+          | Ir.G_global s -> (
+            match Hashtbl.find_opt st.global_addr s with
+            | Some a -> poke_u64 st va a
+            | None -> unsupported "initializer references unknown global %s" s))
+        g.Ir.g_init;
+      match g.Ir.g_bytes with
+      | Some bytes ->
+        let off = 8 * List.length g.Ir.g_init in
+        String.iteri
+          (fun i c ->
+            poke_byte st (Int64.add base (Int64.of_int (off + i))) (Char.code c))
+          bytes
+      | None -> ())
+    m.Ir.m_globals;
+  (* vtable extents for the policy checks *)
+  st.vtables <-
+    List.filter_map
+      (fun vt ->
+        match Hashtbl.find_opt st.global_addr vt.Ir.vt_symbol with
+        | Some base -> Some (base, 8 * List.length vt.Ir.vt_methods, vt)
+        | None -> None)
+      m.Ir.m_vtables;
+  st
+
+(* ---------- value and operator semantics ---------- *)
+
+let eval_value st regs = function
+  | Ir.Temp t -> regs.(t)
+  | Ir.Const c -> c
+  | Ir.Global g -> (
+    match Hashtbl.find_opt st.global_addr g with
+    | Some a -> a
+    | None -> unsupported "unknown global %s" g)
+  | Ir.Func_addr f -> (
+    match Hashtbl.find_opt st.func_addr f with
+    | Some a -> a
+    | None -> unsupported "address of unknown function %s" f)
+
+let bool64 b = if b then 1L else 0L
+
+let binop (op : Ir.binop) a b =
+  match op with
+  | Ir.Add -> Alu.op Inst.Add a b
+  | Ir.Sub -> Alu.op Inst.Sub a b
+  | Ir.Mul -> Alu.mulop Inst.Mul a b
+  | Ir.Div -> Alu.mulop Inst.Div a b
+  | Ir.Rem -> Alu.mulop Inst.Rem a b
+  | Ir.And -> Alu.op Inst.And a b
+  | Ir.Or -> Alu.op Inst.Or a b
+  | Ir.Xor -> Alu.op Inst.Xor a b
+  | Ir.Shl -> Alu.op Inst.Sll a b
+  | Ir.Shr -> Alu.op Inst.Sra a b
+  | Ir.Shru -> Alu.op Inst.Srl a b
+  | Ir.Eq -> bool64 (Int64.equal a b)
+  | Ir.Ne -> bool64 (not (Int64.equal a b))
+  | Ir.Lt -> bool64 (Int64.compare a b < 0)
+  | Ir.Le -> bool64 (Int64.compare a b <= 0)
+  | Ir.Gt -> bool64 (Int64.compare a b > 0)
+  | Ir.Ge -> bool64 (Int64.compare a b >= 0)
+
+(* ---------- builtins (mirror runtime.ml exactly) ---------- *)
+
+(* the runtime's digit loop, including its negative-remainder behavior on
+   Int64.min_int (neg wraps to itself; sb keeps the low byte) *)
+let print_int st v =
+  let neg = Int64.compare v 0L < 0 in
+  let t2 = ref (if neg then Int64.neg v else v) in
+  let digits = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let r = Int64.rem !t2 10L in
+    digits := Int64.to_int (Int64.add r 48L) land 0xff :: !digits;
+    t2 := Int64.div !t2 10L;
+    if Int64.equal !t2 0L then continue_ := false
+  done;
+  if neg then Buffer.add_char st.out '-';
+  List.iter (fun b -> Buffer.add_char st.out (Char.chr b)) !digits
+
+let print_str st va =
+  let rec go va =
+    let b = read_byte st va in
+    if b <> 0 then begin
+      Buffer.add_char st.out (Char.chr b);
+      go (Int64.add va 1L)
+    end
+  in
+  go va
+
+let alloc st n =
+  let n = Int64.to_int n in
+  if n < 0 || n > heap_size then unsupported "alloc of %d bytes" n;
+  let size = (n + 7) land lnot 7 in
+  let ptr = st.heap_ptr in
+  st.heap_ptr <- Int64.add st.heap_ptr (Int64.of_int size);
+  if Int64.unsigned_compare st.heap_ptr (Int64.add heap_base (Int64.of_int heap_size)) > 0
+  then unsupported "heap exhausted";
+  add_region st { r_base = ptr; r_size = size; r_writable = true; r_name = "heap" };
+  ptr
+
+let builtin st name args =
+  let arg i = try List.nth args i with _ -> unsupported "builtin %s arity" name in
+  match name with
+  | "print_int" ->
+    print_int st (arg 0);
+    None
+  | "print_char" ->
+    Buffer.add_char st.out (Char.chr (Int64.to_int (arg 0) land 0xff));
+    None
+  | "print_str" ->
+    print_str st (arg 0);
+    None
+  | "exit" -> raise (Stopped (Trapclass.Exit (Int64.to_int (arg 0))))
+  | "alloc" -> Some (alloc st (arg 0))
+  | _ -> unsupported "call to unknown function %s" name
+
+(* ---------- scheme policy at indirect transfers ---------- *)
+
+let func_at st va = Hashtbl.find_opt st.funcs_by_addr va
+
+let vtable_containing st va =
+  List.find_opt
+    (fun (base, size, _) ->
+      Int64.unsigned_compare va base >= 0
+      && Int64.unsigned_compare va (Int64.add base (Int64.of_int size)) < 0)
+    st.vtables
+
+let in_ro_region st va =
+  match region_of st va with Some r -> not r.r_writable | None -> false
+
+let root_of_class st cls =
+  match List.find_opt (fun vt -> vt.Ir.vt_class = cls) st.m.Ir.m_vtables with
+  | Some vt -> vt.Ir.vt_root
+  | None -> unsupported "no vtable for class %s" cls
+
+let cfi_label_of st fname =
+  match Hashtbl.find_opt st.cfi_label fname with
+  | Some l -> l
+  | None -> unsupported "cfi: indirect target %s has no label" fname
+
+let trap k = raise (Stopped (Trapclass.Trap k))
+
+(* ---------- execution ---------- *)
+
+let rec exec_func st (f : Ir.func) (args : int64 list) : int64 option =
+  if st.depth > 200 then unsupported "recursion too deep";
+  st.depth <- st.depth + 1;
+  let regs = Array.make (max 1 f.Ir.f_ntemps) 0L in
+  let nparams = List.length f.Ir.f_params in
+  if nparams > List.length args then
+    unsupported "%s: %d params but only %d staged arguments" f.Ir.f_name nparams
+      (List.length args);
+  List.iteri (fun i t -> regs.(t) <- List.nth args i) f.Ir.f_params;
+  (* per-activation frame slots *)
+  let saved_sp = st.stack_ptr in
+  let frame =
+    List.map
+      (fun s ->
+        let size = (max 8 s.Ir.slot_size + 7) land lnot 7 in
+        let addr = st.stack_ptr in
+        st.stack_ptr <- Int64.add st.stack_ptr (Int64.of_int size);
+        if
+          Int64.unsigned_compare st.stack_ptr
+            (Int64.add frame_base (Int64.of_int frame_size))
+          > 0
+        then unsupported "stack exhausted";
+        (* fresh machine stack bytes are unspecified; the generator only
+           reads slots it wrote, but zero them for determinism anyway *)
+        for i = 0 to size - 1 do
+          Hashtbl.replace st.mem (Int64.add addr (Int64.of_int i)) 0
+        done;
+        (s.Ir.slot_id, addr))
+      f.Ir.f_frame_slots
+  in
+  let entry =
+    match f.Ir.f_blocks with
+    | b :: _ -> b
+    | [] -> unsupported "%s has no blocks" f.Ir.f_name
+  in
+  let result = exec_block st f regs frame entry in
+  st.stack_ptr <- saved_sp;
+  st.depth <- st.depth - 1;
+  result
+
+and exec_block st f regs frame (b : Ir.block) : int64 option =
+  List.iter (exec_instr st f regs frame) b.Ir.b_instrs;
+  match b.Ir.b_term with
+  | Ir.Br l -> branch st f regs frame l
+  | Ir.Cbr (v, l1, l2) ->
+    branch st f regs frame
+      (if not (Int64.equal (eval_value st regs v) 0L) then l1 else l2)
+  | Ir.Ret (Some v) -> Some (eval_value st regs v)
+  | Ir.Ret None -> None
+  | Ir.Halt -> trap Trapclass.Check_abort (* codegen lowers Halt to ebreak *)
+
+and branch st f regs frame l =
+  match Ir.find_block f l with
+  | Some b -> exec_block st f regs frame b
+  | None -> unsupported "%s: missing block %s" f.Ir.f_name l
+
+and exec_instr st f regs frame (i : Ir.instr) =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then unsupported "out of fuel";
+  let ev = eval_value st regs in
+  match i with
+  | Ir.Bin (op, dst, a, b) -> regs.(dst) <- binop op (ev a) (ev b)
+  | Ir.Load { dst; addr; offset; width; md = _ } -> (
+    let ea = Int64.add (ev addr) (Int64.of_int offset) in
+    match width with
+    | Ir.W8 ->
+      (* the code generator emits a signed byte load for W8 *)
+      let b = read_byte st ea in
+      regs.(dst) <- Int64.of_int (if b >= 0x80 then b - 0x100 else b)
+    | Ir.W64 -> regs.(dst) <- read_u64 st ea)
+  | Ir.Store { src; addr; offset; width } -> (
+    let ea = Int64.add (ev addr) (Int64.of_int offset) in
+    match width with
+    | Ir.W8 -> write_byte st ea (Int64.to_int (ev src) land 0xff)
+    | Ir.W64 -> write_u64 st ea (ev src))
+  | Ir.Lea_frame (t, slot) -> (
+    match List.assoc_opt slot frame with
+    | Some addr -> regs.(t) <- addr
+    | None -> unsupported "%s: unknown frame slot %d" f.Ir.f_name slot)
+  | Ir.Call { dst; callee; args } -> (
+    let vargs = List.map ev args in
+    match Ir.find_func st.m callee with
+    | Some callee_f -> finish_call st regs dst (exec_func st callee_f vargs)
+    | None -> finish_call st regs dst (builtin st callee vargs))
+  | Ir.Call_indirect { dst; callee; args; sig_id; md = _ } -> (
+    let target = ev callee in
+    let vargs = List.map ev args in
+    match func_at st target with
+    | None -> unsupported "indirect call to non-function value 0x%Lx" target
+    | Some callee_f ->
+      let invoke () = finish_call st regs dst (exec_func st callee_f vargs) in
+      (match st.scheme with
+      | Pass.Unprotected | Pass.Retcall | Pass.Vcall | Pass.Vtint_baseline ->
+        invoke ()
+      | Pass.Icall ->
+        (* the GFPT slot for [callee_f] lives in the section keyed by its
+           own signature id; the call site's ld.ro uses the static one *)
+        if Ir.signature_id callee_f.Ir.f_sig = sig_id then invoke ()
+        else trap Trapclass.Roload_fault
+      | Pass.Cfi_baseline ->
+        if cfi_label_of st callee_f.Ir.f_name = Label_cfi.label_of_sig_id sig_id
+        then invoke ()
+        else trap Trapclass.Check_abort))
+  | Ir.Vcall { dst; obj; slot; class_name; args; md = _ } -> (
+    let obj_v = ev obj in
+    let vptr = read_u64 st obj_v in
+    let vea = Int64.add vptr (Int64.of_int (8 * slot)) in
+    let vargs = obj_v :: List.map ev args in
+    let resolve () =
+      let entry = read_u64 st vea in
+      match func_at st entry with
+      | Some callee_f -> callee_f
+      | None -> unsupported "vtable entry 0x%Lx is not a function" entry
+    in
+    let invoke callee_f = finish_call st regs dst (exec_func st callee_f vargs) in
+    match st.scheme with
+    | Pass.Unprotected | Pass.Retcall -> invoke (resolve ())
+    | Pass.Vcall -> (
+      (* per-hierarchy keyed ld.ro: the entry address must fall inside a
+         genuine vtable of this class's hierarchy *)
+      match vtable_containing st vea with
+      | Some (_, _, vt) when vt.Ir.vt_root = root_of_class st class_name ->
+        invoke (resolve ())
+      | Some _ | None -> trap Trapclass.Roload_fault)
+    | Pass.Icall -> (
+      (* unified vtable key: any genuine vtable passes *)
+      match vtable_containing st vea with
+      | Some _ -> invoke (resolve ())
+      | None -> trap Trapclass.Roload_fault)
+    | Pass.Vtint_baseline ->
+      if in_ro_region st vptr then invoke (resolve ())
+      else trap Trapclass.Check_abort
+    | Pass.Cfi_baseline ->
+      let callee_f = resolve () in
+      if
+        cfi_label_of st callee_f.Ir.f_name
+        = Label_cfi.label_of_vslot ~root:(root_of_class st class_name) ~slot
+      then invoke callee_f
+      else trap Trapclass.Check_abort)
+
+and finish_call st regs dst ret =
+  ignore st;
+  match (dst, ret) with
+  | None, _ -> ()
+  | Some d, Some v -> regs.(d) <- v
+  | Some _, None -> unsupported "value of a void call"
+
+(* ---------- entry point ---------- *)
+
+let run ?(fuel = 5_000_000) ~scheme (m : Ir.modul) =
+  let st = create ~scheme m in
+  st.fuel <- fuel;
+  let stop =
+    try
+      match Ir.find_func m "main" with
+      | None -> unsupported "no main"
+      | Some main -> (
+        match exec_func st main [] with
+        | Some v -> Trapclass.Exit (Int64.to_int v)
+        | None -> unsupported "main returns no value")
+    with Stopped s -> s
+  in
+  { stop; output = Buffer.contents st.out }

@@ -1,0 +1,41 @@
+(** The reference oracle: a big-step interpreter for the *unhardened*
+    typed IR.  It executes programs directly — no hardening pass, no code
+    generation, no machine — in its own synthetic address space, and
+    predicts the observable behavior (exit status or fault class, plus the
+    exact console output) under a given hardening scheme.
+
+    Scheme semantics are evaluated structurally at each indirect control
+    transfer, from the same policy definitions the passes use (signature
+    identity for ICall, hierarchy roots for VCall, the exact CFI label
+    hashes, read-only-region membership for VTint), so oracle and compiled
+    pipeline can only agree when the whole MiniC → IR → passes → codegen →
+    asm → link → machine chain preserves the intended semantics.
+
+    The oracle deliberately refuses programs whose behavior depends on
+    machine-level layout it does not model (reads of unmapped synthetic
+    memory, calls through non-function values, arity-extending type
+    confusion): it raises {!Unsupported}.  The generator is biased to
+    never produce such programs. *)
+
+exception Unsupported of string
+(** The program's behavior is not layout-independent (or exceeded the
+    interpretation fuel); no prediction is made. *)
+
+type behavior = {
+  stop : Roload_security.Trapclass.stop;
+  output : string;
+}
+
+val behavior_to_string : behavior -> string
+val behavior_equal : behavior -> behavior -> bool
+
+val run :
+  ?fuel:int ->
+  scheme:Roload_passes.Pass.scheme ->
+  Roload_ir.Ir.modul ->
+  behavior
+(** [run ~scheme m] executes [m] (as produced by {!Roload_front.Lower},
+    before any hardening pass) from [main] and predicts the behavior the
+    full ROLoad system (modified processor + kernel) exhibits under
+    [scheme].  [fuel] bounds interpreted IR instructions (default 5M);
+    exhausting it raises {!Unsupported}. *)

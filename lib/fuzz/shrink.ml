@@ -1,0 +1,34 @@
+(* Chunk-deletion shrinking.
+
+   The generator builds programs from named, mostly-independent chunks,
+   so shrinking is simple and effective: try to delete every optional
+   chunk (latest first — later chunks are more likely to be dead weight
+   below the failure point), keep deletions that preserve the failure,
+   and repeat until a full sweep deletes nothing.  Orphaned top-level
+   declarations (a dispatch table whose call-site chunk was deleted) go
+   together with their chunk because top and main parts share one chunk
+   name. *)
+
+let one_sweep ~still_failing prog =
+  List.fold_left
+    (fun (prog, changed) name ->
+      let candidate = Gen.drop_chunk prog name in
+      if still_failing candidate then (candidate, true) else (prog, changed))
+    (prog, false)
+    (List.rev (Gen.optional_chunks prog))
+
+let shrink ~still_failing prog =
+  let rec fixpoint prog budget =
+    if budget = 0 then prog
+    else
+      let prog', changed = one_sweep ~still_failing prog in
+      if changed then fixpoint prog' (budget - 1) else prog'
+  in
+  (* each sweep deletes at least one chunk, so the chunk count bounds the
+     number of useful sweeps *)
+  fixpoint prog (List.length (Gen.optional_chunks prog) + 1)
+
+let reproducer_source (p : Gen.prog) =
+  let chunks = String.concat " " (Gen.optional_chunks p) in
+  Printf.sprintf "// roload-fuzz reproducer: seed=%Ld chunks=[%s]\n%s" p.Gen.pr_seed
+    chunks (Gen.to_source p)

@@ -1,0 +1,16 @@
+(** Greedy chunk-deletion shrinker: reduce a failing generated program to
+    a minimal reproducer by repeatedly deleting optional chunks while the
+    failure persists.  Deletions that break compilation or lose the
+    divergence are rolled back; the loop runs to a fixed point. *)
+
+val shrink :
+  still_failing:(Gen.prog -> bool) ->
+  Gen.prog ->
+  Gen.prog
+(** [still_failing] must return [true] when the candidate still exhibits
+    the original failure (it is responsible for catching compile errors
+    and returning [false] for them). *)
+
+val reproducer_source : Gen.prog -> string
+(** The shrunk program plus a replay header ([seed], chunk names) as a
+    MiniC comment block, ready to be written to [corpus/]. *)

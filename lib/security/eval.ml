@@ -91,9 +91,11 @@ let classify (outcome : Kernel.run_outcome) =
          || contains_marker Victim.marker_typeconf ->
     Attack.Hijacked
   | Process.Exited _ -> Attack.No_effect
-  | Process.Killed sg ->
-    if Signal.is_roload_violation sg then Attack.Blocked_roload
-    else Attack.Blocked_other (Signal.to_string sg)
+  | Process.Killed sg -> (
+    (* one shared decoder for fault classes (also used by roload-fuzz) *)
+    match Trapclass.classify_signal sg with
+    | Trapclass.Roload_fault -> Attack.Blocked_roload
+    | k -> Attack.Blocked_other (Trapclass.kind_name k))
   | Process.Running -> Attack.Blocked_other "instruction limit"
 
 let run ?(config = default_run_config) ~exe kind =

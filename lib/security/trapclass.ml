@@ -1,0 +1,65 @@
+(* Shared trap classification for the attack runner and roload-fuzz. *)
+
+module Signal = Roload_kernel.Signal
+module Process = Roload_kernel.Process
+
+type kind =
+  | Roload_fault
+  | Check_abort
+  | Segfault
+  | Other_fault of string
+
+let kind_name = function
+  | Roload_fault -> "roload"
+  | Check_abort -> "abort"
+  | Segfault -> "segv"
+  | Other_fault s -> "other:" ^ s
+
+let kind_of_string s =
+  match s with
+  | "roload" -> Some Roload_fault
+  | "abort" -> Some Check_abort
+  | "segv" -> Some Segfault
+  | _ ->
+    let p = "other:" in
+    let np = String.length p in
+    if String.length s > np && String.sub s 0 np = p then
+      Some (Other_fault (String.sub s np (String.length s - np)))
+    else None
+
+(* ebreak is how the code generator aborts a failed inline check (CFI
+   label mismatch, VTint range violation); the kernel reports it as a
+   SIGILL with this marker. *)
+let classify_signal (sg : Signal.t) =
+  match sg with
+  | Signal.Sigsegv (Signal.Roload_violation _) -> Roload_fault
+  | Signal.Sigsegv (Signal.Access_violation _) -> Segfault
+  | Signal.Sigill { info = "ebreak"; _ } -> Check_abort
+  | Signal.Sigill _ | Signal.Sigbus _ -> Other_fault (Signal.to_string sg)
+
+type stop =
+  | Exit of int
+  | Trap of kind
+  | Timeout
+
+let stop_name = function
+  | Exit n -> Printf.sprintf "exit:%d" n
+  | Trap k -> "trap:" ^ kind_name k
+  | Timeout -> "timeout"
+
+let stop_of_string s =
+  match s with
+  | "timeout" -> Some Timeout
+  | _ ->
+    let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+    let rest p = String.sub s (String.length p) (String.length s - String.length p) in
+    if prefixed "exit:" then int_of_string_opt (rest "exit:") |> Option.map (fun n -> Exit n)
+    else if prefixed "trap:" then kind_of_string (rest "trap:") |> Option.map (fun k -> Trap k)
+    else None
+
+let stop_equal (a : stop) (b : stop) = a = b
+
+let stop_of_status = function
+  | Process.Exited n -> Exit n
+  | Process.Killed sg -> Trap (classify_signal sg)
+  | Process.Running -> Timeout

@@ -1,0 +1,27 @@
+(** Shared trap classification: the single mapping from a process's final
+    status to the fault classes the evaluation and the differential fuzzer
+    reason about.  Both the attack runner ({!Eval}) and roload-fuzz use it,
+    so "SIGSEGV with the ROLoad triage" means exactly one thing repo-wide. *)
+
+type kind =
+  | Roload_fault  (** SIGSEGV carrying the ROLoad triage (paper §III-B) *)
+  | Check_abort  (** an inline software check (CFI label / VTint range) hit ebreak *)
+  | Segfault  (** plain access violation, no ROLoad detail *)
+  | Other_fault of string  (** anything else fatal (SIGILL, SIGBUS, ...) *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+val classify_signal : Roload_kernel.Signal.t -> kind
+(** The one place that decodes signals into fault classes. *)
+
+type stop =
+  | Exit of int  (** clean exit with this code *)
+  | Trap of kind
+  | Timeout  (** still running when the instruction budget ran out *)
+
+val stop_name : stop -> string
+val stop_of_string : string -> stop option
+val stop_equal : stop -> stop -> bool
+
+val stop_of_status : Roload_kernel.Process.status -> stop

@@ -21,4 +21,5 @@ let () =
       ("security", Test_security.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

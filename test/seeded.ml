@@ -1,0 +1,15 @@
+(* The one seeded-RNG convention for every randomized test.
+
+   Nothing under test/ (or bin/roload_fuzzer) ever calls
+   [Random.self_init]: qcheck tests draw from this fixed-seed state so a
+   red run replays bit-for-bit, and roload-fuzz derives every case from
+   its --seed the same way.  The seed appears in failure output (qcheck
+   prints the counterexample; the fuzzer prints a replay line), so a
+   failure elsewhere can always be pinned back to it. *)
+
+let qcheck_seed = 0x1005ead
+
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    test

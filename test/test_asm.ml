@@ -192,6 +192,6 @@ let suite =
     Alcotest.test_case "relocations recorded" `Quick test_relocations_recorded;
     Alcotest.test_case "duplicate label rejected" `Quick test_duplicate_label_rejected;
     Alcotest.test_case "undefined branch target" `Quick test_undefined_branch_target;
-    QCheck_alcotest.to_alcotest prop_li_expansion;
-    QCheck_alcotest.to_alcotest prop_compression_preserves_behaviour;
+    Seeded.to_alcotest prop_li_expansion;
+    Seeded.to_alcotest prop_compression_preserves_behaviour;
   ]

@@ -109,8 +109,8 @@ let suite =
     Alcotest.test_case "log2_exact" `Quick test_log2;
     Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
     Alcotest.test_case "stats" `Quick test_stats;
-    QCheck_alcotest.to_alcotest prop_insert_extract;
-    QCheck_alcotest.to_alcotest prop_sign_extend_idempotent;
-    QCheck_alcotest.to_alcotest prop_ucompare_antisym;
-    QCheck_alcotest.to_alcotest prop_align_up_bounds;
+    Seeded.to_alcotest prop_insert_extract;
+    Seeded.to_alcotest prop_sign_extend_idempotent;
+    Seeded.to_alcotest prop_ucompare_antisym;
+    Seeded.to_alcotest prop_align_up_bounds;
   ]

@@ -106,6 +106,59 @@ let prop_deterministic =
       in
       run () = run ())
 
+(* property: [Cache.rehit]'s documented contract — replaying a read hit
+   through a captured handle, with a full [access] as the fallback on
+   refusal, is observably identical to always calling [access]: same
+   hit/miss/writeback counters and the same LRU state afterwards.  The
+   trace is drawn from a small address window (two sets' worth of
+   conflicting lines) so handles regularly go stale through eviction. *)
+let prop_rehit_exact_accounting =
+  let arb =
+    QCheck.make
+      ~print:(fun (before, addr, between) ->
+        Printf.sprintf "[%s] addr=%d [%s]"
+          (String.concat ";" (List.map (fun (a, w) -> Printf.sprintf "%d%s" a (if w then "w" else "r")) before))
+          addr
+          (String.concat ";" (List.map (fun (a, w) -> Printf.sprintf "%d%s" a (if w then "w" else "r")) between)))
+      QCheck.Gen.(
+        triple
+          (list_size (int_bound 24) (pair (int_bound 4095) bool))
+          (int_bound 4095)
+          (list_size (int_bound 24) (pair (int_bound 4095) bool)))
+  in
+  QCheck.Test.make ~count:300 ~name:"Cache.rehit = access (accounting, LRU, fallback)" arb
+    (fun (before, addr, between) ->
+      let a = mk () in
+      let b = mk () in
+      let replay (ad, w) =
+        ignore (Cache.access a ~addr:ad ~write:w);
+        ignore (Cache.access b ~addr:ad ~write:w)
+      in
+      List.iter replay before;
+      (* capture the handle with identical accounting on both caches *)
+      let _, handle = Cache.access_handle a ~addr ~write:false in
+      ignore (Cache.access b ~addr ~write:false);
+      List.iter replay between;
+      let oa =
+        if Cache.rehit a handle then Cache.Hit
+        else Cache.access a ~addr ~write:false
+      in
+      let ob = Cache.access b ~addr ~write:false in
+      let stats_eq () =
+        let sa = Cache.stats a and sb = Cache.stats b in
+        sa.Cache.hits = sb.Cache.hits && sa.Cache.misses = sb.Cache.misses
+        && sa.Cache.writebacks = sb.Cache.writebacks
+      in
+      oa = ob
+      && stats_eq ()
+      (* same LRU state: a conflict-heavy tail behaves identically *)
+      && List.for_all
+           (fun (ad, w) ->
+             Cache.access a ~addr:ad ~write:w = Cache.access b ~addr:ad ~write:w
+             && stats_eq ())
+           [ (addr, false); (addr + 512, true); (addr + 1024, false);
+             (addr, false); (addr + 1536, true); (addr + 512, false) ])
+
 let suite =
   [
     Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
@@ -114,7 +167,8 @@ let suite =
     Alcotest.test_case "write-back on dirty eviction" `Quick test_writeback;
     Alcotest.test_case "stats and flush" `Quick test_stats_and_flush;
     Alcotest.test_case "hierarchy costs" `Quick test_hierarchy_costs;
-    QCheck_alcotest.to_alcotest prop_counters_consistent;
-    QCheck_alcotest.to_alcotest prop_repeat_hits;
-    QCheck_alcotest.to_alcotest prop_deterministic;
+    Seeded.to_alcotest prop_counters_consistent;
+    Seeded.to_alcotest prop_repeat_hits;
+    Seeded.to_alcotest prop_deterministic;
+    Seeded.to_alcotest prop_rehit_exact_accounting;
   ]

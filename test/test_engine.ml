@@ -266,7 +266,7 @@ let test_jobs_determinism () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_engines_agree;
+    Seeded.to_alcotest prop_engines_agree;
     Alcotest.test_case "all schemes: victim equivalence" `Quick test_all_schemes_victim;
     Alcotest.test_case "self-modifying code re-decodes" `Quick test_self_modifying;
     Alcotest.test_case "data-page stores keep caches" `Quick

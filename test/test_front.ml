@@ -292,5 +292,5 @@ let suite =
     Alcotest.test_case "negative division" `Quick test_negative_modulo;
     Alcotest.test_case "recursion depth" `Quick test_recursion_depth;
     Alcotest.test_case "global initializers" `Quick test_globals_init;
-    QCheck_alcotest.to_alcotest prop_expression_differential;
+    Seeded.to_alcotest prop_expression_differential;
   ]

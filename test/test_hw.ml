@@ -190,6 +190,6 @@ let suite =
     Alcotest.test_case "lut mapping sanity" `Quick test_mapping_sane;
     Alcotest.test_case "table3 shape" `Quick test_table3_shape;
     Alcotest.test_case "ff delta = key storage" `Quick test_ff_delta_is_key_storage;
-    QCheck_alcotest.to_alcotest prop_rtl_matches_behavioural;
-    QCheck_alcotest.to_alcotest prop_rtl_baseline_matches;
+    Seeded.to_alcotest prop_rtl_matches_behavioural;
+    Seeded.to_alcotest prop_rtl_baseline_matches;
   ]

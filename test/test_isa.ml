@@ -244,10 +244,10 @@ let suite =
     Alcotest.test_case "disassembler" `Quick test_disasm_roundtrip;
     Alcotest.test_case "extension constants" `Quick test_ext_constants;
     Alcotest.test_case "register names" `Quick test_reg_names;
-    QCheck_alcotest.to_alcotest prop_decoder_total;
-    QCheck_alcotest.to_alcotest prop_compressed_decoder_total;
-    QCheck_alcotest.to_alcotest prop_encode_decode;
-    QCheck_alcotest.to_alcotest prop_encoded_is_32bit;
-    QCheck_alcotest.to_alcotest prop_compress_roundtrip;
-    QCheck_alcotest.to_alcotest prop_compressed_is_16bit;
+    Seeded.to_alcotest prop_decoder_total;
+    Seeded.to_alcotest prop_compressed_decoder_total;
+    Seeded.to_alcotest prop_encode_decode;
+    Seeded.to_alcotest prop_encoded_is_32bit;
+    Seeded.to_alcotest prop_compress_roundtrip;
+    Seeded.to_alcotest prop_compressed_is_16bit;
   ]

@@ -186,5 +186,5 @@ let suite =
     Alcotest.test_case "cross-object call" `Quick test_cross_object_call;
     Alcotest.test_case "exe codec roundtrip" `Quick test_exe_codec_roundtrip;
     Alcotest.test_case "exe codec rejects garbage" `Quick test_exe_codec_rejects_garbage;
-    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    Seeded.to_alcotest prop_codec_roundtrip;
   ]

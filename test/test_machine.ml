@@ -97,8 +97,8 @@ let suite =
     Alcotest.test_case "x0 hardwired" `Quick test_x0_hardwired;
     Alcotest.test_case "machine needs address space" `Quick test_machine_requires_mmu;
     Alcotest.test_case "config rows" `Quick test_config_rows;
-    QCheck_alcotest.to_alcotest prop_mulhu_small;
-    QCheck_alcotest.to_alcotest prop_div_rem_identity;
-    QCheck_alcotest.to_alcotest prop_mulh_shift_identity;
-    QCheck_alcotest.to_alcotest prop_addw_truncates;
+    Seeded.to_alcotest prop_mulhu_small;
+    Seeded.to_alcotest prop_div_rem_identity;
+    Seeded.to_alcotest prop_mulh_shift_identity;
+    Seeded.to_alcotest prop_addw_truncates;
   ]

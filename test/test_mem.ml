@@ -222,6 +222,82 @@ let prop_tlb_walk_agree =
           | _ -> false)
         mapped true)
 
+(* property: [Tlb.rehit]'s documented contract — replaying a hit through a
+   captured handle, with [lookup] as the fallback on refusal, is
+   observably identical to always calling [lookup]: same PTE, same
+   hit/miss counters, and the same LRU state afterwards (probed by
+   running an identical eviction-heavy tail on a twin TLB).  The op
+   sequence interleaves inserts, lookups and invalidates over a small vpn
+   space so handles regularly go stale through both recycling and
+   invalidation. *)
+let prop_tlb_rehit_exact_accounting =
+  let apply t = function
+    | `Fill (vpn, key) -> (
+      (* model an MMU fill: insert only on a miss — [insert] itself does
+         not dedupe, real callers never insert a cached vpn *)
+      match Tlb.lookup t vpn with
+      | Some _ -> ()
+      | None ->
+        Tlb.insert t ~vpn ~pte:(Pte.make ~ppn:(vpn + 100) ~perms:Perm.ro ~user:true ~key))
+    | `Lookup vpn -> ignore (Tlb.lookup t vpn)
+    | `Invalidate vpn -> Tlb.invalidate t ~vpn
+  in
+  let op =
+    QCheck.Gen.(
+      int_bound 11 >>= fun vpn ->
+      frequency
+        [ (4, map (fun k -> `Fill (vpn, k)) (int_bound 3));
+          (3, return (`Lookup vpn));
+          (1, return (`Invalidate vpn)) ])
+  in
+  let print_op = function
+    | `Fill (v, k) -> Printf.sprintf "fill %d/k%d" v k
+    | `Lookup v -> Printf.sprintf "lkp %d" v
+    | `Invalidate v -> Printf.sprintf "inv %d" v
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (a, vpn, b) ->
+        Printf.sprintf "[%s] vpn=%d [%s]"
+          (String.concat "; " (List.map print_op a))
+          vpn
+          (String.concat "; " (List.map print_op b)))
+      QCheck.Gen.(triple (list_size (int_bound 20) op) (int_bound 11) (list_size (int_bound 20) op))
+  in
+  QCheck.Test.make ~count:300 ~name:"Tlb.rehit = lookup (accounting, LRU, fallback)" arb
+    (fun (before, vpn, between) ->
+      let a = Tlb.create ~name:"a" ~entries:4 in
+      let b = Tlb.create ~name:"b" ~entries:4 in
+      List.iter (fun o -> apply a o; apply b o) before;
+      let handle = Tlb.peek a ~vpn in
+      List.iter (fun o -> apply a o; apply b o) between;
+      let via_rehit =
+        match handle with
+        | None -> Tlb.lookup a vpn
+        | Some h -> (
+          match Tlb.rehit a ~vpn h with
+          | Some pte -> Some pte
+          | None -> Tlb.lookup a vpn)
+      in
+      let via_lookup = Tlb.lookup b vpn in
+      let stats_eq () =
+        let sa = Tlb.stats a and sb = Tlb.stats b in
+        sa.Tlb.hits = sb.Tlb.hits && sa.Tlb.misses = sb.Tlb.misses
+      in
+      via_rehit = via_lookup
+      && stats_eq ()
+      && Tlb.occupancy a = Tlb.occupancy b
+      (* same LRU state: an eviction-heavy tail behaves identically *)
+      && List.for_all
+           (fun probe ->
+             Tlb.insert a ~vpn:(probe + 50)
+               ~pte:(Pte.make ~ppn:probe ~perms:Perm.ro ~user:true ~key:0);
+             Tlb.insert b ~vpn:(probe + 50)
+               ~pte:(Pte.make ~ppn:probe ~perms:Perm.ro ~user:true ~key:0);
+             List.for_all (fun v -> Tlb.lookup a v = Tlb.lookup b v) [ vpn; probe + 50 ]
+             && stats_eq ())
+           [ 0; 1; 2; 3; 4; 5 ])
+
 let suite =
   [
     Alcotest.test_case "physical memory" `Quick test_phys_mem;
@@ -234,6 +310,7 @@ let suite =
     Alcotest.test_case "mmu roload conditions" `Quick test_mmu_roload_conditions;
     Alcotest.test_case "mmu roload disabled" `Quick test_mmu_roload_disabled;
     Alcotest.test_case "mmu invalidate" `Quick test_mmu_invalidate;
-    QCheck_alcotest.to_alcotest prop_pte_roundtrip;
-    QCheck_alcotest.to_alcotest prop_tlb_walk_agree;
+    Seeded.to_alcotest prop_pte_roundtrip;
+    Seeded.to_alcotest prop_tlb_walk_agree;
+    Seeded.to_alcotest prop_tlb_rehit_exact_accounting;
   ]

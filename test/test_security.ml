@@ -91,6 +91,67 @@ let test_pointee_reuse_residual () =
         (outcome scheme Attack.Pointee_reuse_same_key))
     Pass.all_schemes
 
+(* ---- the full attack-kind × scheme outcome matrix ----
+
+   Every (kind, scheme) pair pinned in one inline table: a policy change
+   anywhere shows up as a two-table diff rather than a lone assertion
+   failure.  Layout-dependent fault detail (the SIGBUS address under
+   ICall's fptr overwrite) is truncated to the stable fault class. *)
+
+let cell = function
+  | Attack.Hijacked -> "HIJACKED"
+  | Attack.Blocked_roload -> "blocked:roload"
+  | Attack.Blocked_other d ->
+    let d =
+      match String.index_opt d ' ' with Some i -> String.sub d 0 i | None -> d
+    in
+    "blocked:" ^ d
+  | Attack.No_effect -> "no-effect"
+
+let render_matrix rows =
+  let header = "attack" :: List.map Pass.scheme_name Pass.all_schemes in
+  let table =
+    header :: List.map (fun (kind, cells) -> Attack.kind_name kind :: cells) rows
+  in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 table
+  in
+  let widths = List.init ncols width in
+  String.concat ""
+    (List.map
+       (fun row ->
+         String.concat " | "
+           (List.map2 (fun w c -> Printf.sprintf "%-*s" w c) widths row)
+         ^ "\n")
+       table)
+
+let expected_matrix =
+  [
+    (Attack.Vtable_injection,
+     [ "HIJACKED"; "blocked:roload"; "blocked:roload"; "blocked:abort"; "blocked:abort" ]);
+    (Attack.Vtable_corruption_reuse,
+     [ "HIJACKED"; "blocked:roload"; "HIJACKED"; "HIJACKED"; "blocked:abort" ]);
+    (Attack.Fptr_overwrite,
+     [ "HIJACKED"; "HIJACKED"; "blocked:other:SIGBUS"; "HIJACKED"; "blocked:abort" ]);
+    (Attack.Fptr_type_confusion,
+     [ "HIJACKED"; "HIJACKED"; "blocked:roload"; "HIJACKED"; "blocked:abort" ]);
+    (Attack.Pointee_reuse_same_key,
+     [ "HIJACKED"; "HIJACKED"; "HIJACKED"; "HIJACKED"; "HIJACKED" ]);
+  ]
+
+let test_full_outcome_matrix () =
+  let actual =
+    List.map
+      (fun kind ->
+        (kind, List.map (fun scheme -> cell (outcome scheme kind)) Pass.all_schemes))
+      Attack.all_kinds
+  in
+  Alcotest.(check string)
+    "attack-kind × scheme outcomes"
+    (render_matrix expected_matrix)
+    (render_matrix actual)
+
 let test_matrix_driver () =
   let r = Core.Experiments.security () in
   Alcotest.(check int) "5 schemes" (List.length Pass.all_schemes)
@@ -110,5 +171,6 @@ let suite =
     Alcotest.test_case "icall unified-key tradeoff" `Quick test_icall_unified_key_tradeoff;
     Alcotest.test_case "cfi blocks labelled attacks" `Quick test_cfi_blocks_labelled;
     Alcotest.test_case "pointee reuse residual (V-D)" `Quick test_pointee_reuse_residual;
+    Alcotest.test_case "full attack × scheme matrix" `Quick test_full_outcome_matrix;
     Alcotest.test_case "matrix driver" `Quick test_matrix_driver;
   ]

@@ -326,5 +326,5 @@ let suite =
     Alcotest.test_case "no roload when unprotected" `Quick test_no_roload_on_unprotected;
     Alcotest.test_case "retcall scheme (§IV-C)" `Quick test_retcall_scheme;
     Alcotest.test_case "three systems compatible" `Quick test_systems_compatible;
-    QCheck_alcotest.to_alcotest prop_schemes_equivalent_random;
+    Seeded.to_alcotest prop_schemes_equivalent_random;
   ]
