@@ -3,32 +3,42 @@
    Usage: roload_experiments [table1|table2|table3|section5b|figure3|
                               figure4|figure5|security|ablations|all]
                              [--scale N] [-j N] [--json PATH]
-                             [--baseline PATH]
+                             [--baseline PATH] [--metrics [PATH]]
+                             [--check-cycles PATH]
 
    With [--json] each experiment's wall-clock, simulated instruction
    count and simulated MIPS are appended to a bench-trajectory file;
    [--baseline] compares the aggregate simulated MIPS against a
-   previously written file and fails (exit 1) on a >30% regression. *)
+   previously written file and fails (exit 1) on a >30% regression.
+
+   [--metrics] extends the §V tables with counter columns (ld.ro count,
+   ROLoad faults, TLB/cache miss rates) and writes the per-cell metrics
+   log as JSON; [--check-cycles] compares that log's cycle counts against
+   a committed baseline and fails (exit 1) on any divergence — the CI
+   gate that pins down "metrics collection does not change what is
+   simulated". *)
 
 open Cmdliner
 
 let print_table t = Roload_util.Table.print t
 
-let run_one ~scale name =
+let run_one ~scale ~metrics name =
   match name with
   | "table1" -> print_table (Core.Experiments.table1 ())
   | "table2" -> print_table (Core.Experiments.table2 ())
   | "table3" -> print_table (Core.Experiments.table3 ()).Core.Experiments.table
   | "section5b" ->
-    print_table (Core.Experiments.section5b ~scale ()).Core.Experiments.table
+    print_table (Core.Experiments.section5b ~scale ~metrics ()).Core.Experiments.table
   | "figure3" ->
     let f = Core.Experiments.figure3 ~scale () in
     print_table f.Core.Experiments.runtime_table;
-    print_table f.Core.Experiments.memory_table
+    print_table f.Core.Experiments.memory_table;
+    if metrics then print_table f.Core.Experiments.metrics_table
   | "figure4" | "figure5" | "figure45" ->
     let f = Core.Experiments.figure45 ~scale () in
     print_table f.Core.Experiments.runtime_table;
-    print_table f.Core.Experiments.memory_table
+    print_table f.Core.Experiments.memory_table;
+    if metrics then print_table f.Core.Experiments.metrics_table
   | "security" ->
     print_table (Core.Experiments.security ()).Core.Experiments.table;
     print_table (Core.Experiments.related_work_table ())
@@ -42,8 +52,22 @@ let run_one ~scale name =
     Printf.eprintf "unknown experiment %s\n" other;
     exit 2
 
-let run names scale jobs json baseline =
+let read_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  with Sys_error _ -> None
+
+let run names scale jobs json baseline metrics check_cycles =
   (match jobs with Some j -> Core.Parallel.set_jobs j | None -> ());
+  (if check_cycles <> None && metrics = None then begin
+     Printf.eprintf "--check-cycles requires --metrics\n";
+     exit 2
+   end);
+  if metrics <> None then Core.Experiments.enable_metrics ();
   let names =
     match names with
     | [] | [ "all" ] ->
@@ -56,7 +80,7 @@ let run names scale jobs json baseline =
     (fun n ->
       let t0 = Unix.gettimeofday () in
       let i0 = Core.System.total_instructions_simulated () in
-      (try run_one ~scale n with
+      (try run_one ~scale ~metrics:(metrics <> None) n with
       | Core.Experiments.Experiment_failure m ->
         Printf.eprintf "EXPERIMENT FAILURE in %s: %s\n" n m;
         exit 1);
@@ -71,6 +95,40 @@ let run names scale jobs json baseline =
     Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ()) entries;
     Printf.printf "bench trajectory written to %s\n" path
   | None -> ());
+  (match metrics with
+  | None -> ()
+  | Some path ->
+    let doc = Roload_obs.Metrics.log_to_json (Core.Experiments.collected_metrics ()) in
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc;
+    Printf.printf "metrics written to %s\n" path;
+    (* the cycle-divergence gate: metrics collection (and tracing) must
+       not change what is simulated, so the cycle counts of every cell
+       must equal the committed baseline's exactly *)
+    match check_cycles with
+    | None -> ()
+    | Some bpath -> (
+      match read_file bpath with
+      | None ->
+        Printf.eprintf "warning: cannot read cycle baseline %s; skipping gate\n" bpath
+      | Some base_doc ->
+        let cur = Roload_util.Json.scan_int64_values ~key:"cycles" doc in
+        let base = Roload_util.Json.scan_int64_values ~key:"cycles" base_doc in
+        if cur <> base then begin
+          Printf.eprintf
+            "CYCLE DIVERGENCE: %d cycle values (baseline %d) and/or values differ \
+             between %s and %s\n"
+            (List.length cur) (List.length base) path bpath;
+          List.iteri
+            (fun i (c, b) ->
+              if c <> b then Printf.eprintf "  cell %d: %Ld vs baseline %Ld\n" i c b)
+            (try List.combine cur base with Invalid_argument _ -> []);
+          exit 1
+        end
+        else
+          Printf.printf "cycle gate: %d cells match baseline %s exactly — ok\n"
+            (List.length cur) bpath));
   match baseline with
   | None -> ()
   | Some path -> (
@@ -119,10 +177,28 @@ let baseline_arg =
              "Compare aggregate simulated MIPS against a previously written bench file; \
               exit 1 if it regressed more than 30%.")
 
+let metrics_arg =
+  Arg.(value
+       & opt ~vopt:(Some "results/metrics.json") (some string) None
+       & info [ "metrics" ] ~docv:"PATH"
+           ~doc:
+             "Extend the §V tables with counter columns (ld.ro, ROLoad faults, TLB/cache \
+              miss rates) and write the per-cell metrics log as JSON to PATH (default \
+              results/metrics.json).")
+
+let check_cycles_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "check-cycles" ] ~docv:"PATH"
+           ~doc:
+             "Compare the metrics log's cycle counts against the baseline at PATH; exit 1 \
+              on any divergence. Requires --metrics.")
+
 let cmd =
   Cmd.v
     (Cmd.info "roload_experiments"
        ~doc:"Regenerate the tables and figures of the ROLoad paper (DAC 2021)")
-    Term.(const run $ names_arg $ scale_arg $ jobs_arg $ json_arg $ baseline_arg)
+    Term.(const run $ names_arg $ scale_arg $ jobs_arg $ json_arg $ baseline_arg
+          $ metrics_arg $ check_cycles_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,10 +1,18 @@
 (* roload_run — load an .rxe image and run it on the simulated system.
 
-   Usage: roload_run prog.rxe [--system baseline|processor|full] *)
+   Usage: roload_run prog.rxe [--system baseline|processor|full]
+                              [--trace out.json] [--trace-text out.txt]
+                              [--profile] [--metrics] [--disasm N] *)
 
 open Cmdliner
 
-let run path system_name verbose trace_count =
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run path system_name verbose disasm_count trace_path trace_text_path profile
+    metrics =
   let variant =
     match system_name with
     | "baseline" -> Core.System.Baseline
@@ -16,9 +24,9 @@ let run path system_name verbose trace_count =
   in
   let exe = Roload_obj.Exe.load path in
   let trace =
-    if trace_count <= 0 then None
+    if disasm_count <= 0 then None
     else begin
-      let remaining = ref trace_count in
+      let remaining = ref disasm_count in
       Some
         (fun ~pc inst ->
           if !remaining > 0 then begin
@@ -27,8 +35,26 @@ let run path system_name verbose trace_count =
           end)
     end
   in
-  let m = Core.System.run ?trace ~variant exe in
+  let tracer =
+    match (trace_path, trace_text_path) with
+    | None, None -> None
+    | Some _, _ | _, Some _ -> Some (Roload_obs.Tracer.create ())
+  in
+  let m = Core.System.run ?trace ?tracer ~profile ~variant exe in
   print_string m.Core.System.output;
+  (match (tracer, trace_path) with
+  | Some tr, Some p ->
+    write_file p (Roload_obs.Tracer.to_chrome_json tr);
+    Printf.eprintf "trace: %d events (%d dropped) -> %s\n" (Roload_obs.Tracer.length tr)
+      (Roload_obs.Tracer.dropped tr) p
+  | _ -> ());
+  (match (tracer, trace_text_path) with
+  | Some tr, Some p ->
+    write_file p (Roload_obs.Tracer.to_text tr);
+    Printf.eprintf "trace text: %d events -> %s\n" (Roload_obs.Tracer.length tr) p
+  | _ -> ());
+  if profile then prerr_string (Roload_obs.Profile.render m.Core.System.profile);
+  if metrics then prerr_endline (Roload_obs.Metrics.to_json m.Core.System.metrics);
   if verbose then begin
     Printf.eprintf "status:       %s\n" (Core.System.status_string m);
     Printf.eprintf "instructions: %Ld\n" m.Core.System.instructions;
@@ -54,13 +80,33 @@ let system_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print run statistics.")
 
-let trace_arg =
+let disasm_arg =
   Arg.(value & opt int 0
-       & info [ "trace" ] ~docv:"N" ~doc:"Disassemble the first N retired instructions to stderr.")
+       & info [ "disasm" ] ~docv:"N" ~doc:"Disassemble the first N retired instructions to stderr.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome-trace-format JSON event trace (cycle-stamped; load in chrome://tracing) to $(docv).")
+
+let trace_text_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-text" ] ~docv:"FILE"
+           ~doc:"Write the compact text event trace to $(docv).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Profile the block cache and print the hottest blocks (with disassembly) to stderr.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Print the run's metrics snapshot as JSON to stderr.")
 
 let cmd =
   Cmd.v
     (Cmd.info "roload_run" ~doc:"Run an RXE image on the simulated ROLoad system")
-    Term.(const run $ path_arg $ system_arg $ verbose_arg $ trace_arg)
+    Term.(const run $ path_arg $ system_arg $ verbose_arg $ disasm_arg $ trace_arg
+          $ trace_text_arg $ profile_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

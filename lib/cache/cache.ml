@@ -27,6 +27,10 @@ type t = {
   mutable clock : int;
   stats : stats;
   name : string;
+  (* Optional tracing tap, fired once per access with the outcome.  A
+     generic closure (not an obs type) keeps this library free of an
+     observability dependency; observers must not touch cache state. *)
+  mutable observer : (addr:int -> write:bool -> hit:bool -> writeback:bool -> unit) option;
 }
 
 let create ~name config =
@@ -50,11 +54,18 @@ let create ~name config =
     clock = 0;
     stats = { hits = 0; misses = 0; writebacks = 0 };
     name;
+    observer = None;
   }
 
 let name t = t.name
 let config t = t.config
 let stats t = t.stats
+let set_observer t obs = t.observer <- obs
+
+let notify t ~addr ~write ~hit ~writeback =
+  match t.observer with
+  | None -> ()
+  | Some f -> f ~addr ~write ~hit ~writeback
 
 type outcome = Hit | Miss of { writeback : bool }
 
@@ -71,6 +82,7 @@ let access t ~addr ~write =
     line.last_use <- t.clock;
     if write then line.dirty <- true;
     t.stats.hits <- t.stats.hits + 1;
+    notify t ~addr ~write ~hit:true ~writeback:false;
     Hit
   | None ->
     t.stats.misses <- t.stats.misses + 1;
@@ -92,6 +104,7 @@ let access t ~addr ~write =
     v.valid <- true;
     v.dirty <- write;
     v.last_use <- t.clock;
+    notify t ~addr ~write ~hit:false ~writeback;
     Miss { writeback }
 
 (* Handle-based variants for the fetch fast path.  A handle names the line
@@ -101,7 +114,7 @@ let access t ~addr ~write =
    no accounting and the caller falls back to [access], so observable cache
    state is identical to always calling [access]. *)
 
-type handle = { h_line : line; h_tag : int }
+type handle = { h_line : line; h_tag : int; h_addr : int }
 
 let access_handle t ~addr ~write =
   let line_addr = addr lsr t.offset_bits in
@@ -115,13 +128,14 @@ let access_handle t ~addr ~write =
     else if set.(i).valid && set.(i).tag = tag then set.(i)
     else find (i + 1)
   in
-  (outcome, { h_line = find 0; h_tag = tag })
+  (outcome, { h_line = find 0; h_tag = tag; h_addr = addr })
 
-let rehit t { h_line; h_tag } =
+let rehit t { h_line; h_tag; h_addr } =
   if h_line.valid && h_line.tag = h_tag then begin
     t.clock <- t.clock + 1;
     h_line.last_use <- t.clock;
     t.stats.hits <- t.stats.hits + 1;
+    notify t ~addr:h_addr ~write:false ~hit:true ~writeback:false;
     true
   end
   else false

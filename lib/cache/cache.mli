@@ -16,6 +16,12 @@ val name : t -> string
 val config : t -> config
 val stats : t -> stats
 
+val set_observer :
+  t -> (addr:int -> write:bool -> hit:bool -> writeback:bool -> unit) option -> unit
+(** Optional tracing tap, fired once per access (including handle rehits)
+    with the access outcome.  Observers must not touch cache state; with
+    no observer the hot-path cost is a single option check. *)
+
 type outcome = Hit | Miss of { writeback : bool }
 
 val access : t -> addr:int -> write:bool -> outcome

@@ -18,18 +18,7 @@ let entry ~name ~wall_s ~instructions =
     sim_mips = (if wall_s > 0.0 then float_of_int instructions /. wall_s /. 1e6 else 0.0);
   }
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Roload_util.Json.escape
 
 let totals entries =
   let wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 entries in
@@ -44,13 +33,14 @@ let to_json ?(scale = 1) ?(jobs = 1) entries =
   Buffer.add_string b (Printf.sprintf "  \"scale\": %d,\n" scale);
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b "  \"entries\": [\n";
+  let n = List.length entries in
   List.iteri
     (fun i e ->
       Buffer.add_string b
         (Printf.sprintf
            "    { \"name\": \"%s\", \"wall_s\": %.3f, \"instructions\": %d, \"sim_mips\": %.3f }%s\n"
            (escape e.name) e.wall_s e.instructions e.sim_mips
-           (if i = List.length entries - 1 then "" else ",")))
+           (if i = n - 1 then "" else ",")))
     entries;
   Buffer.add_string b "  ],\n";
   let wall, insts, mips = totals entries in

@@ -52,13 +52,45 @@ let run_benchmark ?(scheme = Pass.Unprotected)
    cell owns a fresh machine/kernel/address space, so the measurements are
    bit-identical to a serial run, and [Parallel.map] returns them in input
    order. *)
+(* Metrics collection across experiment cells.  Recording happens on the
+   main domain only — in [run_cells], after [Parallel.map] has returned
+   its in-input-order results — so the log is deterministic under any
+   [-j N] and the workers never touch shared state. *)
+let metrics_log : Roload_obs.Metrics.labeled list ref = ref []
+let metrics_enabled = ref false
+
+let enable_metrics () =
+  metrics_enabled := true;
+  metrics_log := []
+
+let collected_metrics () = List.rev !metrics_log
+
+let record_metrics rs =
+  if !metrics_enabled then
+    List.iter
+      (fun r ->
+        metrics_log :=
+          {
+            Roload_obs.Metrics.workload = r.benchmark;
+            scheme =
+              Printf.sprintf "%s/%s" (Pass.scheme_name r.scheme)
+                (System.variant_name r.variant);
+            m = r.measurement.System.metrics;
+          }
+          :: !metrics_log)
+      rs
+
 let run_cells ~scale cells =
   List.iter
     (fun (b, scheme, _variant) ->
       ignore
         (compile_benchmark ~options:{ Toolchain.default_options with scheme } ~scale b))
     cells;
-  Parallel.map (fun (b, scheme, variant) -> run_benchmark ~scheme ~variant ~scale b) cells
+  let rs =
+    Parallel.map (fun (b, scheme, variant) -> run_benchmark ~scheme ~variant ~scale b) cells
+  in
+  record_metrics rs;
+  rs
 
 exception Experiment_failure of string
 
@@ -163,16 +195,21 @@ type section5b_result = {
   avg_runtime_overhead_kernel : float;
 }
 
-let section5b ?(scale = default_scale) ?(benchmarks = Suite.all) () =
+let section5b ?(scale = default_scale) ?(benchmarks = Suite.all) ?(metrics = false) () =
+  (* [metrics] appends per-row counter columns (ld.ro, ROLoad faults,
+     TLB/cache miss rates from the full-system run); the default table is
+     byte-identical to what it was before the metrics columns existed. *)
+  let base_header =
+    [ "benchmark"; "baseline cyc"; "+proc cyc"; "+proc ovh"; "+proc+kern cyc";
+      "+proc+kern ovh"; "mem ovh" ]
+  in
+  let metric_header = [ "ld.ro"; "ro faults"; "D-TLB miss"; "D$ miss" ] in
+  let header = if metrics then base_header @ metric_header else base_header in
   let table =
     Table.create
       ~title:"Section V-B: unmodified SPEC-like benchmarks on the three systems"
-      ~header:
-        [ "benchmark"; "baseline cyc"; "+proc cyc"; "+proc ovh"; "+proc+kern cyc";
-          "+proc+kern ovh"; "mem ovh" ]
-      ~aligns:
-        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right ]
+      ~header
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) (List.tl header))
       ()
   in
   let all_runs = ref [] in
@@ -204,18 +241,30 @@ let section5b ?(scale = default_scale) ?(benchmarks = Suite.all) () =
       let om = Stats.overhead_pct ~base:(mem_kib base) ~measured:(mem_kib kern) in
       ovh_p := op :: !ovh_p;
       ovh_k := ok :: !ovh_k;
-      Table.add_row table
+      let base_cells =
         [ b.Suite.name;
           Int64.to_string base.measurement.System.cycles;
           Int64.to_string proc.measurement.System.cycles;
           Stats.pct_string op;
           Int64.to_string kern.measurement.System.cycles;
           Stats.pct_string ok;
-          Stats.pct_string om ])
+          Stats.pct_string om ]
+      in
+      let metric_cells =
+        if not metrics then []
+        else
+          let m = kern.measurement.System.metrics in
+          [ string_of_int m.Roload_obs.Metrics.roloads;
+            string_of_int (Roload_obs.Metrics.roload_faults m);
+            Printf.sprintf "%.3f%%" (Roload_obs.Metrics.dtlb_miss_pct m);
+            Printf.sprintf "%.3f%%" (Roload_obs.Metrics.dcache_miss_pct m) ]
+      in
+      Table.add_row table (base_cells @ metric_cells))
     (regroup benchmarks results);
   let avg_p = Stats.mean !ovh_p and avg_k = Stats.mean !ovh_k in
   Table.add_row table
-    [ "average"; "-"; "-"; Stats.pct_string avg_p; "-"; Stats.pct_string avg_k; "-" ];
+    ([ "average"; "-"; "-"; Stats.pct_string avg_p; "-"; Stats.pct_string avg_k; "-" ]
+    @ (if metrics then [ "-"; "-"; "-"; "-" ] else []));
   {
     runs = !all_runs;
     table;
@@ -314,9 +363,41 @@ type figure_result = {
          for ICall's memory overhead exceeding CFI's, §V-C1b) *)
   runtime_averages : (Pass.scheme * float) list;
   memory_averages : (Pass.scheme * float) list;
+  metrics_table : Table.t;
+      (* per-cell counters (ld.ro, GFPT indirections, faults, miss rates);
+         built from the same measurements, printed only under --metrics *)
 }
 
 let mem_pages r = float_of_int r.measurement.System.peak_kib
+
+(* The counter companion to an overhead table: one row per
+   (benchmark, scheme) cell, from measurements already taken. *)
+let metrics_table_of ~title ~schemes comparisons =
+  let table =
+    Table.create ~title
+      ~header:
+        [ "benchmark"; "scheme"; "ld.ro"; "gfpt"; "ro faults"; "D-TLB miss"; "D$ miss" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun cmp ->
+      List.iter
+        (fun (label, r) ->
+          let m = r.measurement.System.metrics in
+          Table.add_row table
+            [ cmp.benchmark; label;
+              string_of_int m.Roload_obs.Metrics.roloads;
+              string_of_int m.Roload_obs.Metrics.roload_typed;
+              string_of_int (Roload_obs.Metrics.roload_faults m);
+              Printf.sprintf "%.3f%%" (Roload_obs.Metrics.dtlb_miss_pct m);
+              Printf.sprintf "%.3f%%" (Roload_obs.Metrics.dcache_miss_pct m) ])
+        (("unprotected", cmp.base)
+        :: List.map (fun s -> (Pass.scheme_name s, List.assoc s cmp.hardened)) schemes))
+    comparisons;
+  table
 
 let figure_generic ~scale ~benchmarks ~schemes ~runtime_title ~memory_title =
   let comparisons = compare_schemes_all ~scale ~schemes benchmarks in
@@ -330,8 +411,11 @@ let figure_generic ~scale ~benchmarks ~schemes ~runtime_title ~memory_title =
     overhead_table ~title:(memory_title ^ " [page-granular RSS]") ~schemes
       ~value:mem_pages ~comparisons
   in
+  let metrics_table =
+    metrics_table_of ~title:(runtime_title ^ " [counters]") ~schemes comparisons
+  in
   { comparisons; runtime_table; memory_table; memory_pages_table; runtime_averages;
-    memory_averages }
+    memory_averages; metrics_table }
 
 let figure3 ?(scale = default_scale) () =
   figure_generic ~scale ~benchmarks:Suite.cxx_benchmarks

@@ -44,7 +44,21 @@ type section5b_result = {
 }
 
 val section5b :
-  ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> section5b_result
+  ?scale:int ->
+  ?benchmarks:Suite.benchmark list ->
+  ?metrics:bool ->
+  unit ->
+  section5b_result
+(** [metrics] (default false) appends per-row counter columns — ld.ro
+    count, ROLoad faults, D-TLB/D$ miss rates from the full-system run.
+    Off, the table is byte-identical to the pre-metrics rendering. *)
+
+val enable_metrics : unit -> unit
+(** Start collecting a per-cell metrics log from every [run_cells]-based
+    experiment (recorded on the main domain, deterministic under -j N). *)
+
+val collected_metrics : unit -> Roload_obs.Metrics.labeled list
+(** The log collected since [enable_metrics], in execution order. *)
 
 type scheme_comparison = {
   benchmark : string;
@@ -61,6 +75,10 @@ type figure_result = {
           appears (paper §V-C1b) *)
   runtime_averages : (Pass.scheme * float) list;
   memory_averages : (Pass.scheme * float) list;
+  metrics_table : Table.t;
+      (** per-cell counters (ld.ro, GFPT indirections, faults, miss
+          rates), built from the same measurements; printed only under
+          --metrics *)
 }
 
 val figure3 : ?scale:int -> unit -> figure_result

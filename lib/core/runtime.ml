@@ -54,13 +54,18 @@ print_int:
     sd ra, 56(sp)
     addi t0, sp, 31
     li t1, 10
+    # Work on the NEGATIVE magnitude: -2^63 has no positive counterpart,
+    # so negating a negative input would overflow right back to itself.
+    # Every int64 has a representable negation of its absolute value, and
+    # RISC-V rem takes the dividend's sign, so digits come out in -9..0.
     mv t2, a0
-    li t3, 0
-    bge t2, zero, __rt$pi_loop
     li t3, 1
+    blt t2, zero, __rt$pi_loop
+    li t3, 0
     sub t2, zero, t2
 __rt$pi_loop:
     rem t4, t2, t1
+    sub t4, zero, t4
     addi t4, t4, 48
     sb t4, 0(t0)
     addi t0, t0, -1

@@ -49,6 +49,9 @@ type measurement = {
   itlb : cache_stats;
   dtlb : cache_stats;
   roloads_executed : int;
+  metrics : Roload_obs.Metrics.t;
+  profile : Roload_obs.Profile.block list;
+      (* hot-block attribution; empty unless [run ~profile:true] *)
 }
 
 let stats_of_cache c =
@@ -65,9 +68,64 @@ let instructions_simulated = Atomic.make 0
 
 let total_instructions_simulated () = Atomic.get instructions_simulated
 
-let run ?(max_instructions = 500_000_000L) ?trace ?engine ~variant exe =
+(* Assemble the metrics snapshot from the counters the components keep.
+   Exact by construction — nothing here is sampled from the trace ring. *)
+let snapshot_metrics ~machine ~kernel ~mmu =
+  let module Ext = Roload_isa.Roload_ext in
+  let counts = Machine.counts machine in
+  let key_counts = Machine.roload_key_counts machine in
+  let typed = ref 0 in
+  for k = Ext.first_type_key to Ext.key_return_sites - 1 do
+    typed := !typed + key_counts.(k)
+  done;
+  let ic = Cache.stats (Roload_cache.Hierarchy.icache (Machine.hierarchy machine)) in
+  let dc = Cache.stats (Roload_cache.Hierarchy.dcache (Machine.hierarchy machine)) in
+  let it = Tlb.stats (Mmu.itlb mmu) in
+  let dt = Tlb.stats (Mmu.dtlb mmu) in
+  let faults = Mmu.fault_counts mmu in
+  let cpu = Machine.cpu machine in
+  {
+    Roload_obs.Metrics.engine =
+      (match Machine.engine machine with
+      | Machine.Block_cached -> "block"
+      | Machine.Single_step -> "single");
+    instructions = Roload_machine.Cpu.instret cpu;
+    cycles = Roload_machine.Cpu.cycles cpu;
+    loads = counts.Machine.loads;
+    stores = counts.Machine.stores;
+    roloads = counts.Machine.roloads;
+    branches = counts.Machine.branches;
+    jumps = counts.Machine.jumps;
+    indirect_jumps = counts.Machine.indirect_jumps;
+    roload_key0 = key_counts.(Ext.key_default);
+    roload_vtable_unified = key_counts.(Ext.key_vtable_unified);
+    roload_typed = !typed;
+    roload_return_sites = key_counts.(Ext.key_return_sites);
+    icache_hits = ic.Cache.hits;
+    icache_misses = ic.Cache.misses;
+    icache_writebacks = ic.Cache.writebacks;
+    dcache_hits = dc.Cache.hits;
+    dcache_misses = dc.Cache.misses;
+    dcache_writebacks = dc.Cache.writebacks;
+    itlb_hits = it.Tlb.hits;
+    itlb_misses = it.Tlb.misses;
+    dtlb_hits = dt.Tlb.hits;
+    dtlb_misses = dt.Tlb.misses;
+    page_faults = faults.Mmu.page_faults;
+    roload_faults_key = faults.Mmu.roload_key_mismatch;
+    roload_faults_ro = faults.Mmu.roload_not_readonly;
+    syscalls = Kernel.syscall_count kernel;
+    block_enters = Machine.block_enters machine;
+    block_hits = Machine.block_hits machine;
+    block_decodes = Machine.block_decodes machine;
+  }
+
+let run ?(max_instructions = 500_000_000L) ?trace ?tracer ?(profile = false) ?engine
+    ~variant exe =
   let machine = Machine.create ?engine (machine_config variant) in
   Machine.set_trace machine trace;
+  Machine.set_tracer machine tracer;
+  Machine.set_profiling machine profile;
   let kernel = Kernel.create ~machine ~config:(kernel_config variant) in
   let process, outcome =
     Kernel.exec ~limit:{ Kernel.max_instructions } kernel exe
@@ -98,6 +156,8 @@ let run ?(max_instructions = 500_000_000L) ?trace ?engine ~variant exe =
     itlb = stats_of_tlb (Mmu.itlb mmu);
     dtlb = stats_of_tlb (Mmu.dtlb mmu);
     roloads_executed = (Machine.counts machine).Machine.roloads;
+    metrics = snapshot_metrics ~machine ~kernel ~mmu;
+    profile = Machine.profile_blocks machine;
   }
 
 let exited_cleanly m =

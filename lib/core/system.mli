@@ -27,17 +27,26 @@ type measurement = {
   itlb : cache_stats;
   dtlb : cache_stats;
   roloads_executed : int;
+  metrics : Roload_obs.Metrics.t;
+      (** the full counter snapshot; exact, available with tracing off *)
+  profile : Roload_obs.Profile.block list;
+      (** hot-block attribution; empty unless [run ~profile:true] *)
 }
 
 val run :
   ?max_instructions:int64 ->
   ?trace:(pc:int -> Roload_isa.Inst.t -> unit) ->
+  ?tracer:Roload_obs.Tracer.t ->
+  ?profile:bool ->
   ?engine:Roload_machine.Machine.engine ->
   variant:variant ->
   Roload_obj.Exe.t ->
   measurement
 (** [engine] selects the execution engine for this run (defaults to the
-    machine's default, i.e. block-cached unless [ROLOAD_ENGINE=single]). *)
+    machine's default, i.e. block-cached unless [ROLOAD_ENGINE=single]).
+    [tracer] attaches the structured event tracer and [profile] enables
+    hot-block profiling; neither changes the measurement — cycles,
+    statistics and output are bit-identical with both off or on. *)
 
 val total_instructions_simulated : unit -> int
 (** Instructions simulated by every [run] so far in this process, across

@@ -8,7 +8,9 @@
    - arithmetic reuses [Roload_machine.Alu], the pure RV64 semantics
      module (division by zero, signed-overflow, 6-bit shift masking are
      the machine's, not OCaml's), and [print_int] mirrors the runtime's
-     assembly digit loop byte for byte;
+     assembly digit loop byte for byte (see DESIGN.md §9 on why mirrored
+     oracles co-inherit bugs — both sides of this pair once mishandled
+     Int64.min_int in the same way, and were fixed together);
 
    - scheme policy is evaluated *structurally* at each indirect transfer
      using the same identities the passes bake into keys and labels:
@@ -313,15 +315,17 @@ let binop (op : Ir.binop) a b =
 
 (* ---------- builtins (mirror runtime.ml exactly) ---------- *)
 
-(* the runtime's digit loop, including its negative-remainder behavior on
-   Int64.min_int (neg wraps to itself; sb keeps the low byte) *)
+(* the runtime's digit loop: iterate on the NEGATIVE absolute value
+   (every int64 has one; Int64.min_int has no positive counterpart), so
+   remainders land in -9..0 and are negated into digits.  Int64.rem
+   matches RISC-V rem: the remainder takes the dividend's sign. *)
 let print_int st v =
   let neg = Int64.compare v 0L < 0 in
-  let t2 = ref (if neg then Int64.neg v else v) in
+  let t2 = ref (if neg then v else Int64.neg v) in
   let digits = ref [] in
   let continue_ = ref true in
   while !continue_ do
-    let r = Int64.rem !t2 10L in
+    let r = Int64.neg (Int64.rem !t2 10L) in
     digits := Int64.to_int (Int64.add r 48L) land 0xff :: !digits;
     t2 := Int64.div !t2 10L;
     if Int64.equal !t2 0L then continue_ := false

@@ -45,16 +45,25 @@ type t = {
   config : config;
   mutable next_frame : int;
   mutable current : Process.t option;
+  mutable syscall_count : int;
 }
 
 exception Out_of_frames
 
 let create ~machine ~config =
   (* frame 0 stays unused so a PPN of 0 is never valid *)
-  { machine; config; next_frame = 1; current = None }
+  { machine; config; next_frame = 1; current = None; syscall_count = 0 }
 
 let machine t = t.machine
 let config t = t.config
+let syscall_count t = t.syscall_count
+
+(* Events ride the machine's tracer; the kernel and CPU share one
+   timeline (kernel work is charged to the machine cycle counter). *)
+let emit t ev =
+  match Machine.tracer t.machine with
+  | None -> ()
+  | Some tr -> Roload_obs.Tracer.emit tr ev
 
 let charge t cycles = Cpu.add_cycles (Machine.cpu t.machine) cycles
 
@@ -202,6 +211,7 @@ let handle_syscall t process =
   let cpu = Machine.cpu t.machine in
   let arg r = Int64.to_int (Cpu.get cpu r) in
   charge t t.config.syscall_cycles;
+  t.syscall_count <- t.syscall_count + 1;
   let num = arg Reg.a7 in
   let ret =
     if num = Syscall.sys_exit then begin
@@ -217,6 +227,7 @@ let handle_syscall t process =
         ~key:(arg Reg.a3)
     else Syscall.enosys
   in
+  emit t (Roload_obs.Event.Syscall { number = num; name = Syscall.name num; ret });
   Cpu.set cpu Reg.a0 (Int64.of_int ret);
   (* resume after the ecall (ecall is never compressed) *)
   Cpu.set_pc cpu (Cpu.pc cpu + 4)
@@ -248,6 +259,24 @@ let signal_of_trap t (trap : Trap.t) : Signal.t option =
       (* stock kernel: same mechanical outcome (the access did fault), but
          without the dedicated triage *)
       Some (Signal.Sigsegv (Signal.Access_violation { va; access = Perm.Load }))
+
+let triage_kind (signal : Signal.t) =
+  match signal with
+  | Signal.Sigill _ -> "sigill"
+  | Signal.Sigbus _ -> "sigbus"
+  | Signal.Sigsegv (Signal.Roload_violation _) -> "roload"
+  | Signal.Sigsegv (Signal.Access_violation _) -> "segv"
+
+let trap_pc (trap : Trap.t) =
+  match trap with
+  | Trap.Ecall | Trap.Breakpoint -> 0
+  | Trap.Illegal_instruction { pc; _ }
+  | Trap.Misaligned_access { pc; _ }
+  | Trap.Fetch_page_fault { pc; _ }
+  | Trap.Load_page_fault { pc; _ }
+  | Trap.Store_page_fault { pc; _ }
+  | Trap.Roload_page_fault { pc; _ } ->
+    pc
 
 (* ---------- run loop ---------- *)
 
@@ -298,6 +327,7 @@ let run ?(limit = no_limit) ?stop_at_pc t process =
           loop ()
         | Machine.Trap Trap.Breakpoint ->
           (* treat ebreak as an abort: kill the process *)
+          emit t (Roload_obs.Event.Fault_triage { kind = "sigill"; pc = Cpu.pc cpu });
           Process.set_status process
             (Process.Killed (Signal.Sigill { pc = Cpu.pc cpu; info = "ebreak" }));
           outcome_of t process
@@ -305,6 +335,9 @@ let run ?(limit = no_limit) ?stop_at_pc t process =
           charge t t.config.fault_cycles;
           match signal_of_trap t trap with
           | Some signal ->
+            emit t
+              (Roload_obs.Event.Fault_triage
+                 { kind = triage_kind signal; pc = trap_pc trap });
             Process.set_status process (Process.Killed signal);
             outcome_of t process
           | None -> loop ())

@@ -24,6 +24,10 @@ exception Out_of_frames
 val create : machine:Roload_machine.Machine.t -> config:config -> t
 val machine : t -> Roload_machine.Machine.t
 val config : t -> config
+
+val syscall_count : t -> int
+(** Syscalls serviced by this kernel instance. *)
+
 val alloc_frame : t -> int
 
 val load : t -> Roload_obj.Exe.t -> Process.t

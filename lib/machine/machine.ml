@@ -19,6 +19,8 @@ module Phys_mem = Roload_mem.Phys_mem
 module Page_table = Roload_mem.Page_table
 module Inst = Roload_isa.Inst
 module Reg = Roload_isa.Reg
+module Event = Roload_obs.Event
+module Tracer = Roload_obs.Tracer
 
 type costs = {
   base : int;
@@ -42,6 +44,15 @@ type exec_counts = {
 }
 
 type engine = Block_cached | Single_step
+
+(* Per-block profile accumulator (block-cached engine only), keyed by the
+   block's start PA.  Profiling, like tracing, never touches simulated
+   state — it reads the cycle/instret counters around each block visit. *)
+type prof = {
+  mutable p_entries : int;
+  mutable p_cycles : int64;
+  mutable p_insts : int64;
+}
 
 (* The block-cached engine is the default; [ROLOAD_ENGINE=single] selects
    the per-instruction reference interpreter (the original hot loop), kept
@@ -69,6 +80,15 @@ type t = {
   line_shift : int; (* log2 of the I-cache line size *)
   counts : exec_counts;
   mutable trace : (pc:int -> Inst.t -> unit) option;
+  mutable tracer : Tracer.t option;
+      (* the obs side channel; [None] costs one option check per retire *)
+  roload_key_counts : int array;
+      (* ld.ro retirements per requested key (1024 slots, one per 10-bit
+         key) — always maintained, so metrics work with tracing off *)
+  mutable block_enters : int;
+  mutable block_hits : int; (* entries that found a pre-decoded block *)
+  mutable block_decodes : int; (* slots lazily decoded and appended *)
+  mutable profile : (int, prof) Hashtbl.t option;
 }
 
 type step_result =
@@ -96,6 +116,12 @@ let create ?(costs = default_costs) ?engine (config : Config.t) =
     counts =
       { loads = 0; stores = 0; roloads = 0; branches = 0; jumps = 0; indirect_jumps = 0 };
     trace = None;
+    tracer = None;
+    roload_key_counts = Array.make (Roload_isa.Roload_ext.max_key + 1) 0;
+    block_enters = 0;
+    block_hits = 0;
+    block_decodes = 0;
+    profile = None;
   }
 
 let cpu t = t.cpu
@@ -127,11 +153,89 @@ let page_holds_code t pa =
 let cached_blocks t = Hashtbl.length t.blocks
 let cached_decodes t = Hashtbl.length t.decode_cache
 
+(* (Re)point the generic cache/TLB observer closures at the current
+   tracer.  The mem/cache libraries stay obs-free: they call a closure,
+   and this layer is the one place that builds events from it. *)
+let wire_observers t =
+  let icache = Roload_cache.Hierarchy.icache t.hierarchy in
+  let dcache = Roload_cache.Hierarchy.dcache t.hierarchy in
+  match t.tracer with
+  | None ->
+    Roload_cache.Cache.set_observer icache None;
+    Roload_cache.Cache.set_observer dcache None;
+    (match t.mmu with
+    | None -> ()
+    | Some m ->
+      Tlb.set_observer (Mmu.itlb m) None;
+      Tlb.set_observer (Mmu.dtlb m) None)
+  | Some tr ->
+    let cache_obs side =
+      Some
+        (fun ~addr ~write ~hit ~writeback ->
+          Tracer.emit tr (Event.Cache_access { side; pa = addr; write; hit; writeback }))
+    in
+    Roload_cache.Cache.set_observer icache (cache_obs Event.I);
+    Roload_cache.Cache.set_observer dcache (cache_obs Event.D);
+    (match t.mmu with
+    | None -> ()
+    | Some m ->
+      let tlb_obs side =
+        Some (fun ~vpn ~hit -> Tracer.emit tr (Event.Tlb_access { side; vpn; hit }))
+      in
+      Tlb.set_observer (Mmu.itlb m) (tlb_obs Event.I);
+      Tlb.set_observer (Mmu.dtlb m) (tlb_obs Event.D))
+
 let set_mmu t mmu =
   t.mmu <- mmu;
+  wire_observers t;
   flush_code_caches t
 
 let set_trace t f = t.trace <- f
+
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  (match tracer with
+  | None -> ()
+  | Some tr -> Tracer.set_clock tr (fun () -> Cpu.cycles t.cpu));
+  wire_observers t
+
+let tracer t = t.tracer
+let roload_key_counts t = t.roload_key_counts
+let block_enters t = t.block_enters
+let block_hits t = t.block_hits
+let block_decodes t = t.block_decodes
+
+let set_profiling t on =
+  match (on, t.profile) with
+  | true, None -> t.profile <- Some (Hashtbl.create 256)
+  | true, Some _ | false, None -> ()
+  | false, Some _ -> t.profile <- None
+
+let profile_blocks t =
+  match t.profile with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold
+      (fun pa p acc ->
+        (* disassembly from the live block cache; a block flushed since it
+           was profiled (set_mmu, self-modifying code) renders without one *)
+        let disasm =
+          match Hashtbl.find_opt t.blocks pa with
+          | None -> []
+          | Some b ->
+            List.init (Block.length b) (fun i ->
+                let s = Block.slot b i in
+                Printf.sprintf "0x%08x  %s" s.Block.s_pa (Inst.to_string s.Block.s_inst))
+        in
+        {
+          Roload_obs.Profile.pa;
+          entries = p.p_entries;
+          cycles = p.p_cycles;
+          instructions = p.p_insts;
+          disasm;
+        }
+        :: acc)
+      tbl []
 
 let mmu_exn t =
   match t.mmu with
@@ -246,12 +350,28 @@ let branch_taken (c : Inst.branch_cond) a b =
   | Bltu -> Roload_util.Bits.ult a b
   | Bgeu -> Roload_util.Bits.uge a b
 
+let classify (inst : Inst.t) : Event.inst_class =
+  match inst with
+  | Inst.Lui _ | Inst.Auipc _ | Inst.Op_imm _ | Inst.Op_imm_w _ | Inst.Op _
+  | Inst.Op_w _ | Inst.Fence ->
+    Event.C_alu
+  | Inst.Load _ -> Event.C_load
+  | Inst.Load_ro _ -> Event.C_roload
+  | Inst.Store _ -> Event.C_store
+  | Inst.Branch _ -> Event.C_branch
+  | Inst.Jal _ -> Event.C_jump
+  | Inst.Jalr (rd, rs1, _) ->
+    if Reg.to_int rd = 0 && Reg.to_int rs1 = 1 then Event.C_jump else Event.C_indirect
+  | Inst.Mulop _ | Inst.Mulop_w _ -> Event.C_muldiv
+  | Inst.Ecall | Inst.Ebreak -> Event.C_system
+
 (* Execute one decoded instruction: everything [step] does after
    fetch/decode.  Shared by the single-step and block-cached engines. *)
 let execute_inst t ~pc inst ~size =
   let cpu = t.cpu in
   (match t.trace with Some f -> f ~pc inst | None -> ());
   let next = pc + size in
+  let result =
   (
     Cpu.add_cycles cpu t.costs.base;
     let continue_at pc' =
@@ -307,12 +427,25 @@ let execute_inst t ~pc inst ~size =
         Trapped (Trap.Illegal_instruction { pc; info = "ld.ro: no ROLoad support" })
       else begin
         t.counts.roloads <- t.counts.roloads + 1;
+        t.roload_key_counts.(key land Roload_isa.Roload_ext.max_key) <-
+          t.roload_key_counts.(key land Roload_isa.Roload_ext.max_key) + 1;
         let va = to_addr (Cpu.get cpu rs1) in
+        (match t.tracer with
+        | None -> ()
+        | Some tr -> Tracer.emit tr (Event.Roload_issue { pc; va; key }));
         match
           data_access t ~pc ~va ~access:(Perm.Roload key) ~width ~unsigned
             ~store_value:None
         with
-        | Error tr -> Trapped tr
+        | Error tr ->
+          (match (t.tracer, tr) with
+          | Some trc, Trap.Roload_page_fault { va; key_requested; page_key; page_perms; _ } ->
+            Tracer.emit trc
+              (Event.Roload_fault
+                 { pc; va; key_requested; page_key;
+                   page_read_only = Perm.read_only page_perms })
+          | _ -> ());
+          Trapped tr
         | Ok v ->
           Cpu.set cpu rd v;
           continue_at next
@@ -359,6 +492,18 @@ let execute_inst t ~pc inst ~size =
       Cpu.retire cpu;
       Trapped Trap.Breakpoint
     | Inst.Fence -> continue_at next)
+  in
+  (match t.tracer with
+  | None -> ()
+  | Some tr -> (
+    (* [Retired] fires for instructions that architecturally retired:
+       every [Continue], plus ecall/ebreak (which retire, then trap to the
+       kernel).  A faulting instruction instead shows as its fault. *)
+    match result with
+    | Continue | Trapped (Trap.Ecall | Trap.Breakpoint) ->
+      Tracer.emit tr (Event.Retired { pc; cls = classify inst })
+    | Trapped _ -> ()));
+  result
 
 (* The per-instruction reference interpreter: fetch, decode (memoized per
    pa), execute.  The block-cached engine must match its observable
@@ -434,14 +579,19 @@ let run_blocks t ~stop_at_pc ~fuel =
             let page_pbase = pa land lnot page_mask in
             let vpn = pc0 lsr Page_table.page_shift in
             let tlb_handle = Tlb.peek itlb ~vpn in
-            let block =
+            let block, cached =
               match Hashtbl.find_opt t.blocks pa with
-              | Some b -> b
+              | Some b -> (b, true)
               | None ->
                 let b = Block.create ~start_pa:pa in
                 Hashtbl.add t.blocks pa b;
-                b
+                (b, false)
             in
+            t.block_enters <- t.block_enters + 1;
+            if cached then t.block_hits <- t.block_hits + 1;
+            (match t.tracer with
+            | None -> ()
+            | Some tr -> Tracer.emit tr (Event.Block_enter { pa; cached }));
             let gen0 = t.code_gen in
             let icache_line = ref (-1) in
             let icache_handle = ref None in
@@ -566,6 +716,10 @@ let run_blocks t ~stop_at_pc ~fuel =
                 | Error tr -> Some (Trap tr) (* not memoized, like the reference *)
                 | Ok (inst, size) ->
                   Block.append block { Block.s_inst = inst; s_size = size; s_pa = spa };
+                  t.block_decodes <- t.block_decodes + 1;
+                  (match t.tracer with
+                  | None -> ()
+                  | Some tr -> Tracer.emit tr (Event.Block_decode { pa = spa }));
                   if Block.is_terminator inst || off + size >= Page_table.page_size then
                     Block.close block;
                   match execute_inst t ~pc inst ~size with
@@ -578,9 +732,28 @@ let run_blocks t ~stop_at_pc ~fuel =
                     else run (i + 1) ~pc:(pc + size)
               end
             in
-            (match run 0 ~pc:pc0 with
-            | Some r -> finished := Some r
-            | None -> ())
+            (match t.profile with
+            | None -> (
+              match run 0 ~pc:pc0 with
+              | Some r -> finished := Some r
+              | None -> ())
+            | Some tbl ->
+              (* attribute this block visit's cycles/instructions to the
+                 block's start PA; reading the counters is side-effect-free *)
+              let cyc0 = Cpu.cycles cpu and ins0 = Cpu.instret cpu in
+              let r = run 0 ~pc:pc0 in
+              let p =
+                match Hashtbl.find_opt tbl pa with
+                | Some p -> p
+                | None ->
+                  let p = { p_entries = 0; p_cycles = 0L; p_insts = 0L } in
+                  Hashtbl.add tbl pa p;
+                  p
+              in
+              p.p_entries <- p.p_entries + 1;
+              p.p_cycles <- Int64.add p.p_cycles (Int64.sub (Cpu.cycles cpu) cyc0);
+              p.p_insts <- Int64.add p.p_insts (Int64.sub (Cpu.instret cpu) ins0);
+              match r with Some r -> finished := Some r | None -> ())
         end
     end
   done;

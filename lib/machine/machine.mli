@@ -63,6 +63,37 @@ val set_mmu : t -> Roload_mem.Mmu.t option -> unit
 val set_trace : t -> (pc:int -> Roload_isa.Inst.t -> unit) option -> unit
 (** Install an instruction-retirement hook (debugging/tracing). *)
 
+val set_tracer : t -> Roload_obs.Tracer.t option -> unit
+(** Attach the structured event tracer: wires its clock to the cycle
+    counter and points the cache/TLB observers at it.  Tracing never
+    changes simulated behaviour — cycles, statistics and output are
+    bit-identical with the tracer on or off. *)
+
+val tracer : t -> Roload_obs.Tracer.t option
+(** The attached tracer, for co-resident emitters (the kernel). *)
+
+val roload_key_counts : t -> int array
+(** ld.ro retirements per requested key (indexed 0..max_key); always
+    maintained, independent of tracing.  Callers must not mutate. *)
+
+val block_enters : t -> int
+(** Block-engine entries into the outer dispatch loop. *)
+
+val block_hits : t -> int
+(** Entries that found a pre-decoded block in the cache. *)
+
+val block_decodes : t -> int
+(** Slots lazily decoded and appended to blocks. *)
+
+val set_profiling : t -> bool -> unit
+(** Enable/disable hot-block profiling (block-cached engine only).
+    Profiling reads the cycle counters around each block visit and never
+    changes simulated behaviour. *)
+
+val profile_blocks : t -> Roload_obs.Profile.block list
+(** Per-block profile snapshot (empty when profiling is off), with
+    disassembly from the live block cache. *)
+
 val step : t -> step_result
 (** Execute one instruction. On [Trapped Ecall] the pc still points at the
     ecall; the kernel advances it after servicing. *)

@@ -24,10 +24,20 @@ type translation = {
   walk_steps : int; (* PTE fetches performed on a TLB miss *)
 }
 
+(* Cumulative fault counts, by triage class.  ROLoad faults split on
+   which half of the R∧¬W∧¬X ∧ key=key condition failed — the metrics
+   snapshot reports the two separately. *)
+type fault_counts = {
+  mutable page_faults : int;
+  mutable roload_key_mismatch : int; (* read-only page, wrong key *)
+  mutable roload_not_readonly : int; (* pointee page writable/executable *)
+}
+
 type t = {
   page_table : Page_table.t;
   itlb : Tlb.t;
   dtlb : Tlb.t;
+  fault_counts : fault_counts;
   roload_check_enabled : bool;
       (* false on the baseline processor, which has no key-check logic.
          The baseline also refuses to *decode* ld.ro; this flag exists so
@@ -48,6 +58,7 @@ let create ~page_table ~itlb_entries ~dtlb_entries ~roload_check_enabled =
     page_table;
     itlb = Tlb.create ~name:"I-TLB" ~entries:itlb_entries;
     dtlb = Tlb.create ~name:"D-TLB" ~entries:dtlb_entries;
+    fault_counts = { page_faults = 0; roload_key_mismatch = 0; roload_not_readonly = 0 };
     roload_check_enabled;
     i_memo = None;
     d_memo = None;
@@ -56,6 +67,18 @@ let create ~page_table ~itlb_entries ~dtlb_entries ~roload_check_enabled =
 let itlb t = t.itlb
 let dtlb t = t.dtlb
 let page_table t = t.page_table
+let fault_counts t = t.fault_counts
+
+(* Count a fault at its construction site, so every path out of
+   [translate] is triaged exactly once. *)
+let record_fault t f =
+  (match f with
+  | Page_fault _ -> t.fault_counts.page_faults <- t.fault_counts.page_faults + 1
+  | Roload_fault { page_perms; _ } ->
+    if Perm.read_only page_perms then
+      t.fault_counts.roload_key_mismatch <- t.fault_counts.roload_key_mismatch + 1
+    else t.fault_counts.roload_not_readonly <- t.fault_counts.roload_not_readonly + 1);
+  f
 
 let tlb_for t (access : Perm.access) =
   match access with
@@ -75,11 +98,14 @@ let check t ~va ~access pte =
   (* Conventional check: user bit (all simulated execution is user-mode)
      and R/W/X permission. *)
   if not (Pte.user pte && Perm.allows perms access) then
-    Error (Page_fault { va; access })
+    Error (record_fault t (Page_fault { va; access }))
   else if not (roload_check t ~access ~pte) then
     match access with
     | Perm.Roload key ->
-      Error (Roload_fault { va; key_requested = key; page_key = Pte.key pte; page_perms = perms })
+      Error
+        (record_fault t
+           (Roload_fault
+              { va; key_requested = key; page_key = Pte.key pte; page_perms = perms }))
     | Perm.Fetch | Perm.Load | Perm.Store -> assert false
   else Ok ()
 
@@ -110,7 +136,7 @@ let translate_slow t ~access ~vpn va =
   | None -> (
     match Page_table.walk t.page_table va with
     | Error (Page_table.Not_mapped | Page_table.Bad_alignment) ->
-      Error (Page_fault { va; access })
+      Error (record_fault t (Page_fault { va; access }))
     | Ok { pte; steps; _ } -> (
       let handle = Tlb.insert_handle tlb ~vpn ~pte in
       set_memo t access (Some (vpn, handle));
@@ -121,7 +147,7 @@ let translate_slow t ~access ~vpn va =
       | Error f -> Error f))
 
 let translate t ~access va =
-  if va < 0 then Error (Page_fault { va; access })
+  if va < 0 then Error (record_fault t (Page_fault { va; access }))
   else
     let vpn = va lsr Page_table.page_shift in
     match memo_for t access with

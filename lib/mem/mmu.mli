@@ -28,6 +28,16 @@ val itlb : t -> Tlb.t
 val dtlb : t -> Tlb.t
 val page_table : t -> Page_table.t
 
+type fault_counts = {
+  mutable page_faults : int;
+  mutable roload_key_mismatch : int;  (** read-only page, wrong key *)
+  mutable roload_not_readonly : int;  (** pointee page writable/executable *)
+}
+
+val fault_counts : t -> fault_counts
+(** Cumulative triage counts; every fault [translate] returns is counted
+    exactly once. *)
+
 val translate : t -> access:Perm.access -> int -> (translation, fault) result
 (** Translate a user-mode virtual address. Fetches consult the I-TLB; data
     accesses the D-TLB. On a miss the Sv39 walk runs and the result is

@@ -12,6 +12,10 @@ type t = {
   mutable clock : int;
   stats : stats;
   name : string;
+  (* Optional tracing tap, fired once per accounted lookup (including
+     handle rehits).  A generic closure keeps this library free of an
+     observability dependency; observers must not touch TLB state. *)
+  mutable observer : (vpn:int -> hit:bool -> unit) option;
 }
 
 let create ~name ~entries:n =
@@ -22,11 +26,16 @@ let create ~name ~entries:n =
     clock = 0;
     stats = { hits = 0; misses = 0; flushes = 0 };
     name;
+    observer = None;
   }
 
 let name t = t.name
 let size t = Array.length t.entries
 let stats t = t.stats
+let set_observer t obs = t.observer <- obs
+
+let notify t ~vpn ~hit =
+  match t.observer with None -> () | Some f -> f ~vpn ~hit
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -48,6 +57,7 @@ let lookup t vpn =
   (match r with
   | Some _ -> t.stats.hits <- t.stats.hits + 1
   | None -> t.stats.misses <- t.stats.misses + 1);
+  notify t ~vpn ~hit:(r <> None);
   r
 
 (* Handle-based variants for the fetch/data fast paths.  A handle names the
@@ -76,6 +86,7 @@ let lookup_handle t vpn =
   (match r with
   | Some _ -> t.stats.hits <- t.stats.hits + 1
   | None -> t.stats.misses <- t.stats.misses + 1);
+  notify t ~vpn ~hit:(r <> None);
   r
 
 (* Locate the entry caching [vpn] without touching stats, clock or recency —
@@ -95,6 +106,7 @@ let rehit t ~vpn (e : handle) =
   if e.valid && e.vpn = vpn then begin
     e.last_use <- tick t;
     t.stats.hits <- t.stats.hits + 1;
+    notify t ~vpn ~hit:true;
     Some e.pte
   end
   else None

@@ -9,6 +9,12 @@ val create : name:string -> entries:int -> t
 val name : t -> string
 val size : t -> int
 val stats : t -> stats
+
+val set_observer : t -> (vpn:int -> hit:bool -> unit) option -> unit
+(** Optional tracing tap, fired once per accounted lookup (including
+    handle rehits).  Observers must not touch TLB state; with no observer
+    the hot-path cost is a single option check. *)
+
 val lookup : t -> int -> Pte.t option
 (** [lookup t vpn] returns the cached leaf PTE and updates LRU/stats. *)
 

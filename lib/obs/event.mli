@@ -1,0 +1,46 @@
+(** The typed event vocabulary of the observability layer.  Flat payloads
+    (ints, bools, short strings) keep this library below every simulator
+    component; the tracer stamps cycle timestamps at emit time. *)
+
+type inst_class =
+  | C_alu
+  | C_load
+  | C_store
+  | C_roload
+  | C_branch
+  | C_jump
+  | C_indirect
+  | C_muldiv
+  | C_system
+
+val inst_class_name : inst_class -> string
+
+type side = I | D
+
+val side_name : side -> string
+
+type t =
+  | Retired of { pc : int; cls : inst_class }
+  | Roload_issue of { pc : int; va : int; key : int }
+  | Roload_fault of {
+      pc : int;
+      va : int;
+      key_requested : int;
+      page_key : int;
+      page_read_only : bool;
+    }
+  | Tlb_access of { side : side; vpn : int; hit : bool }
+  | Cache_access of { side : side; pa : int; write : bool; hit : bool; writeback : bool }
+  | Block_enter of { pa : int; cached : bool }
+  | Block_decode of { pa : int }
+  | Fault_triage of { kind : string; pc : int }
+  | Syscall of { number : int; name : string; ret : int }
+
+val name : t -> string
+val lane : t -> int
+val lane_name : int -> string
+
+val args : t -> (string * string) list
+(** Payload as (key, rendered-JSON-fragment) pairs. *)
+
+val to_text_line : ts:int64 -> t -> string

@@ -1,0 +1,118 @@
+(* The structured event tracer: a fixed-capacity ring buffer of
+   cycle-stamped events.
+
+   Cost discipline: the tracer is an optional side channel.  Components
+   hold [Tracer.t option] (or an observer closure) that defaults to
+   [None]; with tracing off the only cost on any hot path is that null
+   check, and no simulated state — cycle counters, cache/TLB contents,
+   statistics — is ever touched by tracing, on or off.  The engine
+   equivalence tests pin this down: a traced run and an untraced run
+   produce bit-identical measurements.
+
+   The ring keeps the most recent [capacity] events and counts what it
+   dropped, so tracing a billion-instruction run is safe; exporters
+   surface the drop count rather than pretending the window is the whole
+   run. *)
+
+type entry = { ts : int64; ev : Event.t }
+
+let dummy = { ts = 0L; ev = Event.Block_decode { pa = -1 } }
+
+type t = {
+  buf : entry array;
+  capacity : int;
+  mutable len : int; (* valid entries, <= capacity *)
+  mutable head : int; (* next write position *)
+  mutable emitted : int; (* total events ever emitted *)
+  mutable clock : unit -> int64;
+}
+
+let default_capacity = 1 lsl 18
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Tracer.create";
+  {
+    buf = Array.make capacity dummy;
+    capacity;
+    len = 0;
+    head = 0;
+    emitted = 0;
+    clock = (fun () -> 0L);
+  }
+
+(* The timestamp source — wired to the simulated cycle counter when the
+   tracer is attached to a machine. *)
+let set_clock t clock = t.clock <- clock
+
+let emit t ev =
+  t.buf.(t.head) <- { ts = t.clock (); ev };
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1;
+  t.emitted <- t.emitted + 1
+
+let length t = t.len
+let emitted t = t.emitted
+let dropped t = t.emitted - t.len
+
+(* oldest-first iteration over the retained window *)
+let iter t f =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  for i = 0 to t.len - 1 do
+    let e = t.buf.((start + i) mod t.capacity) in
+    f ~ts:e.ts e.ev
+  done
+
+let clear t =
+  t.len <- 0;
+  t.head <- 0;
+  t.emitted <- 0
+
+(* ---------- exporters ---------- *)
+
+(* Chrome trace format (the JSON object form with a "traceEvents" array),
+   loadable in chrome://tracing and Perfetto.  Simulated cycles map to
+   microseconds; events render as instants on one lane per subsystem. *)
+let to_chrome_json t =
+  let module J = Roload_util.Json in
+  let b = Buffer.create (64 * t.len) in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "\"otherData\": { \"emitted\": %d, \"dropped\": %d },\n" t.emitted
+       (dropped t));
+  Buffer.add_string b "\"traceEvents\": [\n";
+  (* lane-naming metadata events so viewers label the rows *)
+  List.iter
+    (fun lane ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{ \"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \
+            \"args\": { \"name\": %s } },\n"
+           lane
+           (J.str (Event.lane_name lane))))
+    [ 1; 2; 3; 4 ];
+  let first = ref true in
+  iter t (fun ~ts ev ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "{ \"name\": %s, \"cat\": %s, \"ph\": \"i\", \"s\": \"t\", \"ts\": %Ld, \
+            \"pid\": 1, \"tid\": %d, \"args\": %s }"
+           (J.str (Event.name ev))
+           (J.str (Event.lane_name (Event.lane ev)))
+           ts (Event.lane ev)
+           (J.obj (Event.args ev))));
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* the compact text dump: one cycle-stamped line per event *)
+let to_text t =
+  let b = Buffer.create (48 * t.len) in
+  Buffer.add_string b
+    (Printf.sprintf "# roload-obs trace: %d events retained, %d dropped (ring capacity %d)\n"
+       t.len (dropped t) t.capacity);
+  Buffer.add_string b "#       cycle  event             args\n";
+  iter t (fun ~ts ev ->
+      Buffer.add_string b (Event.to_text_line ~ts ev);
+      Buffer.add_char b '\n');
+  Buffer.contents b

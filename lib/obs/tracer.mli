@@ -1,0 +1,36 @@
+(** The structured event tracer: a fixed-capacity ring buffer of
+    cycle-stamped events.  Tracing never touches simulated state — with
+    the tracer absent the hot-path cost is one option check, and with it
+    attached measurements stay bit-identical to an untraced run. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 2^18 events; the ring retains the most
+    recent [capacity] events and counts the rest as dropped. *)
+
+val set_clock : t -> (unit -> int64) -> unit
+(** Wire the timestamp source (the simulated cycle counter).  Until set,
+    events are stamped 0. *)
+
+val emit : t -> Event.t -> unit
+
+val length : t -> int
+(** Events currently retained. *)
+
+val emitted : t -> int
+(** Total events ever emitted. *)
+
+val dropped : t -> int
+
+val iter : t -> (ts:int64 -> Event.t -> unit) -> unit
+(** Oldest-first over the retained window. *)
+
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** Chrome trace format ({"traceEvents": [...]}), loadable in
+    chrome://tracing / Perfetto; ts is the simulated cycle count. *)
+
+val to_text : t -> string
+(** Compact text dump, one cycle-stamped line per event. *)

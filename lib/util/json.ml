@@ -1,0 +1,67 @@
+(* Hand-rolled JSON encoding helpers (the container has no JSON library).
+   Shared by the bench trajectory log, the metrics snapshots and the
+   Chrome-trace exporter so every writer escapes strings the same way and
+   the CI scanners can rely on one number format. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+let int n = string_of_int n
+let int64 n = Int64.to_string n
+let float3 f = Printf.sprintf "%.3f" f
+let bool b = if b then "true" else "false"
+
+(* [field b ~last "name" value] appends ["name": value] plus the separator;
+   values are pre-rendered JSON fragments (use {!str}/{!int}/...). *)
+let field b ?(last = false) name value =
+  Buffer.add_string b "\"";
+  Buffer.add_string b (escape name);
+  Buffer.add_string b "\": ";
+  Buffer.add_string b value;
+  if not last then Buffer.add_string b ", "
+
+let obj fields = "{ " ^ String.concat ", " (List.map (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ v) fields) ^ " }"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"
+
+(* ---------- minimal scanners (CI gates) ----------
+
+   The emitted documents are flat enough that key-directed scans suffice;
+   no general parser needed. *)
+
+(* every number following ["key":], in document order *)
+let scan_int64_values ~key s =
+  let key = "\"" ^ key ^ "\":" in
+  let klen = String.length key and len = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + klen <= len do
+    if String.sub s !i klen = key then begin
+      let k = ref (!i + klen) in
+      while !k < len && s.[!k] = ' ' do
+        incr k
+      done;
+      let e = ref !k in
+      while !e < len && (match s.[!e] with '0' .. '9' | '-' -> true | _ -> false) do
+        incr e
+      done;
+      (match Int64.of_string_opt (String.sub s !k (!e - !k)) with
+      | Some v -> out := v :: !out
+      | None -> ());
+      i := !e
+    end
+    else incr i
+  done;
+  List.rev !out

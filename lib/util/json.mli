@@ -1,0 +1,30 @@
+(** Hand-rolled JSON encoding helpers shared by every JSON writer in the
+    repo (bench log, metrics snapshots, Chrome-trace export) — the
+    container has no JSON library. *)
+
+val escape : string -> string
+(** Escape a string body for embedding between double quotes. *)
+
+val str : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val int : int -> string
+val int64 : int64 -> string
+val float3 : float -> string
+(** Fixed three-decimal rendering — the one number format the CI scanners
+    rely on. *)
+
+val bool : bool -> string
+
+val field : Buffer.t -> ?last:bool -> string -> string -> unit
+(** [field b name value] appends ["name": value] and, unless [last], a
+    [", "] separator.  [value] is a pre-rendered fragment. *)
+
+val obj : (string * string) list -> string
+(** An inline object from pre-rendered value fragments. *)
+
+val arr : string list -> string
+
+val scan_int64_values : key:string -> string -> int64 list
+(** Every integer following ["key":] in the document, in order (used by
+    the CI cycle-divergence gate). *)

@@ -22,4 +22,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
     ]
