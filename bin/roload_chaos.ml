@@ -1,0 +1,169 @@
+(* roload_chaos — the seeded fault-injection campaign.
+
+   Usage: roload_chaos [--seed N] [--count N] [--scheme S]... [-j N]
+                       [--json PATH] [--checkpoint PATH] [--resume]
+                       [--attempts N] [--fail-cell IDX] [--max-cells N]
+                       [--replay PATH]
+
+   Runs baseline-vs-injected pairs for every plan entry under every
+   scheme, prints the detection-coverage table, and exits:
+
+     0  clean — no silent corruption or undetected tampering under the
+        ROLoad schemes, no cell failures
+     1  findings — silent corruption or undetected tampering under a
+        ROLoad scheme (or a replayed reproducer's verdict changed)
+     2  usage error
+     3  cell failures — some cells kept crashing and were recorded as
+        structured failure rows
+
+   [--fail-cell] artificially crashes the cells of one plan index (the
+   crash-containment self-test); [--max-cells] stops after N cells to
+   simulate a mid-run kill, for exercising [--resume]. *)
+
+open Cmdliner
+module Campaign = Roload_inject.Campaign
+module Pass = Roload_passes.Pass
+
+let run seed count schemes jobs json checkpoint resume attempts fail_cell max_cells
+    replay =
+  match replay with
+  | Some path ->
+    let checks = Campaign.replay ~path in
+    let bad =
+      List.filter
+        (fun (c : Campaign.replay_check) -> c.rc_expected <> c.rc_actual)
+        checks
+    in
+    List.iter
+      (fun (c : Campaign.replay_check) ->
+        Printf.printf "%-8s expected %-18s got %-18s %s\n" c.rc_scheme c.rc_expected
+          c.rc_actual
+          (if c.rc_expected = c.rc_actual then "ok" else "MISMATCH"))
+      checks;
+    if bad <> [] then exit 1
+  | None ->
+    let schemes =
+      match schemes with
+      | [] -> Campaign.default_schemes
+      | names ->
+        List.map
+          (fun n ->
+            match Pass.scheme_of_string n with
+            | Some s -> s
+            | None ->
+              Printf.eprintf "unknown scheme %s\n" n;
+              exit 2)
+          names
+    in
+    let sabotage =
+      match fail_cell with
+      | None -> None
+      | Some idx ->
+        Some
+          (fun ~index ~scheme:_ ~attempt:_ ->
+            if index = idx then failwith "sabotaged cell (--fail-cell)")
+    in
+    let report =
+      Campaign.run
+        {
+          Campaign.default_config with
+          Campaign.seed;
+          count;
+          schemes;
+          jobs;
+          attempts;
+          checkpoint;
+          resume;
+          sabotage;
+          max_cells;
+        }
+    in
+    print_string (Campaign.render report);
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Campaign.to_json report);
+      close_out oc;
+      Printf.printf "report written to %s\n" path);
+    let g = Campaign.gate report in
+    if g.Campaign.cell_failures > 0 then exit 3
+    else if g.Campaign.silent_under_roload > 0 || g.Campaign.undetected_tamper > 0 then
+      exit 1
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Campaign plan seed (deterministic).")
+
+let count_arg =
+  Arg.(value
+       & opt int Roload_inject.Campaign.default_config.Roload_inject.Campaign.count
+       & info [ "count" ] ~doc:"Plan length (injections per scheme before filtering).")
+
+let scheme_arg =
+  Arg.(value
+       & opt_all string []
+       & info [ "scheme" ] ~docv:"SCHEME"
+           ~doc:"Scheme to include (repeatable): none, cfi, vtint, vcall, icall, \
+                 retcall. Default: none, cfi, vcall, icall.")
+
+let jobs_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "j"; "jobs" ]
+           ~doc:"Cells run in parallel (default: \\$ROLOAD_JOBS, else the recommended \
+                 domain count). Results are identical at any job count.")
+
+let json_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "json" ] ~docv:"PATH" ~doc:"Write the full row-level report as JSON.")
+
+let checkpoint_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"PATH"
+           ~doc:"Append each cell's row to PATH the moment it settles (incremental \
+                 persistence).")
+
+let resume_arg =
+  Arg.(value
+       & flag
+       & info [ "resume" ]
+           ~doc:"Skip cells already recorded in the checkpoint; the final report is \
+                 byte-identical to an uninterrupted run.")
+
+let attempts_arg =
+  Arg.(value
+       & opt int Roload_inject.Campaign.default_config.Roload_inject.Campaign.attempts
+       & info [ "attempts" ] ~doc:"Deterministic retries per crashing cell.")
+
+let fail_cell_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "fail-cell" ] ~docv:"IDX"
+           ~doc:"Artificially crash every cell of plan index IDX (containment \
+                 self-test).")
+
+let max_cells_arg =
+  Arg.(value
+       & opt (some int) None
+       & info [ "max-cells" ] ~docv:"N"
+           ~doc:"Stop after N cells (simulates a mid-run kill; use with --checkpoint \
+                 then --resume).")
+
+let replay_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "replay" ] ~docv:"PATH"
+           ~doc:"Re-run a pinned corpus reproducer and compare verdicts instead of \
+                 running a campaign.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "roload_chaos"
+       ~doc:"Seeded fault-injection campaign with crash containment and resume")
+    Term.(const run $ seed_arg $ count_arg $ scheme_arg $ jobs_arg $ json_arg
+          $ checkpoint_arg $ resume_arg $ attempts_arg $ fail_cell_arg $ max_cells_arg
+          $ replay_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -76,14 +76,17 @@ let run names scale jobs json baseline metrics check_cycles =
     | names -> names
   in
   let entries = ref [] in
+  (* containment: a failing experiment is recorded and the rest of the
+     run continues; the process still exits 1 at the end *)
+  let failed = ref [] in
   List.iter
     (fun n ->
       let t0 = Unix.gettimeofday () in
       let i0 = Core.System.total_instructions_simulated () in
       (try run_one ~scale ~metrics:(metrics <> None) n with
       | Core.Experiments.Experiment_failure m ->
-        Printf.eprintf "EXPERIMENT FAILURE in %s: %s\n" n m;
-        exit 1);
+        Printf.eprintf "EXPERIMENT FAILURE in %s: %s\n%!" n m;
+        failed := n :: !failed);
       let wall_s = Unix.gettimeofday () -. t0 in
       let instructions = Core.System.total_instructions_simulated () - i0 in
       entries := Core.Bench_log.entry ~name:n ~wall_s ~instructions :: !entries;
@@ -129,6 +132,12 @@ let run names scale jobs json baseline metrics check_cycles =
         else
           Printf.printf "cycle gate: %d cells match baseline %s exactly — ok\n"
             (List.length cur) bpath));
+  (match !failed with
+  | [] -> ()
+  | fs ->
+    Printf.eprintf "%d experiment(s) failed: %s\n" (List.length fs)
+      (String.concat ", " (List.rev fs));
+    exit 1);
   match baseline with
   | None -> ()
   | Some path -> (

@@ -16,6 +16,8 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
+  mutable dropped_writebacks : int;
+      (* writebacks suppressed by the fault-injection interceptor *)
 }
 
 type t = {
@@ -31,6 +33,12 @@ type t = {
      generic closure (not an obs type) keeps this library free of an
      observability dependency; observers must not touch cache state. *)
   mutable observer : (addr:int -> write:bool -> hit:bool -> writeback:bool -> unit) option;
+  (* Fault-injection backdoor (roload-chaos): consulted once per would-be
+     writeback with the victim line's base address; returning [true]
+     silently discards the dirty line instead of writing it back (and the
+     writeback penalty is not charged).  [None] — the only state outside
+     a campaign — leaves behavior bit-identical to a hook-free cache. *)
+  mutable wb_interceptor : (addr:int -> bool) option;
 }
 
 let create ~name config =
@@ -52,15 +60,17 @@ let create ~name config =
     index_bits = Roload_util.Bits.log2_exact num_sets;
     offset_bits = Roload_util.Bits.log2_exact line_bytes;
     clock = 0;
-    stats = { hits = 0; misses = 0; writebacks = 0 };
+    stats = { hits = 0; misses = 0; writebacks = 0; dropped_writebacks = 0 };
     name;
     observer = None;
+    wb_interceptor = None;
   }
 
 let name t = t.name
 let config t = t.config
 let stats t = t.stats
 let set_observer t obs = t.observer <- obs
+let set_writeback_interceptor t f = t.wb_interceptor <- f
 
 let notify t ~addr ~write ~hit ~writeback =
   match t.observer with
@@ -98,7 +108,20 @@ let access t ~addr ~write =
        done
      with Exit -> ());
     let v = !victim in
-    let writeback = v.valid && v.dirty in
+    let writeback =
+      v.valid && v.dirty
+      &&
+      match t.wb_interceptor with
+      | None -> true
+      | Some drop ->
+        (* base address of the victim line being evicted *)
+        let victim_addr = ((v.tag lsl t.index_bits) lor index) lsl t.offset_bits in
+        if drop ~addr:victim_addr then begin
+          t.stats.dropped_writebacks <- t.stats.dropped_writebacks + 1;
+          false
+        end
+        else true
+    in
     if writeback then t.stats.writebacks <- t.stats.writebacks + 1;
     v.tag <- tag;
     v.valid <- true;
@@ -146,7 +169,8 @@ let flush t =
 let reset_stats t =
   t.stats.hits <- 0;
   t.stats.misses <- 0;
-  t.stats.writebacks <- 0
+  t.stats.writebacks <- 0;
+  t.stats.dropped_writebacks <- 0
 
 let miss_rate t =
   let total = t.stats.hits + t.stats.misses in

@@ -5,7 +5,13 @@ type config = { size_bytes : int; ways : int; line_bytes : int }
 
 val kib : int -> int
 
-type stats = { mutable hits : int; mutable misses : int; mutable writebacks : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable dropped_writebacks : int;
+      (** writebacks suppressed by the fault-injection interceptor *)
+}
 
 type t
 
@@ -21,6 +27,13 @@ val set_observer :
 (** Optional tracing tap, fired once per access (including handle rehits)
     with the access outcome.  Observers must not touch cache state; with
     no observer the hot-path cost is a single option check. *)
+
+val set_writeback_interceptor : t -> (addr:int -> bool) option -> unit
+(** Fault-injection backdoor (roload-chaos): consulted once per would-be
+    writeback with the evicted line's base address; returning [true]
+    silently discards the dirty line (no writeback, no penalty) and
+    counts it in [dropped_writebacks].  With [None] (the default) the
+    cache is bit-identical to one without the hook. *)
 
 type outcome = Hit | Miss of { writeback : bool }
 

@@ -25,10 +25,13 @@ let default_jobs () =
       | Some _ | None -> Domain.recommended_domain_count ())
     | None -> Domain.recommended_domain_count ())
 
-let map ?jobs f items =
+(* The exception barrier: every cell's outcome is captured as a [result],
+   with the raw backtrace taken at the catch site so a re-raise can
+   preserve the worker's stack (satellite: [raise] alone would rebuild
+   the trace from the re-raise point). *)
+let map_result ?jobs f items =
   match items with
   | [] -> []
-  | [ x ] -> [ f x ]
   | _ ->
     let items = Array.of_list items in
     let n = Array.length items in
@@ -36,7 +39,12 @@ let map ?jobs f items =
       let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
       min j n
     in
-    if jobs <= 1 then Array.to_list (Array.map f items)
+    let capture x =
+      match f x with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    if jobs <= 1 then Array.to_list (Array.map capture items)
     else begin
       let results = Array.make n None in
       let next = Atomic.make 0 in
@@ -44,10 +52,7 @@ let map ?jobs f items =
         let rec go () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
-            (results.(i) <-
-               (match f items.(i) with
-               | v -> Some (Ok v)
-               | exception e -> Some (Error e)));
+            results.(i) <- Some (capture items.(i));
             go ()
           end
         in
@@ -57,8 +62,11 @@ let map ?jobs f items =
       worker ();
       Array.iter Domain.join helpers;
       Array.to_list results
-      |> List.map (function
-           | Some (Ok v) -> v
-           | Some (Error e) -> raise e
-           | None -> assert false)
+      |> List.map (function Some r -> r | None -> assert false)
     end
+
+let map ?jobs f items =
+  map_result ?jobs f items
+  |> List.map (function
+       | Ok v -> v
+       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)

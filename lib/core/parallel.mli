@@ -14,5 +14,13 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f items] applies [f] to every item, running up to [jobs]
     (default {!default_jobs}) domains concurrently.  Results are in input
     order; if any application raised, the exception of the
-    lowest-indexed failing item is re-raised after all workers finish.
-    Each [f] call must be self-contained (no shared mutable state). *)
+    lowest-indexed failing item is re-raised after all workers finish,
+    with the worker's original backtrace preserved
+    ([Printexc.raise_with_backtrace]).  Each [f] call must be
+    self-contained (no shared mutable state). *)
+
+val map_result : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+(** The exception barrier under {!map}: like [map], but every cell's
+    failure is returned as [Error (exn, backtrace)] in its input slot
+    instead of aborting the whole run — the crash-containment primitive
+    roload-chaos builds on.  Never raises from worker failures. *)

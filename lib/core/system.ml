@@ -115,6 +115,8 @@ let snapshot_metrics ~machine ~kernel ~mmu =
     roload_faults_key = faults.Mmu.roload_key_mismatch;
     roload_faults_ro = faults.Mmu.roload_not_readonly;
     syscalls = Kernel.syscall_count kernel;
+    injections = Machine.injections machine;
+    dropped_writebacks = dc.Cache.dropped_writebacks + ic.Cache.dropped_writebacks;
     block_enters = Machine.block_enters machine;
     block_hits = Machine.block_hits machine;
     block_decodes = Machine.block_decodes machine;

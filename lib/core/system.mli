@@ -46,7 +46,23 @@ val run :
     machine's default, i.e. block-cached unless [ROLOAD_ENGINE=single]).
     [tracer] attaches the structured event tracer and [profile] enables
     hot-block profiling; neither changes the measurement — cycles,
-    statistics and output are bit-identical with both off or on. *)
+    statistics and output are bit-identical with both off or on.
+
+    [max_instructions] is the fuel budget (default 5×10⁸ retired
+    instructions, orders of magnitude above any paper workload).  A
+    program that exhausts it — e.g. an infinite loop — comes back with
+    status [Running] rather than hanging the harness; callers that fan
+    out cells (experiments, fuzzing, chaos campaigns) treat that as a
+    distinct "fuel exhausted" outcome. *)
+
+val snapshot_metrics :
+  machine:Roload_machine.Machine.t ->
+  kernel:Roload_kernel.Kernel.t ->
+  mmu:Roload_mem.Mmu.t ->
+  Roload_obs.Metrics.t
+(** Assemble the exact counter snapshot from a live machine/kernel pair —
+    the same assembly [run] performs; exposed for runners that drive the
+    kernel loop themselves (the roload-chaos campaign). *)
 
 val total_instructions_simulated : unit -> int
 (** Instructions simulated by every [run] so far in this process, across

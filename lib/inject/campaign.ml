@@ -1,0 +1,540 @@
+(* The chaos campaign: baseline-vs-injected differential runs.
+
+   One seeded plan drives every scheme.  Per scheme the victim is
+   compiled once and a baseline (uninjected) run is measured; each cell
+   then re-runs the victim, pauses it at the plan entry's trigger point
+   (a retire-count fraction of that scheme's baseline), applies the
+   fault through the injector backdoors, resumes under a watchdog
+   budget, and classifies the outcome against the baseline.
+
+   Robustness (tentpole part 2): every cell runs behind
+   [Experiments.run_cells_contained] — a crashing cell is retried a
+   bounded, deterministic number of times and then becomes a structured
+   failure row instead of aborting the campaign.  Rows are appended to a
+   checkpoint file the moment each cell settles, and [resume = true]
+   skips cells already recorded there; the final report is sorted by
+   (plan index, scheme), so a resumed run renders byte-identically to an
+   uninterrupted one. *)
+
+module Pass = Roload_passes.Pass
+module Exe = Roload_obj.Exe
+module Kernel = Roload_kernel.Kernel
+module Process = Roload_kernel.Process
+module Signal = Roload_kernel.Signal
+module Machine = Roload_machine.Machine
+module System = Core.System
+module Parallel = Core.Parallel
+module Experiments = Core.Experiments
+module Toolchain = Core.Toolchain
+module Trapclass = Roload_security.Trapclass
+module Table = Roload_util.Table
+module Json = Roload_util.Json
+module Diff = Roload_fuzz.Diff
+module Ir_eval = Roload_fuzz.Ir_eval
+
+let roload_schemes = [ Pass.Vcall; Pass.Icall; Pass.Retcall ]
+let default_schemes = [ Pass.Unprotected; Pass.Cfi_baseline; Pass.Vcall; Pass.Icall ]
+
+(* Which (scheme, kind) cells are meaningful.  The icall redirect is
+   only run where the scheme claims to police indirect calls (or claims
+   nothing): under VCall/VTint an indirect call is out of scope by
+   design, and reporting their silent miss would charge them for an
+   attack they never promise to stop. *)
+let applicable scheme (kind : Fault.kind) =
+  match kind with
+  | Fault.Ptr_redirect Fault.Icall_sink -> (
+    match scheme with
+    | Pass.Unprotected | Pass.Cfi_baseline | Pass.Icall -> true
+    | Pass.Vcall | Pass.Vtint_baseline | Pass.Retcall -> false)
+  | Fault.Ptr_redirect Fault.Vcall_sink -> (
+    match scheme with Pass.Retcall -> false | _ -> true)
+  | _ -> true
+
+type config = {
+  seed : int64;
+  count : int;  (** plan length; cells = count x applicable schemes *)
+  schemes : Pass.scheme list;
+  attempts : int;  (** bounded deterministic retries per cell *)
+  jobs : int option;
+  budget_factor : int;  (** watchdog = factor x baseline instructions *)
+  checkpoint : string option;  (** incremental persistence file *)
+  resume : bool;  (** skip cells already in the checkpoint *)
+  sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
+      (** test hook: raise from inside a chosen cell *)
+  max_cells : int option;  (** test hook: simulate a mid-run kill *)
+}
+
+let default_config =
+  {
+    seed = 1L;
+    count = 60;
+    schemes = default_schemes;
+    attempts = 2;
+    jobs = None;
+    budget_factor = 8;
+    checkpoint = None;
+    resume = false;
+    sabotage = None;
+    max_cells = None;
+  }
+
+type outcome = Verdict of Fault.verdict | Failed
+
+type row = {
+  index : int;
+  scheme : string;
+  cls : string;
+  label : string;
+  trigger : int64;
+  applied : bool;
+  attempts : int;
+  outcome : outcome;
+  detail : string;
+}
+
+type report = {
+  rows : row list;
+  schemes : Pass.scheme list;
+  oracle_checked : bool;
+  oracle_agreed : bool;
+}
+
+(* ---------- one run, pausable ---------- *)
+
+let baseline_budget = 50_000_000L
+
+let run_with_pause ?engine ?(variant = System.Processor_kernel_modified)
+    ~max_instructions ?pause_at ?inject exe =
+  let machine = Machine.create ?engine (System.machine_config variant) in
+  let kernel = Kernel.create ~machine ~config:(System.kernel_config variant) in
+  let process = Kernel.load kernel exe in
+  Kernel.schedule kernel process;
+  let finish () = Kernel.run ~limit:{ Kernel.max_instructions } kernel process in
+  let outcome =
+    match pause_at with
+    | Some at when Int64.compare at 0L > 0 && Int64.compare at max_instructions < 0
+      -> (
+      (* run limits are cumulative retire counts, so pausing at [at] and
+         finishing under the full budget retires exactly the same
+         instruction stream as one uninterrupted run *)
+      let paused = Kernel.run ~limit:{ Kernel.max_instructions = at } kernel process in
+      match (paused.Kernel.status, inject) with
+      | Process.Running, Some f ->
+        f ~machine ~process;
+        finish ()
+      | Process.Running, None -> finish ()
+      | _ -> paused)
+    | _ -> finish ()
+  in
+  (outcome, machine, kernel, process)
+
+let measure ?engine ?variant ?pause_at ~max_instructions exe =
+  let outcome, machine, kernel, process =
+    run_with_pause ?engine ?variant ~max_instructions ?pause_at exe
+  in
+  (outcome, System.snapshot_metrics ~machine ~kernel ~mmu:(Process.mmu process))
+
+(* ---------- verdicts ---------- *)
+
+let status_str = function
+  | Process.Exited n -> Printf.sprintf "exit %d" n
+  | Process.Killed sg -> Signal.to_string sg
+  | Process.Running -> "running"
+
+let classify ~(baseline : Kernel.run_outcome) (final : Kernel.run_outcome) =
+  match final.Kernel.status with
+  | Process.Killed sg -> (
+    match Trapclass.classify_signal sg with
+    | Trapclass.Roload_fault -> (Fault.Detected_roload, "killed: " ^ Signal.to_string sg)
+    | _ -> (Fault.Detected_segv, "killed: " ^ Signal.to_string sg))
+  | Process.Running ->
+    (Fault.Divergent_output, "watchdog: still running at the instruction budget")
+  | Process.Exited code -> (
+    match baseline.Kernel.status with
+    | Process.Exited b
+      when b = code && String.equal final.Kernel.output baseline.Kernel.output ->
+      (Fault.Masked, "behavior identical to baseline")
+    | Process.Exited 0 when code = 0 ->
+      ( Fault.Silent_corruption,
+        Printf.sprintf "clean exit, corrupted output %S (baseline %S)"
+          final.Kernel.output baseline.Kernel.output )
+    | _ ->
+      ( Fault.Divergent_output,
+        Printf.sprintf "exit %d vs baseline %s" code (status_str baseline.Kernel.status)
+      ))
+
+(* ---------- compile & baseline ---------- *)
+
+let compile_victim scheme =
+  Toolchain.compile_exe
+    ~options:{ Toolchain.default_options with Toolchain.scheme }
+    ~name:("chaos-" ^ Pass.scheme_name scheme)
+    Chaos_victim.source
+
+let baseline_run exe =
+  let outcome, _, _, _ = run_with_pause ~max_instructions:baseline_budget exe in
+  outcome
+
+(* ---------- one cell ---------- *)
+
+let run_one ?(budget_factor = default_config.budget_factor) ~attempt
+    ~(baseline : Kernel.run_outcome) (inj : Fault.injection) scheme exe =
+  let trigger =
+    let t =
+      Int64.div
+        (Int64.mul baseline.Kernel.instructions (Int64.of_int inj.Fault.trigger_permille))
+        1000L
+    in
+    if Int64.compare t 1L < 0 then 1L else t
+  in
+  let budget =
+    Int64.add
+      (Int64.mul baseline.Kernel.instructions (Int64.of_int budget_factor))
+      100_000L
+  in
+  let applied = ref None in
+  let inject ~machine ~process =
+    applied := Injector.apply ~machine ~process ~exe inj.Fault.kind
+  in
+  let final, _, _, _ = run_with_pause ~max_instructions:budget ~pause_at:trigger ~inject exe in
+  let verdict, detail = classify ~baseline final in
+  {
+    index = inj.Fault.index;
+    scheme = Pass.scheme_name scheme;
+    cls = Fault.class_name inj.Fault.kind;
+    label = Fault.kind_label inj.Fault.kind;
+    trigger;
+    applied = !applied <> None;
+    attempts = attempt;
+    outcome = Verdict verdict;
+    detail =
+      (match !applied with
+      | Some (a : Injector.applied) -> a.Injector.desc ^ "; " ^ detail
+      | None -> "not applied; " ^ detail);
+  }
+
+(* ---------- checkpoint rows ---------- *)
+
+let sanitize s =
+  String.map (fun c -> match c with '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let outcome_tag = function Verdict v -> Fault.verdict_name v | Failed -> "failed"
+
+let outcome_of_tag = function
+  | "failed" -> Some Failed
+  | t -> Option.map (fun v -> Verdict v) (Fault.verdict_of_string t)
+
+let row_to_line (r : row) =
+  Printf.sprintf "%d\t%s\t%s\t%s\t%Ld\t%b\t%d\t%s\t%s" r.index r.scheme r.cls r.label
+    r.trigger r.applied r.attempts (outcome_tag r.outcome) (sanitize r.detail)
+
+let row_of_line line =
+  match String.split_on_char '\t' line with
+  | [ index; scheme; cls; label; trigger; applied; attempts; tag; detail ] -> (
+    match
+      ( int_of_string_opt index,
+        Int64.of_string_opt trigger,
+        bool_of_string_opt applied,
+        int_of_string_opt attempts,
+        outcome_of_tag tag )
+    with
+    | Some index, Some trigger, Some applied, Some attempts, Some outcome ->
+      Some { index; scheme; cls; label; trigger; applied; attempts; outcome; detail }
+    | _ -> None)
+  | _ -> None
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+(* ---------- the campaign ---------- *)
+
+exception Broken_victim of string
+
+let run (cfg : config) =
+  let schemes = cfg.schemes in
+  (* compile serially: the toolchain owns global state *)
+  let exes = List.map (fun s -> (s, compile_victim s)) schemes in
+  let baselines =
+    Parallel.map ?jobs:cfg.jobs (fun (s, exe) -> (s, baseline_run exe)) exes
+  in
+  List.iter
+    (fun (s, (b : Kernel.run_outcome)) ->
+      match b.Kernel.status with
+      | Process.Exited 0 when String.equal b.Kernel.output Chaos_victim.benign_output ->
+        ()
+      | st ->
+        raise
+          (Broken_victim
+             (Printf.sprintf "chaos victim broken under %s: %s, output %S"
+                (Pass.scheme_name s) (status_str st) b.Kernel.output)))
+    baselines;
+  (* cross-check the baselines against the reference IR oracle — the
+     differential machinery roload-fuzz already trusts *)
+  let oracle_checked, oracle_agreed =
+    match Diff.oracle_behaviors ~schemes Chaos_victim.source with
+    | preds ->
+      let ok =
+        List.for_all2
+          (fun (_, (b : Ir_eval.behavior)) (_, (o : Kernel.run_outcome)) ->
+            Trapclass.stop_equal b.Ir_eval.stop (Trapclass.stop_of_status o.Kernel.status)
+            && String.equal b.Ir_eval.output o.Kernel.output)
+          preds baselines
+      in
+      (true, ok)
+    | exception _ -> (false, true)
+  in
+  let plan = Plan.build ~seed:cfg.seed ~count:cfg.count in
+  let cells =
+    List.concat_map
+      (fun (inj : Fault.injection) ->
+        List.filter_map
+          (fun (s, exe) -> if applicable s inj.Fault.kind then Some (inj, s, exe) else None)
+          exes)
+      plan
+  in
+  (* checkpoint: a header pinning (seed, count, schemes) plus one TSV
+     row per settled cell *)
+  let header =
+    Printf.sprintf "# roload-chaos v1 seed=%Ld count=%d schemes=%s" cfg.seed cfg.count
+      (String.concat "," (List.map Pass.scheme_name schemes))
+  in
+  let prior =
+    match cfg.checkpoint with
+    | Some path when cfg.resume && Sys.file_exists path -> (
+      match read_lines path with
+      | h :: rest when String.equal h header -> List.filter_map row_of_line rest
+      | _ -> [] (* different campaign (or corrupt): start over *))
+    | _ -> []
+  in
+  let done_keys = Hashtbl.create 64 in
+  List.iter (fun (r : row) -> Hashtbl.replace done_keys (r.index, r.scheme) ()) prior;
+  let todo =
+    List.filter
+      (fun ((inj : Fault.injection), s, _) ->
+        not (Hashtbl.mem done_keys (inj.Fault.index, Pass.scheme_name s)))
+      cells
+  in
+  let todo =
+    match cfg.max_cells with
+    | Some k -> List.filteri (fun i _ -> i < k) todo
+    | None -> todo
+  in
+  (match cfg.checkpoint with
+  | Some path when prior = [] ->
+    let oc = open_out path in
+    output_string oc (header ^ "\n");
+    close_out oc
+  | _ -> ());
+  let ck = Mutex.create () in
+  let append_row (r : row) =
+    match cfg.checkpoint with
+    | None -> ()
+    | Some path ->
+      Mutex.lock ck;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock ck)
+        (fun () ->
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+          output_string oc (row_to_line r ^ "\n");
+          close_out oc)
+  in
+  let baseline_for s = List.assoc s baselines in
+  let todo_arr = Array.of_list todo in
+  let row_of idx outcome =
+    let (inj : Fault.injection), scheme, _ = todo_arr.(idx) in
+    match outcome with
+    | Experiments.Cell_ok r -> r
+    | Experiments.Cell_failed { error; attempts } ->
+      {
+        index = inj.Fault.index;
+        scheme = Pass.scheme_name scheme;
+        cls = Fault.class_name inj.Fault.kind;
+        label = Fault.kind_label inj.Fault.kind;
+        trigger = 0L;
+        applied = false;
+        attempts;
+        outcome = Failed;
+        detail = sanitize error;
+      }
+  in
+  let outcomes =
+    Experiments.run_cells_contained ~attempts:cfg.attempts ?jobs:cfg.jobs
+      ~on_cell:(fun idx o -> append_row (row_of idx o))
+      ~f:(fun ~attempt ((inj : Fault.injection), scheme, exe) ->
+        (match cfg.sabotage with
+        | Some f -> f ~index:inj.Fault.index ~scheme ~attempt
+        | None -> ());
+        run_one ~budget_factor:cfg.budget_factor ~attempt
+          ~baseline:(baseline_for scheme) inj scheme exe)
+      todo
+  in
+  let fresh = List.mapi row_of outcomes in
+  let scheme_pos =
+    let names = List.mapi (fun i s -> (Pass.scheme_name s, i)) schemes in
+    fun n -> match List.assoc_opt n names with Some i -> i | None -> max_int
+  in
+  let rows =
+    List.sort
+      (fun (a : row) (b : row) ->
+        compare (a.index, scheme_pos a.scheme) (b.index, scheme_pos b.scheme))
+      (prior @ fresh)
+  in
+  { rows; schemes; oracle_checked; oracle_agreed }
+
+(* ---------- reporting ---------- *)
+
+let verdict_of_row (r : row) = match r.outcome with Verdict v -> Some v | Failed -> None
+
+let detected (r : row) =
+  match r.outcome with
+  | Verdict (Fault.Detected_roload | Fault.Detected_segv) -> true
+  | _ -> false
+
+let coverage_table (rp : report) =
+  let t =
+    Table.create
+      ~title:
+        "roload-chaos verdicts by class (R=ld.ro fault  S=other fault  C=silent \
+         corruption  M=masked  D=divergent  F=cell failure)"
+      ~header:("injection class" :: List.map Pass.scheme_name rp.schemes)
+      ()
+  in
+  List.iter
+    (fun cls ->
+      let cells =
+        List.map
+          (fun s ->
+            let name = Pass.scheme_name s in
+            let rs =
+              List.filter
+                (fun (r : row) -> String.equal r.cls cls && String.equal r.scheme name)
+                rp.rows
+            in
+            if rs = [] then "-"
+            else begin
+              let c v =
+                List.length (List.filter (fun (r : row) -> r.outcome = Verdict v) rs)
+              in
+              let f =
+                List.length (List.filter (fun (r : row) -> r.outcome = Failed) rs)
+              in
+              Printf.sprintf "%dR %dS %dC %dM %dD%s" (c Fault.Detected_roload)
+                (c Fault.Detected_segv) (c Fault.Silent_corruption) (c Fault.Masked)
+                (c Fault.Divergent_output)
+                (if f > 0 then Printf.sprintf " %dF" f else "")
+            end)
+          rp.schemes
+      in
+      Table.add_row t (cls :: cells))
+    Fault.all_class_names;
+  t
+
+(* The release gates: what the CI chaos-smoke job asserts. *)
+type gate = { silent_under_roload : int; undetected_tamper : int; cell_failures : int }
+
+let tamper_classes = [ "pte-key-flip"; "pte-ro-tamper"; "tlb-key-flip" ]
+
+let gate (rp : report) =
+  let roload_names =
+    List.filter_map
+      (fun s -> if List.mem s roload_schemes then Some (Pass.scheme_name s) else None)
+      rp.schemes
+  in
+  let under_roload (r : row) = List.exists (String.equal r.scheme) roload_names in
+  {
+    silent_under_roload =
+      List.length
+        (List.filter
+           (fun (r : row) ->
+             under_roload r && r.outcome = Verdict Fault.Silent_corruption)
+           rp.rows);
+    undetected_tamper =
+      List.length
+        (List.filter
+           (fun (r : row) ->
+             under_roload r
+             && List.mem r.cls tamper_classes
+             && r.outcome <> Verdict Fault.Detected_roload)
+           rp.rows);
+    cell_failures =
+      List.length (List.filter (fun (r : row) -> r.outcome = Failed) rp.rows);
+  }
+
+let render (rp : report) =
+  let g = gate rp in
+  Table.render (coverage_table rp)
+  ^ Printf.sprintf
+      "\n\
+       cells: %d   silent-under-roload: %d   undetected-tamper-under-roload: %d   \
+       cell-failures: %d\n\
+       oracle cross-check: %s\n"
+      (List.length rp.rows) g.silent_under_roload g.undetected_tamper g.cell_failures
+      (if not rp.oracle_checked then "skipped (oracle declined the victim)"
+       else if rp.oracle_agreed then "agreed"
+       else "DIVERGED")
+
+let to_json (rp : report) =
+  let row_json (r : row) =
+    Json.obj
+      [
+        ("index", Json.int r.index);
+        ("scheme", Json.str r.scheme);
+        ("class", Json.str r.cls);
+        ("label", Json.str r.label);
+        ("trigger", Json.int64 r.trigger);
+        ("applied", Json.bool r.applied);
+        ("attempts", Json.int r.attempts);
+        ("verdict", Json.str (outcome_tag r.outcome));
+        ("detail", Json.str r.detail);
+      ]
+  in
+  let g = gate rp in
+  Json.obj
+    [
+      ("schemes", Json.arr (List.map (fun s -> Json.str (Pass.scheme_name s)) rp.schemes));
+      ("oracle_checked", Json.bool rp.oracle_checked);
+      ("oracle_agreed", Json.bool rp.oracle_agreed);
+      ("silent_under_roload", Json.int g.silent_under_roload);
+      ("undetected_tamper", Json.int g.undetected_tamper);
+      ("cell_failures", Json.int g.cell_failures);
+      ("rows", Json.arr (List.map row_json rp.rows));
+    ]
+
+(* ---------- corpus reproducers ---------- *)
+
+type replay_check = { rc_scheme : string; rc_expected : string; rc_actual : string }
+
+let replay ~path =
+  let seed = ref None and entry = ref None and expects = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char ' ' line with
+        | [ "seed"; v ] -> seed := Int64.of_string_opt v
+        | [ "entry"; v ] -> entry := int_of_string_opt v
+        | [ "expect"; s; v ] -> expects := (s, v) :: !expects
+        | _ -> ())
+    (read_lines path);
+  match (!seed, !entry, List.rev !expects) with
+  | Some seed, Some entry, (_ :: _ as expects) ->
+    let inj = List.nth (Plan.build ~seed ~count:(entry + 1)) entry in
+    List.map
+      (fun (sname, expected) ->
+        match Pass.scheme_of_string sname with
+        | None -> { rc_scheme = sname; rc_expected = expected; rc_actual = "unknown-scheme" }
+        | Some scheme ->
+          let exe = compile_victim scheme in
+          let baseline = baseline_run exe in
+          let r = run_one ~attempt:1 ~baseline inj scheme exe in
+          { rc_scheme = sname; rc_expected = expected; rc_actual = outcome_tag r.outcome })
+      expects
+  | _ -> failwith ("malformed chaos reproducer: " ^ path)

@@ -1,0 +1,130 @@
+(** The chaos campaign: baseline-vs-injected differential runs over a
+    seeded plan, with crash containment, incremental checkpointing and
+    byte-identical resume. *)
+
+module Pass = Roload_passes.Pass
+
+val roload_schemes : Pass.scheme list
+(** Schemes whose detection the gates hold to the ROLoad standard. *)
+
+val default_schemes : Pass.scheme list
+(** The campaign matrix: stock, label-CFI baseline, VCall, ICall. *)
+
+val applicable : Pass.scheme -> Fault.kind -> bool
+(** Whether a (scheme, kind) cell is meaningful — e.g. the icall
+    redirect is skipped under VCall, which never claims to police
+    indirect calls. *)
+
+type config = {
+  seed : int64;
+  count : int;  (** plan length; cells = count x applicable schemes *)
+  schemes : Pass.scheme list;
+  attempts : int;  (** bounded deterministic retries per cell *)
+  jobs : int option;
+  budget_factor : int;  (** watchdog = factor x baseline instructions *)
+  checkpoint : string option;  (** incremental persistence file *)
+  resume : bool;  (** skip cells already in the checkpoint *)
+  sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
+      (** test hook: raise from inside a chosen cell *)
+  max_cells : int option;  (** test hook: simulate a mid-run kill *)
+}
+
+val default_config : config
+
+type outcome = Verdict of Fault.verdict | Failed
+
+type row = {
+  index : int;
+  scheme : string;
+  cls : string;
+  label : string;
+  trigger : int64;
+  applied : bool;
+  attempts : int;
+  outcome : outcome;
+  detail : string;
+}
+
+type report = {
+  rows : row list;  (** sorted by (plan index, scheme position) *)
+  schemes : Pass.scheme list;
+  oracle_checked : bool;
+  oracle_agreed : bool;
+}
+
+exception Broken_victim of string
+(** The uninjected victim did not behave benignly under some scheme —
+    the campaign would be meaningless, so it refuses to start. *)
+
+val run : config -> report
+
+val run_with_pause :
+  ?engine:Roload_machine.Machine.engine ->
+  ?variant:Core.System.variant ->
+  max_instructions:int64 ->
+  ?pause_at:int64 ->
+  ?inject:
+    (machine:Roload_machine.Machine.t -> process:Roload_kernel.Process.t -> unit) ->
+  Roload_obj.Exe.t ->
+  Roload_kernel.Kernel.run_outcome
+  * Roload_machine.Machine.t
+  * Roload_kernel.Kernel.t
+  * Roload_kernel.Process.t
+(** The pause-inject-resume primitive: run to [pause_at] retired
+    instructions (cumulative), call [inject] on the live machine, resume
+    to [max_instructions].  Without [pause_at]/[inject] this is a plain
+    run — and a paused-and-resumed run without injection is
+    bit-identical (cycles, metrics, output) to an uninterrupted one. *)
+
+val measure :
+  ?engine:Roload_machine.Machine.engine ->
+  ?variant:Core.System.variant ->
+  ?pause_at:int64 ->
+  max_instructions:int64 ->
+  Roload_obj.Exe.t ->
+  Roload_kernel.Kernel.run_outcome * Roload_obs.Metrics.t
+(** [run_with_pause] plus the exact counter snapshot — what the
+    empty-plan bit-identity property compares. *)
+
+val classify :
+  baseline:Roload_kernel.Kernel.run_outcome ->
+  Roload_kernel.Kernel.run_outcome ->
+  Fault.verdict * string
+
+val compile_victim : Pass.scheme -> Roload_obj.Exe.t
+val baseline_run : Roload_obj.Exe.t -> Roload_kernel.Kernel.run_outcome
+
+val run_one :
+  ?budget_factor:int ->
+  attempt:int ->
+  baseline:Roload_kernel.Kernel.run_outcome ->
+  Fault.injection ->
+  Pass.scheme ->
+  Roload_obj.Exe.t ->
+  row
+(** One cell: pause at the entry's trigger, inject, resume, classify. *)
+
+val verdict_of_row : row -> Fault.verdict option
+val detected : row -> bool
+
+val coverage_table : report -> Roload_util.Table.t
+(** The §V-style detection-coverage table: one row per injection class,
+    one column per scheme. *)
+
+type gate = { silent_under_roload : int; undetected_tamper : int; cell_failures : int }
+
+val tamper_classes : string list
+(** The page/TLB-tampering classes ROLoad must detect at 100%. *)
+
+val gate : report -> gate
+(** What the CI chaos-smoke job asserts: zero silent corruption and zero
+    undetected tampering under ROLoad schemes, zero cell failures. *)
+
+val render : report -> string
+val to_json : report -> string
+
+type replay_check = { rc_scheme : string; rc_expected : string; rc_actual : string }
+
+val replay : path:string -> replay_check list
+(** Re-run a pinned corpus reproducer ([seed]/[entry]/[expect] lines)
+    and report expected-vs-actual verdicts per scheme. *)

@@ -1,0 +1,63 @@
+(* The chaos campaign's victim program.
+
+   Unlike the attack victim ({!Roload_security.Victim}), which exists to
+   prove that a *successful* hijack reaches a marker, this program is
+   built so that every protected load is *hot*: both vtables and the
+   function-pointer table are dispatched through on every loop
+   iteration, so a fault injected anywhere between 10% and 60% of the
+   baseline run is always followed by more sensitive loads that can
+   observe it.
+
+   The twins are deliberately boring: [Evil::greet] and [twin_cb] have
+   the same signatures as their benign counterparts but different return
+   values, so a redirected pointer that survives the scheme's checks
+   corrupts only the final sum — the canonical silent corruption. *)
+
+let source =
+  {|
+typedef int (*cb_t)(int);
+
+class Greeter {
+  int pad;
+  virtual int greet() { return 1; }
+};
+
+class Evil {
+  int pad;
+  virtual int greet() { return 7; }
+};
+
+int benign_cb(int x) { return x + 1; }
+int twin_cb(int x) { return x + 2; }
+
+// attacker-controlled writable memory (the forged-vtable target)
+int fake_vtable[8];
+
+Greeter *g;
+Evil *e;
+cb_t callback;
+cb_t twin_holder;
+
+int main() {
+  g = new Greeter;
+  e = new Evil;
+  callback = benign_cb;
+  twin_holder = twin_cb;
+  int acc = 0;
+  int i = 0;
+  while (i < 64) {
+    acc = acc + g->greet();
+    acc = acc + e->greet();
+    cb_t cb = callback;
+    acc = acc + cb(i);
+    i = i + 1;
+  }
+  print_int(acc);
+  print_char('\n');
+  return 0;
+}
+|}
+
+(* 64*1 + 64*7 + sum_{i=0..63}(i+1) = 64 + 448 + 2080. *)
+let benign_output = "2592\n"
+let iterations = 64

@@ -1,0 +1,12 @@
+(** The chaos campaign's victim: every sensitive load (two vtable
+    hierarchies and one typed function pointer) is exercised on every
+    iteration of the main loop, so a mid-run injection always has
+    further protected loads downstream to observe it. *)
+
+val source : string
+
+val benign_output : string
+(** Output of an uninjected run under every scheme. *)
+
+val iterations : int
+(** Main-loop trip count (how many sensitive loads of each shape run). *)

@@ -1,0 +1,83 @@
+(* The fault taxonomy of roload-chaos.
+
+   A [kind] names *what* is corrupted; the slot/bit fields are abstract
+   indices the injector resolves against the concrete executable of each
+   scheme (page_slot 3 means "the fourth protected page", whatever its
+   address is under that scheme's layout), so one plan drives every
+   scheme of a campaign. *)
+
+type sink =
+  | Vcall_sink (* swing a vptr at a forged vtable in writable memory *)
+  | Icall_sink (* overwrite a typed function pointer with a twin's code address *)
+
+type kind =
+  | Pte_key_flip of { page_slot : int; bit : int }
+  | Pte_make_writable of { page_slot : int }
+  | Tlb_key_flip of { page_slot : int; bit : int }
+  | Phys_flip of { word_slot : int; bit_slot : int }
+  | Ptr_redirect of sink
+  | Writeback_drop
+
+type injection = {
+  index : int;
+  kind : kind;
+  trigger_permille : int;
+      (* when to strike, as a fraction of the scheme's baseline
+         instruction count (100..600 = 10%..60% into the run) *)
+}
+
+type verdict =
+  | Detected_roload
+  | Detected_segv
+  | Silent_corruption
+  | Masked
+  | Divergent_output
+
+let sink_name = function Vcall_sink -> "vcall" | Icall_sink -> "icall"
+
+let class_name = function
+  | Pte_key_flip _ -> "pte-key-flip"
+  | Pte_make_writable _ -> "pte-ro-tamper"
+  | Tlb_key_flip _ -> "tlb-key-flip"
+  | Phys_flip _ -> "phys-bit-flip"
+  | Ptr_redirect _ -> "ptr-redirect"
+  | Writeback_drop -> "wb-drop"
+
+let all_class_names =
+  [
+    "pte-key-flip";
+    "pte-ro-tamper";
+    "tlb-key-flip";
+    "phys-bit-flip";
+    "ptr-redirect";
+    "wb-drop";
+  ]
+
+let kind_label = function
+  | Pte_key_flip { page_slot; bit } ->
+    Printf.sprintf "pte-key-flip page#%d bit%d" page_slot bit
+  | Pte_make_writable { page_slot } -> Printf.sprintf "pte-ro-tamper page#%d" page_slot
+  | Tlb_key_flip { page_slot; bit } ->
+    Printf.sprintf "tlb-key-flip page#%d bit%d" page_slot bit
+  | Phys_flip { word_slot; bit_slot } ->
+    Printf.sprintf "phys-bit-flip word#%d bit-slot%d" word_slot bit_slot
+  | Ptr_redirect s -> "ptr-redirect " ^ sink_name s
+  | Writeback_drop -> "wb-drop"
+
+let verdict_name = function
+  | Detected_roload -> "detected-roload"
+  | Detected_segv -> "detected-segv"
+  | Silent_corruption -> "silent-corruption"
+  | Masked -> "masked"
+  | Divergent_output -> "divergent-output"
+
+let verdict_of_string = function
+  | "detected-roload" -> Some Detected_roload
+  | "detected-segv" -> Some Detected_segv
+  | "silent-corruption" -> Some Silent_corruption
+  | "masked" -> Some Masked
+  | "divergent-output" -> Some Divergent_output
+  | _ -> None
+
+let all_verdicts =
+  [ Detected_roload; Detected_segv; Silent_corruption; Masked; Divergent_output ]

@@ -1,0 +1,50 @@
+(** The fault taxonomy of roload-chaos: what gets corrupted (layer and
+    shape), when, and the five-way verdict the campaign assigns to each
+    injected run. *)
+
+type sink =
+  | Vcall_sink  (** swing a vptr at a forged vtable in writable memory *)
+  | Icall_sink
+      (** overwrite a typed function pointer with a same-signature twin's
+          raw code address *)
+
+type kind =
+  | Pte_key_flip of { page_slot : int; bit : int }
+      (** flip one bit of a protected page's PTE key field *)
+  | Pte_make_writable of { page_slot : int }
+      (** set W on a protected (read-only) page's PTE *)
+  | Tlb_key_flip of { page_slot : int; bit : int }
+      (** soft error on a resident TLB entry: flip a key bit in place *)
+  | Phys_flip of { word_slot : int; bit_slot : int }
+      (** flip a high bit of a vtable/GFPT word through physical memory *)
+  | Ptr_redirect of sink  (** software corruption of a sensitive pointer *)
+  | Writeback_drop  (** drop the next dirty cache writeback (timing-only) *)
+
+type injection = {
+  index : int;  (** position in the campaign plan *)
+  kind : kind;
+  trigger_permille : int;
+      (** when to strike, as ‰ of the scheme's baseline instruction
+          count (100..600) *)
+}
+
+type verdict =
+  | Detected_roload  (** killed by a SIGSEGV carrying the ROLoad triage *)
+  | Detected_segv  (** killed by any other fault (plain segv, CFI abort, ...) *)
+  | Silent_corruption  (** clean exit, wrong output — the worst case *)
+  | Masked  (** same exit status and output as the baseline *)
+  | Divergent_output  (** wrong exit code, or still running at the budget *)
+
+val sink_name : sink -> string
+
+val class_name : kind -> string
+(** The coverage-table row the kind belongs to (slot details dropped). *)
+
+val all_class_names : string list
+
+val kind_label : kind -> string
+(** Full label including slot/bit parameters. *)
+
+val verdict_name : verdict -> string
+val verdict_of_string : string -> verdict option
+val all_verdicts : verdict list

@@ -1,0 +1,216 @@
+(* Resolving and applying one planned fault to a paused machine.
+
+   Each arm goes through a backdoor added for roload-chaos:
+
+     Pte_key_flip / Pte_make_writable -> Page_table.tamper (rewrite the
+       leaf PTE), then Mmu.invalidate so the stale-but-correct TLB entry
+       does not shadow the tampered PTE — this models the tamper racing
+       a TLB eviction, the case ROLoad must catch on the next walk;
+     Tlb_key_flip  -> Tlb.corrupt, a soft error striking the *resident*
+       entry in place (deliberately no invalidation);
+     Phys_flip     -> Phys_mem.flip_bit through the translated physical
+       address of a vtable/GFPT word, bypassing page permissions;
+     Ptr_redirect  -> Process.attacker_write_u64, ordinary software
+       corruption through the writable-memory primitive;
+     Writeback_drop-> Cache.set_writeback_interceptor, arming a one-shot
+       drop of the next dirty victim line.
+
+   Resolution is deterministic: abstract plan slots index sorted
+   candidate lists derived from the executable, so the same plan entry
+   names "the same" fault under every scheme's layout.
+
+   Phys_flip restricts itself to bits 16..25 of the word and, among
+   those, to flips whose resulting address does not land in an
+   executable segment: a corrupted code pointer must crash (wild fetch)
+   rather than land mid-function and execute garbage, because a chaos
+   campaign wants a *deterministic* per-scheme verdict for every entry.
+   The paper's point survives intact — no scheme detects a flipped
+   *value* on an intact page; it is the page-level tampering classes
+   that separate ROLoad from the baselines. *)
+
+module Exe = Roload_obj.Exe
+module Process = Roload_kernel.Process
+module Machine = Roload_machine.Machine
+module Mmu = Roload_mem.Mmu
+module Tlb = Roload_mem.Tlb
+module Pte = Roload_mem.Pte
+module Page_table = Roload_mem.Page_table
+module Phys_mem = Roload_mem.Phys_mem
+module Perm = Roload_mem.Perm
+module Cache = Roload_cache.Cache
+module Hierarchy = Roload_cache.Hierarchy
+
+let page_size = Page_table.page_size
+
+type applied = { desc : string; addr : int }
+
+(* The pages a campaign treats as "protected": the keyed pages when the
+   scheme keys any (vtables, GFPTs, return-site tables), otherwise the
+   read-only non-executable data pages — what ROLoad *would* protect.
+   Under the chaos victim every keyed page is hot (both hierarchies and
+   the function-pointer table are dispatched through each iteration), so
+   tampering here is always observable before exit. *)
+let protected_pages exe =
+  let segs = exe.Exe.segments in
+  let keyed = List.filter (fun (s : Exe.segment) -> s.key <> 0) segs in
+  let pool =
+    if keyed <> [] then keyed
+    else
+      List.filter
+        (fun (s : Exe.segment) ->
+          s.perms.Perm.r && (not s.perms.Perm.w) && not s.perms.Perm.x)
+        segs
+  in
+  pool
+  |> List.concat_map (fun (s : Exe.segment) ->
+         List.init (Exe.segment_pages s) (fun i -> s.vaddr + (i * page_size)))
+  |> List.sort_uniq compare
+
+let is_gfpt_slot_for func (name, _) =
+  let suffix = "$" ^ func in
+  String.length name > 7
+  && String.sub name 0 7 = "__gfpt$"
+  && String.length name > String.length suffix
+  && String.sub name (String.length name - String.length suffix) (String.length suffix)
+     = suffix
+
+(* Word targets for physical bit flips: slot 0 of every vtable (the
+   method both hierarchies dispatch each iteration) plus the GFPT slot
+   of the live callback when the ICall transformation emitted one. *)
+let word_candidates exe =
+  let vt_words =
+    List.filter_map
+      (fun (name, addr) ->
+        if String.length name >= 5 && String.sub name 0 5 = "__vt$" then Some addr
+        else None)
+      exe.Exe.symbols
+  in
+  let gfpt =
+    match List.find_opt (is_gfpt_slot_for "benign_cb") exe.Exe.symbols with
+    | Some (_, addr) -> [ addr ]
+    | None -> []
+  in
+  List.sort_uniq compare (vt_words @ gfpt)
+
+let in_exec_segment exe target =
+  List.exists
+    (fun (s : Exe.segment) ->
+      s.perms.Perm.x
+      && target >= s.vaddr
+      && target < s.vaddr + (Exe.segment_pages s * page_size))
+    exe.Exe.segments
+
+let pick candidates slot =
+  match candidates with [] -> None | l -> Some (List.nth l (slot mod List.length l))
+
+let note machine kind ~addr =
+  Machine.note_injection machine ~kind:(Fault.class_name kind) ~addr
+
+let tamper_pte process ~va ~f =
+  match Page_table.tamper (Process.page_table process) ~va ~f with
+  | Ok () ->
+    (* model the tamper racing a TLB eviction: drop the stale (correct)
+       cached entry so the next access re-walks the tampered PTE *)
+    Mmu.invalidate (Process.mmu process) ~va;
+    true
+  | Error _ -> false
+
+let apply ~machine ~process ~exe (kind : Fault.kind) =
+  match kind with
+  | Fault.Pte_key_flip { page_slot; bit } -> (
+    match pick (protected_pages exe) page_slot with
+    | None -> None
+    | Some va ->
+      let bit = bit mod Pte.key_width in
+      if tamper_pte process ~va ~f:(fun pte -> Pte.flip_key_bit pte ~bit) then begin
+        note machine kind ~addr:va;
+        Some { desc = Printf.sprintf "flipped PTE key bit %d of page 0x%x" bit va;
+               addr = va }
+      end
+      else None)
+  | Fault.Pte_make_writable { page_slot } -> (
+    match pick (protected_pages exe) page_slot with
+    | None -> None
+    | Some va ->
+      let f pte = Pte.with_perms pte { (Pte.perms pte) with Perm.w = true } in
+      if tamper_pte process ~va ~f then begin
+        note machine kind ~addr:va;
+        Some { desc = Printf.sprintf "set W on protected page 0x%x" va; addr = va }
+      end
+      else None)
+  | Fault.Tlb_key_flip { page_slot; bit } -> (
+    match pick (protected_pages exe) page_slot with
+    | None -> None
+    | Some va ->
+      let bit = bit mod Pte.key_width in
+      let vpn = va lsr Page_table.page_shift in
+      if
+        Tlb.corrupt
+          (Mmu.dtlb (Process.mmu process))
+          ~vpn
+          ~f:(fun pte -> Pte.flip_key_bit pte ~bit)
+      then begin
+        note machine kind ~addr:va;
+        Some
+          { desc =
+              Printf.sprintf "flipped key bit %d of resident D-TLB entry for 0x%x" bit
+                va;
+            addr = va }
+      end
+      else None (* entry not resident: the soft error struck nothing *))
+  | Fault.Phys_flip { word_slot; bit_slot } -> (
+    match pick (word_candidates exe) word_slot with
+    | None -> None
+    | Some va -> (
+      let value = Process.read_u64 process ~va in
+      let bits = List.init 10 (fun i -> 16 + ((bit_slot + i) mod 10)) in
+      let safe bit =
+        not (in_exec_segment exe (Int64.to_int value lxor (1 lsl bit)))
+      in
+      match List.find_opt safe bits with
+      | None -> None
+      | Some bit ->
+        let pa = Process.translate process va in
+        Phys_mem.flip_bit (Machine.mem machine) ~addr:pa ~bit;
+        note machine kind ~addr:va;
+        Some
+          { desc = Printf.sprintf "flipped bit %d of word 0x%x (pa 0x%x)" bit va pa;
+            addr = va }))
+  | Fault.Ptr_redirect sink -> (
+    let addr name = Exe.find_symbol_exn exe name in
+    try
+      match sink with
+      | Fault.Vcall_sink ->
+        (* forge a vtable in writable memory out of the same-signature
+           twin's legitimate slot, then swing g's vptr at it *)
+        let fake = addr "fake_vtable" in
+        let entry = Process.read_u64 process ~va:(addr "__vt$Evil") in
+        for slot = 0 to 3 do
+          Process.attacker_write_u64 process ~va:(fake + (8 * slot)) entry
+        done;
+        let obj = Int64.to_int (Process.read_u64 process ~va:(addr "g")) in
+        Process.attacker_write_u64 process ~va:obj (Int64.of_int fake);
+        note machine kind ~addr:obj;
+        Some { desc = "vptr of g -> forged vtable of same-signature twin"; addr = obj }
+      | Fault.Icall_sink ->
+        (* same-signature twin's *raw code address*: the strongest
+           corruption a label-CFI baseline still accepts *)
+        let slot = addr "callback" in
+        Process.attacker_write_u64 process ~va:slot (Int64.of_int (addr "twin_cb"));
+        note machine kind ~addr:slot;
+        Some { desc = "callback -> raw code address of same-signature twin";
+               addr = slot }
+    with Process.Attack_blocked _ -> None)
+  | Fault.Writeback_drop ->
+    let dc = Hierarchy.dcache (Machine.hierarchy machine) in
+    let armed = ref true in
+    Cache.set_writeback_interceptor dc
+      (Some
+         (fun ~addr:_ ->
+           if !armed then begin
+             armed := false;
+             true
+           end
+           else false));
+    note machine kind ~addr:0;
+    Some { desc = "armed one-shot drop of the next dirty writeback"; addr = 0 }

@@ -1,0 +1,27 @@
+(** Resolve an abstract plan entry against one scheme's executable and
+    apply it to a paused machine through the per-layer backdoors
+    ([Page_table.tamper], [Tlb.corrupt], [Phys_mem.flip_bit],
+    [Process.attacker_write_u64], [Cache.set_writeback_interceptor]).
+    Every application is counted via [Machine.note_injection] so it
+    shows up in metrics and traces. *)
+
+type applied = { desc : string; addr : int }
+
+val protected_pages : Roload_obj.Exe.t -> int list
+(** Page base addresses the campaign treats as protected: keyed pages
+    when the scheme keys any, else read-only non-executable data pages.
+    Sorted, deterministic. *)
+
+val word_candidates : Roload_obj.Exe.t -> int list
+(** Vtable slot-0 words and the live callback's GFPT slot — the
+    physical bit-flip targets. Sorted, deterministic. *)
+
+val apply :
+  machine:Roload_machine.Machine.t ->
+  process:Roload_kernel.Process.t ->
+  exe:Roload_obj.Exe.t ->
+  Fault.kind ->
+  applied option
+(** [None] means the fault could not strike (no candidate target, TLB
+    entry not resident, every safe bit excluded) — the run proceeds
+    untouched and classifies as [Masked]. *)

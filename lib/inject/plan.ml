@@ -1,0 +1,45 @@
+(* Seeded campaign plans.
+
+   Everything downstream of [build] is a pure function of the plan and
+   the executables, so equal seeds give byte-identical campaigns — the
+   property the --resume machinery and the corpus reproducers rely on.
+   No wall-clock anywhere. *)
+
+module Prng = Roload_util.Prng
+module Pte = Roload_mem.Pte
+
+let slot_range = 8 (* abstract page/word slots; injector wraps via mod *)
+let bit_slot_range = 10
+
+let kind_of rng =
+  match Prng.next_int rng 6 with
+  | 0 ->
+    Fault.Pte_key_flip
+      { page_slot = Prng.next_int rng slot_range;
+        bit = Prng.next_int rng Pte.key_width }
+  | 1 -> Fault.Pte_make_writable { page_slot = Prng.next_int rng slot_range }
+  | 2 ->
+    Fault.Tlb_key_flip
+      { page_slot = Prng.next_int rng slot_range;
+        bit = Prng.next_int rng Pte.key_width }
+  | 3 ->
+    Fault.Phys_flip
+      { word_slot = Prng.next_int rng slot_range;
+        bit_slot = Prng.next_int rng bit_slot_range }
+  | 4 ->
+    Fault.Ptr_redirect (if Prng.next_bool rng then Fault.Vcall_sink else Fault.Icall_sink)
+  | _ -> Fault.Writeback_drop
+
+let build ~seed ~count =
+  let rng = Prng.create seed in
+  (* explicit loop: the rng stream must be drawn strictly in index order
+     (List.init's application order is not a guarantee worth relying on) *)
+  let rec go acc index =
+    if index >= count then List.rev acc
+    else begin
+      let kind = kind_of rng in
+      let trigger_permille = Prng.next_in_range rng ~lo:100 ~hi:600 in
+      go ({ Fault.index; kind; trigger_permille } :: acc) (index + 1)
+    end
+  in
+  go [] 0

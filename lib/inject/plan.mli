@@ -1,0 +1,9 @@
+(** Seeded, fully deterministic campaign plans: a list of injections
+    drawn from {!Roload_util.Prng} (never wall-clock), with abstract
+    slot indices the injector resolves per scheme. Equal seeds give
+    byte-identical plans. *)
+
+val build : seed:int64 -> count:int -> Fault.injection list
+(** [build ~seed ~count] is the plan; [(build ~seed ~count:n)] is a
+    prefix of [(build ~seed ~count:(n+k))], so a corpus reproducer can
+    name an entry by [(seed, index)] alone. *)

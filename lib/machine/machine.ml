@@ -88,6 +88,9 @@ type t = {
   mutable block_enters : int;
   mutable block_hits : int; (* entries that found a pre-decoded block *)
   mutable block_decodes : int; (* slots lazily decoded and appended *)
+  mutable injections : int;
+      (* roload-chaos faults applied to this machine's state — always
+         counted, so the metrics snapshot is exact with tracing off *)
   mutable profile : (int, prof) Hashtbl.t option;
 }
 
@@ -121,6 +124,7 @@ let create ?(costs = default_costs) ?engine (config : Config.t) =
     block_enters = 0;
     block_hits = 0;
     block_decodes = 0;
+    injections = 0;
     profile = None;
   }
 
@@ -204,6 +208,15 @@ let roload_key_counts t = t.roload_key_counts
 let block_enters t = t.block_enters
 let block_hits t = t.block_hits
 let block_decodes t = t.block_decodes
+let injections t = t.injections
+
+(* roload-chaos entry point: count the applied fault and surface it on
+   the tracer's kernel lane.  Never called outside a campaign. *)
+let note_injection t ~kind ~addr =
+  t.injections <- t.injections + 1;
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Tracer.emit tr (Event.Injected { kind; addr })
 
 let set_profiling t on =
   match (on, t.profile) with

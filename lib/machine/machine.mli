@@ -85,6 +85,15 @@ val block_hits : t -> int
 val block_decodes : t -> int
 (** Slots lazily decoded and appended to blocks. *)
 
+val injections : t -> int
+(** roload-chaos faults applied to this machine's state (0 outside a
+    campaign); always counted, independent of tracing. *)
+
+val note_injection : t -> kind:string -> addr:int -> unit
+(** Record one applied fault: bump {!injections} and emit an
+    [Event.Injected] on the attached tracer (if any).  Called by the
+    roload-chaos injector only. *)
+
 val set_profiling : t -> bool -> unit
 (** Enable/disable hot-block profiling (block-cached engine only).
     Profiling reads the cycle counters around each block visit and never

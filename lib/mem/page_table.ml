@@ -138,3 +138,10 @@ let mapped_pages t =
   let n = ref 0 in
   iter_mappings t ~f:(fun ~va:_ ~pte:_ -> incr n);
   !n
+
+(* Fault-injection backdoor (roload-chaos): rewrite the leaf PTE of [va]
+   through an arbitrary transformation, bypassing the kernel's
+   mprotect/mprotect_key policy — this models in-memory PTE corruption
+   (rowhammer-style bit flips, a compromised DMA agent).  TLB copies are
+   untouched; the injector decides whether to also evict them. *)
+let tamper = update_page

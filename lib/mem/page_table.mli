@@ -30,6 +30,11 @@ val unmap_page : t -> va:int -> unit
 val set_perms : t -> va:int -> perms:Perm.t -> (unit, walk_error) result
 val set_key : t -> va:int -> key:int -> (unit, walk_error) result
 
+val tamper : t -> va:int -> f:(Pte.t -> Pte.t) -> (unit, walk_error) result
+(** Fault-injection backdoor (roload-chaos): rewrite the leaf PTE of
+    [va] through [f], bypassing kernel policy — models in-memory PTE
+    corruption.  Cached TLB copies are left untouched. *)
+
 val translate_exn : t -> int -> int
 (** Physical address for [va]; raises [Not_found] when unmapped. For
     kernel-side (non-checked) access. *)

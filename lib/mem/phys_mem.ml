@@ -59,3 +59,11 @@ let write_string t ~addr s =
 let fill t ~addr ~len byte =
   check t addr len;
   Bytes.fill t.data addr len byte
+
+(* Fault-injection backdoor (roload-chaos): invert one bit of the 64-bit
+   word at [addr], bypassing the MMU entirely — the DRAM-disturbance
+   model for flips inside read-only (key-protected) frames that no store
+   instruction could reach. *)
+let flip_bit t ~addr ~bit =
+  if bit < 0 || bit > 63 then invalid_arg "Phys_mem.flip_bit";
+  write_u64 t addr (Int64.logxor (read_u64 t addr) (Int64.shift_left 1L bit))

@@ -19,3 +19,8 @@ val write_u64 : t -> int -> int64 -> unit
 val read_string : t -> addr:int -> len:int -> string
 val write_string : t -> addr:int -> string -> unit
 val fill : t -> addr:int -> len:int -> char -> unit
+
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** Fault-injection backdoor (roload-chaos): invert bit [bit] (0..63) of
+    the 64-bit word at [addr], bypassing the MMU — the DRAM-disturbance
+    model for flips inside protected read-only frames. *)

@@ -79,6 +79,13 @@ let with_key t k =
   if k < 0 || k >= 1 lsl key_width then invalid_arg "Pte.with_key";
   Roload_util.Bits.insert t ~lo:key_lo ~width:key_width ~field:(Int64.of_int k)
 
+(* Fault-injection backdoor (roload-chaos): flip one bit of the key
+   field, as a stuck-at/soft-error model for the reserved top bits the
+   ROLoad key reuses.  Not used by any architectural path. *)
+let flip_key_bit t ~bit =
+  if bit < 0 || bit >= key_width then invalid_arg "Pte.flip_key_bit";
+  with_key t (key t lxor (1 lsl bit))
+
 let to_int64 t = t
 let of_int64 t = t
 

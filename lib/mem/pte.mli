@@ -26,6 +26,12 @@ val key : t -> int
 val perms : t -> Perm.t
 val with_perms : t -> Perm.t -> t
 val with_key : t -> int -> t
+
+val flip_key_bit : t -> bit:int -> t
+(** Fault-injection backdoor (roload-chaos): the PTE with bit [bit] of
+    its 10-bit key field inverted.  Raises [Invalid_argument] when [bit]
+    is outside the key field. *)
+
 val to_int64 : t -> int64
 val of_int64 : int64 -> t
 val to_string : t -> string

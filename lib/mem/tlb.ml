@@ -137,6 +137,19 @@ let insert_handle t ~vpn ~pte =
   insert t ~vpn ~pte;
   match peek t ~vpn with Some e -> e | None -> assert false
 
+(* Fault-injection backdoor (roload-chaos): mutate the cached leaf PTE of
+   the entry holding [vpn] in place, with no accounting whatsoever (no
+   clock tick, no stats, no recency) — this models a soft error striking
+   the TLB's key/permission bits while the entry stays resident.  Returns
+   whether an entry was corrupted; [false] means [vpn] is not currently
+   cached and the fault landed in thin air. *)
+let corrupt t ~vpn ~f =
+  match peek t ~vpn with
+  | Some e ->
+    e.pte <- f e.pte;
+    true
+  | None -> false
+
 (* Invalidate a single translation (used by mprotect/mprotect_key — an
    sfence.vma analogue). *)
 let invalidate t ~vpn =

@@ -41,6 +41,11 @@ val insert : t -> vpn:int -> pte:Pte.t -> unit
 val insert_handle : t -> vpn:int -> pte:Pte.t -> handle
 (** [insert] returning the handle of the entry written. *)
 
+val corrupt : t -> vpn:int -> f:(Pte.t -> Pte.t) -> bool
+(** Fault-injection backdoor (roload-chaos): mutate the cached PTE of the
+    entry holding [vpn] in place, with no accounting — a soft error
+    striking a resident TLB entry.  [false] when [vpn] is not cached. *)
+
 val invalidate : t -> vpn:int -> unit
 val flush : t -> unit
 val reset_stats : t -> unit

@@ -54,6 +54,8 @@ type t =
   | Fault_triage of { kind : string; pc : int }
       (* the kernel classified a trap (e.g. "roload" vs "segv") *)
   | Syscall of { number : int; name : string; ret : int }
+  | Injected of { kind : string; addr : int }
+      (* roload-chaos applied a fault at this address (class in [kind]) *)
 
 let name = function
   | Retired { cls; _ } -> "retire:" ^ inst_class_name cls
@@ -69,13 +71,14 @@ let name = function
   | Block_decode _ -> "block decode"
   | Fault_triage { kind; _ } -> "fault:" ^ kind
   | Syscall { name; _ } -> "syscall:" ^ name
+  | Injected { kind; _ } -> "inject:" ^ kind
 
 (* The lane each event renders on in trace viewers (Chrome's tid). *)
 let lane = function
   | Retired _ | Roload_issue _ | Roload_fault _ -> 1
   | Tlb_access _ | Cache_access _ -> 2
   | Block_enter _ | Block_decode _ -> 3
-  | Fault_triage _ | Syscall _ -> 4
+  | Fault_triage _ | Syscall _ | Injected _ -> 4
 
 let lane_name = function
   | 1 -> "cpu"
@@ -103,6 +106,7 @@ let args ev =
   | Fault_triage { kind; pc } -> [ ("kind", J.str kind); ("pc", hex pc) ]
   | Syscall { number; name; ret } ->
     [ ("number", J.int number); ("name", J.str name); ("ret", J.int ret) ]
+  | Injected { kind; addr } -> [ ("kind", J.str kind); ("addr", hex addr) ]
 
 let to_text_line ~ts ev =
   Printf.sprintf "%12Ld  %-16s  %s" ts (name ev)

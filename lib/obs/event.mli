@@ -35,6 +35,8 @@ type t =
   | Block_decode of { pa : int }
   | Fault_triage of { kind : string; pc : int }
   | Syscall of { number : int; name : string; ret : int }
+  | Injected of { kind : string; addr : int }
+      (** roload-chaos applied a fault at this address (class in [kind]) *)
 
 val name : t -> string
 val lane : t -> int

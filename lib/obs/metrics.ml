@@ -45,6 +45,9 @@ type t = {
   roload_faults_key : int; (* key mismatch on a read-only page *)
   roload_faults_ro : int; (* pointee page not R∧¬W∧¬X *)
   syscalls : int;
+  (* fault injection (roload-chaos); zero outside a campaign *)
+  injections : int; (* faults applied to this machine's state *)
+  dropped_writebacks : int; (* D-cache writebacks the campaign suppressed *)
   (* block engine only; zero under the single-step reference engine *)
   block_enters : int;
   block_hits : int;
@@ -80,6 +83,8 @@ let zero =
     roload_faults_key = 0;
     roload_faults_ro = 0;
     syscalls = 0;
+    injections = 0;
+    dropped_writebacks = 0;
     block_enters = 0;
     block_hits = 0;
     block_decodes = 0;
@@ -117,6 +122,8 @@ let core_equal a b =
   && a.roload_faults_key = b.roload_faults_key
   && a.roload_faults_ro = b.roload_faults_ro
   && a.syscalls = b.syscalls
+  && a.injections = b.injections
+  && a.dropped_writebacks = b.dropped_writebacks
 
 let fields m =
   let module J = Roload_util.Json in
@@ -148,6 +155,8 @@ let fields m =
     ("roload_faults_key", J.int m.roload_faults_key);
     ("roload_faults_ro", J.int m.roload_faults_ro);
     ("syscalls", J.int m.syscalls);
+    ("injections", J.int m.injections);
+    ("dropped_writebacks", J.int m.dropped_writebacks);
     ("block_enters", J.int m.block_enters);
     ("block_hits", J.int m.block_hits);
     ("block_decodes", J.int m.block_decodes);

@@ -31,6 +31,8 @@ type t = {
   roload_faults_key : int;
   roload_faults_ro : int;
   syscalls : int;
+  injections : int;  (** roload-chaos faults applied; zero outside a campaign *)
+  dropped_writebacks : int;  (** D-cache writebacks suppressed by roload-chaos *)
   block_enters : int;  (** block-engine only; zero under single-step *)
   block_hits : int;
   block_decodes : int;

@@ -23,4 +23,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -1,0 +1,317 @@
+(* roload-chaos tests: campaign acceptance, crash containment + bounded
+   retry, checkpoint/resume byte-identity, the empty-plan bit-identity
+   property, fuel exhaustion, and corpus reproducer replay. *)
+
+module Campaign = Roload_inject.Campaign
+module Fault = Roload_inject.Fault
+module Plan = Roload_inject.Plan
+module Chaos_victim = Roload_inject.Chaos_victim
+module Pass = Roload_passes.Pass
+module Machine = Roload_machine.Machine
+module Kernel = Roload_kernel.Kernel
+module Process = Roload_kernel.Process
+module System = Core.System
+module Metrics = Roload_obs.Metrics
+
+(* seed 3 at count 15 covers all six classes including both redirect
+   sinks, so every facet below has cells to assert on *)
+let small_config =
+  { Campaign.default_config with Campaign.seed = 3L; count = 15; jobs = Some 4 }
+
+(* one shared small campaign: several tests assert different facets *)
+let small_report = lazy (Campaign.run small_config)
+
+let rows_of rp ~cls ~scheme =
+  List.filter
+    (fun (r : Campaign.row) ->
+      String.equal r.Campaign.cls cls && String.equal r.Campaign.scheme scheme)
+    rp.Campaign.rows
+
+(* Acceptance: every PTE-key / RO-page / TLB tampering under a ROLoad
+   scheme is detected by the ld.ro machinery itself — 100%, no Masked,
+   no Silent. *)
+let test_tamper_detected_under_roload () =
+  let rp = Lazy.force small_report in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun cls ->
+          let rs = rows_of rp ~cls ~scheme in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s cells exist under %s" cls scheme)
+            true (rs <> []);
+          List.iter
+            (fun (r : Campaign.row) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s #%d under %s" cls r.Campaign.index scheme)
+                "detected-roload"
+                (match Campaign.verdict_of_row r with
+                | Some v -> Fault.verdict_name v
+                | None -> "failed"))
+            rs)
+        Campaign.tamper_classes)
+    [ "VCall"; "ICall" ]
+
+(* ... while the very same plan entries are consumed silently by the
+   stock system and the label-CFI baseline (Masked: keys are ignored). *)
+let test_tamper_masked_under_baselines () =
+  let rp = Lazy.force small_report in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun cls ->
+          List.iter
+            (fun (r : Campaign.row) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s #%d masked under %s" cls r.Campaign.index scheme)
+                true
+                (Campaign.verdict_of_row r = Some Fault.Masked))
+            (rows_of rp ~cls ~scheme))
+        Campaign.tamper_classes)
+    [ "none"; "CFI" ]
+
+(* The paper's motivating gap: some pointer redirect corrupts output
+   silently under stock and label-CFI, and never under a ROLoad scheme. *)
+let test_silent_corruption_split () =
+  let rp = Lazy.force small_report in
+  let silent scheme =
+    List.length
+      (List.filter
+         (fun (r : Campaign.row) ->
+           String.equal r.Campaign.scheme scheme
+           && Campaign.verdict_of_row r = Some Fault.Silent_corruption)
+         rp.Campaign.rows)
+  in
+  Alcotest.(check bool) "stock suffers silent corruption" true (silent "none" >= 1);
+  Alcotest.(check bool) "label CFI suffers silent corruption" true (silent "CFI" >= 1);
+  let g = Campaign.gate rp in
+  Alcotest.(check int) "zero silent under roload schemes" 0
+    g.Campaign.silent_under_roload;
+  Alcotest.(check int) "zero undetected tampering" 0 g.Campaign.undetected_tamper;
+  Alcotest.(check int) "zero cell failures" 0 g.Campaign.cell_failures;
+  Alcotest.(check bool) "oracle cross-check agreed" true
+    ((not rp.Campaign.oracle_checked) || rp.Campaign.oracle_agreed)
+
+(* Containment: a cell that keeps crashing becomes a structured failure
+   row (with the attempt count) and the rest of the campaign completes. *)
+let test_cell_failure_contained () =
+  let cfg =
+    {
+      small_config with
+      Campaign.count = 6;
+      attempts = 2;
+      sabotage =
+        Some
+          (fun ~index ~scheme:_ ~attempt:_ ->
+            if index = 2 then failwith "sabotaged cell");
+    }
+  in
+  let rp = Campaign.run cfg in
+  let failed, ok =
+    List.partition (fun (r : Campaign.row) -> r.Campaign.outcome = Campaign.Failed)
+      rp.Campaign.rows
+  in
+  Alcotest.(check bool) "sabotaged cells failed" true (failed <> []);
+  List.iter
+    (fun (r : Campaign.row) ->
+      Alcotest.(check int) "failure row names the sabotaged index" 2 r.Campaign.index;
+      Alcotest.(check int) "retried the configured number of times" 2
+        r.Campaign.attempts;
+      Alcotest.(check bool) "error text preserved" true
+        (String.length r.Campaign.detail > 0))
+    failed;
+  Alcotest.(check bool) "other cells completed" true (List.length ok > List.length failed)
+
+(* Bounded retry: a cell that crashes only on its first attempt succeeds
+   on the re-seeded second attempt and records attempts = 2. *)
+let test_cell_retry_recovers () =
+  let cfg =
+    {
+      small_config with
+      Campaign.count = 4;
+      attempts = 3;
+      sabotage =
+        Some
+          (fun ~index ~scheme:_ ~attempt ->
+            if index = 1 && attempt = 1 then failwith "flaky cell");
+    }
+  in
+  let rp = Campaign.run cfg in
+  let g = Campaign.gate rp in
+  Alcotest.(check int) "no failure rows" 0 g.Campaign.cell_failures;
+  let flaky =
+    List.filter (fun (r : Campaign.row) -> r.Campaign.index = 1) rp.Campaign.rows
+  in
+  Alcotest.(check bool) "flaky cells exist" true (flaky <> []);
+  List.iter
+    (fun (r : Campaign.row) ->
+      Alcotest.(check int) "second attempt succeeded" 2 r.Campaign.attempts)
+    flaky
+
+(* Checkpoint/resume: kill the campaign mid-run (max_cells), resume from
+   the checkpoint, and require the rendered report byte-identical to an
+   uninterrupted run. *)
+let test_resume_byte_identical () =
+  let ck = Filename.temp_file "roload-chaos" ".tsv" in
+  let cfg =
+    { small_config with Campaign.count = 8; seed = 7L; checkpoint = Some ck }
+  in
+  let partial =
+    Campaign.run { cfg with Campaign.max_cells = Some 11 }
+  in
+  Alcotest.(check bool) "partial run stopped early" true
+    (List.length partial.Campaign.rows = 11);
+  let resumed = Campaign.run { cfg with Campaign.resume = true } in
+  let fresh = Campaign.run { cfg with Campaign.checkpoint = None } in
+  Sys.remove ck;
+  Alcotest.(check string) "resumed report byte-identical to uninterrupted run"
+    (Campaign.render fresh) (Campaign.render resumed);
+  Alcotest.(check string) "resumed JSON byte-identical" (Campaign.to_json fresh)
+    (Campaign.to_json resumed)
+
+(* A campaign is deterministic in the job count. *)
+let test_jobs_invariant () =
+  let cfg = { small_config with Campaign.count = 4; seed = 3L } in
+  let j1 = Campaign.run { cfg with Campaign.jobs = Some 1 } in
+  let j4 = Campaign.run { cfg with Campaign.jobs = Some 4 } in
+  Alcotest.(check string) "-j1 equals -j4" (Campaign.render j1) (Campaign.render j4)
+
+(* The empty-plan property: pausing at any point and resuming, with no
+   injection applied, is bit-identical (status, output, cycles, full
+   metrics) to an uninterrupted run — on both engines. *)
+let test_empty_plan_bit_identity () =
+  let schemes = [ Pass.Unprotected; Pass.Vcall; Pass.Icall ] in
+  let exes = List.map (fun s -> (s, Campaign.compile_victim s)) schemes in
+  let budget = 10_000_000L in
+  let check engine (scheme, exe) permille =
+    let plain, pm = Campaign.measure ~engine ~max_instructions:budget exe in
+    let pause_at =
+      Int64.div (Int64.mul plain.Kernel.instructions (Int64.of_int permille)) 1000L
+    in
+    let paused, qm =
+      Campaign.measure ~engine ~max_instructions:budget ~pause_at exe
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "output (%s, %d permille)" (Pass.scheme_name scheme) permille)
+      plain.Kernel.output paused.Kernel.output;
+    Alcotest.(check bool) "status" true (plain.Kernel.status = paused.Kernel.status);
+    Alcotest.(check int64) "cycles" plain.Kernel.cycles paused.Kernel.cycles;
+    Alcotest.(check bool) "metrics" true (Metrics.core_equal pm qm)
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun se -> List.iter (check engine se) [ 1; 137; 500; 999 ])
+        exes)
+    [ Machine.Single_step; Machine.Block_cached ]
+
+(* qcheck flavor of the same property: arbitrary pause points. *)
+let prop_pause_identity =
+  let exe = lazy (Campaign.compile_victim Pass.Vcall) in
+  QCheck.Test.make ~name:"pause/resume at any point is bit-identical" ~count:25
+    QCheck.(pair (int_range 1 999) bool)
+    (fun (permille, block) ->
+      let exe = Lazy.force exe in
+      let engine = if block then Machine.Block_cached else Machine.Single_step in
+      let budget = 10_000_000L in
+      let plain, pm = Campaign.measure ~engine ~max_instructions:budget exe in
+      let pause_at =
+        let t =
+          Int64.div (Int64.mul plain.Kernel.instructions (Int64.of_int permille)) 1000L
+        in
+        if Int64.compare t 1L < 0 then 1L else t
+      in
+      let paused, qm = Campaign.measure ~engine ~max_instructions:budget ~pause_at exe in
+      plain.Kernel.status = paused.Kernel.status
+      && String.equal plain.Kernel.output paused.Kernel.output
+      && Int64.equal plain.Kernel.cycles paused.Kernel.cycles
+      && Metrics.core_equal pm qm)
+
+(* Fuel exhaustion: an infinite loop hits the cumulative instruction
+   budget and surfaces as the distinct Running ("fuel exhausted")
+   outcome — on both engines — rather than hanging or crashing. *)
+let test_fuel_exhaustion () =
+  let source = "int main() { int i = 0; while (i < 2) { i = i - i; } return 0; }" in
+  let exe =
+    Core.Toolchain.compile_exe ~name:"chaos-spin" source
+  in
+  List.iter
+    (fun engine ->
+      let m =
+        System.run ~engine ~max_instructions:50_000L
+          ~variant:System.Processor_kernel_modified exe
+      in
+      (match m.System.status with
+      | Process.Running -> ()
+      | _ -> Alcotest.fail "expected the watchdog to report fuel exhaustion");
+      Alcotest.(check bool) "ran exactly to the budget" true
+        (Int64.compare m.System.instructions 50_000L >= 0);
+      Alcotest.(check string) "distinct status string" "running (instruction limit hit)"
+        (System.status_string m))
+    [ Machine.Single_step; Machine.Block_cached ];
+  (* and the campaign classifies a still-running cell as divergent, not
+     as detection *)
+  let baseline =
+    { Kernel.status = Process.Exited 0; instructions = 1000L; cycles = 1000L;
+      peak_kib = 0; output = "x\n" }
+  in
+  let hung = { baseline with Kernel.status = Process.Running } in
+  Alcotest.(check string) "watchdog verdict" "divergent-output"
+    (Fault.verdict_name (fst (Campaign.classify ~baseline hung)))
+
+(* Plans are seeded and prefix-stable. *)
+let test_plan_determinism () =
+  let a = Plan.build ~seed:42L ~count:30 in
+  let b = Plan.build ~seed:42L ~count:30 in
+  Alcotest.(check bool) "equal seeds, equal plans" true (a = b);
+  let prefix = Plan.build ~seed:42L ~count:10 in
+  Alcotest.(check bool) "shorter plan is a prefix" true
+    (prefix = List.filteri (fun i _ -> i < 10) a);
+  let c = Plan.build ~seed:43L ~count:30 in
+  Alcotest.(check bool) "different seeds differ" true (a <> c)
+
+(* Every pinned reproducer in corpus/ must still replay to its recorded
+   verdicts. *)
+let corpus_dir = "../corpus"
+
+let test_corpus_replay () =
+  let entries =
+    if Sys.file_exists corpus_dir then
+      Sys.readdir corpus_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".chaos")
+      |> List.sort compare
+    else []
+  in
+  Alcotest.(check bool) "chaos corpus present" true (List.length entries >= 2);
+  List.iter
+    (fun entry ->
+      let checks = Campaign.replay ~path:(Filename.concat corpus_dir entry) in
+      List.iter
+        (fun (c : Campaign.replay_check) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s" entry c.Campaign.rc_scheme)
+            c.Campaign.rc_expected c.Campaign.rc_actual)
+        checks)
+    entries
+
+let suite =
+  [
+    Alcotest.test_case "tampering detected 100% under roload" `Slow
+      test_tamper_detected_under_roload;
+    Alcotest.test_case "tampering masked under baselines" `Slow
+      test_tamper_masked_under_baselines;
+    Alcotest.test_case "silent corruption only under baselines" `Slow
+      test_silent_corruption_split;
+    Alcotest.test_case "cell failure contained" `Quick test_cell_failure_contained;
+    Alcotest.test_case "bounded retry recovers flaky cell" `Quick
+      test_cell_retry_recovers;
+    Alcotest.test_case "resume is byte-identical" `Slow test_resume_byte_identical;
+    Alcotest.test_case "-j1 equals -j4" `Quick test_jobs_invariant;
+    Alcotest.test_case "empty plan is bit-identical" `Quick test_empty_plan_bit_identity;
+    Seeded.to_alcotest prop_pause_identity;
+    Alcotest.test_case "fuel exhaustion is a distinct outcome" `Quick
+      test_fuel_exhaustion;
+    Alcotest.test_case "plans are seeded and prefix-stable" `Quick
+      test_plan_determinism;
+    Alcotest.test_case "corpus reproducers replay" `Slow test_corpus_replay;
+  ]

@@ -63,6 +63,48 @@ let test_ablation_tables () =
       (String.length without_sc > 7 && String.sub without_sc 0 7 = "SIGSEGV")
   | _ -> Alcotest.fail "unexpected ablation table shape"
 
+(* Satellite (roload-chaos): a worker-domain exception re-raised by
+   Parallel.map must carry the worker's original backtrace — the frames
+   must still name this file, not just the re-raise site in the pool. *)
+let boom_cell x = if x = 2 then failwith "boom from worker" else x
+
+let test_parallel_backtrace_preserved () =
+  Printexc.record_backtrace true;
+  List.iter
+    (fun jobs ->
+      match Core.Parallel.map ~jobs boom_cell [ 0; 1; 2; 3 ] with
+      | _ -> Alcotest.fail "expected the worker exception to re-raise"
+      | exception Failure msg ->
+        let bt = Printexc.get_raw_backtrace () in
+        Alcotest.(check string) "worker exception re-raised" "boom from worker" msg;
+        Alcotest.(check bool)
+          (Printf.sprintf "-j%d: backtrace nonempty" jobs)
+          true
+          (Printexc.raw_backtrace_length bt > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "-j%d: backtrace names the raising cell" jobs)
+          true
+          (let s = Printexc.raw_backtrace_to_string bt in
+           let contains hay needle =
+             let n = String.length needle in
+             let rec go i =
+               i + n <= String.length hay
+               && (String.sub hay i n = needle || go (i + 1))
+             in
+             go 0
+           in
+           contains s "test_experiments"))
+    [ 1; 4 ]
+
+(* The exception barrier itself: failures land in their slot, successes
+   are unaffected. *)
+let test_map_result_barrier () =
+  let r = Core.Parallel.map_result ~jobs:4 boom_cell [ 0; 1; 2; 3 ] in
+  match r with
+  | [ Ok 0; Ok 1; Error (Failure m, _); Ok 3 ] ->
+    Alcotest.(check string) "error in its slot" "boom from worker" m
+  | _ -> Alcotest.fail "unexpected map_result shape"
+
 let suite =
   [
     Alcotest.test_case "tables 1 & 2" `Quick test_table1_table2;
@@ -71,4 +113,7 @@ let suite =
     Alcotest.test_case "figure 3 shape" `Slow test_figure3_shape;
     Alcotest.test_case "figures 4/5 shape" `Slow test_figure45_shape;
     Alcotest.test_case "ablations" `Slow test_ablation_tables;
+    Alcotest.test_case "parallel map preserves backtraces" `Quick
+      test_parallel_backtrace_preserved;
+    Alcotest.test_case "map_result exception barrier" `Quick test_map_result_barrier;
   ]
