@@ -25,7 +25,7 @@ module Campaign = Roload_inject.Campaign
 module Pass = Roload_passes.Pass
 
 let run seed count schemes jobs json checkpoint resume attempts fail_cell max_cells
-    replay =
+    replay elide =
   match replay with
   | Some path ->
     let checks = Campaign.replay ~path in
@@ -76,6 +76,7 @@ let run seed count schemes jobs json checkpoint resume attempts fail_cell max_ce
           resume;
           sabotage;
           max_cells;
+          elide;
         }
     in
     print_string (Campaign.render report);
@@ -158,12 +159,20 @@ let replay_arg =
            ~doc:"Re-run a pinned corpus reproducer and compare verdicts instead of \
                  running a campaign.")
 
+let elide_arg =
+  Arg.(value
+       & flag
+       & info [ "elide" ]
+           ~doc:"Compile every victim with proof-guided ld.ro check elision \
+                 (roload-prove + roload-elide); the detection-coverage table must be \
+                 byte-identical to the unelided campaign.")
+
 let cmd =
   Cmd.v
     (Cmd.info "roload_chaos"
        ~doc:"Seeded fault-injection campaign with crash containment and resume")
     Term.(const run $ seed_arg $ count_arg $ scheme_arg $ jobs_arg $ json_arg
           $ checkpoint_arg $ resume_arg $ attempts_arg $ fail_cell_arg $ max_cells_arg
-          $ replay_arg)
+          $ replay_arg $ elide_arg)
 
 let () = exit (Cmd.eval cmd)

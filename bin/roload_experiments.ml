@@ -1,7 +1,7 @@
 (* roload_experiments — regenerate any table or figure of the paper.
 
    Usage: roload_experiments [table1|table2|table3|section5b|figure3|
-                              figure4|figure5|security|ablations|all]
+                              figure4|figure5|security|elide|ablations|all]
                              [--scale N] [-j N] [--json PATH]
                              [--baseline PATH] [--metrics [PATH]]
                              [--check-cycles PATH]
@@ -42,6 +42,8 @@ let run_one ~scale ~metrics name =
   | "security" ->
     print_table (Core.Experiments.security ()).Core.Experiments.table;
     print_table (Core.Experiments.related_work_table ())
+  | "elide" ->
+    print_table (Core.Experiments.experiment_elide ~scale ()).Core.Experiments.el_table
   | "ablations" ->
     print_table (Core.Experiments.ablation_compressed ());
     print_table (Core.Experiments.ablation_keys ());
@@ -72,7 +74,7 @@ let run names scale jobs json baseline metrics check_cycles =
     match names with
     | [] | [ "all" ] ->
       [ "table1"; "table2"; "table3"; "section5b"; "figure3"; "figure45"; "security";
-        "ablations" ]
+        "elide"; "ablations" ]
     | names -> names
   in
   let entries = ref [] in

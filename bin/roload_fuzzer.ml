@@ -29,15 +29,7 @@ let stop_line scheme (b : Ir_eval.behavior) =
 let expected_lines behaviors =
   String.concat "" (List.map (fun (s, b) -> stop_line s b ^ "\n") behaviors)
 
-let json_escape s = String.concat "" (List.map (fun c ->
-    match c with
-    | '"' -> "\\\""
-    | '\\' -> "\\\\"
-    | '\n' -> "\\n"
-    | '\t' -> "\\t"
-    | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
-    | c -> String.make 1 c)
-  (List.init (String.length s) (String.get s)))
+let json_escape = Roload_util.Json.escape
 
 type tally = {
   mutable cases : int;
@@ -104,9 +96,16 @@ let report_json t ~seed ~elapsed =
     (String.concat ",\n" (List.rev_map fail_json t.failures))
 
 let fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir ~sabotage
-    ~stop_on_divergence =
+    ~stop_on_divergence ~elide ~matrix =
   let rng = Prng.create seed in
   let t = { cases = 0; agreed = 0; skipped = 0; divergent = 0; failures = [] } in
+  (* the per-case outcome matrix: one deterministic, timing-free line per
+     case, so two campaigns (e.g. elided vs unelided builds) can be
+     compared byte-for-byte *)
+  let matrix_lines = ref [] in
+  let record_matrix case_seed outcome =
+    if matrix <> None then matrix_lines := Printf.sprintf "%Ld\t%s" case_seed outcome :: !matrix_lines
+  in
   let t0 = Unix.gettimeofday () in
   let within_budget () =
     match time_budget with
@@ -124,15 +123,20 @@ let fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir ~sabota
     let prog = Gen.generate ~seed:case_seed ~size:case_size in
     t.cases <- t.cases + 1;
     (match
-       Diff.run_source ~schemes ?sabotage ~name:"fuzz" (Gen.to_source prog)
+       Diff.run_source ~schemes ~elide ?sabotage ~name:"fuzz" (Gen.to_source prog)
      with
-    | Diff.Agree _ -> t.agreed <- t.agreed + 1
+    | Diff.Agree _ ->
+      t.agreed <- t.agreed + 1;
+      record_matrix case_seed "agree"
     | Diff.Skipped r ->
       t.skipped <- t.skipped + 1;
+      record_matrix case_seed ("skip\t" ^ r);
       if not json then
         Printf.printf "case %d seed=%Ld: skipped (%s)\n%!" !i case_seed r
     | Diff.Divergent d ->
       t.divergent <- t.divergent + 1;
+      record_matrix case_seed
+        (Printf.sprintf "divergent\t%s\t%s" (scheme_name d.Diff.dv_scheme) d.Diff.dv_stage);
       let repro =
         if sabotage = None then begin
           let shrunk = shrink_failure ~schemes prog d in
@@ -151,6 +155,11 @@ let fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir ~sabota
         t.agreed t.skipped t.divergent
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
+  (match matrix with
+  | None -> ()
+  | Some path ->
+    write_file path (String.concat "" (List.rev_map (fun l -> l ^ "\n") !matrix_lines));
+    if not json then Printf.printf "matrix written to %s\n" path);
   if json then report_json t ~seed ~elapsed
   else
     Printf.printf "%d cases in %.1fs: %d agreed, %d skipped, %d divergent (seed %Ld)\n"
@@ -239,7 +248,7 @@ let replay ~json path =
     end
 
 let main seed count time_budget scheme_opt size json check_oracle corpus_dir
-    replay_path distill_want =
+    replay_path distill_want elide matrix =
   let schemes =
     match scheme_opt with
     | None -> Diff.schemes_under_test
@@ -265,7 +274,8 @@ let main seed count time_budget scheme_opt size json check_oracle corpus_dir
       in
       let t =
         fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir
-          ~sabotage:(Some Diff.sabotage_drop_gfpt) ~stop_on_divergence:true
+          ~sabotage:(Some Diff.sabotage_drop_gfpt) ~stop_on_divergence:true ~elide
+          ~matrix
       in
       if t.divergent > 0 then begin
         if not json then
@@ -282,7 +292,7 @@ let main seed count time_budget scheme_opt size json check_oracle corpus_dir
     else begin
       let t =
         fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir
-          ~sabotage:None ~stop_on_divergence:false
+          ~sabotage:None ~stop_on_divergence:false ~elide ~matrix
       in
       exit (if t.divergent > 0 then 1 else 0)
     end
@@ -316,12 +326,27 @@ let distill_arg =
 let replay_arg =
   Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE.mc" ~doc:"Differentially re-check one MiniC file (compared against FILE.expected when present).")
 
+let elide_arg =
+  Arg.(value & flag
+       & info [ "elide" ]
+           ~doc:"Compile every case with proof-guided ld.ro check elision (roload-prove + \
+                 roload-elide); the oracle is unchanged, so any behavioral effect of the \
+                 rewrite surfaces as a divergence.")
+
+let matrix_arg =
+  Arg.(value & opt (some string) None
+       & info [ "matrix" ] ~docv:"PATH"
+           ~doc:"Write a deterministic, timing-free per-case outcome matrix (one \
+                 seed/outcome line per case) to PATH — byte-comparable across campaigns, \
+                 e.g. --elide vs plain.")
+
 let cmd =
   let doc = "differential conformance fuzzing with a reference IR interpreter oracle" in
   Cmd.v
     (Cmd.info "roload-fuzz" ~doc)
     Term.(
       const main $ seed_arg $ count_arg $ budget_arg $ scheme_arg $ size_arg
-      $ json_arg $ check_oracle_arg $ corpus_arg $ replay_arg $ distill_arg)
+      $ json_arg $ check_oracle_arg $ corpus_arg $ replay_arg $ distill_arg
+      $ elide_arg $ matrix_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,160 @@
+(* Whole-program callgraph for roload-prove.
+
+   Direct edges come straight from [Call] sites.  Indirect and virtual
+   edges are resolved *type-based*: an indirect call of signature S can
+   reach any address-taken function of signature S (paper §IV-B's
+   type-based equivalence classes — the same classes the ICall pass uses
+   to populate the GFPT), and a virtual call on class C at slot i can
+   reach slot i of any vtable rooted at C's hierarchy root.  The prover
+   additionally narrows indirect targets with flow information at each
+   site; the type-based sets here are the sound fallback and what orders
+   the bottom-up summary fixpoint. *)
+
+module Ir = Roload_ir.Ir
+
+let builtins = [ "exit"; "print_char"; "print_str"; "print_int"; "alloc" ]
+let is_gfpt name = String.starts_with ~prefix:"__gfpt$" name
+
+type t = {
+  cg_funcs : string list;  (* module functions, definition order *)
+  cg_edges : (string, string list) Hashtbl.t;  (* caller -> possible callees *)
+  cg_address_taken : string list;
+}
+
+(* Functions whose address escapes into data or operands: [Func_addr]
+   anywhere, or a [G_func] initializer word in any global (GFPT entries
+   and vtables included — their slots are exactly what indirect and
+   virtual calls load). *)
+let address_taken (m : Ir.modul) =
+  let acc = ref [] in
+  let remember f = if not (List.mem f !acc) then acc := f :: !acc in
+  let value = function Ir.Func_addr f -> remember f | Ir.Temp _ | Ir.Const _ | Ir.Global _ -> () in
+  List.iter
+    (fun fn ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Bin (_, _, a, b) ->
+                value a;
+                value b
+              | Ir.Load { addr; _ } -> value addr
+              | Ir.Store { src; addr; _ } ->
+                value src;
+                value addr
+              | Ir.Lea_frame _ -> ()
+              | Ir.Call { args; _ } -> List.iter value args
+              | Ir.Call_indirect { callee; args; _ } ->
+                value callee;
+                List.iter value args
+              | Ir.Vcall { obj; args; _ } ->
+                value obj;
+                List.iter value args)
+            b.Ir.b_instrs;
+          match b.Ir.b_term with
+          | Ir.Ret (Some v) -> value v
+          | Ir.Ret None | Ir.Br _ | Ir.Cbr _ | Ir.Halt -> ())
+        fn.Ir.f_blocks)
+    m.Ir.m_funcs;
+  List.iter
+    (fun (g : Ir.global) ->
+      List.iter
+        (function Ir.G_func f -> remember f | Ir.G_int _ | Ir.G_global _ -> ())
+        g.Ir.g_init)
+    m.Ir.m_globals;
+  List.rev !acc
+
+(* Address-taken functions whose type matches [sig_id]. *)
+let targets_by_sig (m : Ir.modul) sig_id =
+  let taken = address_taken m in
+  List.filter
+    (fun f ->
+      List.mem f.Ir.f_name taken && Ir.signature_id f.Ir.f_sig = sig_id)
+    m.Ir.m_funcs
+  |> List.map (fun f -> f.Ir.f_name)
+
+(* Slot [slot] of every vtable sharing [class_name]'s hierarchy root —
+   the same resolution the reference interpreter uses. *)
+let vcall_targets (m : Ir.modul) ~class_name ~slot =
+  match List.find_opt (fun vt -> vt.Ir.vt_class = class_name) m.Ir.m_vtables with
+  | None -> []
+  | Some vt ->
+    List.filter_map
+      (fun cand ->
+        if cand.Ir.vt_root = vt.Ir.vt_root then List.nth_opt cand.Ir.vt_methods slot
+        else None)
+      m.Ir.m_vtables
+
+(* GFPT entries point at exactly one function; an operand that abstracts
+   to such a global resolves to that function. *)
+let gfpt_target (m : Ir.modul) name =
+  if not (is_gfpt name) then None
+  else
+    match Ir.find_global m name with
+    | Some { Ir.g_init = [ Ir.G_func f ]; _ } -> Some f
+    | Some _ | None -> None
+
+let build (m : Ir.modul) =
+  let edges = Hashtbl.create 16 in
+  let names = List.map (fun f -> f.Ir.f_name) m.Ir.m_funcs in
+  List.iter
+    (fun fn ->
+      let callees = ref [] in
+      let add c = if List.mem c names && not (List.mem c !callees) then callees := c :: !callees in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Call { callee; _ } -> add callee
+              | Ir.Call_indirect { sig_id; _ } -> List.iter add (targets_by_sig m sig_id)
+              | Ir.Vcall { class_name; slot; _ } ->
+                List.iter add (vcall_targets m ~class_name ~slot)
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ -> ())
+            b.Ir.b_instrs)
+        fn.Ir.f_blocks;
+      Hashtbl.replace edges fn.Ir.f_name (List.rev !callees))
+    m.Ir.m_funcs;
+  { cg_funcs = names; cg_edges = edges; cg_address_taken = address_taken m }
+
+let callees t f = Option.value (Hashtbl.find_opt t.cg_edges f) ~default:[]
+
+(* Tarjan's SCC algorithm.  Components pop callee-first, which is
+   exactly the bottom-up order the summary fixpoint wants. *)
+let bottom_up t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) t.cg_funcs;
+  List.rev !sccs

@@ -1,0 +1,34 @@
+(** Whole-program callgraph for roload-prove: direct edges from [Call]
+    sites, indirect/virtual edges resolved type-based (address-taken
+    functions per signature class; vtable slots per hierarchy root). *)
+
+module Ir = Roload_ir.Ir
+
+val builtins : string list
+(** Runtime entry points the prover models directly instead of through
+    summaries ([alloc], the print family, [exit]). *)
+
+type t = {
+  cg_funcs : string list;  (** module functions, definition order *)
+  cg_edges : (string, string list) Hashtbl.t;  (** caller -> callees *)
+  cg_address_taken : string list;
+}
+
+val address_taken : Ir.modul -> string list
+(** Functions whose address escapes: [Func_addr] operands or [G_func]
+    initializer words (GFPT entries and vtables included). *)
+
+val targets_by_sig : Ir.modul -> string -> string list
+(** Address-taken functions in the given type-based signature class. *)
+
+val vcall_targets : Ir.modul -> class_name:string -> slot:int -> string list
+(** Slot [slot] of every vtable sharing the class's hierarchy root. *)
+
+val gfpt_target : Ir.modul -> string -> string option
+(** The single function a GFPT entry global points at, if [name] is one. *)
+
+val build : Ir.modul -> t
+val callees : t -> string -> string list
+
+val bottom_up : t -> string list list
+(** Strongly-connected components in callee-first order. *)

@@ -7,12 +7,13 @@
    Reports render either as text (one finding per line plus a summary) or
    as JSON for tooling. *)
 
-type layer = Ir_completeness | Key_dataflow | Machine_check
+type layer = Ir_completeness | Key_dataflow | Machine_check | Prove
 
 let layer_name = function
   | Ir_completeness -> "ir"
   | Key_dataflow -> "dataflow"
   | Machine_check -> "machine"
+  | Prove -> "prove"
 
 type t = {
   layer : layer;
@@ -37,26 +38,15 @@ let report_to_string ds =
     List.iter (fun d -> Buffer.add_string b (to_string d ^ "\n")) ds;
     let count l = List.length (List.filter (fun d -> d.layer = l) ds) in
     Buffer.add_string b
-      (Printf.sprintf "lint: %d finding%s (ir: %d, dataflow: %d, machine: %d)\n"
+      (Printf.sprintf "lint: %d finding%s (ir: %d, dataflow: %d, machine: %d, prove: %d)\n"
          (List.length ds)
          (if List.length ds = 1 then "" else "s")
-         (count Ir_completeness) (count Key_dataflow) (count Machine_check));
+         (count Ir_completeness) (count Key_dataflow) (count Machine_check) (count Prove));
     Buffer.contents b
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON escaping is shared with the metrics/bench writers (PR 4's
+   [Roload_util.Json]) so lint JSON and metrics JSON escape identically. *)
+let json_escape = Roload_util.Json.escape
 
 let to_json d =
   Printf.sprintf {|{"layer":"%s","code":"%s","site":"%s","message":"%s"}|}

@@ -6,9 +6,10 @@ type layer =
   | Ir_completeness  (** layer 1: IR protection-completeness *)
   | Key_dataflow  (** layer 2: key-consistency dataflow / ro-store lint *)
   | Machine_check  (** layer 3: disassembly & loader cross-check *)
+  | Prove  (** whole-program interprocedural prover (roload-prove) *)
 
 val layer_name : layer -> string
-(** ["ir"], ["dataflow"] or ["machine"]. *)
+(** ["ir"], ["dataflow"], ["machine"] or ["prove"]. *)
 
 type t = { layer : layer; code : string; site : string; message : string }
 

@@ -34,7 +34,7 @@ let annotation_keys (m : Ir.modul) =
   let remember k = if not (List.mem k !keys) then keys := k :: !keys in
   iter_instrs m ~f:(fun ~site:_ i ->
       match i with
-      | Ir.Load { md = { Ir.roload_key = Some k }; _ } -> remember k
+      | Ir.Load { md = { Ir.roload_key = Some k; _ }; _ } -> remember k
       | Ir.Call_indirect { md = { Ir.ic_roload_key = Some k; _ }; _ } -> remember k
       | Ir.Vcall { md = { Ir.vc_roload_key = Some k; _ }; _ } -> remember k
       | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
@@ -66,9 +66,18 @@ let run ~scheme (m : Ir.modul) =
             k Ext.max_key
         | Some _ | None -> ()
       in
+      let check_elided what ~elided key =
+        if elided && key = None then
+          diag ~code:"elided-without-key" ~site
+            "%s marked elided but carries no roload key to elide" what
+      in
       match i with
-      | Ir.Load { md; _ } -> check_key "load" md.Ir.roload_key
-      | Ir.Call_indirect { md; _ } -> check_key "indirect call" md.Ir.ic_roload_key
+      | Ir.Load { md; _ } ->
+        check_key "load" md.Ir.roload_key;
+        check_elided "load" ~elided:md.Ir.ro_elided md.Ir.roload_key
+      | Ir.Call_indirect { md; _ } ->
+        check_key "indirect call" md.Ir.ic_roload_key;
+        check_elided "indirect call" ~elided:md.Ir.ic_elided md.Ir.ic_roload_key
       | Ir.Vcall { md; _ } -> check_key "virtual call" md.Ir.vc_roload_key
       | Ir.Bin _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _ -> ());
   List.iter
@@ -82,7 +91,7 @@ let run ~scheme (m : Ir.modul) =
   | Pass.Unprotected ->
     iter_instrs m ~f:(fun ~site i ->
         match i with
-        | Ir.Load { md = { Ir.roload_key = Some k }; _ }
+        | Ir.Load { md = { Ir.roload_key = Some k; _ }; _ }
         | Ir.Call_indirect { md = { Ir.ic_roload_key = Some k; _ }; _ }
         | Ir.Vcall { md = { Ir.vc_roload_key = Some k; _ }; _ } ->
           diag ~code:"unexpected-annotation" ~site

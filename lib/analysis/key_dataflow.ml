@@ -135,7 +135,7 @@ let check_func (m : Ir.modul) (f : Ir.func) ~add =
         List.iter
           (fun i ->
             (match i with
-            | Ir.Load { addr; md = { Ir.roload_key = Some k }; _ } ->
+            | Ir.Load { addr; md = { Ir.roload_key = Some k; _ }; _ } ->
               check_keyed ~site ~what:"load" st addr k
             | Ir.Call_indirect { callee; md = { Ir.ic_roload_key = Some k; _ }; _ } ->
               check_keyed ~site ~what:"indirect call" st callee k
@@ -152,3 +152,87 @@ let run (m : Ir.modul) =
   let add d = ds := d :: !ds in
   List.iter (fun f -> check_func m f ~add) m.Ir.m_funcs;
   List.rev !ds
+
+(* ---------- call-boundary escapes ----------
+
+   The transfer function above deliberately havocs at every call: a
+   callee may stash an argument anywhere, so the intraprocedural domain
+   cannot track it further.  Historically that loss was silent.  Each
+   such point is now *reported* as an escape — a keyed pointee crossing
+   a function boundary (as a call argument, a virtual-call receiver, or
+   a return value) where layer 2's precision ends and only the
+   whole-program prover (roload-prove) can pick the fact back up.
+   Escapes are informational, not findings: passing a GFPT entry to a
+   callee is exactly how hardened code is supposed to look. *)
+
+type escape_kind = Arg of int | Receiver | Ret
+
+type escape = {
+  esc_site : string;  (* func/block *)
+  esc_kind : escape_kind;
+  esc_callee : string;  (* callee description *)
+  esc_global : string;  (* the keyed global escaping *)
+  esc_key : int;
+}
+
+let escape_to_string e =
+  let kind =
+    match e.esc_kind with
+    | Arg i -> Printf.sprintf "argument %d of %s" i e.esc_callee
+    | Receiver -> Printf.sprintf "receiver of %s" e.esc_callee
+    | Ret -> "return value"
+  in
+  Printf.sprintf "%s: @%s (key %d) escapes as %s" e.esc_site e.esc_global e.esc_key kind
+
+let escapes (m : Ir.modul) =
+  let acc = ref [] in
+  let keyed_targets st v =
+    match P.targets (eval st v) with
+    | None -> []
+    | Some ts ->
+      List.filter_map
+        (function
+          | P.Global g -> Option.map (fun k -> (g, k)) (P.global_roload_key m g)
+          | P.Frame | P.Func _ -> None)
+        ts
+  in
+  let record ~site ~callee kind (g, k) =
+    acc :=
+      { esc_site = site; esc_kind = kind; esc_callee = callee; esc_global = g; esc_key = k }
+      :: !acc
+  in
+  List.iter
+    (fun (f : Ir.func) ->
+      let states = block_entry_states f in
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt states b.Ir.b_label with
+          | None -> ()
+          | Some entry_st ->
+            let st = Array.copy entry_st in
+            let site = Printf.sprintf "%s/%s" f.Ir.f_name b.Ir.b_label in
+            let args_of ~callee args =
+              List.iteri
+                (fun i a -> List.iter (record ~site ~callee (Arg i)) (keyed_targets st a))
+                args
+            in
+            List.iter
+              (fun i ->
+                (match i with
+                | Ir.Call { callee; args; _ } -> args_of ~callee args
+                | Ir.Call_indirect { args; sig_id; _ } ->
+                  args_of ~callee:(Printf.sprintf "icall[%s]" sig_id) args
+                | Ir.Vcall { obj; args; class_name; slot; _ } ->
+                  let callee = Printf.sprintf "vcall %s[%d]" class_name slot in
+                  List.iter (record ~site ~callee Receiver) (keyed_targets st obj);
+                  args_of ~callee args
+                | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ -> ());
+                transfer st i)
+              b.Ir.b_instrs;
+            (match b.Ir.b_term with
+            | Ir.Ret (Some v) ->
+              List.iter (record ~site ~callee:f.Ir.f_name Ret) (keyed_targets st v)
+            | Ir.Ret None | Ir.Br _ | Ir.Cbr _ | Ir.Halt -> ()))
+        f.Ir.f_blocks)
+    m.Ir.m_funcs;
+  List.rev !acc

@@ -3,6 +3,52 @@
     indirect calls whose address provably cannot reach a pointee in a
     read-only section with the annotated key, and (b) stores whose
     address provably resolves to a read-only (in particular keyed)
-    global. *)
+    global.
+
+    {2 The precision ladder}
+
+    The static verifier trades precision for cost in three rungs:
+
+    + {!Pointee} (this layer): per-function, no memory model — every
+      load and every call boundary collapses to Top, so reports are
+      definite but the analysis is blind across functions.  What it
+      loses at call boundaries is no longer lost {e silently}: {!escapes}
+      reports each keyed pointee that crosses one.
+    + {!Absval}/{!Prove} (roload-prove): whole-program, with abstract
+      memory (per-global contents, collapsed stack and heap) and
+      bottom-up function {!Summary}s — it picks up exactly the escapes
+      this layer reports and follows them through callees.
+    + The dynamic check itself ([ld.ro]): anything neither layer can
+      decide is still protected at run time by the keyed load.
+
+    Every rung only {e reports} what it can prove; unknowns fall through
+    to the next rung rather than becoming noise. *)
 
 val run : Roload_ir.Ir.modul -> Diagnostic.t list
+
+(** {2 Call-boundary escapes}
+
+    An escape marks a point where a keyed pointee (a GFPT entry, a
+    vtable) flows across a function boundary and out of this layer's
+    intraprocedural domain.  Escapes are informational — hardened code
+    passes keyed pointees around by design — and are the hand-off points
+    the whole-program prover discharges. *)
+
+type escape_kind =
+  | Arg of int  (** call argument at this position *)
+  | Receiver  (** virtual-call receiver *)
+  | Ret  (** function return value *)
+
+type escape = {
+  esc_site : string;  (** [func/block] *)
+  esc_kind : escape_kind;
+  esc_callee : string;  (** callee description *)
+  esc_global : string;  (** the keyed global escaping *)
+  esc_key : int;
+}
+
+val escape_to_string : escape -> string
+
+val escapes : Roload_ir.Ir.modul -> escape list
+(** All call-boundary escapes of keyed pointees in the module, in
+    program order. *)

@@ -60,8 +60,9 @@ let expected_key_counts (m : Ir.modul) =
           List.iter
             (fun i ->
               match i with
-              | Ir.Load { md = { Ir.roload_key = Some k }; _ } -> bump tbl k
-              | Ir.Call_indirect { md = { Ir.ic_roload_key = Some k; _ }; _ } -> bump tbl k
+              | Ir.Load { md = { Ir.roload_key = Some k; ro_elided = false }; _ } -> bump tbl k
+              | Ir.Call_indirect { md = { Ir.ic_roload_key = Some k; ic_elided = false; _ }; _ }
+                -> bump tbl k
               | Ir.Vcall { md = { Ir.vc_roload_key = Some k; _ }; _ } -> bump tbl k
               | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
               | Ir.Call_indirect _ | Ir.Vcall _ ->

@@ -1,7 +1,12 @@
 (** The abstract pointee domain shared by the lint layers: per-value sets
     of objects an address can refer to, with [Top] meaning "unknown"
     (which suppresses diagnostics — reports are definite, never
-    may-alias guesses). *)
+    may-alias guesses).
+
+    This is the bottom rung of the precision ladder (see
+    [key_dataflow.mli]): no memory model, so loads and call boundaries
+    collapse to [Top].  The whole-program prover's {!Absval} domain
+    refines it with abstract memory and function summaries. *)
 
 type target = Global of string | Frame | Func of string
 

@@ -1,0 +1,41 @@
+(* Function summaries for roload-prove's bottom-up fixpoint: the join of
+   every abstract argument a function has been observed to receive, and
+   the join of every abstract value it can return.  Summaries only grow
+   (the domain is finite), so iterating the per-function analysis until
+   no summary changes terminates. *)
+
+type t = { mutable s_params : Absval.t array; mutable s_ret : Absval.t }
+
+let create ~nparams =
+  { s_params = Array.make nparams Absval.bottom; s_ret = Absval.bottom }
+
+(* Join an argument vector in; returns whether anything grew.  A caller
+   passing fewer arguments than the summary has parameters (or more)
+   only joins the shared prefix — the verifier rejects such modules, but
+   the prover must not crash before it gets the chance. *)
+let join_args t args =
+  let grew = ref false in
+  List.iteri
+    (fun i av ->
+      if i < Array.length t.s_params then begin
+        let j = Absval.join t.s_params.(i) av in
+        if not (Absval.equal j t.s_params.(i)) then begin
+          t.s_params.(i) <- j;
+          grew := true
+        end
+      end)
+    args;
+  !grew
+
+let join_ret t av =
+  let j = Absval.join t.s_ret av in
+  if Absval.equal j t.s_ret then false
+  else begin
+    t.s_ret <- j;
+    true
+  end
+
+let to_string ~name t =
+  Printf.sprintf "%s(%s) -> %s" name
+    (String.concat ", " (Array.to_list (Array.map Absval.to_string t.s_params)))
+    (Absval.to_string t.s_ret)

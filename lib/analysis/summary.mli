@@ -1,0 +1,15 @@
+(** Function summaries for roload-prove: the join of all abstract
+    arguments a function receives and of all values it can return.
+    Monotone (summaries only grow), so the bottom-up fixpoint over the
+    callgraph terminates on the finite {!Absval} domain. *)
+
+type t = { mutable s_params : Absval.t array; mutable s_ret : Absval.t }
+
+val create : nparams:int -> t
+
+val join_args : t -> Absval.t list -> bool
+(** Join an argument vector in; [true] iff anything grew.  Extra or
+    missing arguments only join the shared prefix. *)
+
+val join_ret : t -> Absval.t -> bool
+val to_string : name:string -> t -> string

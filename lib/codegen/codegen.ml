@@ -270,6 +270,9 @@ let emit_load ctx ~dst ~addr ~offset ~width ~(md : Ir.load_md) =
   (match md.Ir.roload_key with
   | None ->
     inst ctx (Inst.Load { width = w; unsigned = false; rd; rs1 = base; imm = Int64.of_int off })
+  | Some _ when md.Ir.ro_elided ->
+    (* roload-elide: check statically proven redundant, plain load *)
+    inst ctx (Inst.Load { width = w; unsigned = false; rd; rs1 = base; imm = Int64.of_int off })
   | Some key ->
     (* ld.ro has no offset immediate: materialize the address first *)
     let base =
@@ -382,6 +385,12 @@ let emit_instr ctx i =
     (* target into t2 before argument staging *)
     move_into ctx Reg.t2 callee;
     (match md.Ir.ic_roload_key with
+    | Some _ when md.Ir.ic_elided ->
+      (* roload-elide: the value is still a GFPT slot address, but the key
+         check is proven redundant — dereference with a plain load *)
+      inst ctx
+        (Inst.Load { width = Inst.Double; unsigned = false; rd = Reg.t2; rs1 = Reg.t2;
+                     imm = 0L })
     | Some key ->
       (* ICall: the value is the address of a GFPT slot; the real target
          is loaded through ld.ro with the type key (Listing 3) *)

@@ -27,9 +27,10 @@ let compile_cache : (string, Roload_obj.Exe.t) Hashtbl.t = Hashtbl.create 64
 let compile_benchmark ?(options = Toolchain.default_options) ~scale
     (b : Suite.benchmark) =
   let key =
-    Printf.sprintf "%s/%d/%s/%b/%b" b.Suite.name scale
+    Printf.sprintf "%s/%d/%s/%b/%b/%b" b.Suite.name scale
       (Pass.scheme_name options.Toolchain.scheme)
       options.Toolchain.compress options.Toolchain.separate_code
+      options.Toolchain.elide
   in
   match Hashtbl.find_opt compile_cache key with
   | Some exe -> exe
@@ -631,6 +632,112 @@ let ablation_retcall ?(scale = 1) ?(benchmarks = Suite.all) () =
     comparisons;
   Table.add_row table [ "average"; Stats.pct_string (Stats.mean !ovhs); "-"; "-" ];
   table
+
+(* ---------- roload-prove + roload-elide: proof-guided check elision ----------
+
+   The closed loop of the static-analysis layer: compile each workload
+   ICall-hardened twice — once plain, once with --elide (a clean
+   whole-program prove run followed by proof-guided rewriting of
+   provably-safe ld.ro sites to plain loads behind one hoisted check) —
+   run both on the full system and compare the dynamic ld.ro execution
+   counts.  Output divergence between the two builds is an
+   [Experiment_failure]: elision must be semantically invisible. *)
+
+type elide_row = {
+  el_benchmark : string;
+  el_roloads_before : int;  (** dynamic ld.ro executions, plain ICall build *)
+  el_roloads_after : int;  (** same counter, elided build *)
+  el_reduction_pct : float;  (** 100 * (before - after) / before; 0 if before = 0 *)
+  el_cycles_before : int64;
+  el_cycles_after : int64;
+}
+
+type elide_result = {
+  el_rows : elide_row list;
+  el_table : Table.t;
+  el_best_reduction_pct : float;  (** max over workloads *)
+}
+
+let experiment_elide ?(scale = default_scale) ?(scheme = Pass.Icall)
+    ?(benchmarks = Suite.all) () =
+  let plain = { Toolchain.default_options with scheme } in
+  let elided = { Toolchain.default_options with scheme; elide = true } in
+  (* compile serially (global toolchain state), simulate in parallel *)
+  List.iter
+    (fun b ->
+      ignore (compile_benchmark ~options:plain ~scale b);
+      ignore (compile_benchmark ~options:elided ~scale b))
+    benchmarks;
+  let cells = List.concat_map (fun b -> [ (b, plain); (b, elided) ]) benchmarks in
+  let results =
+    Parallel.map
+      (fun (b, options) ->
+        let exe = compile_benchmark ~options ~scale b in
+        let measurement = System.run ~variant:System.Processor_kernel_modified exe in
+        { benchmark = b.Suite.name; scheme = options.Toolchain.scheme;
+          variant = System.Processor_kernel_modified; measurement })
+      cells
+  in
+  let rec regroup = function
+    | [] -> []
+    | before :: after :: rest -> (before, after) :: regroup rest
+    | [ _ ] -> assert false
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "roload-elide: proof-guided ld.ro elision (%s-hardened)"
+           (Pass.scheme_name scheme))
+      ~header:
+        [ "benchmark"; "ld.ro"; "ld.ro elided"; "removed"; "cycles"; "cycles elided";
+          "cyc delta" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let rows =
+    List.map
+      (fun (before, after) ->
+        require_clean before;
+        require_clean after;
+        require_same_output before after;
+        let rb = before.measurement.System.roloads_executed in
+        let ra = after.measurement.System.roloads_executed in
+        let red =
+          if rb = 0 then 0.0 else 100.0 *. float_of_int (rb - ra) /. float_of_int rb
+        in
+        let row =
+          {
+            el_benchmark = before.benchmark;
+            el_roloads_before = rb;
+            el_roloads_after = ra;
+            el_reduction_pct = red;
+            el_cycles_before = before.measurement.System.cycles;
+            el_cycles_after = after.measurement.System.cycles;
+          }
+        in
+        Table.add_row table
+          [ row.el_benchmark; string_of_int rb; string_of_int ra;
+            Printf.sprintf "-%.1f%%" red;
+            Int64.to_string row.el_cycles_before;
+            Int64.to_string row.el_cycles_after;
+            Stats.pct_string
+              (Stats.overhead_pct
+                 ~base:(Int64.to_float row.el_cycles_before)
+                 ~measured:(Int64.to_float row.el_cycles_after)) ];
+        row)
+      (regroup results)
+  in
+  (* not recorded in the metrics log: both cells of a pair would carry the
+     same scheme label, and the elided build is not part of the committed
+     cycle baselines *)
+  let best =
+    List.fold_left (fun acc r -> max acc r.el_reduction_pct) 0.0 rows
+  in
+  Table.add_row table
+    [ "best"; "-"; "-"; Printf.sprintf "-%.1f%%" best; "-"; "-"; "-" ];
+  { el_rows = rows; el_table = table; el_best_reduction_pct = best }
 
 (* D-TLB reach sensitivity for the key-granularity argument. *)
 let ablation_tlb ?(scale = 1) ?(entries = [ 8; 16; 32; 64 ]) () =

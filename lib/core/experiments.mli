@@ -117,6 +117,33 @@ type security_result = {
 val security : unit -> security_result
 val related_work_table : unit -> Table.t
 
+type elide_row = {
+  el_benchmark : string;
+  el_roloads_before : int;  (** dynamic ld.ro executions, plain hardened build *)
+  el_roloads_after : int;  (** same counter, elided build *)
+  el_reduction_pct : float;  (** 100 * (before - after) / before; 0 if before = 0 *)
+  el_cycles_before : int64;
+  el_cycles_after : int64;
+}
+
+type elide_result = {
+  el_rows : elide_row list;
+  el_table : Table.t;
+  el_best_reduction_pct : float;  (** max over workloads *)
+}
+
+val experiment_elide :
+  ?scale:int ->
+  ?scheme:Pass.scheme ->
+  ?benchmarks:Suite.benchmark list ->
+  unit ->
+  elide_result
+(** The closed loop of the roload-prove layer: each workload is compiled
+    hardened (default ICall) twice — plain and with proof-guided ld.ro
+    check elision — and both builds run on the full system.  Raises
+    {!Experiment_failure} if either build crashes or their outputs
+    diverge (elision must be semantically invisible). *)
+
 val ablation_compressed : ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> Table.t
 val ablation_keys : ?scale:int -> unit -> Table.t
 val ablation_separate_code : unit -> Table.t

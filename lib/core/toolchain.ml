@@ -13,10 +13,17 @@ type options = {
   compress : bool; (* RVC compression, incl. c.ld.ro *)
   separate_code : bool; (* the `-z separate-code` analogue *)
   optimize : bool; (* constant folding + dead-code elimination *)
+  elide : bool; (* proof-guided ld.ro check elision (roload-prove + roload-elide) *)
 }
 
 let default_options =
-  { scheme = Pass.Unprotected; compress = true; separate_code = true; optimize = true }
+  {
+    scheme = Pass.Unprotected;
+    compress = true;
+    separate_code = true;
+    optimize = true;
+    elide = false;
+  }
 
 type artifacts = {
   ir_module : Ir.modul;
@@ -24,6 +31,7 @@ type artifacts = {
   asm_items : Roload_asm.Asm_ir.item list;
   program_object : Roload_obj.Objfile.t;
   exe : Roload_obj.Exe.t;
+  elide_stats : Roload_passes.Roload_elide.stats option;
 }
 
 exception Compile_error of string
@@ -57,6 +65,26 @@ let compile ?(options = default_options) ~name source =
       end;
       let pass_report = Pass.apply options.scheme m in
       Roload_ir.Verify.check_module_exn m;
+      (* Proof-guided check elision: only under a clean whole-program
+         prove run of this exact hardened module.  Any finding or wild
+         store makes [Prove.safe_temp] answer None everywhere, so a
+         non-clean module compiles unchanged (zero sites elided) rather
+         than failing — --elide is an optimisation, `roloadc --prove` is
+         the verification gate. *)
+      let elide_stats =
+        if not options.elide then None
+        else begin
+          let pr = Roload_analysis.Prove.run m in
+          let stats =
+            Roload_passes.Roload_elide.run
+              ~prove:(fun ~func ~temp ~key ->
+                Roload_analysis.Prove.safe_temp pr ~func ~temp ~key)
+              m
+          in
+          Roload_ir.Verify.check_module_exn m;
+          Some stats
+        end
+      in
       let asm_items = Roload_codegen.Codegen.emit_module m in
       let program_object =
         Roload_asm.Assemble.assemble
@@ -70,7 +98,7 @@ let compile ?(options = default_options) ~name source =
               separate_code = options.separate_code }
           [ program_object; runtime_object ~compress:options.compress ]
       in
-      { ir_module = m; pass_report; asm_items; program_object; exe })
+      { ir_module = m; pass_report; asm_items; program_object; exe; elide_stats })
 
 let compile_exe ?options ~name source = (compile ?options ~name source).exe
 
@@ -85,3 +113,6 @@ let lint artifacts =
   Roload_analysis.Lint.run
     ~scheme:artifacts.pass_report.Pass.scheme
     ~ir:artifacts.ir_module ~exe:artifacts.exe
+
+(* roload-prove over the hardened IR of a compiled artifact. *)
+let prove artifacts = Roload_analysis.Prove.run artifacts.ir_module

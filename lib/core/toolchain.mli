@@ -7,10 +7,18 @@ type options = {
   compress : bool;  (** RVC compression, including c.ld.ro *)
   separate_code : bool;  (** the `-z separate-code` analogue (paper §V-B) *)
   optimize : bool;  (** IR constant folding + dead-code elimination *)
+  elide : bool;
+      (** proof-guided ld.ro check elision: run roload-prove over the
+          hardened IR and, only on a clean run, let roload-elide rewrite
+          provably-safe keyed sites to plain loads behind one hoisted
+          check.  A non-clean prove run disables the rewrite (the module
+          compiles unchanged, zero sites elided); use [roloadc --prove]
+          as the verification gate. *)
 }
 
 val default_options : options
-(** Unprotected, compression on, separate-code on, optimization on. *)
+(** Unprotected, compression on, separate-code on, optimization on,
+    elision off. *)
 
 type artifacts = {
   ir_module : Roload_ir.Ir.modul;
@@ -18,6 +26,8 @@ type artifacts = {
   asm_items : Roload_asm.Asm_ir.item list;
   program_object : Roload_obj.Objfile.t;
   exe : Roload_obj.Exe.t;
+  elide_stats : Roload_passes.Roload_elide.stats option;
+      (** [Some] iff compiled with [options.elide] *)
 }
 
 exception Compile_error of string
@@ -42,3 +52,8 @@ val lint : artifacts -> Roload_analysis.Diagnostic.t list
     three layers: IR protection-completeness, key-consistency dataflow,
     and the machine-level cross-check of the linked image.  [] when every
     ROLoad invariant holds. *)
+
+val prove : artifacts -> Roload_analysis.Prove.result
+(** roload-prove: whole-program pointee-integrity abstract
+    interpretation over the hardened IR (see
+    [Roload_analysis.Prove]). *)

@@ -503,7 +503,7 @@ and lower_call ctx line callee args =
       emit ctx
         (Ir.Call_indirect
            { dst; callee = vf; args = vargs; sig_id = Ir.signature_id s;
-             md = { Ir.ic_roload_key = None; ic_cfi_label = None } });
+             md = { Ir.ic_roload_key = None; ic_elided = false; ic_cfi_label = None } });
       ((match dst with Some d -> Ir.Temp d | None -> Ir.Const 0L), s.Ir.ret)
     | _ -> fail line "calling a non-function value")
 

@@ -100,7 +100,7 @@ let behavior_of_measurement (ms : System.measurement) =
   { Ir_eval.stop = Trapclass.stop_of_status ms.System.status; output = ms.System.output }
 
 let run_source ?(schemes = schemes_under_test) ?(max_instructions = 50_000_000L)
-    ?(fuel = 200_000) ?sabotage ~name source =
+    ?(fuel = 200_000) ?(elide = false) ?sabotage ~name source =
   (* one unhardened lowering for the oracle; each scheme re-enters the
      full pipeline from source, parser included *)
   match
@@ -128,7 +128,7 @@ let run_source ?(schemes = schemes_under_test) ?(max_instructions = 50_000_000L)
               match sabotage with
               | None ->
                 Toolchain.compile_exe
-                  ~options:{ Toolchain.default_options with scheme }
+                  ~options:{ Toolchain.default_options with scheme; elide }
                   ~name source
               | Some hook -> fst (compile_sabotaged ~scheme ~sabotage:hook ~name source)
             in

@@ -38,6 +38,7 @@ val run_source :
   ?schemes:Pass.scheme list ->
   ?max_instructions:int64 ->
   ?fuel:int ->
+  ?elide:bool ->
   ?sabotage:(Pass.scheme -> Ir.modul -> bool) ->
   name:string ->
   string ->
@@ -47,7 +48,10 @@ val run_source :
     hardening pass and before code generation for each scheme and may
     plant a miscompile, returning whether it changed anything (the
     oracle still predicts the *correct* behavior, so a working fuzzer
-    must flag the case as divergent). *)
+    must flag the case as divergent).  [elide] (default false) compiles
+    every scheme with proof-guided ld.ro check elision; the oracle still
+    interprets the unhardened IR, so elision is invisible to it and any
+    behavioral effect of the rewrite surfaces as a divergence. *)
 
 val sabotage_drop_gfpt : Pass.scheme -> Ir.modul -> bool
 (** The canonical planted miscompile: under ICall, revert the GFPT

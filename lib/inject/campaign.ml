@@ -62,6 +62,7 @@ type config = {
   sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
       (** test hook: raise from inside a chosen cell *)
   max_cells : int option;  (** test hook: simulate a mid-run kill *)
+  elide : bool;  (** compile victims with proof-guided ld.ro check elision *)
 }
 
 let default_config =
@@ -76,6 +77,7 @@ let default_config =
     resume = false;
     sabotage = None;
     max_cells = None;
+    elide = false;
   }
 
 type outcome = Verdict of Fault.verdict | Failed
@@ -165,9 +167,9 @@ let classify ~(baseline : Kernel.run_outcome) (final : Kernel.run_outcome) =
 
 (* ---------- compile & baseline ---------- *)
 
-let compile_victim scheme =
+let compile_victim ?(elide = false) scheme =
   Toolchain.compile_exe
-    ~options:{ Toolchain.default_options with Toolchain.scheme }
+    ~options:{ Toolchain.default_options with Toolchain.scheme; Toolchain.elide }
     ~name:("chaos-" ^ Pass.scheme_name scheme)
     Chaos_victim.source
 
@@ -261,7 +263,7 @@ exception Broken_victim of string
 let run (cfg : config) =
   let schemes = cfg.schemes in
   (* compile serially: the toolchain owns global state *)
-  let exes = List.map (fun s -> (s, compile_victim s)) schemes in
+  let exes = List.map (fun s -> (s, compile_victim ~elide:cfg.elide s)) schemes in
   let baselines =
     Parallel.map ?jobs:cfg.jobs (fun (s, exe) -> (s, baseline_run exe)) exes
   in
@@ -302,9 +304,12 @@ let run (cfg : config) =
   in
   (* checkpoint: a header pinning (seed, count, schemes) plus one TSV
      row per settled cell *)
+  (* [elide=true] is appended only when on, so checkpoints of pre-elision
+     campaigns keep their exact header (and stay resumable) *)
   let header =
-    Printf.sprintf "# roload-chaos v1 seed=%Ld count=%d schemes=%s" cfg.seed cfg.count
+    Printf.sprintf "# roload-chaos v1 seed=%Ld count=%d schemes=%s%s" cfg.seed cfg.count
       (String.concat "," (List.map Pass.scheme_name schemes))
+      (if cfg.elide then " elide=true" else "")
   in
   let prior =
     match cfg.checkpoint with

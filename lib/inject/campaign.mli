@@ -27,6 +27,10 @@ type config = {
   sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
       (** test hook: raise from inside a chosen cell *)
   max_cells : int option;  (** test hook: simulate a mid-run kill *)
+  elide : bool;
+      (** compile every victim with proof-guided ld.ro check elision
+          (roload-prove + roload-elide); detection coverage must be
+          byte-identical to the unelided campaign *)
 }
 
 val default_config : config
@@ -91,7 +95,7 @@ val classify :
   Roload_kernel.Kernel.run_outcome ->
   Fault.verdict * string
 
-val compile_victim : Pass.scheme -> Roload_obj.Exe.t
+val compile_victim : ?elide:bool -> Pass.scheme -> Roload_obj.Exe.t
 val baseline_run : Roload_obj.Exe.t -> Roload_kernel.Kernel.run_outcome
 
 val run_one :

@@ -68,10 +68,18 @@ let binop_to_string = function
   | Shru -> "shru" | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le"
   | Gt -> "gt" | Ge -> "ge"
 
-(* ROLoad-md & friends: per-operation hardening metadata. *)
-type load_md = { mutable roload_key : int option }
+(* ROLoad-md & friends: per-operation hardening metadata.
 
-let no_md () = { roload_key = None }
+   The [*_elided] flags are set by the proof-guided optimizer
+   (roload-elide): the key stays on the site for auditing, but code
+   generation emits a plain load — an earlier check of the same value (or
+   a provably-constant keyed address) already guarantees the pointee. *)
+type load_md = {
+  mutable roload_key : int option;
+  mutable ro_elided : bool; (* key kept for audit, check proven redundant *)
+}
+
+let no_md () = { roload_key = None; ro_elided = false }
 
 type vcall_md = {
   mutable vc_roload_key : int option; (* VCall / ICall-unified protection *)
@@ -81,6 +89,7 @@ type vcall_md = {
 
 type icall_md = {
   mutable ic_roload_key : int option; (* ICall: callee value is a GFPT slot *)
+  mutable ic_elided : bool; (* key kept for audit, check proven redundant *)
   mutable ic_cfi_label : int option; (* label-CFI check before the jump *)
 }
 
@@ -218,7 +227,9 @@ let successors = function
 let instr_to_string i =
   let v = value_to_string in
   let md_str (md : load_md) =
-    match md.roload_key with None -> "" | Some k -> Printf.sprintf " !roload(%d)" k
+    match md.roload_key with
+    | None -> ""
+    | Some k -> Printf.sprintf " !roload(%d)%s" k (if md.ro_elided then " !elided" else "")
   in
   match i with
   | Bin (op, d, a, b) ->
@@ -242,7 +253,9 @@ let instr_to_string i =
       (match dst with Some d -> Printf.sprintf "%%t%d = " d | None -> "")
       sig_id (v callee)
       (String.concat ", " (List.map v args))
-      (match md.ic_roload_key with None -> "" | Some k -> Printf.sprintf " !roload(%d)" k)
+      (match md.ic_roload_key with
+      | None -> ""
+      | Some k -> Printf.sprintf " !roload(%d)%s" k (if md.ic_elided then " !elided" else ""))
       (match md.ic_cfi_label with None -> "" | Some l -> Printf.sprintf " !cfi(%d)" l)
   | Vcall { dst; obj; slot; class_name; args; md } ->
     Printf.sprintf "%svcall %s->%s[%d](%s)%s%s"

@@ -45,7 +45,12 @@ type binop =
 
 val binop_to_string : binop -> string
 
-type load_md = { mutable roload_key : int option }
+type load_md = {
+  mutable roload_key : int option;
+  mutable ro_elided : bool;
+      (** set by roload-elide: the key stays for auditing but codegen emits
+          a plain load — the check is statically proven redundant *)
+}
 
 val no_md : unit -> load_md
 
@@ -57,6 +62,7 @@ type vcall_md = {
 
 type icall_md = {
   mutable ic_roload_key : int option;
+  mutable ic_elided : bool;  (** see {!load_md.ro_elided} *)
   mutable ic_cfi_label : int option;
 }
 

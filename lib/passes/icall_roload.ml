@@ -73,9 +73,21 @@ let run (m : Ir.modul) =
         { dst; obj = rewrite_value obj; slot; class_name;
           args = List.map rewrite_value args; md }
   in
+  (* terminators carry values too: a `return f;` escapes the raw code
+     address to the caller unless it is redirected like any other use *)
+  let rewrite_term t =
+    match t with
+    | Ir.Br _ | Ir.Halt -> t
+    | Ir.Cbr (v, a, b) -> Ir.Cbr (rewrite_value v, a, b)
+    | Ir.Ret v -> Ir.Ret (Option.map rewrite_value v)
+  in
   List.iter
     (fun f ->
-      List.iter (fun b -> b.Ir.b_instrs <- List.map rewrite_instr b.Ir.b_instrs) f.Ir.f_blocks)
+      List.iter
+        (fun b ->
+          b.Ir.b_instrs <- List.map rewrite_instr b.Ir.b_instrs;
+          b.Ir.b_term <- rewrite_term b.Ir.b_term)
+        f.Ir.f_blocks)
     m.Ir.m_funcs;
   (* rewrite function addresses stored in non-vtable global initializers
      (e.g. constant dispatch tables), and move vtables to the unified key *)

@@ -77,7 +77,13 @@ let run (m : Ir.modul) =
                 | Ir.Call { args; _ } -> args
                 | Ir.Call_indirect { callee; args; _ } -> callee :: args
                 | Ir.Vcall { obj; args; _ } -> obj :: args))
-            b.Ir.b_instrs)
+            b.Ir.b_instrs;
+          (* a `return f;` takes f's address just as a store does *)
+          List.iter scan_value
+            (match b.Ir.b_term with
+            | Ir.Br _ | Ir.Halt | Ir.Ret None -> []
+            | Ir.Cbr (v, _, _) -> [ v ]
+            | Ir.Ret (Some v) -> [ v ]))
         f.Ir.f_blocks)
     m.Ir.m_funcs;
   List.iter

@@ -1,0 +1,344 @@
+(* roload-elide: proof-guided removal of statically-redundant ld.ro
+   checks.
+
+   The whole-program prover (lib/analysis, roload-prove) can certify
+   that an operand temp only ever holds pointees inside the keyed
+   read-only section its sites are annotated with.  Every keyed use of
+   such a temp performs the same dynamic check on the same value; this
+   pass keeps exactly one — hoisted to the temp's definition — and
+   rewrites the uses to plain loads, which is where the win is: a use
+   inside a loop pays the ld.ro path once instead of per iteration.
+
+   The pass cannot see the analysis library (the dependency points the
+   other way), so the proof arrives as a callback:
+
+     prove : func:string -> temp:int -> key:int -> [`Pure | `Guarded] option
+
+   [`Pure] means the hoisted check can never fault; [`Guarded] means the
+   value may additionally be the implicit zero of a not-yet-written cell,
+   so the hoisted check is wrapped in a zero test (a zero value would
+   make the hoisted ld.ro fault at the definition where the original
+   program only faults — identically, as a plain null load — at the
+   use).
+
+   Detection is preserved: register values are not attacker-reachable in
+   the ROLoad threat model (paper §II-B — the attacker writes memory),
+   so checking the value once at its definition covers every use of that
+   same register value.  Only sites whose operand is a direct constant
+   address into the keyed section are elided without any residual check
+   (the operand is immutable).
+
+   Eligibility, per (temp, key) group:
+   - the temp has exactly one static definition (params count as one);
+   - the prover certifies the (temp, key) pair;
+   - profitability: at least two use sites, or a use at strictly greater
+     natural-loop depth than the definition — groups failing this are
+     left untouched so a single straight-line use keeps its original
+     ld.ro (and its original fault site). *)
+
+module Ir = Roload_ir.Ir
+
+type proof = [ `Guarded | `Pure ]
+
+type stats = {
+  el_icalls : int;  (* indirect-call sites rewritten to plain slot loads *)
+  el_loads : int;  (* keyed load sites rewritten to plain loads *)
+  el_const : int;  (* of which constant-address sites (no residual check) *)
+  el_checks : int;  (* hoisted ld.ro checks inserted *)
+  el_guards : int;  (* of which zero-guarded *)
+}
+
+let zero_stats = { el_icalls = 0; el_loads = 0; el_const = 0; el_checks = 0; el_guards = 0 }
+
+let add_stats a b =
+  {
+    el_icalls = a.el_icalls + b.el_icalls;
+    el_loads = a.el_loads + b.el_loads;
+    el_const = a.el_const + b.el_const;
+    el_checks = a.el_checks + b.el_checks;
+    el_guards = a.el_guards + b.el_guards;
+  }
+
+(* ---------- natural-loop depth ---------- *)
+
+(* Iterative dominator sets over the block list (functions are small),
+   then: a back edge u->h has h dominating u, and the natural loop of
+   (u,h) is h plus everything reaching u backwards without crossing h.
+   A block's depth is the number of distinct headers whose loop contains
+   it. *)
+let loop_depths (f : Ir.func) =
+  let blocks = Array.of_list f.Ir.f_blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i b -> Hashtbl.replace index b.Ir.b_label i) blocks;
+  let succs =
+    Array.map
+      (fun b -> List.filter_map (Hashtbl.find_opt index) (Ir.successors b.Ir.b_term))
+      blocks
+  in
+  let preds = Array.make n [] in
+  Array.iteri (fun i ss -> List.iter (fun s -> preds.(s) <- i :: preds.(s)) ss) succs;
+  let dom = Array.init n (fun i -> Array.make n (i <> 0 || n = 0)) in
+  if n > 0 then dom.(0).(0) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let nd = Array.make n true in
+      (match preds.(i) with
+      | [] -> Array.fill nd 0 n false
+      | ps ->
+        List.iter (fun p -> Array.iteri (fun j v -> if not v then nd.(j) <- false) dom.(p)) ps);
+      nd.(i) <- true;
+      if nd <> dom.(i) then begin
+        dom.(i) <- nd;
+        changed := true
+      end
+    done
+  done;
+  let depth = Array.make n 0 in
+  let headers_of = Array.make n [] in
+  Array.iteri
+    (fun u ss ->
+      List.iter
+        (fun h ->
+          if dom.(u).(h) then begin
+            (* natural loop of back edge u->h *)
+            let body = Array.make n false in
+            body.(h) <- true;
+            let rec mark v =
+              if not body.(v) then begin
+                body.(v) <- true;
+                List.iter mark preds.(v)
+              end
+            in
+            mark u;
+            Array.iteri
+              (fun b inl ->
+                if inl && not (List.mem h headers_of.(b)) then begin
+                  headers_of.(b) <- h :: headers_of.(b);
+                  depth.(b) <- depth.(b) + 1
+                end)
+              body
+          end)
+        ss)
+    succs;
+  fun label -> match Hashtbl.find_opt index label with Some i -> depth.(i) | None -> 0
+
+(* ---------- candidate collection ---------- *)
+
+let keyed_const_global (m : Ir.modul) g k =
+  match Ir.find_global m g with
+  | Some gl -> gl.Ir.g_section = Keys.keyed_rodata_section k
+  | None -> false
+
+(* single-static-definition temps: params count as one definition *)
+let def_counts (f : Ir.func) =
+  let counts = Array.make (max f.Ir.f_ntemps 1) 0 in
+  List.iter (fun p -> if p < Array.length counts then counts.(p) <- counts.(p) + 1) f.Ir.f_params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          List.iter (fun d -> if d < Array.length counts then counts.(d) <- counts.(d) + 1)
+            (Ir.instr_defs i))
+        b.Ir.b_instrs)
+    f.Ir.f_blocks;
+  counts
+
+(* label of the block defining [t], or the entry label for params *)
+let def_label (f : Ir.func) t =
+  if List.mem t f.Ir.f_params then
+    match f.Ir.f_blocks with [] -> None | e :: _ -> Some e.Ir.b_label
+  else
+    List.find_opt
+      (fun b -> List.exists (fun i -> List.mem t (Ir.instr_defs i)) b.Ir.b_instrs)
+      f.Ir.f_blocks
+    |> Option.map (fun b -> b.Ir.b_label)
+
+(* ---------- check insertion ---------- *)
+
+let fresh_label (f : Ir.func) base =
+  let labels = List.map (fun b -> b.Ir.b_label) f.Ir.f_blocks in
+  let rec go i =
+    let l = Printf.sprintf "%s$%d" base i in
+    if List.mem l labels then go (i + 1) else l
+  in
+  go 0
+
+let check_instr (f : Ir.func) t key =
+  let dst = Ir.new_temp f in
+  Ir.Load
+    {
+      dst;
+      addr = Ir.Temp t;
+      offset = 0;
+      width = Ir.W64;
+      md = { Ir.roload_key = Some key; ro_elided = false };
+    }
+
+(* Split [b] after instruction index [idx] (-1 = before the first) into
+   a zero-guard diamond: b jumps to a check block when [t] is non-zero,
+   both paths continue in a new block holding the remainder. *)
+let insert_guarded (f : Ir.func) b idx t key =
+  let chk_lbl = fresh_label f "elide$chk" in
+  let cont_lbl = fresh_label f "elide$cont" in
+  let rec split i = function
+    | [] -> ([], [])
+    | x :: rest when i <= idx ->
+      let hd, tl = split (i + 1) rest in
+      (x :: hd, tl)
+    | rest -> ([], rest)
+  in
+  let prefix, suffix = split 0 b.Ir.b_instrs in
+  let saved_term = b.Ir.b_term in
+  b.Ir.b_instrs <- prefix;
+  b.Ir.b_term <- Ir.Cbr (Ir.Temp t, chk_lbl, cont_lbl);
+  let chk =
+    { Ir.b_label = chk_lbl; b_instrs = [ check_instr f t key ]; b_term = Ir.Br cont_lbl }
+  in
+  let cont = { Ir.b_label = cont_lbl; b_instrs = suffix; b_term = saved_term } in
+  let rec ins = function
+    | [] -> []
+    | x :: rest when x == b -> x :: chk :: cont :: rest
+    | x :: rest -> x :: ins rest
+  in
+  f.Ir.f_blocks <- ins f.Ir.f_blocks
+
+let insert_pure (f : Ir.func) b idx t key =
+  let chk = check_instr f t key in
+  let rec go i = function
+    | [] -> [ chk ]
+    | x :: rest when i <= idx -> x :: go (i + 1) rest
+    | rest -> chk :: rest
+  in
+  b.Ir.b_instrs <- go 0 b.Ir.b_instrs
+
+(* Locate the definition point of [t] in the (possibly already split)
+   CFG: [(block, index)] of the defining instruction, or [(entry, -1)]
+   for params. *)
+let find_def (f : Ir.func) t =
+  if List.mem t f.Ir.f_params then
+    match f.Ir.f_blocks with [] -> None | e :: _ -> Some (e, -1)
+  else
+    List.find_map
+      (fun b ->
+        let rec go i = function
+          | [] -> None
+          | x :: _ when List.mem t (Ir.instr_defs x) -> Some (b, i)
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 b.Ir.b_instrs)
+      f.Ir.f_blocks
+
+let insert_check (f : Ir.func) t key (proof : proof) =
+  match find_def f t with
+  | None -> false
+  | Some (b, idx) ->
+    (match proof with
+    | `Pure -> insert_pure f b idx t key
+    | `Guarded -> insert_guarded f b idx t key);
+    true
+
+(* ---------- driver ---------- *)
+
+type cand = { mutable c_icalls : Ir.icall_md list; mutable c_loads : Ir.load_md list;
+              mutable c_sites : string list }
+
+let run ~prove (m : Ir.modul) =
+  let total = ref zero_stats in
+  List.iter
+    (fun (f : Ir.func) ->
+      let counts = def_counts f in
+      let depth_of = loop_depths f in
+      let groups : (int * int, cand) Hashtbl.t = Hashtbl.create 8 in
+      let group t k =
+        match Hashtbl.find_opt groups (t, k) with
+        | Some c -> c
+        | None ->
+          let c = { c_icalls = []; c_loads = []; c_sites = [] } in
+          Hashtbl.replace groups (t, k) c;
+          c
+      in
+      let consts = ref 0 and const_icalls = ref 0 and const_loads = ref 0 in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Call_indirect
+                  { callee; md = { Ir.ic_roload_key = Some k; ic_elided = false; _ } as md; _ }
+                -> (
+                match callee with
+                | Ir.Global g when keyed_const_global m g k ->
+                  md.Ir.ic_elided <- true;
+                  incr consts;
+                  incr const_icalls
+                | Ir.Temp t when t < Array.length counts && counts.(t) = 1 ->
+                  let c = group t k in
+                  c.c_icalls <- md :: c.c_icalls;
+                  c.c_sites <- b.Ir.b_label :: c.c_sites
+                | Ir.Temp _ | Ir.Global _ | Ir.Const _ | Ir.Func_addr _ -> ())
+              | Ir.Load
+                  {
+                    addr;
+                    offset = 0;
+                    width = Ir.W64;
+                    md = { Ir.roload_key = Some k; ro_elided = false } as md;
+                    _;
+                  } -> (
+                match addr with
+                | Ir.Global g when keyed_const_global m g k ->
+                  md.Ir.ro_elided <- true;
+                  incr consts;
+                  incr const_loads
+                | Ir.Temp t when t < Array.length counts && counts.(t) = 1 ->
+                  let c = group t k in
+                  c.c_loads <- md :: c.c_loads;
+                  c.c_sites <- b.Ir.b_label :: c.c_sites
+                | Ir.Temp _ | Ir.Global _ | Ir.Const _ | Ir.Func_addr _ -> ())
+              | Ir.Bin _ | Ir.Load _ | Ir.Store _ | Ir.Lea_frame _ | Ir.Call _
+              | Ir.Call_indirect _ | Ir.Vcall _ ->
+                ())
+            b.Ir.b_instrs)
+        f.Ir.f_blocks;
+      (* vcalls are never elided: the vptr cell lives in writable heap
+         memory, so no static proof about it exists *)
+      let fstats = ref zero_stats in
+      Hashtbl.iter
+        (fun (t, k) c ->
+          let nsites = List.length c.c_sites in
+          let ddepth = match def_label f t with Some l -> depth_of l | None -> 0 in
+          let profitable =
+            nsites >= 2 || List.exists (fun l -> depth_of l > ddepth) c.c_sites
+          in
+          if profitable then
+            match prove ~func:f.Ir.f_name ~temp:t ~key:k with
+            | None -> ()
+            | Some proof ->
+              if insert_check f t k proof then begin
+                List.iter (fun (md : Ir.icall_md) -> md.Ir.ic_elided <- true) c.c_icalls;
+                List.iter (fun (md : Ir.load_md) -> md.Ir.ro_elided <- true) c.c_loads;
+                fstats :=
+                  add_stats !fstats
+                    {
+                      el_icalls = List.length c.c_icalls;
+                      el_loads = List.length c.c_loads;
+                      el_const = 0;
+                      el_checks = 1;
+                      el_guards = (match proof with `Guarded -> 1 | `Pure -> 0);
+                    }
+              end)
+        groups;
+      total :=
+        add_stats !total
+          (add_stats !fstats
+             {
+               el_icalls = !const_icalls;
+               el_loads = !const_loads;
+               el_const = !consts;
+               el_checks = 0;
+               el_guards = 0;
+             }))
+    m.Ir.m_funcs;
+  !total

@@ -1,0 +1,34 @@
+(** roload-elide: proof-guided removal of statically-redundant ld.ro
+    checks.
+
+    Driven by a proof callback (supplied by the toolchain from a clean
+    roload-prove run — this library cannot depend on the analysis
+    library): a single-definition operand temp certified for its key has
+    its keyed uses rewritten to plain loads, with exactly one hoisted
+    ld.ro check at the definition ([`Pure]), zero-guarded when the value
+    may also be an implicit zero ([`Guarded]).  Constant keyed-section
+    addresses are elided with no residual check.  Virtual calls are
+    never elided (the vptr cell is writable heap memory).  A group is
+    only rewritten when profitable: at least two use sites, or a use
+    deeper in a natural loop than its definition. *)
+
+module Ir = Roload_ir.Ir
+
+type proof = [ `Guarded | `Pure ]
+
+type stats = {
+  el_icalls : int;  (** indirect-call sites rewritten to plain slot loads *)
+  el_loads : int;  (** keyed load sites rewritten to plain loads *)
+  el_const : int;  (** of which constant-address sites (no residual check) *)
+  el_checks : int;  (** hoisted ld.ro checks inserted *)
+  el_guards : int;  (** of which zero-guarded *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val run :
+  prove:(func:string -> temp:int -> key:int -> proof option) -> Ir.modul -> stats
+(** Mutates the module in place; re-verify afterwards.  The caller is
+    responsible for only passing a [prove] backed by a finding-free
+    whole-program analysis of this exact module. *)

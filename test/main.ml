@@ -17,6 +17,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("toolchain", Test_toolchain.suite);
       ("analysis", Test_analysis.suite);
+      ("prove", Test_prove.suite);
       ("hw", Test_hw.suite);
       ("security", Test_security.suite);
       ("workloads", Test_workloads.suite);

@@ -188,6 +188,51 @@ let test_report_rendering () =
   Alcotest.(check int) "clean exit code" 0 (Lint.exit_code []);
   Alcotest.(check bool) "clean ok" true (Lint.ok [])
 
+(* Every JSON writer in the repo shares Roload_util.Json.escape; a string
+   holding any byte 0x00-0x1f (diagnostic sites can carry raw bytes from
+   fuzz-generated names) must escape to a fragment with no literal
+   control characters, and unescaping it must give back the original. *)
+let json_unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '\\' then begin
+        (match s.[i + 1] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'u' ->
+          Buffer.add_char b
+            (Char.chr (int_of_string ("0x" ^ String.sub s (i + 2) 4)))
+        | c -> Alcotest.failf "unexpected escape \\%c" c);
+        go (i + if s.[i + 1] = 'u' then 6 else 2)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+let test_json_escape_roundtrip () =
+  let controls = String.init 0x20 Char.chr in
+  let tricky = "plain \"quoted\" back\\slash" ^ controls ^ "\ttab\nnl" in
+  List.iter
+    (fun s ->
+      let e = Roload_util.Json.escape s in
+      String.iter
+        (fun c ->
+          if Char.code c < 0x20 then
+            Alcotest.failf "escape left a raw control byte 0x%02x in %S"
+              (Char.code c) e)
+        e;
+      Alcotest.(check string)
+        (Printf.sprintf "round-trips %S" s)
+        s (json_unescape e))
+    [ ""; "no escapes"; controls; tricky ]
+
 let suite =
   [
     Alcotest.test_case "clean on all schemes x sources" `Quick test_clean_all_schemes;
@@ -201,4 +246,6 @@ let suite =
     Alcotest.test_case "catches writable keyed segment (layer 3)" `Quick
       test_catches_writable_keyed_segment;
     Alcotest.test_case "report rendering" `Quick test_report_rendering;
+    Alcotest.test_case "json escape round-trips control chars" `Quick
+      test_json_escape_roundtrip;
   ]

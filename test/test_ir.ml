@@ -116,7 +116,7 @@ let test_verify_rejects_duplicate_globals () =
 let test_printing () =
   let i =
     Ir.Load { dst = 0; addr = Ir.Global "tbl"; offset = 8; width = Ir.W64;
-              md = { Ir.roload_key = Some 7 } }
+              md = { Ir.roload_key = Some 7; ro_elided = false } }
   in
   Alcotest.(check string) "roload-md rendered" "%t0 = load.64 @tbl+8 !roload(7)"
     (Ir.instr_to_string i);
