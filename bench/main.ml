@@ -22,6 +22,28 @@ let json_path =
   in
   scan (Array.to_list Sys.argv)
 
+(* --engine NAME: run every simulation on the named execution engine
+   (default: the machine default, traced; ROLOAD_ENGINE still wins). *)
+let engine_label =
+  let module Machine = Roload_machine.Machine in
+  let rec scan = function
+    | "--engine" :: name :: _ -> Some name
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  (match scan (Array.to_list Sys.argv) with
+  | None -> ()
+  | Some name -> (
+    match Machine.engine_of_string name with
+    | Ok e -> Machine.set_default_engine e
+    | Error msg ->
+      prerr_endline msg;
+      exit 2));
+  try Machine.engine_name (Machine.effective_engine ())
+  with Failure msg ->
+    prerr_endline msg;
+    exit 2
+
 let entries : Core.Bench_log.entry list ref = ref []
 
 let section title = Printf.printf "\n################ %s ################\n%!" title
@@ -32,7 +54,7 @@ let timed name f =
   let r = f () in
   let wall_s = Unix.gettimeofday () -. t0 in
   let instructions = Core.System.total_instructions_simulated () - i0 in
-  entries := Core.Bench_log.entry ~name ~wall_s ~instructions :: !entries;
+  entries := Core.Bench_log.entry ~name ~engine:engine_label ~wall_s ~instructions :: !entries;
   Printf.printf "[%s: %.1fs]\n%!" name wall_s;
   r
 
@@ -142,7 +164,8 @@ let run_bechamel () =
     (bechamel_tests ())
 
 let () =
-  Printf.printf "ROLoad reproduction bench harness (scale %d)\n" scale;
+  Printf.printf "ROLoad reproduction bench harness (scale %d, engine %s)\n" scale
+    engine_label;
   run_experiments ();
   (match json_path with
   | Some path ->

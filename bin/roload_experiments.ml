@@ -2,9 +2,9 @@
 
    Usage: roload_experiments [table1|table2|table3|section5b|figure3|
                               figure4|figure5|security|elide|ablations|all]
-                             [--scale N] [-j N] [--json PATH]
-                             [--baseline PATH] [--metrics [PATH]]
-                             [--check-cycles PATH]
+                             [--scale N] [-j N] [--engine ENGINE]
+                             [--json PATH] [--baseline PATH]
+                             [--metrics [PATH]] [--check-cycles PATH]
 
    With [--json] each experiment's wall-clock, simulated instruction
    count and simulated MIPS are appended to a bench-trajectory file;
@@ -63,7 +63,22 @@ let read_file path =
     Some s
   with Sys_error _ -> None
 
-let run names scale jobs json baseline metrics check_cycles =
+let run names scale jobs engine json baseline metrics check_cycles =
+  let module Machine = Roload_machine.Machine in
+  (match engine with
+  | None -> ()
+  | Some name -> (
+    match Machine.engine_of_string name with
+    | Ok e -> Machine.set_default_engine e
+    | Error msg ->
+      prerr_endline msg;
+      exit 2));
+  let engine_label =
+    try Machine.engine_name (Machine.effective_engine ())
+    with Failure msg ->
+      prerr_endline msg;
+      exit 2
+  in
   (match jobs with Some j -> Core.Parallel.set_jobs j | None -> ());
   (if check_cycles <> None && metrics = None then begin
      Printf.eprintf "--check-cycles requires --metrics\n";
@@ -91,7 +106,9 @@ let run names scale jobs json baseline metrics check_cycles =
         failed := n :: !failed);
       let wall_s = Unix.gettimeofday () -. t0 in
       let instructions = Core.System.total_instructions_simulated () - i0 in
-      entries := Core.Bench_log.entry ~name:n ~wall_s ~instructions :: !entries;
+      entries :=
+        Core.Bench_log.entry ~name:n ~engine:engine_label ~wall_s ~instructions
+        :: !entries;
       print_newline ())
     names;
   let entries = List.rev !entries in
@@ -174,6 +191,15 @@ let jobs_arg =
              "Simulation cells run in parallel (default: \\$ROLOAD_JOBS, else the \
               recommended domain count). Results are bit-identical at any job count.")
 
+let engine_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:
+             "Execution engine for every simulation: single, block, or traced (default: \
+              traced; \\$ROLOAD_ENGINE overrides). All engines are cycle-exact to each \
+              other.")
+
 let json_arg =
   Arg.(value
        & opt (some string) None
@@ -209,7 +235,7 @@ let cmd =
   Cmd.v
     (Cmd.info "roload_experiments"
        ~doc:"Regenerate the tables and figures of the ROLoad paper (DAC 2021)")
-    Term.(const run $ names_arg $ scale_arg $ jobs_arg $ json_arg $ baseline_arg
-          $ metrics_arg $ check_cycles_arg)
+    Term.(const run $ names_arg $ scale_arg $ jobs_arg $ engine_arg $ json_arg
+          $ baseline_arg $ metrics_arg $ check_cycles_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -4,6 +4,7 @@
      roload-fuzz --seed 1 --count 2000              # fixed-seed campaign
      roload-fuzz --count 200 --time-budget 60       # time-bounded smoke run
      roload-fuzz --scheme icall --count 500         # focus one scheme
+     roload-fuzz --engine traced --matrix out.tsv   # one engine, diffable matrix
      roload-fuzz --check-oracle                     # mutation self-check
      roload-fuzz --replay corpus/foo.mc             # re-check a reproducer
      roload-fuzz --json ...                         # machine-readable report
@@ -51,10 +52,10 @@ let read_file path =
   close_in ic;
   s
 
-let shrink_failure ~schemes prog (d : Diff.divergence) =
+let shrink_failure ~schemes ~engines prog (d : Diff.divergence) =
   let still_failing candidate =
     match
-      Diff.run_source ~schemes ~name:"shrink" (Gen.to_source candidate)
+      Diff.run_source ~schemes ~engines ~name:"shrink" (Gen.to_source candidate)
     with
     | Diff.Divergent d' -> d'.Diff.dv_scheme = d.Diff.dv_scheme
     | Diff.Agree _ | Diff.Skipped _ -> false
@@ -95,8 +96,8 @@ let report_json t ~seed ~elapsed =
     seed t.cases t.agreed t.skipped t.divergent elapsed
     (String.concat ",\n" (List.rev_map fail_json t.failures))
 
-let fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir ~sabotage
-    ~stop_on_divergence ~elide ~matrix =
+let fuzz_loop ~seed ~count ~time_budget ~schemes ~engines ~size ~json ~corpus_dir
+    ~sabotage ~stop_on_divergence ~elide ~matrix =
   let rng = Prng.create seed in
   let t = { cases = 0; agreed = 0; skipped = 0; divergent = 0; failures = [] } in
   (* the per-case outcome matrix: one deterministic, timing-free line per
@@ -123,7 +124,8 @@ let fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir ~sabota
     let prog = Gen.generate ~seed:case_seed ~size:case_size in
     t.cases <- t.cases + 1;
     (match
-       Diff.run_source ~schemes ~elide ?sabotage ~name:"fuzz" (Gen.to_source prog)
+       Diff.run_source ~schemes ~engines ~elide ?sabotage ~name:"fuzz"
+         (Gen.to_source prog)
      with
     | Diff.Agree _ ->
       t.agreed <- t.agreed + 1;
@@ -139,7 +141,7 @@ let fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir ~sabota
         (Printf.sprintf "divergent\t%s\t%s" (scheme_name d.Diff.dv_scheme) d.Diff.dv_stage);
       let repro =
         if sabotage = None then begin
-          let shrunk = shrink_failure ~schemes prog d in
+          let shrunk = shrink_failure ~schemes ~engines prog d in
           save_reproducer ~corpus_dir ~seed:case_seed shrunk
         end
         else "(check-oracle: not saved)"
@@ -247,8 +249,8 @@ let replay ~json path =
       0
     end
 
-let main seed count time_budget scheme_opt size json check_oracle corpus_dir
-    replay_path distill_want elide matrix =
+let main seed count time_budget scheme_opt engine_opt size json check_oracle
+    corpus_dir replay_path distill_want elide matrix =
   let schemes =
     match scheme_opt with
     | None -> Diff.schemes_under_test
@@ -257,6 +259,16 @@ let main seed count time_budget scheme_opt size json check_oracle corpus_dir
       | Some sch -> [ sch ]
       | None ->
         Printf.eprintf "unknown scheme %s (expected none|vcall|icall|retcall|vtint|cfi)\n" s;
+        exit 2)
+  in
+  let engines =
+    match engine_opt with
+    | None -> Diff.engines_under_test
+    | Some s -> (
+      match Roload_machine.Machine.engine_of_string s with
+      | Ok e -> [ e ]
+      | Error msg ->
+        prerr_endline msg;
         exit 2)
   in
   match replay_path with
@@ -273,7 +285,7 @@ let main seed count time_budget scheme_opt size json check_oracle corpus_dir
         if List.mem Pass.Icall schemes then schemes else Pass.Icall :: schemes
       in
       let t =
-        fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir
+        fuzz_loop ~seed ~count ~time_budget ~schemes ~engines ~size ~json ~corpus_dir
           ~sabotage:(Some Diff.sabotage_drop_gfpt) ~stop_on_divergence:true ~elide
           ~matrix
       in
@@ -291,7 +303,7 @@ let main seed count time_budget scheme_opt size json check_oracle corpus_dir
     end
     else begin
       let t =
-        fuzz_loop ~seed ~count ~time_budget ~schemes ~size ~json ~corpus_dir
+        fuzz_loop ~seed ~count ~time_budget ~schemes ~engines ~size ~json ~corpus_dir
           ~sabotage:None ~stop_on_divergence:false ~elide ~matrix
       in
       exit (if t.divergent > 0 then 1 else 0)
@@ -308,6 +320,14 @@ let budget_arg =
 
 let scheme_arg =
   Arg.(value & opt (some string) None & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Restrict the differential check to one scheme (default: the full evaluation matrix).")
+
+let engine_arg =
+  Arg.(value & opt (some string) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Restrict the machine side of the differential check to one execution \
+                 engine (single, block, or traced; default: all three). The per-case \
+                 --matrix output is timing-free, so two single-engine campaigns — e.g. \
+                 --engine traced vs --engine block — must be byte-identical.")
 
 let size_arg =
   Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc:"Upper bound on program size (number of optional chunks).")
@@ -345,8 +365,8 @@ let cmd =
   Cmd.v
     (Cmd.info "roload-fuzz" ~doc)
     Term.(
-      const main $ seed_arg $ count_arg $ budget_arg $ scheme_arg $ size_arg
-      $ json_arg $ check_oracle_arg $ corpus_arg $ replay_arg $ distill_arg
-      $ elide_arg $ matrix_arg)
+      const main $ seed_arg $ count_arg $ budget_arg $ scheme_arg $ engine_arg
+      $ size_arg $ json_arg $ check_oracle_arg $ corpus_arg $ replay_arg
+      $ distill_arg $ elide_arg $ matrix_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,7 @@
 (* roload_run — load an .rxe image and run it on the simulated system.
 
    Usage: roload_run prog.rxe [--system baseline|processor|full]
+                              [--engine single|block|traced]
                               [--trace out.json] [--trace-text out.txt]
                               [--profile] [--metrics] [--disasm N] *)
 
@@ -11,8 +12,26 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let run path system_name verbose disasm_count trace_path trace_text_path profile
-    metrics =
+let run path system_name engine_name verbose disasm_count trace_path trace_text_path
+    profile metrics =
+  let engine =
+    match engine_name with
+    | None -> (
+      (* validate ROLOAD_ENGINE up front so a typo is a clean usage
+         error, not an uncaught exception mid-run *)
+      try
+        ignore (Roload_machine.Machine.effective_engine ());
+        None
+      with Failure msg ->
+        prerr_endline msg;
+        exit 2)
+    | Some name -> (
+      match Roload_machine.Machine.engine_of_string name with
+      | Ok e -> Some e
+      | Error msg ->
+        prerr_endline msg;
+        exit 2)
+  in
   let variant =
     match system_name with
     | "baseline" -> Core.System.Baseline
@@ -40,7 +59,7 @@ let run path system_name verbose disasm_count trace_path trace_text_path profile
     | None, None -> None
     | Some _, _ | _, Some _ -> Some (Roload_obs.Tracer.create ())
   in
-  let m = Core.System.run ?trace ?tracer ~profile ~variant exe in
+  let m = Core.System.run ?trace ?tracer ?engine ~profile ~variant exe in
   print_string m.Core.System.output;
   (match (tracer, trace_path) with
   | Some tr, Some p ->
@@ -53,7 +72,24 @@ let run path system_name verbose disasm_count trace_path trace_text_path profile
     write_file p (Roload_obs.Tracer.to_text tr);
     Printf.eprintf "trace text: %d events -> %s\n" (Roload_obs.Tracer.length tr) p
   | _ -> ());
-  if profile then prerr_string (Roload_obs.Profile.render m.Core.System.profile);
+  if profile then begin
+    prerr_string (Roload_obs.Profile.render m.Core.System.profile);
+    (* trace coverage: which share of retired instructions ran inside a
+       compiled trace — the observable for tuning ROLOAD_TRACE_HOT *)
+    let mt = m.Core.System.metrics in
+    let cov =
+      if Int64.equal mt.Roload_obs.Metrics.instructions 0L then 0.
+      else
+        100.
+        *. Int64.to_float (Int64.of_int mt.Roload_obs.Metrics.trace_retires)
+        /. Int64.to_float mt.Roload_obs.Metrics.instructions
+    in
+    Printf.eprintf
+      "trace coverage: %5.1f%%  (%d of %Ld retired instructions in %d compiled traces, \
+       %d trace entries)\n"
+      cov mt.Roload_obs.Metrics.trace_retires mt.Roload_obs.Metrics.instructions
+      mt.Roload_obs.Metrics.traces_compiled mt.Roload_obs.Metrics.trace_enters
+  end;
   if metrics then prerr_endline (Roload_obs.Metrics.to_json m.Core.System.metrics);
   if verbose then begin
     Printf.eprintf "status:       %s\n" (Core.System.status_string m);
@@ -77,6 +113,13 @@ let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.rxe"
 let system_arg =
   Arg.(value & opt string "full"
        & info [ "system" ] ~doc:"System variant: baseline, processor, or full.")
+
+let engine_arg =
+  Arg.(value & opt (some string) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:
+             "Execution engine: single, block, or traced (default: traced; \
+              \\$ROLOAD_ENGINE overrides). All engines are cycle-exact to each other.")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print run statistics.")
 
@@ -106,7 +149,7 @@ let metrics_arg =
 let cmd =
   Cmd.v
     (Cmd.info "roload_run" ~doc:"Run an RXE image on the simulated ROLoad system")
-    Term.(const run $ path_arg $ system_arg $ verbose_arg $ disasm_arg $ trace_arg
-          $ trace_text_arg $ profile_arg $ metrics_arg)
+    Term.(const run $ path_arg $ system_arg $ engine_arg $ verbose_arg $ disasm_arg
+          $ trace_arg $ trace_text_arg $ profile_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

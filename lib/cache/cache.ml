@@ -163,6 +163,27 @@ let rehit t { h_line; h_tag; h_addr } =
   end
   else false
 
+(* [n] consecutive rehits on the same line, batched into O(1) state
+   updates: the clock advances by [n], the line's recency lands on the
+   final clock value, and [n] hits are counted — exactly the state [n]
+   sequential [rehit]s leave behind.  The observer still fires once per
+   accounted access. *)
+let rehit_many t { h_line; h_tag; h_addr } ~n =
+  if n <= 0 then true
+  else if h_line.valid && h_line.tag = h_tag then begin
+    t.clock <- t.clock + n;
+    h_line.last_use <- t.clock;
+    t.stats.hits <- t.stats.hits + n;
+    (match t.observer with
+    | None -> ()
+    | Some f ->
+      for _ = 1 to n do
+        f ~addr:h_addr ~write:false ~hit:true ~writeback:false
+      done);
+    true
+  end
+  else false
+
 let flush t =
   Array.iter (Array.iter (fun l -> l.valid <- false; l.dirty <- false)) t.sets
 

@@ -52,6 +52,12 @@ val rehit : t -> handle -> bool
     holds the same tag.  Returns [false] with {i no} accounting otherwise;
     the caller must then fall back to [access]. *)
 
+val rehit_many : t -> handle -> n:int -> bool
+(** [n] consecutive {!rehit}s on the handled line, batched into O(1)
+    state updates — the trace engine's per-chunk fetch accounting.
+    Returns [false] with {i no} accounting when the line no longer holds
+    the tag; [true] without accounting when [n <= 0]. *)
+
 val flush : t -> unit
 val reset_stats : t -> unit
 val miss_rate : t -> float

@@ -46,6 +46,7 @@ let access_ifetch_handle t ~pa =
   (cost_of t outcome ~hit_cost:0, h)
 
 let rehit_ifetch t h = Cache.rehit t.icache h
+let rehit_ifetch_many t h ~n = Cache.rehit_many t.icache h ~n
 
 (* Data access: L1 hits cost the load-use latency. *)
 let access_data t ~pa ~write =

@@ -31,6 +31,10 @@ val rehit_ifetch : t -> Cache.handle -> bool
     always 0 cycles), or report [false] with no accounting — the caller then
     falls back to [access_ifetch]. *)
 
+val rehit_ifetch_many : t -> Cache.handle -> n:int -> bool
+(** [n] same-line fetch rehits batched into O(1) accounting (each costs 0
+    cycles); [false] with no accounting when the line was evicted. *)
+
 val access_data : t -> pa:int -> write:bool -> int
 val access_ptw : t -> pa:int -> int
 (** Page-table-walker access (through the D-cache, as in Rocket). *)

@@ -1,18 +1,24 @@
 (* PR-over-PR performance trajectory: per-experiment wall-clock, simulated
    instruction counts and simulated MIPS, written as a small hand-rolled
    JSON document (the container has no JSON library; the format is flat
-   enough that a scanner suffices for the CI baseline check). *)
+   enough that a scanner suffices for the CI baseline check).
+
+   Schema v2 adds the execution engine to every entry, so a bench file
+   records which engine produced its numbers and baselines are only ever
+   compared like-for-like. *)
 
 type entry = {
   name : string;
+  engine : string; (* execution engine the entry ran on ("traced", ...) *)
   wall_s : float;
   instructions : int; (* simulated instructions retired during this entry *)
   sim_mips : float; (* instructions / wall_s / 1e6 *)
 }
 
-let entry ~name ~wall_s ~instructions =
+let entry ~name ~engine ~wall_s ~instructions =
   {
     name;
+    engine;
     wall_s;
     instructions;
     sim_mips = (if wall_s > 0.0 then float_of_int instructions /. wall_s /. 1e6 else 0.0);
@@ -29,7 +35,7 @@ let totals entries =
 let to_json ?(scale = 1) ?(jobs = 1) entries =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"roload-bench-v1\",\n";
+  Buffer.add_string b "  \"schema\": \"roload-bench-v2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"scale\": %d,\n" scale);
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b "  \"entries\": [\n";
@@ -38,8 +44,8 @@ let to_json ?(scale = 1) ?(jobs = 1) entries =
     (fun i e ->
       Buffer.add_string b
         (Printf.sprintf
-           "    { \"name\": \"%s\", \"wall_s\": %.3f, \"instructions\": %d, \"sim_mips\": %.3f }%s\n"
-           (escape e.name) e.wall_s e.instructions e.sim_mips
+           "    { \"name\": \"%s\", \"engine\": \"%s\", \"wall_s\": %.3f, \"instructions\": %d, \"sim_mips\": %.3f }%s\n"
+           (escape e.name) (escape e.engine) e.wall_s e.instructions e.sim_mips
            (if i = n - 1 then "" else ",")))
     entries;
   Buffer.add_string b "  ],\n";
@@ -57,7 +63,8 @@ let write ~path ?scale ?jobs entries =
   close_out oc
 
 (* Minimal scanner for the CI baseline check: find the first
-   ["total_mips":] key and parse the number after it. *)
+   ["total_mips":] key and parse the number after it.  Key-based, so it
+   reads v1 and v2 files alike. *)
 let read_total_mips path =
   match
     try

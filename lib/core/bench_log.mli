@@ -1,15 +1,17 @@
 (** PR-over-PR performance trajectory: per-experiment wall-clock,
     simulated instruction counts and simulated MIPS, serialized as a
-    small JSON document ([results/bench.json]). *)
+    small JSON document ([results/bench.json], schema [roload-bench-v2]:
+    every entry carries the execution engine that produced it). *)
 
 type entry = {
   name : string;
+  engine : string;  (** execution engine the entry ran on *)
   wall_s : float;
   instructions : int;  (** simulated instructions retired in this entry *)
   sim_mips : float;  (** instructions / wall_s / 1e6 *)
 }
 
-val entry : name:string -> wall_s:float -> instructions:int -> entry
+val entry : name:string -> engine:string -> wall_s:float -> instructions:int -> entry
 
 val totals : entry list -> float * int * float
 (** [(wall_s, instructions, mips)] aggregated over the entries. *)
@@ -19,4 +21,5 @@ val write : path:string -> ?scale:int -> ?jobs:int -> entry list -> unit
 
 val read_total_mips : string -> float option
 (** Scan a written file for its aggregate [total_mips] figure (used by
-    the CI regression gate); [None] if unreadable or absent. *)
+    the CI regression gate); key-based, so v1 baselines still read.
+    [None] if unreadable or absent. *)

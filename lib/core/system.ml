@@ -85,10 +85,7 @@ let snapshot_metrics ~machine ~kernel ~mmu =
   let faults = Mmu.fault_counts mmu in
   let cpu = Machine.cpu machine in
   {
-    Roload_obs.Metrics.engine =
-      (match Machine.engine machine with
-      | Machine.Block_cached -> "block"
-      | Machine.Single_step -> "single");
+    Roload_obs.Metrics.engine = Machine.engine_name (Machine.engine machine);
     instructions = Roload_machine.Cpu.instret cpu;
     cycles = Roload_machine.Cpu.cycles cpu;
     loads = counts.Machine.loads;
@@ -120,6 +117,9 @@ let snapshot_metrics ~machine ~kernel ~mmu =
     block_enters = Machine.block_enters machine;
     block_hits = Machine.block_hits machine;
     block_decodes = Machine.block_decodes machine;
+    trace_enters = Machine.trace_enters machine;
+    trace_retires = Machine.trace_retires machine;
+    traces_compiled = Machine.traces_compiled machine;
   }
 
 let run ?(max_instructions = 500_000_000L) ?trace ?tracer ?(profile = false) ?engine

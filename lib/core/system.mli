@@ -43,7 +43,8 @@ val run :
   Roload_obj.Exe.t ->
   measurement
 (** [engine] selects the execution engine for this run (defaults to the
-    machine's default, i.e. block-cached unless [ROLOAD_ENGINE=single]).
+    machine's effective default: [ROLOAD_ENGINE] if set, else the
+    process default, which is trace-compiled).
     [tracer] attaches the structured event tracer and [profile] enables
     hot-block profiling; neither changes the measurement — cycles,
     statistics and output are bit-identical with both off or on.

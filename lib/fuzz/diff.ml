@@ -2,11 +2,15 @@
 
    For each scheme: the oracle interprets the freshly-lowered, unhardened
    IR; the compiled pipeline (parse → lower → optimize → pass → codegen →
-   assemble → link) runs on both execution engines under the full ROLoad
-   system variant.  All three observations must agree on the stop class
-   (exit code / ROLoad fault / check abort / plain segfault) and on the
-   exact output bytes; the engines must additionally agree on cycle and
-   instruction counts (they are documented cycle-exact).
+   assemble → link) runs on every execution engine (single-step
+   reference, block-cached, trace-compiled) under the full ROLoad system
+   variant.  All observations must agree on the stop class (exit code /
+   ROLoad fault / check abort / plain segfault) and on the exact output
+   bytes; the engines must additionally agree on cycle and instruction
+   counts (they are documented cycle-exact).  The trace hotness threshold
+   is lowered to 1 for the machine runs, so even short generated programs
+   exercise the trace compiler rather than skating by on the block
+   engine.
 
    The oracle's fuel and the machines' instruction budget are deliberately
    far apart (200k IR steps vs 50M machine instructions) so a program the
@@ -33,6 +37,9 @@ type case_result =
   | Divergent of divergence
 
 let schemes_under_test = Pass.all_schemes
+
+let engines_under_test =
+  [ Machine.Single_step; Machine.Block_cached; Machine.Traced ]
 
 let lower_fresh ~name source =
   let ast = Roload_front.Parser.parse source in
@@ -99,8 +106,10 @@ let sabotage_drop_gfpt scheme (m : Ir.modul) =
 let behavior_of_measurement (ms : System.measurement) =
   { Ir_eval.stop = Trapclass.stop_of_status ms.System.status; output = ms.System.output }
 
-let run_source ?(schemes = schemes_under_test) ?(max_instructions = 50_000_000L)
-    ?(fuel = 200_000) ?(elide = false) ?sabotage ~name source =
+let run_source ?(schemes = schemes_under_test) ?(engines = engines_under_test)
+    ?(max_instructions = 50_000_000L) ?(fuel = 200_000) ?(elide = false) ?sabotage
+    ~name source =
+  let engines = if engines = [] then engines_under_test else engines in
   (* one unhardened lowering for the oracle; each scheme re-enters the
      full pipeline from source, parser included *)
   match
@@ -120,37 +129,54 @@ let run_source ?(schemes = schemes_under_test) ?(max_instructions = 50_000_000L)
         divergence :=
           Some { dv_scheme = scheme; dv_stage = stage; dv_expected = expected; dv_actual = actual }
     in
-    try
-      List.iter
-        (fun (scheme, expect) ->
-          if !divergence = None then begin
-            let exe =
-              match sabotage with
-              | None ->
-                Toolchain.compile_exe
-                  ~options:{ Toolchain.default_options with scheme; elide }
-                  ~name source
-              | Some hook -> fst (compile_sabotaged ~scheme ~sabotage:hook ~name source)
-            in
-            let run engine =
-              System.run ~max_instructions ~engine
-                ~variant:System.Processor_kernel_modified exe
-            in
-            let single = run Machine.Single_step in
-            let block = run Machine.Block_cached in
-            let exp_s = Ir_eval.behavior_to_string expect in
-            check scheme "oracle-vs-single" ~expected:exp_s
-              ~actual:(Ir_eval.behavior_to_string (behavior_of_measurement single));
-            check scheme "oracle-vs-block" ~expected:exp_s
-              ~actual:(Ir_eval.behavior_to_string (behavior_of_measurement block));
-            check scheme "single-vs-block"
-              ~expected:
-                (Printf.sprintf "cycles=%Ld instructions=%Ld" single.System.cycles
-                   single.System.instructions)
-              ~actual:
-                (Printf.sprintf "cycles=%Ld instructions=%Ld" block.System.cycles
-                   block.System.instructions)
-          end)
-        oracle;
-      match !divergence with Some d -> Divergent d | None -> Agree oracle
-    with Toolchain.Compile_error e -> Skipped ("compile: " ^ e))
+    let prev_hot = Machine.default_hot_threshold () in
+    Machine.set_default_hot_threshold 1;
+    Fun.protect
+      ~finally:(fun () -> Machine.set_default_hot_threshold prev_hot)
+      (fun () ->
+        try
+          List.iter
+            (fun (scheme, expect) ->
+              if !divergence = None then begin
+                let exe =
+                  match sabotage with
+                  | None ->
+                    Toolchain.compile_exe
+                      ~options:{ Toolchain.default_options with scheme; elide }
+                      ~name source
+                  | Some hook ->
+                    fst (compile_sabotaged ~scheme ~sabotage:hook ~name source)
+                in
+                let run engine =
+                  ( engine,
+                    System.run ~max_instructions ~engine
+                      ~variant:System.Processor_kernel_modified exe )
+                in
+                let runs = List.map run engines in
+                let exp_s = Ir_eval.behavior_to_string expect in
+                List.iter
+                  (fun (engine, ms) ->
+                    check scheme
+                      ("oracle-vs-" ^ Machine.engine_name engine)
+                      ~expected:exp_s
+                      ~actual:(Ir_eval.behavior_to_string (behavior_of_measurement ms)))
+                  runs;
+                (* engines are documented cycle-exact: pin every engine's
+                   counters to the first one's *)
+                let counters (ms : System.measurement) =
+                  Printf.sprintf "cycles=%Ld instructions=%Ld" ms.System.cycles
+                    ms.System.instructions
+                in
+                match runs with
+                | [] -> ()
+                | (e0, m0) :: rest ->
+                  List.iter
+                    (fun (e, m) ->
+                      check scheme
+                        (Machine.engine_name e0 ^ "-vs-" ^ Machine.engine_name e)
+                        ~expected:(counters m0) ~actual:(counters m))
+                    rest
+              end)
+            oracle;
+          match !divergence with Some d -> Divergent d | None -> Agree oracle
+        with Toolchain.Compile_error e -> Skipped ("compile: " ^ e)))

@@ -1,8 +1,8 @@
 (** The differential runner: compile one MiniC program under every
     hardening scheme and check IR-oracle ≡ single-step engine ≡
-    block-cached engine, including trap equivalence — a program the
-    oracle says must SIGSEGV with the ROLoad triage must do so on both
-    engines, and must not trap under [none]. *)
+    block-cached engine ≡ trace-compiled engine, including trap
+    equivalence — a program the oracle says must SIGSEGV with the ROLoad
+    triage must do so on every engine, and must not trap under [none]. *)
 
 module Pass = Roload_passes.Pass
 module Ir = Roload_ir.Ir
@@ -10,8 +10,8 @@ module Ir = Roload_ir.Ir
 type divergence = {
   dv_scheme : Pass.scheme;
   dv_stage : string;
-      (** which pair disagreed: ["oracle-vs-single"], ["oracle-vs-block"]
-          or ["single-vs-block"] *)
+      (** which pair disagreed: ["oracle-vs-<engine>"] on behavior, or
+          ["<engine0>-vs-<engine>"] on cycle/instruction counters *)
   dv_expected : string;
   dv_actual : string;
 }
@@ -26,6 +26,10 @@ type case_result =
 
 val schemes_under_test : Pass.scheme list
 
+val engines_under_test : Roload_machine.Machine.engine list
+(** The default machine-engine matrix: single-step reference,
+    block-cached, trace-compiled. *)
+
 val oracle_behaviors :
   ?schemes:Pass.scheme list ->
   string ->
@@ -36,6 +40,7 @@ val oracle_behaviors :
 
 val run_source :
   ?schemes:Pass.scheme list ->
+  ?engines:Roload_machine.Machine.engine list ->
   ?max_instructions:int64 ->
   ?fuel:int ->
   ?elide:bool ->
@@ -44,6 +49,12 @@ val run_source :
   string ->
   case_result
 (** [run_source ~name source] performs the full differential check.
+    [engines] (default {!engines_under_test}, [[]] means the default)
+    restricts the machine-engine side of the matrix — e.g. [--engine
+    traced] campaigns whose per-case outcome matrices are byte-diffed
+    against [--engine block] ones; the first listed engine anchors the
+    cycle-exactness comparison.  The machine runs force the trace
+    hotness threshold to 1 so short programs still compile traces.
     [sabotage] is the mutation-self-check hook: it runs after the
     hardening pass and before code generation for each scheme and may
     plant a miscompile, returning whether it changed anything (the

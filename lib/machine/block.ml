@@ -25,17 +25,48 @@ type t = {
   mutable slots : slot array;
   mutable len : int;
   mutable closed : bool; (* no further slots: terminator or page end *)
+  (* Trace-engine bookkeeping, recorded by the traced dispatch loop and
+     consumed by the superblock stitcher.  Pure heuristics: they steer
+     which traces get compiled, never what executing one computes. *)
+  mutable hot : int; (* dispatch-loop entries into this block *)
+  mutable succ_va : int; (* VA the last completed run continued at (-1: none) *)
+  mutable succ_stable : int; (* consecutive runs continuing at [succ_va] *)
+  mutable no_trace : bool; (* stitching from here failed; don't retry *)
 }
 
 let dummy_slot = { s_inst = Inst.nop; s_size = 2; s_pa = -1 }
 
-let create ~start_pa = { start_pa; slots = Array.make 8 dummy_slot; len = 0; closed = false }
+let create ~start_pa =
+  {
+    start_pa;
+    slots = Array.make 8 dummy_slot;
+    len = 0;
+    closed = false;
+    hot = 0;
+    succ_va = -1;
+    succ_stable = 0;
+    no_trace = false;
+  }
 
 let start_pa t = t.start_pa
 let length t = t.len
 let closed t = t.closed
 let close t = t.closed <- true
 let slot t i = Array.unsafe_get t.slots i
+
+let hot t = t.hot
+let note_enter t = t.hot <- t.hot + 1
+
+let note_successor t va =
+  if t.succ_va = va then t.succ_stable <- t.succ_stable + 1
+  else begin
+    t.succ_va <- va;
+    t.succ_stable <- 1
+  end
+
+let successor t = if t.succ_va < 0 then None else Some (t.succ_va, t.succ_stable)
+let no_trace t = t.no_trace
+let set_no_trace t = t.no_trace <- true
 
 let append t s =
   if t.len = Array.length t.slots then begin

@@ -26,6 +26,30 @@ val closed : t -> bool
 val close : t -> unit
 val append : t -> slot -> unit
 
+(** {2 Trace-engine bookkeeping}
+
+    Recorded by the traced dispatch loop, consumed by the superblock
+    stitcher.  Pure selection heuristics: they steer which traces get
+    compiled, never what executing one computes. *)
+
+val hot : t -> int
+(** Dispatch-loop entries into this block. *)
+
+val note_enter : t -> unit
+
+val note_successor : t -> int -> unit
+(** Record the VA execution continued at after running this block. *)
+
+val successor : t -> (int * int) option
+(** The last recorded successor VA and how many consecutive runs
+    continued there ([None] before the first record). *)
+
+val no_trace : t -> bool
+(** Stitching a trace from this block failed; don't retry until the
+    caches are flushed. *)
+
+val set_no_trace : t -> unit
+
 val is_terminator : Roload_isa.Inst.t -> bool
 (** Instructions after which execution does not fall through to
     [pc + size] (control flow, ecall, ebreak). *)

@@ -18,12 +18,15 @@ let set t r v =
   let i = Roload_isa.Reg.to_int r in
   if i <> 0 then t.regs.(i) <- v
 
+let regs t = t.regs
+
 let pc t = t.pc
 let set_pc t pc = t.pc <- pc
 let instret t = t.instret
 let cycles t = t.cycles
 let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
 let retire t = t.instret <- Int64.add t.instret 1L
+let retire_n t n = t.instret <- Int64.add t.instret (Int64.of_int n)
 
 let reset t =
   Array.fill t.regs 0 32 0L;

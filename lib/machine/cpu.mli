@@ -7,11 +7,22 @@ type t
 val create : unit -> t
 val get : t -> Roload_isa.Reg.t -> int64
 val set : t -> Roload_isa.Reg.t -> int64 -> unit
+
+val regs : t -> int64 array
+(** Direct access to the 32-slot register file, for the trace-compiled
+    engine's specialized closures.  Index 0 is x0 and must stay [0L]:
+    readers may load it freely, writers must skip index 0. *)
+
 val pc : t -> int
 val set_pc : t -> int -> unit
 val instret : t -> int64
 val cycles : t -> int64
 val add_cycles : t -> int -> unit
 val retire : t -> unit
+
+val retire_n : t -> int -> unit
+(** Retire [n] instructions at once — the trace engine's batched
+    accounting; equivalent to [n] calls to {!retire}. *)
+
 val reset : t -> unit
 val dump : t -> string

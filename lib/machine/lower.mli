@@ -1,0 +1,74 @@
+(** Trace lowering: compile a {!Trace.plan} into one OCaml closure —
+    threaded code with per-slot work specialized at compile time and
+    cycle/retire accounting batched per chunk, flushed exactly at every
+    exit.  The contract is bit-identity with the per-instruction
+    reference engine: cycles, instret, cache/TLB statistics, fault
+    counts and memory state all match.
+
+    Traces must only run with no instruction-trace hook and no obs
+    tracer attached; the dispatch loop enforces this. *)
+
+(** Dynamic instruction-mix counters, shared with the machine (the
+    machine re-exports this type). *)
+type exec_counts = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable roloads : int;
+  mutable branches : int;
+  mutable jumps : int;
+  mutable indirect_jumps : int;
+}
+
+(** Why the trace handed control back.  Scratch counters are always
+    flushed and [Cpu.pc] always set before any of these is returned. *)
+type texit =
+  | T_redispatch  (** continue at [Cpu.pc] through the dispatch loop *)
+  | T_trap of Trap.t
+  | T_enter_block of { eb_pc : int; eb_pa : int }
+      (** a translation already accounted its I-TLB access but did not
+          end in a trace entry (unplanned physical page at a seam, or a
+          chained exit whose target has no usable trace); the dispatcher
+          must run the block at [eb_pa] without re-translating *)
+
+type compiled = {
+  c_entry_va : int;
+  c_entry_pa : int;
+  c_max_retire : int;  (** slots retired by one front-to-back pass *)
+  c_n_segs : int;
+  c_n_slots : int;
+  c_run : fuel:int -> Roload_mem.Tlb.handle -> texit;
+      (** [h] is the I-TLB handle of the entry page, captured after the
+          dispatcher's entry translation; [fuel] must be at least
+          [c_max_retire] *)
+}
+
+(** Everything a lowered closure needs from the machine, captured once
+    at compile time. *)
+type env = {
+  cpu : Cpu.t;
+  regs : int64 array;  (** [Cpu.regs cpu]; index 0 is x0 and stays 0 *)
+  mem : Roload_mem.Phys_mem.t;
+  hier : Roload_cache.Hierarchy.t;
+  mmu : Roload_mem.Mmu.t;
+  itlb : Roload_mem.Tlb.t;
+  counts : exec_counts;
+  key_counts : int array;
+  line_shift : int;
+  c_base : int;
+  c_mispredict : int;
+  c_jalr_indirect : int;
+  c_mul : int;
+  c_div : int;
+  c_ptw : int;
+  page_holds_code : int -> bool;
+  flush_code : unit -> unit;
+  find_trace : int -> compiled option;
+      (** live view of the machine's trace table keyed by entry PA, for
+          trace-to-trace chaining at dynamic exits *)
+}
+
+val compilable : roload_enabled:bool -> Block.t -> bool
+(** Every slot of the block can be lowered: no ecall/ebreak, and no
+    ld.ro on a baseline (non-ROLoad) machine. *)
+
+val compile : env -> Trace.plan -> compiled

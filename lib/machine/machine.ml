@@ -34,7 +34,10 @@ type costs = {
 let default_costs =
   { base = 1; branch_mispredict = 3; jalr_indirect = 2; mul = 3; div = 32; ptw_step = 8 }
 
-type exec_counts = {
+(* Dynamic instruction-mix counters live in [Lower] (the trace compiler
+   increments them from lowered closures); re-exported here so existing
+   users keep saying [Machine.exec_counts]. *)
+type exec_counts = Lower.exec_counts = {
   mutable loads : int;
   mutable stores : int;
   mutable roloads : int;
@@ -43,24 +46,64 @@ type exec_counts = {
   mutable indirect_jumps : int;
 }
 
-type engine = Block_cached | Single_step
+type engine = Block_cached | Single_step | Traced
 
-(* Per-block profile accumulator (block-cached engine only), keyed by the
-   block's start PA.  Profiling, like tracing, never touches simulated
-   state — it reads the cycle/instret counters around each block visit. *)
+let engine_name = function
+  | Single_step -> "single"
+  | Block_cached -> "block"
+  | Traced -> "traced"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "single" | "single-step" | "step" -> Ok Single_step
+  | "block" | "block-cached" | "blocks" -> Ok Block_cached
+  | "traced" | "trace" -> Ok Traced
+  | _ -> Error (Printf.sprintf "unknown engine %S (valid: single, block, traced)" s)
+
+(* Per-block profile accumulator (block-cached and traced engines), keyed
+   by the block's (or trace entry's) start PA.  Profiling, like tracing,
+   never touches simulated state — it reads the cycle/instret counters
+   around each visit. *)
 type prof = {
   mutable p_entries : int;
   mutable p_cycles : int64;
   mutable p_insts : int64;
 }
 
-(* The block-cached engine is the default; [ROLOAD_ENGINE=single] selects
-   the per-instruction reference interpreter (the original hot loop), kept
-   for differential testing. *)
-let engine_of_env () =
+(* The trace-compiled engine is the default; [ROLOAD_ENGINE] overrides it
+   ([single] is the per-instruction reference interpreter, kept for
+   differential testing; [block] the PR 2 block-cached engine).  An
+   unrecognized value fails loudly — a silently misread engine name would
+   invalidate benchmark comparisons. *)
+let default_engine = ref Traced
+let set_default_engine e = default_engine := e
+
+(* The engine a [create] with no [?engine] argument would pick right now
+   — the process default unless [ROLOAD_ENGINE] overrides it.  Harness
+   front-ends use this to label their output. *)
+let effective_engine () =
   match Sys.getenv_opt "ROLOAD_ENGINE" with
-  | Some ("single" | "single-step" | "step") -> Single_step
-  | Some _ | None -> Block_cached
+  | None | Some "" -> !default_engine
+  | Some s -> (
+    match engine_of_string s with
+    | Ok e -> e
+    | Error msg -> failwith ("ROLOAD_ENGINE: " ^ msg))
+
+(* Dispatch-loop entries before a block is considered hot enough to seed
+   a trace; ROLOAD_TRACE_HOT overrides (tests use 1 to force immediate
+   compilation), and the differential fuzzer lowers the process default
+   so short generated programs still exercise the trace compiler. *)
+let default_hot_threshold' = ref 64
+let default_hot_threshold () = !default_hot_threshold'
+let set_default_hot_threshold n = default_hot_threshold' := max 1 n
+
+let hot_threshold_of_env () =
+  match Sys.getenv_opt "ROLOAD_TRACE_HOT" with
+  | None | Some "" -> !default_hot_threshold'
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> !default_hot_threshold')
 
 type t = {
   config : Config.t;
@@ -88,6 +131,13 @@ type t = {
   mutable block_enters : int;
   mutable block_hits : int; (* entries that found a pre-decoded block *)
   mutable block_decodes : int; (* slots lazily decoded and appended *)
+  traces : (int, Lower.compiled) Hashtbl.t;
+      (* compiled traces, keyed by entry-block start PA; flushed with the
+         block cache so self-modifying code can never run a stale trace *)
+  hot_threshold : int; (* block entries before a trace is attempted *)
+  mutable trace_enters : int; (* dispatches into a compiled trace *)
+  mutable trace_retires : int; (* instructions retired inside traces *)
+  mutable traces_compiled : int;
   mutable injections : int;
       (* roload-chaos faults applied to this machine's state — always
          counted, so the metrics snapshot is exact with tracing off *)
@@ -99,7 +149,7 @@ type step_result =
   | Trapped of Trap.t
 
 let create ?(costs = default_costs) ?engine (config : Config.t) =
-  let engine = match engine with Some e -> e | None -> engine_of_env () in
+  let engine = match engine with Some e -> e | None -> effective_engine () in
   {
     config;
     cpu = Cpu.create ();
@@ -124,6 +174,11 @@ let create ?(costs = default_costs) ?engine (config : Config.t) =
     block_enters = 0;
     block_hits = 0;
     block_decodes = 0;
+    traces = Hashtbl.create 64;
+    hot_threshold = hot_threshold_of_env ();
+    trace_enters = 0;
+    trace_retires = 0;
+    traces_compiled = 0;
     injections = 0;
     profile = None;
   }
@@ -135,12 +190,13 @@ let hierarchy t = t.hierarchy
 let counts t = t.counts
 let engine t = t.engine
 
-(* Drop every memoized decode: pre-decoded blocks, the per-pa decode memo
-   and the code-page bitmap.  [code_gen] tells an in-flight block run that
-   the block it is executing no longer exists. *)
+(* Drop every memoized decode: pre-decoded blocks, compiled traces, the
+   per-pa decode memo and the code-page bitmap.  [code_gen] tells an
+   in-flight block run that the block it is executing no longer exists. *)
 let flush_code_caches t =
   Hashtbl.reset t.decode_cache;
   Hashtbl.reset t.blocks;
+  Hashtbl.reset t.traces;
   Bytes.fill t.code_pages 0 (Bytes.length t.code_pages) '\000';
   t.code_gen <- t.code_gen + 1
 
@@ -156,6 +212,7 @@ let page_holds_code t pa =
 
 let cached_blocks t = Hashtbl.length t.blocks
 let cached_decodes t = Hashtbl.length t.decode_cache
+let cached_traces t = Hashtbl.length t.traces
 
 (* (Re)point the generic cache/TLB observer closures at the current
    tracer.  The mem/cache libraries stay obs-free: they call a closure,
@@ -208,6 +265,9 @@ let roload_key_counts t = t.roload_key_counts
 let block_enters t = t.block_enters
 let block_hits t = t.block_hits
 let block_decodes t = t.block_decodes
+let trace_enters t = t.trace_enters
+let trace_retires t = t.trace_retires
+let traces_compiled t = t.traces_compiled
 let injections t = t.injections
 
 (* roload-chaos entry point: count the applied fault and surface it on
@@ -568,43 +628,32 @@ let page_mask = Page_table.page_size - 1
      exactly when the reference engine pays them — and are memoized per pa
      across blocks, so jumping into already-decoded code never re-charges.
 *)
-let run_blocks t ~stop_at_pc ~fuel =
+
+let prof_charge tbl ~pa ~cycles ~insts =
+  let p =
+    match Hashtbl.find_opt tbl pa with
+    | Some p -> p
+    | None ->
+      let p = { p_entries = 0; p_cycles = 0L; p_insts = 0L } in
+      Hashtbl.add tbl pa p;
+      p
+  in
+  p.p_entries <- p.p_entries + 1;
+  p.p_cycles <- Int64.add p.p_cycles cycles;
+  p.p_insts <- Int64.add p.p_insts insts
+
+(* Execute [block] starting at slot 0 (pc [pc0], already translated to
+   [pa] with the I-TLB access accounted and [tlb_handle] captured by the
+   caller).  Returns [None] to hand control back to the dispatch loop
+   (block over: fall through or jump elsewhere), [Some r] to finish the
+   run.  Shared by the block-cached and traced engines. *)
+let exec_block t ~stop_at_pc ~(fuel : int ref) ~pc0 ~pa ~vpn ~tlb_handle ~block =
   let cpu = t.cpu in
   let mmu = mmu_exn t in
   let itlb = Mmu.itlb mmu in
   let hier = t.hierarchy in
-  let fuel = ref fuel in
-  let finished = ref None in
-  while !finished = None do
-    if !fuel <= 0 then finished := Some Exhausted
-    else begin
-      let pc0 = Cpu.pc cpu in
-      match stop_at_pc with
-      | Some s when s = pc0 -> finished := Some Stop_pc
-      | _ ->
-        if pc0 land 1 <> 0 then
-          finished := Some (Trap (Trap.Misaligned_access { pc = pc0; va = pc0; access = Perm.Fetch }))
-        else begin
-          match Mmu.translate mmu ~access:Perm.Fetch pc0 with
-          | Error f -> finished := Some (Trap (Trap.of_mmu_fault ~pc:pc0 f))
-          | Ok { pa; walk_steps; _ } ->
-            charge_walk t walk_steps;
-            let page_pbase = pa land lnot page_mask in
-            let vpn = pc0 lsr Page_table.page_shift in
-            let tlb_handle = Tlb.peek itlb ~vpn in
-            let block, cached =
-              match Hashtbl.find_opt t.blocks pa with
-              | Some b -> (b, true)
-              | None ->
-                let b = Block.create ~start_pa:pa in
-                Hashtbl.add t.blocks pa b;
-                (b, false)
-            in
-            t.block_enters <- t.block_enters + 1;
-            if cached then t.block_hits <- t.block_hits + 1;
-            (match t.tracer with
-            | None -> ()
-            | Some tr -> Tracer.emit tr (Event.Block_enter { pa; cached }));
+  let page_pbase = pa land lnot page_mask in
+  (
             let gen0 = t.code_gen in
             let icache_line = ref (-1) in
             let icache_handle = ref None in
@@ -745,28 +794,224 @@ let run_blocks t ~stop_at_pc ~fuel =
                     else run (i + 1) ~pc:(pc + size)
               end
             in
-            (match t.profile with
-            | None -> (
-              match run 0 ~pc:pc0 with
-              | Some r -> finished := Some r
-              | None -> ())
+            match t.profile with
+            | None -> run 0 ~pc:pc0
             | Some tbl ->
               (* attribute this block visit's cycles/instructions to the
                  block's start PA; reading the counters is side-effect-free *)
               let cyc0 = Cpu.cycles cpu and ins0 = Cpu.instret cpu in
               let r = run 0 ~pc:pc0 in
-              let p =
-                match Hashtbl.find_opt tbl pa with
-                | Some p -> p
+              prof_charge tbl ~pa
+                ~cycles:(Int64.sub (Cpu.cycles cpu) cyc0)
+                ~insts:(Int64.sub (Cpu.instret cpu) ins0);
+              r)
+
+let run_blocks t ~stop_at_pc ~fuel =
+  let cpu = t.cpu in
+  let mmu = mmu_exn t in
+  let itlb = Mmu.itlb mmu in
+  let fuel = ref fuel in
+  let finished = ref None in
+  while !finished = None do
+    if !fuel <= 0 then finished := Some Exhausted
+    else begin
+      let pc0 = Cpu.pc cpu in
+      match stop_at_pc with
+      | Some s when s = pc0 -> finished := Some Stop_pc
+      | _ ->
+        if pc0 land 1 <> 0 then
+          finished := Some (Trap (Trap.Misaligned_access { pc = pc0; va = pc0; access = Perm.Fetch }))
+        else begin
+          match Mmu.translate mmu ~access:Perm.Fetch pc0 with
+          | Error f -> finished := Some (Trap (Trap.of_mmu_fault ~pc:pc0 f))
+          | Ok { pa; walk_steps; _ } ->
+            charge_walk t walk_steps;
+            let vpn = pc0 lsr Page_table.page_shift in
+            let tlb_handle = Tlb.peek itlb ~vpn in
+            let block, cached =
+              match Hashtbl.find_opt t.blocks pa with
+              | Some b -> (b, true)
+              | None ->
+                let b = Block.create ~start_pa:pa in
+                Hashtbl.add t.blocks pa b;
+                (b, false)
+            in
+            t.block_enters <- t.block_enters + 1;
+            if cached then t.block_hits <- t.block_hits + 1;
+            (match t.tracer with
+            | None -> ()
+            | Some tr -> Tracer.emit tr (Event.Block_enter { pa; cached }));
+            (match exec_block t ~stop_at_pc ~fuel ~pc0 ~pa ~vpn ~tlb_handle ~block with
+            | Some r -> finished := Some r
+            | None -> ())
+        end
+    end
+  done;
+  match !finished with Some r -> r | None -> assert false
+
+(* ---- trace-compiled engine ---- *)
+
+let lower_env t =
+  let mmu = mmu_exn t in
+  {
+    Lower.cpu = t.cpu;
+    regs = Cpu.regs t.cpu;
+    mem = t.mem;
+    hier = t.hierarchy;
+    mmu;
+    itlb = Mmu.itlb mmu;
+    counts = t.counts;
+    key_counts = t.roload_key_counts;
+    line_shift = t.line_shift;
+    c_base = t.costs.base;
+    c_mispredict = t.costs.branch_mispredict;
+    c_jalr_indirect = t.costs.jalr_indirect;
+    c_mul = t.costs.mul;
+    c_div = t.costs.div;
+    c_ptw = t.costs.ptw_step;
+    page_holds_code = (fun pa -> page_holds_code t pa);
+    flush_code = (fun () -> flush_code_caches t);
+    find_trace = (fun pa -> Hashtbl.find_opt t.traces pa);
+  }
+
+(* Try to stitch and compile a trace rooted at [block].  The static
+   resolver mirrors the MMU's user-fetch check without touching TLB or
+   cache state; a wrong answer only wastes a compile — every placement is
+   re-verified at run time by the trace's seams. *)
+let attempt_compile t ~entry_va ~entry_pa ~block =
+  let pt = Mmu.page_table (mmu_exn t) in
+  let resolve va =
+    if va < 0 || va land 1 <> 0 then None
+    else
+      match Page_table.walk pt va with
+      | Error _ -> None
+      | Ok { Page_table.pte; _ } ->
+        if Roload_mem.Pte.valid pte && Roload_mem.Pte.user pte
+           && Perm.allows (Roload_mem.Pte.perms pte) Perm.Fetch
+        then Some ((Roload_mem.Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask))
+        else None
+  in
+  let ok = Lower.compilable ~roload_enabled:t.config.Config.roload_processor in
+  match
+    Trace.build ~entry_va ~entry_pa ~entry_block:block ~resolve
+      ~block_at:(fun pa -> Hashtbl.find_opt t.blocks pa)
+      ~ok
+  with
+  | None -> Block.set_no_trace block
+  | Some plan ->
+    Hashtbl.replace t.traces entry_pa (Lower.compile (lower_env t) plan);
+    t.traces_compiled <- t.traces_compiled + 1
+
+(* The traced engine: the block-cached dispatch loop, plus hot-path
+   promotion.  Blocks record entry counts and taken successors; once a
+   block is hot its trace is stitched ([Trace.build]) and lowered
+   ([Lower.compile]), and later dispatches that land on the trace entry
+   run the compiled closure instead of interpreting slots.
+
+   Traces only run on "plain" dispatches: no instruction-trace hook, no
+   obs tracer, no [stop_at_pc], and enough fuel for a full pass — any of
+   those falls back to the block engine, whose per-slot path emits the
+   events and honors the stop.  Correctness never depends on when or
+   whether a trace runs. *)
+let run_traced t ~stop_at_pc ~fuel =
+  let cpu = t.cpu in
+  let mmu = mmu_exn t in
+  let itlb = Mmu.itlb mmu in
+  let fuel = ref fuel in
+  let finished = ref None in
+  let usable = t.trace = None && t.tracer = None && stop_at_pc = None in
+  (* the block that just finished, for successor-edge recording *)
+  let prev_block = ref None in
+  (* a seam translation that already accounted its I-TLB access but
+     resolved to an unplanned PA: run that block without re-translating *)
+  let pending = ref None in
+  while !finished = None do
+    if !fuel <= 0 then finished := Some Exhausted
+    else begin
+      let pc0 = Cpu.pc cpu in
+      match stop_at_pc with
+      | Some s when s = pc0 -> finished := Some Stop_pc
+      | _ ->
+        if pc0 land 1 <> 0 then
+          finished :=
+            Some (Trap (Trap.Misaligned_access { pc = pc0; va = pc0; access = Perm.Fetch }))
+        else begin
+          let trans =
+            match !pending with
+            | Some (p, pa) when p = pc0 ->
+              pending := None;
+              Ok pa
+            | _ -> (
+              pending := None;
+              match Mmu.translate mmu ~access:Perm.Fetch pc0 with
+              | Error f -> Error f
+              | Ok { pa; walk_steps; _ } ->
+                charge_walk t walk_steps;
+                Ok pa)
+          in
+          match trans with
+          | Error f -> finished := Some (Trap (Trap.of_mmu_fault ~pc:pc0 f))
+          | Ok pa ->
+            let vpn = pc0 lsr Page_table.page_shift in
+            let tlb_handle = Tlb.peek itlb ~vpn in
+            (match !prev_block with
+            | Some pb ->
+              Block.note_successor pb pc0;
+              prev_block := None
+            | None -> ());
+            let ran_trace =
+              usable
+              &&
+              match tlb_handle with
+              | None -> false
+              | Some h -> (
+                match Hashtbl.find_opt t.traces pa with
+                | Some c
+                  when c.Lower.c_entry_va = pc0 && !fuel >= c.Lower.c_max_retire ->
+                  t.trace_enters <- t.trace_enters + 1;
+                  let cyc0 = Cpu.cycles cpu and ins0 = Cpu.instret cpu in
+                  let r = c.Lower.c_run ~fuel:!fuel h in
+                  let dins = Int64.to_int (Int64.sub (Cpu.instret cpu) ins0) in
+                  fuel := !fuel - dins;
+                  t.trace_retires <- t.trace_retires + dins;
+                  (match t.profile with
+                  | None -> ()
+                  | Some tbl ->
+                    prof_charge tbl ~pa
+                      ~cycles:(Int64.sub (Cpu.cycles cpu) cyc0)
+                      ~insts:(Int64.of_int dins));
+                  (match r with
+                  | Lower.T_redispatch -> ()
+                  | Lower.T_trap tr -> finished := Some (Trap tr)
+                  | Lower.T_enter_block { eb_pc; eb_pa } -> pending := Some (eb_pc, eb_pa));
+                  true
+                | _ -> false)
+            in
+            if not ran_trace then begin
+              let block, cached =
+                match Hashtbl.find_opt t.blocks pa with
+                | Some b -> (b, true)
                 | None ->
-                  let p = { p_entries = 0; p_cycles = 0L; p_insts = 0L } in
-                  Hashtbl.add tbl pa p;
-                  p
+                  let b = Block.create ~start_pa:pa in
+                  Hashtbl.add t.blocks pa b;
+                  (b, false)
               in
-              p.p_entries <- p.p_entries + 1;
-              p.p_cycles <- Int64.add p.p_cycles (Int64.sub (Cpu.cycles cpu) cyc0);
-              p.p_insts <- Int64.add p.p_insts (Int64.sub (Cpu.instret cpu) ins0);
-              match r with Some r -> finished := Some r | None -> ())
+              t.block_enters <- t.block_enters + 1;
+              if cached then t.block_hits <- t.block_hits + 1;
+              (match t.tracer with
+              | None -> ()
+              | Some tr -> Tracer.emit tr (Event.Block_enter { pa; cached }));
+              Block.note_enter block;
+              if
+                usable && cached && Block.closed block
+                && (not (Block.no_trace block))
+                && Block.hot block >= t.hot_threshold
+                && not (Hashtbl.mem t.traces pa)
+              then attempt_compile t ~entry_va:pc0 ~entry_pa:pa ~block;
+              match exec_block t ~stop_at_pc ~fuel ~pc0 ~pa ~vpn ~tlb_handle ~block with
+              | Some r -> finished := Some r
+              | None -> prev_block := Some block
+            end
         end
     end
   done;
@@ -794,3 +1039,4 @@ let run_steps ?stop_at_pc ~fuel t =
   match t.engine with
   | Block_cached -> run_blocks t ~stop_at_pc ~fuel
   | Single_step -> run_single t ~stop_at_pc ~fuel
+  | Traced -> run_traced t ~stop_at_pc ~fuel

@@ -14,7 +14,7 @@ type costs = {
 
 val default_costs : costs
 
-type exec_counts = {
+type exec_counts = Lower.exec_counts = {
   mutable loads : int;
   mutable stores : int;
   mutable roloads : int;
@@ -26,15 +26,45 @@ type exec_counts = {
 type t
 
 type engine =
-  | Block_cached  (** pre-decoded basic blocks + fetch fast paths (default) *)
+  | Block_cached  (** pre-decoded basic blocks + fetch fast paths *)
   | Single_step  (** the per-instruction reference interpreter *)
+  | Traced
+      (** block engine + hot superblocks compiled to closures (default) *)
+
+val engine_name : engine -> string
+(** Canonical short name: ["single"], ["block"] or ["traced"]. *)
+
+val engine_of_string : string -> (engine, string) result
+(** Parse an engine name ([single]/[single-step]/[step],
+    [block]/[block-cached]/[blocks], [traced]/[trace], case-insensitive);
+    the error message lists the valid names. *)
+
+val set_default_engine : engine -> unit
+(** Override the engine used when neither [?engine] nor [ROLOAD_ENGINE]
+    says otherwise (initially {!Traced}). *)
+
+val effective_engine : unit -> engine
+(** The engine a [create] with no [?engine] argument picks right now:
+    [ROLOAD_ENGINE] when set (unknown values fail loudly), else the
+    process default.  Harness front-ends use this to label output. *)
+
+val default_hot_threshold : unit -> int
+(** The process-default trace hotness threshold: dispatch-loop entries
+    before a block seeds a trace (initially 64). *)
+
+val set_default_hot_threshold : int -> unit
+(** Override the default hotness threshold (clamped to [>= 1]) for
+    machines created afterwards; [ROLOAD_TRACE_HOT] still wins.  The
+    threshold only changes {e when} traces compile, never any
+    architectural counter — all settings are cycle-identical. *)
 
 type step_result = Continue | Trapped of Trap.t
 
 val create : ?costs:costs -> ?engine:engine -> Config.t -> t
-(** [engine] defaults to [Block_cached], or to the value of the
-    [ROLOAD_ENGINE] environment variable ([single] selects
-    [Single_step]).  Both engines are cycle-exact to each other. *)
+(** [engine] defaults to the [ROLOAD_ENGINE] environment variable when
+    set (unknown values fail loudly), else to the process default
+    ({!Traced} unless {!set_default_engine} was called).  All engines are
+    cycle-exact to each other. *)
 
 val cpu : t -> Cpu.t
 val mem : t -> Roload_mem.Phys_mem.t
@@ -49,12 +79,15 @@ val cached_blocks : t -> int
 val cached_decodes : t -> int
 (** Number of per-pa memoized decodes currently cached (introspection). *)
 
+val cached_traces : t -> int
+(** Number of compiled traces currently cached (introspection). *)
+
 val flush_code_caches : t -> unit
-(** Drop every pre-decoded block and decode memo.  Both engines share the
-    decode memo, so a flush affects their cycle accounting identically
-    (decode-time fetches are re-charged on next execution).  Called
-    automatically on [set_mmu] and on stores into pages holding decoded
-    instructions. *)
+(** Drop every pre-decoded block, compiled trace and decode memo.  All
+    engines share the decode memo, so a flush affects their cycle
+    accounting identically (decode-time fetches are re-charged on next
+    execution).  Called automatically on [set_mmu] and on stores into
+    pages holding decoded instructions. *)
 
 val set_mmu : t -> Roload_mem.Mmu.t option -> unit
 (** Install the scheduled process's address space (clears the decode
@@ -85,6 +118,17 @@ val block_hits : t -> int
 val block_decodes : t -> int
 (** Slots lazily decoded and appended to blocks. *)
 
+val trace_enters : t -> int
+(** Dispatches that entered a compiled trace (traced engine only). *)
+
+val trace_retires : t -> int
+(** Instructions retired inside compiled traces — the numerator of the
+    trace-coverage metric (its denominator is [Cpu.instret]). *)
+
+val traces_compiled : t -> int
+(** Traces stitched and lowered since the last flush-independent reset
+    (the counter itself is cumulative and survives code-cache flushes). *)
+
 val injections : t -> int
 (** roload-chaos faults applied to this machine's state (0 outside a
     campaign); always counted, independent of tracing. *)
@@ -95,9 +139,9 @@ val note_injection : t -> kind:string -> addr:int -> unit
     roload-chaos injector only. *)
 
 val set_profiling : t -> bool -> unit
-(** Enable/disable hot-block profiling (block-cached engine only).
-    Profiling reads the cycle counters around each block visit and never
-    changes simulated behaviour. *)
+(** Enable/disable hot-block profiling (block-cached and traced engines).
+    Profiling reads the cycle counters around each block/trace visit and
+    never changes simulated behaviour. *)
 
 val profile_blocks : t -> Roload_obs.Profile.block list
 (** Per-block profile snapshot (empty when profiling is off), with

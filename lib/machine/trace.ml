@@ -1,0 +1,185 @@
+(* Superblock/trace selection and stitching for the trace-compiled engine.
+
+   A trace is a linear sequence of already-decoded, closed basic blocks
+   glued across the edges execution actually takes: static edges (jal,
+   page-end fallthrough) are followed unconditionally, dynamic edges
+   (conditional branches, jalr) only once the dispatch loop has recorded
+   the same successor enough times in a row.  The stitcher works purely
+   on cached [Block.t]s plus an accounting-free static address resolver —
+   it never touches simulated state, so a failed or abandoned stitch is
+   invisible to the program under test.
+
+   Everything here is a heuristic *plan*; the lowering (see [Lower])
+   re-verifies every dynamic assumption at run time (seam translations
+   compare physical addresses, terminators compare the computed next pc
+   against the stitched successor) and side-exits back to the block
+   engine on any mismatch, so a wrong plan can cost time but never
+   correctness. *)
+
+module Inst = Roload_isa.Inst
+module Reg = Roload_isa.Reg
+
+(* Stitching limits: enough to swallow a hot inner loop with a few calls,
+   small enough that compile time and side-exit waste stay negligible. *)
+let max_blocks = 16
+let max_slots = 256
+
+(* Dynamic edges need this many consecutive identical successors before
+   they are considered biased enough to stitch through. *)
+let stability_threshold = 8
+
+(* How a segment's block ends, with every static quantity pre-resolved
+   against the segment's virtual placement. *)
+type term =
+  | K_jal of { rd : Reg.t; target_va : int }
+  | K_jalr of { rd : Reg.t; rs1 : Reg.t; imm : int64; is_return : bool }
+  | K_branch of {
+      cond : Inst.branch_cond;
+      rs1 : Reg.t;
+      rs2 : Reg.t;
+      taken_va : int;
+      fall_va : int;
+      predicted_taken : bool;
+    }
+  | K_fall of { next_va : int }  (** closed at the page end, no terminator *)
+
+(* How execution leaves the segment when the stitched expectation holds. *)
+type link =
+  | L_seg  (** fall into the next segment of the trace *)
+  | L_loop  (** back to segment 0 (the trace entry) *)
+  | L_exit  (** leave the trace; the dispatch loop takes over *)
+
+type seg = {
+  sg_va : int;  (** VA of the first slot *)
+  sg_pa : int;  (** static PA of the first slot (re-verified at seams) *)
+  sg_block : Block.t;
+  sg_term_va : int;  (** VA of the last slot *)
+  sg_end_va : int;  (** VA just past the last slot *)
+  sg_term : term;
+  sg_link : link;
+}
+
+type plan = {
+  p_entry_va : int;
+  p_entry_pa : int;
+  p_segs : seg array;
+  p_max_retire : int;  (** slots retired by one front-to-back pass *)
+}
+
+let term_position b ~va =
+  let n = Block.length b in
+  let rec go i v =
+    let s = Block.slot b i in
+    if i = n - 1 then (v, s) else go (i + 1) (v + s.Block.s_size)
+  in
+  go 0 va
+
+let term_of b ~va =
+  let term_va, last = term_position b ~va in
+  let end_va = term_va + last.Block.s_size in
+  let term =
+    match last.Block.s_inst with
+    | Inst.Jal (rd, off) -> K_jal { rd; target_va = term_va + Int64.to_int off }
+    | Inst.Jalr (rd, rs1, imm) ->
+      K_jalr { rd; rs1; imm; is_return = Reg.to_int rd = 0 && Reg.to_int rs1 = 1 }
+    | Inst.Branch (cond, rs1, rs2, off) ->
+      K_branch
+        {
+          cond;
+          rs1;
+          rs2;
+          taken_va = term_va + Int64.to_int off;
+          fall_va = end_va;
+          predicted_taken = Int64.compare off 0L < 0;
+        }
+    | Inst.Ecall | Inst.Ebreak ->
+      (* excluded from traces by the [ok] predicate *)
+      assert false
+    | _ -> K_fall { next_va = end_va }
+  in
+  (term_va, end_va, term)
+
+(* The successor worth stitching through, if any: static edges always,
+   dynamic edges only when the recorded successor is stable and (for
+   branches) is actually one of the two architectural targets. *)
+let preferred_successor b term =
+  match term with
+  | K_jal { target_va; _ } -> Some target_va
+  | K_fall { next_va } -> Some next_va
+  | K_branch { taken_va; fall_va; _ } -> (
+    match Block.successor b with
+    | Some (va, n) when n >= stability_threshold && (va = taken_va || va = fall_va) ->
+      Some va
+    | _ -> None)
+  | K_jalr { is_return = _; _ } -> (
+    match Block.successor b with
+    | Some (va, n) when n >= stability_threshold -> Some va
+    | _ -> None)
+
+(* Build a trace plan rooted at [entry_block].
+
+   [resolve va] is the accounting-free static resolver: the PA the MMU
+   would translate [va] to for a user-mode fetch right now, or [None].
+   [block_at pa] finds a cached block starting at [pa].  [ok b] is the
+   lowering's compilability predicate (no ecall/ebreak, no ld.ro on a
+   baseline machine, ...).
+
+   Returns [None] when not even a single-segment trace can be built. *)
+let build ~entry_va ~entry_pa ~entry_block ~resolve ~block_at ~ok =
+  if not (Block.closed entry_block) || Block.length entry_block = 0
+     || not (ok entry_block)
+  then None
+  else begin
+    let segs = ref [] in
+    let n_slots = ref 0 in
+    let used_vas = ref [] in
+    let add ~va ~pa b =
+      let term_va, end_va, term = term_of b ~va in
+      segs :=
+        { sg_va = va; sg_pa = pa; sg_block = b; sg_term_va = term_va;
+          sg_end_va = end_va; sg_term = term; sg_link = L_exit }
+        :: !segs;
+      n_slots := !n_slots + Block.length b;
+      used_vas := va :: !used_vas
+    in
+    add ~va:entry_va ~pa:entry_pa entry_block;
+    let finish link =
+      let segs =
+        match !segs with
+        | last :: rest -> List.rev ({ last with sg_link = link } :: rest)
+        | [] -> assert false
+      in
+      Some
+        {
+          p_entry_va = entry_va;
+          p_entry_pa = entry_pa;
+          p_segs = Array.of_list segs;
+          p_max_retire = !n_slots;
+        }
+    in
+    let rec extend cur =
+      match preferred_successor cur.sg_block cur.sg_term with
+      | None -> finish L_exit
+      | Some next_va ->
+        if next_va = entry_va then finish L_loop
+        else if List.mem next_va !used_vas then finish L_exit
+        else if List.length !used_vas >= max_blocks then finish L_exit
+        else begin
+          match resolve next_va with
+          | None -> finish L_exit
+          | Some next_pa -> (
+            match block_at next_pa with
+            | Some b
+              when Block.closed b && Block.length b > 0 && ok b
+                   && !n_slots + Block.length b <= max_slots ->
+              add ~va:next_va ~pa:next_pa b;
+              (* the just-added segment continues into whatever comes next *)
+              (match !segs with
+              | next :: prev :: rest -> segs := next :: { prev with sg_link = L_seg } :: rest
+              | _ -> assert false);
+              extend (List.hd !segs)
+            | _ -> finish L_exit)
+        end
+    in
+    extend (List.hd !segs)
+  end

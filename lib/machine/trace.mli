@@ -1,0 +1,65 @@
+(** Superblock/trace selection and stitching for the trace-compiled
+    engine: glue hot, already-decoded basic blocks across the edges
+    execution actually takes into a linear plan the lowering compiles to
+    one closure.  Pure planning — nothing here touches simulated state,
+    and every dynamic assumption recorded in a plan is re-verified at run
+    time by the lowered code. *)
+
+val max_blocks : int
+val max_slots : int
+
+val stability_threshold : int
+(** Consecutive identical successors required before a dynamic edge
+    (conditional branch, jalr) is stitched through. *)
+
+(** How a segment's block ends, with static targets pre-resolved against
+    the segment's virtual placement. *)
+type term =
+  | K_jal of { rd : Roload_isa.Reg.t; target_va : int }
+  | K_jalr of { rd : Roload_isa.Reg.t; rs1 : Roload_isa.Reg.t; imm : int64; is_return : bool }
+  | K_branch of {
+      cond : Roload_isa.Inst.branch_cond;
+      rs1 : Roload_isa.Reg.t;
+      rs2 : Roload_isa.Reg.t;
+      taken_va : int;
+      fall_va : int;
+      predicted_taken : bool;
+    }
+  | K_fall of { next_va : int }  (** closed at the page end, no terminator *)
+
+(** How execution leaves the segment when the stitched expectation holds. *)
+type link =
+  | L_seg  (** fall into the next segment of the trace *)
+  | L_loop  (** back to segment 0 (the trace entry) *)
+  | L_exit  (** leave the trace; the dispatch loop takes over *)
+
+type seg = {
+  sg_va : int;  (** VA of the first slot *)
+  sg_pa : int;  (** static PA of the first slot (re-verified at seams) *)
+  sg_block : Block.t;
+  sg_term_va : int;  (** VA of the last slot *)
+  sg_end_va : int;  (** VA just past the last slot *)
+  sg_term : term;
+  sg_link : link;
+}
+
+type plan = {
+  p_entry_va : int;
+  p_entry_pa : int;
+  p_segs : seg array;
+  p_max_retire : int;  (** slots retired by one front-to-back pass *)
+}
+
+val build :
+  entry_va:int ->
+  entry_pa:int ->
+  entry_block:Block.t ->
+  resolve:(int -> int option) ->
+  block_at:(int -> Block.t option) ->
+  ok:(Block.t -> bool) ->
+  plan option
+(** Build a trace plan rooted at [entry_block].  [resolve va] is an
+    accounting-free static resolver (the PA a user-mode fetch of [va]
+    would translate to right now); [block_at pa] finds a cached block
+    starting at [pa]; [ok] is the lowering's compilability predicate.
+    [None] when not even a single-segment trace can be built. *)

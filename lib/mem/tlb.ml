@@ -111,6 +111,28 @@ let rehit t ~vpn (e : handle) =
   end
   else None
 
+(* [n] consecutive rehits on the same entry, batched into O(1) state
+   updates.  Each individual rehit ticks the clock and stamps the entry's
+   recency with the new clock value, so [n] of them in a row leave the
+   clock advanced by [n] and the recency at the final value — exactly
+   what this computes.  The observer (when attached) still fires once per
+   accounted lookup. *)
+let rehit_many t ~vpn (e : handle) ~n =
+  if n <= 0 then true
+  else if e.valid && e.vpn = vpn then begin
+    t.clock <- t.clock + n;
+    e.last_use <- t.clock;
+    t.stats.hits <- t.stats.hits + n;
+    (match t.observer with
+    | None -> ()
+    | Some f ->
+      for _ = 1 to n do
+        f ~vpn ~hit:true
+      done);
+    true
+  end
+  else false
+
 let insert t ~vpn ~pte =
   let n = Array.length t.entries in
   (* Prefer an invalid slot; otherwise evict the least recently used. *)

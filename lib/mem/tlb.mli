@@ -36,6 +36,13 @@ val rehit : t -> vpn:int -> handle -> Pte.t option
     then fall back to [lookup], keeping observable TLB state identical to a
     plain [lookup] sequence. *)
 
+val rehit_many : t -> vpn:int -> handle -> n:int -> bool
+(** [n] consecutive {!rehit}s on the same entry, batched into O(1) state
+    updates (clock advanced by [n], recency at the final clock value,
+    [n] hits counted) — the trace engine's per-segment I-TLB accounting.
+    Returns [false] with {i no} accounting when the entry no longer
+    caches [vpn]; [true] without accounting when [n <= 0]. *)
+
 val insert : t -> vpn:int -> pte:Pte.t -> unit
 
 val insert_handle : t -> vpn:int -> pte:Pte.t -> handle

@@ -8,13 +8,14 @@
    sampled from the trace ring, so metrics are exact even when the ring
    drops events, and they are available with tracing off.
 
-   [core_equal] deliberately ignores [engine] and the [block_*] fields:
-   the single-step reference engine has no block cache, but every
-   architectural counter must agree between engines — the qcheck property
-   in test/test_obs.ml holds both engines to that. *)
+   [core_equal] deliberately ignores [engine] and the [block_*]/[trace_*]
+   fields: the single-step reference engine has no block cache and only
+   the traced engine compiles traces, but every architectural counter
+   must agree between engines — the qcheck property in test/test_obs.ml
+   holds all engines to that. *)
 
 type t = {
-  engine : string; (* "block" or "single" *)
+  engine : string; (* "single", "block" or "traced" *)
   instructions : int64;
   cycles : int64;
   (* retired instruction mix *)
@@ -52,6 +53,10 @@ type t = {
   block_enters : int;
   block_hits : int;
   block_decodes : int;
+  (* traced engine only; zero elsewhere *)
+  trace_enters : int; (* dispatches into a compiled trace *)
+  trace_retires : int; (* instructions retired inside traces *)
+  traces_compiled : int;
 }
 
 let zero =
@@ -88,6 +93,9 @@ let zero =
     block_enters = 0;
     block_hits = 0;
     block_decodes = 0;
+    trace_enters = 0;
+    trace_retires = 0;
+    traces_compiled = 0;
   }
 
 let roload_faults m = m.roload_faults_key + m.roload_faults_ro
@@ -160,6 +168,9 @@ let fields m =
     ("block_enters", J.int m.block_enters);
     ("block_hits", J.int m.block_hits);
     ("block_decodes", J.int m.block_decodes);
+    ("trace_enters", J.int m.trace_enters);
+    ("trace_retires", J.int m.trace_retires);
+    ("traces_compiled", J.int m.traces_compiled);
   ]
 
 let to_json m = Roload_util.Json.obj (fields m)

@@ -4,7 +4,7 @@
     available with tracing off. *)
 
 type t = {
-  engine : string;  (** "block" or "single" *)
+  engine : string;  (** "single", "block" or "traced" *)
   instructions : int64;
   cycles : int64;
   loads : int;
@@ -36,6 +36,9 @@ type t = {
   block_enters : int;  (** block-engine only; zero under single-step *)
   block_hits : int;
   block_decodes : int;
+  trace_enters : int;  (** traced engine only; zero elsewhere *)
+  trace_retires : int;  (** instructions retired inside compiled traces *)
+  traces_compiled : int;
 }
 
 val zero : t
@@ -49,8 +52,9 @@ val dcache_miss_pct : t -> float
 val icache_miss_pct : t -> float
 
 val core_equal : t -> t -> bool
-(** Architectural equality: ignores [engine] and the [block_*] fields so
-    the block-cached and single-step engines can be compared. *)
+(** Architectural equality: ignores [engine] and the [block_*]/[trace_*]
+    fields so the traced, block-cached and single-step engines can be
+    compared. *)
 
 val to_json : t -> string
 

@@ -1,8 +1,10 @@
-(* Execution-engine equivalence tests: the block-cached engine must be
-   observably indistinguishable — architectural state, traps, output,
-   and every cycle/cache/TLB counter — from the retained single-step
-   reference interpreter, on random programs, on every hardening
-   scheme, and across self-modifying code. *)
+(* Execution-engine equivalence tests: the block-cached and
+   trace-compiled engines must be observably indistinguishable —
+   architectural state, traps, output, and every cycle/cache/TLB
+   counter — from the retained single-step reference interpreter, on
+   random programs, on every hardening scheme, and across
+   self-modifying code.  The traced runs force the hotness threshold to
+   1 so even short test programs actually compile traces. *)
 
 module Machine = Roload_machine.Machine
 module Config = Roload_machine.Config
@@ -37,10 +39,20 @@ let check_same_measurement ctx (a : System.measurement) (b : System.measurement)
   chk "itlb" pair (stats_pair a.System.itlb) (stats_pair b.System.itlb);
   chk "dtlb" pair (stats_pair a.System.dtlb) (stats_pair b.System.dtlb)
 
+(* force immediate trace compilation inside [f], restoring afterwards *)
+let with_hot_threshold n f =
+  let prev = Machine.default_hot_threshold () in
+  Machine.set_default_hot_threshold n;
+  Fun.protect ~finally:(fun () -> Machine.set_default_hot_threshold prev) f
+
 let run_both_engines ?(variant = System.Processor_kernel_modified) ~ctx exe =
   let blocked = System.run ~engine:Machine.Block_cached ~variant exe in
   let stepped = System.run ~engine:Machine.Single_step ~variant exe in
-  check_same_measurement ctx blocked stepped;
+  let traced =
+    with_hot_threshold 1 (fun () -> System.run ~engine:Machine.Traced ~variant exe)
+  in
+  check_same_measurement (ctx ^ "/block-vs-single") blocked stepped;
+  check_same_measurement (ctx ^ "/traced-vs-single") traced stepped;
   blocked
 
 (* ---------- random MiniC programs (straight-line + branchy) ---------- *)
@@ -108,7 +120,8 @@ let arb_case =
       Printf.sprintf "// scheme %s\n%s" (Pass.scheme_name scheme) src)
 
 let prop_engines_agree =
-  QCheck.Test.make ~count:25 ~name:"block engine == single-step reference" arb_case
+  QCheck.Test.make ~count:25 ~name:"block & traced engines == single-step reference"
+    arb_case
     (fun (src, scheme) ->
       let exe =
         Core.Toolchain.compile_exe
@@ -205,8 +218,16 @@ let test_self_modifying () =
   check_exit "block engine" 42 blocked;
   let _, stepped = exec_on ~engine:Machine.Single_step exe in
   check_exit "single-step engine" 42 stepped;
+  let _, traced =
+    with_hot_threshold 1 (fun () -> exec_on ~engine:Machine.Traced exe)
+  in
+  check_exit "traced engine" 42 traced;
   Alcotest.(check int64) "cycles agree" blocked.Kernel.cycles stepped.Kernel.cycles;
   Alcotest.(check int64) "instructions agree" blocked.Kernel.instructions
+    stepped.Kernel.instructions;
+  Alcotest.(check int64) "traced cycles agree" traced.Kernel.cycles
+    stepped.Kernel.cycles;
+  Alcotest.(check int64) "traced instructions agree" traced.Kernel.instructions
     stepped.Kernel.instructions
 
 (* Stores to non-code pages must NOT flush the decode/block caches: run
@@ -249,6 +270,79 @@ let test_code_page_store_flushes () =
   Alcotest.(check bool) "flush dropped stale decodes" true
     (Machine.cached_decodes machine < 10)
 
+(* The traced-engine variant of the regression above: call the mmap'd
+   code in a loop until it is trace-compiled (hot threshold 1), then
+   overwrite it — the store must flush the *compiled trace*, not just
+   the decoded block.  8 calls returning 7, then one returning 35 after
+   the rewrite: exit 91.  A stale trace replays 7 and exits 63. *)
+let trace_smc_src =
+  Printf.sprintf
+    {|
+.section .text
+_start:
+    li a0, 0
+    li a1, 4096
+    li a2, 7
+    li a3, 0
+    li a4, 0
+    li a7, 222
+    ecall
+    mv s0, a0
+    li t0, %Ld
+    sw t0, 0(s0)
+    li t1, %Ld
+    sw t1, 4(s0)
+    li s1, 0
+    li t3, 0
+    li t4, 8
+loop:
+    jalr s0
+    add s1, s1, a0
+    addi t3, t3, 1
+    blt t3, t4, loop
+    li t2, %Ld
+    sw t2, 0(s0)
+    jalr s0
+    add a0, a0, s1
+    li a7, 93
+    ecall
+|}
+    (enc (Inst.Op_imm (Inst.Add, Reg.a0, Reg.zero, 7L)))
+    (enc (Inst.Jalr (Reg.zero, Reg.ra, 0L)))
+    (enc (Inst.Op_imm (Inst.Add, Reg.a0, Reg.zero, 35L)))
+
+let test_trace_invalidation () =
+  let exe = build_exe trace_smc_src in
+  let engines =
+    [ (Machine.Single_step, "single"); (Machine.Block_cached, "block");
+      (Machine.Traced, "traced") ]
+  in
+  let outcomes =
+    List.map
+      (fun (engine, name) ->
+        let machine, outcome =
+          with_hot_threshold 1 (fun () -> exec_on ~engine exe)
+        in
+        check_exit (name ^ " engine") 91 outcome;
+        (name, machine, outcome))
+      engines
+  in
+  (* the traced run really compiled a trace over the rewritten page —
+     otherwise this test degenerates into the block-cache regression *)
+  let _, traced_machine, traced_outcome =
+    List.find (fun (n, _, _) -> n = "traced") outcomes
+  in
+  Alcotest.(check bool) "a trace was compiled" true
+    (Machine.traces_compiled traced_machine >= 1);
+  List.iter
+    (fun (name, _, (o : Kernel.run_outcome)) ->
+      Alcotest.(check int64) (name ^ " cycles agree") traced_outcome.Kernel.cycles
+        o.Kernel.cycles;
+      Alcotest.(check int64)
+        (name ^ " instructions agree")
+        traced_outcome.Kernel.instructions o.Kernel.instructions)
+    outcomes
+
 (* ---------- parallel fan-out determinism (ROLOAD_JOBS) ---------- *)
 
 let small () = [ Option.get (Suite.find "xalancbmk"); Option.get (Suite.find "gobmk") ]
@@ -272,5 +366,7 @@ let suite =
     Alcotest.test_case "data-page stores keep caches" `Quick
       test_adjacent_page_store_keeps_caches;
     Alcotest.test_case "code-page stores flush caches" `Quick test_code_page_store_flushes;
+    Alcotest.test_case "store into traced page flushes the trace" `Quick
+      test_trace_invalidation;
     Alcotest.test_case "jobs determinism (-j1 == -j4)" `Slow test_jobs_determinism;
   ]
