@@ -25,7 +25,7 @@ module Campaign = Roload_inject.Campaign
 module Pass = Roload_passes.Pass
 
 let run seed count schemes jobs json checkpoint resume attempts fail_cell max_cells
-    replay elide =
+    replay elide from_reset diff_pages =
   match replay with
   | Some path ->
     let checks = Campaign.replay ~path in
@@ -77,9 +77,11 @@ let run seed count schemes jobs json checkpoint resume attempts fail_cell max_ce
           sabotage;
           max_cells;
           elide;
+          from_reset;
         }
     in
     print_string (Campaign.render report);
+    if diff_pages then print_string (Campaign.render_diffs report);
     (match json with
     | None -> ()
     | Some path ->
@@ -167,12 +169,29 @@ let elide_arg =
                  (roload-prove + roload-elide); the detection-coverage table must be \
                  byte-identical to the unelided campaign.")
 
+let from_reset_arg =
+  Arg.(value
+       & flag
+       & info [ "from-reset" ]
+           ~doc:"Boot every cell from reset instead of forking the per-scheme \
+                 copy-on-write trigger snapshots (the default fan-out). Tables, \
+                 checkpoints and JSON are byte-identical either way — only the \
+                 throughput changes.")
+
+let diff_pages_arg =
+  Arg.(value
+       & flag
+       & info [ "diff-pages" ]
+           ~doc:"After the coverage table, print the silent-corruption localizer: one \
+                 line per page where an injected run's final memory diverged from the \
+                 clean baseline, with the first differing byte.")
+
 let cmd =
   Cmd.v
     (Cmd.info "roload_chaos"
        ~doc:"Seeded fault-injection campaign with crash containment and resume")
     Term.(const run $ seed_arg $ count_arg $ scheme_arg $ jobs_arg $ json_arg
           $ checkpoint_arg $ resume_arg $ attempts_arg $ fail_cell_arg $ max_cells_arg
-          $ replay_arg $ elide_arg)
+          $ replay_arg $ elide_arg $ from_reset_arg $ diff_pages_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -22,6 +22,50 @@ open Cmdliner
 
 let print_table t = Roload_util.Table.print t
 
+(* Chaos-campaign throughput: the same pinned plan run snapshot-seeded
+   (the default fan-out) and booted from reset, with the reports
+   required byte-identical.  The seeded cells/s figure is recorded in
+   the bench JSON as [campaign_cells_per_s] and gated against the
+   baseline like simulated MIPS. *)
+let campaign_cps : float option ref = ref None
+
+let run_campaign ~scale =
+  let module Campaign = Roload_inject.Campaign in
+  let cfg =
+    { Campaign.default_config with Campaign.seed = 1L; count = 60 * scale }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seeded, seeded_s = time (fun () -> Campaign.run cfg) in
+  let reset, reset_s =
+    time (fun () -> Campaign.run { cfg with Campaign.from_reset = true })
+  in
+  if not (String.equal (Campaign.to_json seeded) (Campaign.to_json reset)) then
+    raise
+      (Core.Experiments.Experiment_failure
+         "snapshot-seeded campaign diverged from the from-reset campaign");
+  let cells = List.length seeded.Campaign.rows in
+  let cps w = if w > 0.0 then float_of_int cells /. w else 0.0 in
+  campaign_cps := Some (cps seeded_s);
+  let t =
+    Roload_util.Table.create
+      ~title:
+        (Printf.sprintf
+           "chaos campaign throughput (%d cells, seed 1; reports byte-identical)" cells)
+      ~header:[ "mode"; "wall (s)"; "cells/s" ] ()
+  in
+  Roload_util.Table.add_row t
+    [ "snapshot-seeded"; Printf.sprintf "%.2f" seeded_s;
+      Printf.sprintf "%.1f" (cps seeded_s) ];
+  Roload_util.Table.add_row t
+    [ "from-reset"; Printf.sprintf "%.2f" reset_s; Printf.sprintf "%.1f" (cps reset_s) ];
+  print_table t;
+  Printf.printf "campaign speedup: %.1fx (snapshot-seeded over from-reset)\n"
+    (if seeded_s > 0.0 then reset_s /. seeded_s else 0.0)
+
 let run_one ~scale ~metrics name =
   match name with
   | "table1" -> print_table (Core.Experiments.table1 ())
@@ -44,6 +88,7 @@ let run_one ~scale ~metrics name =
     print_table (Core.Experiments.related_work_table ())
   | "elide" ->
     print_table (Core.Experiments.experiment_elide ~scale ()).Core.Experiments.el_table
+  | "campaign" -> run_campaign ~scale
   | "ablations" ->
     print_table (Core.Experiments.ablation_compressed ());
     print_table (Core.Experiments.ablation_keys ());
@@ -106,15 +151,20 @@ let run names scale jobs engine json baseline metrics check_cycles =
         failed := n :: !failed);
       let wall_s = Unix.gettimeofday () -. t0 in
       let instructions = Core.System.total_instructions_simulated () - i0 in
-      entries :=
-        Core.Bench_log.entry ~name:n ~engine:engine_label ~wall_s ~instructions
-        :: !entries;
+      (* the campaign experiment measures cells/s, not simulated MIPS —
+         it records [campaign_cells_per_s] instead of a trajectory entry,
+         so the MIPS totals stay comparable across baselines *)
+      if n <> "campaign" then
+        entries :=
+          Core.Bench_log.entry ~name:n ~engine:engine_label ~wall_s ~instructions
+          :: !entries;
       print_newline ())
     names;
   let entries = List.rev !entries in
   (match json with
   | Some path ->
-    Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ()) entries;
+    Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ())
+      ?campaign_cells_per_s:!campaign_cps entries;
     Printf.printf "bench trajectory written to %s\n" path
   | None -> ());
   (match metrics with
@@ -157,7 +207,7 @@ let run names scale jobs engine json baseline metrics check_cycles =
     Printf.eprintf "%d experiment(s) failed: %s\n" (List.length fs)
       (String.concat ", " (List.rev fs));
     exit 1);
-  match baseline with
+  (match baseline with
   | None -> ()
   | Some path -> (
     let _, _, mips = Core.Bench_log.totals entries in
@@ -174,7 +224,30 @@ let run names scale jobs engine json baseline metrics check_cycles =
       end
       else
         Printf.printf "perf gate: %.3f simulated MIPS vs baseline %.3f (floor %.3f) — ok\n"
-          mips base floor)
+          mips base floor));
+  (* campaign-throughput gate: seeded cells/s must not regress >30%
+     against the checked-in baseline (skipped when the baseline predates
+     the figure or the campaign experiment did not run) *)
+  match (baseline, !campaign_cps) with
+  | Some path, Some cps -> (
+    match Core.Bench_log.read_campaign_cells_per_s path with
+    | None ->
+      Printf.eprintf
+        "warning: no campaign_cells_per_s in baseline %s; skipping campaign gate\n" path
+    | Some base ->
+      let floor = 0.7 *. base in
+      if cps < floor then begin
+        Printf.eprintf
+          "CAMPAIGN-THROUGHPUT REGRESSION: %.3f cells/s < 70%% of baseline %.3f (floor \
+           %.3f)\n"
+          cps base floor;
+        exit 1
+      end
+      else
+        Printf.printf
+          "campaign gate: %.3f cells/s vs baseline %.3f (floor %.3f) — ok\n" cps base
+          floor)
+  | _ -> ()
 
 let names_arg = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
 

@@ -196,3 +196,54 @@ let reset_stats t =
 let miss_rate t =
   let total = t.stats.hits + t.stats.misses in
   if total = 0 then 0.0 else float_of_int t.stats.misses /. float_of_int total
+
+(* ---- snapshots ----
+   Deep copy of every line (tags-only, so this is small) plus the clock
+   and the statistics.  Restore mutates the existing line records in
+   place, preserving handle identity: an outstanding handle revalidates
+   against the restored tag through [rehit]'s guard or falls back, the
+   same contract live eviction relies on.  The observer and the one-shot
+   writeback interceptor are per-run wiring and are not captured. *)
+
+type image = {
+  i_lines : (int * bool * bool * int) array array; (* (tag, valid, dirty, last_use) *)
+  i_clock : int;
+  i_hits : int;
+  i_misses : int;
+  i_writebacks : int;
+  i_dropped_writebacks : int;
+}
+
+let snapshot t =
+  {
+    i_lines =
+      Array.map (Array.map (fun l -> (l.tag, l.valid, l.dirty, l.last_use))) t.sets;
+    i_clock = t.clock;
+    i_hits = t.stats.hits;
+    i_misses = t.stats.misses;
+    i_writebacks = t.stats.writebacks;
+    i_dropped_writebacks = t.stats.dropped_writebacks;
+  }
+
+let restore t img =
+  if
+    Array.length img.i_lines <> Array.length t.sets
+    || (Array.length t.sets > 0
+       && Array.length img.i_lines.(0) <> Array.length t.sets.(0))
+  then invalid_arg "Cache.restore: geometry mismatch";
+  Array.iteri
+    (fun si ways ->
+      Array.iteri
+        (fun wi (tag, valid, dirty, last_use) ->
+          let l = t.sets.(si).(wi) in
+          l.tag <- tag;
+          l.valid <- valid;
+          l.dirty <- dirty;
+          l.last_use <- last_use)
+        ways)
+    img.i_lines;
+  t.clock <- img.i_clock;
+  t.stats.hits <- img.i_hits;
+  t.stats.misses <- img.i_misses;
+  t.stats.writebacks <- img.i_writebacks;
+  t.stats.dropped_writebacks <- img.i_dropped_writebacks

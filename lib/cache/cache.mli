@@ -61,3 +61,14 @@ val rehit_many : t -> handle -> n:int -> bool
 val flush : t -> unit
 val reset_stats : t -> unit
 val miss_rate : t -> float
+
+type image
+(** Deep copy of lines + clock + statistics; immutable once taken. *)
+
+val snapshot : t -> image
+
+val restore : t -> image -> unit
+(** Overwrite [t]'s lines/clock/stats with the image, in place (line
+    identity preserved; outstanding handles revalidate or fall back
+    through {!rehit}'s guard).  Observer and writeback interceptor are
+    untouched. *)

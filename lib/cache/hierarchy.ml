@@ -62,3 +62,11 @@ let flush t =
 let reset_stats t =
   Cache.reset_stats t.icache;
   Cache.reset_stats t.dcache
+
+type image = { i_icache : Cache.image; i_dcache : Cache.image }
+
+let snapshot t = { i_icache = Cache.snapshot t.icache; i_dcache = Cache.snapshot t.dcache }
+
+let restore t img =
+  Cache.restore t.icache img.i_icache;
+  Cache.restore t.dcache img.i_dcache

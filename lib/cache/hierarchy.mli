@@ -41,3 +41,8 @@ val access_ptw : t -> pa:int -> int
 
 val flush : t -> unit
 val reset_stats : t -> unit
+
+type image
+
+val snapshot : t -> image
+val restore : t -> image -> unit

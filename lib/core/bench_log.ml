@@ -32,7 +32,7 @@ let totals entries =
   let mips = if wall > 0.0 then float_of_int insts /. wall /. 1e6 else 0.0 in
   (wall, insts, mips)
 
-let to_json ?(scale = 1) ?(jobs = 1) entries =
+let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s entries =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"roload-bench-v2\",\n";
@@ -49,6 +49,10 @@ let to_json ?(scale = 1) ?(jobs = 1) entries =
            (if i = n - 1 then "" else ",")))
     entries;
   Buffer.add_string b "  ],\n";
+  (match campaign_cells_per_s with
+  | Some cps ->
+    Buffer.add_string b (Printf.sprintf "  \"campaign_cells_per_s\": %.3f,\n" cps)
+  | None -> ());
   let wall, insts, mips = totals entries in
   Buffer.add_string b
     (Printf.sprintf
@@ -57,15 +61,15 @@ let to_json ?(scale = 1) ?(jobs = 1) entries =
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-let write ~path ?scale ?jobs entries =
+let write ~path ?scale ?jobs ?campaign_cells_per_s entries =
   let oc = open_out path in
-  output_string oc (to_json ?scale ?jobs entries);
+  output_string oc (to_json ?scale ?jobs ?campaign_cells_per_s entries);
   close_out oc
 
-(* Minimal scanner for the CI baseline check: find the first
-   ["total_mips":] key and parse the number after it.  Key-based, so it
-   reads v1 and v2 files alike. *)
-let read_total_mips path =
+(* Minimal scanner for the CI baseline checks: find the first occurrence
+   of a key and parse the number after it.  Key-based, so it reads v1
+   and v2 files alike (and files without the key simply yield None). *)
+let read_float_key path key =
   match
     try
       let ic = open_in path in
@@ -77,7 +81,6 @@ let read_total_mips path =
   with
   | None -> None
   | Some s ->
-    let key = "\"total_mips\":" in
     let klen = String.length key and len = String.length s in
     let rec find i =
       if i + klen > len then None
@@ -99,3 +102,7 @@ let read_total_mips path =
         incr e
       done;
       if !e > !k then float_of_string_opt (String.sub s !k (!e - !k)) else None)
+
+let read_total_mips path = read_float_key path "\"total_mips\":"
+
+let read_campaign_cells_per_s path = read_float_key path "\"campaign_cells_per_s\":"

@@ -16,10 +16,24 @@ val entry : name:string -> engine:string -> wall_s:float -> instructions:int -> 
 val totals : entry list -> float * int * float
 (** [(wall_s, instructions, mips)] aggregated over the entries. *)
 
-val to_json : ?scale:int -> ?jobs:int -> entry list -> string
-val write : path:string -> ?scale:int -> ?jobs:int -> entry list -> unit
+val to_json :
+  ?scale:int -> ?jobs:int -> ?campaign_cells_per_s:float -> entry list -> string
+
+val write :
+  path:string ->
+  ?scale:int ->
+  ?jobs:int ->
+  ?campaign_cells_per_s:float ->
+  entry list ->
+  unit
+(** [campaign_cells_per_s] records the snapshot-seeded chaos campaign's
+    throughput (settled cells per wall-clock second) as its own
+    top-level figure, gated separately from simulated MIPS. *)
 
 val read_total_mips : string -> float option
 (** Scan a written file for its aggregate [total_mips] figure (used by
     the CI regression gate); key-based, so v1 baselines still read.
     [None] if unreadable or absent. *)
+
+val read_campaign_cells_per_s : string -> float option
+(** The [campaign_cells_per_s] figure of a written file, if present. *)

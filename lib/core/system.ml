@@ -123,8 +123,18 @@ let snapshot_metrics ~machine ~kernel ~mmu =
   }
 
 let run ?(max_instructions = 500_000_000L) ?trace ?tracer ?(profile = false) ?engine
-    ~variant exe =
-  let machine = Machine.create ?engine (machine_config variant) in
+    ?template ~variant exe =
+  (* [template] is a pristine boot image: forking it is bit-identical to
+     [Machine.create] (the campaign-equivalence suite pins this) but
+     O(touched pages) instead of zeroing 64 MiB of physical memory, so
+     fan-out callers boot once per engine and fork per run.  The image
+     carries its own engine and hot-threshold; [engine] is ignored when a
+     template is supplied. *)
+  let machine =
+    match template with
+    | Some img -> Machine.fork img
+    | None -> Machine.create ?engine (machine_config variant)
+  in
   Machine.set_trace machine trace;
   Machine.set_tracer machine tracer;
   Machine.set_profiling machine profile;
@@ -161,6 +171,31 @@ let run ?(max_instructions = 500_000_000L) ?trace ?tracer ?(profile = false) ?en
     metrics = snapshot_metrics ~machine ~kernel ~mmu;
     profile = Machine.profile_blocks machine;
   }
+
+(* ---- whole-system snapshots ----
+
+   A [snapshot] composes the per-layer images taken at one instant:
+   machine (cpu, CoW memory pages, caches, TLBs, decode/block/trace
+   caches, all counters), kernel (frame allocator, syscall counter) and
+   process (break, accounting, status, console output).  One snapshot
+   can seed any number of restores and forks; campaigns boot a workload
+   once, pause at the trigger frontier, snapshot, and fork thousands of
+   variants from the warm image instead of re-booting from reset. *)
+
+(* The composition itself lives in the kernel library so that the
+   attack/fuzz layers below Core can seed from snapshots too; this is
+   the canonical front door. *)
+
+type snapshot = Roload_kernel.Snapshot.t
+
+let snapshot ~machine ~kernel ~process =
+  Roload_kernel.Snapshot.capture ~machine ~kernel ~process
+
+let restore snap ~machine ~kernel ~process =
+  Roload_kernel.Snapshot.restore snap ~machine ~kernel ~process
+
+let fork = Roload_kernel.Snapshot.fork
+let diff = Roload_kernel.Snapshot.diff
 
 let exited_cleanly m =
   match m.status with

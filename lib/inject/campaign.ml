@@ -2,10 +2,23 @@
 
    One seeded plan drives every scheme.  Per scheme the victim is
    compiled once and a baseline (uninjected) run is measured; each cell
-   then re-runs the victim, pauses it at the plan entry's trigger point
-   (a retire-count fraction of that scheme's baseline), applies the
-   fault through the injector backdoors, resumes under a watchdog
-   budget, and classifies the outcome against the baseline.
+   then runs the victim paused at the plan entry's trigger point (a
+   retire-count fraction of that scheme's baseline), applies the fault
+   through the injector backdoors, resumes under a watchdog budget, and
+   classifies the outcome against the baseline.
+
+   Snapshot seeding (the default): instead of re-booting the victim from
+   reset for every cell, each scheme boots one parent system, advances
+   it through the sorted distinct trigger frontiers, and captures a
+   copy-on-write snapshot at each; cells then fork from their trigger's
+   warm snapshot across the domain pool.  Pause/resume at a cumulative
+   retire count is bit-identical to an uninterrupted run, and forks
+   replay the captured state exactly, so the verdict table, checkpoint
+   rows and resume behavior are byte-identical to [from_reset = true] —
+   only the campaign throughput changes (each cell skips the boot and
+   the warm-up prefix).  Silent-corruption verdicts additionally carry a
+   page-level diff against the baseline's final memory (the
+   differential-state localizer), identical in both modes.
 
    Robustness (tentpole part 2): every cell runs behind
    [Experiments.run_cells_contained] — a crashing cell is retried a
@@ -31,6 +44,8 @@ module Table = Roload_util.Table
 module Json = Roload_util.Json
 module Diff = Roload_fuzz.Diff
 module Ir_eval = Roload_fuzz.Ir_eval
+module Snapshot = Roload_kernel.Snapshot
+module Phys_mem = Roload_mem.Phys_mem
 
 let roload_schemes = [ Pass.Vcall; Pass.Icall; Pass.Retcall ]
 let default_schemes = [ Pass.Unprotected; Pass.Cfi_baseline; Pass.Vcall; Pass.Icall ]
@@ -63,6 +78,9 @@ type config = {
       (** test hook: raise from inside a chosen cell *)
   max_cells : int option;  (** test hook: simulate a mid-run kill *)
   elide : bool;  (** compile victims with proof-guided ld.ro check elision *)
+  from_reset : bool;
+      (** boot every cell from reset instead of forking trigger
+          snapshots; verdicts are byte-identical, only slower *)
 }
 
 let default_config =
@@ -78,6 +96,7 @@ let default_config =
     sabotage = None;
     max_cells = None;
     elide = false;
+    from_reset = false;
   }
 
 type outcome = Verdict of Fault.verdict | Failed
@@ -99,15 +118,27 @@ type report = {
   schemes : Pass.scheme list;
   oracle_checked : bool;
   oracle_agreed : bool;
+  corruption_diffs : ((int * string) * Phys_mem.page_diff list) list;
+      (* per silent-corruption cell, keyed by (index, scheme): the pages
+         where the injected run's final memory differs from the clean
+         baseline's — localization only, never part of rows/checkpoint *)
 }
 
 (* ---------- one run, pausable ---------- *)
 
 let baseline_budget = 50_000_000L
 
-let run_with_pause ?engine ?(variant = System.Processor_kernel_modified)
+let run_with_pause ?engine ?(variant = System.Processor_kernel_modified) ?template
     ~max_instructions ?pause_at ?inject exe =
-  let machine = Machine.create ?engine (System.machine_config variant) in
+  (* [template]: fork the pristine boot image instead of building a fresh
+     machine — identical state, but the zeroed physical pages are shared
+     CoW across every lineage forked from it, so later memory diffs
+     compare untouched pages by pointer instead of byte-by-byte. *)
+  let machine =
+    match template with
+    | Some img -> Machine.fork img
+    | None -> Machine.create ?engine (System.machine_config variant)
+  in
   let kernel = Kernel.create ~machine ~config:(System.kernel_config variant) in
   let process = Kernel.load kernel exe in
   Kernel.schedule kernel process;
@@ -173,47 +204,117 @@ let compile_victim ?(elide = false) scheme =
     ~name:("chaos-" ^ Pass.scheme_name scheme)
     Chaos_victim.source
 
-let baseline_run exe =
-  let outcome, _, _, _ = run_with_pause ~max_instructions:baseline_budget exe in
-  outcome
+(* The baseline keeps its final memory image: silent-corruption verdicts
+   are localized by diffing the injected run's final memory against it. *)
+let baseline_run_full ?template exe =
+  let outcome, machine, _, _ =
+    run_with_pause ?template ~max_instructions:baseline_budget exe
+  in
+  (outcome, Phys_mem.snapshot (Machine.mem machine))
+
+let baseline_run exe = fst (baseline_run_full exe)
 
 (* ---------- one cell ---------- *)
 
-let run_one ?(budget_factor = default_config.budget_factor) ~attempt
+let trigger_of ~(baseline : Kernel.run_outcome) (inj : Fault.injection) =
+  let t =
+    Int64.div
+      (Int64.mul baseline.Kernel.instructions (Int64.of_int inj.Fault.trigger_permille))
+      1000L
+  in
+  if Int64.compare t 1L < 0 then 1L else t
+
+let budget_of ~budget_factor ~(baseline : Kernel.run_outcome) =
+  Int64.add
+    (Int64.mul baseline.Kernel.instructions (Int64.of_int budget_factor))
+    100_000L
+
+(* Verdict + row assembly shared by the from-reset and snapshot-seeded
+   cell paths — both feed it the same (final outcome, final machine), so
+   rows are byte-identical across modes by construction. *)
+let cell_row ~attempt ~baseline ~baseline_mem ~trigger ~applied (inj : Fault.injection)
+    scheme ~machine (final : Kernel.run_outcome) =
+  let verdict, detail = classify ~baseline final in
+  let diffs =
+    match (verdict, baseline_mem) with
+    | Fault.Silent_corruption, Some bm ->
+      Some (Phys_mem.diff_images bm (Phys_mem.snapshot (Machine.mem machine)))
+    | _ -> None
+  in
+  ( {
+      index = inj.Fault.index;
+      scheme = Pass.scheme_name scheme;
+      cls = Fault.class_name inj.Fault.kind;
+      label = Fault.kind_label inj.Fault.kind;
+      trigger;
+      applied = applied <> None;
+      attempts = attempt;
+      outcome = Verdict verdict;
+      detail =
+        (match applied with
+        | Some (a : Injector.applied) -> a.Injector.desc ^ "; " ^ detail
+        | None -> "not applied; " ^ detail);
+    },
+    diffs )
+
+let run_one ?(budget_factor = default_config.budget_factor) ?baseline_mem ~attempt
     ~(baseline : Kernel.run_outcome) (inj : Fault.injection) scheme exe =
-  let trigger =
-    let t =
-      Int64.div
-        (Int64.mul baseline.Kernel.instructions (Int64.of_int inj.Fault.trigger_permille))
-        1000L
-    in
-    if Int64.compare t 1L < 0 then 1L else t
-  in
-  let budget =
-    Int64.add
-      (Int64.mul baseline.Kernel.instructions (Int64.of_int budget_factor))
-      100_000L
-  in
+  let trigger = trigger_of ~baseline inj in
+  let budget = budget_of ~budget_factor ~baseline in
   let applied = ref None in
   let inject ~machine ~process =
     applied := Injector.apply ~machine ~process ~exe inj.Fault.kind
   in
-  let final, _, _, _ = run_with_pause ~max_instructions:budget ~pause_at:trigger ~inject exe in
-  let verdict, detail = classify ~baseline final in
-  {
-    index = inj.Fault.index;
-    scheme = Pass.scheme_name scheme;
-    cls = Fault.class_name inj.Fault.kind;
-    label = Fault.kind_label inj.Fault.kind;
-    trigger;
-    applied = !applied <> None;
-    attempts = attempt;
-    outcome = Verdict verdict;
-    detail =
-      (match !applied with
-      | Some (a : Injector.applied) -> a.Injector.desc ^ "; " ^ detail
-      | None -> "not applied; " ^ detail);
-  }
+  let final, machine, _, _ =
+    run_with_pause ~max_instructions:budget ~pause_at:trigger ~inject exe
+  in
+  cell_row ~attempt ~baseline ~baseline_mem ~trigger ~applied:!applied inj scheme
+    ~machine final
+
+(* The snapshot-seeded cell: fork the warm image captured at this cell's
+   trigger frontier, inject, resume.  The fork holds exactly the state a
+   from-reset run paused at [trigger] would hold (the pause/resume
+   bit-identity invariant), so the verdict is identical — the boot and
+   warm-up prefix are simply never re-executed. *)
+let run_one_seeded ?(budget_factor = default_config.budget_factor) ?baseline_mem
+    ~attempt ~(baseline : Kernel.run_outcome) ~snap (inj : Fault.injection) scheme exe =
+  let trigger = trigger_of ~baseline inj in
+  let budget = budget_of ~budget_factor ~baseline in
+  let machine, kernel, process = Snapshot.fork snap in
+  let applied = ref None in
+  if Process.status process = Process.Running then
+    applied := Injector.apply ~machine ~process ~exe inj.Fault.kind;
+  let final = Kernel.run ~limit:{ Kernel.max_instructions = budget } kernel process in
+  cell_row ~attempt ~baseline ~baseline_mem ~trigger ~applied:!applied inj scheme
+    ~machine final
+
+(* ---------- the snapshot ladder ---------- *)
+
+(* Per scheme: boot one parent system and advance it through the sorted
+   distinct trigger frontiers, capturing a snapshot at each.  Run limits
+   are cumulative retire counts, so the parent paused at each frontier
+   is bit-identical to a from-reset run paused there. *)
+let build_ladder ?template ~triggers exe =
+  let triggers = List.sort_uniq Int64.compare triggers in
+  match triggers with
+  | [] -> []
+  | _ ->
+    let machine =
+      match template with
+      | Some img -> Machine.fork img
+      | None -> Machine.create (System.machine_config System.Processor_kernel_modified)
+    in
+    let kernel =
+      Kernel.create ~machine
+        ~config:(System.kernel_config System.Processor_kernel_modified)
+    in
+    let process = Kernel.load kernel exe in
+    Kernel.schedule kernel process;
+    List.map
+      (fun t ->
+        ignore (Kernel.run ~limit:{ Kernel.max_instructions = t } kernel process);
+        (t, Snapshot.capture ~machine ~kernel ~process))
+      triggers
 
 (* ---------- checkpoint rows ---------- *)
 
@@ -264,11 +365,19 @@ let run (cfg : config) =
   let schemes = cfg.schemes in
   (* compile serially: the toolchain owns global state *)
   let exes = List.map (fun s -> (s, compile_victim ~elide:cfg.elide s)) schemes in
+  (* One pristine boot image shared by every baseline and ladder parent:
+     each lineage forks it CoW, so all of them (and every cell forked
+     from the ladders) share the untouched zero pages — making the
+     silent-corruption memory diffs O(touched pages), not O(DRAM). *)
+  let template =
+    Machine.snapshot
+      (Machine.create (System.machine_config System.Processor_kernel_modified))
+  in
   let baselines =
-    Parallel.map ?jobs:cfg.jobs (fun (s, exe) -> (s, baseline_run exe)) exes
+    Parallel.map ?jobs:cfg.jobs (fun (s, exe) -> (s, baseline_run_full ~template exe)) exes
   in
   List.iter
-    (fun (s, (b : Kernel.run_outcome)) ->
+    (fun (s, ((b : Kernel.run_outcome), _)) ->
       match b.Kernel.status with
       | Process.Exited 0 when String.equal b.Kernel.output Chaos_victim.benign_output ->
         ()
@@ -285,7 +394,7 @@ let run (cfg : config) =
     | preds ->
       let ok =
         List.for_all2
-          (fun (_, (b : Ir_eval.behavior)) (_, (o : Kernel.run_outcome)) ->
+          (fun (_, (b : Ir_eval.behavior)) (_, ((o : Kernel.run_outcome), _)) ->
             Trapclass.stop_equal b.Ir_eval.stop (Trapclass.stop_of_status o.Kernel.status)
             && String.equal b.Ir_eval.output o.Kernel.output)
           preds baselines
@@ -351,34 +460,87 @@ let run (cfg : config) =
           output_string oc (row_to_line r ^ "\n");
           close_out oc)
   in
-  let baseline_for s = List.assoc s baselines in
+  let baseline_for s = fst (List.assoc s baselines) in
+  let baseline_mem_for s = snd (List.assoc s baselines) in
+  (* Silent-corruption rows restored from a checkpoint carry no diff (the
+     checkpoint persists rows only), so a resumed report would lose their
+     localization.  Re-derive those cells deterministically — the re-run
+     reproduces the fresh run's diff bit-for-bit, keeping resumed and
+     uninterrupted reports byte-identical. *)
+  let recover =
+    let inj_by_index = Hashtbl.create 16 in
+    List.iter
+      (fun (inj : Fault.injection) -> Hashtbl.replace inj_by_index inj.Fault.index inj)
+      plan;
+    let scheme_by_name = List.map (fun s -> (Pass.scheme_name s, s)) schemes in
+    List.filter_map
+      (fun (r : row) ->
+        if r.outcome <> Verdict Fault.Silent_corruption then None
+        else
+          match
+            (Hashtbl.find_opt inj_by_index r.index, List.assoc_opt r.scheme scheme_by_name)
+          with
+          | Some inj, Some s -> Some (inj, s, List.assoc s exes)
+          | _ -> None)
+      prior
+  in
+  (* snapshot seeding: one warm parent per scheme, advanced through the
+     sorted distinct trigger frontiers its todo (and diff-recovery)
+     cells need *)
+  let ladders =
+    if cfg.from_reset then []
+    else
+      Parallel.map ?jobs:cfg.jobs
+        (fun (s, exe) ->
+          let triggers =
+            List.filter_map
+              (fun ((inj : Fault.injection), s', _) ->
+                if s' = s then Some (trigger_of ~baseline:(baseline_for s) inj)
+                else None)
+              (todo @ recover)
+          in
+          (Pass.scheme_name s, build_ladder ~template ~triggers exe))
+        exes
+  in
+  let snap_for scheme trigger =
+    List.assoc trigger (List.assoc (Pass.scheme_name scheme) ladders)
+  in
   let todo_arr = Array.of_list todo in
   let row_of idx outcome =
     let (inj : Fault.injection), scheme, _ = todo_arr.(idx) in
     match outcome with
-    | Experiments.Cell_ok r -> r
+    | Experiments.Cell_ok (r, diffs) -> (r, diffs)
     | Experiments.Cell_failed { error; attempts } ->
-      {
-        index = inj.Fault.index;
-        scheme = Pass.scheme_name scheme;
-        cls = Fault.class_name inj.Fault.kind;
-        label = Fault.kind_label inj.Fault.kind;
-        trigger = 0L;
-        applied = false;
-        attempts;
-        outcome = Failed;
-        detail = sanitize error;
-      }
+      ( {
+          index = inj.Fault.index;
+          scheme = Pass.scheme_name scheme;
+          cls = Fault.class_name inj.Fault.kind;
+          label = Fault.kind_label inj.Fault.kind;
+          trigger = 0L;
+          applied = false;
+          attempts;
+          outcome = Failed;
+          detail = sanitize error;
+        },
+        None )
   in
   let outcomes =
     Experiments.run_cells_contained ~attempts:cfg.attempts ?jobs:cfg.jobs
-      ~on_cell:(fun idx o -> append_row (row_of idx o))
+      ~on_cell:(fun idx o -> append_row (fst (row_of idx o)))
       ~f:(fun ~attempt ((inj : Fault.injection), scheme, exe) ->
         (match cfg.sabotage with
         | Some f -> f ~index:inj.Fault.index ~scheme ~attempt
         | None -> ());
-        run_one ~budget_factor:cfg.budget_factor ~attempt
-          ~baseline:(baseline_for scheme) inj scheme exe)
+        let baseline = baseline_for scheme in
+        let baseline_mem = baseline_mem_for scheme in
+        if cfg.from_reset then
+          run_one ~budget_factor:cfg.budget_factor ~baseline_mem ~attempt ~baseline inj
+            scheme exe
+        else
+          run_one_seeded ~budget_factor:cfg.budget_factor ~baseline_mem ~attempt
+            ~baseline
+            ~snap:(snap_for scheme (trigger_of ~baseline inj))
+            inj scheme exe)
       todo
   in
   let fresh = List.mapi row_of outcomes in
@@ -386,13 +548,42 @@ let run (cfg : config) =
     let names = List.mapi (fun i s -> (Pass.scheme_name s, i)) schemes in
     fun n -> match List.assoc_opt n names with Some i -> i | None -> max_int
   in
+  let by_cell (ia, sa) (ib, sb) = compare (ia, scheme_pos sa) (ib, scheme_pos sb) in
   let rows =
     List.sort
-      (fun (a : row) (b : row) ->
-        compare (a.index, scheme_pos a.scheme) (b.index, scheme_pos b.scheme))
-      (prior @ fresh)
+      (fun (a : row) (b : row) -> by_cell (a.index, a.scheme) (b.index, b.scheme))
+      (prior @ List.map fst fresh)
   in
-  { rows; schemes; oracle_checked; oracle_agreed }
+  let recovered_diffs =
+    List.filter_map
+      (fun ((inj : Fault.injection), scheme, exe) ->
+        let baseline = baseline_for scheme in
+        let baseline_mem = baseline_mem_for scheme in
+        let _, diffs =
+          if cfg.from_reset then
+            run_one ~budget_factor:cfg.budget_factor ~baseline_mem ~attempt:1 ~baseline
+              inj scheme exe
+          else
+            run_one_seeded ~budget_factor:cfg.budget_factor ~baseline_mem ~attempt:1
+              ~baseline
+              ~snap:(snap_for scheme (trigger_of ~baseline inj))
+              inj scheme exe
+        in
+        match diffs with
+        | Some ds -> Some ((inj.Fault.index, Pass.scheme_name scheme), ds)
+        | None -> None)
+      recover
+  in
+  let corruption_diffs =
+    List.sort
+      (fun (ka, _) (kb, _) -> by_cell ka kb)
+      (recovered_diffs
+      @ List.filter_map
+          (fun ((r : row), diffs) ->
+            match diffs with Some ds -> Some ((r.index, r.scheme), ds) | None -> None)
+          fresh)
+  in
+  { rows; schemes; oracle_checked; oracle_agreed; corruption_diffs }
 
 (* ---------- reporting ---------- *)
 
@@ -501,6 +692,25 @@ let to_json (rp : report) =
         ("detail", Json.str r.detail);
       ]
   in
+  let diff_json ((index, scheme), (ds : Phys_mem.page_diff list)) =
+    Json.obj
+      [
+        ("index", Json.int index);
+        ("scheme", Json.str scheme);
+        ( "pages",
+          Json.arr
+            (List.map
+               (fun (d : Phys_mem.page_diff) ->
+                 Json.obj
+                   [
+                     ("page", Json.int d.Phys_mem.page);
+                     ("addr", Json.int d.Phys_mem.addr);
+                     ("baseline_byte", Json.int d.Phys_mem.a_byte);
+                     ("corrupt_byte", Json.int d.Phys_mem.b_byte);
+                   ])
+               ds) );
+      ]
+  in
   let g = gate rp in
   Json.obj
     [
@@ -511,7 +721,29 @@ let to_json (rp : report) =
       ("undetected_tamper", Json.int g.undetected_tamper);
       ("cell_failures", Json.int g.cell_failures);
       ("rows", Json.arr (List.map row_json rp.rows));
+      ("corruption_diffs", Json.arr (List.map diff_json rp.corruption_diffs));
     ]
+
+(* --diff-pages: the human-readable localization report.  A separate
+   artifact on purpose — [render]'s table stays byte-identical to
+   pre-snapshot campaigns. *)
+let render_diffs (rp : report) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ((index, scheme), (ds : Phys_mem.page_diff list)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "silent corruption at cell #%d under %s: %d page(s) differ\n"
+           index scheme (List.length ds));
+      List.iter
+        (fun (d : Phys_mem.page_diff) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  page %#x: first diff at %#x, baseline %#04x != %#04x\n"
+               d.Phys_mem.page d.Phys_mem.addr d.Phys_mem.a_byte d.Phys_mem.b_byte))
+        ds)
+    rp.corruption_diffs;
+  if rp.corruption_diffs = [] then
+    Buffer.add_string buf "no silent corruption: nothing to localize\n";
+  Buffer.contents buf
 
 (* ---------- corpus reproducers ---------- *)
 
@@ -539,7 +771,7 @@ let replay ~path =
         | Some scheme ->
           let exe = compile_victim scheme in
           let baseline = baseline_run exe in
-          let r = run_one ~attempt:1 ~baseline inj scheme exe in
+          let r, _ = run_one ~attempt:1 ~baseline inj scheme exe in
           { rc_scheme = sname; rc_expected = expected; rc_actual = outcome_tag r.outcome })
       expects
   | _ -> failwith ("malformed chaos reproducer: " ^ path)

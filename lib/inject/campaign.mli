@@ -31,6 +31,11 @@ type config = {
       (** compile every victim with proof-guided ld.ro check elision
           (roload-prove + roload-elide); detection coverage must be
           byte-identical to the unelided campaign *)
+  from_reset : bool;
+      (** boot every cell from reset instead of forking the per-scheme
+          trigger snapshots (the default fan-out); verdict tables,
+          checkpoints and resume are byte-identical either way — only
+          the throughput changes *)
 }
 
 val default_config : config
@@ -54,6 +59,12 @@ type report = {
   schemes : Pass.scheme list;
   oracle_checked : bool;
   oracle_agreed : bool;
+  corruption_diffs : ((int * string) * Roload_mem.Phys_mem.page_diff list) list;
+      (** per silent-corruption cell, keyed by (index, scheme): pages
+          where the injected run's final memory differs from the clean
+          baseline's, with each page's first differing byte.  Fresh
+          cells only (never persisted to checkpoints), and carried
+          outside {!row} so tables/checkpoints stay byte-identical. *)
 }
 
 exception Broken_victim of string
@@ -65,6 +76,7 @@ val run : config -> report
 val run_with_pause :
   ?engine:Roload_machine.Machine.engine ->
   ?variant:Core.System.variant ->
+  ?template:Roload_machine.Machine.image ->
   max_instructions:int64 ->
   ?pause_at:int64 ->
   ?inject:
@@ -78,7 +90,11 @@ val run_with_pause :
     instructions (cumulative), call [inject] on the live machine, resume
     to [max_instructions].  Without [pause_at]/[inject] this is a plain
     run — and a paused-and-resumed run without injection is
-    bit-identical (cycles, metrics, output) to an uninterrupted one. *)
+    bit-identical (cycles, metrics, output) to an uninterrupted one.
+    [template] forks a pristine boot image instead of creating a fresh
+    machine: identical state, but zeroed pages are shared CoW with every
+    other lineage forked from the same image, keeping cross-lineage
+    memory diffs O(touched pages). *)
 
 val measure :
   ?engine:Roload_machine.Machine.engine ->
@@ -98,15 +114,49 @@ val classify :
 val compile_victim : ?elide:bool -> Pass.scheme -> Roload_obj.Exe.t
 val baseline_run : Roload_obj.Exe.t -> Roload_kernel.Kernel.run_outcome
 
+val baseline_run_full :
+  ?template:Roload_machine.Machine.image ->
+  Roload_obj.Exe.t ->
+  Roload_kernel.Kernel.run_outcome * Roload_mem.Phys_mem.image
+(** The baseline outcome plus its final memory image — the reference the
+    silent-corruption localizer diffs against. *)
+
 val run_one :
   ?budget_factor:int ->
+  ?baseline_mem:Roload_mem.Phys_mem.image ->
   attempt:int ->
   baseline:Roload_kernel.Kernel.run_outcome ->
   Fault.injection ->
   Pass.scheme ->
   Roload_obj.Exe.t ->
-  row
-(** One cell: pause at the entry's trigger, inject, resume, classify. *)
+  row * Roload_mem.Phys_mem.page_diff list option
+(** One from-reset cell: boot, pause at the entry's trigger, inject,
+    resume, classify.  With [baseline_mem], a silent-corruption verdict
+    also returns the page-level localization diff. *)
+
+val run_one_seeded :
+  ?budget_factor:int ->
+  ?baseline_mem:Roload_mem.Phys_mem.image ->
+  attempt:int ->
+  baseline:Roload_kernel.Kernel.run_outcome ->
+  snap:Roload_kernel.Snapshot.t ->
+  Fault.injection ->
+  Pass.scheme ->
+  Roload_obj.Exe.t ->
+  row * Roload_mem.Phys_mem.page_diff list option
+(** One snapshot-seeded cell: fork the warm image captured at this
+    cell's trigger frontier, inject, resume.  Byte-identical verdict to
+    {!run_one} — the boot and warm-up prefix are simply not
+    re-executed. *)
+
+val build_ladder :
+  ?template:Roload_machine.Machine.image ->
+  triggers:int64 list ->
+  Roload_obj.Exe.t ->
+  (int64 * Roload_kernel.Snapshot.t) list
+(** Boot one parent system and advance it through the sorted distinct
+    [triggers] (cumulative retire counts), capturing a copy-on-write
+    snapshot at each frontier. *)
 
 val verdict_of_row : row -> Fault.verdict option
 val detected : row -> bool
@@ -126,6 +176,11 @@ val gate : report -> gate
 
 val render : report -> string
 val to_json : report -> string
+
+val render_diffs : report -> string
+(** The --diff-pages artifact: one line per corrupted page with its
+    first differing byte.  Kept out of {!render} so the coverage table
+    stays byte-identical to pre-snapshot campaigns. *)
 
 type replay_check = { rc_scheme : string; rc_expected : string; rc_actual : string }
 

@@ -58,6 +58,38 @@ let machine t = t.machine
 let config t = t.config
 let syscall_count t = t.syscall_count
 
+(* ---- snapshots ----
+
+   The kernel itself only owns two counters; the scheduled process and
+   the machine snapshot at their own layers.  [fork] builds a sibling
+   kernel over a forked machine; [adopt] installs a forked process
+   without the pc/sp reset (and cache flush) [schedule] performs — the
+   forked CPU and caches already hold the captured state. *)
+
+type image = {
+  ik_next_frame : int;
+  ik_syscall_count : int;
+}
+
+let snapshot t = { ik_next_frame = t.next_frame; ik_syscall_count = t.syscall_count }
+
+let restore t img =
+  t.next_frame <- img.ik_next_frame;
+  t.syscall_count <- img.ik_syscall_count
+
+let fork img ~machine ~config =
+  {
+    machine;
+    config;
+    next_frame = img.ik_next_frame;
+    current = None;
+    syscall_count = img.ik_syscall_count;
+  }
+
+let adopt t process =
+  t.current <- Some process;
+  Machine.attach_mmu t.machine (Process.mmu process)
+
 (* Events ride the machine's tracer; the kernel and CPU share one
    timeline (kernel work is charged to the machine cycle counter). *)
 let emit t ev =

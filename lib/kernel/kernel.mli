@@ -30,6 +30,27 @@ val syscall_count : t -> int
 
 val alloc_frame : t -> int
 
+(** {2 Snapshots} *)
+
+type image
+
+val snapshot : t -> image
+(** Capture the kernel's own mutable state (frame allocator cursor,
+    syscall counter).  The scheduled process and the machine snapshot at
+    their own layers; {!Roload_core.System.snapshot} composes all
+    three. *)
+
+val restore : t -> image -> unit
+
+val fork : image -> machine:Roload_machine.Machine.t -> config:config -> t
+(** A sibling kernel over a forked machine, in the captured state (no
+    process scheduled yet — see {!adopt}). *)
+
+val adopt : t -> Process.t -> unit
+(** Install a forked process {e without} the pc/sp reset and cache flush
+    {!schedule} performs: the forked CPU and caches already hold the
+    captured state. *)
+
 val load : t -> Roload_obj.Exe.t -> Process.t
 (** Map all segments (with keys when the kernel supports them), map the
     stack, set the initial brk. *)

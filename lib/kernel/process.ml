@@ -47,6 +47,51 @@ let create ~exe ~page_table ~mmu ~phys ~brk =
     output = Buffer.create 256;
   }
 
+(* ---- snapshots ----
+
+   Everything mutable (or observable, like the console buffer) is
+   captured by value; the address-space objects themselves are snapshot
+   at the memory layer, so a process image composes with a physical
+   memory image taken at the same instant. *)
+
+type image = {
+  i_brk : int;
+  i_brk_start : int;
+  i_mmap_next : int;
+  i_mapped_pages : int;
+  i_peak_pages : int;
+  i_status : status;
+  i_output : string;
+}
+
+let snapshot t =
+  {
+    i_brk = t.brk;
+    i_brk_start = t.brk_start;
+    i_mmap_next = t.mmap_next;
+    i_mapped_pages = t.mapped_pages;
+    i_peak_pages = t.peak_pages;
+    i_status = t.status;
+    i_output = Buffer.contents t.output;
+  }
+
+let restore t img =
+  t.brk <- img.i_brk;
+  t.brk_start <- img.i_brk_start;
+  t.mmap_next <- img.i_mmap_next;
+  t.mapped_pages <- img.i_mapped_pages;
+  t.peak_pages <- img.i_peak_pages;
+  t.status <- img.i_status;
+  Buffer.clear t.output;
+  Buffer.add_string t.output img.i_output
+
+(* A fresh process in the captured state, wired to an already-forked
+   address space (the caller forks phys/page-table/MMU first). *)
+let fork img ~exe ~page_table ~mmu ~phys =
+  let t = create ~exe ~page_table ~mmu ~phys ~brk:img.i_brk in
+  restore t img;
+  t
+
 let status t = t.status
 let output t = Buffer.contents t.output
 let append_output t s = Buffer.add_string t.output s

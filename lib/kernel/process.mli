@@ -18,6 +18,27 @@ val create :
   brk:int ->
   t
 
+(** {2 Snapshots} *)
+
+type image
+
+val snapshot : t -> image
+(** Capture all mutable process state by value (break, mmap cursor,
+    memory accounting, status, console output).  The address space is
+    snapshot separately at the memory layer. *)
+
+val restore : t -> image -> unit
+
+val fork :
+  image ->
+  exe:Roload_obj.Exe.t ->
+  page_table:Roload_mem.Page_table.t ->
+  mmu:Roload_mem.Mmu.t ->
+  phys:Roload_mem.Phys_mem.t ->
+  t
+(** A fresh process in the captured state, wired to an already-forked
+    address space. *)
+
 val status : t -> status
 val output : t -> string
 val append_output : t -> string -> unit

@@ -77,6 +77,21 @@ let append t s =
   t.slots.(t.len) <- s;
   t.len <- t.len + 1
 
+(* Deep copy for machine snapshots: slots are immutable records, so a
+   fresh slot array suffices; the trace-engine bookkeeping rides along so
+   a restored machine re-reaches hotness on exactly the same entry. *)
+let copy t =
+  {
+    start_pa = t.start_pa;
+    slots = Array.copy t.slots;
+    len = t.len;
+    closed = t.closed;
+    hot = t.hot;
+    succ_va = t.succ_va;
+    succ_stable = t.succ_stable;
+    no_trace = t.no_trace;
+  }
+
 (* Instructions after which execution does not fall through to [pc + size]:
    these close the block.  Ecall/Ebreak are included because the kernel
    decides the resumption pc. *)

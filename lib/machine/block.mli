@@ -26,6 +26,10 @@ val closed : t -> bool
 val close : t -> unit
 val append : t -> slot -> unit
 
+val copy : t -> t
+(** Deep copy (fresh slot array, bookkeeping included) — used by machine
+    snapshots so a restored block cache can mutate independently. *)
+
 (** {2 Trace-engine bookkeeping}
 
     Recorded by the traced dispatch loop, consumed by the superblock

@@ -28,6 +28,20 @@ let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
 let retire t = t.instret <- Int64.add t.instret 1L
 let retire_n t n = t.instret <- Int64.add t.instret (Int64.of_int n)
 
+(* Snapshot: registers + pc + counters.  Restore blits into the existing
+   register array — its identity is captured by compiled trace closures,
+   so it must never be replaced. *)
+type image = { i_regs : int64 array; i_pc : int; i_instret : int64; i_cycles : int64 }
+
+let snapshot t =
+  { i_regs = Array.copy t.regs; i_pc = t.pc; i_instret = t.instret; i_cycles = t.cycles }
+
+let restore t img =
+  Array.blit img.i_regs 0 t.regs 0 32;
+  t.pc <- img.i_pc;
+  t.instret <- img.i_instret;
+  t.cycles <- img.i_cycles
+
 let reset t =
   Array.fill t.regs 0 32 0L;
   t.pc <- 0;

@@ -26,3 +26,11 @@ val retire_n : t -> int -> unit
 
 val reset : t -> unit
 val dump : t -> string
+
+type image
+
+val snapshot : t -> image
+
+val restore : t -> image -> unit
+(** Blits into the existing register array (identity preserved — trace
+    closures capture it) and resets pc/instret/cycles to the image. *)

@@ -115,6 +115,10 @@ type env = {
   flush_code : unit -> unit;
   find_trace : int -> compiled option;
       (* live view of the machine's trace table, keyed by entry PA *)
+  code_gen : unit -> int;
+      (* the machine's code-cache generation; chain-site memos carry the
+         generation they were filled under and refuse to hit after any
+         code flush (self-modifying code) *)
 }
 
 let flush env st =
@@ -143,18 +147,61 @@ let side_exit env st ~pc =
    there without translating again.  Every chained hop retires at least
    one instruction (the first chunk's statics are charged before any
    exit can chain), so fuel strictly decreases and chains terminate. *)
-let chain_exit env st ~pc =
+(* Per-chain-site translation memo: the last exit target this lowering
+   site resolved, its I-TLB handle, and the code-cache generation the
+   memo was filled under.  The MMU's own same-page memo flips between
+   two pages on call/return alternation (the caller's and the callee's),
+   so chained hops were paying the associative TLB scan on every hop;
+   a per-site memo holds each site's page across that alternation.
+
+   Purely an accounting-neutral shortcut: a hit replays the TLB hit via
+   [Mmu.rehit_fetch] (exact [lookup] accounting, permission check re-run,
+   pa recomputed from the PTE the entry holds now), a generation change
+   or stale handle falls back to the full [Mmu.translate] with nothing
+   accounted.  What is simulated never depends on the memo. *)
+type chain_memo = {
+  mutable m_va : int;
+  mutable m_handle : Tlb.handle option;
+  mutable m_gen : int;
+}
+
+let fresh_memo () = { m_va = -1; m_handle = None; m_gen = -1 }
+
+let chain_exit env st memo ~pc =
   flush env st;
   Cpu.set_pc env.cpu pc;
   if st.k_fuel <= 0 || pc land 1 <> 0 then T_redispatch
   else begin
-    match Mmu.translate env.mmu ~access:Perm.Fetch pc with
+    let vpn = pc lsr Page_table.page_shift in
+    let gen = env.code_gen () in
+    let fast =
+      if memo.m_va = pc && memo.m_gen = gen then
+        match memo.m_handle with
+        | Some h -> Mmu.rehit_fetch env.mmu ~vpn ~handle:h pc
+        | None -> None
+      else None
+    in
+    let trans =
+      match fast with
+      | Some r -> r
+      | None -> (
+        match Mmu.translate env.mmu ~access:Perm.Fetch pc with
+        | Error f -> Error f
+        | Ok t -> Ok t)
+    in
+    match trans with
     | Error f -> T_trap (Trap.of_mmu_fault ~pc f)
     | Ok { pa; walk_steps; _ } -> (
       Cpu.add_cycles env.cpu (walk_steps * env.c_ptw);
+      let h_opt =
+        match fast with Some _ -> memo.m_handle | None -> Tlb.peek env.itlb ~vpn
+      in
+      memo.m_va <- pc;
+      memo.m_handle <- h_opt;
+      memo.m_gen <- gen;
       match env.find_trace pa with
       | Some c when c.c_entry_va = pc && c.c_max_retire <= st.k_fuel -> (
-        match Tlb.peek env.itlb ~vpn:(pc lsr Page_table.page_shift) with
+        match h_opt with
         | Some h -> c.c_run ~fuel:st.k_fuel h
         | None -> T_enter_block { eb_pc = pc; eb_pa = pa })
       | _ -> T_enter_block { eb_pc = pc; eb_pa = pa })
@@ -444,7 +491,9 @@ let lower_term env st ~end_va (term : Trace.term) (kind : cont_kind) :
     (* no instruction: the block closed at the page boundary *)
     match kind with
     | Stitch { cont; _ } -> fun _h -> cont ()
-    | Leave -> fun _h -> chain_exit env st ~pc:next_va)
+    | Leave ->
+      let memo = fresh_memo () in
+      fun _h -> chain_exit env st memo ~pc:next_va)
   | Trace.K_jal { rd; target_va } -> (
     let rd = Reg.to_int rd in
     let link = Int64.of_int end_va in
@@ -456,15 +505,17 @@ let lower_term env st ~end_va (term : Trace.term) (kind : cont_kind) :
         if rd <> 0 then Array.unsafe_set regs rd link;
         cont ()
     | Leave ->
+      let memo = fresh_memo () in
       fun _h ->
         counts.jumps <- counts.jumps + 1;
         if rd <> 0 then Array.unsafe_set regs rd link;
-        chain_exit env st ~pc:target_va)
+        chain_exit env st memo ~pc:target_va)
   | Trace.K_jalr { rd; rs1; imm; is_return } ->
     (* the indirect penalty for non-returns is static, charged in the
        chunk *)
     let rd = Reg.to_int rd and rs1 = Reg.to_int rs1 in
     let link = Int64.of_int end_va in
+    let memo = fresh_memo () in
     fun _h ->
       counts.jumps <- counts.jumps + 1;
       if not is_return then counts.indirect_jumps <- counts.indirect_jumps + 1;
@@ -473,26 +524,28 @@ let lower_term env st ~end_va (term : Trace.term) (kind : cont_kind) :
       if rd <> 0 then Array.unsafe_set regs rd link;
       (match kind with
       | Stitch { expect_va; cont } ->
-        if tgt = expect_va then cont () else chain_exit env st ~pc:tgt
-      | Leave -> chain_exit env st ~pc:tgt)
+        if tgt = expect_va then cont () else chain_exit env st memo ~pc:tgt
+      | Leave -> chain_exit env st memo ~pc:tgt)
   | Trace.K_branch { cond; rs1; rs2; taken_va; fall_va; predicted_taken } -> (
     let rs1 = Reg.to_int rs1 and rs2 = Reg.to_int rs2 in
     let f = Alu.branch_fn cond in
     match kind with
     | Stitch { expect_va; cont } ->
       let stitch_taken = expect_va = taken_va in
+      let memo = fresh_memo () in
       fun _h ->
         counts.branches <- counts.branches + 1;
         let taken = f (Array.unsafe_get regs rs1) (Array.unsafe_get regs rs2) in
         if taken <> predicted_taken then st.k_cycles <- st.k_cycles + env.c_mispredict;
         if taken = stitch_taken then cont ()
-        else chain_exit env st ~pc:(if taken then taken_va else fall_va)
+        else chain_exit env st memo ~pc:(if taken then taken_va else fall_va)
     | Leave ->
+      let memo = fresh_memo () in
       fun _h ->
         counts.branches <- counts.branches + 1;
         let taken = f (Array.unsafe_get regs rs1) (Array.unsafe_get regs rs2) in
         if taken <> predicted_taken then st.k_cycles <- st.k_cycles + env.c_mispredict;
-        chain_exit env st ~pc:(if taken then taken_va else fall_va))
+        chain_exit env st memo ~pc:(if taken then taken_va else fall_va))
 
 (* ---- segment lowering ---- *)
 

@@ -65,6 +65,9 @@ type env = {
   find_trace : int -> compiled option;
       (** live view of the machine's trace table keyed by entry PA, for
           trace-to-trace chaining at dynamic exits *)
+  code_gen : unit -> int;
+      (** the machine's code-cache generation counter; per-chain-site
+          translation memos are invalidated by any code flush *)
 }
 
 val compilable : roload_enabled:bool -> Block.t -> bool

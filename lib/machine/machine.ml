@@ -163,7 +163,7 @@ let create ?(costs = default_costs) ?engine (config : Config.t) =
     decode_cache = Hashtbl.create 4096;
     blocks = Hashtbl.create 1024;
     code_pages =
-      Bytes.make ((config.Config.phys_mem_bytes lsr Page_table.page_shift lsr 3) + 1) '\000';
+      Bytes.make ((config.Config.phys_mem_bytes lsr (Page_table.page_shift + 3)) + 1) '\000';
     code_gen = 0;
     line_shift = Roload_util.Bits.log2_exact config.Config.icache.Roload_cache.Cache.line_bytes;
     counts =
@@ -872,6 +872,7 @@ let lower_env t =
     page_holds_code = (fun pa -> page_holds_code t pa);
     flush_code = (fun () -> flush_code_caches t);
     find_trace = (fun pa -> Hashtbl.find_opt t.traces pa);
+    code_gen = (fun () -> t.code_gen);
   }
 
 (* Try to stitch and compile a trace rooted at [block].  The static
@@ -1040,3 +1041,180 @@ let run_steps ?stop_at_pc ~fuel t =
   | Block_cached -> run_blocks t ~stop_at_pc ~fuel
   | Single_step -> run_single t ~stop_at_pc ~fuel
   | Traced -> run_traced t ~stop_at_pc ~fuel
+
+(* ---- snapshots ----
+
+   An [image] captures everything a paused machine needs to replay
+   byte-identically: architectural state (cpu, physical memory), timing
+   state (cache/TLB contents, clocks and statistics), the MMU fault
+   counters, the decode/block caches (decode charges are paid lazily
+   once per pa, so the set of memoized decodes affects *when* cycles are
+   charged — it must be captured for exactness), the code-page bitmap
+   and generation, and every metrics-visible counter.
+
+   [restore] puts the same machine object back into the captured state.
+   Object identities (cpu, register array, physical memory, hierarchy,
+   MMU) are preserved, which is what lets compiled traces be restored
+   too: their closures captured those identities at compile time.
+
+   [fork] builds a new, fully independent machine from the image.
+   Compiled traces are dropped — their closures capture the *parent's*
+   cpu/regs/mem, so running them in a fork would corrupt the parent.
+   Block hotness rides along in the copied block cache, so a fork
+   re-compiles its traces on first re-dispatch of each hot block; traces
+   never change what is simulated, so the fork stays architecturally
+   bit-identical to a restored parent (trace-engine counters may
+   differ). *)
+
+let copy_counts (c : exec_counts) =
+  {
+    loads = c.loads;
+    stores = c.stores;
+    roloads = c.roloads;
+    branches = c.branches;
+    jumps = c.jumps;
+    indirect_jumps = c.indirect_jumps;
+  }
+
+let assign_counts ~(dst : exec_counts) (src : exec_counts) =
+  dst.loads <- src.loads;
+  dst.stores <- src.stores;
+  dst.roloads <- src.roloads;
+  dst.branches <- src.branches;
+  dst.jumps <- src.jumps;
+  dst.indirect_jumps <- src.indirect_jumps
+
+type image = {
+  im_config : Config.t;
+  im_costs : costs;
+  im_engine : engine;
+  im_hot_threshold : int;
+  im_cpu : Cpu.image;
+  im_mem : Phys_mem.image;
+  im_hier : Roload_cache.Hierarchy.image;
+  im_mmu : Mmu.image option;
+  im_decode : (int, Inst.t * int) Hashtbl.t; (* values immutable: shallow copy *)
+  im_blocks : (int, Block.t) Hashtbl.t; (* deep copies, frozen *)
+  im_traces : (int, Lower.compiled) Hashtbl.t;
+      (* closures bound to the parent's identities: restore-only *)
+  im_code_pages : Bytes.t;
+  im_code_gen : int;
+  im_counts : exec_counts;
+  im_key_counts : int array;
+  im_block_enters : int;
+  im_block_hits : int;
+  im_block_decodes : int;
+  im_trace_enters : int;
+  im_trace_retires : int;
+  im_traces_compiled : int;
+  im_injections : int;
+}
+
+let copy_blocks tbl =
+  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  Hashtbl.iter (fun pa b -> Hashtbl.add out pa (Block.copy b)) tbl;
+  out
+
+let snapshot t =
+  {
+    im_config = t.config;
+    im_costs = t.costs;
+    im_engine = t.engine;
+    im_hot_threshold = t.hot_threshold;
+    im_cpu = Cpu.snapshot t.cpu;
+    im_mem = Phys_mem.snapshot t.mem;
+    im_hier = Roload_cache.Hierarchy.snapshot t.hierarchy;
+    im_mmu = Option.map Mmu.snapshot t.mmu;
+    im_decode = Hashtbl.copy t.decode_cache;
+    im_blocks = copy_blocks t.blocks;
+    im_traces = Hashtbl.copy t.traces;
+    im_code_pages = Bytes.copy t.code_pages;
+    im_code_gen = t.code_gen;
+    im_counts = copy_counts t.counts;
+    im_key_counts = Array.copy t.roload_key_counts;
+    im_block_enters = t.block_enters;
+    im_block_hits = t.block_hits;
+    im_block_decodes = t.block_decodes;
+    im_trace_enters = t.trace_enters;
+    im_trace_retires = t.trace_retires;
+    im_traces_compiled = t.traces_compiled;
+    im_injections = t.injections;
+  }
+
+let mem_image img = img.im_mem
+let mmu_image img = img.im_mmu
+let image_config img = img.im_config
+
+(* Refill a live hashtable from an image table without replacing it —
+   closures (trace chaining, lower_env) hold the table's identity. *)
+let refill ~copy dst src =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.add dst k (copy v)) src
+
+let restore t img =
+  Cpu.restore t.cpu img.im_cpu;
+  Phys_mem.restore t.mem img.im_mem;
+  Roload_cache.Hierarchy.restore t.hierarchy img.im_hier;
+  (match (t.mmu, img.im_mmu) with
+  | Some m, Some im -> Mmu.restore m im
+  | (Some _ | None), _ -> ());
+  refill ~copy:Fun.id t.decode_cache img.im_decode;
+  refill ~copy:Block.copy t.blocks img.im_blocks;
+  refill ~copy:Fun.id t.traces img.im_traces;
+  Bytes.blit img.im_code_pages 0 t.code_pages 0 (Bytes.length t.code_pages);
+  t.code_gen <- img.im_code_gen;
+  assign_counts ~dst:t.counts img.im_counts;
+  Array.blit img.im_key_counts 0 t.roload_key_counts 0 (Array.length t.roload_key_counts);
+  t.block_enters <- img.im_block_enters;
+  t.block_hits <- img.im_block_hits;
+  t.block_decodes <- img.im_block_decodes;
+  t.trace_enters <- img.im_trace_enters;
+  t.trace_retires <- img.im_trace_retires;
+  t.traces_compiled <- img.im_traces_compiled;
+  t.injections <- img.im_injections
+
+let fork img =
+  let config = img.im_config in
+  let t =
+    {
+      config;
+      cpu = Cpu.create ();
+      mem = Phys_mem.fork img.im_mem;
+      hierarchy =
+        Roload_cache.Hierarchy.create ~icache_config:config.Config.icache
+          ~dcache_config:config.Config.dcache ~latencies:config.Config.latencies ();
+      costs = img.im_costs;
+      engine = img.im_engine;
+      mmu = None;
+      decode_cache = Hashtbl.copy img.im_decode;
+      blocks = copy_blocks img.im_blocks;
+      code_pages = Bytes.copy img.im_code_pages;
+      code_gen = img.im_code_gen;
+      line_shift =
+        Roload_util.Bits.log2_exact config.Config.icache.Roload_cache.Cache.line_bytes;
+      counts = copy_counts img.im_counts;
+      trace = None;
+      tracer = None;
+      roload_key_counts = Array.copy img.im_key_counts;
+      block_enters = img.im_block_enters;
+      block_hits = img.im_block_hits;
+      block_decodes = img.im_block_decodes;
+      traces = Hashtbl.create 64; (* parent-bound closures: never forked *)
+      hot_threshold = img.im_hot_threshold;
+      trace_enters = img.im_trace_enters;
+      trace_retires = img.im_trace_retires;
+      traces_compiled = img.im_traces_compiled;
+      injections = img.im_injections;
+      profile = None;
+    }
+  in
+  Cpu.restore t.cpu img.im_cpu;
+  Roload_cache.Hierarchy.restore t.hierarchy img.im_hier;
+  t
+
+(* Install a forked address space without the cache flush [set_mmu]
+   performs: the fork's decode/block caches were copied from the image
+   and are exact for the forked memory contents. *)
+let attach_mmu t mmu =
+  t.mmu <- Some mmu;
+  wire_observers t

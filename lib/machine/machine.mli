@@ -164,3 +164,50 @@ val run_steps : ?stop_at_pc:int -> fuel:int -> t -> run_stop
 (** Run on the configured engine until a trap, until [fuel] instructions
     have retired, or until the pc is about to execute [stop_at_pc].
     Cycle accounting is identical across engines. *)
+
+(** {2 Snapshots}
+
+    An {!image} is an immutable capture of a paused machine: registers,
+    physical memory (copy-on-write page images — O(touched pages)),
+    cache/TLB contents and statistics, MMU fault counters, the
+    decode/block caches, compiled traces and every metrics-visible
+    counter.  One image can seed any number of restores and forks. *)
+
+type image
+
+val snapshot : t -> image
+(** Capture the machine.  Cheap: page table pointers are shared
+    copy-on-write with the live machine, only bookkeeping is copied. *)
+
+val restore : t -> image -> unit
+(** Put this machine back into the captured state, in place.  Object
+    identities (cpu, memory, hierarchy, MMU) are preserved, so compiled
+    traces — whose closures captured those identities — are restored
+    too.  Replay after restore is byte-identical to the original run:
+    architectural state, cycles, and every statistic. *)
+
+val fork : image -> t
+(** A fresh, fully independent machine in the captured state.  Physical
+    pages are shared copy-on-write with the image; mutating a fork never
+    perturbs the image, the parent, or sibling forks.  The fork has no
+    MMU yet ({!attach_mmu}) and starts with an empty trace table — the
+    image's compiled closures are bound to the parent's state — so
+    trace-engine observability counters may diverge from a restored
+    parent while all architectural state, cycles and cache/TLB
+    statistics stay exact. *)
+
+val attach_mmu : t -> Roload_mem.Mmu.t -> unit
+(** Install a forked address space {e without} the cache flush
+    {!set_mmu} performs: the fork's decode/block caches were copied from
+    the image and remain exact for the forked memory contents. *)
+
+val mem_image : image -> Roload_mem.Phys_mem.image
+(** The captured physical memory, for {!Roload_mem.Phys_mem.diff_images}
+    — the page-level differential-state comparator. *)
+
+val mmu_image : image -> Roload_mem.Mmu.image option
+(** The captured MMU state (TLBs, fault counters), used by the fork path
+    to seed a fresh MMU over the forked page table. *)
+
+val image_config : image -> Config.t
+(** The machine configuration the image was captured under. *)

@@ -168,6 +168,26 @@ let translate t ~access va =
         translate_slow t ~access ~vpn va)
     | Some _ | None -> translate_slow t ~access ~vpn va
 
+(* Chain-site translation memo support (trace engine).  Replay an I-side
+   hit on a handle the chain site captured earlier: [Tlb.rehit] performs
+   the exact hit accounting a full [translate] would have, then the
+   permission check re-runs against the PTE the entry holds *now* (it
+   may have been corrupted in place since — the roload-chaos TLB fault
+   model), and the physical address is recomputed from that same PTE.
+   [None] means the entry no longer caches [vpn]; no accounting happened
+   and the caller must fall back to the full [translate]. *)
+let rehit_fetch t ~vpn ~handle va =
+  match Tlb.rehit t.itlb ~vpn handle with
+  | None -> None
+  | Some pte ->
+    Some
+      (match check t ~va ~access:Perm.Fetch pte with
+      | Ok () ->
+        Ok
+          { pa = (Pte.ppn pte lsl Page_table.page_shift) lor (va land page_mask);
+            tlb_hit = true; walk_steps = 0 }
+      | Error f -> Error f)
+
 (* Invalidate cached translations for [va] in both TLBs (sfence.vma
    analogue, used after mprotect/mprotect_key). *)
 let invalidate t ~va =
@@ -180,5 +200,38 @@ let invalidate t ~va =
 let flush t =
   Tlb.flush t.itlb;
   Tlb.flush t.dtlb;
+  t.i_memo <- None;
+  t.d_memo <- None
+
+(* ---- snapshots ----
+   Both TLB images plus the fault triage counters.  The same-page memos
+   are deliberately *not* captured and are dropped on restore: they are
+   accounting-neutral by construction ([rehit] performs exactly the
+   accounting [lookup] would), so their presence or absence never shows
+   in any counter — only in wall-clock speed. *)
+
+type image = {
+  im_itlb : Tlb.image;
+  im_dtlb : Tlb.image;
+  im_page_faults : int;
+  im_roload_key_mismatch : int;
+  im_roload_not_readonly : int;
+}
+
+let snapshot t =
+  {
+    im_itlb = Tlb.snapshot t.itlb;
+    im_dtlb = Tlb.snapshot t.dtlb;
+    im_page_faults = t.fault_counts.page_faults;
+    im_roload_key_mismatch = t.fault_counts.roload_key_mismatch;
+    im_roload_not_readonly = t.fault_counts.roload_not_readonly;
+  }
+
+let restore t img =
+  Tlb.restore t.itlb img.im_itlb;
+  Tlb.restore t.dtlb img.im_dtlb;
+  t.fault_counts.page_faults <- img.im_page_faults;
+  t.fault_counts.roload_key_mismatch <- img.im_roload_key_mismatch;
+  t.fault_counts.roload_not_readonly <- img.im_roload_not_readonly;
   t.i_memo <- None;
   t.d_memo <- None

@@ -43,7 +43,25 @@ val translate : t -> access:Perm.access -> int -> (translation, fault) result
     accesses the D-TLB. On a miss the Sv39 walk runs and the result is
     cached. *)
 
+val rehit_fetch :
+  t -> vpn:int -> handle:Tlb.handle -> int -> (translation, fault) result option
+(** Replay an I-side translation on a handle captured earlier (the trace
+    engine's chain-site memo): exact hit accounting via {!Tlb.rehit},
+    permission check re-run against the PTE the entry holds now, physical
+    address recomputed from it.  [None] (with no accounting) when the
+    entry no longer caches [vpn] — fall back to {!translate}. *)
+
 val invalidate : t -> va:int -> unit
 (** Drop cached translations of [va]'s page from both TLBs. *)
 
 val flush : t -> unit
+
+type image
+(** Both TLB images plus the fault triage counters. *)
+
+val snapshot : t -> image
+
+val restore : t -> image -> unit
+(** Restore TLBs and fault counters in place.  The internal same-page
+    memos are dropped — they are accounting-neutral, so no counter ever
+    observes the difference. *)

@@ -30,6 +30,11 @@ let create ~mem ~alloc_frame =
   let root_ppn = alloc_frame () in
   { mem; root_ppn; alloc_frame }
 
+(* Rebuild the walker over an existing root (snapshot forks: the table
+   contents already live inside the forked physical memory; only the
+   OCaml-side handle needs re-wiring to the new [mem]). *)
+let with_root ~mem ~root_ppn ~alloc_frame = { mem; root_ppn; alloc_frame }
+
 let root_ppn t = t.root_ppn
 
 let vpn_index va level =

@@ -19,6 +19,10 @@ val create : mem:Phys_mem.t -> alloc_frame:(unit -> int) -> t
 (** Allocates the root table from [alloc_frame] (which must return zeroed
     frames). *)
 
+val with_root : mem:Phys_mem.t -> root_ppn:int -> alloc_frame:(unit -> int) -> t
+(** A walker over an existing root table — used when forking a snapshot,
+    where the table pages already exist inside the forked memory. *)
+
 val root_ppn : t -> int
 val walk : t -> int -> (walk_result, walk_error) result
 

@@ -1,12 +1,45 @@
-(** Flat little-endian physical memory.  Permission enforcement lives in
-    the MMU, above this layer. *)
+(** Paged little-endian physical memory with copy-on-write snapshots.
+    Permission enforcement lives in the MMU, above this layer. *)
 
 exception Out_of_range of int
 
+val page_shift : int
+val page_bytes : int
+
 type t
+
+type image
+(** A frozen memory image.  Pages inside an image are never mutated, so
+    an image can be shared read-only across domains and forked from
+    concurrently. *)
 
 val create : size:int -> t
 val size : t -> int
+
+val snapshot : t -> image
+(** Freeze the current contents in O(page count).  The live memory keeps
+    running; its next store to each frozen page copies that page
+    (copy-on-write), so the image stays exact. *)
+
+val restore : t -> image -> unit
+(** Reset [t]'s contents to [image] in O(page count), preserving the
+    identity of [t] itself.  The image remains valid and reusable. *)
+
+val fork : image -> t
+(** A fresh memory whose contents equal [image], sharing every page with
+    it until written — O(page count), no bulk allocation. *)
+
+type page_diff = {
+  page : int;  (** physical page number *)
+  addr : int;  (** physical address of the first differing byte *)
+  a_byte : int;
+  b_byte : int;
+}
+
+val diff_images : image -> image -> page_diff list
+(** Page-by-page comparison, ascending by page number.  Pages still
+    physically shared between the two images compare equal by pointer,
+    so diffing twin forks of one snapshot is O(page count). *)
 
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit

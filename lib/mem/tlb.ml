@@ -186,5 +186,47 @@ let reset_stats t =
   t.stats.misses <- 0;
   t.stats.flushes <- 0
 
+(* ---- snapshots ----
+   The image is a deep copy of every entry plus the LRU clock and the
+   statistics, so a restored TLB replays byte-identically (same hits,
+   misses, evictions).  Restore mutates the existing entry records in
+   place: outstanding handles keep their identity, and [rehit]'s
+   [valid && vpn = vpn] guard makes any stale handle fall back to a full
+   lookup — exactly the contract live invalidation already relies on.
+   The observer is deliberately not captured (it is per-run wiring). *)
+
+type image = {
+  i_entries : (int * Pte.t * int * bool) array;
+  i_clock : int;
+  i_hits : int;
+  i_misses : int;
+  i_flushes : int;
+}
+
+let snapshot t =
+  {
+    i_entries = Array.map (fun e -> (e.vpn, e.pte, e.last_use, e.valid)) t.entries;
+    i_clock = t.clock;
+    i_hits = t.stats.hits;
+    i_misses = t.stats.misses;
+    i_flushes = t.stats.flushes;
+  }
+
+let restore t img =
+  if Array.length img.i_entries <> Array.length t.entries then
+    invalid_arg "Tlb.restore: size mismatch";
+  Array.iteri
+    (fun i (vpn, pte, last_use, valid) ->
+      let e = t.entries.(i) in
+      e.vpn <- vpn;
+      e.pte <- pte;
+      e.last_use <- last_use;
+      e.valid <- valid)
+    img.i_entries;
+  t.clock <- img.i_clock;
+  t.stats.hits <- img.i_hits;
+  t.stats.misses <- img.i_misses;
+  t.stats.flushes <- img.i_flushes
+
 let occupancy t =
   Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.entries

@@ -57,3 +57,13 @@ val invalidate : t -> vpn:int -> unit
 val flush : t -> unit
 val reset_stats : t -> unit
 val occupancy : t -> int
+
+type image
+(** Deep copy of entries + LRU clock + statistics; immutable once taken. *)
+
+val snapshot : t -> image
+
+val restore : t -> image -> unit
+(** Overwrite [t]'s entries/clock/stats with the image, in place (entry
+    identity is preserved, so outstanding handles safely revalidate or
+    fall back through {!rehit}'s guard).  The observer is untouched. *)

@@ -121,5 +121,40 @@ let run ?(config = default_run_config) ~exe kind =
   in
   classify final
 
-let run_corpus ?config ~exe () =
-  List.map (fun kind -> (kind, run ?config ~exe kind)) Attack.all_kinds
+(* Snapshot-seeded corpus: boot the victim once, pause at the attack
+   point, capture a copy-on-write snapshot, and fork one variant per
+   attack kind instead of re-booting from reset for each.  The boot
+   prefix is deterministic, so verdicts are identical either way;
+   [~from_reset:true] keeps the boot-per-attack path alive for the
+   equivalence regression. *)
+let run_corpus ?(config = default_run_config) ?(from_reset = false) ~exe () =
+  if from_reset then
+    List.map (fun kind -> (kind, run ~config ~exe kind)) Attack.all_kinds
+  else begin
+    let machine = Machine.create config.machine_config in
+    let kernel = Kernel.create ~machine ~config:config.kernel_config in
+    let process = Kernel.load kernel exe in
+    Kernel.schedule kernel process;
+    let stop = Exe.find_symbol_exn exe "attack_point" in
+    let paused =
+      Kernel.run ~stop_at_pc:stop
+        ~limit:{ Kernel.max_instructions = 10_000_000L }
+        kernel process
+    in
+    (match paused.Kernel.status with
+    | Process.Running -> ()
+    | Process.Exited _ | Process.Killed _ ->
+      failwith "attack runner: victim ended before the attack point");
+    let snap = Roload_kernel.Snapshot.capture ~machine ~kernel ~process in
+    List.map
+      (fun kind ->
+        let _fm, fk, fp = Roload_kernel.Snapshot.fork snap in
+        (try corrupt exe fp kind
+         with Process.Attack_blocked reason ->
+           failwith ("attack runner: primitive unexpectedly blocked: " ^ reason));
+        let final =
+          Kernel.run ~limit:{ Kernel.max_instructions = 10_000_000L } fk fp
+        in
+        (kind, classify final))
+      Attack.all_kinds
+  end

@@ -39,3 +39,10 @@ let choose t arr =
   arr.(next_int t (Array.length arr))
 
 let split t = create (next_int64 t)
+
+(* State capture for machine snapshots: a copy continues the parent's
+   stream without perturbing it — forks drawing from copies see exactly
+   the stream the parent would have (the prefix-stability contract). *)
+let copy t = { state = t.state }
+let state t = t.state
+let restore t s = t.state <- s

@@ -18,3 +18,11 @@ val shuffle : t -> 'a array -> unit
 val choose : t -> 'a array -> 'a
 val split : t -> t
 (** Derive an independent generator. *)
+
+val copy : t -> t
+(** A generator that continues the same stream from the current state
+    without advancing (or ever perturbing) the original — snapshot
+    support for the prefix-stability contract. *)
+
+val state : t -> int64
+val restore : t -> int64 -> unit

@@ -12,6 +12,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("system", Test_system.suite);
       ("engine", Test_engine.suite);
+      ("snapshot", Test_snapshot.suite);
       ("front", Test_front.suite);
       ("passes", Test_passes.suite);
       ("codegen", Test_codegen.suite);

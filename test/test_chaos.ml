@@ -169,6 +169,43 @@ let test_resume_byte_identical () =
   Alcotest.(check string) "resumed JSON byte-identical" (Campaign.to_json fresh)
     (Campaign.to_json resumed)
 
+(* Campaign equivalence: the snapshot-seeded fan-out (the default) and
+   the boot-every-cell-from-reset path must produce byte-identical
+   reports — coverage table, rows, JSON and localization diffs — on the
+   pinned seed.  This is the acceptance bar for snapshot seeding: only
+   the throughput may change. *)
+let test_snapshot_seeding_equivalence () =
+  let cfg = { small_config with Campaign.seed = 1L; count = 10 } in
+  let seeded = Campaign.run cfg in
+  let reset = Campaign.run { cfg with Campaign.from_reset = true } in
+  Alcotest.(check string) "rendered tables byte-identical" (Campaign.render reset)
+    (Campaign.render seeded);
+  Alcotest.(check string) "JSON byte-identical (incl. corruption diffs)"
+    (Campaign.to_json reset) (Campaign.to_json seeded);
+  Alcotest.(check string) "diff artifacts byte-identical"
+    (Campaign.render_diffs reset) (Campaign.render_diffs seeded)
+
+(* Checkpoint/resume under the snapshot fan-out is byte-identical at any
+   job count: kill mid-run, resume at -j1 and at -j4, same JSON. *)
+let test_resume_jobs_invariant () =
+  let run jobs =
+    let ck = Filename.temp_file "roload-chaos-j" ".tsv" in
+    let cfg =
+      {
+        small_config with
+        Campaign.count = 6;
+        seed = 1L;
+        jobs = Some jobs;
+        checkpoint = Some ck;
+      }
+    in
+    ignore (Campaign.run { cfg with Campaign.max_cells = Some 7 });
+    let resumed = Campaign.run { cfg with Campaign.resume = true } in
+    Sys.remove ck;
+    Campaign.to_json resumed
+  in
+  Alcotest.(check string) "resumed snapshot fan-out: -j1 equals -j4" (run 1) (run 4)
+
 (* A campaign is deterministic in the job count. *)
 let test_jobs_invariant () =
   let cfg = { small_config with Campaign.count = 4; seed = 3L } in
@@ -306,6 +343,9 @@ let suite =
     Alcotest.test_case "bounded retry recovers flaky cell" `Quick
       test_cell_retry_recovers;
     Alcotest.test_case "resume is byte-identical" `Slow test_resume_byte_identical;
+    Alcotest.test_case "snapshot-seeded equals from-reset" `Slow
+      test_snapshot_seeding_equivalence;
+    Alcotest.test_case "resume fan-out: -j1 equals -j4" `Slow test_resume_jobs_invariant;
     Alcotest.test_case "-j1 equals -j4" `Quick test_jobs_invariant;
     Alcotest.test_case "empty plan is bit-identical" `Quick test_empty_plan_bit_identity;
     Seeded.to_alcotest prop_pause_identity;

@@ -343,6 +343,72 @@ let test_trace_invalidation () =
         traced_outcome.Kernel.instructions o.Kernel.instructions)
     outcomes
 
+(* The chain-exit translation memo (lower.ml) must be invalidated when a
+   store rewrites a page that chained hops land on.  Run a hot loop that
+   chains through an mmap'd function on every iteration — so the
+   per-site memo is warm by the time the rewrite happens — then rewrite
+   the function *mid-loop* and keep looping through the same chain
+   site.  8 calls returning 3 then 8 returning 5: exit 64.  A stale
+   memo or trace replays 3 and exits 48; a memo that skipped or
+   double-charged the TLB scan diverges from the single-step oracle's
+   cycle count. *)
+let chain_memo_smc_src =
+  Printf.sprintf
+    {|
+.section .text
+_start:
+    li a0, 0
+    li a1, 4096
+    li a2, 7
+    li a3, 0
+    li a4, 0
+    li a7, 222
+    ecall
+    mv s0, a0
+    li t0, %Ld
+    sw t0, 0(s0)
+    li t1, %Ld
+    sw t1, 4(s0)
+    li s1, 0
+    li t3, 0
+    li t4, 16
+    li t5, 8
+loop:
+    jalr s0
+    add s1, s1, a0
+    addi t3, t3, 1
+    bne t3, t5, skip
+    li t2, %Ld
+    sw t2, 0(s0)
+skip:
+    blt t3, t4, loop
+    mv a0, s1
+    li a7, 93
+    ecall
+|}
+    (enc (Inst.Op_imm (Inst.Add, Reg.a0, Reg.zero, 3L)))
+    (enc (Inst.Jalr (Reg.zero, Reg.ra, 0L)))
+    (enc (Inst.Op_imm (Inst.Add, Reg.a0, Reg.zero, 5L)))
+
+let test_chain_memo_smc () =
+  let exe = build_exe chain_memo_smc_src in
+  let _, stepped = exec_on ~engine:Machine.Single_step exe in
+  check_exit "single-step" 64 stepped;
+  let _, blocked = exec_on ~engine:Machine.Block_cached exe in
+  check_exit "block" 64 blocked;
+  let machine, traced =
+    with_hot_threshold 1 (fun () -> exec_on ~engine:Machine.Traced exe)
+  in
+  check_exit "traced" 64 traced;
+  Alcotest.(check bool) "traces were compiled" true
+    (Machine.traces_compiled machine >= 1);
+  Alcotest.(check int64) "traced cycles agree with the oracle" stepped.Kernel.cycles
+    traced.Kernel.cycles;
+  Alcotest.(check int64) "traced instructions agree with the oracle"
+    stepped.Kernel.instructions traced.Kernel.instructions;
+  Alcotest.(check int64) "block cycles agree with the oracle" stepped.Kernel.cycles
+    blocked.Kernel.cycles
+
 (* ---------- parallel fan-out determinism (ROLOAD_JOBS) ---------- *)
 
 let small () = [ Option.get (Suite.find "xalancbmk"); Option.get (Suite.find "gobmk") ]
@@ -368,5 +434,7 @@ let suite =
     Alcotest.test_case "code-page stores flush caches" `Quick test_code_page_store_flushes;
     Alcotest.test_case "store into traced page flushes the trace" `Quick
       test_trace_invalidation;
+    Alcotest.test_case "mid-loop rewrite invalidates chain-exit memos" `Quick
+      test_chain_memo_smc;
     Alcotest.test_case "jobs determinism (-j1 == -j4)" `Slow test_jobs_determinism;
   ]

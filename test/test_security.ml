@@ -152,6 +152,28 @@ let test_full_outcome_matrix () =
     (render_matrix expected_matrix)
     (render_matrix actual)
 
+(* The snapshot-seeded corpus (boot once, fork per attack) must report
+   the exact matrix the boot-every-attack-from-reset path reports, on
+   every scheme. *)
+let test_corpus_seeding_equivalence () =
+  List.iter
+    (fun scheme ->
+      let exe = victim scheme in
+      let seeded = Eval.run_corpus ~exe () in
+      let reset = Eval.run_corpus ~from_reset:true ~exe () in
+      List.iter2
+        (fun (ka, oa) (kb, ob) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s kinds align" (Pass.scheme_name scheme)
+               (Attack.kind_name ka))
+            (Attack.kind_name ka) (Attack.kind_name kb);
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s verdict identical" (Pass.scheme_name scheme)
+               (Attack.kind_name ka))
+            (cell ob) (cell oa))
+        seeded reset)
+    Pass.all_schemes
+
 let test_matrix_driver () =
   let r = Core.Experiments.security () in
   Alcotest.(check int) "5 schemes" (List.length Pass.all_schemes)
@@ -172,5 +194,7 @@ let suite =
     Alcotest.test_case "cfi blocks labelled attacks" `Quick test_cfi_blocks_labelled;
     Alcotest.test_case "pointee reuse residual (V-D)" `Quick test_pointee_reuse_residual;
     Alcotest.test_case "full attack × scheme matrix" `Quick test_full_outcome_matrix;
+    Alcotest.test_case "snapshot-seeded corpus equals from-reset" `Quick
+      test_corpus_seeding_equivalence;
     Alcotest.test_case "matrix driver" `Quick test_matrix_driver;
   ]
