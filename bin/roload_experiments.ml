@@ -1,7 +1,8 @@
 (* roload_experiments — regenerate any table or figure of the paper.
 
    Usage: roload_experiments [table1|table2|table3|section5b|figure3|
-                              figure4|figure5|security|elide|ablations|all]
+                              figure4|figure5|security|elide|campaign|
+                              server|ablations|all]
                              [--scale N] [-j N] [--engine ENGINE]
                              [--json PATH] [--baseline PATH]
                              [--metrics [PATH]] [--check-cycles PATH]
@@ -28,6 +29,20 @@ let print_table t = Roload_util.Table.print t
    the bench JSON as [campaign_cells_per_s] and gated against the
    baseline like simulated MIPS. *)
 let campaign_cps : float option ref = ref None
+
+(* Server macro-benchmark throughput: the stock scheme's wall-clock
+   requests/s, recorded in the bench JSON as [requests_per_s] and gated
+   against the baseline like simulated MIPS. *)
+let server_rps : float option ref = ref None
+
+(* The request-serving macro-benchmark: the server workload forked into
+   a worker pool, drained under stock/VCall/ICall.  100k requests per
+   scale unit; the driver raises if any scheme crashes, underserves, or
+   prints a diverging checksum. *)
+let run_server_bench ~scale =
+  let r = Core.Experiments.experiment_server ~requests:(100_000 * scale) () in
+  server_rps := Some r.Core.Experiments.sv_requests_per_s;
+  print_table r.Core.Experiments.sv_table
 
 let run_campaign ~scale =
   let module Campaign = Roload_inject.Campaign in
@@ -89,6 +104,7 @@ let run_one ~scale ~metrics name =
   | "elide" ->
     print_table (Core.Experiments.experiment_elide ~scale ()).Core.Experiments.el_table
   | "campaign" -> run_campaign ~scale
+  | "server" -> run_server_bench ~scale
   | "ablations" ->
     print_table (Core.Experiments.ablation_compressed ());
     print_table (Core.Experiments.ablation_keys ());
@@ -151,10 +167,11 @@ let run names scale jobs engine json baseline metrics check_cycles =
         failed := n :: !failed);
       let wall_s = Unix.gettimeofday () -. t0 in
       let instructions = Core.System.total_instructions_simulated () - i0 in
-      (* the campaign experiment measures cells/s, not simulated MIPS —
-         it records [campaign_cells_per_s] instead of a trajectory entry,
-         so the MIPS totals stay comparable across baselines *)
-      if n <> "campaign" then
+      (* the campaign and server experiments measure their own
+         throughput figures (cells/s, requests/s) — they record
+         top-level figures instead of trajectory entries, so the MIPS
+         totals stay comparable across baselines *)
+      if n <> "campaign" && n <> "server" then
         entries :=
           Core.Bench_log.entry ~name:n ~engine:engine_label ~wall_s ~instructions
           :: !entries;
@@ -164,7 +181,7 @@ let run names scale jobs engine json baseline metrics check_cycles =
   (match json with
   | Some path ->
     Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ())
-      ?campaign_cells_per_s:!campaign_cps entries;
+      ?campaign_cells_per_s:!campaign_cps ?requests_per_s:!server_rps entries;
     Printf.printf "bench trajectory written to %s\n" path
   | None -> ());
   (match metrics with
@@ -209,6 +226,10 @@ let run names scale jobs engine json baseline metrics check_cycles =
     exit 1);
   (match baseline with
   | None -> ()
+  | Some _ when entries = [] ->
+    (* a run of only figure-recording experiments (campaign, server)
+       has no trajectory entries: nothing for the MIPS gate to compare *)
+    ()
   | Some path -> (
     let _, _, mips = Core.Bench_log.totals entries in
     match Core.Bench_log.read_total_mips path with
@@ -225,6 +246,28 @@ let run names scale jobs engine json baseline metrics check_cycles =
       else
         Printf.printf "perf gate: %.3f simulated MIPS vs baseline %.3f (floor %.3f) — ok\n"
           mips base floor));
+  (* server-throughput gate: stock-scheme requests/s must not regress
+     >30% against the checked-in baseline (skipped when the baseline
+     predates the figure or the server experiment did not run) *)
+  (match (baseline, !server_rps) with
+  | Some path, Some rps -> (
+    match Core.Bench_log.read_requests_per_s path with
+    | None ->
+      Printf.eprintf
+        "warning: no requests_per_s in baseline %s; skipping server gate\n" path
+    | Some base ->
+      let floor = 0.7 *. base in
+      if rps < floor then begin
+        Printf.eprintf
+          "SERVER-THROUGHPUT REGRESSION: %.3f requests/s < 70%% of baseline %.3f \
+           (floor %.3f)\n"
+          rps base floor;
+        exit 1
+      end
+      else
+        Printf.printf "server gate: %.3f requests/s vs baseline %.3f (floor %.3f) — ok\n"
+          rps base floor)
+  | _ -> ());
   (* campaign-throughput gate: seeded cells/s must not regress >30%
      against the checked-in baseline (skipped when the baseline predates
      the figure or the campaign experiment did not run) *)

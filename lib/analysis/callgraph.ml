@@ -12,7 +12,8 @@
 
 module Ir = Roload_ir.Ir
 
-let builtins = [ "exit"; "print_char"; "print_str"; "print_int"; "alloc" ]
+let builtins =
+  [ "exit"; "print_char"; "print_str"; "print_int"; "alloc"; "fork"; "wait"; "read_request" ]
 let is_gfpt name = String.starts_with ~prefix:"__gfpt$" name
 
 type t = {

@@ -32,7 +32,7 @@ let totals entries =
   let mips = if wall > 0.0 then float_of_int insts /. wall /. 1e6 else 0.0 in
   (wall, insts, mips)
 
-let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s entries =
+let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s ?requests_per_s entries =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"roload-bench-v2\",\n";
@@ -53,6 +53,9 @@ let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s entries =
   | Some cps ->
     Buffer.add_string b (Printf.sprintf "  \"campaign_cells_per_s\": %.3f,\n" cps)
   | None -> ());
+  (match requests_per_s with
+  | Some rps -> Buffer.add_string b (Printf.sprintf "  \"requests_per_s\": %.3f,\n" rps)
+  | None -> ());
   let wall, insts, mips = totals entries in
   Buffer.add_string b
     (Printf.sprintf
@@ -61,9 +64,9 @@ let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s entries =
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-let write ~path ?scale ?jobs ?campaign_cells_per_s entries =
+let write ~path ?scale ?jobs ?campaign_cells_per_s ?requests_per_s entries =
   let oc = open_out path in
-  output_string oc (to_json ?scale ?jobs ?campaign_cells_per_s entries);
+  output_string oc (to_json ?scale ?jobs ?campaign_cells_per_s ?requests_per_s entries);
   close_out oc
 
 (* Minimal scanner for the CI baseline checks: find the first occurrence
@@ -106,3 +109,4 @@ let read_float_key path key =
 let read_total_mips path = read_float_key path "\"total_mips\":"
 
 let read_campaign_cells_per_s path = read_float_key path "\"campaign_cells_per_s\":"
+let read_requests_per_s path = read_float_key path "\"requests_per_s\":"

@@ -17,18 +17,26 @@ val totals : entry list -> float * int * float
 (** [(wall_s, instructions, mips)] aggregated over the entries. *)
 
 val to_json :
-  ?scale:int -> ?jobs:int -> ?campaign_cells_per_s:float -> entry list -> string
+  ?scale:int ->
+  ?jobs:int ->
+  ?campaign_cells_per_s:float ->
+  ?requests_per_s:float ->
+  entry list ->
+  string
 
 val write :
   path:string ->
   ?scale:int ->
   ?jobs:int ->
   ?campaign_cells_per_s:float ->
+  ?requests_per_s:float ->
   entry list ->
   unit
 (** [campaign_cells_per_s] records the snapshot-seeded chaos campaign's
-    throughput (settled cells per wall-clock second) as its own
-    top-level figure, gated separately from simulated MIPS. *)
+    throughput (settled cells per wall-clock second) and
+    [requests_per_s] the server macro-benchmark's stock-scheme
+    throughput — each its own top-level figure, gated separately from
+    simulated MIPS. *)
 
 val read_total_mips : string -> float option
 (** Scan a written file for its aggregate [total_mips] figure (used by
@@ -37,3 +45,6 @@ val read_total_mips : string -> float option
 
 val read_campaign_cells_per_s : string -> float option
 (** The [campaign_cells_per_s] figure of a written file, if present. *)
+
+val read_requests_per_s : string -> float option
+(** The [requests_per_s] figure of a written file, if present. *)

@@ -739,6 +739,170 @@ let experiment_elide ?(scale = default_scale) ?(scheme = Pass.Icall)
     [ "best"; "-"; "-"; Printf.sprintf "-%.1f%%" best; "-"; "-"; "-" ];
   { el_rows = rows; el_table = table; el_best_reduction_pct = best }
 
+(* ---------- the request-serving macro-benchmark ----------
+
+   The server workload through the multi-process kernel: the root forks
+   a worker pool, workers drain the request device through virtual
+   dispatch (VCall surface) and an indirect-call plugin table (ICall
+   surface).  Throughput is wall-clock requests/s; latency percentiles
+   are in simulated cycles (request handed out -> service completed),
+   so they are deterministic and comparable across hosts.
+
+   Which worker serves which request depends on the interleaving — and
+   each scheme's instruction stream (hence interleaving) differs.  The
+   workload's checksum is a pure function of the payload multiset, so
+   the consoles must still come out byte-identical across schemes; any
+   divergence is a real bug and an [Experiment_failure]. *)
+
+type server_row = {
+  sv_scheme : Pass.scheme;
+  sv_wall_s : float;
+  sv_requests_per_s : float;  (** served requests per wall-clock second *)
+  sv_p50_cycles : int64;  (** median service latency, simulated cycles *)
+  sv_p99_cycles : int64;  (** tail service latency, simulated cycles *)
+  sv_cycles : int64;  (** machine-global simulated cycles, all tasks *)
+  sv_instructions : int64;
+  sv_served : int;
+}
+
+type server_result = {
+  sv_rows : server_row list;
+  sv_table : Table.t;
+  sv_requests : int;
+  sv_console : string;  (** the identical console of every scheme *)
+  sv_requests_per_s : float;
+      (** the stock (unprotected) scheme's throughput — the figure the
+          bench-regression gate tracks *)
+}
+
+let latency_percentile lats p =
+  let n = Array.length lats in
+  if n = 0 then 0L
+  else begin
+    let a = Array.copy lats in
+    Array.sort Int64.compare a;
+    a.((p * (n - 1)) / 100)
+  end
+
+let experiment_server ?(requests = 100_000) ?(seed = 42L) ?time_slice
+    ?(schemes = [ Pass.Unprotected; Pass.Vcall; Pass.Icall ]) () =
+  let module Server = Roload_workloads.Server_like in
+  let stream = Server.requests ~seed ~count:requests in
+  (* compile serially (global toolchain state), simulate in parallel *)
+  let exes =
+    List.map
+      (fun scheme ->
+        ( scheme,
+          Toolchain.compile_exe
+            ~options:{ Toolchain.default_options with scheme }
+            ~name:Server.name
+            (Server.source ~scale:1) ))
+      schemes
+  in
+  let cells =
+    Parallel.map
+      (fun (scheme, exe) ->
+        let t0 = Unix.gettimeofday () in
+        let m, stats =
+          System.run_server ?time_slice ~variant:System.Processor_kernel_modified
+            ~requests:stream exe
+        in
+        (scheme, m, stats, Unix.gettimeofday () -. t0))
+      exes
+  in
+  let console =
+    match cells with
+    | (_, _, s, _) :: _ -> s.System.console
+    | [] -> invalid_arg "experiment_server: no schemes"
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "server macro-benchmark: %d requests, %d workers" requests
+           Server.workers)
+      ~header:[ "scheme"; "req/s"; "p50 (cyc)"; "p99 (cyc)"; "total cyc"; "ovh"; "served" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let base_cycles = ref None in
+  let rows =
+    List.map
+      (fun (scheme, (m : System.measurement), (stats : System.server_stats), wall) ->
+        let label = Pass.scheme_name scheme in
+        if not (System.exited_cleanly m) then
+          raise
+            (Experiment_failure
+               (Printf.sprintf "server under %s did not exit cleanly: %s" label
+                  (System.status_string m)));
+        if stats.System.served <> requests then
+          raise
+            (Experiment_failure
+               (Printf.sprintf "server under %s served %d of %d requests" label
+                  stats.System.served requests));
+        if stats.System.console <> console then
+          raise
+            (Experiment_failure
+               (Printf.sprintf
+                  "server checksum diverges under %s — the request partition leaked into \
+                   the output"
+                  label));
+        List.iter
+          (fun (pid, st) ->
+            match st with
+            | Roload_kernel.Process.Exited _ -> ()
+            | _ ->
+              raise
+                (Experiment_failure
+                   (Printf.sprintf "server under %s: task %d did not exit" label pid)))
+          stats.System.task_statuses;
+        let row =
+          {
+            sv_scheme = scheme;
+            sv_wall_s = wall;
+            sv_requests_per_s =
+              (if wall > 0.0 then float_of_int stats.System.served /. wall else 0.0);
+            sv_p50_cycles = latency_percentile stats.System.latencies 50;
+            sv_p99_cycles = latency_percentile stats.System.latencies 99;
+            sv_cycles = m.System.cycles;
+            sv_instructions = m.System.instructions;
+            sv_served = stats.System.served;
+          }
+        in
+        let base =
+          match !base_cycles with
+          | Some c -> c
+          | None ->
+            base_cycles := Some m.System.cycles;
+            m.System.cycles
+        in
+        Table.add_row table
+          [ label;
+            Printf.sprintf "%.0f" row.sv_requests_per_s;
+            Int64.to_string row.sv_p50_cycles;
+            Int64.to_string row.sv_p99_cycles;
+            Int64.to_string row.sv_cycles;
+            Stats.pct_string
+              (Stats.overhead_pct ~base:(Int64.to_float base)
+                 ~measured:(Int64.to_float row.sv_cycles));
+            string_of_int row.sv_served ];
+        row)
+      cells
+  in
+  (* not recorded in the metrics log: the server cells are gated by the
+     requests_per_s figure, not the committed cycle baselines *)
+  let stock_rps =
+    match rows with r :: _ -> r.sv_requests_per_s | [] -> 0.0
+  in
+  {
+    sv_rows = rows;
+    sv_table = table;
+    sv_requests = requests;
+    sv_console = console;
+    sv_requests_per_s = stock_rps;
+  }
+
 (* D-TLB reach sensitivity for the key-granularity argument. *)
 let ablation_tlb ?(scale = 1) ?(entries = [ 8; 16; 32; 64 ]) () =
   let b =

@@ -144,6 +144,43 @@ val experiment_elide :
     {!Experiment_failure} if either build crashes or their outputs
     diverge (elision must be semantically invisible). *)
 
+type server_row = {
+  sv_scheme : Pass.scheme;
+  sv_wall_s : float;
+  sv_requests_per_s : float;  (** served requests per wall-clock second *)
+  sv_p50_cycles : int64;  (** median service latency, simulated cycles *)
+  sv_p99_cycles : int64;  (** tail service latency, simulated cycles *)
+  sv_cycles : int64;  (** machine-global simulated cycles, all tasks *)
+  sv_instructions : int64;
+  sv_served : int;
+}
+
+type server_result = {
+  sv_rows : server_row list;
+  sv_table : Table.t;
+  sv_requests : int;
+  sv_console : string;  (** the identical console of every scheme *)
+  sv_requests_per_s : float;
+      (** the stock (unprotected) scheme's throughput — the figure the
+          bench-regression gate tracks *)
+}
+
+val experiment_server :
+  ?requests:int ->
+  ?seed:int64 ->
+  ?time_slice:int ->
+  ?schemes:Pass.scheme list ->
+  unit ->
+  server_result
+(** The request-serving macro-benchmark: the server workload forked
+    into a worker pool on the multi-process kernel, drained through
+    virtual dispatch and the indirect-call plugin table under each
+    scheme (default stock/VCall/ICall).  Throughput is wall-clock
+    requests/s; latency percentiles are deterministic simulated cycles.
+    Raises {!Experiment_failure} if any scheme crashes, leaves requests
+    unserved, or prints a different checksum — the workload's output is
+    partition-independent by construction. *)
+
 val ablation_compressed : ?scale:int -> ?benchmarks:Suite.benchmark list -> unit -> Table.t
 val ablation_keys : ?scale:int -> unit -> Table.t
 val ablation_separate_code : unit -> Table.t

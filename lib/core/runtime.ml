@@ -116,3 +116,40 @@ __rt$alloc_have:
 __rt$heap_ptr:
     .quad 0
 |}
+
+(* Extension object: the multi-process syscalls.  Kept out of [source]
+   and linked only into programs that call them, so every pre-existing
+   binary keeps its exact layout (and its exact cycle counts). *)
+let ext_source = {|
+# MiniC runtime extension: fork/wait and the request-source device.
+
+.section .text
+
+.global fork
+fork:
+    li a7, 220
+    ecall
+    ret
+
+# wait(): returns the reaped child's exit status, or the negative errno.
+# The kernel writes the status into an 8-byte stack slot passed in a0
+# and returns the child's pid (negative on error).
+.global wait
+wait:
+    addi sp, sp, -16
+    mv a0, sp
+    li a7, 260
+    ecall
+    blt a0, zero, __rt$wait_done
+    ld a0, 0(sp)
+__rt$wait_done:
+    addi sp, sp, 16
+    ret
+
+# read_request(): next payload from the request device, -1 when drained.
+.global read_request
+read_request:
+    li a7, 1024
+    ecall
+    ret
+|}

@@ -3,3 +3,8 @@
     [print_int], and a brk-backed bump [alloc]. *)
 
 val source : string
+
+val ext_source : string
+(** The multi-process extension object ([fork], [wait], [read_request]),
+    linked only into programs that reference it so every single-process
+    binary keeps its exact layout. *)

@@ -172,6 +172,69 @@ let run ?(max_instructions = 500_000_000L) ?trace ?tracer ?(profile = false) ?en
     profile = Machine.profile_blocks machine;
   }
 
+(* ---- the request-serving macro-benchmark ---- *)
+
+type server_stats = {
+  served : int;
+  latencies : int64 array; (* completed requests, request-id order, cycles *)
+  console : string; (* interleaved output of every task *)
+  task_statuses : (int * Process.status) list;
+}
+
+(* Like [run], but through the multi-process kernel: load the request
+   device with [requests], run the scheduler until every task exits.
+   The measurement's instructions/cycles are machine-global (all tasks);
+   status/peak are the root's. *)
+let run_server ?(max_instructions = 2_000_000_000L) ?time_slice ?tracer ?engine ~variant
+    ~requests exe =
+  let machine = Machine.create ?engine (machine_config variant) in
+  Machine.set_tracer machine tracer;
+  let kernel = Kernel.create ~machine ~config:(kernel_config variant) in
+  Kernel.set_requests kernel requests;
+  let process, outcome =
+    Kernel.exec_all ~limit:{ Kernel.max_instructions } ?time_slice kernel exe
+  in
+  let h = Machine.hierarchy machine in
+  let mmu = Process.mmu process in
+  let image_bytes =
+    List.fold_left
+      (fun acc (s : Roload_obj.Exe.segment) -> acc + s.Roload_obj.Exe.mem_size)
+      0 exe.Roload_obj.Exe.segments
+  in
+  let footprint_bytes =
+    image_bytes + Process.heap_bytes process
+    + (Process.stack_pages * Roload_mem.Page_table.page_size)
+  in
+  ignore
+    (Atomic.fetch_and_add instructions_simulated
+       (Int64.to_int outcome.Kernel.instructions));
+  let measurement =
+    {
+      status = outcome.Kernel.status;
+      cycles = outcome.Kernel.cycles;
+      instructions = outcome.Kernel.instructions;
+      peak_kib = outcome.Kernel.peak_kib;
+      footprint_bytes;
+      output = outcome.Kernel.output;
+      icache = stats_of_cache (Roload_cache.Hierarchy.icache h);
+      dcache = stats_of_cache (Roload_cache.Hierarchy.dcache h);
+      itlb = stats_of_tlb (Mmu.itlb mmu);
+      dtlb = stats_of_tlb (Mmu.dtlb mmu);
+      roloads_executed = (Machine.counts machine).Machine.roloads;
+      metrics = snapshot_metrics ~machine ~kernel ~mmu;
+      profile = [];
+    }
+  in
+  let stats =
+    {
+      served = Kernel.requests_served kernel;
+      latencies = Kernel.request_latencies kernel;
+      console = Kernel.console kernel;
+      task_statuses = Kernel.task_statuses kernel;
+    }
+  in
+  (measurement, stats)
+
 (* ---- whole-system snapshots ----
 
    A [snapshot] composes the per-layer images taken at one instant:

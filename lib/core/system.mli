@@ -64,6 +64,32 @@ val run :
     out cells (experiments, fuzzing, chaos campaigns) treat that as a
     distinct "fuel exhausted" outcome. *)
 
+type server_stats = {
+  served : int;  (** requests whose service completed *)
+  latencies : int64 array;
+      (** completed-request cycle latencies, request-id order *)
+  console : string;  (** interleaved write() output of every task *)
+  task_statuses : (int * Roload_kernel.Process.status) list;
+}
+
+val run_server :
+  ?max_instructions:int64 ->
+  ?time_slice:int ->
+  ?tracer:Roload_obs.Tracer.t ->
+  ?engine:Roload_machine.Machine.engine ->
+  variant:variant ->
+  requests:int array ->
+  Roload_obj.Exe.t ->
+  measurement * server_stats
+(** Like {!run}, but through the multi-process kernel: the request
+    device is loaded with [requests], the executable is spawned as the
+    root task and scheduled round-robin ([time_slice] retired
+    instructions per quantum, default 20k) until every task exits.  The
+    measurement's instruction/cycle counters are machine-global; status,
+    peak and output are the root task's.  Deterministic: the quantum is
+    counted in retired instructions, so the interleaving is identical
+    across engines and host parallelism. *)
+
 val snapshot_metrics :
   machine:Roload_machine.Machine.t ->
   kernel:Roload_kernel.Kernel.t ->

@@ -53,6 +53,28 @@ let runtime_object ~compress =
   let items = Roload_asm.Asm_parser.parse Runtime.source in
   Roload_asm.Assemble.assemble ~options:{ Roload_asm.Assemble.compress } items
 
+(* The multi-process stubs live in a separate object linked only when the
+   program references them: appending an object to a link shifts no
+   existing symbol, so single-process binaries stay byte-identical. *)
+let ext_runtime_symbols = [ "fork"; "wait"; "read_request" ]
+
+let runtime_ext_object ~compress =
+  let items = Roload_asm.Asm_parser.parse Runtime.ext_source in
+  Roload_asm.Assemble.assemble ~options:{ Roload_asm.Assemble.compress } items
+
+let calls_ext_runtime (m : Ir.modul) =
+  List.exists
+    (fun (f : Ir.func) ->
+      List.exists
+        (fun (b : Ir.block) ->
+          List.exists
+            (function
+              | Ir.Call { callee; _ } -> List.mem callee ext_runtime_symbols
+              | _ -> false)
+            b.Ir.b_instrs)
+        f.Ir.f_blocks)
+    m.Ir.m_funcs
+
 let compile ?(options = default_options) ~name source =
   wrap_errors (fun () ->
       let ast = Roload_front.Parser.parse source in
@@ -91,12 +113,18 @@ let compile ?(options = default_options) ~name source =
           ~options:{ Roload_asm.Assemble.compress = options.compress }
           asm_items
       in
+      let objects =
+        [ program_object; runtime_object ~compress:options.compress ]
+        @
+        if calls_ext_runtime m then [ runtime_ext_object ~compress:options.compress ]
+        else []
+      in
       let exe =
         Roload_link.Linker.link
           ~options:
             { Roload_link.Linker.default_options with
               separate_code = options.separate_code }
-          [ program_object; runtime_object ~compress:options.compress ]
+          objects
       in
       { ir_module = m; pass_report; asm_items; program_object; exe; elide_stats })
 

@@ -49,6 +49,10 @@ let builtin_functions =
     ("print_str", { Ir.params = [ Ir.Ptr Ir.I8 ]; ret = Ir.Void });
     ("exit", { Ir.params = [ Ir.I64 ]; ret = Ir.Void });
     ("alloc", { Ir.params = [ Ir.I64 ]; ret = Ir.Ptr Ir.I8 });
+    (* multi-process kernel: fork/wait and the request-source device *)
+    ("fork", { Ir.params = []; ret = Ir.I64 });
+    ("wait", { Ir.params = []; ret = Ir.I64 });
+    ("read_request", { Ir.params = []; ret = Ir.I64 });
   ]
 
 let find_class genv name = List.assoc_opt name genv.classes

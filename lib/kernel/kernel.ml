@@ -27,6 +27,7 @@ type config = {
   page_map_cycles : int; (* per page mapped by the loader/mmap *)
   page_key_cycles : int; (* extra per page whose key is set (modified kernel) *)
   fault_cycles : int; (* page-fault handling before the process dies *)
+  context_switch_cycles : int; (* scheduler: save/restore + address-space swap *)
 }
 
 let default_config =
@@ -36,9 +37,34 @@ let default_config =
     page_map_cycles = 25;
     page_key_cycles = 2;
     fault_cycles = 400;
+    context_switch_cycles = 120;
   }
 
 let stock_kernel_config = { default_config with roload_kernel = false }
+
+(* ---- the process table ----
+
+   A task is the scheduler's view of a process: its saved register file,
+   its lifecycle state, and the request it is currently serving (if any).
+   The classic states apply — ready, blocked in wait(), zombie (exited
+   but unreaped), reaped. *)
+
+type task_state =
+  | Task_ready
+  | Task_waiting (* blocked in wait(); pc still points at the ecall *)
+  | Task_zombie of int (* terminal status awaiting a parent's wait() *)
+  | Task_reaped
+
+type task = {
+  pid : int;
+  parent : int; (* 0 for the root task, which has no parent *)
+  proc : Process.t;
+  t_regs : int64 array; (* saved register file (32 slots) *)
+  mutable t_pc : int;
+  mutable t_state : task_state;
+  mutable t_inflight : int; (* request id being served; -1 when none *)
+  mutable t_req_start : int64; (* cycle stamp when the request was handed out *)
+}
 
 type t = {
   machine : Machine.t;
@@ -46,13 +72,42 @@ type t = {
   mutable next_frame : int;
   mutable current : Process.t option;
   mutable syscall_count : int;
+  (* multi-process state (empty/unused in single-process runs) *)
+  mutable tasks : task list; (* pid-ascending; the round-robin order *)
+  mutable next_pid : int;
+  mutable scheduled : task option; (* whose registers live in the CPU *)
+  console : Buffer.t; (* interleaved write() output of every task *)
+  (* the simulated request-source device *)
+  mutable req_stream : int array;
+  mutable req_next : int; (* next request id to hand out *)
+  mutable req_done : int; (* requests completed *)
+  mutable req_latencies : int64 array; (* by request id; -1 = unfinished *)
+  (* frames shared read-only across address spaces after fork, with the
+     number of address spaces referencing them (only entries >= 2 are
+     kept); mprotect splits a shared frame before granting write access *)
+  frame_refs : (int, int) Hashtbl.t;
 }
 
 exception Out_of_frames
 
 let create ~machine ~config =
   (* frame 0 stays unused so a PPN of 0 is never valid *)
-  { machine; config; next_frame = 1; current = None; syscall_count = 0 }
+  {
+    machine;
+    config;
+    next_frame = 1;
+    current = None;
+    syscall_count = 0;
+    tasks = [];
+    next_pid = 1;
+    scheduled = None;
+    console = Buffer.create 256;
+    req_stream = [||];
+    req_next = 0;
+    req_done = 0;
+    req_latencies = [||];
+    frame_refs = Hashtbl.create 64;
+  }
 
 let machine t = t.machine
 let config t = t.config
@@ -84,6 +139,15 @@ let fork img ~machine ~config =
     next_frame = img.ik_next_frame;
     current = None;
     syscall_count = img.ik_syscall_count;
+    tasks = [];
+    next_pid = 1;
+    scheduled = None;
+    console = Buffer.create 256;
+    req_stream = [||];
+    req_next = 0;
+    req_done = 0;
+    req_latencies = [||];
+    frame_refs = Hashtbl.create 64;
   }
 
 let adopt t process =
@@ -169,6 +233,26 @@ let schedule t process =
 
 (* ---------- syscalls ---------- *)
 
+(* Unwind a partially mapped fresh region: unmap whatever got mapped and
+   roll the page accounting back, so a failed brk/mmap is all-or-nothing
+   as far as the address space and the accounting are concerned.  The
+   data frames already allocated leak — this kernel never frees frames,
+   and intermediate page-table frames allocated along the way may since
+   have become live for other mappings — which wastes simulated physical
+   memory but can never alias a future mapping. *)
+let unwind_fresh_range process ~first_va ~npages ~accounting =
+  let page_table = Process.page_table process in
+  let mapped, peak = accounting in
+  for i = 0 to npages - 1 do
+    let va = first_va + (i * Page_table.page_size) in
+    match Page_table.walk page_table va with
+    | Ok _ ->
+      Page_table.unmap_page page_table ~va;
+      Mmu.invalidate (Process.mmu process) ~va
+    | Error (Page_table.Not_mapped | Page_table.Bad_alignment) -> ()
+  done;
+  Process.rollback_accounting process ~mapped ~peak
+
 let handle_brk t process new_brk =
   let old_brk = Process.brk process in
   if new_brk <= old_brk then old_brk
@@ -176,6 +260,7 @@ let handle_brk t process new_brk =
     let first = Roload_util.Bits.align_up old_brk Page_table.page_size in
     let last = Roload_util.Bits.align_up new_brk Page_table.page_size in
     let n = (last - first) / Page_table.page_size in
+    let accounting = Process.accounting process in
     (try
        for i = 0 to n - 1 do
          ignore
@@ -183,7 +268,9 @@ let handle_brk t process new_brk =
               ~key:0)
        done;
        Process.set_brk process new_brk
-     with Out_of_frames -> ());
+     with Out_of_frames ->
+       (* failed grows leave no half-mapped pages behind *)
+       unwind_fresh_range process ~first_va:first ~npages:n ~accounting);
     Process.brk process
   end
 
@@ -192,51 +279,99 @@ let handle_mmap t process ~len ~prot ~key =
   else if key <> 0 && not t.config.roload_kernel then Syscall.enosys
   else begin
     let npages = (len + Page_table.page_size - 1) / Page_table.page_size in
-    let addr = Process.alloc_mmap_region process npages in
-    try
-      for i = 0 to npages - 1 do
-        ignore
-          (map_fresh_page t process ~va:(addr + (i * Page_table.page_size))
-             ~perms:(Syscall.perms_of_prot prot) ~key)
-      done;
-      addr
-    with Out_of_frames -> Syscall.enomem
+    match Process.alloc_mmap_region process npages with
+    | None -> Syscall.enomem (* the region would cross the stack guard *)
+    | Some addr -> (
+      let accounting = Process.accounting process in
+      try
+        for i = 0 to npages - 1 do
+          ignore
+            (map_fresh_page t process ~va:(addr + (i * Page_table.page_size))
+               ~perms:(Syscall.perms_of_prot prot) ~key)
+        done;
+        addr
+      with Out_of_frames ->
+        unwind_fresh_range process ~first_va:addr ~npages ~accounting;
+        Process.retract_mmap_region process ~addr ~npages;
+        Syscall.enomem)
   end
+
+(* Copy-on-mprotect: a frame shared read-only across address spaces
+   (fork) must be split before any process gains write access to it, or
+   the writes would leak into the sibling address spaces.  Returns true
+   when it installed a private copy (with the final perms/key). *)
+let split_shared_frame t process ~va ~pte ~perms ~key =
+  let ppn = Roload_mem.Pte.ppn pte in
+  match Hashtbl.find_opt t.frame_refs ppn with
+  | Some refs when refs >= 2 ->
+    let mem = Machine.mem t.machine in
+    let ps = Page_table.page_size in
+    let fresh = alloc_frame t in
+    Phys_mem.write_string mem ~addr:(fresh * ps)
+      (Phys_mem.read_string mem ~addr:(ppn * ps) ~len:ps);
+    Page_table.map_page (Process.page_table process) ~va ~ppn:fresh ~perms ~user:true ~key;
+    if refs = 2 then Hashtbl.remove t.frame_refs ppn
+    else Hashtbl.replace t.frame_refs ppn (refs - 1);
+    charge t t.config.page_map_cycles;
+    true
+  | _ -> false
 
 let handle_mprotect t process ~addr ~len ~prot ~key =
   if addr land (Page_table.page_size - 1) <> 0 || len < 0 then Syscall.einval
   else if key <> 0 && not t.config.roload_kernel then Syscall.enosys
   else begin
     let npages = (len + Page_table.page_size - 1) / Page_table.page_size in
-    let ok = ref true in
+    let page_table = Process.page_table process in
+    (* validate the whole range up front: mprotect is all-or-nothing, so
+       a failing call must leave every PTE exactly as it was *)
+    let valid = ref true in
     for i = 0 to npages - 1 do
-      let va = addr + (i * Page_table.page_size) in
-      let page_table = Process.page_table process in
-      (match Page_table.set_perms page_table ~va ~perms:(Syscall.perms_of_prot prot) with
-      | Ok () -> ()
-      | Error (Page_table.Not_mapped | Page_table.Bad_alignment) -> ok := false);
-      if t.config.roload_kernel then begin
-        match Page_table.set_key page_table ~va ~key with
-        | Ok () -> charge t t.config.page_key_cycles
-        | Error (Page_table.Not_mapped | Page_table.Bad_alignment) -> ok := false
-      end;
-      Mmu.invalidate (Process.mmu process) ~va
+      match Page_table.walk page_table (addr + (i * Page_table.page_size)) with
+      | Ok _ -> ()
+      | Error (Page_table.Not_mapped | Page_table.Bad_alignment) -> valid := false
     done;
-    if !ok then 0 else Syscall.einval
+    if not !valid then Syscall.einval
+    else begin
+      let perms = Syscall.perms_of_prot prot in
+      for i = 0 to npages - 1 do
+        let va = addr + (i * Page_table.page_size) in
+        let split =
+          perms.Perm.w
+          &&
+          match Page_table.walk page_table va with
+          | Ok { pte; _ } ->
+            split_shared_frame t process ~va ~pte ~perms ~key:(effective_key t key)
+          | Error _ -> false
+        in
+        if not split then begin
+          (match Page_table.set_perms page_table ~va ~perms with
+          | Ok () -> ()
+          | Error _ -> assert false (* validated above *));
+          if t.config.roload_kernel then
+            match Page_table.set_key page_table ~va ~key with
+            | Ok () -> ()
+            | Error _ -> assert false
+        end;
+        if t.config.roload_kernel then charge t t.config.page_key_cycles;
+        Mmu.invalidate (Process.mmu process) ~va
+      done;
+      0
+    end
   end
 
 let handle_write t process ~buf ~len =
   if len < 0 then Syscall.einval
   else begin
-    (match
-       (* copy out through the page table; faults here kill the process in
-          a real kernel, we clamp to the mapped region *)
-       try Some (Process.read_bytes process ~va:buf ~len) with Not_found -> None
-     with
-    | Some s -> Process.append_output process s
-    | None -> ());
-    charge t (len / 16);
-    len
+    (* copy out through the page table; an unmapped byte anywhere in the
+       buffer fails the whole write with EFAULT — nothing is copied and
+       no copy cycles are charged *)
+    match Process.read_bytes process ~va:buf ~len with
+    | s ->
+      Process.append_output process s;
+      Buffer.add_string t.console s;
+      charge t (len / 16);
+      len
+    | exception Not_found -> Syscall.efault
   end
 
 let handle_syscall t process =
@@ -381,4 +516,339 @@ let exec ?(limit = no_limit) t exe =
   let process = load t exe in
   schedule t process;
   let outcome = run ~limit t process in
+  (process, outcome)
+
+(* ---------- multi-process scheduling ---------- *)
+
+let console t = Buffer.contents t.console
+
+let set_requests t payloads =
+  t.req_stream <- Array.copy payloads;
+  t.req_next <- 0;
+  t.req_done <- 0;
+  t.req_latencies <- Array.make (Array.length payloads) (-1L)
+
+let requests_served t = t.req_done
+
+let request_latencies t =
+  Array.of_seq (Seq.filter (fun l -> l >= 0L) (Array.to_seq t.req_latencies))
+
+let task_statuses t = List.map (fun tk -> (tk.pid, Process.status tk.proc)) t.tasks
+let find_task t pid = List.find_opt (fun tk -> tk.pid = pid) t.tasks
+
+(* Fork the parent's address space inside the same physical memory.
+   Writable pages are copied eagerly ("copy on fork" — cheap at these
+   address-space sizes); read-only pages — text, rodata, the GFPT —
+   share the parent's frame under a reference count, so the PA-keyed
+   decode/block caches stay warm across the fork and a later
+   mprotect-to-writable knows to split the frame first. *)
+let clone_address_space t parent =
+  let mem = Machine.mem t.machine in
+  let ps = Page_table.page_size in
+  let parent_pt = Process.page_table parent in
+  let page_table = Page_table.create ~mem ~alloc_frame:(fun () -> alloc_frame t) in
+  Page_table.iter_mappings parent_pt ~f:(fun ~va ~pte ->
+      let ppn = Roload_mem.Pte.ppn pte in
+      let child_ppn =
+        if Roload_mem.Pte.writable pte then begin
+          let fresh = alloc_frame t in
+          Phys_mem.write_string mem ~addr:(fresh * ps)
+            (Phys_mem.read_string mem ~addr:(ppn * ps) ~len:ps);
+          fresh
+        end
+        else begin
+          (match Hashtbl.find_opt t.frame_refs ppn with
+          | Some n -> Hashtbl.replace t.frame_refs ppn (n + 1)
+          | None -> Hashtbl.replace t.frame_refs ppn 2);
+          ppn
+        end
+      in
+      let key = Roload_mem.Pte.key pte in
+      Page_table.map_page page_table ~va ~ppn:child_ppn
+        ~perms:(Roload_mem.Pte.perms pte) ~user:(Roload_mem.Pte.user pte) ~key;
+      charge t t.config.page_map_cycles;
+      if t.config.roload_kernel && key <> 0 then charge t t.config.page_key_cycles);
+  page_table
+
+let clone_process t parent =
+  let page_table = clone_address_space t parent in
+  let machine_config = Machine.config t.machine in
+  let mmu =
+    Mmu.create ~page_table ~itlb_entries:machine_config.Config.itlb_entries
+      ~dtlb_entries:machine_config.Config.dtlb_entries
+      ~roload_check_enabled:machine_config.Config.roload_processor
+  in
+  let child =
+    Process.fork (Process.snapshot parent) ~exe:(Process.exe parent) ~page_table ~mmu
+      ~phys:(Machine.mem t.machine)
+  in
+  Process.clear_output child;
+  child
+
+let new_task t ~pid ~parent proc ~regs ~pc =
+  let tk =
+    {
+      pid;
+      parent;
+      proc;
+      t_regs = Array.copy regs;
+      t_pc = pc;
+      t_state = Task_ready;
+      t_inflight = -1;
+      t_req_start = 0L;
+    }
+  in
+  t.tasks <- t.tasks @ [ tk ];
+  tk
+
+(* Register an already-loaded process as the root task of a scheduler
+   run, reusing [schedule]'s pc/sp setup. *)
+let spawn_root t process =
+  schedule t process;
+  let cpu = Machine.cpu t.machine in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let tk = new_task t ~pid ~parent:0 process ~regs:(Cpu.regs cpu) ~pc:(Cpu.pc cpu) in
+  (* bind the machine's live compiled-trace table to this address space *)
+  Machine.switch_context t.machine ~asid:pid ~mmu:(Process.mmu process);
+  t.scheduled <- Some tk
+
+let context_switch t tk =
+  match t.scheduled with
+  | Some cur when cur == tk -> ()
+  | prev ->
+    let cpu = Machine.cpu t.machine in
+    (match prev with
+    | Some cur ->
+      Array.blit (Cpu.regs cpu) 0 cur.t_regs 0 32;
+      cur.t_pc <- Cpu.pc cpu
+    | None -> ());
+    Array.blit tk.t_regs 0 (Cpu.regs cpu) 0 32;
+    Cpu.set_pc cpu tk.t_pc;
+    Machine.switch_context t.machine ~asid:tk.pid ~mmu:(Process.mmu tk.proc);
+    t.scheduled <- Some tk;
+    t.current <- Some tk.proc;
+    charge t t.config.context_switch_cycles
+
+(* Complete the request [tk] is serving: stamp its latency and tell the
+   tracer.  Completion happens when the task asks for the next request
+   (or exits with one still in flight). *)
+let complete_request t tk =
+  if tk.t_inflight >= 0 then begin
+    let latency = Int64.sub (Cpu.cycles (Machine.cpu t.machine)) tk.t_req_start in
+    t.req_latencies.(tk.t_inflight) <- latency;
+    t.req_done <- t.req_done + 1;
+    emit t
+      (Roload_obs.Event.Request_done
+         { pid = tk.pid; id = tk.t_inflight; latency = Int64.to_int latency });
+    tk.t_inflight <- -1
+  end
+
+(* Terminal path (exit or fatal signal): finish any inflight request,
+   become a zombie holding [status_code], wake a parent blocked in
+   wait(). *)
+let finish_task t tk status_code =
+  complete_request t tk;
+  tk.t_state <- Task_zombie status_code;
+  match find_task t tk.parent with
+  | Some p when p.t_state = Task_waiting -> p.t_state <- Task_ready
+  | _ -> ()
+
+(* Write the 8-byte little-endian wait() status, all-or-nothing: an
+   unmapped byte anywhere in the buffer means no write at all (the
+   caller returns EFAULT without reaping the child). *)
+let write_wait_status tk ~va status =
+  match
+    ignore (Process.translate tk.proc va);
+    ignore (Process.translate tk.proc (va + 7))
+  with
+  | () ->
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int status);
+    Process.kernel_write_bytes tk.proc ~va (Bytes.to_string b);
+    true
+  | exception Not_found -> false
+
+type sched_decision =
+  | Keep (* the task keeps the CPU inside its quantum *)
+  | Switch (* the task blocked or exited: schedule someone else *)
+
+(* Syscall servicing under the scheduler.  exit/fork/wait/read_request
+   are scheduler-aware; everything else behaves exactly as in a
+   single-process run.  A blocking wait() deliberately does not advance
+   the pc: the task re-executes the ecall when it is woken. *)
+let handle_syscall_mp t tk =
+  let cpu = Machine.cpu t.machine in
+  let arg r = Int64.to_int (Cpu.get cpu r) in
+  charge t t.config.syscall_cycles;
+  t.syscall_count <- t.syscall_count + 1;
+  let num = arg Reg.a7 in
+  let finish ret =
+    emit t (Roload_obs.Event.Syscall { number = num; name = Syscall.name num; ret });
+    Cpu.set cpu Reg.a0 (Int64.of_int ret);
+    Cpu.set_pc cpu (Cpu.pc cpu + 4)
+  in
+  if num = Syscall.sys_exit then begin
+    let code = arg Reg.a0 in
+    Process.set_status tk.proc (Process.Exited code);
+    emit t (Roload_obs.Event.Syscall { number = num; name = Syscall.name num; ret = 0 });
+    finish_task t tk code;
+    Switch
+  end
+  else if num = Syscall.sys_fork then begin
+    let child_proc = clone_process t tk.proc in
+    let pid = t.next_pid in
+    t.next_pid <- pid + 1;
+    (* the child resumes after the ecall with a0 = 0 *)
+    let child =
+      new_task t ~pid ~parent:tk.pid child_proc ~regs:(Cpu.regs cpu) ~pc:(Cpu.pc cpu + 4)
+    in
+    child.t_regs.(Reg.to_int Reg.a0) <- 0L;
+    finish pid;
+    Keep
+  end
+  else if num = Syscall.sys_wait then begin
+    let status_va = arg Reg.a0 in
+    let child_of c = c.parent = tk.pid in
+    let zombie =
+      List.find_opt
+        (fun c -> child_of c && match c.t_state with Task_zombie _ -> true | _ -> false)
+        t.tasks
+    in
+    match zombie with
+    | Some child ->
+      let status = match child.t_state with Task_zombie s -> s | _ -> assert false in
+      if status_va <> 0 && not (write_wait_status tk ~va:status_va status) then begin
+        finish Syscall.efault;
+        Keep
+      end
+      else begin
+        child.t_state <- Task_reaped;
+        finish child.pid;
+        Keep
+      end
+    | None ->
+      let alive =
+        List.exists
+          (fun c ->
+            child_of c
+            && match c.t_state with Task_ready | Task_waiting -> true | _ -> false)
+          t.tasks
+      in
+      if alive then begin
+        tk.t_state <- Task_waiting;
+        Switch
+      end
+      else begin
+        finish Syscall.echild;
+        Keep
+      end
+  end
+  else if num = Syscall.sys_read_request then begin
+    complete_request t tk;
+    if t.req_next < Array.length t.req_stream then begin
+      let id = t.req_next in
+      t.req_next <- id + 1;
+      tk.t_inflight <- id;
+      tk.t_req_start <- Cpu.cycles cpu;
+      finish t.req_stream.(id)
+    end
+    else finish (-1);
+    Keep
+  end
+  else begin
+    let ret =
+      if num = Syscall.sys_write then
+        handle_write t tk.proc ~buf:(arg Reg.a1) ~len:(arg Reg.a2)
+      else if num = Syscall.sys_brk then handle_brk t tk.proc (arg Reg.a0)
+      else if num = Syscall.sys_mmap then
+        handle_mmap t tk.proc ~len:(arg Reg.a1) ~prot:(arg Reg.a2) ~key:(arg Reg.a4)
+      else if num = Syscall.sys_mprotect then
+        handle_mprotect t tk.proc ~addr:(arg Reg.a0) ~len:(arg Reg.a1) ~prot:(arg Reg.a2)
+          ~key:(arg Reg.a3)
+      else Syscall.enosys
+    in
+    finish ret;
+    Keep
+  end
+
+(* Round-robin over the ready tasks, preempting on a fuel quantum
+   ([time_slice] retired instructions).  Deterministic by construction:
+   the machine is instret-exact across engines, so the preemption points
+   — and therefore the whole interleaving — are identical under
+   single/block/traced execution. *)
+let run_all ?(limit = no_limit) ?(time_slice = 20_000) t =
+  let cpu = Machine.cpu t.machine in
+  let time_slice = max 1 time_slice in
+  let root =
+    match t.tasks with
+    | tk :: _ -> tk
+    | [] -> invalid_arg "Kernel.run_all: no tasks (spawn_root/exec_all first)"
+  in
+  let cursor = ref 0 in
+  (* next ready task after the cursor pid, wrapping: t.tasks is
+     pid-ascending, so the first match is the round-robin choice *)
+  let pick_next () =
+    let ready = List.filter (fun tk -> tk.t_state = Task_ready) t.tasks in
+    match List.find_opt (fun tk -> tk.pid > !cursor) ready with
+    | Some tk -> Some tk
+    | None -> ( match ready with tk :: _ -> Some tk | [] -> None)
+  in
+  let rec loop tk quantum_end =
+    let remaining = Int64.sub limit.max_instructions (Cpu.instret cpu) in
+    if Int64.compare remaining 0L <= 0 then () (* out of global budget *)
+    else begin
+      let slice = Int64.sub quantum_end (Cpu.instret cpu) in
+      if Int64.compare slice 0L <= 0 then begin
+        cursor := tk.pid;
+        next ()
+      end
+      else begin
+        let fuel64 = if Int64.compare slice remaining < 0 then slice else remaining in
+        let fuel =
+          if Int64.compare fuel64 (Int64.of_int max_int) >= 0 then max_int
+          else Int64.to_int fuel64
+        in
+        match Machine.run_steps ~fuel t.machine with
+        | Machine.Exhausted -> loop tk quantum_end (* budgets re-checked above *)
+        | Machine.Stop_pc -> assert false (* run_all never passes stop_at_pc *)
+        | Machine.Trap Trap.Ecall -> (
+          match handle_syscall_mp t tk with
+          | Keep -> loop tk quantum_end
+          | Switch -> next ())
+        | Machine.Trap Trap.Breakpoint ->
+          emit t (Roload_obs.Event.Fault_triage { kind = "sigill"; pc = Cpu.pc cpu });
+          Process.set_status tk.proc
+            (Process.Killed (Signal.Sigill { pc = Cpu.pc cpu; info = "ebreak" }));
+          finish_task t tk (-1);
+          next ()
+        | Machine.Trap trap -> (
+          charge t t.config.fault_cycles;
+          match signal_of_trap t trap with
+          | Some signal ->
+            emit t
+              (Roload_obs.Event.Fault_triage
+                 { kind = triage_kind signal; pc = trap_pc trap });
+            Process.set_status tk.proc (Process.Killed signal);
+            finish_task t tk (-1);
+            next ()
+          | None -> loop tk quantum_end)
+      end
+    end
+  and next () =
+    match pick_next () with
+    | None -> () (* every task terminal, or everyone blocked: stop *)
+    | Some tk ->
+      cursor := tk.pid;
+      context_switch t tk;
+      loop tk (Int64.add (Cpu.instret cpu) (Int64.of_int time_slice))
+  in
+  next ();
+  outcome_of t root.proc
+
+(* Convenience: load, register as root, schedule everything. *)
+let exec_all ?(limit = no_limit) ?time_slice t exe =
+  let process = load t exe in
+  spawn_root t process;
+  let outcome = run_all ~limit ?time_slice t in
   (process, outcome)

@@ -12,6 +12,8 @@ type config = {
   page_map_cycles : int;
   page_key_cycles : int;
   fault_cycles : int;
+  context_switch_cycles : int;
+      (** scheduler dispatch: register save/restore + address-space swap *)
 }
 
 val default_config : config
@@ -76,3 +78,47 @@ val run : ?limit:run_limit -> ?stop_at_pc:int -> t -> Process.t -> run_outcome
     memory). *)
 
 val exec : ?limit:run_limit -> t -> Roload_obj.Exe.t -> Process.t * run_outcome
+
+(** {2 Multi-process scheduling}
+
+    A small process table and a round-robin scheduler over it.  Time
+    slices are fuel quanta (retired instructions), so the interleaving —
+    and therefore every byte of output — is identical across the three
+    execution engines and independent of host parallelism.  [fork]
+    duplicates the address space inside the same physical memory
+    (writable pages copied, read-only frames shared under a refcount so
+    a later mprotect-to-writable splits them); [wait] blocks until a
+    child exits; [read_request] pulls the next payload from the
+    simulated request-source device. *)
+
+val set_requests : t -> int array -> unit
+(** Load the request-source device with a payload stream.  Request ids
+    are stream indices; latency is measured from hand-out to the serving
+    task's next [read_request] (or exit). *)
+
+val requests_served : t -> int
+(** Requests whose service has completed. *)
+
+val request_latencies : t -> int64 array
+(** Cycle latencies of completed requests, in request-id order. *)
+
+val console : t -> string
+(** The interleaved write() output of every task, in service order. *)
+
+val task_statuses : t -> (int * Process.status) list
+(** [(pid, status)] for every task ever created, pid-ascending. *)
+
+val spawn_root : t -> Process.t -> unit
+(** Register an already-{!load}ed process as the root task (it gets the
+    first pid) and make it current. *)
+
+val run_all : ?limit:run_limit -> ?time_slice:int -> t -> run_outcome
+(** Schedule every ready task round-robin until all tasks have exited or
+    the global instruction limit is hit.  [time_slice] is the preemption
+    quantum in retired instructions (default 20_000).  The outcome
+    carries the root task's status/output and the machine-global
+    instruction/cycle counters. *)
+
+val exec_all :
+  ?limit:run_limit -> ?time_slice:int -> t -> Roload_obj.Exe.t -> Process.t * run_outcome
+(** [load] + [spawn_root] + [run_all]. *)

@@ -32,6 +32,12 @@ let stack_top = 0x3FF0000
 let stack_pages = 64 (* 256 KiB *)
 let mmap_base = 0x2000000
 
+(* The mmap region is bounded by a guard band below the stack: without
+   it, repeated mmap calls walk the cursor into the live stack pages
+   below [stack_top] and silently remap them. *)
+let stack_guard_pages = 16
+let mmap_limit = stack_top - ((stack_pages + stack_guard_pages) * page)
+
 let create ~exe ~page_table ~mmu ~phys ~brk =
   {
     exe;
@@ -95,6 +101,10 @@ let fork img ~exe ~page_table ~mmu ~phys =
 let status t = t.status
 let output t = Buffer.contents t.output
 let append_output t s = Buffer.add_string t.output s
+
+(* In-kernel fork duplicates the parent image, console contents included;
+   the child starts with an empty console instead. *)
+let clear_output t = Buffer.clear t.output
 let exe t = t.exe
 let mmu t = t.mmu
 let page_table t = t.page_table
@@ -117,10 +127,35 @@ let init_brk t b =
 
 let heap_bytes t = t.brk - t.brk_start
 
+(* Reserve address space for [npages]; [None] when the region would
+   cross the stack guard (the caller returns ENOMEM).  The cursor only
+   moves on success, so a refused or unwound mmap leaves the next
+   allocation exactly where it would have been. *)
 let alloc_mmap_region t npages =
   let addr = t.mmap_next in
-  t.mmap_next <- t.mmap_next + (npages * page);
-  addr
+  if npages <= 0 || addr + (npages * page) > mmap_limit then None
+  else begin
+    t.mmap_next <- addr + (npages * page);
+    Some addr
+  end
+
+(* Roll the cursor back after a partial-failure unwind.  Only the most
+   recent reservation can be retracted (the cursor is a bump
+   allocator); anything else is a kernel bug. *)
+let retract_mmap_region t ~addr ~npages =
+  assert (t.mmap_next = addr + (npages * page));
+  t.mmap_next <- addr
+
+let mapped_pages t = t.mapped_pages
+
+(* Page-accounting snapshot/rollback for all-or-nothing syscalls: a
+   partially mapped region that gets unwound must leave both the live
+   count and the peak exactly as they were. *)
+let accounting t = (t.mapped_pages, t.peak_pages)
+
+let rollback_accounting t ~mapped ~peak =
+  t.mapped_pages <- mapped;
+  t.peak_pages <- peak
 
 (* ---- user-memory access from kernel / attacker tooling ---- *)
 

@@ -10,6 +10,12 @@ val stack_top : int
 val stack_pages : int
 val mmap_base : int
 
+val stack_guard_pages : int
+
+val mmap_limit : int
+(** First address the mmap region may never reach: the guard band of
+    {!stack_guard_pages} below the stack. *)
+
 val create :
   exe:Roload_obj.Exe.t ->
   page_table:Roload_mem.Page_table.t ->
@@ -42,6 +48,11 @@ val fork :
 val status : t -> status
 val output : t -> string
 val append_output : t -> string -> unit
+
+val clear_output : t -> unit
+(** Empty the console buffer (the in-kernel fork path: a child does not
+    inherit the parent's already-written output). *)
+
 val exe : t -> Roload_obj.Exe.t
 val mmu : t -> Roload_mem.Mmu.t
 val page_table : t -> Roload_mem.Page_table.t
@@ -60,7 +71,22 @@ val init_brk : t -> int -> unit
 val heap_bytes : t -> int
 (** Bytes the heap has grown past the post-load break, [brk - brk_start]. *)
 
-val alloc_mmap_region : t -> int -> int
+val alloc_mmap_region : t -> int -> int option
+(** Reserve address space for N pages; [None] when the region would
+    cross {!mmap_limit} (the stack guard).  The cursor only moves on
+    success. *)
+
+val retract_mmap_region : t -> addr:int -> npages:int -> unit
+(** Roll back the most recent {!alloc_mmap_region} after a
+    partial-failure unwind. *)
+
+val mapped_pages : t -> int
+
+val accounting : t -> int * int
+(** [(mapped_pages, peak_pages)] — captured before an all-or-nothing
+    syscall so a failed one can {!rollback_accounting}. *)
+
+val rollback_accounting : t -> mapped:int -> peak:int -> unit
 
 val translate : t -> int -> int
 (** Kernel-privileged translation (raises [Not_found] when unmapped). *)

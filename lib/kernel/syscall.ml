@@ -1,13 +1,20 @@
 (* Syscall ABI: numbers follow the RISC-V Linux convention where one
    exists.  mmap gains a key argument (a4) and mprotect a key argument
    (a3) — the interfaces the modified kernel exposes so user-mode
-   processes can set up page keys (paper §III-B). *)
+   processes can set up page keys (paper §III-B).
+
+   The multi-process kernel adds fork/wait (Linux clone/wait4 numbers)
+   and read_request, the simulated request-source device feeding the
+   server macro-workload (vendor-space number, as a device would use). *)
 
 let sys_exit = 93
 let sys_write = 64
 let sys_brk = 214
 let sys_mmap = 222
 let sys_mprotect = 226
+let sys_fork = 220 (* Linux: clone *)
+let sys_wait = 260 (* Linux: wait4; a0 = status va (0 = discard) *)
+let sys_read_request = 1024 (* request-source device: next payload or -1 *)
 
 (* prot bits, as in POSIX *)
 let prot_read = 1
@@ -25,7 +32,9 @@ let perms_of_prot prot =
 let enosys = -38
 let einval = -22
 let enomem = -12
+let echild = -10
 let ebadf = -9
+let efault = -14
 
 let name = function
   | 93 -> "exit"
@@ -33,4 +42,7 @@ let name = function
   | 214 -> "brk"
   | 222 -> "mmap"
   | 226 -> "mprotect"
+  | 220 -> "fork"
+  | 260 -> "wait"
+  | 1024 -> "read_request"
   | n -> Printf.sprintf "unknown(%d)" n

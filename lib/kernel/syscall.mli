@@ -1,12 +1,23 @@
 (** Syscall ABI constants.  [mmap] gains a key argument (a4) and
     [mprotect] a key argument (a3) — the modified kernel's page-key
-    interfaces (paper §III-B). *)
+    interfaces (paper §III-B).  [fork]/[wait]/[read_request] are the
+    multi-process kernel's additions. *)
 
 val sys_exit : int
 val sys_write : int
 val sys_brk : int
 val sys_mmap : int
 val sys_mprotect : int
+val sys_fork : int
+
+val sys_wait : int
+(** a0 = virtual address the child's exit status is written to (0 to
+    discard); returns the reaped child's pid, [echild] with no children,
+    or [efault] for an unmapped status address. *)
+
+val sys_read_request : int
+(** The simulated request-source device: returns the next request
+    payload, or -1 once the stream is exhausted. *)
 
 val prot_read : int
 val prot_write : int
@@ -16,6 +27,8 @@ val perms_of_prot : int -> Roload_mem.Perm.t
 val enosys : int
 val einval : int
 val enomem : int
+val echild : int
 val ebadf : int
+val efault : int
 
 val name : int -> string

@@ -131,9 +131,21 @@ type t = {
   mutable block_enters : int;
   mutable block_hits : int; (* entries that found a pre-decoded block *)
   mutable block_decodes : int; (* slots lazily decoded and appended *)
-  traces : (int, Lower.compiled) Hashtbl.t;
-      (* compiled traces, keyed by entry-block start PA; flushed with the
-         block cache so self-modifying code can never run a stale trace *)
+  mutable traces : (int, Lower.compiled) Hashtbl.t;
+      (* compiled traces of the *current* address space, keyed by
+         entry-block start PA; flushed with the block cache so
+         self-modifying code can never run a stale trace.  The field is
+         mutable because each address space (ASID) owns its own table —
+         see [trace_tables] — and [switch_context] swaps the active one. *)
+  trace_tables : (int, (int, Lower.compiled) Hashtbl.t) Hashtbl.t;
+      (* per-ASID compiled-trace tables.  A compiled closure captures the
+         MMU (and I-TLB) of the address space it was compiled under
+         ([lower_env]), so a trace is only ever valid for that address
+         space even though the entry key is a physical address — two
+         processes sharing a read-only code frame still translate data
+         accesses through different page tables.  [t.traces] is always
+         the table registered here under [t.asid]. *)
+  mutable asid : int; (* owner of the active trace table; pid-stable *)
   hot_threshold : int; (* block entries before a trace is attempted *)
   mutable trace_enters : int; (* dispatches into a compiled trace *)
   mutable trace_retires : int; (* instructions retired inside traces *)
@@ -150,6 +162,9 @@ type step_result =
 
 let create ?(costs = default_costs) ?engine (config : Config.t) =
   let engine = match engine with Some e -> e | None -> effective_engine () in
+  let traces = Hashtbl.create 64 in
+  let trace_tables = Hashtbl.create 4 in
+  Hashtbl.add trace_tables 0 traces;
   {
     config;
     cpu = Cpu.create ();
@@ -174,7 +189,9 @@ let create ?(costs = default_costs) ?engine (config : Config.t) =
     block_enters = 0;
     block_hits = 0;
     block_decodes = 0;
-    traces = Hashtbl.create 64;
+    traces;
+    trace_tables;
+    asid = 0;
     hot_threshold = hot_threshold_of_env ();
     trace_enters = 0;
     trace_retires = 0;
@@ -196,7 +213,10 @@ let engine t = t.engine
 let flush_code_caches t =
   Hashtbl.reset t.decode_cache;
   Hashtbl.reset t.blocks;
-  Hashtbl.reset t.traces;
+  (* every address space's traces, not just the active one: a store into a
+     code page shared read-only across processes (or a kernel-side rewrite)
+     invalidates traces compiled under any ASID *)
+  Hashtbl.iter (fun _ tbl -> Hashtbl.reset tbl) t.trace_tables;
   Bytes.fill t.code_pages 0 (Bytes.length t.code_pages) '\000';
   t.code_gen <- t.code_gen + 1
 
@@ -1161,6 +1181,10 @@ let restore t img =
   refill ~copy:Fun.id t.decode_cache img.im_decode;
   refill ~copy:Block.copy t.blocks img.im_blocks;
   refill ~copy:Fun.id t.traces img.im_traces;
+  (* snapshots capture the single scheduled address space; traces
+     compiled under any other ASID belong to processes whose state the
+     restore just discarded *)
+  Hashtbl.iter (fun asid tbl -> if asid <> t.asid then Hashtbl.reset tbl) t.trace_tables;
   Bytes.blit img.im_code_pages 0 t.code_pages 0 (Bytes.length t.code_pages);
   t.code_gen <- img.im_code_gen;
   assign_counts ~dst:t.counts img.im_counts;
@@ -1175,6 +1199,10 @@ let restore t img =
 
 let fork img =
   let config = img.im_config in
+  let traces = Hashtbl.create 64 in
+  (* parent-bound closures: never forked *)
+  let trace_tables = Hashtbl.create 4 in
+  Hashtbl.add trace_tables 0 traces;
   let t =
     {
       config;
@@ -1199,7 +1227,9 @@ let fork img =
       block_enters = img.im_block_enters;
       block_hits = img.im_block_hits;
       block_decodes = img.im_block_decodes;
-      traces = Hashtbl.create 64; (* parent-bound closures: never forked *)
+      traces;
+      trace_tables;
+      asid = 0;
       hot_threshold = img.im_hot_threshold;
       trace_enters = img.im_trace_enters;
       trace_retires = img.im_trace_retires;
@@ -1216,5 +1246,30 @@ let fork img =
    performs: the fork's decode/block caches were copied from the image
    and are exact for the forked memory contents. *)
 let attach_mmu t mmu =
+  t.mmu <- Some mmu;
+  wire_observers t
+
+(* Context switch between coresident address spaces (the multi-process
+   kernel's scheduler).  Unlike [set_mmu] this does NOT flush the
+   decode/block caches — they are keyed by physical address, so entries
+   for frames shared read-only between processes stay exact — but it
+   does swap the active compiled-trace table: trace closures capture the
+   MMU they were compiled under, so each ASID keeps its own table and a
+   process can never run a trace that translates through another
+   process's page table.  ASIDs are never reused within a machine's
+   lifetime (the kernel uses monotonic pids). *)
+let switch_context t ~asid ~mmu =
+  if asid <> t.asid then begin
+    let table =
+      match Hashtbl.find_opt t.trace_tables asid with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 64 in
+        Hashtbl.add t.trace_tables asid tbl;
+        tbl
+    in
+    t.traces <- table;
+    t.asid <- asid
+  end;
   t.mmu <- Some mmu;
   wire_observers t

@@ -201,6 +201,16 @@ val attach_mmu : t -> Roload_mem.Mmu.t -> unit
     {!set_mmu} performs: the fork's decode/block caches were copied from
     the image and remain exact for the forked memory contents. *)
 
+val switch_context : t -> asid:int -> mmu:Roload_mem.Mmu.t -> unit
+(** Context switch between coresident address spaces (the multi-process
+    kernel's scheduler).  Keeps the PA-keyed decode/block caches — exact
+    for frames shared read-only between processes — but swaps the active
+    compiled-trace table to the one owned by [asid]: trace closures
+    capture the MMU they were compiled under, so traces are per-address-
+    space even though their entry keys are physical addresses.  ASIDs
+    must not be reused for a different address space within a machine's
+    lifetime (the kernel uses monotonic pids). *)
+
 val mem_image : image -> Roload_mem.Phys_mem.image
 (** The captured physical memory, for {!Roload_mem.Phys_mem.diff_images}
     — the page-level differential-state comparator. *)

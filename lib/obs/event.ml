@@ -54,6 +54,9 @@ type t =
   | Fault_triage of { kind : string; pc : int }
       (* the kernel classified a trap (e.g. "roload" vs "segv") *)
   | Syscall of { number : int; name : string; ret : int }
+  | Request_done of { pid : int; id : int; latency : int }
+      (* the request device retired request [id]: the serving task asked
+         for the next one (or exited); [latency] in cycles *)
   | Injected of { kind : string; addr : int }
       (* roload-chaos applied a fault at this address (class in [kind]) *)
 
@@ -71,6 +74,7 @@ let name = function
   | Block_decode _ -> "block decode"
   | Fault_triage { kind; _ } -> "fault:" ^ kind
   | Syscall { name; _ } -> "syscall:" ^ name
+  | Request_done _ -> "request"
   | Injected { kind; _ } -> "inject:" ^ kind
 
 (* The lane each event renders on in trace viewers (Chrome's tid). *)
@@ -78,7 +82,7 @@ let lane = function
   | Retired _ | Roload_issue _ | Roload_fault _ -> 1
   | Tlb_access _ | Cache_access _ -> 2
   | Block_enter _ | Block_decode _ -> 3
-  | Fault_triage _ | Syscall _ | Injected _ -> 4
+  | Fault_triage _ | Syscall _ | Request_done _ | Injected _ -> 4
 
 let lane_name = function
   | 1 -> "cpu"
@@ -106,6 +110,8 @@ let args ev =
   | Fault_triage { kind; pc } -> [ ("kind", J.str kind); ("pc", hex pc) ]
   | Syscall { number; name; ret } ->
     [ ("number", J.int number); ("name", J.str name); ("ret", J.int ret) ]
+  | Request_done { pid; id; latency } ->
+    [ ("pid", J.int pid); ("id", J.int id); ("latency", J.int latency) ]
   | Injected { kind; addr } -> [ ("kind", J.str kind); ("addr", hex addr) ]
 
 let to_text_line ~ts ev =

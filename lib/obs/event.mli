@@ -35,6 +35,9 @@ type t =
   | Block_decode of { pa : int }
   | Fault_triage of { kind : string; pc : int }
   | Syscall of { number : int; name : string; ret : int }
+  | Request_done of { pid : int; id : int; latency : int }
+      (** the request device retired request [id], served by task [pid];
+          [latency] is hand-out → completion in cycles *)
   | Injected of { kind : string; addr : int }
       (** roload-chaos applied a fault at this address (class in [kind]) *)
 

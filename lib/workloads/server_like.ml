@@ -1,0 +1,147 @@
+(* The request-serving macro-workload: a dispatch server in the C++
+   style.  The root process forks a pool of workers; each worker pulls
+   payloads from the kernel's request-source device and dispatches them
+   through a virtual-method handler table (the VCall surface) and an
+   indirect-call plugin table (the ICall surface).
+
+   Which worker serves which request depends on the interleaving — and
+   the interleaving differs between schemes, whose instruction streams
+   differ.  Handler state therefore only feeds private counters: every
+   request's checksum contribution is a pure function of its payload, so
+   the total the root prints is partition-independent and must come out
+   identical across schemes, engines and time slices. *)
+
+let name = "server"
+let cxx = true
+
+(* worker pool size the source below forks *)
+let workers = 4
+
+let source ~scale:_ =
+  {|
+// request-dispatch server: fork a worker pool, drain the request device
+typedef int (*plugin_t)(int);
+
+int plug_sum(int x) {
+  int i = 0;
+  int acc = x;
+  while (i < 8) { acc = (acc * 31 + i) % 1000003; i = i + 1; }
+  return acc;
+}
+
+int plug_mix(int x) {
+  int acc = x;
+  acc = (acc ^ (acc >> 7)) & 1048575;
+  acc = (acc * 131 + 17) % 1000003;
+  return acc;
+}
+
+int plug_rot(int x) {
+  int lo = x & 255;
+  int hi = x >> 8;
+  return ((lo << 12) + hi) % 1000003;
+}
+
+class Handler {
+  int served;
+  int acc;
+  virtual int handle(int payload) {
+    served = served + 1;
+    return payload % 1000003;
+  }
+};
+
+class HashHandler : Handler {
+  virtual int handle(int payload) {
+    served = served + 1;
+    int h = (payload * 2654435761) % 1000003;
+    h = (h + (payload >> 5)) % 1000003;
+    acc = (acc + h) % 1000003;
+    return h;
+  }
+};
+
+class ScanHandler : Handler {
+  virtual int handle(int payload) {
+    served = served + 1;
+    int steps = payload % 17 + 3;
+    int h = 0;
+    int i = 0;
+    while (i < steps) { h = (h * 7 + payload + i) % 1000003; i = i + 1; }
+    acc = (acc + h) % 1000003;
+    return h;
+  }
+};
+
+class CryptoHandler : Handler {
+  virtual int handle(int payload) {
+    served = served + 1;
+    int h = payload;
+    int i = 0;
+    while (i < 5) {
+      h = ((h << 3) ^ (h >> 2)) & 16777215;
+      h = (h + payload) % 1000003;
+      i = i + 1;
+    }
+    acc = (acc + h) % 1000003;
+    return h;
+  }
+};
+
+plugin_t plugins[3];
+
+int serve() {
+  Handler *handlers[4];
+  handlers[0] = (Handler*)(new Handler);
+  handlers[1] = (Handler*)(new HashHandler);
+  handlers[2] = (Handler*)(new ScanHandler);
+  handlers[3] = (Handler*)(new CryptoHandler);
+  plugins[0] = plug_sum;
+  plugins[1] = plug_mix;
+  plugins[2] = plug_rot;
+  int sum = 0;
+  int r = read_request();
+  while (r >= 0) {
+    Handler *h = handlers[r % 4];
+    int v = h->handle(r);
+    plugin_t f = plugins[v % 3];
+    v = f(v);
+    sum = (sum + v) % 1000003;
+    r = read_request();
+  }
+  return sum;
+}
+
+int main() {
+  int nworkers = 4;
+  int pid = 1;
+  int i = 0;
+  while (i < nworkers && pid != 0) {
+    pid = fork();
+    i = i + 1;
+  }
+  if (pid == 0) {
+    exit(serve());
+  }
+  int total = 0;
+  i = 0;
+  while (i < nworkers) {
+    int st = wait();
+    total = (total + st) % 1000003;
+    i = i + 1;
+  }
+  print_int(total);
+  print_char('\n');
+  return 0;
+}
+|}
+
+(* The request stream the device is loaded with: seeded, so every
+   scheme/engine combination serves byte-identical payloads. *)
+let requests ~seed ~count =
+  let prng = Roload_util.Prng.create seed in
+  let a = Array.make count 0 in
+  for i = 0 to count - 1 do
+    a.(i) <- Roload_util.Prng.next_int prng 1_000_000
+  done;
+  a

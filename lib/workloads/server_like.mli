@@ -1,0 +1,19 @@
+(** Request-dispatch server macro-workload: the root forks a worker
+    pool; workers drain the kernel's request-source device through a
+    virtual-method handler table (VCall surface) and an indirect-call
+    plugin table (ICall surface).  The printed checksum is a pure
+    function of the payload multiset, so it is identical across schemes,
+    engines and time slices even though the request partition differs. *)
+
+val name : string
+val cxx : bool
+
+val workers : int
+(** Worker pool size the source forks. *)
+
+val source : scale:int -> string
+(** Deterministic MiniC source ([scale] is accepted for uniformity with
+    the SPEC-like workloads; the working set is the request stream). *)
+
+val requests : seed:int64 -> count:int -> int array
+(** The seeded payload stream to load the request device with. *)

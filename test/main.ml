@@ -10,6 +10,8 @@ let () =
       ("asm", Test_asm.suite);
       ("link", Test_link.suite);
       ("kernel", Test_kernel.suite);
+      ("syscall_errors", Test_syscall_errors.suite);
+      ("server", Test_server.suite);
       ("system", Test_system.suite);
       ("engine", Test_engine.suite);
       ("snapshot", Test_snapshot.suite);

@@ -1,0 +1,199 @@
+(* Multi-process kernel tests: fork/wait/exit semantics, the request
+   device, and the scheduler-determinism contract — the same program and
+   request stream must produce byte-identical results across execution
+   engines and time slices, and the server checksum must be identical
+   across hardening schemes even though the request partition differs. *)
+
+module Kernel = Roload_kernel.Kernel
+module Process = Roload_kernel.Process
+module Machine = Roload_machine.Machine
+module Config = Roload_machine.Config
+module Pass = Roload_passes.Pass
+module Server = Roload_workloads.Server_like
+module System = Core.System
+module Toolchain = Core.Toolchain
+
+let compile ?(scheme = Pass.Unprotected) ~name src =
+  let options = { Toolchain.default_options with scheme } in
+  Toolchain.compile_exe ~options ~name src
+
+let serve ?time_slice ?engine ?(scheme = Pass.Unprotected) ~requests src =
+  let exe = compile ~scheme ~name:"mp" src in
+  System.run_server ?time_slice ?engine ~variant:System.Processor_kernel_modified
+    ~requests exe
+
+(* force immediate trace compilation inside [f], restoring afterwards *)
+let with_hot_threshold n f =
+  let prev = Machine.default_hot_threshold () in
+  Machine.set_default_hot_threshold n;
+  Fun.protect ~finally:(fun () -> Machine.set_default_hot_threshold prev) f
+
+let all_exited statuses =
+  List.for_all
+    (fun (_pid, st) -> match st with Process.Exited _ -> true | _ -> false)
+    statuses
+
+(* ---- fork/wait basics ---- *)
+
+let fork_wait_src =
+  {|
+int main() {
+  int pid = fork();
+  if (pid == 0) { exit(7); }
+  int st = wait();
+  print_int(st);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let test_fork_wait () =
+  let m, stats = serve ~requests:[||] fork_wait_src in
+  Alcotest.(check string) "parent reaps the child's status" "7\n" stats.System.console;
+  Alcotest.(check string) "root exits cleanly" "exit 0" (System.status_string m);
+  Alcotest.(check int) "two tasks ran" 2 (List.length stats.System.task_statuses);
+  Alcotest.(check bool) "all tasks exited" true (all_exited stats.System.task_statuses)
+
+let wait_no_children_src =
+  {|
+int main() {
+  int r = wait();
+  print_int(r);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let test_wait_echild () =
+  let _m, stats = serve ~requests:[||] wait_no_children_src in
+  Alcotest.(check string) "wait with no children returns ECHILD" "-10\n"
+    stats.System.console
+
+(* fan-out: every child gets a distinct pid and its own address space;
+   the parent's counter is unaffected by child increments *)
+let fork_isolation_src =
+  {|
+int counter;
+
+int main() {
+  counter = 100;
+  int pid1 = fork();
+  if (pid1 == 0) { counter = counter + 1; exit(counter % 256); }
+  int pid2 = fork();
+  if (pid2 == 0) { counter = counter + 2; exit(counter % 256); }
+  int a = wait();
+  int b = wait();
+  print_int(a + b);
+  print_char('\n');
+  print_int(counter);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let test_fork_isolation () =
+  let _m, stats = serve ~requests:[||] fork_isolation_src in
+  (* children exit 101 and 102 (reap order independent of schedule
+     because we sum); the parent's copy stays 100 *)
+  Alcotest.(check string) "copied address spaces diverge independently" "203\n100\n"
+    stats.System.console
+
+(* ---- the request device ---- *)
+
+let drain_src =
+  {|
+int main() {
+  int r = read_request();
+  while (r >= 0) {
+    print_int(r);
+    print_char('\n');
+    r = read_request();
+  }
+  return 0;
+}
+|}
+
+let test_request_drain () =
+  let m, stats = serve ~requests:[| 5; 6; 7 |] drain_src in
+  Alcotest.(check string) "payloads arrive in order" "5\n6\n7\n" stats.System.console;
+  Alcotest.(check int) "all requests served" 3 stats.System.served;
+  Alcotest.(check int) "every latency recorded" 3 (Array.length stats.System.latencies);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "latency positive" true (l > 0L))
+    stats.System.latencies;
+  Alcotest.(check string) "clean exit" "exit 0" (System.status_string m)
+
+(* ---- scheduler determinism: engines and time slices ---- *)
+
+let small_requests = Server.requests ~seed:42L ~count:400
+
+let server_exe scheme =
+  compile ~scheme ~name:"server" (Server.source ~scale:1)
+
+let run_server_on ?time_slice ~engine exe =
+  System.run_server ?time_slice ~engine ~variant:System.Processor_kernel_modified
+    ~requests:small_requests exe
+
+(* same interleaving => byte-identical measurement across all three
+   engines (the tentpole's determinism contract) *)
+let test_engine_determinism () =
+  let exe = server_exe Pass.Vcall in
+  let block_m, block_s = run_server_on ~engine:Machine.Block_cached exe in
+  let single_m, single_s = run_server_on ~engine:Machine.Single_step exe in
+  let traced_m, traced_s =
+    with_hot_threshold 1 (fun () -> run_server_on ~engine:Machine.Traced exe)
+  in
+  let check_same ctx (a : System.measurement) (sa : System.server_stats)
+      (b : System.measurement) (sb : System.server_stats) =
+    Alcotest.(check string) (ctx ^ ": console") sa.System.console sb.System.console;
+    Alcotest.(check int64) (ctx ^ ": cycles") a.System.cycles b.System.cycles;
+    Alcotest.(check int64) (ctx ^ ": instructions") a.System.instructions
+      b.System.instructions;
+    Alcotest.(check int) (ctx ^ ": served") sa.System.served sb.System.served;
+    Alcotest.(check (array int64))
+      (ctx ^ ": latencies") sa.System.latencies sb.System.latencies
+  in
+  check_same "block-vs-single" block_m block_s single_m single_s;
+  check_same "traced-vs-single" traced_m traced_s single_m single_s;
+  Alcotest.(check int) "all requests served" (Array.length small_requests)
+    single_s.System.served;
+  Alcotest.(check bool) "all tasks exited" true (all_exited single_s.System.task_statuses)
+
+(* a different time slice changes the interleaving, but the printed
+   checksum is partition-independent by construction *)
+let test_time_slice_invariance () =
+  let exe = server_exe Pass.Unprotected in
+  let _, s1 = run_server_on ~time_slice:5_000 ~engine:Machine.Block_cached exe in
+  let _, s2 = run_server_on ~time_slice:20_000 ~engine:Machine.Block_cached exe in
+  let _, s3 = run_server_on ~time_slice:50_000 ~engine:Machine.Block_cached exe in
+  Alcotest.(check string) "5k vs 20k slice" s1.System.console s2.System.console;
+  Alcotest.(check string) "20k vs 50k slice" s2.System.console s3.System.console;
+  Alcotest.(check int) "served under 5k slice" (Array.length small_requests)
+    s1.System.served
+
+(* the checksum is also scheme-independent, even though each scheme's
+   instruction stream (and hence request partition) differs *)
+let test_scheme_invariance () =
+  let run scheme =
+    let _, s = run_server_on ~engine:Machine.Block_cached (server_exe scheme) in
+    Alcotest.(check bool)
+      (Pass.scheme_name scheme ^ ": all tasks exited")
+      true
+      (all_exited s.System.task_statuses);
+    s.System.console
+  in
+  let stock = run Pass.Unprotected in
+  Alcotest.(check string) "VCall checksum" stock (run Pass.Vcall);
+  Alcotest.(check string) "ICall checksum" stock (run Pass.Icall)
+
+let suite =
+  [
+    Alcotest.test_case "fork/wait round trip" `Quick test_fork_wait;
+    Alcotest.test_case "wait with no children => ECHILD" `Quick test_wait_echild;
+    Alcotest.test_case "fork isolates address spaces" `Quick test_fork_isolation;
+    Alcotest.test_case "request device drains in order" `Quick test_request_drain;
+    Alcotest.test_case "server identical across engines" `Slow test_engine_determinism;
+    Alcotest.test_case "checksum invariant under time slice" `Slow
+      test_time_slice_invariance;
+    Alcotest.test_case "checksum invariant across schemes" `Slow test_scheme_invariance;
+  ]
