@@ -3,7 +3,9 @@
    Usage: roload_chaos [--seed N] [--count N] [--scheme S]... [-j N]
                        [--json PATH] [--checkpoint PATH] [--resume]
                        [--attempts N] [--fail-cell IDX] [--max-cells N]
-                       [--replay PATH]
+                       [--checkpoint-batch N] [--replay PATH]
+                       [--server [--requests N] [--workers N] [--shards N]
+                                 [--max-restarts N] [--deadline CYCLES]]
 
    Runs baseline-vs-injected pairs for every plan entry under every
    scheme, prints the detection-coverage table, and exits:
@@ -16,6 +18,17 @@
      3  cell failures — some cells kept crashing and were recorded as
         structured failure rows
 
+   [--server] runs the live-server campaign instead: every cell boots
+   the multi-worker request server under supervision, strikes one
+   worker mid-stream at a request-count trigger, and classifies every
+   request as served / retried / duplicated / corrupted / lost.  Exits:
+
+     0  clean — every roload cell holds the availability floor with
+        zero corrupted payloads, no cell failures
+     1  findings — a roload cell dropped below the availability floor
+        or committed a corrupted payload
+     3  cell failures
+
    [--fail-cell] artificially crashes the cells of one plan index (the
    crash-containment self-test); [--max-cells] stops after N cells to
    simulate a mid-run kill, for exercising [--resume]. *)
@@ -24,8 +37,52 @@ open Cmdliner
 module Campaign = Roload_inject.Campaign
 module Pass = Roload_passes.Pass
 
+let run_server_mode seed count schemes jobs json checkpoint resume fail_cell max_cells
+    checkpoint_batch requests workers shards max_restarts deadline =
+  let sabotage =
+    match fail_cell with
+    | None -> None
+    | Some idx ->
+      Some
+        (fun ~index ~scheme:_ ~attempt:_ ->
+          if index = idx then failwith "sabotaged cell (--fail-cell)")
+  in
+  let report =
+    Campaign.run_server
+      {
+        Campaign.default_server_config with
+        Campaign.sv_seed = seed;
+        sv_count = count;
+        sv_requests = requests;
+        sv_workers = workers;
+        sv_shards = shards;
+        sv_schemes = schemes;
+        sv_jobs = jobs;
+        sv_max_restarts = max_restarts;
+        sv_deadline_cycles = deadline;
+        sv_checkpoint = checkpoint;
+        sv_resume = resume;
+        sv_checkpoint_batch = checkpoint_batch;
+        sv_sabotage = sabotage;
+        sv_max_cells = max_cells;
+      }
+  in
+  print_string (Campaign.render_server report);
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Campaign.server_to_json report);
+    close_out oc;
+    Printf.printf "report written to %s\n" path);
+  let g = Campaign.server_gate report in
+  if g.Campaign.sg_cell_failures > 0 then exit 3
+  else if g.Campaign.sg_low_availability > 0 || g.Campaign.sg_corrupted_under_roload > 0
+  then exit 1
+
 let run seed count schemes jobs json checkpoint resume attempts fail_cell max_cells
-    replay elide from_reset diff_pages =
+    replay elide from_reset diff_pages server requests workers shards max_restarts
+    deadline checkpoint_batch =
   match replay with
   | Some path ->
     let checks = Campaign.replay ~path in
@@ -55,6 +112,10 @@ let run seed count schemes jobs json checkpoint resume attempts fail_cell max_ce
               exit 2)
           names
     in
+    if server then
+      run_server_mode seed count schemes jobs json checkpoint resume fail_cell
+        max_cells checkpoint_batch requests workers shards max_restarts deadline
+    else begin
     let sabotage =
       match fail_cell with
       | None -> None
@@ -74,6 +135,7 @@ let run seed count schemes jobs json checkpoint resume attempts fail_cell max_ce
           attempts;
           checkpoint;
           resume;
+          checkpoint_batch;
           sabotage;
           max_cells;
           elide;
@@ -93,6 +155,7 @@ let run seed count schemes jobs json checkpoint resume attempts fail_cell max_ce
     if g.Campaign.cell_failures > 0 then exit 3
     else if g.Campaign.silent_under_roload > 0 || g.Campaign.undetected_tamper > 0 then
       exit 1
+    end
 
 let seed_arg =
   Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Campaign plan seed (deterministic).")
@@ -186,12 +249,60 @@ let diff_pages_arg =
                  line per page where an injected run's final memory diverged from the \
                  clean baseline, with the first differing byte.")
 
+let server_arg =
+  Arg.(value
+       & flag
+       & info [ "server" ]
+           ~doc:"Run the live-server chaos campaign: supervised multi-worker request \
+                 serving with mid-stream tamper/kill faults and a per-request \
+                 serving-availability table.")
+
+let requests_arg =
+  Arg.(value
+       & opt int Roload_inject.Campaign.default_server_config.Roload_inject.Campaign.sv_requests
+       & info [ "requests" ] ~doc:"Requests in the server stream per cell.")
+
+let workers_arg =
+  Arg.(value
+       & opt int Roload_inject.Campaign.default_server_config.Roload_inject.Campaign.sv_workers
+       & info [ "workers" ] ~doc:"Forked worker tasks in the server victim.")
+
+let shards_arg =
+  Arg.(value
+       & opt int Roload_inject.Campaign.default_server_config.Roload_inject.Campaign.sv_shards
+       & info [ "shards" ]
+           ~doc:"Request-device shards (request id mod N; workers steal from dry \
+                 shards deterministically).")
+
+let max_restarts_arg =
+  Arg.(value
+       & opt int
+           Roload_inject.Campaign.default_server_config.Roload_inject.Campaign.sv_max_restarts
+       & info [ "max-restarts" ] ~doc:"Per-worker reincarnation budget.")
+
+let deadline_arg =
+  Arg.(value
+       & opt int64
+           Roload_inject.Campaign.default_server_config.Roload_inject.Campaign
+           .sv_deadline_cycles
+       & info [ "deadline" ] ~docv:"CYCLES"
+           ~doc:"Per-request deadline in simulated cycles (0 disables the watchdog).")
+
+let checkpoint_batch_arg =
+  Arg.(value
+       & opt int 1
+       & info [ "checkpoint-batch" ] ~docv:"N"
+           ~doc:"Buffer N settled rows per checkpoint write (flushed on exit and on \
+                 crash; resume stays byte-identical).")
+
 let cmd =
   Cmd.v
     (Cmd.info "roload_chaos"
        ~doc:"Seeded fault-injection campaign with crash containment and resume")
     Term.(const run $ seed_arg $ count_arg $ scheme_arg $ jobs_arg $ json_arg
           $ checkpoint_arg $ resume_arg $ attempts_arg $ fail_cell_arg $ max_cells_arg
-          $ replay_arg $ elide_arg $ from_reset_arg $ diff_pages_arg)
+          $ replay_arg $ elide_arg $ from_reset_arg $ diff_pages_arg $ server_arg
+          $ requests_arg $ workers_arg $ shards_arg $ max_restarts_arg $ deadline_arg
+          $ checkpoint_batch_arg)
 
 let () = exit (Cmd.eval cmd)

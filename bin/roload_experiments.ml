@@ -2,7 +2,7 @@
 
    Usage: roload_experiments [table1|table2|table3|section5b|figure3|
                               figure4|figure5|security|elide|campaign|
-                              server|ablations|all]
+                              server|server-chaos|ablations|all]
                              [--scale N] [-j N] [--engine ENGINE]
                              [--json PATH] [--baseline PATH]
                              [--metrics [PATH]] [--check-cycles PATH]
@@ -43,6 +43,34 @@ let run_server_bench ~scale =
   let r = Core.Experiments.experiment_server ~requests:(100_000 * scale) () in
   server_rps := Some r.Core.Experiments.sv_requests_per_s;
   print_table r.Core.Experiments.sv_table
+
+(* Live-server chaos campaign: per-request serving availability by
+   scheme under mid-stream faults with supervised restarts.  The
+   per-scheme served_ratio figures are recorded in the bench JSON as
+   [served_ratio_<scheme>] and gated against the baseline as an
+   absolute floor (availability is a fraction, not a throughput). *)
+let server_ratios : (string * float) list ref = ref []
+
+let run_server_chaos ~scale =
+  let module Campaign = Roload_inject.Campaign in
+  let rp =
+    Campaign.run_server
+      {
+        Campaign.default_server_config with
+        Campaign.sv_seed = 3L;
+        sv_count = 6 * scale;
+      }
+  in
+  print_string (Campaign.render_server rp);
+  server_ratios := Campaign.served_ratios rp;
+  let g = Campaign.server_gate rp in
+  if g.Campaign.sg_cell_failures > 0 then
+    raise (Core.Experiments.Experiment_failure "server-chaos campaign had cell failures")
+  else if g.Campaign.sg_low_availability > 0 || g.Campaign.sg_corrupted_under_roload > 0
+  then
+    raise
+      (Core.Experiments.Experiment_failure
+         "server-chaos availability/corruption gate violated under a roload scheme")
 
 let run_campaign ~scale =
   let module Campaign = Roload_inject.Campaign in
@@ -105,6 +133,7 @@ let run_one ~scale ~metrics name =
     print_table (Core.Experiments.experiment_elide ~scale ()).Core.Experiments.el_table
   | "campaign" -> run_campaign ~scale
   | "server" -> run_server_bench ~scale
+  | "server-chaos" -> run_server_chaos ~scale
   | "ablations" ->
     print_table (Core.Experiments.ablation_compressed ());
     print_table (Core.Experiments.ablation_keys ());
@@ -171,7 +200,7 @@ let run names scale jobs engine json baseline metrics check_cycles =
          throughput figures (cells/s, requests/s) — they record
          top-level figures instead of trajectory entries, so the MIPS
          totals stay comparable across baselines *)
-      if n <> "campaign" && n <> "server" then
+      if n <> "campaign" && n <> "server" && n <> "server-chaos" then
         entries :=
           Core.Bench_log.entry ~name:n ~engine:engine_label ~wall_s ~instructions
           :: !entries;
@@ -181,7 +210,9 @@ let run names scale jobs engine json baseline metrics check_cycles =
   (match json with
   | Some path ->
     Core.Bench_log.write ~path ~scale ~jobs:(Core.Parallel.default_jobs ())
-      ?campaign_cells_per_s:!campaign_cps ?requests_per_s:!server_rps entries;
+      ?campaign_cells_per_s:!campaign_cps ?requests_per_s:!server_rps
+      ?served_ratios:(match !server_ratios with [] -> None | l -> Some l)
+      entries;
     Printf.printf "bench trajectory written to %s\n" path
   | None -> ());
   (match metrics with
@@ -267,6 +298,33 @@ let run names scale jobs engine json baseline metrics check_cycles =
       else
         Printf.printf "server gate: %.3f requests/s vs baseline %.3f (floor %.3f) — ok\n"
           rps base floor)
+  | _ -> ());
+  (* served-ratio gate: each scheme's serving availability must not drop
+     more than one percentage point below the checked-in baseline — an
+     absolute floor, since availability is a fraction near 1.0 where the
+     30%-of-baseline throughput rule would be vacuous (skipped when the
+     baseline predates the figure or server-chaos did not run) *)
+  (match (baseline, !server_ratios) with
+  | Some path, (_ :: _ as ratios) ->
+    List.iter
+      (fun (scheme, ratio) ->
+        match Core.Bench_log.read_served_ratio path ~scheme with
+        | None ->
+          Printf.eprintf
+            "warning: no served_ratio_%s in baseline %s; skipping its gate\n" scheme path
+        | Some base ->
+          let floor = base -. 0.01 in
+          if ratio < floor then begin
+            Printf.eprintf
+              "SERVED-RATIO REGRESSION (%s): %.5f < baseline %.5f - 0.01 (floor %.5f)\n"
+              scheme ratio base floor;
+            exit 1
+          end
+          else
+            Printf.printf
+              "served-ratio gate (%s): %.5f vs baseline %.5f (floor %.5f) — ok\n" scheme
+              ratio base floor)
+      ratios
   | _ -> ());
   (* campaign-throughput gate: seeded cells/s must not regress >30%
      against the checked-in baseline (skipped when the baseline predates

@@ -32,7 +32,8 @@ let totals entries =
   let mips = if wall > 0.0 then float_of_int insts /. wall /. 1e6 else 0.0 in
   (wall, insts, mips)
 
-let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s ?requests_per_s entries =
+let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s ?requests_per_s
+    ?(served_ratios = []) entries =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"roload-bench-v2\",\n";
@@ -56,6 +57,13 @@ let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s ?requests_per_s entri
   (match requests_per_s with
   | Some rps -> Buffer.add_string b (Printf.sprintf "  \"requests_per_s\": %.3f,\n" rps)
   | None -> ());
+  (* flat per-scheme keys so the same key-based scanner that reads the
+     throughput figures reads these *)
+  List.iter
+    (fun (scheme, r) ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"served_ratio_%s\": %.5f,\n" (escape scheme) r))
+    served_ratios;
   let wall, insts, mips = totals entries in
   Buffer.add_string b
     (Printf.sprintf
@@ -64,9 +72,11 @@ let to_json ?(scale = 1) ?(jobs = 1) ?campaign_cells_per_s ?requests_per_s entri
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-let write ~path ?scale ?jobs ?campaign_cells_per_s ?requests_per_s entries =
+let write ~path ?scale ?jobs ?campaign_cells_per_s ?requests_per_s ?served_ratios
+    entries =
   let oc = open_out path in
-  output_string oc (to_json ?scale ?jobs ?campaign_cells_per_s ?requests_per_s entries);
+  output_string oc
+    (to_json ?scale ?jobs ?campaign_cells_per_s ?requests_per_s ?served_ratios entries);
   close_out oc
 
 (* Minimal scanner for the CI baseline checks: find the first occurrence
@@ -110,3 +120,6 @@ let read_total_mips path = read_float_key path "\"total_mips\":"
 
 let read_campaign_cells_per_s path = read_float_key path "\"campaign_cells_per_s\":"
 let read_requests_per_s path = read_float_key path "\"requests_per_s\":"
+
+let read_served_ratio path ~scheme =
+  read_float_key path (Printf.sprintf "\"served_ratio_%s\":" scheme)

@@ -21,6 +21,7 @@ val to_json :
   ?jobs:int ->
   ?campaign_cells_per_s:float ->
   ?requests_per_s:float ->
+  ?served_ratios:(string * float) list ->
   entry list ->
   string
 
@@ -30,13 +31,17 @@ val write :
   ?jobs:int ->
   ?campaign_cells_per_s:float ->
   ?requests_per_s:float ->
+  ?served_ratios:(string * float) list ->
   entry list ->
   unit
 (** [campaign_cells_per_s] records the snapshot-seeded chaos campaign's
     throughput (settled cells per wall-clock second) and
     [requests_per_s] the server macro-benchmark's stock-scheme
     throughput — each its own top-level figure, gated separately from
-    simulated MIPS. *)
+    simulated MIPS.  [served_ratios] records the live-server chaos
+    campaign's per-scheme serving availability as flat
+    [served_ratio_<scheme>] keys (fractions in [0,1]), gated as an
+    absolute floor rather than a percentage of baseline. *)
 
 val read_total_mips : string -> float option
 (** Scan a written file for its aggregate [total_mips] figure (used by
@@ -48,3 +53,6 @@ val read_campaign_cells_per_s : string -> float option
 
 val read_requests_per_s : string -> float option
 (** The [requests_per_s] figure of a written file, if present. *)
+
+val read_served_ratio : string -> scheme:string -> float option
+(** The [served_ratio_<scheme>] figure of a written file, if present. *)

@@ -152,4 +152,19 @@ read_request:
     li a7, 1024
     ecall
     ret
+
+# complete_request(result): explicit idempotent ack of the inflight
+# request, committing its result into the device checksum.
+.global complete_request
+complete_request:
+    li a7, 1025
+    ecall
+    ret
+
+# server_checksum(): kernel-side fold of committed results (mod 1000003).
+.global server_checksum
+server_checksum:
+    li a7, 1026
+    ecall
+    ret
 |}

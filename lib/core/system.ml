@@ -179,18 +179,26 @@ type server_stats = {
   latencies : int64 array; (* completed requests, request-id order, cycles *)
   console : string; (* interleaved output of every task *)
   task_statuses : (int * Process.status) list;
+  records : Kernel.request_record array; (* per-request delivery ledger *)
+  restarts : int; (* supervised worker reincarnations *)
+  checksum : int64; (* kernel-side committed-result fold *)
 }
 
 (* Like [run], but through the multi-process kernel: load the request
    device with [requests], run the scheduler until every task exits.
    The measurement's instructions/cycles are machine-global (all tasks);
-   status/peak are the root's. *)
-let run_server ?(max_instructions = 2_000_000_000L) ?time_slice ?tracer ?engine ~variant
-    ~requests exe =
+   status/peak are the root's.  [shards]/[supervision] configure the
+   sharded device and the worker supervisor; [configure] runs against
+   the kernel after the device is loaded and before the root boots —
+   fault-plan callers install their request hooks there. *)
+let run_server ?(max_instructions = 2_000_000_000L) ?time_slice ?tracer ?engine ?shards
+    ?supervision ?configure ~variant ~requests exe =
   let machine = Machine.create ?engine (machine_config variant) in
   Machine.set_tracer machine tracer;
   let kernel = Kernel.create ~machine ~config:(kernel_config variant) in
-  Kernel.set_requests kernel requests;
+  Kernel.set_requests ?shards kernel requests;
+  Option.iter (fun s -> Kernel.set_supervision kernel (Some s)) supervision;
+  Option.iter (fun f -> f kernel) configure;
   let process, outcome =
     Kernel.exec_all ~limit:{ Kernel.max_instructions } ?time_slice kernel exe
   in
@@ -231,6 +239,9 @@ let run_server ?(max_instructions = 2_000_000_000L) ?time_slice ?tracer ?engine 
       latencies = Kernel.request_latencies kernel;
       console = Kernel.console kernel;
       task_statuses = Kernel.task_statuses kernel;
+      records = Kernel.request_records kernel;
+      restarts = Kernel.restarts_total kernel;
+      checksum = Kernel.server_checksum kernel;
     }
   in
   (measurement, stats)

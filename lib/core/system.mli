@@ -70,6 +70,13 @@ type server_stats = {
       (** completed-request cycle latencies, request-id order *)
   console : string;  (** interleaved write() output of every task *)
   task_statuses : (int * Roload_kernel.Process.status) list;
+  records : Roload_kernel.Kernel.request_record array;
+      (** per-request delivery ledger (handouts, redeliveries,
+          completions, committed result) *)
+  restarts : int;  (** supervised worker reincarnations *)
+  checksum : int64;
+      (** kernel-side fold of committed results — order-independent, so
+          identical across schemes, engines and shard counts *)
 }
 
 val run_server :
@@ -77,14 +84,21 @@ val run_server :
   ?time_slice:int ->
   ?tracer:Roload_obs.Tracer.t ->
   ?engine:Roload_machine.Machine.engine ->
+  ?shards:int ->
+  ?supervision:Roload_kernel.Kernel.supervision ->
+  ?configure:(Roload_kernel.Kernel.t -> unit) ->
   variant:variant ->
   requests:int array ->
   Roload_obj.Exe.t ->
   measurement * server_stats
 (** Like {!run}, but through the multi-process kernel: the request
-    device is loaded with [requests], the executable is spawned as the
-    root task and scheduled round-robin ([time_slice] retired
-    instructions per quantum, default 20k) until every task exits.  The
+    device is loaded with [requests] across [shards] queues (default 1),
+    the executable is spawned as the root task and scheduled round-robin
+    ([time_slice] retired instructions per quantum, default 20k) until
+    every task exits.  [supervision] arms the worker supervisor (bounded
+    deterministic restarts + deadline watchdog); [configure] runs
+    against the kernel after the device is loaded and before the root
+    boots — chaos callers install request hooks there.  The
     measurement's instruction/cycle counters are machine-global; status,
     peak and output are the root task's.  Deterministic: the quantum is
     counted in retired instructions, so the interleaving is identical

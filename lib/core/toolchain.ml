@@ -56,7 +56,8 @@ let runtime_object ~compress =
 (* The multi-process stubs live in a separate object linked only when the
    program references them: appending an object to a link shifts no
    existing symbol, so single-process binaries stay byte-identical. *)
-let ext_runtime_symbols = [ "fork"; "wait"; "read_request" ]
+let ext_runtime_symbols =
+  [ "fork"; "wait"; "read_request"; "complete_request"; "server_checksum" ]
 
 let runtime_ext_object ~compress =
   let items = Roload_asm.Asm_parser.parse Runtime.ext_source in

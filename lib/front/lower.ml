@@ -53,6 +53,8 @@ let builtin_functions =
     ("fork", { Ir.params = []; ret = Ir.I64 });
     ("wait", { Ir.params = []; ret = Ir.I64 });
     ("read_request", { Ir.params = []; ret = Ir.I64 });
+    ("complete_request", { Ir.params = [ Ir.I64 ]; ret = Ir.I64 });
+    ("server_checksum", { Ir.params = []; ret = Ir.I64 });
   ]
 
 let find_class genv name = List.assoc_opt name genv.classes

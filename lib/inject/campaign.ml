@@ -74,6 +74,7 @@ type config = {
   budget_factor : int;  (** watchdog = factor x baseline instructions *)
   checkpoint : string option;  (** incremental persistence file *)
   resume : bool;  (** skip cells already in the checkpoint *)
+  checkpoint_batch : int;  (** rows buffered per checkpoint flush *)
   sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
       (** test hook: raise from inside a chosen cell *)
   max_cells : int option;  (** test hook: simulate a mid-run kill *)
@@ -93,6 +94,7 @@ let default_config =
     budget_factor = 8;
     checkpoint = None;
     resume = false;
+    checkpoint_batch = 1;
     sabotage = None;
     max_cells = None;
     elide = false;
@@ -357,6 +359,46 @@ let read_lines path =
   close_in ic;
   List.rev !lines
 
+(* ---------- batched checkpoint writer ----------
+
+   Campaigns append one TSV row per settled cell; with fast cells and a
+   wide -j pool the per-row open/write/close dominates the checkpoint
+   cost.  The writer buffers [batch] rows per flush (batch=1 keeps the
+   historical row-at-a-time behavior) and the [Fun.protect] wrapper
+   flushes the tail on ANY exit — normal return or an exception escaping
+   mid-campaign — so a later --resume always sees every settled cell.
+   Whole rows are the flush unit, so a resumed file never holds a torn
+   line, and resume's sorted-rows property makes the final report
+   byte-identical no matter how rows were grouped into flushes. *)
+let with_appender ?(batch = 1) checkpoint f =
+  match checkpoint with
+  | None -> f (fun _ -> ())
+  | Some path ->
+    let m = Mutex.create () in
+    let buf = Buffer.create 4096 in
+    let pending = ref 0 in
+    let flush_locked () =
+      if !pending > 0 then begin
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Buffer.clear buf;
+        pending := 0
+      end
+    in
+    let locked g =
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) g
+    in
+    let append line =
+      locked (fun () ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          incr pending;
+          if !pending >= max 1 batch then flush_locked ())
+    in
+    Fun.protect ~finally:(fun () -> locked flush_locked) (fun () -> f append)
+
 (* ---------- the campaign ---------- *)
 
 exception Broken_victim of string
@@ -447,19 +489,6 @@ let run (cfg : config) =
     output_string oc (header ^ "\n");
     close_out oc
   | _ -> ());
-  let ck = Mutex.create () in
-  let append_row (r : row) =
-    match cfg.checkpoint with
-    | None -> ()
-    | Some path ->
-      Mutex.lock ck;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock ck)
-        (fun () ->
-          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-          output_string oc (row_to_line r ^ "\n");
-          close_out oc)
-  in
   let baseline_for s = fst (List.assoc s baselines) in
   let baseline_mem_for s = snd (List.assoc s baselines) in
   (* Silent-corruption rows restored from a checkpoint carry no diff (the
@@ -525,8 +554,9 @@ let run (cfg : config) =
         None )
   in
   let outcomes =
+    with_appender ~batch:cfg.checkpoint_batch cfg.checkpoint @@ fun append_row ->
     Experiments.run_cells_contained ~attempts:cfg.attempts ?jobs:cfg.jobs
-      ~on_cell:(fun idx o -> append_row (fst (row_of idx o)))
+      ~on_cell:(fun idx o -> append_row (row_to_line (fst (row_of idx o))))
       ~f:(fun ~attempt ((inj : Fault.injection), scheme, exe) ->
         (match cfg.sabotage with
         | Some f -> f ~index:inj.Fault.index ~scheme ~attempt
@@ -775,3 +805,566 @@ let replay ~path =
           { rc_scheme = sname; rc_expected = expected; rc_actual = outcome_tag r.outcome })
       expects
   | _ -> failwith ("malformed chaos reproducer: " ^ path)
+
+(* ---------- the live-server campaign ----------
+
+   The classic campaign above injects into a paused single-process
+   victim and asks "was the tamper detected?".  The server campaign
+   injects into a RUNNING multi-worker serving system and asks the
+   robustness question instead: "how many requests were served
+   correctly?" — per (injection class, scheme), with the supervised
+   kernel restarting dead workers and redelivering their in-flight
+   requests.
+
+   Every cell is a full server run: compile the server workload under
+   the scheme, load the sharded request device, arm the supervisor, and
+   install a one-shot request hook that strikes the chosen worker when
+   the device has handed out the entry's trigger count.  Per-request
+   outcomes are judged against the scheme's uninjected baseline run
+   (every request's correct result is a pure function of its payload),
+   then folded into the serving-availability table.
+
+   Determinism: the trigger is a handout count (not wall-clock), the
+   scheduler quantum is retired instructions, the supervisor restart is
+   a pure function of kernel state, and the injector backdoors are
+   deterministic — so every cell, and hence the availability table, is
+   byte-identical across engines and across -j. *)
+
+type server_config = {
+  sv_seed : int64;
+  sv_count : int;  (** plan length; cells = count x applicable schemes *)
+  sv_requests : int;  (** request-stream length per cell *)
+  sv_workers : int;  (** forked worker-pool size *)
+  sv_shards : int;  (** request-device shards *)
+  sv_schemes : Pass.scheme list;
+  sv_attempts : int;
+  sv_jobs : int option;
+  sv_time_slice : int option;
+  sv_engine : Machine.engine option;
+  sv_max_restarts : int;  (** supervisor restart budget per worker *)
+  sv_deadline_cycles : int64;  (** per-request watchdog; 0 = off *)
+  sv_budget_factor : int;  (** cell fuel = factor x baseline instructions *)
+  sv_checkpoint : string option;
+  sv_resume : bool;
+  sv_checkpoint_batch : int;
+  sv_sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
+  sv_max_cells : int option;
+}
+
+let default_server_config =
+  {
+    sv_seed = 1L;
+    sv_count = 12;
+    sv_requests = 400;
+    sv_workers = 4;
+    sv_shards = 1;
+    sv_schemes = default_schemes;
+    sv_attempts = 2;
+    sv_jobs = None;
+    sv_time_slice = None;
+    sv_engine = None;
+    sv_max_restarts = 3;
+    sv_deadline_cycles = 5_000_000L;
+    sv_budget_factor = 8;
+    sv_checkpoint = None;
+    sv_resume = false;
+    sv_checkpoint_batch = 1;
+    sv_sabotage = None;
+    sv_max_cells = None;
+  }
+
+(* The icall redirect stays out of scope for schemes that never claim to
+   police indirect calls (same reasoning as [applicable]); the kill and
+   page-level classes are meaningful everywhere. *)
+let server_applicable scheme (k : Server_fault.kind) =
+  match k with
+  | Server_fault.Worker_kill -> true
+  | Server_fault.Tamper fk -> applicable scheme fk
+
+type server_row = {
+  sv_index : int;
+  sv_scheme : string;
+  sv_cls : string;
+  sv_label : string;
+  sv_worker : int;
+  sv_trigger : int;  (* handout count the hook fired at *)
+  sv_applied : bool;
+  sv_cell_attempts : int;
+  sv_failed : bool;  (* crash containment: the cell itself blew up *)
+  sv_tally : Server_fault.tally;
+  sv_restarts : int;
+  sv_detail : string;
+}
+
+type server_report = {
+  sv_rows : server_row list;  (** sorted by (plan index, scheme position) *)
+  sv_report_schemes : Pass.scheme list;
+  sv_report_requests : int;
+}
+
+let compile_server_victim ~workers scheme =
+  Toolchain.compile_exe
+    ~options:{ Toolchain.default_options with Toolchain.scheme }
+    ~name:("server-chaos-" ^ Pass.scheme_name scheme)
+    (Roload_workloads.Server_like.source_workers ~workers ~scale:1)
+
+let server_trigger_of ~requests (inj : Server_fault.injection) =
+  max 1 (inj.Server_fault.trigger_permille * requests / 1000)
+
+(* one server run, optionally with an armed fault *)
+let run_server_once (cfg : server_config) ?configure ~max_instructions exe stream =
+  System.run_server ~max_instructions ?time_slice:cfg.sv_time_slice
+    ?engine:cfg.sv_engine ~shards:cfg.sv_shards
+    ~supervision:
+      {
+        Kernel.max_restarts = cfg.sv_max_restarts;
+        Kernel.deadline_cycles = cfg.sv_deadline_cycles;
+      }
+    ?configure ~variant:System.Processor_kernel_modified ~requests:stream exe
+
+let server_status_str (m : System.measurement) = System.status_string m
+
+(* one cell: arm the hook, run, classify every request against the
+   baseline's committed results *)
+let run_server_cell (cfg : server_config) ~attempt ~(baseline_results : int64 option array)
+    ~budget (inj : Server_fault.injection) scheme exe stream =
+  let trigger = server_trigger_of ~requests:cfg.sv_requests inj in
+  let applied = ref None in
+  let configure kernel =
+    Kernel.set_request_hook kernel ~at:trigger (fun k ->
+        match Kernel.worker_pids k with
+        | [] -> ()
+        | pids -> (
+          let pid = List.nth pids (inj.Server_fault.worker_slot mod List.length pids) in
+          match inj.Server_fault.kind with
+          | Server_fault.Worker_kill ->
+            if Kernel.kill_task k ~pid ~info:"chaos" then
+              applied :=
+                Some
+                  {
+                    Injector.desc = Printf.sprintf "killed worker pid %d" pid;
+                    Injector.addr = 0;
+                  }
+          | Server_fault.Tamper fk -> (
+            match Kernel.task_process k pid with
+            | None -> ()
+            | Some process ->
+              applied := Injector.apply ~machine:(Kernel.machine k) ~process ~exe fk)))
+  in
+  let m, stats = run_server_once cfg ~configure ~max_instructions:budget exe stream in
+  let tally = ref Server_fault.empty_tally in
+  Array.iteri
+    (fun id rr ->
+      tally :=
+        Server_fault.tally_add !tally
+          (Server_fault.classify_record ~baseline:baseline_results.(id) rr))
+    stats.System.records;
+  {
+    sv_index = inj.Server_fault.index;
+    sv_scheme = Pass.scheme_name scheme;
+    sv_cls = Server_fault.class_name inj.Server_fault.kind;
+    sv_label = Server_fault.kind_label inj.Server_fault.kind;
+    sv_worker = inj.Server_fault.worker_slot;
+    sv_trigger = trigger;
+    sv_applied = !applied <> None;
+    sv_cell_attempts = attempt;
+    sv_failed = false;
+    sv_tally = !tally;
+    sv_restarts = stats.System.restarts;
+    sv_detail =
+      (match !applied with
+      | Some (a : Injector.applied) ->
+        Printf.sprintf "%s; root %s; %d restart(s)" a.Injector.desc
+          (server_status_str m) stats.System.restarts
+      | None -> Printf.sprintf "not applied; root %s" (server_status_str m));
+  }
+
+(* ---------- server checkpoint rows ---------- *)
+
+let server_row_to_line (r : server_row) =
+  Printf.sprintf "%d\t%s\t%s\t%s\t%d\t%d\t%b\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s"
+    r.sv_index r.sv_scheme r.sv_cls r.sv_label r.sv_worker r.sv_trigger r.sv_applied
+    r.sv_cell_attempts
+    (if r.sv_failed then "failed" else "ok")
+    r.sv_tally.Server_fault.served r.sv_tally.Server_fault.retried
+    r.sv_tally.Server_fault.duplicated r.sv_tally.Server_fault.corrupted
+    r.sv_tally.Server_fault.lost r.sv_restarts (sanitize r.sv_detail)
+
+let server_row_of_line line =
+  match String.split_on_char '\t' line with
+  | [
+      index; scheme; cls; label; worker; trigger; applied; attempts; tag; served;
+      retried; duplicated; corrupted; lost; restarts; detail;
+    ] -> (
+    match
+      ( int_of_string_opt index,
+        int_of_string_opt worker,
+        int_of_string_opt trigger,
+        bool_of_string_opt applied,
+        int_of_string_opt attempts,
+        ( int_of_string_opt served,
+          int_of_string_opt retried,
+          int_of_string_opt duplicated,
+          int_of_string_opt corrupted,
+          int_of_string_opt lost ),
+        int_of_string_opt restarts )
+    with
+    | ( Some sv_index,
+        Some sv_worker,
+        Some sv_trigger,
+        Some sv_applied,
+        Some sv_cell_attempts,
+        (Some served, Some retried, Some duplicated, Some corrupted, Some lost),
+        Some sv_restarts ) ->
+      Some
+        {
+          sv_index;
+          sv_scheme = scheme;
+          sv_cls = cls;
+          sv_label = label;
+          sv_worker;
+          sv_trigger;
+          sv_applied;
+          sv_cell_attempts;
+          sv_failed = String.equal tag "failed";
+          sv_tally =
+            { Server_fault.served; retried; duplicated; corrupted; lost };
+          sv_restarts;
+          sv_detail = detail;
+        }
+    | _ -> None)
+  | _ -> None
+
+(* ---------- the server campaign driver ---------- *)
+
+let run_server (cfg : server_config) =
+  let schemes = cfg.sv_schemes in
+  let stream =
+    Roload_workloads.Server_like.requests ~seed:cfg.sv_seed ~count:cfg.sv_requests
+  in
+  (* compile serially: the toolchain owns global state *)
+  let exes =
+    List.map (fun s -> (s, compile_server_victim ~workers:cfg.sv_workers s)) schemes
+  in
+  (* per-scheme uninjected baselines: the correct committed result for
+     every request id, plus the fuel yardstick for the cell watchdog *)
+  let baselines =
+    Parallel.map ?jobs:cfg.sv_jobs
+      (fun (s, exe) ->
+        let m, stats = run_server_once cfg ~max_instructions:2_000_000_000L exe stream in
+        (s, (m, stats)))
+      exes
+  in
+  List.iter
+    (fun (s, ((m : System.measurement), (stats : System.server_stats))) ->
+      let name = Pass.scheme_name s in
+      if not (System.exited_cleanly m) then
+        raise
+          (Broken_victim
+             (Printf.sprintf "server victim under %s: root %s" name
+                (server_status_str m)));
+      if stats.System.served <> cfg.sv_requests then
+        raise
+          (Broken_victim
+             (Printf.sprintf "server victim under %s served %d of %d" name
+                stats.System.served cfg.sv_requests));
+      if stats.System.restarts <> 0 then
+        raise
+          (Broken_victim
+             (Printf.sprintf "server victim under %s needed %d restart(s) uninjected"
+                name stats.System.restarts)))
+    baselines;
+  (* the committed results are a pure function of the payloads, so every
+     scheme's baseline must agree — a divergence means a miscompile, not
+     a chaos finding *)
+  (match baselines with
+  | (_, (_, first)) :: rest ->
+    List.iter
+      (fun (s, (_, (stats : System.server_stats))) ->
+        if
+          not
+            (Int64.equal stats.System.checksum first.System.checksum
+            && String.equal stats.System.console first.System.console)
+        then
+          raise
+            (Broken_victim
+               (Printf.sprintf "server baseline checksum diverges under %s"
+                  (Pass.scheme_name s))))
+      rest
+  | [] -> ());
+  let baseline_results_for =
+    let tbl =
+      List.map
+        (fun (s, (_, (stats : System.server_stats))) ->
+          ( s,
+            Array.map
+              (fun (rr : Kernel.request_record) -> rr.Kernel.rr_result)
+              stats.System.records ))
+        baselines
+    in
+    fun s -> List.assoc s tbl
+  in
+  let budget_for =
+    let tbl =
+      List.map
+        (fun (s, ((m : System.measurement), _)) ->
+          ( s,
+            Int64.add
+              (Int64.mul m.System.instructions (Int64.of_int cfg.sv_budget_factor))
+              100_000L ))
+        baselines
+    in
+    fun s -> List.assoc s tbl
+  in
+  let plan = Plan.build_server ~seed:cfg.sv_seed ~count:cfg.sv_count in
+  let cells =
+    List.concat_map
+      (fun (inj : Server_fault.injection) ->
+        List.filter_map
+          (fun (s, exe) ->
+            if server_applicable s inj.Server_fault.kind then Some (inj, s, exe)
+            else None)
+          exes)
+      plan
+  in
+  let header =
+    Printf.sprintf
+      "# roload-chaos-server v1 seed=%Ld count=%d requests=%d workers=%d shards=%d \
+       restarts=%d deadline=%Ld schemes=%s"
+      cfg.sv_seed cfg.sv_count cfg.sv_requests cfg.sv_workers cfg.sv_shards
+      cfg.sv_max_restarts cfg.sv_deadline_cycles
+      (String.concat "," (List.map Pass.scheme_name schemes))
+  in
+  let prior =
+    match cfg.sv_checkpoint with
+    | Some path when cfg.sv_resume && Sys.file_exists path -> (
+      match read_lines path with
+      | h :: rest when String.equal h header -> List.filter_map server_row_of_line rest
+      | _ -> [])
+    | _ -> []
+  in
+  let done_keys = Hashtbl.create 64 in
+  List.iter
+    (fun (r : server_row) -> Hashtbl.replace done_keys (r.sv_index, r.sv_scheme) ())
+    prior;
+  let todo =
+    List.filter
+      (fun ((inj : Server_fault.injection), s, _) ->
+        not (Hashtbl.mem done_keys (inj.Server_fault.index, Pass.scheme_name s)))
+      cells
+  in
+  let todo =
+    match cfg.sv_max_cells with
+    | Some k -> List.filteri (fun i _ -> i < k) todo
+    | None -> todo
+  in
+  (match cfg.sv_checkpoint with
+  | Some path when prior = [] ->
+    let oc = open_out path in
+    output_string oc (header ^ "\n");
+    close_out oc
+  | _ -> ());
+  let todo_arr = Array.of_list todo in
+  let row_of idx outcome =
+    let (inj : Server_fault.injection), scheme, _ = todo_arr.(idx) in
+    match outcome with
+    | Experiments.Cell_ok r -> r
+    | Experiments.Cell_failed { error; attempts } ->
+      {
+        sv_index = inj.Server_fault.index;
+        sv_scheme = Pass.scheme_name scheme;
+        sv_cls = Server_fault.class_name inj.Server_fault.kind;
+        sv_label = Server_fault.kind_label inj.Server_fault.kind;
+        sv_worker = inj.Server_fault.worker_slot;
+        sv_trigger = 0;
+        sv_applied = false;
+        sv_cell_attempts = attempts;
+        sv_failed = true;
+        sv_tally = Server_fault.empty_tally;
+        sv_restarts = 0;
+        sv_detail = sanitize error;
+      }
+  in
+  let outcomes =
+    with_appender ~batch:cfg.sv_checkpoint_batch cfg.sv_checkpoint @@ fun append_row ->
+    Experiments.run_cells_contained ~attempts:cfg.sv_attempts ?jobs:cfg.sv_jobs
+      ~on_cell:(fun idx o -> append_row (server_row_to_line (row_of idx o)))
+      ~f:(fun ~attempt ((inj : Server_fault.injection), scheme, exe) ->
+        (match cfg.sv_sabotage with
+        | Some f -> f ~index:inj.Server_fault.index ~scheme ~attempt
+        | None -> ());
+        run_server_cell cfg ~attempt
+          ~baseline_results:(baseline_results_for scheme)
+          ~budget:(budget_for scheme) inj scheme exe stream)
+      todo
+  in
+  let fresh = List.mapi row_of outcomes in
+  let scheme_pos =
+    let names = List.mapi (fun i s -> (Pass.scheme_name s, i)) schemes in
+    fun n -> match List.assoc_opt n names with Some i -> i | None -> max_int
+  in
+  let rows =
+    List.sort
+      (fun (a : server_row) (b : server_row) ->
+        compare (a.sv_index, scheme_pos a.sv_scheme) (b.sv_index, scheme_pos b.sv_scheme))
+      (prior @ fresh)
+  in
+  { sv_rows = rows; sv_report_schemes = schemes; sv_report_requests = cfg.sv_requests }
+
+(* ---------- server reporting & gates ---------- *)
+
+let server_tally_of rows =
+  List.fold_left
+    (fun acc (r : server_row) ->
+      {
+        Server_fault.served = acc.Server_fault.served + r.sv_tally.Server_fault.served;
+        retried = acc.Server_fault.retried + r.sv_tally.Server_fault.retried;
+        duplicated = acc.Server_fault.duplicated + r.sv_tally.Server_fault.duplicated;
+        corrupted = acc.Server_fault.corrupted + r.sv_tally.Server_fault.corrupted;
+        lost = acc.Server_fault.lost + r.sv_tally.Server_fault.lost;
+      })
+    Server_fault.empty_tally rows
+
+let availability_table (rp : server_report) =
+  let t =
+    Table.create
+      ~title:
+        "roload-chaos --server: serving availability by class (correct% over ok / \
+         retried / duplicated / corrupted / lost)"
+      ~header:("injection class" :: List.map Pass.scheme_name rp.sv_report_schemes)
+      ()
+  in
+  List.iter
+    (fun cls ->
+      let cells =
+        List.map
+          (fun s ->
+            let name = Pass.scheme_name s in
+            let rs =
+              List.filter
+                (fun (r : server_row) ->
+                  String.equal r.sv_cls cls
+                  && String.equal r.sv_scheme name
+                  && not r.sv_failed)
+                rp.sv_rows
+            in
+            let failures =
+              List.length
+                (List.filter
+                   (fun (r : server_row) ->
+                     String.equal r.sv_cls cls
+                     && String.equal r.sv_scheme name
+                     && r.sv_failed)
+                   rp.sv_rows)
+            in
+            if rs = [] && failures = 0 then "-"
+            else begin
+              let tl = server_tally_of rs in
+              let restarts =
+                List.fold_left (fun a (r : server_row) -> a + r.sv_restarts) 0 rs
+              in
+              Printf.sprintf "%.2f%% (%s) %dre%s"
+                (100.0 *. Server_fault.availability tl)
+                (Server_fault.tally_str tl) restarts
+                (if failures > 0 then Printf.sprintf " %dF" failures else "")
+            end)
+          rp.sv_report_schemes
+      in
+      Table.add_row t (cls :: cells))
+    Server_fault.all_class_names;
+  t
+
+(* The server release gates: under every ROLoad scheme every cell must
+   keep availability at or above the floor with zero corrupted payloads;
+   crashed cells are counted separately. *)
+type server_gate = {
+  sg_low_availability : int;
+  sg_corrupted_under_roload : int;
+  sg_cell_failures : int;
+}
+
+let availability_floor = 0.99
+
+let server_gate (rp : server_report) =
+  let roload_names =
+    List.filter_map
+      (fun s -> if List.mem s roload_schemes then Some (Pass.scheme_name s) else None)
+      rp.sv_report_schemes
+  in
+  let under_roload (r : server_row) = List.exists (String.equal r.sv_scheme) roload_names in
+  {
+    sg_low_availability =
+      List.length
+        (List.filter
+           (fun (r : server_row) ->
+             under_roload r && (not r.sv_failed)
+             && Server_fault.availability r.sv_tally < availability_floor)
+           rp.sv_rows);
+    sg_corrupted_under_roload =
+      List.length
+        (List.filter
+           (fun (r : server_row) ->
+             under_roload r && r.sv_tally.Server_fault.corrupted > 0)
+           rp.sv_rows);
+    sg_cell_failures =
+      List.length (List.filter (fun (r : server_row) -> r.sv_failed) rp.sv_rows);
+  }
+
+let render_server (rp : server_report) =
+  let g = server_gate rp in
+  Table.render (availability_table rp)
+  ^ Printf.sprintf
+      "\n\
+       cells: %d   requests/cell: %d   low-availability-under-roload: %d   \
+       corrupted-under-roload: %d   cell-failures: %d\n"
+      (List.length rp.sv_rows) rp.sv_report_requests g.sg_low_availability
+      g.sg_corrupted_under_roload g.sg_cell_failures
+
+let server_to_json (rp : server_report) =
+  let row_json (r : server_row) =
+    Json.obj
+      [
+        ("index", Json.int r.sv_index);
+        ("scheme", Json.str r.sv_scheme);
+        ("class", Json.str r.sv_cls);
+        ("label", Json.str r.sv_label);
+        ("worker_slot", Json.int r.sv_worker);
+        ("trigger", Json.int r.sv_trigger);
+        ("applied", Json.bool r.sv_applied);
+        ("attempts", Json.int r.sv_cell_attempts);
+        ("failed", Json.bool r.sv_failed);
+        ("served", Json.int r.sv_tally.Server_fault.served);
+        ("retried", Json.int r.sv_tally.Server_fault.retried);
+        ("duplicated", Json.int r.sv_tally.Server_fault.duplicated);
+        ("corrupted", Json.int r.sv_tally.Server_fault.corrupted);
+        ("lost", Json.int r.sv_tally.Server_fault.lost);
+        ("restarts", Json.int r.sv_restarts);
+        ("detail", Json.str r.sv_detail);
+      ]
+  in
+  let g = server_gate rp in
+  Json.obj
+    [
+      ( "schemes",
+        Json.arr
+          (List.map (fun s -> Json.str (Pass.scheme_name s)) rp.sv_report_schemes) );
+      ("requests", Json.int rp.sv_report_requests);
+      ("low_availability_under_roload", Json.int g.sg_low_availability);
+      ("corrupted_under_roload", Json.int g.sg_corrupted_under_roload);
+      ("cell_failures", Json.int g.sg_cell_failures);
+      ("rows", Json.arr (List.map row_json rp.sv_rows));
+    ]
+
+(* per-scheme availability over every non-failed cell — the figure the
+   bench-regression gate tracks for the roload schemes *)
+let served_ratios (rp : server_report) =
+  List.map
+    (fun s ->
+      let name = Pass.scheme_name s in
+      let rs =
+        List.filter
+          (fun (r : server_row) -> String.equal r.sv_scheme name && not r.sv_failed)
+          rp.sv_rows
+      in
+      (name, Server_fault.availability (server_tally_of rs)))
+    rp.sv_report_schemes

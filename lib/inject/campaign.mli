@@ -24,6 +24,11 @@ type config = {
   budget_factor : int;  (** watchdog = factor x baseline instructions *)
   checkpoint : string option;  (** incremental persistence file *)
   resume : bool;  (** skip cells already in the checkpoint *)
+  checkpoint_batch : int;
+      (** rows buffered per checkpoint flush (1 = historical
+          row-at-a-time appends); the tail is flushed on any exit,
+          including an exception escaping mid-campaign, and whole rows
+          are the flush unit so resumed files never hold torn lines *)
   sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
       (** test hook: raise from inside a chosen cell *)
   max_cells : int option;  (** test hook: simulate a mid-run kill *)
@@ -187,3 +192,90 @@ type replay_check = { rc_scheme : string; rc_expected : string; rc_actual : stri
 val replay : path:string -> replay_check list
 (** Re-run a pinned corpus reproducer ([seed]/[entry]/[expect] lines)
     and report expected-vs-actual verdicts per scheme. *)
+
+(** {2 The live-server campaign}
+
+    Instead of pausing a single-process victim, each cell runs the full
+    multi-worker serving system (supervised workers, sharded request
+    device, redelivery) and strikes one chosen worker mid-stream — when
+    the device has handed out the entry's trigger count of requests.
+    Per-request outcomes are judged against the scheme's uninjected
+    baseline and folded into the serving-availability table.  Every
+    cell is deterministic (handout-count triggers, retire-count quanta,
+    pure-function restarts), so the table is byte-identical across
+    engines and [-j]. *)
+
+type server_config = {
+  sv_seed : int64;
+  sv_count : int;  (** plan length; cells = count x applicable schemes *)
+  sv_requests : int;  (** request-stream length per cell *)
+  sv_workers : int;  (** forked worker-pool size *)
+  sv_shards : int;  (** request-device shards *)
+  sv_schemes : Pass.scheme list;
+  sv_attempts : int;
+  sv_jobs : int option;
+  sv_time_slice : int option;
+  sv_engine : Roload_machine.Machine.engine option;
+  sv_max_restarts : int;  (** supervisor restart budget per worker *)
+  sv_deadline_cycles : int64;  (** per-request watchdog; 0 = off *)
+  sv_budget_factor : int;  (** cell fuel = factor x baseline instructions *)
+  sv_checkpoint : string option;
+  sv_resume : bool;
+  sv_checkpoint_batch : int;
+  sv_sabotage : (index:int -> scheme:Pass.scheme -> attempt:int -> unit) option;
+  sv_max_cells : int option;
+}
+
+val default_server_config : server_config
+
+val server_applicable : Pass.scheme -> Server_fault.kind -> bool
+(** Worker-kill is meaningful everywhere; tampers follow {!applicable}. *)
+
+type server_row = {
+  sv_index : int;
+  sv_scheme : string;
+  sv_cls : string;
+  sv_label : string;
+  sv_worker : int;
+  sv_trigger : int;  (** handout count the hook fired at *)
+  sv_applied : bool;
+  sv_cell_attempts : int;
+  sv_failed : bool;  (** crash containment: the cell itself blew up *)
+  sv_tally : Server_fault.tally;
+  sv_restarts : int;
+  sv_detail : string;
+}
+
+type server_report = {
+  sv_rows : server_row list;  (** sorted by (plan index, scheme position) *)
+  sv_report_schemes : Pass.scheme list;
+  sv_report_requests : int;
+}
+
+val run_server : server_config -> server_report
+(** Raises {!Broken_victim} when any scheme's uninjected baseline fails
+    to serve every request cleanly with zero restarts, or when baseline
+    checksums diverge across schemes. *)
+
+val availability_table : server_report -> Roload_util.Table.t
+(** The serving-availability table: one row per server injection class,
+    one column per scheme — correct-service percentage over the
+    ok/retried/duplicated/corrupted/lost tallies, plus restart counts. *)
+
+type server_gate = {
+  sg_low_availability : int;
+      (** ROLoad-scheme cells below the {!availability_floor} *)
+  sg_corrupted_under_roload : int;
+  sg_cell_failures : int;
+}
+
+val availability_floor : float
+(** The per-cell availability floor ROLoad schemes are held to (0.99). *)
+
+val server_gate : server_report -> server_gate
+val render_server : server_report -> string
+val server_to_json : server_report -> string
+
+val served_ratios : server_report -> (string * float) list
+(** Per-scheme availability over every non-failed cell — the
+    [served_ratio] figures the bench-regression gate tracks. *)

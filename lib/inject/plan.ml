@@ -43,3 +43,43 @@ let build ~seed ~count =
     end
   in
   go [] 0
+
+(* ---------- server plans ---------- *)
+
+(* The live-server taxonomy: the four per-worker tamper classes plus the
+   crash fault.  [Phys_flip] and [Writeback_drop] are deliberately
+   absent — see {!Server_fault}. *)
+let server_kind_of rng =
+  match Prng.next_int rng 5 with
+  | 0 ->
+    Server_fault.Tamper
+      (Fault.Pte_key_flip
+         { page_slot = Prng.next_int rng slot_range;
+           bit = Prng.next_int rng Pte.key_width })
+  | 1 ->
+    Server_fault.Tamper (Fault.Pte_make_writable { page_slot = Prng.next_int rng slot_range })
+  | 2 ->
+    Server_fault.Tamper
+      (Fault.Tlb_key_flip
+         { page_slot = Prng.next_int rng slot_range;
+           bit = Prng.next_int rng Pte.key_width })
+  | 3 ->
+    Server_fault.Tamper
+      (Fault.Ptr_redirect
+         (if Prng.next_bool rng then Fault.Vcall_sink else Fault.Icall_sink))
+  | _ -> Server_fault.Worker_kill
+
+let build_server ~seed ~count =
+  let rng = Prng.create seed in
+  let rec go acc index =
+    if index >= count then List.rev acc
+    else begin
+      let kind = server_kind_of rng in
+      let worker_slot = Prng.next_int rng slot_range in
+      (* steady-state band: every worker has served at least one request
+         (and so initialized its tamper surface) before the strike *)
+      let trigger_permille = Prng.next_in_range rng ~lo:250 ~hi:600 in
+      go ({ Server_fault.index; kind; worker_slot; trigger_permille } :: acc) (index + 1)
+    end
+  in
+  go [] 0

@@ -7,3 +7,8 @@ val build : seed:int64 -> count:int -> Fault.injection list
 (** [build ~seed ~count] is the plan; [(build ~seed ~count:n)] is a
     prefix of [(build ~seed ~count:(n+k))], so a corpus reproducer can
     name an entry by [(seed, index)] alone. *)
+
+val build_server : seed:int64 -> count:int -> Server_fault.injection list
+(** The live-server plan, with the same prefix-stability guarantee.
+    Draws from the server taxonomy (per-worker tampers + worker-kill);
+    triggers land in the steady-state band of the request stream. *)

@@ -1,0 +1,107 @@
+(* Server-aware fault plans: what roload-chaos injects into a *live*
+   request-serving system (the tentpole of the fault-tolerant-serving
+   PR), as opposed to the single-process victim of the classic campaign.
+
+   A server injection strikes one chosen worker mid-stream — when the
+   kernel's request device has handed out [trigger_request] requests —
+   either by tampering that worker's state through the classic injector
+   backdoors ([Tamper]) or by killing it outright ([Worker_kill], the
+   crash-fault the supervisor is meant to absorb).
+
+   The tamper sub-taxonomy deliberately excludes two classic classes:
+     - [Phys_flip] corrupts a *shared* read-only frame, so the damage
+       survives the supervisor's restart-from-pristine-image — no
+       bounded-restart policy can serve through it, and charging the
+       supervisor for it would say nothing about serving availability;
+     - [Writeback_drop] arms a machine-global cache interceptor that
+       bleeds into every task including the root, not "one worker".
+   Both remain covered by the classic campaign. *)
+
+type kind =
+  | Tamper of Fault.kind (* pte-key-flip | pte-ro-tamper | tlb-key-flip | ptr-redirect *)
+  | Worker_kill
+
+type injection = {
+  index : int;
+  kind : kind;
+  worker_slot : int; (* abstract; resolved mod the live worker count *)
+  trigger_permille : int;
+      (* when to strike, as a fraction of the request count — drawn in
+         the steady-state band (25%..60% in) so every worker has booted
+         and initialized its tamper surface before the fault lands *)
+}
+
+let class_name = function
+  | Tamper k -> Fault.class_name k
+  | Worker_kill -> "worker-kill"
+
+(* the server campaign's class axis (availability-table rows) *)
+let all_class_names =
+  [ "pte-key-flip"; "pte-ro-tamper"; "tlb-key-flip"; "ptr-redirect"; "worker-kill" ]
+
+let kind_label = function
+  | Tamper k -> Fault.kind_label k
+  | Worker_kill -> "worker-kill"
+
+(* ---------- per-request outcomes ---------- *)
+
+(* What happened to one request of an injected run, judged against the
+   uninjected baseline's committed result for the same request id. *)
+type request_outcome =
+  | Served (* committed once, correct, first delivery *)
+  | Retried_then_served (* correct, but only after redelivery *)
+  | Duplicated (* correct, but committed more than once *)
+  | Corrupted (* committed a result that differs from baseline *)
+  | Lost (* never committed *)
+
+let outcome_name = function
+  | Served -> "served"
+  | Retried_then_served -> "retried"
+  | Duplicated -> "duplicated"
+  | Corrupted -> "corrupted"
+  | Lost -> "lost"
+
+(* Classify one request record.  [baseline] is the uninjected run's
+   committed result for this id ([None] never happens for a healthy
+   victim — a missing baseline makes any commit Corrupted, which is the
+   conservative reading). *)
+let classify_record ~(baseline : int64 option)
+    (rr : Roload_kernel.Kernel.request_record) =
+  match rr.Roload_kernel.Kernel.rr_result with
+  | None -> Lost
+  | Some v ->
+    if rr.Roload_kernel.Kernel.rr_diverged || baseline <> Some v then Corrupted
+    else if rr.Roload_kernel.Kernel.rr_completions > 1 then Duplicated
+    else if rr.Roload_kernel.Kernel.rr_redeliveries > 0 then Retried_then_served
+    else Served
+
+type tally = {
+  served : int;
+  retried : int;
+  duplicated : int;
+  corrupted : int;
+  lost : int;
+}
+
+let empty_tally = { served = 0; retried = 0; duplicated = 0; corrupted = 0; lost = 0 }
+
+let tally_add t = function
+  | Served -> { t with served = t.served + 1 }
+  | Retried_then_served -> { t with retried = t.retried + 1 }
+  | Duplicated -> { t with duplicated = t.duplicated + 1 }
+  | Corrupted -> { t with corrupted = t.corrupted + 1 }
+  | Lost -> { t with lost = t.lost + 1 }
+
+let tally_requests t = t.served + t.retried + t.duplicated + t.corrupted + t.lost
+
+(* serving availability: the fraction of requests that came back with
+   the *correct* result (duplicates are idempotent first-wins commits,
+   so they count as served) *)
+let availability t =
+  let n = tally_requests t in
+  if n = 0 then 1.0
+  else float_of_int (t.served + t.retried + t.duplicated) /. float_of_int n
+
+let tally_str t =
+  Printf.sprintf "%dok %dretry %ddup %dcorrupt %dlost" t.served t.retried t.duplicated
+    t.corrupted t.lost

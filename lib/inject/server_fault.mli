@@ -1,0 +1,66 @@
+(** Server-aware fault taxonomy: injections that strike one chosen
+    worker of a live request-serving system mid-stream, and the
+    per-request outcome classification the serving-availability table is
+    built from.
+
+    The tamper sub-taxonomy reuses {!Fault.kind} but excludes
+    [Phys_flip] (corrupts a shared read-only frame, so it survives a
+    supervisor restart — no restart policy can serve through it) and
+    [Writeback_drop] (machine-global, not per-worker).  Both remain
+    covered by the classic single-process campaign. *)
+
+type kind =
+  | Tamper of Fault.kind
+      (** pte-key-flip, pte-ro-tamper, tlb-key-flip or ptr-redirect
+          applied to the chosen worker through the injector backdoors *)
+  | Worker_kill  (** crash-fault: SIGKILL the chosen worker *)
+
+type injection = {
+  index : int;
+  kind : kind;
+  worker_slot : int;  (** abstract; resolved mod the live worker count *)
+  trigger_permille : int;
+      (** when to strike, as a fraction (‰) of the request count; drawn
+          in the steady-state band so workers have initialized their
+          tamper surface before the fault lands *)
+}
+
+val class_name : kind -> string
+val kind_label : kind -> string
+
+val all_class_names : string list
+(** The availability-table row axis, in render order. *)
+
+(** {2 Per-request outcomes} *)
+
+type request_outcome =
+  | Served
+  | Retried_then_served
+  | Duplicated
+  | Corrupted
+  | Lost
+
+val outcome_name : request_outcome -> string
+
+val classify_record :
+  baseline:int64 option -> Roload_kernel.Kernel.request_record -> request_outcome
+(** Judge one request of an injected run against the uninjected
+    baseline's committed result for the same id. *)
+
+type tally = {
+  served : int;
+  retried : int;
+  duplicated : int;
+  corrupted : int;
+  lost : int;
+}
+
+val empty_tally : tally
+val tally_add : tally -> request_outcome -> tally
+val tally_requests : tally -> int
+
+val availability : tally -> float
+(** Fraction of requests that came back with the correct result
+    (duplicated commits are idempotent first-wins, so they count). *)
+
+val tally_str : tally -> string

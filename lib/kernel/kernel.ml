@@ -28,6 +28,9 @@ type config = {
   page_key_cycles : int; (* extra per page whose key is set (modified kernel) *)
   fault_cycles : int; (* page-fault handling before the process dies *)
   context_switch_cycles : int; (* scheduler: save/restore + address-space swap *)
+  queue_cycles_per_waiter : int;
+      (* request-device contention: serialization charged per hand-out for
+         every other live worker assigned to the same shard *)
 }
 
 let default_config =
@@ -38,6 +41,7 @@ let default_config =
     page_key_cycles = 2;
     fault_cycles = 400;
     context_switch_cycles = 120;
+    queue_cycles_per_waiter = 4;
   }
 
 let stock_kernel_config = { default_config with roload_kernel = false }
@@ -52,18 +56,47 @@ let stock_kernel_config = { default_config with roload_kernel = false }
 type task_state =
   | Task_ready
   | Task_waiting (* blocked in wait(); pc still points at the ecall *)
+  | Task_waiting_req (* blocked in read_request until a redelivery or drain *)
   | Task_zombie of int (* terminal status awaiting a parent's wait() *)
   | Task_reaped
+
+(* A supervised worker's birth certificate: a pristine clone of its
+   address space taken at fork time, plus the registers/pc it was born
+   with.  Reincarnation clones a fresh address space from [b_proc] (the
+   template itself is never scheduled and never mutated), so a restart
+   starts from exactly the state the first incarnation did — tamper
+   applied to a dead incarnation's PTEs/TLB/globals dies with it. *)
+type birth = {
+  b_proc : Process.t;
+  b_regs : int64 array;
+  b_pc : int;
+}
 
 type task = {
   pid : int;
   parent : int; (* 0 for the root task, which has no parent *)
-  proc : Process.t;
+  mutable proc : Process.t; (* replaced wholesale on reincarnation *)
   t_regs : int64 array; (* saved register file (32 slots) *)
   mutable t_pc : int;
   mutable t_state : task_state;
   mutable t_inflight : int; (* request id being served; -1 when none *)
   mutable t_req_start : int64; (* cycle stamp when the request was handed out *)
+  mutable t_asid : int;
+      (* trace-table owner; starts as pid, refreshed on reincarnation
+         because compiled traces capture the MMU of the address space
+         they were compiled under and ASIDs must never be reused *)
+  mutable t_restarts : int; (* reincarnations consumed by this pid *)
+  mutable t_birth : birth option; (* present iff forked under supervision *)
+}
+
+(* Supervision policy for forked workers: [max_restarts] bounds
+   per-worker reincarnations; [deadline_cycles] > 0 arms the per-request
+   watchdog (a worker whose inflight request is older than the deadline
+   is killed at the next scheduler entry — deterministic, because cycle
+   counts at kernel entries are exact across engines). *)
+type supervision = {
+  max_restarts : int;
+  deadline_cycles : int64; (* 0 = no deadline watchdog *)
 }
 
 type t = {
@@ -77,11 +110,28 @@ type t = {
   mutable next_pid : int;
   mutable scheduled : task option; (* whose registers live in the CPU *)
   console : Buffer.t; (* interleaved write() output of every task *)
-  (* the simulated request-source device *)
-  mutable req_stream : int array;
-  mutable req_next : int; (* next request id to hand out *)
+  (* the simulated request-source device, sharded: pending ids live in
+     per-shard FIFO queues (id mod shards); workers pull from their own
+     shard first and steal in deterministic order when it runs dry *)
+  mutable req_stream : int array; (* payloads, by request id *)
+  mutable req_queues : int Queue.t array; (* pending ids per shard *)
   mutable req_done : int; (* requests completed *)
   mutable req_latencies : int64 array; (* by request id; -1 = unfinished *)
+  (* per-request delivery accounting (at-least-once bookkeeping) *)
+  mutable req_handouts : int array;
+  mutable req_redeliveries : int array;
+  mutable req_completions : int array;
+  mutable req_has_result : bool array; (* an explicit ack committed a result *)
+  mutable req_result : int64 array; (* first committed result *)
+  mutable req_diverged : bool array; (* a later ack committed a different result *)
+  mutable inflight_count : int; (* handed out, not yet acked *)
+  mutable handouts_total : int; (* hand-outs across all requests (trigger clock) *)
+  mutable committed_sum : int64; (* fold of first results, mod 1_000_003 *)
+  mutable supervision : supervision option;
+  mutable restart_count : int; (* reincarnations across all pids *)
+  mutable req_hook : (int * (t -> unit)) option;
+      (* one-shot chaos trigger: fires inside read_request just before
+         hand-out number [at] (deterministic across engines) *)
   (* frames shared read-only across address spaces after fork, with the
      number of address spaces referencing them (only entries >= 2 are
      kept); mprotect splits a shared frame before granting write access *)
@@ -103,9 +153,21 @@ let create ~machine ~config =
     scheduled = None;
     console = Buffer.create 256;
     req_stream = [||];
-    req_next = 0;
+    req_queues = [||];
     req_done = 0;
     req_latencies = [||];
+    req_handouts = [||];
+    req_redeliveries = [||];
+    req_completions = [||];
+    req_has_result = [||];
+    req_result = [||];
+    req_diverged = [||];
+    inflight_count = 0;
+    handouts_total = 0;
+    committed_sum = 0L;
+    supervision = None;
+    restart_count = 0;
+    req_hook = None;
     frame_refs = Hashtbl.create 64;
   }
 
@@ -144,9 +206,21 @@ let fork img ~machine ~config =
     scheduled = None;
     console = Buffer.create 256;
     req_stream = [||];
-    req_next = 0;
+    req_queues = [||];
     req_done = 0;
     req_latencies = [||];
+    req_handouts = [||];
+    req_redeliveries = [||];
+    req_completions = [||];
+    req_has_result = [||];
+    req_result = [||];
+    req_diverged = [||];
+    inflight_count = 0;
+    handouts_total = 0;
+    committed_sum = 0L;
+    supervision = None;
+    restart_count = 0;
+    req_hook = None;
     frame_refs = Hashtbl.create 64;
   }
 
@@ -433,6 +507,7 @@ let triage_kind (signal : Signal.t) =
   | Signal.Sigbus _ -> "sigbus"
   | Signal.Sigsegv (Signal.Roload_violation _) -> "roload"
   | Signal.Sigsegv (Signal.Access_violation _) -> "segv"
+  | Signal.Sigkill _ -> "kill"
 
 let trap_pc (trap : Trap.t) =
   match trap with
@@ -522,19 +597,78 @@ let exec ?(limit = no_limit) t exe =
 
 let console t = Buffer.contents t.console
 
-let set_requests t payloads =
+let set_requests ?(shards = 1) t payloads =
+  let shards = max 1 shards in
+  let n = Array.length payloads in
   t.req_stream <- Array.copy payloads;
-  t.req_next <- 0;
+  t.req_queues <- Array.init shards (fun _ -> Queue.create ());
+  for id = 0 to n - 1 do
+    Queue.push id t.req_queues.(id mod shards)
+  done;
   t.req_done <- 0;
-  t.req_latencies <- Array.make (Array.length payloads) (-1L)
+  t.req_latencies <- Array.make n (-1L);
+  t.req_handouts <- Array.make n 0;
+  t.req_redeliveries <- Array.make n 0;
+  t.req_completions <- Array.make n 0;
+  t.req_has_result <- Array.make n false;
+  t.req_result <- Array.make n 0L;
+  t.req_diverged <- Array.make n false;
+  t.inflight_count <- 0;
+  t.handouts_total <- 0;
+  t.committed_sum <- 0L
 
 let requests_served t = t.req_done
 
 let request_latencies t =
   Array.of_seq (Seq.filter (fun l -> l >= 0L) (Array.to_seq t.req_latencies))
 
+(* Per-request delivery record (the availability table's raw material). *)
+type request_record = {
+  rr_payload : int;
+  rr_handouts : int;
+  rr_redeliveries : int;
+  rr_completions : int;
+  rr_result : int64 option; (* first explicitly committed result *)
+  rr_diverged : bool; (* a later ack committed a different result *)
+  rr_latency : int64; (* hand-out -> first completion, cycles; -1 = never *)
+}
+
+let request_records t =
+  Array.init (Array.length t.req_stream) (fun id ->
+      {
+        rr_payload = t.req_stream.(id);
+        rr_handouts = t.req_handouts.(id);
+        rr_redeliveries = t.req_redeliveries.(id);
+        rr_completions = t.req_completions.(id);
+        rr_result = (if t.req_has_result.(id) then Some t.req_result.(id) else None);
+        rr_diverged = t.req_diverged.(id);
+        rr_latency = t.req_latencies.(id);
+      })
+
+let server_checksum t = t.committed_sum
+let set_supervision t sup = t.supervision <- sup
+let restarts_total t = t.restart_count
+let set_request_hook t ~at hook = t.req_hook <- Some (max 0 at, hook)
+
 let task_statuses t = List.map (fun tk -> (tk.pid, Process.status tk.proc)) t.tasks
+let task_restarts t = List.map (fun tk -> (tk.pid, tk.t_restarts)) t.tasks
 let find_task t pid = List.find_opt (fun tk -> tk.pid = pid) t.tasks
+let task_process t pid = Option.map (fun tk -> tk.proc) (find_task t pid)
+
+let task_inflight t pid =
+  match find_task t pid with Some tk -> tk.t_inflight | None -> -1
+
+let worker_pids t =
+  List.filter_map (fun tk -> if tk.parent <> 0 then Some tk.pid else None) t.tasks
+
+let kill_task t ~pid ~info =
+  match find_task t pid with
+  | Some tk
+    when (match tk.t_state with Task_zombie _ | Task_reaped -> false | _ -> true)
+         && Process.status tk.proc = Process.Running ->
+    Process.set_status tk.proc (Process.Killed (Signal.Sigkill { info }));
+    true
+  | _ -> false
 
 (* Fork the parent's address space inside the same physical memory.
    Writable pages are copied eagerly ("copy on fork" — cheap at these
@@ -596,6 +730,9 @@ let new_task t ~pid ~parent proc ~regs ~pc =
       t_state = Task_ready;
       t_inflight = -1;
       t_req_start = 0L;
+      t_asid = pid;
+      t_restarts = 0;
+      t_birth = None;
     }
   in
   t.tasks <- t.tasks @ [ tk ];
@@ -625,33 +762,149 @@ let context_switch t tk =
     | None -> ());
     Array.blit tk.t_regs 0 (Cpu.regs cpu) 0 32;
     Cpu.set_pc cpu tk.t_pc;
-    Machine.switch_context t.machine ~asid:tk.pid ~mmu:(Process.mmu tk.proc);
+    Machine.switch_context t.machine ~asid:tk.t_asid ~mmu:(Process.mmu tk.proc);
     t.scheduled <- Some tk;
     t.current <- Some tk.proc;
     charge t t.config.context_switch_cycles
 
-(* Complete the request [tk] is serving: stamp its latency and tell the
-   tracer.  Completion happens when the task asks for the next request
-   (or exits with one still in flight). *)
-let complete_request t tk =
+(* How many requests are still queued across every shard. *)
+let pending_requests t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.req_queues
+
+(* Wake every task blocked in read_request: a redelivery gave them work,
+   or the stream drained and they must observe the -1. *)
+let wake_req_waiters t =
+  List.iter
+    (fun tk -> if tk.t_state = Task_waiting_req then tk.t_state <- Task_ready)
+    t.tasks
+
+(* Ack the request [tk] is serving.  The first completion stamps the
+   latency and counts the request served; an explicit ack ([result])
+   additionally commits the result into the device's order-independent
+   checksum (first committed result wins — later duplicates only set the
+   divergence flag).  Implicit acks (next read_request, clean exit)
+   carry no result. *)
+let ack_request t tk ~result =
   if tk.t_inflight >= 0 then begin
-    let latency = Int64.sub (Cpu.cycles (Machine.cpu t.machine)) tk.t_req_start in
-    t.req_latencies.(tk.t_inflight) <- latency;
-    t.req_done <- t.req_done + 1;
-    emit t
-      (Roload_obs.Event.Request_done
-         { pid = tk.pid; id = tk.t_inflight; latency = Int64.to_int latency });
-    tk.t_inflight <- -1
+    let id = tk.t_inflight in
+    tk.t_inflight <- -1;
+    t.inflight_count <- t.inflight_count - 1;
+    let first = t.req_completions.(id) = 0 in
+    t.req_completions.(id) <- t.req_completions.(id) + 1;
+    if first then begin
+      let latency = Int64.sub (Cpu.cycles (Machine.cpu t.machine)) tk.t_req_start in
+      t.req_latencies.(id) <- latency;
+      t.req_done <- t.req_done + 1;
+      emit t
+        (Roload_obs.Event.Request_done { pid = tk.pid; id; latency = Int64.to_int latency })
+    end;
+    (match result with
+    | Some r ->
+      if not t.req_has_result.(id) then begin
+        t.req_has_result.(id) <- true;
+        t.req_result.(id) <- r;
+        let m = 1_000_003L in
+        let r' = Int64.rem (Int64.add (Int64.rem r m) m) m in
+        t.committed_sum <- Int64.rem (Int64.add t.committed_sum r') m
+      end
+      else if t.req_result.(id) <> r then t.req_diverged.(id) <- true
+    | None -> ());
+    if pending_requests t = 0 && t.inflight_count = 0 then wake_req_waiters t
   end
 
-(* Terminal path (exit or fatal signal): finish any inflight request,
-   become a zombie holding [status_code], wake a parent blocked in
-   wait(). *)
-let finish_task t tk status_code =
-  complete_request t tk;
+(* A dead worker's un-acked request goes back to its shard queue
+   (at-least-once delivery); anyone blocked on an empty device is woken
+   to pick it up. *)
+let requeue_inflight t tk =
+  if tk.t_inflight >= 0 then begin
+    let id = tk.t_inflight in
+    tk.t_inflight <- -1;
+    t.inflight_count <- t.inflight_count - 1;
+    t.req_redeliveries.(id) <- t.req_redeliveries.(id) + 1;
+    let shards = Array.length t.req_queues in
+    if shards > 0 then Queue.push id t.req_queues.(id mod shards);
+    emit t
+      (Roload_obs.Event.Request_redelivered { id; attempt = t.req_redeliveries.(id) });
+    wake_req_waiters t
+  end
+
+let make_zombie t tk status_code =
   tk.t_state <- Task_zombie status_code;
   match find_task t tk.parent with
   | Some p when p.t_state = Task_waiting -> p.t_state <- Task_ready
+  | _ -> ()
+
+(* Terminal path for a clean exit: the inflight request (if any) is
+   implicitly acked — the worker finished the work, it just exited
+   before asking for more. *)
+let finish_task t tk status_code =
+  ack_request t tk ~result:None;
+  make_zombie t tk status_code
+
+(* Reincarnate a supervised worker in place: fresh address space cloned
+   from the birth template, registers/pc reset to the birth record, same
+   pid (the parent's wait() accounting and the pid-ascending task order
+   are untouched).  The ASID is refreshed — compiled traces capture the
+   MMU they were lowered under, and the dead incarnation's table must
+   never run against the new address space. *)
+let reincarnate t tk b =
+  tk.t_restarts <- tk.t_restarts + 1;
+  t.restart_count <- t.restart_count + 1;
+  tk.proc <- clone_process t b.b_proc;
+  Array.blit b.b_regs 0 tk.t_regs 0 32;
+  tk.t_pc <- b.b_pc;
+  tk.t_state <- Task_ready;
+  tk.t_inflight <- -1;
+  tk.t_asid <- t.next_pid;
+  t.next_pid <- t.next_pid + 1;
+  (* defeat [context_switch]'s same-task short-circuit: the next dispatch
+     of this task must install the fresh MMU, not the dead one *)
+  (match t.scheduled with Some cur when cur == tk -> t.scheduled <- None | _ -> ());
+  charge t t.config.context_switch_cycles;
+  emit t (Roload_obs.Event.Worker_restart { pid = tk.pid; restarts = tk.t_restarts })
+
+(* Death by signal/kill: redeliver the un-acked inflight request, then
+   either reincarnate (supervised, budget left) or zombify through the
+   normal wait ABI. *)
+let task_dead t tk status_code =
+  requeue_inflight t tk;
+  match (tk.t_birth, t.supervision) with
+  | Some b, Some sup when tk.t_restarts < sup.max_restarts -> reincarnate t tk b
+  | _ -> make_zombie t tk status_code
+
+(* Sweep for tasks killed outside their own execution (the deadline
+   watchdog, an external chaos kill) and for a clean-exit status set by
+   a hook; runs at every scheduler entry, before picking. *)
+let reap_external t =
+  List.iter
+    (fun tk ->
+      match tk.t_state with
+      | Task_ready | Task_waiting | Task_waiting_req -> (
+        match Process.status tk.proc with
+        | Process.Running -> ()
+        | Process.Killed sg ->
+          emit t (Roload_obs.Event.Fault_triage { kind = triage_kind sg; pc = tk.t_pc });
+          task_dead t tk (-1)
+        | Process.Exited code -> finish_task t tk code)
+      | Task_zombie _ | Task_reaped -> ())
+    t.tasks
+
+(* The deadline watchdog: mark overdue workers killed; [reap_external]
+   processes the deaths.  Checked at scheduler entries only, so the kill
+   points are instret/cycle-exact across engines. *)
+let check_deadlines t =
+  match t.supervision with
+  | Some { deadline_cycles; _ } when deadline_cycles > 0L ->
+    let now = Cpu.cycles (Machine.cpu t.machine) in
+    List.iter
+      (fun tk ->
+        match tk.t_state with
+        | (Task_ready | Task_waiting | Task_waiting_req)
+          when tk.t_inflight >= 0
+               && Process.status tk.proc = Process.Running
+               && Int64.compare (Int64.sub now tk.t_req_start) deadline_cycles > 0 ->
+          Process.set_status tk.proc (Process.Killed (Signal.Sigkill { info = "deadline" }))
+        | _ -> ())
+      t.tasks
   | _ -> ()
 
 (* Write the 8-byte little-endian wait() status, all-or-nothing: an
@@ -704,6 +957,16 @@ let handle_syscall_mp t tk =
       new_task t ~pid ~parent:tk.pid child_proc ~regs:(Cpu.regs cpu) ~pc:(Cpu.pc cpu + 4)
     in
     child.t_regs.(Reg.to_int Reg.a0) <- 0L;
+    (* under supervision, capture the child's birth certificate: a second
+       pristine clone of the parent's address space plus the birth
+       registers, so a crashed incarnation can be restarted from exactly
+       this state no matter what was tampered in the meantime *)
+    (match t.supervision with
+    | Some _ ->
+      child.t_birth <-
+        Some { b_proc = clone_process t tk.proc; b_regs = Array.copy child.t_regs;
+               b_pc = child.t_pc }
+    | None -> ());
     finish pid;
     Keep
   end
@@ -732,7 +995,10 @@ let handle_syscall_mp t tk =
         List.exists
           (fun c ->
             child_of c
-            && match c.t_state with Task_ready | Task_waiting -> true | _ -> false)
+            &&
+            match c.t_state with
+            | Task_ready | Task_waiting | Task_waiting_req -> true
+            | Task_zombie _ | Task_reaped -> false)
           t.tasks
       in
       if alive then begin
@@ -745,15 +1011,91 @@ let handle_syscall_mp t tk =
       end
   end
   else if num = Syscall.sys_read_request then begin
-    complete_request t tk;
-    if t.req_next < Array.length t.req_stream then begin
-      let id = t.req_next in
-      t.req_next <- id + 1;
-      tk.t_inflight <- id;
-      tk.t_req_start <- Cpu.cycles cpu;
-      finish t.req_stream.(id)
+    (* asking for the next request implicitly acks the previous one *)
+    ack_request t tk ~result:None;
+    (* the chaos trigger fires here, once, just before hand-out [at] —
+       the hand-out counter is the deterministic request-count clock *)
+    (match t.req_hook with
+    | Some (at, hook) when t.handouts_total >= at ->
+      t.req_hook <- None;
+      hook t
+    | _ -> ());
+    if Process.status tk.proc <> Process.Running then begin
+      (* the hook killed the calling task mid-syscall *)
+      (match Process.status tk.proc with
+      | Process.Killed sg ->
+        emit t (Roload_obs.Event.Fault_triage { kind = triage_kind sg; pc = Cpu.pc cpu });
+        task_dead t tk (-1)
+      | Process.Exited code -> finish_task t tk code
+      | Process.Running -> ());
+      Switch
     end
-    else finish (-1);
+    else begin
+      let shards = Array.length t.req_queues in
+      if shards = 0 then begin
+        finish (-1);
+        Keep
+      end
+      else begin
+        let own = tk.pid mod shards in
+        (* own shard first, then steal in deterministic scan order *)
+        let rec pick i =
+          if i >= shards then None
+          else
+            let s = (own + i) mod shards in
+            if Queue.is_empty t.req_queues.(s) then pick (i + 1)
+            else Some (Queue.pop t.req_queues.(s), s)
+        in
+        match pick 0 with
+        | Some (id, shard) ->
+          t.req_handouts.(id) <- t.req_handouts.(id) + 1;
+          t.handouts_total <- t.handouts_total + 1;
+          tk.t_inflight <- id;
+          t.inflight_count <- t.inflight_count + 1;
+          tk.t_req_start <- Cpu.cycles cpu;
+          (* modeled shard contention: hand-out serializes against every
+             other live worker assigned to the same shard *)
+          let waiters =
+            List.fold_left
+              (fun acc w ->
+                if
+                  w != tk && w.parent <> 0
+                  && w.pid mod shards = shard
+                  && (match w.t_state with
+                     | Task_ready | Task_waiting_req -> true
+                     | Task_waiting | Task_zombie _ | Task_reaped -> false)
+                  && Process.status w.proc = Process.Running
+                then acc + 1
+                else acc)
+              0 t.tasks
+          in
+          charge t (t.config.queue_cycles_per_waiter * waiters);
+          finish t.req_stream.(id);
+          Keep
+        | None ->
+          if t.inflight_count > 0 then begin
+            (* a dead worker may still return its request: block without
+               advancing the pc and re-execute the ecall when woken *)
+            tk.t_state <- Task_waiting_req;
+            Switch
+          end
+          else begin
+            finish (-1);
+            Keep
+          end
+      end
+    end
+  end
+  else if num = Syscall.sys_complete_request then begin
+    if tk.t_inflight < 0 then finish Syscall.einval
+    else begin
+      ack_request t tk ~result:(Some (Cpu.get cpu Reg.a0));
+      finish 0
+    end;
+    Keep
+  end
+  else if num = Syscall.sys_server_checksum then begin
+    finish (Int64.to_int t.committed_sum);
     Keep
   end
   else begin
@@ -820,7 +1162,7 @@ let run_all ?(limit = no_limit) ?(time_slice = 20_000) t =
           emit t (Roload_obs.Event.Fault_triage { kind = "sigill"; pc = Cpu.pc cpu });
           Process.set_status tk.proc
             (Process.Killed (Signal.Sigill { pc = Cpu.pc cpu; info = "ebreak" }));
-          finish_task t tk (-1);
+          task_dead t tk (-1);
           next ()
         | Machine.Trap trap -> (
           charge t t.config.fault_cycles;
@@ -830,12 +1172,14 @@ let run_all ?(limit = no_limit) ?(time_slice = 20_000) t =
               (Roload_obs.Event.Fault_triage
                  { kind = triage_kind signal; pc = trap_pc trap });
             Process.set_status tk.proc (Process.Killed signal);
-            finish_task t tk (-1);
+            task_dead t tk (-1);
             next ()
           | None -> loop tk quantum_end)
       end
     end
   and next () =
+    check_deadlines t;
+    reap_external t;
     match pick_next () with
     | None -> () (* every task terminal, or everyone blocked: stop *)
     | Some tk ->

@@ -14,6 +14,9 @@ type config = {
   fault_cycles : int;
   context_switch_cycles : int;
       (** scheduler dispatch: register save/restore + address-space swap *)
+  queue_cycles_per_waiter : int;
+      (** request-device contention: cycles charged per hand-out for every
+          other live worker assigned to the same shard *)
 }
 
 val default_config : config
@@ -91,16 +94,85 @@ val exec : ?limit:run_limit -> t -> Roload_obj.Exe.t -> Process.t * run_outcome
     child exits; [read_request] pulls the next payload from the
     simulated request-source device. *)
 
-val set_requests : t -> int array -> unit
-(** Load the request-source device with a payload stream.  Request ids
-    are stream indices; latency is measured from hand-out to the serving
-    task's next [read_request] (or exit). *)
+val set_requests : ?shards:int -> t -> int array -> unit
+(** Load the request-source device with a payload stream, dealt into
+    [shards] FIFO queues (request id mod [shards]; default 1).  Request
+    ids are stream indices; latency is measured from hand-out to the
+    serving task's first ack ([complete_request], the next
+    [read_request], or a clean exit).  A worker whose own shard runs dry
+    steals from the others in deterministic scan order; when every shard
+    is empty but requests are still in flight elsewhere, [read_request]
+    blocks (a dead worker's request may yet be redelivered) and returns
+    -1 only once the stream has fully drained. *)
 
 val requests_served : t -> int
 (** Requests whose service has completed. *)
 
 val request_latencies : t -> int64 array
 (** Cycle latencies of completed requests, in request-id order. *)
+
+type request_record = {
+  rr_payload : int;
+  rr_handouts : int;
+  rr_redeliveries : int;  (** times taken back from a dead worker and requeued *)
+  rr_completions : int;
+  rr_result : int64 option;  (** first explicitly committed result *)
+  rr_diverged : bool;  (** a later ack committed a different result *)
+  rr_latency : int64;  (** hand-out → first completion, cycles; -1 = never *)
+}
+
+val request_records : t -> request_record array
+(** Per-request delivery records, in request-id order — the raw material
+    of the serving-availability table. *)
+
+val server_checksum : t -> int64
+(** Order-independent fold (mod 1_000_003) of every first explicitly
+    committed result.  Kernel-owned, so it survives worker kills and
+    restarts — the payload-multiset checksum the redelivery invariant is
+    stated over. *)
+
+type supervision = {
+  max_restarts : int;  (** per-worker reincarnation budget *)
+  deadline_cycles : int64;
+      (** per-request deadline in simulated cycles; 0 disables the watchdog *)
+}
+
+val set_supervision : t -> supervision option -> unit
+(** Arm (or disarm) worker supervision.  While armed, [fork] captures a
+    pristine birth template of the child; a worker that dies from a
+    signal — ld.ro trap, segv, check abort, deadline or chaos kill — has
+    its un-acked request redelivered and is reincarnated in place from
+    the template (same pid, fresh address space and ASID) while budget
+    remains, after which it zombifies normally through the wait ABI.
+    [None] (the default) preserves the unsupervised PR-9 semantics. *)
+
+val restarts_total : t -> int
+(** Reincarnations performed across all pids. *)
+
+val task_restarts : t -> (int * int) list
+(** [(pid, restarts)] per task, pid-ascending. *)
+
+val set_request_hook : t -> at:int -> (t -> unit) -> unit
+(** Install a one-shot hook that fires inside [read_request] just before
+    hand-out number [at] (0-based across all requests) — the
+    deterministic request-count trigger of server chaos campaigns.  The
+    hook may tamper a worker's state or [kill_task] any task, including
+    the caller. *)
+
+val kill_task : t -> pid:int -> info:string -> bool
+(** Mark the task killed (SIGKILL carrying [info]); the scheduler reaps
+    it at the next scheduler entry.  False when there is no such live
+    running task. *)
+
+val worker_pids : t -> int list
+(** Pids of every non-root task ever created, pid-ascending. *)
+
+val task_process : t -> int -> Process.t option
+(** The process currently embodying [pid] (the latest incarnation). *)
+
+val task_inflight : t -> int -> int
+(** The request id [pid] currently holds un-acked, or -1.  Lets chaos
+    hooks target a worker whose death actually forces a redelivery. *)
 
 val console : t -> string
 (** The interleaved write() output of every task, in service order. *)

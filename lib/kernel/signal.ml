@@ -16,6 +16,10 @@ type t =
   | Sigsegv of segv_reason
   | Sigill of { pc : int; info : string }
   | Sigbus of { va : int }
+  | Sigkill of { info : string }
+      (* kernel-originated kill: the deadline watchdog ("deadline") or an
+         external chaos kill ("chaos") — never raised by the faulting
+         process itself *)
 
 let to_string = function
   | Sigsegv (Access_violation { va; access }) ->
@@ -27,7 +31,8 @@ let to_string = function
       va pc key_requested page_key (Roload_mem.Perm.to_string page_perms)
   | Sigill { pc; info } -> Printf.sprintf "SIGILL (at 0x%x: %s)" pc info
   | Sigbus { va } -> Printf.sprintf "SIGBUS (misaligned access at 0x%x)" va
+  | Sigkill { info } -> Printf.sprintf "SIGKILL (%s)" info
 
 let is_roload_violation = function
   | Sigsegv (Roload_violation _) -> true
-  | Sigsegv (Access_violation _) | Sigill _ | Sigbus _ -> false
+  | Sigsegv (Access_violation _) | Sigill _ | Sigbus _ | Sigkill _ -> false

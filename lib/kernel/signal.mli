@@ -14,6 +14,9 @@ type t =
   | Sigsegv of segv_reason
   | Sigill of { pc : int; info : string }
   | Sigbus of { va : int }
+  | Sigkill of { info : string }
+      (** Kernel-originated kill: the per-request deadline watchdog
+          ("deadline") or an external chaos kill ("chaos"). *)
 
 val to_string : t -> string
 val is_roload_violation : t -> bool

@@ -15,6 +15,8 @@ let sys_mprotect = 226
 let sys_fork = 220 (* Linux: clone *)
 let sys_wait = 260 (* Linux: wait4; a0 = status va (0 = discard) *)
 let sys_read_request = 1024 (* request-source device: next payload or -1 *)
+let sys_complete_request = 1025 (* explicit ack: a0 = result committed for the inflight id *)
+let sys_server_checksum = 1026 (* fold of committed results (mod 1000003); survives worker kills *)
 
 (* prot bits, as in POSIX *)
 let prot_read = 1
@@ -45,4 +47,6 @@ let name = function
   | 220 -> "fork"
   | 260 -> "wait"
   | 1024 -> "read_request"
+  | 1025 -> "complete_request"
+  | 1026 -> "server_checksum"
   | n -> Printf.sprintf "unknown(%d)" n

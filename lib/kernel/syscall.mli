@@ -17,7 +17,20 @@ val sys_wait : int
 
 val sys_read_request : int
 (** The simulated request-source device: returns the next request
-    payload, or -1 once the stream is exhausted. *)
+    payload, or -1 once the stream is exhausted.  Blocks (re-executing
+    the ecall) while every shard is empty but requests are still in
+    flight on other workers — a dead worker's request may be
+    redelivered. *)
+
+val sys_complete_request : int
+(** Explicit idempotent ack of the caller's inflight request; a0 = the
+    result to commit (first committed result wins).  Returns 0, or
+    [einval] with nothing in flight. *)
+
+val sys_server_checksum : int
+(** Returns the kernel-side fold (mod 1_000_003) of every committed
+    result — an order-independent payload-multiset checksum that
+    survives worker kills and restarts. *)
 
 val prot_read : int
 val prot_write : int

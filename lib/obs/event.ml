@@ -59,6 +59,12 @@ type t =
          for the next one (or exited); [latency] in cycles *)
   | Injected of { kind : string; addr : int }
       (* roload-chaos applied a fault at this address (class in [kind]) *)
+  | Request_redelivered of { id : int; attempt : int }
+      (* the device took request [id] back from a dead worker and queued
+         it again; [attempt] counts redeliveries of this id so far *)
+  | Worker_restart of { pid : int; restarts : int }
+      (* the supervisor reincarnated task [pid] from its birth template;
+         [restarts] is the budget consumed by this pid so far *)
 
 let name = function
   | Retired { cls; _ } -> "retire:" ^ inst_class_name cls
@@ -76,13 +82,17 @@ let name = function
   | Syscall { name; _ } -> "syscall:" ^ name
   | Request_done _ -> "request"
   | Injected { kind; _ } -> "inject:" ^ kind
+  | Request_redelivered _ -> "redeliver"
+  | Worker_restart _ -> "restart"
 
 (* The lane each event renders on in trace viewers (Chrome's tid). *)
 let lane = function
   | Retired _ | Roload_issue _ | Roload_fault _ -> 1
   | Tlb_access _ | Cache_access _ -> 2
   | Block_enter _ | Block_decode _ -> 3
-  | Fault_triage _ | Syscall _ | Request_done _ | Injected _ -> 4
+  | Fault_triage _ | Syscall _ | Request_done _ | Injected _ | Request_redelivered _
+  | Worker_restart _ ->
+    4
 
 let lane_name = function
   | 1 -> "cpu"
@@ -113,6 +123,8 @@ let args ev =
   | Request_done { pid; id; latency } ->
     [ ("pid", J.int pid); ("id", J.int id); ("latency", J.int latency) ]
   | Injected { kind; addr } -> [ ("kind", J.str kind); ("addr", hex addr) ]
+  | Request_redelivered { id; attempt } -> [ ("id", J.int id); ("attempt", J.int attempt) ]
+  | Worker_restart { pid; restarts } -> [ ("pid", J.int pid); ("restarts", J.int restarts) ]
 
 let to_text_line ~ts ev =
   Printf.sprintf "%12Ld  %-16s  %s" ts (name ev)

@@ -40,6 +40,11 @@ type t =
           [latency] is hand-out → completion in cycles *)
   | Injected of { kind : string; addr : int }
       (** roload-chaos applied a fault at this address (class in [kind]) *)
+  | Request_redelivered of { id : int; attempt : int }
+      (** the device took request [id] back from a dead worker and queued
+          it again; [attempt] counts redeliveries of this id so far *)
+  | Worker_restart of { pid : int; restarts : int }
+      (** the supervisor reincarnated task [pid] from its birth template *)
 
 val name : t -> string
 val lane : t -> int

@@ -35,6 +35,7 @@ let classify_signal (sg : Signal.t) =
   | Signal.Sigsegv (Signal.Roload_violation _) -> Roload_fault
   | Signal.Sigsegv (Signal.Access_violation _) -> Segfault
   | Signal.Sigill { info = "ebreak"; _ } -> Check_abort
+  | Signal.Sigkill { info } -> Other_fault ("kill:" ^ info)
   | Signal.Sigill _ | Signal.Sigbus _ -> Other_fault (Signal.to_string sg)
 
 type stop =

@@ -1,25 +1,36 @@
 (* The request-serving macro-workload: a dispatch server in the C++
    style.  The root process forks a pool of workers; each worker pulls
-   payloads from the kernel's request-source device and dispatches them
+   payloads from the kernel's request-source device, dispatches them
    through a virtual-method handler table (the VCall surface) and an
-   indirect-call plugin table (the ICall surface).
+   indirect-call plugin table (the ICall surface), and explicitly acks
+   each result with complete_request so the kernel's order-independent
+   checksum survives worker kills and restarts.
 
    Which worker serves which request depends on the interleaving — and
    the interleaving differs between schemes, whose instruction streams
-   differ.  Handler state therefore only feeds private counters: every
-   request's checksum contribution is a pure function of its payload, so
-   the total the root prints is partition-independent and must come out
-   identical across schemes, engines and time slices. *)
+   differ.  Every request's committed result is a pure function of its
+   payload, so the device checksum the root prints is
+   partition-independent and must come out identical across schemes,
+   engines, time slices and shard counts.
+
+   The program also carries the chaos campaign's tamper surface under
+   the exact symbol names the injector resolves ([g], [fake_vtable],
+   [__vt$Evil], [callback], [twin_cb]), so server fault plans reuse
+   {!Roload_inject.Injector.apply} unchanged: [Evil] is a same-layout,
+   same-signature twin of [Handler] whose [handle] commits a clean but
+   wrong result — the canonical silent payload corruption a forged
+   vtable redirects into under stock/CFI. *)
 
 let name = "server"
 let cxx = true
 
-(* worker pool size the source below forks *)
+(* default worker pool size ([source] can fork more for sharded runs) *)
 let workers = 4
 
-let source ~scale:_ =
+let source_prefix =
   {|
 // request-dispatch server: fork a worker pool, drain the request device
+// with explicit per-request acks
 typedef int (*plugin_t)(int);
 
 int plug_sum(int x) {
@@ -41,6 +52,9 @@ int plug_rot(int x) {
   int hi = x >> 8;
   return ((lo << 12) + hi) % 1000003;
 }
+
+int benign_cb(int x) { return (x + 11) % 1000003; }
+int twin_cb(int x) { return (x + 12) % 1000003; }
 
 class Handler {
   int served;
@@ -88,7 +102,26 @@ class CryptoHandler : Handler {
   }
 };
 
+// same-layout, same-signature twin of Handler: the clean-but-wrong
+// result a forged vtable silently redirects into
+class Evil {
+  int served;
+  int acc;
+  virtual int handle(int payload) {
+    return (payload * 3 + 7) % 1000003;
+  }
+};
+
 plugin_t plugins[3];
+
+// the chaos tamper surface (writable globals are copied at fork, so
+// tamper lands in one chosen worker): forged-vtable scratch, the
+// vptr-swing victim pointer, the icall slot and its twin holder
+int fake_vtable[8];
+Handler *g;
+Evil *e;
+plugin_t callback;
+plugin_t twin_holder;
 
 int serve() {
   Handler *handlers[4];
@@ -99,6 +132,10 @@ int serve() {
   plugins[0] = plug_sum;
   plugins[1] = plug_mix;
   plugins[2] = plug_rot;
+  g = handlers[0];
+  e = new Evil;
+  callback = benign_cb;
+  twin_holder = twin_cb;
   int sum = 0;
   int r = read_request();
   while (r >= 0) {
@@ -106,6 +143,10 @@ int serve() {
     int v = h->handle(r);
     plugin_t f = plugins[v % 3];
     v = f(v);
+    plugin_t cb = callback;
+    v = cb(v);
+    int ok = complete_request(v);
+    if (ok < 0) { exit(90); }
     sum = (sum + v) % 1000003;
     r = read_request();
   }
@@ -113,7 +154,10 @@ int serve() {
 }
 
 int main() {
-  int nworkers = 4;
+  int nworkers = |}
+
+let source_suffix =
+  {|;
   int pid = 1;
   int i = 0;
   while (i < nworkers && pid != 0) {
@@ -123,18 +167,21 @@ int main() {
   if (pid == 0) {
     exit(serve());
   }
-  int total = 0;
   i = 0;
   while (i < nworkers) {
     int st = wait();
-    total = (total + st) % 1000003;
     i = i + 1;
   }
-  print_int(total);
+  print_int(server_checksum());
   print_char('\n');
   return 0;
 }
 |}
+
+let source_workers ~workers ~scale:_ =
+  source_prefix ^ string_of_int workers ^ source_suffix
+
+let source ~scale = source_workers ~workers ~scale
 
 (* The request stream the device is loaded with: seeded, so every
    scheme/engine combination serves byte-identical payloads. *)

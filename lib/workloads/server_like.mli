@@ -1,19 +1,29 @@
 (** Request-dispatch server macro-workload: the root forks a worker
     pool; workers drain the kernel's request-source device through a
     virtual-method handler table (VCall surface) and an indirect-call
-    plugin table (ICall surface).  The printed checksum is a pure
-    function of the payload multiset, so it is identical across schemes,
-    engines and time slices even though the request partition differs. *)
+    plugin table (ICall surface), acking each result with
+    [complete_request].  The root prints the kernel's order-independent
+    device checksum — a pure function of the payload multiset, identical
+    across schemes, engines, time slices and shard counts, and (unlike a
+    worker-private sum) it survives worker kills and restarts.
+
+    The source also carries the chaos campaign's tamper surface under
+    the injector's symbol vocabulary ([g], [fake_vtable], [__vt$Evil],
+    [callback], [twin_cb]), so server fault plans apply unchanged. *)
 
 val name : string
 val cxx : bool
 
 val workers : int
-(** Worker pool size the source forks. *)
+(** Default worker pool size the source forks. *)
 
 val source : scale:int -> string
 (** Deterministic MiniC source ([scale] is accepted for uniformity with
-    the SPEC-like workloads; the working set is the request stream). *)
+    the SPEC-like workloads; the working set is the request stream).
+    Forks the default {!workers}-sized pool. *)
+
+val source_workers : workers:int -> scale:int -> string
+(** [source] with an explicit forked pool size (sharded runs). *)
 
 val requests : seed:int64 -> count:int -> int array
 (** The seeded payload stream to load the request device with. *)

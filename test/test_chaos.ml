@@ -331,6 +331,148 @@ let test_corpus_replay () =
         checks)
     entries
 
+(* ---------- the live-server campaign ---------- *)
+
+module Server_fault = Roload_inject.Server_fault
+
+(* pinned server campaign: small but wide enough that the plan covers
+   the redirect, a page-level tamper and the crash fault *)
+let server_config =
+  {
+    Campaign.default_server_config with
+    Campaign.sv_seed = 3L;
+    sv_count = 6;
+    sv_requests = 120;
+    sv_schemes = [ Pass.Unprotected; Pass.Vcall; Pass.Icall ];
+    sv_jobs = Some 4;
+  }
+
+let server_report = lazy (Campaign.run_server server_config)
+
+(* Acceptance: under VCall/ICall every cell keeps availability at or
+   above the floor with zero corrupted payloads (detection -> supervised
+   restart -> redelivery), while the stock system commits silently
+   corrupted payloads under the redirect. *)
+let test_server_gates () =
+  let rp = Lazy.force server_report in
+  let g = Campaign.server_gate rp in
+  Alcotest.(check int) "no low-availability cell under roload" 0
+    g.Campaign.sg_low_availability;
+  Alcotest.(check int) "no corrupted payload under roload" 0
+    g.Campaign.sg_corrupted_under_roload;
+  Alcotest.(check int) "no cell failures" 0 g.Campaign.sg_cell_failures;
+  let stock_corrupted =
+    List.filter
+      (fun (r : Campaign.server_row) ->
+        String.equal r.Campaign.sv_scheme "none"
+        && r.Campaign.sv_tally.Server_fault.corrupted > 0)
+      rp.Campaign.sv_rows
+  in
+  Alcotest.(check bool) "stock silently corrupts payloads on some class" true
+    (stock_corrupted <> []);
+  (* the plan covers the classes the assertions above speak for *)
+  let classes =
+    List.sort_uniq compare
+      (List.map (fun (r : Campaign.server_row) -> r.Campaign.sv_cls) rp.Campaign.sv_rows)
+  in
+  Alcotest.(check bool) "plan covers the redirect" true
+    (List.mem "ptr-redirect" classes);
+  Alcotest.(check bool) "plan covers the crash fault" true
+    (List.mem "worker-kill" classes);
+  (* restarts actually happened somewhere: the supervisor is load-bearing *)
+  let restarts =
+    List.fold_left
+      (fun acc (r : Campaign.server_row) -> acc + r.Campaign.sv_restarts)
+      0 rp.Campaign.sv_rows
+  in
+  Alcotest.(check bool) "supervised restarts occurred" true (restarts > 0)
+
+(* The availability table is byte-identical across -j and across all
+   three engines. *)
+let test_server_jobs_invariant () =
+  let rp4 = Lazy.force server_report in
+  let rp1 = Campaign.run_server { server_config with Campaign.sv_jobs = Some 1 } in
+  Alcotest.(check string) "-j1 equals -j4" (Campaign.render_server rp1)
+    (Campaign.render_server rp4);
+  Alcotest.(check string) "-j1 equals -j4 (json)" (Campaign.server_to_json rp1)
+    (Campaign.server_to_json rp4)
+
+let test_server_engine_invariant () =
+  let render engine =
+    Campaign.render_server
+      (Campaign.run_server { server_config with Campaign.sv_engine = Some engine })
+  in
+  let single = render Machine.Single_step in
+  Alcotest.(check string) "block equals single" single (render Machine.Block_cached);
+  let traced =
+    let prev = Machine.default_hot_threshold () in
+    Machine.set_default_hot_threshold 1;
+    Fun.protect
+      ~finally:(fun () -> Machine.set_default_hot_threshold prev)
+      (fun () -> render Machine.Traced)
+  in
+  Alcotest.(check string) "traced equals single" single traced
+
+(* Server checkpoint/resume with batched writes: kill the campaign
+   mid-run, resume with a batch size that forces buffering, and require
+   byte-identity with an uninterrupted run. *)
+let test_server_resume_batched () =
+  let ck = Filename.temp_file "roload-chaos-server" ".tsv" in
+  let cfg =
+    { server_config with Campaign.sv_checkpoint = Some ck; sv_checkpoint_batch = 4 }
+  in
+  let partial = Campaign.run_server { cfg with Campaign.sv_max_cells = Some 5 } in
+  Alcotest.(check bool) "partial run stopped early" true
+    (List.length partial.Campaign.sv_rows = 5);
+  let resumed = Campaign.run_server { cfg with Campaign.sv_resume = true } in
+  let fresh = Campaign.run_server { cfg with Campaign.sv_checkpoint = None } in
+  Sys.remove ck;
+  Alcotest.(check string) "resumed report byte-identical"
+    (Campaign.render_server fresh)
+    (Campaign.render_server resumed);
+  Alcotest.(check string) "resumed JSON byte-identical"
+    (Campaign.server_to_json fresh)
+    (Campaign.server_to_json resumed)
+
+(* The classic campaign with batched checkpointing resumes
+   byte-identically too (batch boundaries never tear rows). *)
+let test_classic_resume_batched () =
+  let ck = Filename.temp_file "roload-chaos-batched" ".tsv" in
+  let cfg =
+    {
+      small_config with
+      Campaign.count = 6;
+      seed = 7L;
+      checkpoint = Some ck;
+      checkpoint_batch = 5;
+    }
+  in
+  ignore (Campaign.run { cfg with Campaign.max_cells = Some 9 });
+  let resumed = Campaign.run { cfg with Campaign.resume = true } in
+  let fresh = Campaign.run { cfg with Campaign.checkpoint = None } in
+  Sys.remove ck;
+  Alcotest.(check string) "batched resume byte-identical to uninterrupted run"
+    (Campaign.to_json fresh) (Campaign.to_json resumed)
+
+(* Server plans are seeded and prefix-stable. *)
+let test_server_plan_determinism () =
+  let a = Plan.build_server ~seed:42L ~count:30 in
+  Alcotest.(check bool) "equal seeds, equal plans" true
+    (a = Plan.build_server ~seed:42L ~count:30);
+  Alcotest.(check bool) "shorter plan is a prefix" true
+    (Plan.build_server ~seed:42L ~count:10 = List.filteri (fun i _ -> i < 10) a);
+  Alcotest.(check bool) "different seeds differ" true
+    (a <> Plan.build_server ~seed:43L ~count:30);
+  (* the server taxonomy never draws the classes restarts cannot absorb *)
+  List.iter
+    (fun (inj : Server_fault.injection) ->
+      match inj.Server_fault.kind with
+      | Server_fault.Tamper (Fault.Phys_flip _) | Server_fault.Tamper Fault.Writeback_drop
+        ->
+        Alcotest.fail "phys-bit-flip/wb-drop must stay out of server plans"
+      | _ -> ())
+    (Plan.build_server ~seed:42L ~count:200)
+
 let suite =
   [
     Alcotest.test_case "tampering detected 100% under roload" `Slow
@@ -354,4 +496,16 @@ let suite =
     Alcotest.test_case "plans are seeded and prefix-stable" `Quick
       test_plan_determinism;
     Alcotest.test_case "corpus reproducers replay" `Slow test_corpus_replay;
+    Alcotest.test_case "server campaign: roload gates hold, stock corrupts" `Slow
+      test_server_gates;
+    Alcotest.test_case "server campaign: -j1 equals -j4" `Slow
+      test_server_jobs_invariant;
+    Alcotest.test_case "server campaign: engines agree byte-identically" `Slow
+      test_server_engine_invariant;
+    Alcotest.test_case "server campaign: batched resume is byte-identical" `Slow
+      test_server_resume_batched;
+    Alcotest.test_case "classic campaign: batched resume is byte-identical" `Slow
+      test_classic_resume_batched;
+    Alcotest.test_case "server plans are seeded and prefix-stable" `Quick
+      test_server_plan_determinism;
   ]

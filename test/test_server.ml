@@ -17,10 +17,11 @@ let compile ?(scheme = Pass.Unprotected) ~name src =
   let options = { Toolchain.default_options with scheme } in
   Toolchain.compile_exe ~options ~name src
 
-let serve ?time_slice ?engine ?(scheme = Pass.Unprotected) ~requests src =
+let serve ?time_slice ?engine ?shards ?supervision ?configure
+    ?(scheme = Pass.Unprotected) ~requests src =
   let exe = compile ~scheme ~name:"mp" src in
-  System.run_server ?time_slice ?engine ~variant:System.Processor_kernel_modified
-    ~requests exe
+  System.run_server ?time_slice ?engine ?shards ?supervision ?configure
+    ~variant:System.Processor_kernel_modified ~requests exe
 
 (* force immediate trace compilation inside [f], restoring afterwards *)
 let with_hot_threshold n f =
@@ -123,6 +124,181 @@ let test_request_drain () =
     stats.System.latencies;
   Alcotest.(check string) "clean exit" "exit 0" (System.status_string m)
 
+(* ---- wait semantics regressions ---- *)
+
+(* Three children exit (and become zombies) while the parent burns a
+   delay loop; the parent's waits must then reap them in pid order, and
+   a fourth wait must return ECHILD.  Guards the reap path against the
+   supervision rework: reincarnation must never resurrect a zombie, and
+   externally-killed tasks must still reach the zombie state the parent
+   reaps. *)
+let multi_zombie_src =
+  {|
+int main() {
+  int i = 0;
+  int pid = 1;
+  while (i < 3 && pid != 0) {
+    pid = fork();
+    i = i + 1;
+  }
+  if (pid == 0) { exit(40 + i); }
+  int d = 0;
+  int j = 0;
+  while (j < 100000) { d = (d + j) % 97; j = j + 1; }
+  if (d < 0) { exit(1); }
+  print_int(wait());
+  print_char('\n');
+  print_int(wait());
+  print_char('\n');
+  print_int(wait());
+  print_char('\n');
+  print_int(wait());
+  print_char('\n');
+  return 0;
+}
+|}
+
+let test_multi_zombie_reap_order () =
+  let m, stats = serve ~requests:[||] multi_zombie_src in
+  Alcotest.(check string)
+    "zombies reaped in pid order, then ECHILD" "41\n42\n43\n-10\n"
+    stats.System.console;
+  Alcotest.(check string) "root exits cleanly" "exit 0" (System.status_string m);
+  Alcotest.(check bool) "all tasks exited" true (all_exited stats.System.task_statuses)
+
+(* ---- supervision: restart, redelivery, deadline ---- *)
+
+(* two workers acking every request explicitly; the root prints the
+   kernel-side checksum, which survives worker kills *)
+let supervised_src =
+  {|
+int main() {
+  int i = 0;
+  int pid = 1;
+  while (i < 2 && pid != 0) {
+    pid = fork();
+    i = i + 1;
+  }
+  if (pid == 0) {
+    int r = read_request();
+    while (r >= 0) {
+      int k = 0;
+      int acc = r;
+      while (k < 2000) { acc = (acc * 31 + k) % 1000003; k = k + 1; }
+      int ok = complete_request(acc);
+      if (ok < 0) { exit(90); }
+      r = read_request();
+    }
+    exit(0);
+  }
+  i = 0;
+  while (i < 2) {
+    int st = wait();
+    if (st < -100) { exit(1); }
+    i = i + 1;
+  }
+  print_int(server_checksum());
+  print_char('\n');
+  return 0;
+}
+|}
+
+let supervision ?(max_restarts = 2) ?(deadline_cycles = 0L) () =
+  { Kernel.max_restarts; Kernel.deadline_cycles }
+
+let test_supervised_restart_redelivers () =
+  let requests = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let _, clean = serve ~supervision:(supervision ()) ~requests supervised_src in
+  Alcotest.(check int) "baseline needs no restart" 0 clean.System.restarts;
+  let killed = ref false in
+  let configure kernel =
+    (* kill a worker that holds an in-flight request (never the hook's
+       caller, whose previous request was just implicitly acked) — its
+       death must force a redelivery *)
+    Kernel.set_request_hook kernel ~at:4 (fun k ->
+        match
+          List.find_opt (fun pid -> Kernel.task_inflight k pid >= 0) (Kernel.worker_pids k)
+        with
+        | Some pid -> killed := Kernel.kill_task k ~pid ~info:"chaos"
+        | None -> ())
+  in
+  let m, stats =
+    serve ~supervision:(supervision ()) ~configure ~requests supervised_src
+  in
+  Alcotest.(check bool) "the chaos kill landed" true !killed;
+  Alcotest.(check string) "root exits cleanly" "exit 0" (System.status_string m);
+  Alcotest.(check int) "exactly one supervised restart" 1 stats.System.restarts;
+  Alcotest.(check int) "every request served" (Array.length requests)
+    stats.System.served;
+  Alcotest.(check string) "checksum identical to the clean run"
+    clean.System.console stats.System.console;
+  let redelivered =
+    Array.fold_left
+      (fun acc (rr : Kernel.request_record) -> acc + rr.Kernel.rr_redeliveries)
+      0 stats.System.records
+  in
+  Alcotest.(check bool) "the in-flight request was redelivered" true (redelivered >= 1);
+  Alcotest.(check bool) "all tasks exited" true (all_exited stats.System.task_statuses)
+
+(* restart budget: a worker that dies on every delivery of one poisoned
+   request is reincarnated exactly max_restarts times, then reaped as a
+   normal zombie — the request stays lost and everything else is served *)
+let hang_on_seven_src =
+  {|
+int main() {
+  int pid = fork();
+  if (pid == 0) {
+    int r = read_request();
+    while (r >= 0) {
+      if (r == 7) {
+        while (0 < 1) { r = r + 0; }
+      }
+      int ok = complete_request(r + 100);
+      if (ok < 0) { exit(90); }
+      r = read_request();
+    }
+    exit(0);
+  }
+  int st = wait();
+  if (st < -100) { exit(1); }
+  print_int(server_checksum());
+  print_char('\n');
+  return 0;
+}
+|}
+
+let test_deadline_watchdog_bounded_restarts () =
+  let requests = [| 5; 7; 6 |] in
+  let m, stats =
+    serve
+      ~supervision:(supervision ~max_restarts:1 ~deadline_cycles:300_000L ())
+      ~requests hang_on_seven_src
+  in
+  (* served: 105 and 106 commit; the poisoned 7 hangs its worker, the
+     deadline watchdog kills it, the supervisor restarts it once, the
+     redelivered 7 hangs again and the budget is spent *)
+  Alcotest.(check string) "checksum of the two served requests" "211\n"
+    stats.System.console;
+  Alcotest.(check string) "root exits cleanly" "exit 0" (System.status_string m);
+  Alcotest.(check int) "two of three served" 2 stats.System.served;
+  Alcotest.(check int) "exactly one restart" 1 stats.System.restarts;
+  let poisoned = stats.System.records.(1) in
+  Alcotest.(check bool) "poisoned request never committed" true
+    (poisoned.Kernel.rr_result = None);
+  (* requeued on both deaths: once into the restarted worker's hands,
+     once more when the budget-spent worker dies for good *)
+  Alcotest.(check int) "poisoned request was redelivered twice" 2
+    poisoned.Kernel.rr_redeliveries;
+  (* the budget-spent worker's last incarnation died by the watchdog's
+     signal; everything else exited *)
+  let killed, exited =
+    List.partition
+      (fun (_pid, st) -> match st with Process.Killed _ -> true | _ -> false)
+      stats.System.task_statuses
+  in
+  Alcotest.(check int) "one task died by signal" 1 (List.length killed);
+  Alcotest.(check bool) "the rest exited" true (all_exited exited)
+
 (* ---- scheduler determinism: engines and time slices ---- *)
 
 let small_requests = Server.requests ~seed:42L ~count:400
@@ -186,12 +362,61 @@ let test_scheme_invariance () =
   Alcotest.(check string) "VCall checksum" stock (run Pass.Vcall);
   Alcotest.(check string) "ICall checksum" stock (run Pass.Icall)
 
+(* ---- qcheck: the payload-multiset checksum is invariant under any
+   seeded single-worker kill, on all three engines ---- *)
+
+let kill_requests = Server.requests ~seed:7L ~count:120
+let kill_supervision = { Kernel.max_restarts = 2; Kernel.deadline_cycles = 0L }
+
+let serve_with_kill ~engine ?at_slot exe =
+  let configure =
+    Option.map
+      (fun (at, slot) kernel ->
+        Kernel.set_request_hook kernel ~at (fun k ->
+            match Kernel.worker_pids k with
+            | [] -> ()
+            | pids ->
+              let pid = List.nth pids (slot mod List.length pids) in
+              ignore (Kernel.kill_task k ~pid ~info:"chaos")))
+      at_slot
+  in
+  System.run_server ~engine ?configure ~supervision:kill_supervision
+    ~variant:System.Processor_kernel_modified ~requests:kill_requests exe
+
+let prop_checksum_under_kill =
+  let exe = server_exe Pass.Unprotected in
+  let baseline =
+    let _, s = serve_with_kill ~engine:Machine.Block_cached exe in
+    s.System.console
+  in
+  QCheck.Test.make ~count:8
+    ~name:"checksum invariant under any seeded worker kill, all engines"
+    QCheck.(pair (int_range 5 100) (int_range 0 7))
+    (fun (at, slot) ->
+      List.for_all
+        (fun engine ->
+          let run () = serve_with_kill ~engine ~at_slot:(at, slot) exe in
+          let _, s =
+            if engine = Machine.Traced then with_hot_threshold 1 run else run ()
+          in
+          String.equal s.System.console baseline
+          && s.System.served = Array.length kill_requests
+          && all_exited s.System.task_statuses)
+        [ Machine.Single_step; Machine.Block_cached; Machine.Traced ])
+
 let suite =
   [
     Alcotest.test_case "fork/wait round trip" `Quick test_fork_wait;
     Alcotest.test_case "wait with no children => ECHILD" `Quick test_wait_echild;
     Alcotest.test_case "fork isolates address spaces" `Quick test_fork_isolation;
     Alcotest.test_case "request device drains in order" `Quick test_request_drain;
+    Alcotest.test_case "wait reaps multiple zombies in pid order" `Quick
+      test_multi_zombie_reap_order;
+    Alcotest.test_case "supervised restart redelivers the in-flight request" `Quick
+      test_supervised_restart_redelivers;
+    Alcotest.test_case "deadline watchdog with bounded restarts" `Quick
+      test_deadline_watchdog_bounded_restarts;
+    Seeded.to_alcotest prop_checksum_under_kill;
     Alcotest.test_case "server identical across engines" `Slow test_engine_determinism;
     Alcotest.test_case "checksum invariant under time slice" `Slow
       test_time_slice_invariance;
